@@ -1,0 +1,65 @@
+//! Bench: ablation analyses of the design choices DESIGN.md calls out —
+//! capped vs. uncapped fitting, the utilization-scaled capping refinement,
+//! depth fitting, bootstrap CIs, and the blocked-GEMM application kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use archline_core::extended::fit_depth;
+use archline_core::{UtilizationScaledModel, Workload};
+use archline_fit::{fit_platform_ci, MeasurementSet};
+use archline_machine::{spec_for, Engine};
+use archline_microbench::{gemm_bench, run_suite, SweepConfig};
+use archline_platforms::{platform, PlatformId, Precision};
+
+fn arndale_suite() -> MeasurementSet {
+    let spec = spec_for(&platform(PlatformId::ArndaleGpu), Precision::Single);
+    let cfg = SweepConfig {
+        points: 17,
+        target_secs: 0.04,
+        level_runs: 1,
+        random_runs: 1,
+        ..Default::default()
+    };
+    run_suite(&spec, &cfg, &Engine::default()).dram
+}
+
+fn bench_extended_model(c: &mut Criterion) {
+    let table1 = platform(PlatformId::ArndaleGpu)
+        .machine_params(Precision::Single)
+        .expect("single");
+    let suite = arndale_suite();
+    let obs: Vec<(Workload, f64)> = suite
+        .runs
+        .iter()
+        .map(|r| (Workload::new(r.flops, r.bytes), r.avg_power()))
+        .collect();
+    c.bench_function("fit_utilization_depth", |b| b.iter(|| fit_depth(&table1, &obs)));
+    let scaled = UtilizationScaledModel::new(table1, 0.13);
+    c.bench_function("utilization_model_power_eval", |b| {
+        b.iter(|| scaled.avg_power_at(3.93))
+    });
+}
+
+fn bench_bootstrap_ci(c: &mut Criterion) {
+    let suite = arndale_suite();
+    let mut group = c.benchmark_group("bootstrap_ci");
+    group.sample_size(10);
+    group.bench_function("8_resamples", |b| {
+        b.iter(|| fit_platform_ci(&suite, 8, 0.9, 1))
+    });
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocked_sgemm");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+            b.iter(|| gemm_bench(n, 64, 0.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extended_model, bench_bootstrap_ci, bench_gemm);
+criterion_main!(benches);

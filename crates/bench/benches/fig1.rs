@@ -1,0 +1,22 @@
+//! Bench: regenerating Fig. 1 (Titan vs Arndale GPU comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use archline_repro::fig1;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+    group.bench_function("model_only", |b| {
+        b.iter(|| {
+            let r = fig1::compute(0);
+            assert!(r.bandwidth_advantage > 1.0);
+            r
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("with_measured_dots", |b| b.iter(|| fig1::compute(5)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

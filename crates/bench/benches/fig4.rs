@@ -1,0 +1,29 @@
+//! Bench: regenerating Fig. 4 (error distributions + K-S tests).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use archline_microbench::SweepConfig;
+use archline_repro::fig4;
+use archline_stats::ks_two_sample;
+
+fn bench_fig4(c: &mut Criterion) {
+    let cfg = SweepConfig {
+        points: 17,
+        target_secs: 0.04,
+        level_runs: 1,
+        random_runs: 1,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("full_pipeline", |b| b.iter(|| fig4::compute(&cfg)));
+    group.finish();
+
+    // The statistical kernel on its own.
+    let xs: Vec<f64> = (0..500).map(|i| (i as f64 * 0.37).sin()).collect();
+    let ys: Vec<f64> = (0..500).map(|i| (i as f64 * 0.41).cos() * 1.1).collect();
+    c.bench_function("ks_two_sample_500x500", |b| b.iter(|| ks_two_sample(&xs, &ys)));
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

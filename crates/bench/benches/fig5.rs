@@ -1,0 +1,31 @@
+//! Bench: regenerating Fig. 5 (power curves + simulated dots, 12 panels).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use archline_core::{power::power_curve, EnergyRoofline};
+use archline_microbench::SweepConfig;
+use archline_platforms::{platform, PlatformId, Precision};
+use archline_repro::fig5;
+
+fn bench_fig5(c: &mut Criterion) {
+    let cfg = SweepConfig {
+        points: 17,
+        target_secs: 0.04,
+        level_runs: 1,
+        random_runs: 1,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("full_pipeline", |b| b.iter(|| fig5::compute(&cfg)));
+    group.finish();
+
+    // Curve evaluation alone (per panel).
+    let titan = EnergyRoofline::new(
+        platform(PlatformId::GtxTitan).machine_params(Precision::Single).unwrap(),
+    );
+    c.bench_function("power_curve_97pts", |b| b.iter(|| power_curve(&titan, 0.125, 512.0, 97)));
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench: regenerating Fig. 6 (power under caps, model-only).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use archline_repro::fig6;
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_all_panels", |b| {
+        b.iter(|| {
+            let r = fig6::compute();
+            assert_eq!(r.panels.len(), 12);
+            r
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

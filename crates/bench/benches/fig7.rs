@@ -1,0 +1,15 @@
+//! Bench: regenerating Figs. 7a/7b (performance and efficiency under caps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use archline_repro::fig7::{compute, Fig7Kind};
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7a_performance", |b| b.iter(|| compute(Fig7Kind::Performance)));
+    c.bench_function("fig7b_energy_efficiency", |b| {
+        b.iter(|| compute(Fig7Kind::EnergyEfficiency))
+    });
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Bench: the real host microbenchmark kernels (the live counterparts of
+//! the paper's hand-tuned intensity / stream / pointer-chase benchmarks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use archline_microbench::chase::{sattolo_cycle, walk};
+use archline_microbench::{fma_kernel_f32, stream_triad, StreamKind};
+
+fn bench_intensity(c: &mut Criterion) {
+    let len = 1 << 20; // 4 MiB of f32: past L2 on most hosts
+    let mut data = vec![1.0f32; len];
+    let mut group = c.benchmark_group("intensity_kernel");
+    for chain in [1usize, 8, 64] {
+        group.throughput(Throughput::Elements((2 * chain * len) as u64));
+        group.bench_with_input(BenchmarkId::new("fma_chain", chain), &chain, |b, &chain| {
+            b.iter(|| fma_kernel_f32(&mut data, 0.999, 1e-7, chain, len / 8));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream");
+    group.sample_size(20);
+    for kind in [StreamKind::Copy, StreamKind::Triad] {
+        group.bench_with_input(
+            BenchmarkId::new("kernel", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| stream_triad(kind, 1 << 18, 0.0));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_chase(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("pointer_chase");
+    for log_len in [12usize, 18] {
+        let table = sattolo_cycle(1 << log_len, &mut rng);
+        group.throughput(Throughput::Elements(1 << 16));
+        group.bench_with_input(
+            BenchmarkId::new("walk", format!("2^{log_len}")),
+            &table,
+            |b, table| {
+                b.iter(|| walk(table, 1 << 16));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intensity, bench_stream, bench_chase);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Bench: core model evaluation, crossover solving, fitting, and the
+//! simulator engine — the building blocks behind every figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use archline_core::{crossovers, EnergyRoofline, Metric, Workload};
+use archline_fit::fit_platform;
+use archline_machine::{measure, spec_for, Engine};
+use archline_microbench::{run_suite, SweepConfig};
+use archline_platforms::{platform, PlatformId, Precision};
+
+fn models() -> (EnergyRoofline, EnergyRoofline) {
+    let titan = EnergyRoofline::new(
+        platform(PlatformId::GtxTitan).machine_params(Precision::Single).unwrap(),
+    );
+    let arndale = EnergyRoofline::new(
+        platform(PlatformId::ArndaleGpu).machine_params(Precision::Single).unwrap(),
+    );
+    (titan, arndale)
+}
+
+fn bench_model_eval(c: &mut Criterion) {
+    let (titan, _) = models();
+    let w = Workload::from_intensity(1e12, 4.0);
+    c.bench_function("model_time_energy_power", |b| {
+        b.iter(|| (titan.time(&w), titan.energy(&w), titan.avg_power(&w)))
+    });
+    c.bench_function("model_power_closed_form", |b| b.iter(|| titan.avg_power_at(4.0)));
+}
+
+fn bench_crossover(c: &mut Criterion) {
+    let (titan, arndale) = models();
+    c.bench_function("crossover_energy_eff", |b| {
+        b.iter(|| crossovers(&arndale, &titan, Metric::EnergyEfficiency, 0.125, 512.0, 256))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let spec = spec_for(&platform(PlatformId::GtxTitan), Precision::Single);
+    let engine = Engine::default();
+    let w = spec.intensity_workload(4.0, 0.05);
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.bench_function("measure_one_run", |b| {
+        b.iter(|| measure(&spec, &w, &engine, 7))
+    });
+    group.finish();
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let spec = spec_for(&platform(PlatformId::GtxTitan), Precision::Single);
+    let cfg = SweepConfig {
+        points: 17,
+        target_secs: 0.04,
+        level_runs: 1,
+        random_runs: 1,
+        ..Default::default()
+    };
+    let suite = run_suite(&spec, &cfg, &Engine::default());
+    let mut group = c.benchmark_group("fit");
+    group.sample_size(10);
+    group.bench_function("staged_fit_one_platform", |b| b.iter(|| fit_platform(&suite.dram)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_eval, bench_crossover, bench_simulator, bench_fit);
+criterion_main!(benches);

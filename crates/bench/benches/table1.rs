@@ -1,0 +1,29 @@
+//! Bench: regenerating Table I (simulate all 12 platforms + staged fits).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use archline_microbench::SweepConfig;
+use archline_repro::table1;
+
+fn bench_table1(c: &mut Criterion) {
+    let cfg = SweepConfig {
+        points: 17,
+        target_secs: 0.04,
+        level_runs: 1,
+        random_runs: 1,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("simulate_and_fit_12_platforms", |b| {
+        b.iter(|| {
+            let report = table1::compute(&cfg, false);
+            assert_eq!(report.rows.len(), 12);
+            report
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

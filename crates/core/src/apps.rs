@@ -1,0 +1,314 @@
+//! Abstract-algorithm workload models: `W = W(n)` and `Q = Q(n; Z)`.
+//!
+//! The model's inputs are an algorithm's operation count and its slow-memory
+//! traffic *as a function of problem size `n` and fast-memory capacity `Z`*
+//! (paper §III, Fig. 2). This module provides the standard models for the
+//! kernels the paper's analysis invokes — dense matrix multiply, FFT,
+//! stencils, sparse matrix–vector multiply, and comparison sort — so that
+//! "what block should run my workload" questions can be asked at the
+//! algorithm level rather than at a bare intensity number.
+//!
+//! All models are asymptotic leading-term models with explicit unit
+//! conventions: `W` in flops (or comparisons for sort), `Q` in bytes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::workload::Workload;
+
+/// Floating-point element width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Element {
+    /// 4-byte single precision.
+    F32,
+    /// 8-byte double precision.
+    F64,
+}
+
+impl Element {
+    /// Width in bytes.
+    pub fn bytes(&self) -> f64 {
+        match self {
+            Element::F32 => 4.0,
+            Element::F64 => 8.0,
+        }
+    }
+}
+
+/// Cache-blocked dense matrix–matrix multiply (`C ← C + A·B`, n×n):
+/// `W = 2n³`, and with an optimal `b×b` blocking for fast memory of `Z`
+/// bytes (`b = √(Z/3w)` elements), `Q ≈ 2n³·w/b + 3n²·w` — the classic
+/// `Θ(n³/√Z)` communication bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatMul {
+    /// Matrix dimension `n`.
+    pub n: u64,
+    /// Element width.
+    pub element: Element,
+    /// Fast-memory capacity `Z`, bytes.
+    pub fast_bytes: f64,
+}
+
+impl DenseMatMul {
+    /// Block edge `b` (elements): three `b×b` tiles must fit in `Z`.
+    pub fn block_edge(&self) -> f64 {
+        (self.fast_bytes / (3.0 * self.element.bytes())).sqrt().max(1.0)
+    }
+
+    /// The abstract workload.
+    pub fn workload(&self) -> Workload {
+        let n = self.n as f64;
+        let w = 2.0 * n * n * n;
+        let bytes = self.element.bytes();
+        let b = self.block_edge().min(n);
+        let q = 2.0 * n * n * n * bytes / b + 3.0 * n * n * bytes;
+        Workload::new(w, q)
+    }
+
+    /// Operational intensity (flop:Byte) — grows like `√Z` for large `n`.
+    pub fn intensity(&self) -> f64 {
+        self.workload().intensity()
+    }
+}
+
+/// Large out-of-cache radix-2 FFT of `n` points: `W = 5n·log₂n` (the
+/// standard flop count), `Q ≈ 2n·w·log_Z-adjusted passes`. With fast memory
+/// of `Z` bytes holding `z = Z/w` points, the transform needs
+/// `⌈log n / log z⌉` passes over the data, each moving `2n·w` bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fft {
+    /// Transform size `n` (points).
+    pub n: u64,
+    /// Element width (complex elements count as two reals: pass the *real*
+    /// width; the factor of 2 is internal).
+    pub element: Element,
+    /// Fast-memory capacity `Z`, bytes.
+    pub fast_bytes: f64,
+}
+
+impl Fft {
+    /// Number of passes over the data set.
+    pub fn passes(&self) -> f64 {
+        let w = 2.0 * self.element.bytes(); // complex element
+        let z_points = (self.fast_bytes / w).max(2.0);
+        let n = self.n as f64;
+        (n.log2() / z_points.log2()).ceil().max(1.0)
+    }
+
+    /// The abstract workload.
+    pub fn workload(&self) -> Workload {
+        let n = self.n as f64;
+        let w = 5.0 * n * n.log2();
+        let bytes_per_pass = 2.0 * (2.0 * self.element.bytes()) * n; // read+write complex
+        Workload::new(w, self.passes() * bytes_per_pass)
+    }
+
+    /// Operational intensity.
+    pub fn intensity(&self) -> f64 {
+        self.workload().intensity()
+    }
+}
+
+/// Iterative `k`-point stencil sweep over an `n`-element grid, `iters`
+/// times, with no temporal blocking: `W = k·n·iters` flops,
+/// `Q = 2n·w·iters` bytes (each sweep streams the grid once in, once out).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stencil {
+    /// Grid points.
+    pub n: u64,
+    /// Flops per point per sweep (e.g. 8 for a 7-point 3-D stencil with
+    /// fused multiply-adds counted individually).
+    pub flops_per_point: f64,
+    /// Number of sweeps.
+    pub iters: u64,
+    /// Element width.
+    pub element: Element,
+}
+
+impl Stencil {
+    /// The abstract workload.
+    pub fn workload(&self) -> Workload {
+        let n = self.n as f64;
+        let it = self.iters as f64;
+        Workload::new(
+            self.flops_per_point * n * it,
+            2.0 * self.element.bytes() * n * it,
+        )
+    }
+
+    /// Operational intensity — independent of `n` and `iters`.
+    pub fn intensity(&self) -> f64 {
+        self.flops_per_point / (2.0 * self.element.bytes())
+    }
+}
+
+/// CSR sparse matrix–vector multiply `y ← A·x`: `W = 2·nnz`,
+/// `Q ≈ nnz·(w + 4)` for values + column indices (vectors assumed cached or
+/// streamed once — include them via `rows`). The paper quotes
+/// 0.25–0.5 flop:Byte in single precision, which this model reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpMv {
+    /// Number of matrix rows.
+    pub rows: u64,
+    /// Non-zero count.
+    pub nnz: u64,
+    /// Element width.
+    pub element: Element,
+}
+
+impl SpMv {
+    /// The abstract workload.
+    pub fn workload(&self) -> Workload {
+        let nnz = self.nnz as f64;
+        let rows = self.rows as f64;
+        let w = 2.0 * nnz;
+        // Values + 4-byte column indices per nonzero; row pointers + x and
+        // y traffic per row.
+        let q = nnz * (self.element.bytes() + 4.0)
+            + rows * (4.0 + 2.0 * self.element.bytes());
+        Workload::new(w, q)
+    }
+
+    /// Operational intensity.
+    pub fn intensity(&self) -> f64 {
+        self.workload().intensity()
+    }
+}
+
+/// Out-of-cache comparison sort (multi-way external merge): work is counted
+/// in *comparisons* (`W = n·log₂n` — the model is unit-agnostic, paper
+/// footnote 3), and `Q = 2n·w·⌈log n / log z⌉` like the FFT's pass
+/// structure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sort {
+    /// Keys to sort.
+    pub n: u64,
+    /// Key width, bytes.
+    pub key_bytes: f64,
+    /// Fast-memory capacity, bytes.
+    pub fast_bytes: f64,
+}
+
+impl Sort {
+    /// Merge passes over the data.
+    pub fn passes(&self) -> f64 {
+        let z_keys = (self.fast_bytes / self.key_bytes).max(2.0);
+        let n = self.n as f64;
+        (n.log2() / z_keys.log2()).ceil().max(1.0)
+    }
+
+    /// The abstract workload (`flops` field holds comparisons).
+    pub fn workload(&self) -> Workload {
+        let n = self.n as f64;
+        Workload::new(n * n.log2(), 2.0 * self.key_bytes * n * self.passes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_intensity_grows_with_cache() {
+        let small = DenseMatMul { n: 4096, element: Element::F32, fast_bytes: 32.0 * 1024.0 };
+        let large =
+            DenseMatMul { n: 4096, element: Element::F32, fast_bytes: 8.0 * 1024.0 * 1024.0 };
+        assert!(large.intensity() > 10.0 * small.intensity());
+        // b = √(Z/3w): 32 KiB of f32 gives b ≈ 52 elements, and the
+        // leading-term intensity I ≈ b/w sits between b/8 and b.
+        let b = small.block_edge();
+        assert!((b - f64::sqrt(32.0 * 1024.0 / 12.0)).abs() < 1e-9);
+        let i = small.intensity();
+        assert!(i > b / 8.0 && i < b, "I = {i}, b = {b}");
+    }
+
+    #[test]
+    fn matmul_counts_2n_cubed_flops() {
+        let mm = DenseMatMul { n: 1000, element: Element::F64, fast_bytes: 1e6 };
+        assert_eq!(mm.workload().flops, 2e9);
+    }
+
+    #[test]
+    fn matmul_block_capped_by_matrix_size() {
+        // Tiny matrix in a huge cache: Q degenerates to the 3n²w compulsory
+        // term plus one n³ term with b = n.
+        let mm = DenseMatMul { n: 64, element: Element::F64, fast_bytes: 1e9 };
+        let w = mm.workload();
+        let expected_q = 2.0 * 64f64.powi(3) * 8.0 / 64.0 + 3.0 * 64.0 * 64.0 * 8.0;
+        assert!((w.bytes - expected_q).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fft_intensity_in_paper_band() {
+        // Paper §I: a large single-precision FFT is roughly 2–4 flop:Byte.
+        // A 2²⁶-point single-precision FFT against a ~1 MiB fast memory:
+        let fft = Fft { n: 1 << 26, element: Element::F32, fast_bytes: (1 << 20) as f64 };
+        let i = fft.intensity();
+        assert!((1.5..6.0).contains(&i), "I = {i}");
+        assert_eq!(fft.passes(), 2.0); // log2(2^26)/log2(2^17) = 26/17 → 2
+    }
+
+    #[test]
+    fn fft_single_pass_when_cache_resident() {
+        let fft = Fft { n: 1 << 10, element: Element::F32, fast_bytes: (1 << 20) as f64 };
+        assert_eq!(fft.passes(), 1.0);
+    }
+
+    #[test]
+    fn stencil_intensity_is_size_independent() {
+        let a = Stencil { n: 1 << 20, flops_per_point: 8.0, iters: 10, element: Element::F32 };
+        let b = Stencil { n: 1 << 28, flops_per_point: 8.0, iters: 3, element: Element::F32 };
+        assert_eq!(a.intensity(), b.intensity());
+        assert_eq!(a.intensity(), 1.0); // 8 flops / 8 bytes
+        let w = a.workload();
+        assert_eq!(w.flops, 8.0 * (1 << 20) as f64 * 10.0);
+    }
+
+    #[test]
+    fn spmv_intensity_matches_paper_band() {
+        // Paper §I: large SpMV ≈ 0.25–0.5 flop:Byte in single precision.
+        let spmv = SpMv { rows: 1 << 20, nnz: 50 << 20, element: Element::F32 };
+        let i = spmv.intensity();
+        assert!((0.2..0.5).contains(&i), "I = {i}");
+        // Double precision is lower still.
+        let spmv_d = SpMv { rows: 1 << 20, nnz: 50 << 20, element: Element::F64 };
+        assert!(spmv_d.intensity() < i);
+    }
+
+    #[test]
+    fn sort_workload_uses_comparisons() {
+        let sort = Sort { n: 1 << 30, key_bytes: 8.0, fast_bytes: (64 << 20) as f64 };
+        let w = sort.workload();
+        assert_eq!(w.flops, (1u64 << 30) as f64 * 30.0);
+        assert!(sort.passes() >= 2.0);
+        // Cache-resident sort: one pass.
+        let small = Sort { n: 1 << 10, key_bytes: 8.0, fast_bytes: (64 << 20) as f64 };
+        assert_eq!(small.passes(), 1.0);
+    }
+
+    #[test]
+    fn workloads_are_valid_model_inputs() {
+        use crate::model::EnergyRoofline;
+        use crate::params::MachineParams;
+        let m = EnergyRoofline::new(
+            MachineParams::builder()
+                .flops_per_sec(1e12)
+                .bytes_per_sec(1e11)
+                .energy_per_flop(50e-12)
+                .energy_per_byte(300e-12)
+                .const_power(50.0)
+                .usable_power(100.0)
+                .build()
+                .unwrap(),
+        );
+        for w in [
+            DenseMatMul { n: 4096, element: Element::F32, fast_bytes: 1e6 }.workload(),
+            Fft { n: 1 << 24, element: Element::F32, fast_bytes: 1e6 }.workload(),
+            Stencil { n: 1 << 24, flops_per_point: 8.0, iters: 100, element: Element::F32 }
+                .workload(),
+            SpMv { rows: 1 << 20, nnz: 40 << 20, element: Element::F32 }.workload(),
+        ] {
+            assert!(m.time(&w) > 0.0);
+            assert!(m.energy(&w) > m.operation_energy(&w));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The power cap `Δπ`: usable power above the constant power `π_1`.
+//!
+//! The capped model of this paper adds `Δπ` as a fundamental machine
+//! parameter: on top of `π_1`, the machine has `Δπ` additional Watts
+//! available to perform *any* operations. The prior (IPDPS 2013) model is the
+//! `Uncapped` special case `Δπ = ∞`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_positive, ModelError};
+
+/// Usable power `Δπ` above constant power: either a finite cap or the
+/// uncapped ("free") prior model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PowerCap {
+    /// The prior model: no limit on usable power (`Δπ = ∞`).
+    Uncapped,
+    /// This paper's model: at most the given number of Watts may be spent on
+    /// operations, on top of `π_1`.
+    Capped(f64),
+}
+
+impl PowerCap {
+    /// The cap in Watts; `f64::INFINITY` when uncapped.
+    pub fn watts(&self) -> f64 {
+        match *self {
+            PowerCap::Uncapped => f64::INFINITY,
+            PowerCap::Capped(w) => w,
+        }
+    }
+
+    /// `true` when a finite cap applies.
+    pub fn is_capped(&self) -> bool {
+        matches!(self, PowerCap::Capped(_))
+    }
+
+    /// Scales the cap by `1/k` — the paper's power-throttling what-if
+    /// (Fig. 6: cap settings `Δπ/k` for `k ∈ {1,2,4,8}`). Uncapped stays
+    /// uncapped.
+    ///
+    /// # Panics
+    /// Panics if `k` is not strictly positive and finite.
+    #[must_use]
+    pub fn throttled(&self, k: f64) -> Self {
+        assert!(k.is_finite() && k > 0.0, "throttle factor must be positive");
+        match *self {
+            PowerCap::Uncapped => PowerCap::Uncapped,
+            PowerCap::Capped(w) => PowerCap::Capped(w / k),
+        }
+    }
+
+    /// Validates the cap: a finite cap must be strictly positive.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        match *self {
+            PowerCap::Uncapped => Ok(()),
+            PowerCap::Capped(w) => require_positive("delta_pi", w).map(|_| ()),
+        }
+    }
+}
+
+impl From<Option<f64>> for PowerCap {
+    fn from(v: Option<f64>) -> Self {
+        match v {
+            Some(w) => PowerCap::Capped(w),
+            None => PowerCap::Uncapped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watts_of_uncapped_is_infinite() {
+        assert!(PowerCap::Uncapped.watts().is_infinite());
+        assert_eq!(PowerCap::Capped(164.0).watts(), 164.0);
+    }
+
+    #[test]
+    fn throttling_scales_finite_caps_only() {
+        assert_eq!(PowerCap::Capped(160.0).throttled(8.0), PowerCap::Capped(20.0));
+        assert_eq!(PowerCap::Uncapped.throttled(8.0), PowerCap::Uncapped);
+    }
+
+    #[test]
+    #[should_panic]
+    fn throttle_factor_must_be_positive() {
+        let _ = PowerCap::Capped(10.0).throttled(0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PowerCap::Uncapped.validate().is_ok());
+        assert!(PowerCap::Capped(1.0).validate().is_ok());
+        assert!(PowerCap::Capped(0.0).validate().is_err());
+        assert!(PowerCap::Capped(-3.0).validate().is_err());
+        assert!(PowerCap::Capped(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn from_option() {
+        assert_eq!(PowerCap::from(Some(5.0)), PowerCap::Capped(5.0));
+        assert_eq!(PowerCap::from(None), PowerCap::Uncapped);
+    }
+}

@@ -1,0 +1,214 @@
+//! Finding the intensities at which two machines tie — the "critical values
+//! of arithmetic intensity around which some systems may switch from being
+//! more to less time- and energy-efficient than others" (paper abstract).
+//!
+//! # Examples
+//!
+//! ```
+//! use archline_core::{crossovers, EnergyRoofline, MachineParams, Metric};
+//!
+//! let fast_mem = EnergyRoofline::new(MachineParams::builder()
+//!     .flops_per_sec(1e11).bytes_per_sec(1e11)
+//!     .energy_per_flop(20e-12).energy_per_byte(100e-12)
+//!     .const_power(5.0).usable_power(100.0).build().unwrap());
+//! let fast_flops = EnergyRoofline::new(MachineParams::builder()
+//!     .flops_per_sec(1e12).bytes_per_sec(2e10)
+//!     .energy_per_flop(20e-12).energy_per_byte(100e-12)
+//!     .const_power(5.0).usable_power(100.0).build().unwrap());
+//!
+//! let ties = crossovers(&fast_mem, &fast_flops, Metric::Performance, 1e-3, 1e4, 512);
+//! assert_eq!(ties.len(), 1);
+//! assert!(ties[0].a_leads_below); // the bandwidth-heavy design wins at low I
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::EnergyRoofline;
+use crate::power::sample_intensities;
+
+/// Which quantity to compare between two machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Time-efficiency: flop/s at a given intensity.
+    Performance,
+    /// Energy-efficiency: flop/J at a given intensity.
+    EnergyEfficiency,
+    /// Average power: W at a given intensity.
+    Power,
+}
+
+impl Metric {
+    /// Evaluates the metric for `model` at `intensity`.
+    pub fn eval(&self, model: &EnergyRoofline, intensity: f64) -> f64 {
+        match self {
+            Metric::Performance => model.perf_at(intensity),
+            Metric::EnergyEfficiency => model.energy_eff_at(intensity),
+            Metric::Power => model.avg_power_at(intensity),
+        }
+    }
+}
+
+/// A crossover: intensity at which machine `a` and machine `b` tie on a
+/// metric, with the direction of the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Crossover {
+    /// The tie intensity, flop:Byte.
+    pub intensity: f64,
+    /// `true` if `a` leads *below* the crossover (and `b` above);
+    /// `false` for the opposite.
+    pub a_leads_below: bool,
+}
+
+/// Finds all crossover intensities between machines `a` and `b` on `metric`
+/// within `[lo, hi]`, by scanning a log-spaced grid of `grid` points for sign
+/// changes of `metric(a) − metric(b)` and refining each bracket by bisection.
+///
+/// Exact ties over an interval (e.g. both machines bandwidth-bound with equal
+/// bandwidth) report the first grid bracket where the sign change resolves.
+pub fn crossovers(
+    a: &EnergyRoofline,
+    b: &EnergyRoofline,
+    metric: Metric,
+    lo: f64,
+    hi: f64,
+    grid: usize,
+) -> Vec<Crossover> {
+    let xs = sample_intensities(lo, hi, grid.max(8));
+    let diff = |i: f64| metric.eval(a, i) - metric.eval(b, i);
+    let mut out = Vec::new();
+    let mut prev_x = xs[0];
+    let mut prev_d = diff(prev_x);
+    for &x in &xs[1..] {
+        let d = diff(x);
+        if prev_d == 0.0 {
+            // Tie exactly on a grid point: count it once. We cannot see which
+            // side `a` led on before the tie, so infer from the sign after:
+            // if the difference turns positive, `a` leads above (not below).
+            if d != 0.0 {
+                out.push(Crossover { intensity: prev_x, a_leads_below: d < 0.0 });
+            }
+        } else if d != 0.0 && (prev_d > 0.0) != (d > 0.0) {
+            let root = bisect(&diff, prev_x, x);
+            out.push(Crossover { intensity: root, a_leads_below: prev_d > 0.0 });
+        }
+        prev_x = x;
+        prev_d = d;
+    }
+    out
+}
+
+/// Bisection for a sign change of `f` in `[lo, hi]` on a log scale.
+fn bisect(f: &dyn Fn(f64) -> f64, mut lo: f64, mut hi: f64) -> f64 {
+    let mut flo = f(lo);
+    for _ in 0..100 {
+        let mid = (lo.ln() + hi.ln()).mul_add(0.5, 0.0).exp();
+        let fm = f(mid);
+        if fm == 0.0 {
+            return mid;
+        }
+        if (flo > 0.0) == (fm > 0.0) {
+            lo = mid;
+            flo = fm;
+        } else {
+            hi = mid;
+        }
+        if (hi / lo - 1.0).abs() < 1e-12 {
+            break;
+        }
+    }
+    (lo.ln() + hi.ln()).mul_add(0.5, 0.0).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MachineParams;
+
+    fn machine(fps: f64, bps: f64, ef: f64, em: f64, p1: f64, dp: f64) -> EnergyRoofline {
+        EnergyRoofline::new(
+            MachineParams::builder()
+                .flops_per_sec(fps)
+                .bytes_per_sec(bps)
+                .energy_per_flop(ef)
+                .energy_per_byte(em)
+                .const_power(p1)
+                .usable_power(dp)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn titan() -> EnergyRoofline {
+        machine(4.02e12, 239e9, 30.4e-12, 267e-12, 123.0, 164.0)
+    }
+
+    fn arndale_gpu() -> EnergyRoofline {
+        machine(33.0e9, 8.39e9, 84.2e-12, 518e-12, 1.28, 4.83)
+    }
+
+    #[test]
+    fn titan_always_faster_than_one_arndale() {
+        let xs = crossovers(&titan(), &arndale_gpu(), Metric::Performance, 0.125, 512.0, 256);
+        assert!(xs.is_empty(), "no perf crossover expected, got {xs:?}");
+    }
+
+    #[test]
+    fn energy_efficiency_crossover_and_near_parity_to_4() {
+        // Paper §I: "the two systems match in flops per Joule for intensities
+        // as high as 4 flop:Byte". From the Table I constants the exact tie
+        // falls at I ≈ 1.7 with the Arndale GPU leading below it, and the two
+        // stay within ~20 % of one another out to I = 4 (visually coincident
+        // on the paper's log-2 axis).
+        let a = arndale_gpu();
+        let t = titan();
+        let xs = crossovers(&a, &t, Metric::EnergyEfficiency, 0.125, 512.0, 512);
+        assert_eq!(xs.len(), 1, "expected a single crossover, got {xs:?}");
+        let x = xs[0];
+        assert!(x.a_leads_below, "Arndale GPU should lead at low intensity");
+        assert!(
+            (1.0..=4.0).contains(&x.intensity),
+            "crossover at I={}, expected ≈1.7",
+            x.intensity
+        );
+        let ratio = a.energy_eff_at(4.0) / t.energy_eff_at(4.0);
+        assert!(ratio > 0.8 && ratio < 1.25, "not near-parity at I=4: {ratio}");
+    }
+
+    #[test]
+    fn identical_machines_have_no_crossover() {
+        let xs = crossovers(&titan(), &titan(), Metric::Performance, 0.125, 512.0, 128);
+        assert!(xs.is_empty());
+    }
+
+    #[test]
+    fn crossover_intensity_actually_ties() {
+        let a = arndale_gpu();
+        let b = titan();
+        let xs = crossovers(&a, &b, Metric::EnergyEfficiency, 0.125, 512.0, 512);
+        let i = xs[0].intensity;
+        let ea = a.energy_eff_at(i);
+        let eb = b.energy_eff_at(i);
+        assert!((ea - eb).abs() / eb < 1e-6, "not a tie: {ea} vs {eb} at I={i}");
+    }
+
+    #[test]
+    fn metric_eval_dispatch() {
+        let m = titan();
+        assert_eq!(Metric::Performance.eval(&m, 64.0), m.perf_at(64.0));
+        assert_eq!(Metric::EnergyEfficiency.eval(&m, 64.0), m.energy_eff_at(64.0));
+        assert_eq!(Metric::Power.eval(&m, 64.0), m.avg_power_at(64.0));
+    }
+
+    #[test]
+    fn synthetic_double_crossover_detected() {
+        // Machine a: fast memory, slow flops; machine b: the reverse, but
+        // with power curves arranged to cross twice on Power.
+        let a = machine(1e10, 1e10, 10e-12, 100e-12, 5.0, 100.0);
+        let b = machine(1e11, 2e9, 20e-12, 200e-12, 5.0, 100.0);
+        let xs = crossovers(&a, &b, Metric::Performance, 1e-3, 1e4, 1024);
+        // a is faster in the bandwidth-bound region (5x bandwidth), b faster
+        // when compute-bound (10x flops): exactly one crossover.
+        assert_eq!(xs.len(), 1);
+        assert!(xs[0].a_leads_below);
+    }
+}

@@ -1,0 +1,191 @@
+//! Extension: frequency/voltage scaling (DVFS) what-ifs.
+//!
+//! The paper models a *fixed* operating point and a hard cap; its related
+//! work (Rountree et al.) frames DVFS as the classic knob the cap
+//! supersedes. This module adds the standard first-order DVFS model on top
+//! of the energy roofline so "would slowing the clock save energy for this
+//! intensity?" questions are answerable in the same framework:
+//!
+//! * compute rate scales with relative frequency `f` (`τ_flop' = τ_flop/f`),
+//! * memory bandwidth optionally scales (uncore/DRAM clocks are often
+//!   independent),
+//! * the *dynamic* fraction of each marginal energy scales like `f²`
+//!   (voltage tracking frequency, `E ∝ C·V²`), the rest is frequency-
+//!   independent,
+//! * constant power `π_1` is board-level and stays fixed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::EnergyRoofline;
+use crate::params::MachineParams;
+use crate::workload::Workload;
+
+/// First-order DVFS model around a base operating point (`f = 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsModel {
+    /// Parameters at the nominal frequency.
+    pub base: MachineParams,
+    /// Fraction of `ε_flop` that is dynamic (scales with `f²`).
+    pub flop_dynamic_fraction: f64,
+    /// Fraction of `ε_mem` that is dynamic.
+    pub mem_dynamic_fraction: f64,
+    /// Whether memory bandwidth scales with the core clock.
+    pub memory_tracks_frequency: bool,
+    /// Voltage-scaling exponent on the dynamic energy (2 for `V ∝ f`).
+    pub exponent: f64,
+}
+
+impl DvfsModel {
+    /// A conventional configuration: 70 % dynamic flop energy, 30 % dynamic
+    /// memory energy, independent memory clock, square-law voltage.
+    pub fn conventional(base: MachineParams) -> Self {
+        Self {
+            base,
+            flop_dynamic_fraction: 0.7,
+            mem_dynamic_fraction: 0.3,
+            memory_tracks_frequency: false,
+            exponent: 2.0,
+        }
+    }
+
+    /// Machine parameters at relative frequency `f ∈ (0, ∞)` (1 = nominal).
+    ///
+    /// # Panics
+    /// Panics if `f` is not positive and finite, or the fractions are
+    /// outside `[0, 1]`.
+    pub fn at_frequency(&self, f: f64) -> MachineParams {
+        assert!(f.is_finite() && f > 0.0, "relative frequency must be positive");
+        assert!((0.0..=1.0).contains(&self.flop_dynamic_fraction));
+        assert!((0.0..=1.0).contains(&self.mem_dynamic_fraction));
+        let scale_energy = |eps: f64, dyn_frac: f64| {
+            eps * (dyn_frac * f.powf(self.exponent) + (1.0 - dyn_frac))
+        };
+        MachineParams {
+            time_per_flop: self.base.time_per_flop / f,
+            time_per_byte: if self.memory_tracks_frequency {
+                self.base.time_per_byte / f
+            } else {
+                self.base.time_per_byte
+            },
+            energy_per_flop: scale_energy(self.base.energy_per_flop, self.flop_dynamic_fraction),
+            energy_per_byte: scale_energy(self.base.energy_per_byte, self.mem_dynamic_fraction),
+            const_power: self.base.const_power,
+            cap: self.base.cap,
+        }
+    }
+
+    /// Model at relative frequency `f`.
+    pub fn model_at(&self, f: f64) -> EnergyRoofline {
+        EnergyRoofline::new(self.at_frequency(f))
+    }
+
+    /// Scans relative frequencies in `[lo, hi]` (grid of `n`) for the
+    /// energy-optimal point for a workload at the given intensity.
+    /// Returns `(f*, energy_per_flop_at_f*)`.
+    pub fn energy_optimal_frequency(&self, intensity: f64, lo: f64, hi: f64, n: usize) -> (f64, f64) {
+        assert!(lo > 0.0 && lo < hi && n >= 2);
+        let w = Workload::from_intensity(1.0, intensity);
+        let mut best = (lo, f64::INFINITY);
+        for k in 0..n {
+            let f = lo + (hi - lo) * k as f64 / (n - 1) as f64;
+            let e = self.model_at(f).energy(&w);
+            if e < best.1 {
+                best = (f, e);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cap::PowerCap;
+
+    fn base() -> MachineParams {
+        MachineParams::builder()
+            .flops_per_sec(100e9)
+            .bytes_per_sec(20e9)
+            .energy_per_flop(50e-12)
+            .energy_per_byte(400e-12)
+            .const_power(10.0)
+            .cap(PowerCap::Capped(50.0)) // generous: study DVFS, not the cap
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn nominal_frequency_is_identity() {
+        let dvfs = DvfsModel::conventional(base());
+        assert_eq!(dvfs.at_frequency(1.0), base());
+    }
+
+    #[test]
+    fn higher_frequency_is_faster_but_costlier_per_flop() {
+        let dvfs = DvfsModel::conventional(base());
+        let slow = dvfs.at_frequency(0.5);
+        let fast = dvfs.at_frequency(1.5);
+        assert!(fast.flops_per_sec() > slow.flops_per_sec());
+        assert!(fast.energy_per_flop > slow.energy_per_flop);
+        // Memory bandwidth fixed when the memory clock is independent.
+        assert_eq!(fast.bytes_per_sec(), slow.bytes_per_sec());
+    }
+
+    #[test]
+    fn memory_tracking_scales_bandwidth() {
+        let mut dvfs = DvfsModel::conventional(base());
+        dvfs.memory_tracks_frequency = true;
+        let half = dvfs.at_frequency(0.5);
+        assert!((half.bytes_per_sec() - 10e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn compute_bound_optimum_balances_static_and_dynamic() {
+        // With π_1 > 0, racing at max frequency amortizes constant energy;
+        // with high dynamic fraction, slowing saves ε. The optimum for a
+        // compute-bound workload is interior or at a boundary — and must
+        // beat both endpoints by construction of the scan.
+        let dvfs = DvfsModel::conventional(base());
+        let (f_star, e_star) = dvfs.energy_optimal_frequency(1e4, 0.25, 2.0, 57);
+        let w = Workload::from_intensity(1.0, 1e4);
+        assert!(e_star <= dvfs.model_at(0.25).energy(&w) + 1e-30);
+        assert!(e_star <= dvfs.model_at(2.0).energy(&w) + 1e-30);
+        assert!((0.25..=2.0).contains(&f_star));
+    }
+
+    #[test]
+    fn zero_constant_power_favors_low_frequency_for_compute() {
+        // Without π_1 there is no race-to-idle benefit: dynamic energy
+        // dominates and the slowest frequency wins for compute-bound work.
+        let mut p = base();
+        p.const_power = 0.0;
+        let dvfs = DvfsModel { base: p, ..DvfsModel::conventional(p) };
+        let (f_star, _) = dvfs.energy_optimal_frequency(1e4, 0.25, 2.0, 57);
+        assert!((f_star - 0.25).abs() < 1e-9, "f* = {f_star}");
+    }
+
+    #[test]
+    fn large_constant_power_favors_racing() {
+        let mut p = base();
+        p.const_power = 500.0;
+        let dvfs = DvfsModel { base: p, ..DvfsModel::conventional(p) };
+        let (f_star, _) = dvfs.energy_optimal_frequency(1e4, 0.25, 2.0, 57);
+        assert!((f_star - 2.0).abs() < 1e-9, "f* = {f_star}");
+    }
+
+    #[test]
+    fn memory_bound_work_prefers_lower_core_clock() {
+        // At I = 0.1 the kernel is bandwidth-bound: core frequency buys no
+        // time but costs dynamic flop energy, so f* is low (π_1's charge is
+        // paid regardless since T is memory-fixed).
+        let dvfs = DvfsModel::conventional(base());
+        let (f_star, _) = dvfs.energy_optimal_frequency(0.1, 0.25, 2.0, 57);
+        assert!(f_star < 0.6, "f* = {f_star}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_frequency_rejected() {
+        let _ = DvfsModel::conventional(base()).at_frequency(0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Time-efficiency (flop/s), energy-efficiency (flop/J), and their limits —
+//! the quantities plotted in the paper's Figs. 1, 5, and 7.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::EnergyRoofline;
+use crate::workload::Workload;
+
+/// One sample of the efficiency curves at a given intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyPoint {
+    /// Operational intensity, flop:Byte.
+    pub intensity: f64,
+    /// Performance, flop/s.
+    pub flops_per_sec: f64,
+    /// Energy-efficiency, flop/J.
+    pub flops_per_joule: f64,
+    /// Average power, W.
+    pub power: f64,
+}
+
+impl EnergyRoofline {
+    /// Performance at intensity `I` in flop/s (paper eq. 4 inverted):
+    /// `W/T = [τ_flop · max(1, B_τ/I, (π_flop/Δπ)(1 + B_ε/I))]⁻¹`.
+    pub fn perf_at(&self, intensity: f64) -> f64 {
+        let w = Workload::from_intensity(1.0, intensity);
+        1.0 / self.time(&w)
+    }
+
+    /// Energy-efficiency at intensity `I` in flop/J: `W/E(W, W/I)`.
+    pub fn energy_eff_at(&self, intensity: f64) -> f64 {
+        let w = Workload::from_intensity(1.0, intensity);
+        1.0 / self.energy(&w)
+    }
+
+    /// Total energy per flop at intensity `I` (J/flop), including the
+    /// constant-power charge: `ε_flop(1 + B_ε/I) + π_1·T/W` (paper eq. 2).
+    pub fn energy_per_flop_at(&self, intensity: f64) -> f64 {
+        1.0 / self.energy_eff_at(intensity)
+    }
+
+    /// Total energy per *byte* for a pure-streaming workload (J/B):
+    /// `ε_mem + τ_mem·π_1` — the §V-C worked example. (Assumes streaming is
+    /// not cap-limited; if `Δπ < π_mem`, the constant charge grows to
+    /// `π_1·ε_mem/Δπ` instead.)
+    pub fn streaming_energy_per_byte(&self) -> f64 {
+        let w = Workload::streaming(1.0);
+        self.energy(&w)
+    }
+
+    /// Peak energy-efficiency in flop/J — the `I → ∞` limit
+    /// `[ε_flop + π_1·max(τ_flop, ε_flop/Δπ)]⁻¹`, i.e. the number each panel
+    /// of the paper's Fig. 5 is headlined with (e.g. 16 Gflop/J for the
+    /// GTX Titan).
+    pub fn peak_energy_eff(&self) -> f64 {
+        let w = Workload::compute_only(1.0);
+        1.0 / self.energy(&w)
+    }
+
+    /// Peak streaming energy-efficiency in B/J — the `I → 0` limit (Fig. 5's
+    /// second headline number, e.g. 1.3 GB/J for the GTX Titan).
+    pub fn peak_byte_eff(&self) -> f64 {
+        1.0 / self.streaming_energy_per_byte()
+    }
+
+    /// Peak performance in flop/s, accounting for the cap:
+    /// `min(1/τ_flop, Δπ/ε_flop)`.
+    pub fn peak_perf(&self) -> f64 {
+        let w = Workload::compute_only(1.0);
+        1.0 / self.time(&w)
+    }
+
+    /// Peak streaming bandwidth in B/s, accounting for the cap:
+    /// `min(1/τ_mem, Δπ/ε_mem)`.
+    pub fn peak_bandwidth(&self) -> f64 {
+        let w = Workload::streaming(1.0);
+        1.0 / self.time(&w)
+    }
+
+    /// Energy-delay product per unit of work at intensity `I`:
+    /// `(E/W)·(T/W)` in J·s/flop² — the scalarization that weights time and
+    /// energy equally when neither alone decides a comparison.
+    ///
+    /// ```
+    /// use archline_core::{EnergyRoofline, MachineParams, PowerCap};
+    /// let m = EnergyRoofline::new(MachineParams::builder()
+    ///     .flops_per_sec(1e12).bytes_per_sec(1e11)
+    ///     .energy_per_flop(50e-12).energy_per_byte(400e-12)
+    ///     .const_power(50.0).cap(PowerCap::Capped(120.0))
+    ///     .build().unwrap());
+    /// // EDP improves monotonically with intensity (both factors do).
+    /// assert!(m.energy_delay_at(8.0) < m.energy_delay_at(1.0));
+    /// ```
+    pub fn energy_delay_at(&self, intensity: f64) -> f64 {
+        let w = Workload::from_intensity(1.0, intensity);
+        self.energy(&w) * self.time(&w)
+    }
+
+    /// Samples performance/energy-efficiency/power at the given intensities.
+    pub fn efficiency_curve(&self, intensities: &[f64]) -> Vec<EfficiencyPoint> {
+        intensities
+            .iter()
+            .map(|&i| EfficiencyPoint {
+                intensity: i,
+                flops_per_sec: self.perf_at(i),
+                flops_per_joule: self.energy_eff_at(i),
+                power: self.avg_power_at(i),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MachineParams;
+
+    fn titan() -> EnergyRoofline {
+        EnergyRoofline::new(
+            MachineParams::builder()
+                .flops_per_sec(4.02e12)
+                .bytes_per_sec(239e9)
+                .energy_per_flop(30.4e-12)
+                .energy_per_byte(267e-12)
+                .const_power(123.0)
+                .usable_power(164.0)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn xeon_phi() -> EnergyRoofline {
+        EnergyRoofline::new(
+            MachineParams::builder()
+                .flops_per_sec(2.02e12)
+                .bytes_per_sec(181e9)
+                .energy_per_flop(6.05e-12)
+                .energy_per_byte(136e-12)
+                .const_power(180.0)
+                .usable_power(36.1)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn titan_peak_energy_eff_is_16_gflop_per_joule() {
+        // Fig. 5 headline: 16 Gflop/J.
+        let eff = titan().peak_energy_eff();
+        assert!((eff / 1e9 - 16.4).abs() < 0.2, "got {} Gflop/J", eff / 1e9);
+    }
+
+    #[test]
+    fn titan_peak_byte_eff_is_1_3_gb_per_joule() {
+        // Fig. 5 headline: 1.3 GB/J (ε_mem + τ_mem π_1 = 267 + 515 ≈ 782 pJ/B).
+        let eff = titan().peak_byte_eff();
+        assert!((eff / 1e9 - 1.28).abs() < 0.03, "got {} GB/J", eff / 1e9);
+    }
+
+    #[test]
+    fn phi_streaming_energy_per_byte_is_1_13_nj() {
+        // §V-C: Xeon Phi pays 136 + 994 ≈ 1130 pJ/B despite the lowest ε_mem.
+        let e = xeon_phi().streaming_energy_per_byte();
+        assert!((e - 1.13e-9).abs() < 0.02e-9, "got {e}");
+    }
+
+    #[test]
+    fn perf_saturates_at_peak() {
+        let m = titan();
+        let p = m.perf_at(1e6);
+        // π_flop = 122 W < Δπ = 164 W, so peak flops are sustainable.
+        assert!((p - 4.02e12).abs() / 4.02e12 < 1e-3);
+        assert!((m.peak_perf() - 4.02e12).abs() / 4.02e12 < 1e-9);
+    }
+
+    #[test]
+    fn perf_is_bandwidth_times_intensity_when_memory_bound() {
+        let m = titan();
+        let i = 0.25;
+        assert!((m.perf_at(i) - 239e9 * i).abs() / (239e9 * i) < 1e-9);
+    }
+
+    #[test]
+    fn cap_limits_peak_perf_when_flop_power_exceeds_cap() {
+        let m = EnergyRoofline::new(titan().params().throttled(2.0)); // Δπ = 82 < π_flop
+        let peak = m.peak_perf();
+        let expected = 82.0 / 30.4e-12; // Δπ/ε_flop
+        assert!((peak - expected).abs() / expected < 1e-9);
+        assert!(peak < 4.02e12);
+    }
+
+    #[test]
+    fn efficiency_monotone_in_intensity() {
+        let m = titan();
+        let is: Vec<f64> = (0..60).map(|k| 2f64.powf(k as f64 / 4.0 - 3.0)).collect();
+        let pts = m.efficiency_curve(&is);
+        for w in pts.windows(2) {
+            assert!(w[1].flops_per_sec >= w[0].flops_per_sec - 1e-6);
+            assert!(w[1].flops_per_joule >= w[0].flops_per_joule - 1e-6);
+        }
+    }
+
+    #[test]
+    fn energy_per_flop_at_matches_eq2() {
+        let m = titan();
+        let p = m.params();
+        let i = 64.0; // compute-bound for Titan (B⁺ ≈ 25.7)
+        let lhs = m.energy_per_flop_at(i);
+        let rhs = p.energy_per_flop * (1.0 + p.energy_balance() / i)
+            + p.const_power * p.time_per_flop;
+        assert!((lhs - rhs).abs() / rhs < 1e-9);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for model-parameter validation.
+
+use std::fmt;
+
+/// Why a set of model parameters was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter that must be strictly positive and finite was not.
+    NonPositive {
+        /// Which parameter failed validation.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter that must be non-negative and finite was not.
+    Negative {
+        /// Which parameter failed validation.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A required builder field was never set.
+    MissingField {
+        /// Which field was missing.
+        name: &'static str,
+    },
+    /// A structural constraint between parameters was violated.
+    Inconsistent(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonPositive { name, value } => {
+                write!(f, "parameter `{name}` must be positive and finite, got {value}")
+            }
+            ModelError::Negative { name, value } => {
+                write!(f, "parameter `{name}` must be non-negative and finite, got {value}")
+            }
+            ModelError::MissingField { name } => {
+                write!(f, "required parameter `{name}` was not provided")
+            }
+            ModelError::Inconsistent(msg) => write!(f, "inconsistent parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Validates that `value` is strictly positive and finite.
+pub(crate) fn require_positive(name: &'static str, value: f64) -> Result<f64, ModelError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(ModelError::NonPositive { name, value })
+    }
+}
+
+/// Validates that `value` is non-negative and finite.
+pub(crate) fn require_non_negative(name: &'static str, value: f64) -> Result<f64, ModelError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(ModelError::Negative { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_validation() {
+        assert!(require_positive("x", 1.0).is_ok());
+        assert!(require_positive("x", 0.0).is_err());
+        assert!(require_positive("x", -1.0).is_err());
+        assert!(require_positive("x", f64::NAN).is_err());
+        assert!(require_positive("x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn non_negative_validation() {
+        assert!(require_non_negative("x", 0.0).is_ok());
+        assert!(require_non_negative("x", 5.0).is_ok());
+        assert!(require_non_negative("x", -0.1).is_err());
+        assert!(require_non_negative("x", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn display_messages_name_the_parameter() {
+        let e = ModelError::NonPositive { name: "tau_flop", value: -1.0 };
+        assert!(e.to_string().contains("tau_flop"));
+        let e = ModelError::MissingField { name: "const_power" };
+        assert!(e.to_string().contains("const_power"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Extension: utilization-scaled energy costs — the capping refinement the
+//! paper sketches for the Arndale GPU (§V-C).
+//!
+//! The clean model assumes constant time and energy per operation. On the
+//! Arndale GPU the paper observed measured power *below* the cap plateau at
+//! mid-range intensities and conjectured "active energy-efficiency scaling
+//! with respect to processor and memory utilization" even at fixed clocks.
+//! This module implements that refinement: each resource's marginal energy
+//! at utilization `u` is
+//!
+//! ```text
+//! ε_eff(u) = ε · (1 − γ·(1 − u))        0 ≤ γ < 1
+//! ```
+//!
+//! so a fully-utilized resource pays the nominal cost and a partially-
+//! utilized one pays less. Execution *time* is unchanged from the capped
+//! model (the governor still throttles on nominal demand); only the power
+//! accounting dips. Setting `γ = 0` recovers the plain capped model
+//! exactly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::EnergyRoofline;
+use crate::params::MachineParams;
+use crate::workload::Workload;
+
+/// The capped model with utilization-dependent energy efficiency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationScaledModel {
+    base: EnergyRoofline,
+    depth: f64,
+}
+
+impl UtilizationScaledModel {
+    /// Wraps machine parameters with an efficiency-scaling depth `γ`.
+    ///
+    /// # Panics
+    /// Panics if `depth` is outside `[0, 1)` or the parameters are invalid.
+    pub fn new(params: MachineParams, depth: f64) -> Self {
+        assert!((0.0..1.0).contains(&depth), "depth must be in [0, 1), got {depth}");
+        Self { base: EnergyRoofline::new(params), depth }
+    }
+
+    /// The efficiency-scaling depth `γ`.
+    pub fn depth(&self) -> f64 {
+        self.depth
+    }
+
+    /// The underlying clean capped model.
+    pub fn base(&self) -> &EnergyRoofline {
+        &self.base
+    }
+
+    /// Execution time — identical to the capped model (paper eq. 3).
+    pub fn time(&self, w: &Workload) -> f64 {
+        self.base.time(w)
+    }
+
+    /// Resource utilizations `(u_flop, u_mem)` implied by the capped
+    /// schedule for this workload: `u_f = W·τ_flop/T`, `u_m = Q·τ_mem/T`.
+    pub fn utilizations(&self, w: &Workload) -> (f64, f64) {
+        let t = self.base.time(w);
+        let p = self.base.params();
+        ((w.flops * p.time_per_flop / t).min(1.0), (w.bytes * p.time_per_byte / t).min(1.0))
+    }
+
+    /// Average power with utilization-scaled costs:
+    /// `π_1 + u_f·π_f·(1−γ(1−u_f)) + u_m·π_m·(1−γ(1−u_m))`, never above
+    /// the clean model's prediction.
+    pub fn avg_power(&self, w: &Workload) -> f64 {
+        let p = self.base.params();
+        let (uf, um) = self.utilizations(w);
+        let eff = |u: f64| 1.0 - self.depth * (1.0 - u);
+        p.const_power + uf * p.flop_power() * eff(uf) + um * p.mem_power() * eff(um)
+    }
+
+    /// Average power at intensity `I` (unit workload).
+    pub fn avg_power_at(&self, intensity: f64) -> f64 {
+        self.avg_power(&Workload::from_intensity(1.0, intensity))
+    }
+
+    /// Total energy `P̄·T`.
+    pub fn energy(&self, w: &Workload) -> f64 {
+        self.avg_power(w) * self.time(w)
+    }
+}
+
+/// Estimates the depth `γ` from measured power residuals of the clean
+/// capped fit: for each observation, the clean-vs-measured gap is
+/// `γ · [u_f π_f (1−u_f) + u_m π_m (1−u_m)]`, linear in `γ`, so the
+/// least-squares estimate is a ratio of sums. Observations are
+/// `(workload, measured average power)` pairs.
+///
+/// Returns `γ` clamped to `[0, 0.95]`; data from a clean machine yields
+/// ≈ 0.
+pub fn fit_depth(params: &MachineParams, observations: &[(Workload, f64)]) -> f64 {
+    let clean = UtilizationScaledModel::new(*params, 0.0);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (w, measured) in observations {
+        let (uf, um) = clean.utilizations(w);
+        let gain = uf * params.flop_power() * (1.0 - uf) + um * params.mem_power() * (1.0 - um);
+        let gap = clean.base().avg_power(w) - measured;
+        num += gap * gain;
+        den += gain * gain;
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        (num / den).clamp(0.0, 0.95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cap::PowerCap;
+
+    fn arndale_like() -> MachineParams {
+        MachineParams::builder()
+            .flops_per_sec(33e9)
+            .bytes_per_sec(8.39e9)
+            .energy_per_flop(84.2e-12)
+            .energy_per_byte(518e-12)
+            .const_power(1.28)
+            .cap(PowerCap::Capped(4.83))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_depth_recovers_clean_model() {
+        let m = UtilizationScaledModel::new(arndale_like(), 0.0);
+        let clean = EnergyRoofline::new(arndale_like());
+        for &i in &[0.125, 1.0, 3.93, 16.0, 512.0] {
+            let w = Workload::from_intensity(1e9, i);
+            assert!((m.avg_power(&w) - clean.avg_power(&w)).abs() < 1e-12, "I={i}");
+            assert_eq!(m.time(&w), clean.time(&w));
+            assert!((m.energy(&w) - clean.energy(&w)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn power_dips_most_at_partial_utilization() {
+        let clean = EnergyRoofline::new(arndale_like());
+        let m = UtilizationScaledModel::new(arndale_like(), 0.13);
+        // At extreme intensities the bottleneck resource is fully utilized
+        // and the other contributes little power, so the dip is small; in
+        // the cap-bound middle both are partial and the dip peaks.
+        let rel_dip = |i: f64| {
+            let w = Workload::from_intensity(1e9, i);
+            (clean.avg_power(&w) - m.avg_power(&w)) / clean.avg_power(&w)
+        };
+        let mid = rel_dip(3.93); // B_τ
+        assert!(mid > rel_dip(0.125), "mid {mid} vs low {}", rel_dip(0.125));
+        assert!(mid > rel_dip(512.0), "mid {mid} vs high {}", rel_dip(512.0));
+        // Paper: mispredictions "always less than 15 %".
+        assert!(mid < 0.15, "mid dip {mid}");
+        assert!(mid > 0.02, "dip should be visible, got {mid}");
+    }
+
+    #[test]
+    fn scaled_power_never_exceeds_clean() {
+        let clean = EnergyRoofline::new(arndale_like());
+        let m = UtilizationScaledModel::new(arndale_like(), 0.3);
+        for k in -12..=27 {
+            let i = 2f64.powf(k as f64 / 3.0);
+            let w = Workload::from_intensity(1e9, i);
+            assert!(m.avg_power(&w) <= clean.avg_power(&w) + 1e-12, "I={i}");
+            assert!(m.avg_power(&w) >= m.base().params().const_power);
+        }
+    }
+
+    #[test]
+    fn utilizations_are_consistent_with_regimes() {
+        let m = UtilizationScaledModel::new(arndale_like(), 0.13);
+        // Memory-bound: u_m = 1, u_f < 1.
+        let (uf, um) = m.utilizations(&Workload::from_intensity(1e9, 0.125));
+        assert!((um - 1.0).abs() < 1e-12);
+        assert!(uf < 0.1);
+        // Cap-bound middle: both strictly partial.
+        let (uf, um) = m.utilizations(&Workload::from_intensity(1e9, 3.93));
+        assert!(uf < 1.0 && um < 1.0);
+        assert!(uf > 0.3 && um > 0.3);
+    }
+
+    #[test]
+    fn fit_depth_recovers_ground_truth() {
+        let truth = UtilizationScaledModel::new(arndale_like(), 0.13);
+        let obs: Vec<(Workload, f64)> = (-8..=24)
+            .map(|k| {
+                let w = Workload::from_intensity(1e9, 2f64.powf(k as f64 / 3.0));
+                let p = truth.avg_power(&w);
+                (w, p)
+            })
+            .collect();
+        let gamma = fit_depth(&arndale_like(), &obs);
+        assert!((gamma - 0.13).abs() < 1e-9, "γ = {gamma}");
+    }
+
+    #[test]
+    fn fit_depth_on_clean_data_is_zero() {
+        let clean = EnergyRoofline::new(arndale_like());
+        let obs: Vec<(Workload, f64)> = (-4..=16)
+            .map(|k| {
+                let w = Workload::from_intensity(1e9, 2f64.powi(k));
+                (w, clean.avg_power(&w))
+            })
+            .collect();
+        assert!(fit_depth(&arndale_like(), &obs).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn depth_out_of_range_rejected() {
+        let _ = UtilizationScaledModel::new(arndale_like(), 1.0);
+    }
+}

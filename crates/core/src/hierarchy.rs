@@ -1,0 +1,301 @@
+//! Memory-hierarchy extension: per-level inclusive byte costs and the
+//! random-access (pointer-chase) cost (paper §IV, §V-B).
+//!
+//! The paper's second model extension accounts for basic memory-hierarchy
+//! access costs: each level `l` (L1, L2, DRAM, scratchpad, …) has an
+//! *inclusive* time `τ_l` and energy `ε_l` per byte — "inclusive" meaning the
+//! marginal cost of one more access *through* the whole path (memory cells,
+//! wires, controllers, the caches the data passes through, instruction
+//! overheads, coherence). Random access is modeled per cache-line-granularity
+//! access with cost `ε_rand`, expected to be an order of magnitude above
+//! `ε_mem` per loaded byte actually used.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cap::PowerCap;
+use crate::error::{require_non_negative, require_positive, ModelError};
+use crate::params::MachineParams;
+
+/// One level of the memory hierarchy with inclusive per-byte costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryLevel {
+    /// Human-readable label ("L1", "L2", "DRAM", "shared", …).
+    pub name: String,
+    /// Inclusive time per byte, s/B (reciprocal of the level's sustained
+    /// bandwidth).
+    pub time_per_byte: f64,
+    /// Inclusive energy per byte, J/B.
+    pub energy_per_byte: f64,
+}
+
+impl MemoryLevel {
+    /// Convenience constructor from a sustained bandwidth in B/s.
+    pub fn from_bandwidth(name: impl Into<String>, bytes_per_sec: f64, energy_per_byte: f64) -> Self {
+        Self { name: name.into(), time_per_byte: 1.0 / bytes_per_sec, energy_per_byte }
+    }
+
+    /// The level's sustained bandwidth, B/s.
+    pub fn bandwidth(&self) -> f64 {
+        1.0 / self.time_per_byte
+    }
+}
+
+/// Random (pointer-chase) access costs, per access of one cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomAccessParams {
+    /// Time per access, s (reciprocal of sustained accesses/s).
+    pub time_per_access: f64,
+    /// Inclusive energy per access, J — includes reading a whole line plus
+    /// instruction/hierarchy/protocol overheads (`ε_rand` in Table I).
+    pub energy_per_access: f64,
+}
+
+impl RandomAccessParams {
+    /// Convenience constructor from a sustained access rate in accesses/s.
+    pub fn from_rate(accesses_per_sec: f64, energy_per_access: f64) -> Self {
+        Self { time_per_access: 1.0 / accesses_per_sec, energy_per_access }
+    }
+}
+
+/// Machine parameters extended with a full memory hierarchy and random
+/// access — the model behind the paper's `ε_L1`/`ε_L2`/`ε_rand` columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierParams {
+    /// `τ_flop`, s/flop.
+    pub time_per_flop: f64,
+    /// `ε_flop`, J/flop.
+    pub energy_per_flop: f64,
+    /// Hierarchy levels, conventionally ordered fastest-first (L1 before L2
+    /// before DRAM); ordering is not required but
+    /// [`HierParams::check_level_ordering`] validates the paper's sanity
+    /// invariant when it is used.
+    pub levels: Vec<MemoryLevel>,
+    /// Random-access costs, if measured on this machine.
+    pub random: Option<RandomAccessParams>,
+    /// `π_1`, W.
+    pub const_power: f64,
+    /// `Δπ`.
+    pub cap: PowerCap,
+}
+
+/// A workload against the extended machine: flops plus per-level byte
+/// traffic plus random accesses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierWorkload {
+    /// Work, flops.
+    pub flops: f64,
+    /// Bytes moved through each hierarchy level, parallel to
+    /// [`HierParams::levels`]. Missing trailing levels count as zero.
+    pub bytes_per_level: Vec<f64>,
+    /// Number of random (pointer-chase) accesses.
+    pub random_accesses: f64,
+}
+
+impl HierWorkload {
+    /// A workload touching a single level `level_idx` with `bytes` of traffic
+    /// and `flops` of work.
+    pub fn single_level(flops: f64, level_idx: usize, bytes: f64) -> Self {
+        let mut bytes_per_level = vec![0.0; level_idx + 1];
+        bytes_per_level[level_idx] = bytes;
+        Self { flops, bytes_per_level, random_accesses: 0.0 }
+    }
+
+    /// A pure pointer-chase workload of `n` random accesses.
+    pub fn pointer_chase(n: f64) -> Self {
+        Self { flops: 0.0, bytes_per_level: Vec::new(), random_accesses: n }
+    }
+}
+
+impl HierParams {
+    /// Validates positivity/finiteness of all parameters.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        require_positive("time_per_flop", self.time_per_flop)?;
+        require_non_negative("energy_per_flop", self.energy_per_flop)?;
+        require_non_negative("const_power", self.const_power)?;
+        self.cap.validate()?;
+        for level in &self.levels {
+            require_positive("level.time_per_byte", level.time_per_byte)?;
+            require_non_negative("level.energy_per_byte", level.energy_per_byte)?;
+        }
+        if let Some(r) = &self.random {
+            require_positive("random.time_per_access", r.time_per_access)?;
+            require_non_negative("random.energy_per_access", r.energy_per_access)?;
+        }
+        Ok(())
+    }
+
+    /// Checks the paper's §V-B sanity invariant: inclusive per-byte energies
+    /// must be non-decreasing from the fastest level outward (`ε_L1 ≤ ε_L2 ≤
+    /// …`), because an outer-level access *includes* traversal of the inner
+    /// levels. Returns the offending pair on violation.
+    pub fn check_level_ordering(&self) -> Result<(), ModelError> {
+        for pair in self.levels.windows(2) {
+            if pair[0].energy_per_byte > pair[1].energy_per_byte {
+                return Err(ModelError::Inconsistent(format!(
+                    "inclusive energy of `{}` ({} J/B) exceeds outer level `{}` ({} J/B)",
+                    pair[0].name, pair[0].energy_per_byte, pair[1].name, pair[1].energy_per_byte
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Marginal operation energy: `W·ε_flop + Σ_l Q_l·ε_l + R·ε_rand`.
+    pub fn operation_energy(&self, w: &HierWorkload) -> f64 {
+        let mut e = w.flops * self.energy_per_flop;
+        for (level, &q) in self.levels.iter().zip(&w.bytes_per_level) {
+            e += q * level.energy_per_byte;
+        }
+        if w.random_accesses > 0.0 {
+            let r = self
+                .random
+                .as_ref()
+                .expect("workload has random accesses but machine has no random-access params");
+            e += w.random_accesses * r.energy_per_access;
+        }
+        e
+    }
+
+    /// Best-case execution time, generalizing paper eq. 3 to the hierarchy:
+    ///
+    /// ```text
+    /// T = max( W·τ_flop, max_l Q_l·τ_l, R·τ_rand, E_ops/Δπ )
+    /// ```
+    pub fn time(&self, w: &HierWorkload) -> f64 {
+        let mut t = w.flops * self.time_per_flop;
+        for (level, &q) in self.levels.iter().zip(&w.bytes_per_level) {
+            t = t.max(q * level.time_per_byte);
+        }
+        if w.random_accesses > 0.0 {
+            let r = self
+                .random
+                .as_ref()
+                .expect("workload has random accesses but machine has no random-access params");
+            t = t.max(w.random_accesses * r.time_per_access);
+        }
+        t.max(self.operation_energy(w) / self.cap.watts())
+    }
+
+    /// Total energy `E = E_ops + π_1·T`.
+    pub fn energy(&self, w: &HierWorkload) -> f64 {
+        self.operation_energy(w) + self.const_power * self.time(w)
+    }
+
+    /// Average power `E/T`.
+    pub fn avg_power(&self, w: &HierWorkload) -> f64 {
+        self.energy(w) / self.time(w)
+    }
+
+    /// Collapses to the two-level [`MachineParams`] model using the hierarchy
+    /// level at `dram_idx` as "slow memory".
+    pub fn flat(&self, dram_idx: usize) -> MachineParams {
+        let dram = &self.levels[dram_idx];
+        MachineParams {
+            time_per_flop: self.time_per_flop,
+            time_per_byte: dram.time_per_byte,
+            energy_per_flop: self.energy_per_flop,
+            energy_per_byte: dram.energy_per_byte,
+            const_power: self.const_power,
+            cap: self.cap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EnergyRoofline;
+    use crate::workload::Workload;
+
+    /// NUC-CPU-like hierarchy (paper Table I, Ivy Bridge i3-3217U).
+    fn nuc() -> HierParams {
+        HierParams {
+            time_per_flop: 1.0 / 55.6e9,
+            energy_per_flop: 14.7e-12,
+            levels: vec![
+                MemoryLevel::from_bandwidth("L1", 201e9, 8.75e-12),
+                MemoryLevel::from_bandwidth("L2", 103e9, 14.3e-12),
+                MemoryLevel::from_bandwidth("DRAM", 17.9e9, 418e-12),
+            ],
+            random: Some(RandomAccessParams::from_rate(55.3e6, 54.6e-9)),
+            const_power: 16.5,
+            cap: PowerCap::Capped(7.37),
+        }
+    }
+
+    #[test]
+    fn level_ordering_invariant_holds_for_table_values() {
+        nuc().check_level_ordering().unwrap();
+    }
+
+    #[test]
+    fn level_ordering_violation_detected() {
+        let mut p = nuc();
+        p.levels[0].energy_per_byte = 1e-9; // L1 above L2: nonsense
+        assert!(p.check_level_ordering().is_err());
+    }
+
+    #[test]
+    fn flat_model_agrees_with_two_level_model() {
+        let hier = nuc();
+        let flat = EnergyRoofline::new(hier.flat(2));
+        let w2 = Workload::from_intensity(1e9, 2.0);
+        let wh = HierWorkload::single_level(w2.flops, 2, w2.bytes);
+        assert!((hier.time(&wh) - flat.time(&w2)).abs() / flat.time(&w2) < 1e-12);
+        assert!((hier.energy(&wh) - flat.energy(&w2)).abs() / flat.energy(&w2) < 1e-12);
+    }
+
+    #[test]
+    fn l1_resident_run_is_cheaper_than_dram_run() {
+        let p = nuc();
+        let from_l1 = HierWorkload::single_level(1e9, 0, 4e9);
+        let from_dram = HierWorkload::single_level(1e9, 2, 4e9);
+        assert!(p.energy(&from_l1) < p.energy(&from_dram));
+        assert!(p.time(&from_l1) < p.time(&from_dram));
+    }
+
+    #[test]
+    fn random_access_energy_dominates_streaming_per_line() {
+        let p = nuc();
+        // 1e6 random accesses of one 64 B line each vs streaming those bytes.
+        let chase = HierWorkload::pointer_chase(1e6);
+        let stream = HierWorkload::single_level(0.0, 2, 64.0 * 1e6);
+        // ε_rand per byte used (54.6 nJ/64 B ≈ 853 pJ/B) exceeds ε_mem (418 pJ).
+        assert!(p.operation_energy(&chase) > p.operation_energy(&stream));
+    }
+
+    #[test]
+    fn missing_trailing_levels_count_as_zero() {
+        let p = nuc();
+        let w = HierWorkload { flops: 1e9, bytes_per_level: vec![1e6], random_accesses: 0.0 };
+        // Only L1 traffic: flop-dominated.
+        assert!((p.time(&w) - 1e9 * p.time_per_flop).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no random-access params")]
+    fn random_workload_needs_random_params() {
+        let mut p = nuc();
+        p.random = None;
+        let _ = p.time(&HierWorkload::pointer_chase(10.0));
+    }
+
+    #[test]
+    fn cap_binds_on_mixed_hierarchy_workload() {
+        let p = nuc();
+        // NUC CPU: π_flop ≈ 0.82 W, π_mem(DRAM) ≈ 7.48 W > Δπ = 7.37 W:
+        // pure DRAM streaming is (barely) cap-bound.
+        let w = HierWorkload::single_level(0.0, 2, 17.9e9);
+        let t = p.time(&w);
+        assert!(t > 1.0, "cap should stretch 1 s of streaming, got {t}");
+        assert!((p.avg_power(&w) - (16.5 + 7.37)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_catches_bad_level() {
+        let mut p = nuc();
+        p.levels[1].time_per_byte = 0.0;
+        assert!(p.validate().is_err());
+        assert!(nuc().validate().is_ok());
+    }
+}

@@ -1,0 +1,102 @@
+//! # archline-core — the extended energy-roofline model
+//!
+//! This crate implements the abstract cost model of
+//! Choi, Dukhan, Liu, and Vuduc, *"Algorithmic time, energy, and power on
+//! candidate HPC compute building blocks"* (IPDPS 2014): a first-principles
+//! model of the **time**, **energy**, and **average power** required by an
+//! abstract algorithm on an abstract von Neumann machine.
+//!
+//! ## The model in one paragraph
+//!
+//! An algorithm is summarized by its work `W` (flops) and its slow-memory
+//! traffic `Q` (bytes); their ratio `I = W/Q` is the *operational intensity*
+//! (flop:Byte). A machine is summarized by six constants: time per flop
+//! `τ_flop`, time per byte `τ_mem`, energy per flop `ε_flop`, energy per byte
+//! `ε_mem`, constant power `π_1`, and *usable* power `Δπ` (the power cap above
+//! `π_1`). The model predicts (paper eqs. 1–7):
+//!
+//! ```text
+//! T(W,Q) = max( W·τ_flop,  Q·τ_mem,  (W·ε_flop + Q·ε_mem)/Δπ )   // capped time
+//! E(W,Q) = W·ε_flop + Q·ε_mem + π_1·T(W,Q)                        // energy
+//! P̄(I)  = E/T — piecewise in I with memory-, cap-, and compute-bound regimes
+//! ```
+//!
+//! The third argument of the `max` is this paper's key extension over the
+//! authors' earlier (IPDPS 2013) *uncapped* model: if running flops and memory
+//! operations at full rate would exceed the usable power `Δπ`, all operations
+//! must be throttled, and the model says by exactly how much.
+//!
+//! ## Crate layout
+//!
+//! * [`units`] — SI scaling/formatting helpers used throughout the workspace.
+//! * [`workload`] — abstract algorithms: `(W, Q)` pairs and intensity.
+//! * [`cap`] — the power cap `Δπ` (capped/uncapped).
+//! * [`params`] — [`MachineParams`]: the six constants plus derived balances.
+//! * [`model`] — [`EnergyRoofline`]: time/energy/power predictions (eqs. 1–7).
+//! * [`power`] — the piecewise average-power curve and its regimes.
+//! * [`efficiency`] — performance and energy-efficiency as functions of `I`.
+//! * [`hierarchy`] — the memory-hierarchy extension (`ε_L1`, `ε_L2`, `ε_rand`).
+//! * [`crossover`] — solving for intensities where two machines tie.
+//! * [`scenario`] — what-if analyses: power throttling (`Δπ/k`), replication
+//!   to a power budget, and power bounding (paper §V-D).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use archline_core::{MachineParams, PowerCap, EnergyRoofline, Workload};
+//!
+//! // A GTX-Titan-like device (paper Table I, sustained single precision).
+//! let params = MachineParams::builder()
+//!     .flops_per_sec(4.02e12)       // τ_flop = 1/4.02 Tflop/s
+//!     .bytes_per_sec(239e9)         // τ_mem  = 1/239 GB/s
+//!     .energy_per_flop(30.4e-12)    // ε_flop = 30.4 pJ
+//!     .energy_per_byte(267e-12)     // ε_mem  = 267 pJ
+//!     .const_power(123.0)           // π_1
+//!     .cap(PowerCap::Capped(164.0)) // Δπ
+//!     .build()
+//!     .unwrap();
+//! let model = EnergyRoofline::new(params);
+//!
+//! // A large single-precision FFT is roughly I = 2..4 flop:Byte.
+//! let w = Workload::from_intensity(1e12, 2.0); // 1 Tflop at I = 2
+//! let t = model.time(&w);
+//! let e = model.energy(&w);
+//! assert!(t > 0.0 && e > 0.0);
+//! println!("{:.3} s, {:.1} J, {:.1} W", t, e, e / t);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod cap;
+pub mod crossover;
+pub mod dvfs;
+pub mod efficiency;
+pub mod error;
+pub mod extended;
+pub mod hierarchy;
+pub mod model;
+pub mod params;
+pub mod pareto;
+pub mod power;
+pub mod quantity;
+pub mod scenario;
+pub mod units;
+pub mod workload;
+
+pub use cap::PowerCap;
+pub use crossover::{crossovers, Metric};
+pub use dvfs::DvfsModel;
+pub use error::ModelError;
+pub use extended::UtilizationScaledModel;
+pub use hierarchy::{HierParams, HierWorkload, MemoryLevel, RandomAccessParams};
+pub use model::EnergyRoofline;
+pub use params::{Balances, MachineParams, MachineParamsBuilder};
+pub use pareto::{evaluate as evaluate_candidates, pareto_frontier, Candidate};
+pub use power::Regime;
+pub use scenario::{
+    power_bounding, power_match, power_match_with, Interconnect, PowerBoundingOutcome,
+    Replication, ThrottleScenario,
+};
+pub use workload::Workload;

@@ -1,0 +1,299 @@
+//! The energy-roofline model proper: time and energy predictions
+//! (paper eqs. 1–4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::MachineParams;
+use crate::power::Regime;
+use crate::workload::Workload;
+
+/// Time/energy/power predictor for one machine (paper eqs. 1–7).
+///
+/// Thin, copyable wrapper around [`MachineParams`] that provides the model's
+/// prediction functions. Construct one per (platform, precision) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyRoofline {
+    params: MachineParams,
+}
+
+impl EnergyRoofline {
+    /// Wraps validated machine parameters.
+    ///
+    /// # Panics
+    /// Panics if the parameters do not validate; use
+    /// [`MachineParams::validate`] first for fallible construction.
+    pub fn new(params: MachineParams) -> Self {
+        params.validate().expect("invalid machine parameters");
+        Self { params }
+    }
+
+    /// The underlying machine constants.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Best-case execution time `T(W,Q)` in seconds (paper eq. 3):
+    ///
+    /// ```text
+    /// T = max( W·τ_flop, Q·τ_mem, (W·ε_flop + Q·ε_mem)/Δπ )
+    /// ```
+    ///
+    /// Flops and memory movement are assumed maximally overlapped; the third
+    /// term models throttling when the operation mix would otherwise exceed
+    /// the usable power `Δπ`. For [`crate::PowerCap::Uncapped`] machines the
+    /// third term vanishes, recovering the prior (IPDPS 2013) model.
+    pub fn time(&self, w: &Workload) -> f64 {
+        let p = &self.params;
+        let t_flop = w.flops * p.time_per_flop;
+        let t_mem = w.bytes * p.time_per_byte;
+        let op_energy = self.operation_energy(w);
+        let t_cap = op_energy / p.cap.watts(); // 0 when uncapped
+        t_flop.max(t_mem).max(t_cap)
+    }
+
+    /// Execution time under the prior, uncapped model: `max(W·τ_flop, Q·τ_mem)`.
+    pub fn time_uncapped(&self, w: &Workload) -> f64 {
+        let p = &self.params;
+        (w.flops * p.time_per_flop).max(w.bytes * p.time_per_byte)
+    }
+
+    /// The marginal operation energy `W·ε_flop + Q·ε_mem` in Joules — the
+    /// energy with the constant-power term excluded.
+    pub fn operation_energy(&self, w: &Workload) -> f64 {
+        w.flops * self.params.energy_per_flop + w.bytes * self.params.energy_per_byte
+    }
+
+    /// Total energy `E(W,Q) = W·ε_flop + Q·ε_mem + π_1·T(W,Q)` in Joules
+    /// (paper eq. 1).
+    pub fn energy(&self, w: &Workload) -> f64 {
+        self.operation_energy(w) + self.params.const_power * self.time(w)
+    }
+
+    /// Average power `P̄ = E/T` in Watts for a concrete workload.
+    ///
+    /// Agrees with the closed-form piecewise expression
+    /// [`EnergyRoofline::avg_power_at`] (paper eq. 7) whenever `I = W/Q`.
+    pub fn avg_power(&self, w: &Workload) -> f64 {
+        self.energy(w) / self.time(w)
+    }
+
+    /// Average power at operational intensity `I`, closed form (paper eq. 7).
+    ///
+    /// Accepts `I = 0` (pure streaming: `π_1 + π_mem`, possibly cap-limited)
+    /// and `I = ∞` (pure compute: `π_1 + π_flop`, possibly cap-limited).
+    pub fn avg_power_at(&self, intensity: f64) -> f64 {
+        let p = &self.params;
+        let b = p.balances();
+        let pi_f = p.flop_power();
+        let pi_m = p.mem_power();
+        let b_tau = b.time;
+        p.const_power
+            + if intensity >= b.upper {
+                // Compute-bound: flops at full rate, memory at B_τ/I of peak.
+                pi_f + if intensity.is_infinite() { 0.0 } else { pi_m * b_tau / intensity }
+            } else if intensity <= b.lower {
+                // Memory-bound: memory at full rate, flops at I/B_τ of peak.
+                pi_m + pi_f * intensity / b_tau
+            } else {
+                // Cap-bound: operations throttled so P̄ = π_1 + Δπ.
+                p.cap.watts()
+            }
+    }
+
+    /// Which regime the machine is in at intensity `I`.
+    pub fn regime_at(&self, intensity: f64) -> Regime {
+        let b = self.params.balances();
+        if intensity >= b.upper {
+            Regime::ComputeBound
+        } else if intensity <= b.lower {
+            Regime::MemoryBound
+        } else {
+            Regime::CapBound
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cap::PowerCap;
+
+    fn titan() -> EnergyRoofline {
+        EnergyRoofline::new(
+            MachineParams::builder()
+                .flops_per_sec(4.02e12)
+                .bytes_per_sec(239e9)
+                .energy_per_flop(30.4e-12)
+                .energy_per_byte(267e-12)
+                .const_power(123.0)
+                .usable_power(164.0)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn arndale_gpu() -> EnergyRoofline {
+        EnergyRoofline::new(
+            MachineParams::builder()
+                .flops_per_sec(33.0e9)
+                .bytes_per_sec(8.39e9)
+                .energy_per_flop(84.2e-12)
+                .energy_per_byte(518e-12)
+                .const_power(1.28)
+                .usable_power(4.83)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn compute_bound_time_is_flop_term() {
+        let m = titan();
+        // Very high intensity: memory negligible, power fine (ε_flop/Δπ per
+        // flop is below τ_flop for Titan? π_flop=122 < Δπ=164, yes).
+        let w = Workload::from_intensity(4.02e12, 1024.0);
+        let t = m.time(&w);
+        assert!((t - 1.0).abs() < 0.02, "expected ~1 s, got {t}");
+    }
+
+    #[test]
+    fn memory_bound_time_is_mem_term() {
+        let m = titan();
+        let w = Workload::from_intensity(239e9 * 0.125, 0.125); // 1 s of streaming
+        let t = m.time(&w);
+        assert!((t - 1.0).abs() < 1e-9, "expected 1 s, got {t}");
+    }
+
+    #[test]
+    fn cap_term_dominates_at_balance_for_capped_titan() {
+        let m = titan();
+        let b = m.params().balances();
+        let i = b.time; // at B_τ demand is π_flop+π_mem = 186 W > Δπ = 164 W
+        let w = Workload::from_intensity(1e12, i);
+        let t = m.time(&w);
+        let t_free = m.time_uncapped(&w);
+        assert!(t > t_free, "cap must slow execution at balance: {t} vs {t_free}");
+        let ratio = t / t_free;
+        // Slowdown factor should be (π_flop+π_mem)/Δπ ≈ 186/164 ≈ 1.134.
+        assert!((ratio - (122.208 + 63.813) / 164.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn energy_decomposes() {
+        let m = titan();
+        let w = Workload::from_intensity(1e12, 4.0);
+        let e = m.energy(&w);
+        assert!((e - (m.operation_energy(&w) + 123.0 * m.time(&w))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_power_closed_form_matches_ratio() {
+        for m in [titan(), arndale_gpu()] {
+            for &i in &[0.125, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 16.82, 32.0, 128.0, 512.0] {
+                let w = Workload::from_intensity(1e11, i);
+                let ratio = m.avg_power(&w);
+                let closed = m.avg_power_at(i);
+                assert!(
+                    (ratio - closed).abs() / closed < 1e-9,
+                    "I={i}: E/T={ratio} vs closed={closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avg_power_never_exceeds_cap() {
+        for m in [titan(), arndale_gpu()] {
+            let cap = m.params().const_power + m.params().cap.watts();
+            for k in -20..=40 {
+                let i = 2f64.powf(k as f64 / 2.0);
+                assert!(m.avg_power_at(i) <= cap + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn power_limits_at_extremes() {
+        let m = titan();
+        let p = m.params();
+        // I -> ∞: power -> π_1 + π_flop (Titan cap can sustain flops alone).
+        assert!((m.avg_power_at(f64::INFINITY) - (123.0 + p.flop_power())).abs() < 1e-9);
+        // I -> 0: power -> π_1 + π_mem.
+        assert!((m.avg_power_at(0.0) - (123.0 + p.mem_power())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_peaks_at_cap_inside_interval() {
+        let m = titan();
+        let b = m.params().balances();
+        let mid = (b.lower * b.upper).sqrt();
+        assert_eq!(m.regime_at(mid), Regime::CapBound);
+        assert!((m.avg_power_at(mid) - (123.0 + 164.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncapped_power_peaks_at_time_balance() {
+        let m = EnergyRoofline::new(titan().params().uncapped());
+        let p = m.params();
+        let b_tau = p.time_balance();
+        let peak = m.avg_power_at(b_tau);
+        assert!((peak - (123.0 + p.flop_power() + p.mem_power())).abs() < 1e-6);
+        // And strictly lower on either side.
+        assert!(m.avg_power_at(b_tau * 2.0) < peak);
+        assert!(m.avg_power_at(b_tau / 2.0) < peak);
+    }
+
+    #[test]
+    fn capped_time_at_least_uncapped() {
+        let m = arndale_gpu();
+        for k in -12..=24 {
+            let w = Workload::from_intensity(1e9, 2f64.powi(k));
+            assert!(m.time(&w) >= m.time_uncapped(&w) - 1e-18);
+        }
+    }
+
+    #[test]
+    fn power_curve_is_continuous_at_regime_boundaries() {
+        for m in [titan(), arndale_gpu()] {
+            let b = m.params().balances();
+            for edge in [b.lower, b.upper] {
+                if !edge.is_finite() || edge == 0.0 {
+                    continue;
+                }
+                let below = m.avg_power_at(edge * (1.0 - 1e-9));
+                let above = m.avg_power_at(edge * (1.0 + 1e-9));
+                assert!(
+                    (below - above).abs() < 1e-3,
+                    "discontinuity at I={edge}: {below} vs {above}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_energy_per_byte_matches_paper_section_vc() {
+        // Paper §V-C: total streaming energy/byte = ε_mem + τ_mem·π_1.
+        // Arndale GPU: 518 + 1280/8.39 ≈ 671 pJ/B.
+        let m = arndale_gpu();
+        let w = Workload::streaming(1e9);
+        let per_byte = m.energy(&w) / w.bytes;
+        assert!((per_byte - 671e-12).abs() < 2e-12, "got {per_byte}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid machine parameters")]
+    fn constructor_rejects_invalid_params() {
+        let mut p = *titan().params();
+        p.time_per_flop = -1.0;
+        let _ = EnergyRoofline::new(p);
+    }
+
+    #[test]
+    fn uncapped_model_has_zero_cap_term() {
+        let mut p = *titan().params();
+        p.cap = PowerCap::Uncapped;
+        let m = EnergyRoofline::new(p);
+        let w = Workload::from_intensity(1e12, p.time_balance());
+        assert_eq!(m.time(&w), m.time_uncapped(&w));
+    }
+}

@@ -1,0 +1,397 @@
+//! The machine's fundamental constants and derived balance points.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cap::PowerCap;
+use crate::error::{require_non_negative, require_positive, ModelError};
+
+/// The abstract machine of the model (paper §III): four fundamental
+/// time/energy costs plus constant power and the power cap.
+///
+/// `τ_flop` and `τ_mem` are *throughput reciprocals* (optimistic costs based
+/// on sustained peak rates), not latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineParams {
+    /// `τ_flop`: time per flop, in seconds (reciprocal of sustained flop/s).
+    pub time_per_flop: f64,
+    /// `τ_mem`: time per byte, in seconds (reciprocal of sustained B/s).
+    pub time_per_byte: f64,
+    /// `ε_flop`: marginal energy per flop, in Joules.
+    pub energy_per_flop: f64,
+    /// `ε_mem`: marginal (inclusive) energy per byte of slow-memory traffic,
+    /// in Joules.
+    pub energy_per_byte: f64,
+    /// `π_1`: constant power in Watts — what the machine draws independent of
+    /// which operations execute (idle silicon, board, peripherals).
+    pub const_power: f64,
+    /// `Δπ`: usable power above `π_1`.
+    pub cap: PowerCap,
+}
+
+impl MachineParams {
+    /// Starts a [`MachineParamsBuilder`].
+    pub fn builder() -> MachineParamsBuilder {
+        MachineParamsBuilder::default()
+    }
+
+    /// Validates all parameters (positivity / finiteness).
+    pub fn validate(&self) -> Result<(), ModelError> {
+        require_positive("time_per_flop", self.time_per_flop)?;
+        require_positive("time_per_byte", self.time_per_byte)?;
+        require_non_negative("energy_per_flop", self.energy_per_flop)?;
+        require_non_negative("energy_per_byte", self.energy_per_byte)?;
+        require_non_negative("const_power", self.const_power)?;
+        self.cap.validate()
+    }
+
+    /// Sustained peak performance, flop/s (`1/τ_flop`).
+    pub fn flops_per_sec(&self) -> f64 {
+        1.0 / self.time_per_flop
+    }
+
+    /// Sustained peak memory bandwidth, B/s (`1/τ_mem`).
+    pub fn bytes_per_sec(&self) -> f64 {
+        1.0 / self.time_per_byte
+    }
+
+    /// `π_flop = ε_flop / τ_flop`: power to run flops at peak rate, Watts.
+    pub fn flop_power(&self) -> f64 {
+        self.energy_per_flop / self.time_per_flop
+    }
+
+    /// `π_mem = ε_mem / τ_mem`: power to stream memory at peak rate, Watts.
+    pub fn mem_power(&self) -> f64 {
+        self.energy_per_byte / self.time_per_byte
+    }
+
+    /// `B_τ = τ_mem / τ_flop`: the time balance (intrinsic flop:Byte ratio) —
+    /// the intensity at which flop time equals memory time.
+    pub fn time_balance(&self) -> f64 {
+        self.time_per_byte / self.time_per_flop
+    }
+
+    /// `B_ε = ε_mem / ε_flop`: the energy balance, flop:Byte.
+    ///
+    /// Returns `f64::INFINITY` when `ε_flop = 0`.
+    pub fn energy_balance(&self) -> f64 {
+        if self.energy_per_flop == 0.0 {
+            f64::INFINITY
+        } else {
+            self.energy_per_byte / self.energy_per_flop
+        }
+    }
+
+    /// The extended balance interval `[B⁻_τ, B⁺_τ]` of paper eqs. (5)–(6).
+    ///
+    /// When `Δπ ≥ π_flop + π_mem` there is enough usable power to run both
+    /// pipelines at peak and the interval collapses to `B_τ`. Otherwise the
+    /// interval is the intensity range over which average power sits at the
+    /// cap `π_1 + Δπ`.
+    pub fn balances(&self) -> Balances {
+        let b_tau = self.time_balance();
+        let pi_f = self.flop_power();
+        let pi_m = self.mem_power();
+        let dp = self.cap.watts();
+
+        // B⁺_τ = B_τ · max(1, π_mem / (Δπ − π_flop)); if the cap cannot even
+        // sustain peak flops (Δπ ≤ π_flop), the compute-bound regime is
+        // unreachable and B⁺ = ∞.
+        let upper = if dp.is_infinite() {
+            b_tau
+        } else if dp <= pi_f {
+            f64::INFINITY
+        } else {
+            b_tau * (pi_m / (dp - pi_f)).max(1.0)
+        };
+
+        // B⁻_τ = B_τ · min(1, (Δπ − π_mem) / π_flop); if the cap cannot
+        // sustain peak bandwidth (Δπ ≤ π_mem), the memory-bound regime is
+        // unreachable and B⁻ = 0.
+        let lower = if dp.is_infinite() {
+            b_tau
+        } else if dp <= pi_m {
+            0.0
+        } else if pi_f == 0.0 {
+            b_tau
+        } else {
+            b_tau * ((dp - pi_m) / pi_f).min(1.0)
+        };
+
+        Balances { lower, time: b_tau, upper }
+    }
+
+    /// Maximum average power the machine can reach: `π_1 + min(Δπ, π_flop +
+    /// π_mem)` (paper §III-d).
+    pub fn peak_power(&self) -> f64 {
+        self.const_power + (self.flop_power() + self.mem_power()).min(self.cap.watts())
+    }
+
+    /// The fraction of maximum power consumed by constant power,
+    /// `π_1 / (π_1 + Δπ)` — the quantity the paper correlates with peak
+    /// energy-efficiency (§V-C). Returns 0 for uncapped machines with
+    /// `π_1 = 0`, and uses `Δπ` (not `π_flop + π_mem`) as the paper does.
+    pub fn const_power_fraction(&self) -> f64 {
+        let dp = self.cap.watts();
+        if dp.is_infinite() {
+            0.0
+        } else {
+            self.const_power / (self.const_power + dp)
+        }
+    }
+
+    /// Returns a copy with the cap replaced by the uncapped (prior) model —
+    /// used when comparing capped vs. "free" predictions (paper Fig. 4).
+    #[must_use]
+    pub fn uncapped(&self) -> Self {
+        Self { cap: PowerCap::Uncapped, ..*self }
+    }
+
+    /// Returns a copy with the usable power set to `Δπ/k` (Fig. 6 scenario).
+    #[must_use]
+    pub fn throttled(&self, k: f64) -> Self {
+        Self { cap: self.cap.throttled(k), ..*self }
+    }
+}
+
+/// The extended balance points `B⁻_τ ≤ B_τ ≤ B⁺_τ` (paper eqs. 5–6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Balances {
+    /// `B⁻_τ`: below this intensity the machine is memory-bandwidth-bound.
+    pub lower: f64,
+    /// `B_τ`: the intrinsic time balance `τ_mem/τ_flop`.
+    pub time: f64,
+    /// `B⁺_τ`: above this intensity the machine is compute-bound.
+    pub upper: f64,
+}
+
+impl Balances {
+    /// `true` if the cap never binds (interval collapsed to the point `B_τ`).
+    pub fn cap_never_binds(&self) -> bool {
+        self.lower == self.upper
+    }
+}
+
+/// Builder for [`MachineParams`], accepting either costs (`τ`, `ε`) or their
+/// more familiar reciprocals (flop/s, B/s).
+#[derive(Debug, Clone, Default)]
+pub struct MachineParamsBuilder {
+    time_per_flop: Option<f64>,
+    time_per_byte: Option<f64>,
+    energy_per_flop: Option<f64>,
+    energy_per_byte: Option<f64>,
+    const_power: Option<f64>,
+    cap: Option<PowerCap>,
+}
+
+impl MachineParamsBuilder {
+    /// Sets `τ_flop` directly, in seconds per flop.
+    pub fn time_per_flop(mut self, v: f64) -> Self {
+        self.time_per_flop = Some(v);
+        self
+    }
+
+    /// Sets `τ_flop` from a sustained rate in flop/s.
+    pub fn flops_per_sec(mut self, v: f64) -> Self {
+        self.time_per_flop = Some(1.0 / v);
+        self
+    }
+
+    /// Sets `τ_mem` directly, in seconds per byte.
+    pub fn time_per_byte(mut self, v: f64) -> Self {
+        self.time_per_byte = Some(v);
+        self
+    }
+
+    /// Sets `τ_mem` from a sustained bandwidth in B/s.
+    pub fn bytes_per_sec(mut self, v: f64) -> Self {
+        self.time_per_byte = Some(1.0 / v);
+        self
+    }
+
+    /// Sets `ε_flop` in Joules per flop.
+    pub fn energy_per_flop(mut self, v: f64) -> Self {
+        self.energy_per_flop = Some(v);
+        self
+    }
+
+    /// Sets `ε_mem` in Joules per byte.
+    pub fn energy_per_byte(mut self, v: f64) -> Self {
+        self.energy_per_byte = Some(v);
+        self
+    }
+
+    /// Sets `π_1` in Watts.
+    pub fn const_power(mut self, v: f64) -> Self {
+        self.const_power = Some(v);
+        self
+    }
+
+    /// Sets the power cap `Δπ`.
+    pub fn cap(mut self, cap: PowerCap) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+
+    /// Sets a finite power cap in Watts (shorthand for `cap(PowerCap::Capped(w))`).
+    pub fn usable_power(mut self, w: f64) -> Self {
+        self.cap = Some(PowerCap::Capped(w));
+        self
+    }
+
+    /// Finalizes and validates the parameters. The cap defaults to
+    /// [`PowerCap::Uncapped`] when unset.
+    pub fn build(self) -> Result<MachineParams, ModelError> {
+        let params = MachineParams {
+            time_per_flop: self
+                .time_per_flop
+                .ok_or(ModelError::MissingField { name: "time_per_flop" })?,
+            time_per_byte: self
+                .time_per_byte
+                .ok_or(ModelError::MissingField { name: "time_per_byte" })?,
+            energy_per_flop: self
+                .energy_per_flop
+                .ok_or(ModelError::MissingField { name: "energy_per_flop" })?,
+            energy_per_byte: self
+                .energy_per_byte
+                .ok_or(ModelError::MissingField { name: "energy_per_byte" })?,
+            const_power: self.const_power.ok_or(ModelError::MissingField { name: "const_power" })?,
+            cap: self.cap.unwrap_or(PowerCap::Uncapped),
+        };
+        params.validate()?;
+        Ok(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// GTX-Titan-like constants (paper Table I, sustained, single precision).
+    pub(crate) fn titan() -> MachineParams {
+        MachineParams::builder()
+            .flops_per_sec(4.02e12)
+            .bytes_per_sec(239e9)
+            .energy_per_flop(30.4e-12)
+            .energy_per_byte(267e-12)
+            .const_power(123.0)
+            .usable_power(164.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn derived_rates_and_powers() {
+        let p = titan();
+        assert!((p.flops_per_sec() - 4.02e12).abs() / 4.02e12 < 1e-12);
+        assert!((p.bytes_per_sec() - 239e9).abs() / 239e9 < 1e-12);
+        // π_flop = 30.4 pJ * 4.02 Tflop/s ≈ 122.2 W
+        assert!((p.flop_power() - 122.208).abs() < 0.01);
+        // π_mem = 267 pJ * 239 GB/s ≈ 63.8 W
+        assert!((p.mem_power() - 63.813).abs() < 0.01);
+    }
+
+    #[test]
+    fn balances_match_hand_computation() {
+        let p = titan();
+        let b = p.balances();
+        // B_τ = 4020/239 ≈ 16.8 flop:B
+        assert!((b.time - 4.02e12 / 239e9).abs() < 1e-9);
+        // Δπ = 164 < π_flop + π_mem ≈ 186 → cap binds, interval is proper.
+        assert!(b.lower < b.time && b.time < b.upper);
+        // B⁺ = B_τ · π_mem/(Δπ−π_flop) = 16.82 * 63.81/41.79 ≈ 25.7
+        assert!((b.upper - b.time * (63.813 / (164.0 - 122.208))).abs() < 0.1);
+        // B⁻ = B_τ · (Δπ−π_mem)/π_flop = 16.82 * 100.19/122.21 ≈ 13.8
+        assert!((b.lower - b.time * ((164.0 - 63.813) / 122.208)).abs() < 0.1);
+    }
+
+    #[test]
+    fn uncapped_interval_collapses() {
+        let b = titan().uncapped().balances();
+        assert!(b.cap_never_binds());
+        assert_eq!(b.lower, b.time);
+        assert_eq!(b.upper, b.time);
+    }
+
+    #[test]
+    fn generous_cap_interval_collapses() {
+        let mut p = titan();
+        p.cap = PowerCap::Capped(1000.0); // > π_flop + π_mem
+        let b = p.balances();
+        assert!(b.cap_never_binds());
+    }
+
+    #[test]
+    fn cap_below_flop_power_makes_upper_infinite() {
+        let mut p = titan();
+        p.cap = PowerCap::Capped(100.0); // < π_flop ≈ 122 W
+        let b = p.balances();
+        assert!(b.upper.is_infinite());
+        assert!(b.lower > 0.0); // Δπ=100 > π_mem ≈ 64
+    }
+
+    #[test]
+    fn cap_below_mem_power_makes_lower_zero() {
+        let mut p = titan();
+        p.cap = PowerCap::Capped(50.0); // < π_mem ≈ 64 W
+        let b = p.balances();
+        assert_eq!(b.lower, 0.0);
+        assert!(b.upper.is_infinite()); // also < π_flop
+    }
+
+    #[test]
+    fn peak_power_is_min_of_cap_and_demand() {
+        let p = titan();
+        // π_flop + π_mem ≈ 186 > Δπ = 164, so peak is π_1 + Δπ = 287.
+        assert!((p.peak_power() - 287.0).abs() < 1e-9);
+        let free = p.uncapped();
+        assert!((free.peak_power() - (123.0 + 122.208 + 63.813)).abs() < 0.01);
+    }
+
+    #[test]
+    fn const_power_fraction_matches_paper_quantity() {
+        let p = titan();
+        assert!((p.const_power_fraction() - 123.0 / 287.0).abs() < 1e-12);
+        assert_eq!(p.uncapped().const_power_fraction(), 0.0);
+    }
+
+    #[test]
+    fn throttled_halves_cap_only() {
+        let p = titan().throttled(2.0);
+        assert_eq!(p.cap, PowerCap::Capped(82.0));
+        assert_eq!(p.const_power, 123.0);
+    }
+
+    #[test]
+    fn builder_reports_missing_fields() {
+        let err = MachineParams::builder().flops_per_sec(1e9).build().unwrap_err();
+        assert!(matches!(err, ModelError::MissingField { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_values() {
+        let err = MachineParams::builder()
+            .flops_per_sec(1e9)
+            .bytes_per_sec(1e9)
+            .energy_per_flop(-1.0)
+            .energy_per_byte(1e-12)
+            .const_power(1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::Negative { name: "energy_per_flop", .. }));
+    }
+
+    #[test]
+    fn energy_balance_handles_zero_flop_energy() {
+        let mut p = titan();
+        p.energy_per_flop = 0.0;
+        assert!(p.energy_balance().is_infinite());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = titan();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: MachineParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,177 @@
+//! Time/energy Pareto analysis across candidate building blocks.
+//!
+//! The paper frames platform choice as a time-vs-energy question ("which is
+//! 'correct'? … it depends"); this module makes the dependency explicit:
+//! evaluate a workload on every candidate, keep the Pareto-optimal set
+//! (no candidate both faster *and* cheaper exists), and expose the
+//! energy-delay product as a scalarization for single-number comparisons.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::EnergyRoofline;
+use crate::workload::Workload;
+
+/// One candidate's cost for a fixed workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Display name.
+    pub name: String,
+    /// Predicted time, seconds.
+    pub time: f64,
+    /// Predicted energy, Joules.
+    pub energy: f64,
+}
+
+impl Candidate {
+    /// Energy-delay product `E·T` (J·s).
+    pub fn edp(&self) -> f64 {
+        self.energy * self.time
+    }
+
+    /// Generalized `E·Tⁿ` (n = 2 weights delay harder).
+    pub fn ed_n(&self, n: f64) -> f64 {
+        self.energy * self.time.powf(n)
+    }
+
+    /// `true` when `self` is at least as good as `other` on both axes and
+    /// strictly better on one.
+    pub fn dominates(&self, other: &Candidate) -> bool {
+        (self.time <= other.time && self.energy <= other.energy)
+            && (self.time < other.time || self.energy < other.energy)
+    }
+}
+
+/// Evaluates `workload` on every named model.
+pub fn evaluate<'a, I>(models: I, workload: &Workload) -> Vec<Candidate>
+where
+    I: IntoIterator<Item = (&'a str, &'a EnergyRoofline)>,
+{
+    models
+        .into_iter()
+        .map(|(name, m)| Candidate {
+            name: name.to_string(),
+            time: m.time(workload),
+            energy: m.energy(workload),
+        })
+        .collect()
+}
+
+/// Returns the Pareto-optimal subset (minimizing both time and energy),
+/// sorted by increasing time. Duplicate points are kept once.
+pub fn pareto_frontier(candidates: &[Candidate]) -> Vec<Candidate> {
+    let mut sorted: Vec<&Candidate> = candidates.iter().collect();
+    sorted.sort_by(|a, b| {
+        (a.time, a.energy)
+            .partial_cmp(&(b.time, b.energy))
+            .expect("finite costs")
+    });
+    let mut frontier: Vec<Candidate> = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    for c in sorted {
+        if c.energy < best_energy {
+            // Skip exact duplicates of the previous frontier point.
+            if frontier.last().is_none_or(|l| l.time != c.time || l.energy != c.energy) {
+                frontier.push(c.clone());
+            }
+            best_energy = c.energy;
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cap::PowerCap;
+    use crate::params::MachineParams;
+
+    fn cand(name: &str, t: f64, e: f64) -> Candidate {
+        Candidate { name: name.to_string(), time: t, energy: e }
+    }
+
+    #[test]
+    fn dominated_points_removed() {
+        let cands = vec![
+            cand("fast+cheap", 1.0, 1.0),
+            cand("slow+expensive", 2.0, 2.0),
+            cand("fast+expensive", 1.0, 3.0),
+        ];
+        let f = pareto_frontier(&cands);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].name, "fast+cheap");
+    }
+
+    #[test]
+    fn tradeoff_curve_retained_in_time_order() {
+        let cands = vec![
+            cand("a", 3.0, 1.0),
+            cand("b", 1.0, 3.0),
+            cand("c", 2.0, 2.0),
+            cand("d", 2.5, 2.5), // dominated by c
+        ];
+        let f = pareto_frontier(&cands);
+        let names: Vec<&str> = f.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn dominance_relation() {
+        assert!(cand("x", 1.0, 1.0).dominates(&cand("y", 2.0, 1.0)));
+        assert!(cand("x", 1.0, 1.0).dominates(&cand("y", 1.0, 2.0)));
+        assert!(!cand("x", 1.0, 1.0).dominates(&cand("y", 1.0, 1.0)));
+        assert!(!cand("x", 1.0, 3.0).dominates(&cand("y", 3.0, 1.0)));
+    }
+
+    #[test]
+    fn edp_scalarizations() {
+        let c = cand("x", 2.0, 5.0);
+        assert_eq!(c.edp(), 10.0);
+        assert_eq!(c.ed_n(2.0), 20.0);
+        assert_eq!(c.ed_n(0.0), 5.0); // pure energy
+    }
+
+    #[test]
+    fn duplicates_kept_once() {
+        let cands = vec![cand("a", 1.0, 1.0), cand("a2", 1.0, 1.0)];
+        assert_eq!(pareto_frontier(&cands).len(), 1);
+    }
+
+    #[test]
+    fn evaluate_then_filter_titan_vs_arndale() {
+        // For a bandwidth-bound workload both systems are Pareto-optimal
+        // (Titan faster, Arndale cheaper); for a compute-bound one the
+        // Titan dominates outright (Fig. 1's story).
+        let titan = EnergyRoofline::new(
+            MachineParams::builder()
+                .flops_per_sec(4.02e12)
+                .bytes_per_sec(239e9)
+                .energy_per_flop(30.4e-12)
+                .energy_per_byte(267e-12)
+                .const_power(123.0)
+                .cap(PowerCap::Capped(164.0))
+                .build()
+                .unwrap(),
+        );
+        let arndale = EnergyRoofline::new(
+            MachineParams::builder()
+                .flops_per_sec(33e9)
+                .bytes_per_sec(8.39e9)
+                .energy_per_flop(84.2e-12)
+                .energy_per_byte(518e-12)
+                .const_power(1.28)
+                .cap(PowerCap::Capped(4.83))
+                .build()
+                .unwrap(),
+        );
+        let models = [("Titan", &titan), ("Arndale", &arndale)];
+
+        let spmv = Workload::from_intensity(1e12, 0.25);
+        let f = pareto_frontier(&evaluate(models, &spmv));
+        assert_eq!(f.len(), 2, "{f:?}");
+
+        let dense = Workload::from_intensity(1e12, 128.0);
+        let f = pareto_frontier(&evaluate(models, &dense));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].name, "Titan");
+    }
+}

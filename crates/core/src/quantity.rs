@@ -1,0 +1,221 @@
+//! Opt-in typed physical quantities.
+//!
+//! The model's core API uses bare `f64` in SI units for ergonomics; this
+//! module provides light newtype wrappers with dimensional arithmetic for
+//! call sites that want the compiler to check the units algebra the paper's
+//! derivations rely on (`E/T = P`, `ε/τ = π`, `W·τ = T`, …).
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! quantity {
+    ($(#[$doc:meta])* $name:ident, $unit:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The raw value in base SI units.
+            pub fn value(&self) -> f64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&crate::units::format_si(self.0, $unit))
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A duration in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// An energy in Joules.
+    Joules,
+    "J"
+);
+quantity!(
+    /// A power in Watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// An operation count (flops, comparisons, …).
+    Ops,
+    "op"
+);
+quantity!(
+    /// A byte count.
+    Bytes,
+    "B"
+);
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+/// An operation rate (op/s).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct OpsPerSec(pub f64);
+
+impl Div<Seconds> for Ops {
+    type Output = OpsPerSec;
+    fn div(self, rhs: Seconds) -> OpsPerSec {
+        OpsPerSec(self.0 / rhs.0)
+    }
+}
+
+impl Div<OpsPerSec> for Ops {
+    type Output = Seconds;
+    fn div(self, rhs: OpsPerSec) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+/// Typed view of a model prediction: time, energy, and power together,
+/// with the `P = E/T` identity guaranteed at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Execution time.
+    pub time: Seconds,
+    /// Total energy.
+    pub energy: Joules,
+}
+
+impl Prediction {
+    /// Average power `E/T`.
+    pub fn power(&self) -> Watts {
+        self.energy / self.time
+    }
+}
+
+impl crate::model::EnergyRoofline {
+    /// Typed prediction for a workload (time + energy; power derived).
+    pub fn predict(&self, w: &crate::workload::Workload) -> Prediction {
+        Prediction { time: Seconds(self.time(w)), energy: Joules(self.energy(w)) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MachineParams, PowerCap, Workload};
+
+    #[test]
+    fn arithmetic_has_correct_dimensions() {
+        let e = Joules(100.0);
+        let t = Seconds(4.0);
+        let p: Watts = e / t;
+        assert_eq!(p, Watts(25.0));
+        let back: Joules = p * t;
+        assert_eq!(back, e);
+        let also: Joules = t * p;
+        assert_eq!(also, e);
+    }
+
+    #[test]
+    fn rates_round_trip() {
+        let w = Ops(1e12);
+        let t = Seconds(0.5);
+        let rate = w / t;
+        assert_eq!(rate.0, 2e12);
+        let t_back = w / rate;
+        assert!((t_back.0 - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scalar_scaling_and_ratios() {
+        let a = Watts(10.0) * 3.0;
+        assert_eq!(a, Watts(30.0));
+        assert_eq!(a / Watts(10.0), 3.0);
+        assert_eq!((a / 2.0).0, 15.0);
+        assert_eq!(Watts(5.0) + Watts(2.0), Watts(7.0));
+        assert_eq!(Watts(5.0) - Watts(2.0), Watts(3.0));
+    }
+
+    #[test]
+    fn display_uses_si_prefixes() {
+        assert_eq!(Joules(1.5e-9).to_string(), "1.5 nJ");
+        assert_eq!(Watts(287.0).to_string(), "287 W");
+        assert_eq!(Seconds(0.004).to_string(), "4 ms");
+    }
+
+    #[test]
+    fn typed_prediction_is_self_consistent() {
+        let m = crate::EnergyRoofline::new(
+            MachineParams::builder()
+                .flops_per_sec(1e12)
+                .bytes_per_sec(1e11)
+                .energy_per_flop(50e-12)
+                .energy_per_byte(400e-12)
+                .const_power(50.0)
+                .cap(PowerCap::Capped(80.0))
+                .build()
+                .unwrap(),
+        );
+        let w = Workload::from_intensity(1e12, 2.0);
+        let pred = m.predict(&w);
+        assert_eq!(pred.time.value(), m.time(&w));
+        assert_eq!(pred.energy.value(), m.energy(&w));
+        assert!((pred.power().value() - m.avg_power(&w)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,176 @@
+//! SI unit scaling and human-readable formatting.
+//!
+//! The whole workspace stores quantities as `f64` in base SI units (seconds,
+//! Joules, Watts, bytes, flops). This module centralizes the scale factors
+//! and the pretty-printers used by reports and examples, so that "30.4 pJ"
+//! and "4.02 Tflop/s" render consistently everywhere.
+
+/// 10^3.
+pub const KILO: f64 = 1e3;
+/// 10^6.
+pub const MEGA: f64 = 1e6;
+/// 10^9.
+pub const GIGA: f64 = 1e9;
+/// 10^12.
+pub const TERA: f64 = 1e12;
+/// 10^-3.
+pub const MILLI: f64 = 1e-3;
+/// 10^-6.
+pub const MICRO: f64 = 1e-6;
+/// 10^-9.
+pub const NANO: f64 = 1e-9;
+/// 10^-12.
+pub const PICO: f64 = 1e-12;
+
+/// Binary kibibyte (1024 bytes).
+pub const KIB: usize = 1024;
+/// Binary mebibyte.
+pub const MIB: usize = 1024 * KIB;
+/// Binary gibibyte.
+pub const GIB: usize = 1024 * MIB;
+
+/// Formats `value` (in base units) with an SI prefix and the given unit
+/// suffix, using three significant digits: `format_si(30.4e-12, "J/flop")`
+/// renders as `"30.4 pJ/flop"`.
+///
+/// Values of exactly zero render as `"0 <unit>"`; non-finite values render
+/// via their `Display` impl.
+pub fn format_si(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    const PREFIXES: [(f64, &str); 9] = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ];
+    let mag = value.abs();
+    for &(scale, prefix) in &PREFIXES {
+        if mag >= scale {
+            return format!("{} {}{}", round_sig(value / scale, 3), prefix, unit);
+        }
+    }
+    // Below pico: render in pico anyway.
+    format!("{} p{}", round_sig(value / 1e-12, 3), unit)
+}
+
+/// Rounds `x` to `sig` significant digits and renders without trailing zeros.
+pub fn round_sig(x: f64, sig: u32) -> String {
+    if x == 0.0 || !x.is_finite() {
+        return format!("{x}");
+    }
+    let digits = x.abs().log10().floor() as i32;
+    let decimals = (sig as i32 - 1 - digits).max(0) as usize;
+    let s = format!("{:.*}", decimals, x);
+    // Trim trailing zeros after a decimal point (keep "1.5", turn "1.50"->"1.5").
+    if s.contains('.') {
+        let t = s.trim_end_matches('0').trim_end_matches('.');
+        t.to_string()
+    } else {
+        s
+    }
+}
+
+/// Formats an intensity (flop:Byte) the way the paper's axes do: powers of two
+/// at or below 1 render as fractions (`1/8`), others as plain numbers.
+pub fn format_intensity(i: f64) -> String {
+    if i > 0.0 && i < 1.0 {
+        let inv = 1.0 / i;
+        if (inv - inv.round()).abs() < 1e-9 {
+            return format!("1/{}", inv.round() as u64);
+        }
+    }
+    round_sig(i, 3)
+}
+
+/// Parses a value with an optional SI prefix, e.g. `"4.02 Tflop/s"` with
+/// `unit = "flop/s"` yields `4.02e12`. Returns `None` on malformed input.
+pub fn parse_si(text: &str, unit: &str) -> Option<f64> {
+    let text = text.trim();
+    let rest = text.strip_suffix(unit)?.trim_end();
+    let (num_part, prefix) = match rest.chars().last() {
+        Some(c) if c.is_ascii_alphabetic() => (&rest[..rest.len() - 1], Some(c)),
+        _ => (rest, None),
+    };
+    let base: f64 = num_part.trim().parse().ok()?;
+    let scale = match prefix {
+        None => 1.0,
+        Some('T') => 1e12,
+        Some('G') => 1e9,
+        Some('M') => 1e6,
+        Some('k') => 1e3,
+        Some('m') => 1e-3,
+        Some('u') => 1e-6,
+        Some('n') => 1e-9,
+        Some('p') => 1e-12,
+        Some(_) => return None,
+    };
+    Some(base * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn si_prefixes_round_trip_magnitudes() {
+        assert_eq!(format_si(4.02e12, "flop/s"), "4.02 Tflop/s");
+        assert_eq!(format_si(239e9, "B/s"), "239 GB/s");
+        assert_eq!(format_si(30.4e-12, "J/flop"), "30.4 pJ/flop");
+        assert_eq!(format_si(5.11e-9, "J/acc"), "5.11 nJ/acc");
+        assert_eq!(format_si(123.0, "W"), "123 W");
+        assert_eq!(format_si(0.0, "W"), "0 W");
+    }
+
+    #[test]
+    fn format_si_negative_and_small() {
+        assert_eq!(format_si(-1.5e3, "J"), "-1.5 kJ");
+        // Sub-pico values clamp to pico rendering.
+        assert!(format_si(1e-15, "J").ends_with("pJ"));
+    }
+
+    #[test]
+    fn round_sig_trims_zeros() {
+        assert_eq!(round_sig(1.50, 3), "1.5");
+        assert_eq!(round_sig(16.0, 3), "16");
+        assert_eq!(round_sig(0.25, 3), "0.25");
+        assert_eq!(round_sig(671.4, 3), "671");
+    }
+
+    #[test]
+    fn intensity_fractions() {
+        assert_eq!(format_intensity(0.125), "1/8");
+        assert_eq!(format_intensity(0.25), "1/4");
+        assert_eq!(format_intensity(2.0), "2");
+        assert_eq!(format_intensity(0.3), "0.3");
+    }
+
+    #[test]
+    fn parse_si_round_trips() {
+        let v = parse_si("4.02 Tflop/s", "flop/s").unwrap();
+        assert!((v - 4.02e12).abs() / 4.02e12 < 1e-12);
+        assert_eq!(parse_si("267 pJ/B", "J/B"), Some(267e-12));
+        assert_eq!(parse_si("123 W", "W"), Some(123.0));
+        assert_eq!(parse_si("123W", "W"), Some(123.0));
+        assert_eq!(parse_si("bogus", "W"), None);
+        assert_eq!(parse_si("1 xW", "W"), None);
+    }
+
+    #[test]
+    fn parse_format_inverse() {
+        for &(v, unit) in &[(4.02e12, "flop/s"), (518e-12, "J/B"), (36.1, "W")] {
+            let s = format_si(v, unit);
+            let back = parse_si(&s, unit).unwrap();
+            assert!((back - v).abs() / v < 1e-2, "{s} -> {back} vs {v}");
+        }
+    }
+}

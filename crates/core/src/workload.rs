@@ -1,0 +1,159 @@
+//! Abstract algorithms: `(W, Q)` pairs and operational intensity.
+//!
+//! The model abstracts a computation by the number of arithmetic operations
+//! `W = W(n)` it performs and the volume of data `Q = Q(n; Z)` it transfers
+//! between slow and fast memory (paper §III). If flops are not the natural
+//! unit of work, `W` can stand for comparisons (sorting), traversed edges
+//! (graphs), etc. — the model is agnostic.
+
+use serde::{Deserialize, Serialize};
+
+/// An abstract algorithm execution: `W` flops of work and `Q` bytes of
+/// slow-memory traffic.
+///
+/// Counts are `f64` because the model treats them as continuous rates and
+/// because fitted workloads (e.g. "1.5 flops per byte on average") need not
+/// be integral.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Work: number of arithmetic operations (`W`).
+    pub flops: f64,
+    /// Communication: bytes moved between slow and fast memory (`Q`).
+    pub bytes: f64,
+}
+
+impl Workload {
+    /// Creates a workload from raw work and traffic counts.
+    ///
+    /// # Panics
+    /// Panics if either count is negative or non-finite, or if both are zero.
+    pub fn new(flops: f64, bytes: f64) -> Self {
+        assert!(
+            flops.is_finite() && flops >= 0.0,
+            "flops must be non-negative and finite, got {flops}"
+        );
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "bytes must be non-negative and finite, got {bytes}"
+        );
+        assert!(flops > 0.0 || bytes > 0.0, "workload must do *something*");
+        Self { flops, bytes }
+    }
+
+    /// Creates a workload with `flops` total work at operational intensity
+    /// `intensity` flop:Byte (`Q = W / I`).
+    ///
+    /// # Panics
+    /// Panics if `flops` or `intensity` is not strictly positive and finite.
+    pub fn from_intensity(flops: f64, intensity: f64) -> Self {
+        assert!(
+            intensity.is_finite() && intensity > 0.0,
+            "intensity must be positive and finite, got {intensity}"
+        );
+        assert!(flops.is_finite() && flops > 0.0, "flops must be positive");
+        Self { flops, bytes: flops / intensity }
+    }
+
+    /// Creates a pure-streaming workload: `bytes` of traffic and no flops
+    /// (the `I -> 0` limit used in the paper's §V-C worked example).
+    pub fn streaming(bytes: f64) -> Self {
+        Self::new(0.0, bytes)
+    }
+
+    /// Creates a pure-compute workload: `flops` of work and no memory traffic
+    /// (the `I -> ∞` limit).
+    pub fn compute_only(flops: f64) -> Self {
+        Self::new(flops, 0.0)
+    }
+
+    /// Operational intensity `I = W/Q` in flop:Byte.
+    ///
+    /// Returns `f64::INFINITY` for pure-compute workloads (`Q = 0`).
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.bytes
+        }
+    }
+
+    /// Scales both work and traffic by `factor` (e.g. larger problem size at
+    /// the same intensity).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0);
+        Self { flops: self.flops * factor, bytes: self.bytes * factor }
+    }
+}
+
+/// Reference intensities for well-known kernels, quoted in the paper (§I) from
+/// the roofline literature: useful anchors when interpreting model output.
+pub mod reference_kernels {
+    /// Large sparse matrix–vector multiply, single precision (lower end).
+    pub const SPMV_SINGLE_LO: f64 = 0.25;
+    /// Large sparse matrix–vector multiply, single precision (upper end).
+    pub const SPMV_SINGLE_HI: f64 = 0.5;
+    /// Large fast Fourier transform, single precision (lower end).
+    pub const FFT_SINGLE_LO: f64 = 2.0;
+    /// Large fast Fourier transform, single precision (upper end).
+    pub const FFT_SINGLE_HI: f64 = 4.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_is_w_over_q() {
+        let w = Workload::new(8.0, 2.0);
+        assert_eq!(w.intensity(), 4.0);
+    }
+
+    #[test]
+    fn from_intensity_inverts() {
+        let w = Workload::from_intensity(1e12, 0.25);
+        assert_eq!(w.flops, 1e12);
+        assert_eq!(w.bytes, 4e12);
+        assert!((w.intensity() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn streaming_has_zero_intensity_numerator() {
+        let w = Workload::streaming(1e9);
+        assert_eq!(w.flops, 0.0);
+        assert_eq!(w.intensity(), 0.0);
+    }
+
+    #[test]
+    fn compute_only_has_infinite_intensity() {
+        let w = Workload::compute_only(1e9);
+        assert!(w.intensity().is_infinite());
+    }
+
+    #[test]
+    fn scaling_preserves_intensity() {
+        let w = Workload::from_intensity(1e9, 2.0).scaled(7.5);
+        assert!((w.intensity() - 2.0).abs() < 1e-12);
+        assert_eq!(w.flops, 7.5e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must do")]
+    fn empty_workload_rejected() {
+        let _ = Workload::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_flops_rejected() {
+        let _ = Workload::new(-1.0, 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let w = Workload::from_intensity(1e12, 4.0);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+}

@@ -1,0 +1,215 @@
+//! Property-based tests of the energy-roofline model's invariants.
+
+use archline_core::{
+    power::sample_intensities, EnergyRoofline, MachineParams, PowerCap, Workload,
+};
+use proptest::prelude::*;
+
+/// Random but physically sensible machine parameters: rates spanning
+/// mobile-SoC to top-end-GPU scales, energies spanning pJ to nJ.
+fn arb_params() -> impl Strategy<Value = MachineParams> {
+    (
+        1e9..5e12f64,    // flops/s
+        1e8..5e11f64,    // bytes/s
+        1e-12..1e-9f64,  // J/flop
+        1e-12..1e-8f64,  // J/B
+        0.0..200.0f64,   // π_1
+        prop_oneof![
+            Just(PowerCap::Uncapped),
+            (0.5..300.0f64).prop_map(PowerCap::Capped)
+        ],
+    )
+        .prop_map(|(fps, bps, ef, em, p1, cap)| MachineParams {
+            time_per_flop: 1.0 / fps,
+            time_per_byte: 1.0 / bps,
+            energy_per_flop: ef,
+            energy_per_byte: em,
+            const_power: p1,
+            cap,
+        })
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (1e3..1e15f64, 1e-4..1e4f64).prop_map(|(w, i)| Workload::from_intensity(w, i))
+}
+
+proptest! {
+    #[test]
+    fn balances_are_ordered(p in arb_params()) {
+        let b = p.balances();
+        prop_assert!(b.lower <= b.time + 1e-12 * b.time);
+        prop_assert!(b.time <= b.upper || b.upper.is_infinite());
+        prop_assert!(b.lower >= 0.0);
+    }
+
+    #[test]
+    fn capped_time_at_least_uncapped(p in arb_params(), w in arb_workload()) {
+        let m = EnergyRoofline::new(p);
+        prop_assert!(m.time(&w) >= m.time_uncapped(&w) * (1.0 - 1e-12));
+    }
+
+    #[test]
+    fn time_and_energy_monotone_in_work(p in arb_params(), w in arb_workload(), extra in 1.01..100.0f64) {
+        let m = EnergyRoofline::new(p);
+        let bigger = Workload::new(w.flops * extra, w.bytes);
+        prop_assert!(m.time(&bigger) >= m.time(&w) * (1.0 - 1e-12));
+        prop_assert!(m.energy(&bigger) >= m.energy(&w) * (1.0 - 1e-12));
+    }
+
+    #[test]
+    fn time_and_energy_monotone_in_traffic(p in arb_params(), w in arb_workload(), extra in 1.01..100.0f64) {
+        let m = EnergyRoofline::new(p);
+        let bigger = Workload::new(w.flops, w.bytes * extra);
+        prop_assert!(m.time(&bigger) >= m.time(&w) * (1.0 - 1e-12));
+        prop_assert!(m.energy(&bigger) >= m.energy(&w) * (1.0 - 1e-12));
+    }
+
+    #[test]
+    fn time_and_energy_scale_linearly(p in arb_params(), w in arb_workload(), k in 0.01..100.0f64) {
+        let m = EnergyRoofline::new(p);
+        let scaled = w.scaled(k);
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+        prop_assert!(rel(m.time(&scaled), k * m.time(&w)) < 1e-9);
+        prop_assert!(rel(m.energy(&scaled), k * m.energy(&w)) < 1e-9);
+    }
+
+    #[test]
+    fn avg_power_within_physical_bounds(p in arb_params(), w in arb_workload()) {
+        let m = EnergyRoofline::new(p);
+        let pw = m.avg_power(&w);
+        let ceiling = p.const_power + p.cap.watts().min(p.flop_power() + p.mem_power());
+        prop_assert!(pw >= p.const_power * (1.0 - 1e-9), "below π_1: {pw}");
+        prop_assert!(pw <= ceiling * (1.0 + 1e-9), "above ceiling {ceiling}: {pw}");
+    }
+
+    #[test]
+    fn closed_form_power_matches_e_over_t(p in arb_params(), w in arb_workload()) {
+        let m = EnergyRoofline::new(p);
+        let direct = m.avg_power(&w);
+        let closed = m.avg_power_at(w.intensity());
+        prop_assert!((direct - closed).abs() / closed < 1e-9,
+            "E/T = {direct} vs eq.(7) = {closed} at I = {}", w.intensity());
+    }
+
+    #[test]
+    fn perf_and_efficiency_monotone_nondecreasing_in_intensity(p in arb_params()) {
+        let m = EnergyRoofline::new(p);
+        let mut prev_perf = 0.0f64;
+        let mut prev_eff = 0.0f64;
+        for i in sample_intensities(1e-4, 1e5, 120) {
+            let perf = m.perf_at(i);
+            let eff = m.energy_eff_at(i);
+            prop_assert!(perf >= prev_perf * (1.0 - 1e-12));
+            prop_assert!(eff >= prev_eff * (1.0 - 1e-12));
+            prev_perf = perf;
+            prev_eff = eff;
+        }
+    }
+
+    #[test]
+    fn perf_bounded_by_roofline(p in arb_params()) {
+        let m = EnergyRoofline::new(p);
+        for i in sample_intensities(1e-3, 1e4, 60) {
+            let perf = m.perf_at(i);
+            let roof = p.flops_per_sec().min(p.bytes_per_sec() * i);
+            prop_assert!(perf <= roof * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn throttling_never_speeds_up(p in arb_params(), w in arb_workload(), k in 1.0..32.0f64) {
+        if let PowerCap::Capped(_) = p.cap {
+            let full = EnergyRoofline::new(p);
+            let throttled = EnergyRoofline::new(p.throttled(k));
+            prop_assert!(throttled.time(&w) >= full.time(&w) * (1.0 - 1e-12));
+        }
+    }
+
+    #[test]
+    fn uncapping_never_slows_down(p in arb_params(), w in arb_workload()) {
+        let capped = EnergyRoofline::new(p);
+        let free = EnergyRoofline::new(p.uncapped());
+        prop_assert!(free.time(&w) <= capped.time(&w) * (1.0 + 1e-12));
+        prop_assert!(free.energy(&w) <= capped.energy(&w) * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn regime_boundaries_consistent_with_power(p in arb_params()) {
+        let m = EnergyRoofline::new(p);
+        let b = p.balances();
+        if let PowerCap::Capped(dp) = p.cap {
+            if b.lower > 1e-6 && b.upper.is_finite() && b.upper / b.lower > 1.0 + 1e-6 {
+                let mid = (b.lower * b.upper).sqrt();
+                let pw = m.avg_power_at(mid);
+                prop_assert!((pw - (p.const_power + dp)).abs() / (p.const_power + dp) < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip(p in arb_params()) {
+        let m = EnergyRoofline::new(p);
+        let json = serde_json::to_string(m.params()).unwrap();
+        let back: MachineParams = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(*m.params(), back);
+    }
+
+    #[test]
+    fn utilization_scaled_power_bounded_by_clean(p in arb_params(), depth in 0.0..0.9f64, w in arb_workload()) {
+        use archline_core::UtilizationScaledModel;
+        let clean = EnergyRoofline::new(p);
+        let scaled = UtilizationScaledModel::new(p, depth);
+        prop_assert!(scaled.avg_power(&w) <= clean.avg_power(&w) * (1.0 + 1e-12));
+        prop_assert!(scaled.avg_power(&w) >= p.const_power * (1.0 - 1e-12));
+        prop_assert_eq!(scaled.time(&w), clean.time(&w));
+        // Energy inherits the bound.
+        prop_assert!(scaled.energy(&w) <= clean.energy(&w) * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn utilizations_never_exceed_one(p in arb_params(), w in arb_workload()) {
+        use archline_core::UtilizationScaledModel;
+        let m = UtilizationScaledModel::new(p, 0.2);
+        let (uf, um) = m.utilizations(&w);
+        prop_assert!((0.0..=1.0).contains(&uf));
+        prop_assert!((0.0..=1.0).contains(&um));
+        // The bottleneck resource saturates when the cap does not bind.
+        if !p.cap.is_capped() {
+            prop_assert!(uf > 0.999 || um > 0.999);
+        }
+    }
+
+    #[test]
+    fn dvfs_nominal_identity_and_monotone_speed(p in arb_params(), f in 0.3..2.0f64) {
+        use archline_core::DvfsModel;
+        let dvfs = DvfsModel::conventional(p);
+        prop_assert_eq!(dvfs.at_frequency(1.0), p);
+        let scaled = dvfs.at_frequency(f);
+        // Compute rate scales exactly with f; energies scale monotonically.
+        prop_assert!((scaled.flops_per_sec() - p.flops_per_sec() * f).abs()
+            / (p.flops_per_sec() * f) < 1e-12);
+        if f > 1.0 {
+            prop_assert!(scaled.energy_per_flop >= p.energy_per_flop);
+        } else {
+            prop_assert!(scaled.energy_per_flop <= p.energy_per_flop);
+        }
+        prop_assert!(scaled.validate().is_ok());
+    }
+
+    #[test]
+    fn replication_preserves_intensity_behaviour(p in arb_params(), n in 1u32..64, log_i in -6f64..10f64) {
+        use archline_core::Replication;
+        let i = 2f64.powf(log_i);
+        let rep = Replication { unit: p, n };
+        let agg = EnergyRoofline::new(rep.aggregate());
+        let unit = EnergyRoofline::new(p);
+        // Aggregate performance at any intensity is exactly n× the unit's.
+        let ratio = agg.perf_at(i) / unit.perf_at(i);
+        prop_assert!((ratio - f64::from(n)).abs() / f64::from(n) < 1e-9,
+            "ratio {ratio} at n={n}");
+        // Energy per flop is identical (same silicon, same ops).
+        let rel = (agg.energy_per_flop_at(i) - unit.energy_per_flop_at(i)).abs()
+            / unit.energy_per_flop_at(i);
+        prop_assert!(rel < 1e-9);
+    }
+}

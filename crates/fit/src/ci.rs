@@ -1,0 +1,173 @@
+//! Bootstrap confidence intervals for the fitted model constants.
+//!
+//! The paper reports point estimates "with statistically significant"
+//! parameters; this module quantifies that: resample the measurement runs
+//! with replacement, refit the capped model, and report percentile
+//! intervals for each constant.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use archline_stats::quantile;
+
+use crate::measurement::MeasurementSet;
+use crate::pipeline::fit_platform;
+
+/// Percentile bootstrap interval for one constant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// `true` when `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        self.lo <= value && value <= self.hi
+    }
+
+    /// Relative half-width around the midpoint.
+    pub fn rel_half_width(&self) -> f64 {
+        (self.hi - self.lo) / (self.hi + self.lo)
+    }
+}
+
+/// Bootstrap intervals for the capped model's constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitCi {
+    /// `ε_flop`, J/flop.
+    pub energy_per_flop: Interval,
+    /// `ε_mem`, J/B.
+    pub energy_per_byte: Interval,
+    /// `π_1`, W.
+    pub const_power: Interval,
+    /// `Δπ`, W.
+    pub usable_power: Interval,
+    /// Resamples used.
+    pub resamples: usize,
+}
+
+/// Computes percentile-bootstrap intervals by refitting on `resamples`
+/// resampled measurement sets.
+///
+/// # Panics
+/// Panics if the set is too small to fit (< 4 usable runs), `resamples`
+/// is zero, or `confidence` is outside `(0, 1)`.
+pub fn fit_platform_ci(
+    set: &MeasurementSet,
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> FitCi {
+    assert!(resamples > 0, "need at least one resample");
+    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut eps_f = Vec::with_capacity(resamples);
+    let mut eps_m = Vec::with_capacity(resamples);
+    let mut pi1 = Vec::with_capacity(resamples);
+    let mut dpi = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut resampled = MeasurementSet::default();
+        for _ in 0..set.len() {
+            resampled.push(set.runs[rng.gen_range(0..set.len())]);
+        }
+        let report = fit_platform(&resampled);
+        eps_f.push(report.capped.energy_per_flop);
+        eps_m.push(report.capped.energy_per_byte);
+        pi1.push(report.capped.const_power);
+        dpi.push(report.capped.cap.watts());
+    }
+    let alpha = (1.0 - confidence) / 2.0;
+    let interval = |xs: &[f64]| Interval {
+        lo: quantile(xs, alpha),
+        hi: quantile(xs, 1.0 - alpha),
+    };
+    FitCi {
+        energy_per_flop: interval(&eps_f),
+        energy_per_byte: interval(&eps_m),
+        const_power: interval(&pi1),
+        usable_power: interval(&dpi),
+        resamples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::Run;
+    use archline_core::{EnergyRoofline, MachineParams, PowerCap, Workload};
+
+    fn truth() -> MachineParams {
+        MachineParams::builder()
+            .flops_per_sec(100e9)
+            .bytes_per_sec(20e9)
+            .energy_per_flop(50e-12)
+            .energy_per_byte(400e-12)
+            .const_power(10.0)
+            .cap(PowerCap::Capped(9.0))
+            .build()
+            .unwrap()
+    }
+
+    /// Noiseless synthetic runs plus a deterministic ±1 % power wobble so
+    /// the bootstrap has genuine variation to resample.
+    fn noisy_set() -> MeasurementSet {
+        let model = EnergyRoofline::new(truth());
+        let runs: Vec<Run> = (0..24)
+            .map(|k| {
+                let i = 2f64.powf(k as f64 * 12.0 / 23.0 - 3.0);
+                let w = Workload::from_intensity(3e10, i);
+                let wobble = 1.0 + 0.01 * ((k * 37 % 11) as f64 / 5.0 - 1.0);
+                Run {
+                    flops: w.flops,
+                    bytes: w.bytes,
+                    accesses: 0.0,
+                    time: model.time(&w),
+                    energy: model.energy(&w) * wobble,
+                }
+            })
+            .collect();
+        MeasurementSet::new(runs)
+    }
+
+    #[test]
+    fn intervals_bracket_ground_truth() {
+        let ci = fit_platform_ci(&noisy_set(), 12, 0.9, 42);
+        assert!(ci.const_power.contains(10.0), "{:?}", ci.const_power);
+        assert!(ci.usable_power.contains(9.0), "{:?}", ci.usable_power);
+        // Energy constants within a modestly widened interval (1 % noise).
+        assert!(
+            ci.energy_per_flop.lo < 55e-12 && ci.energy_per_flop.hi > 45e-12,
+            "{:?}",
+            ci.energy_per_flop
+        );
+        assert!(
+            ci.energy_per_byte.lo < 440e-12 && ci.energy_per_byte.hi > 360e-12,
+            "{:?}",
+            ci.energy_per_byte
+        );
+    }
+
+    #[test]
+    fn intervals_are_narrow_for_low_noise() {
+        let ci = fit_platform_ci(&noisy_set(), 12, 0.9, 7);
+        assert!(ci.const_power.rel_half_width() < 0.05, "{:?}", ci.const_power);
+        assert!(ci.usable_power.rel_half_width() < 0.10, "{:?}", ci.usable_power);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = fit_platform_ci(&noisy_set(), 6, 0.9, 1);
+        let b = fit_platform_ci(&noisy_set(), 6, 0.9, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn bad_confidence_rejected() {
+        let _ = fit_platform_ci(&noisy_set(), 2, 1.5, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Small dense linear algebra: row-major matrices and Gaussian elimination.
+
+// Index loops mirror the textbook algebra for symmetric matrix updates.
+#![allow(clippy::needless_range_loop)]
+
+/// Solves the square system `A x = b` by Gaussian elimination with partial
+/// pivoting. `a` is row-major `n × n`; both inputs are consumed.
+///
+/// Returns `None` when the system is singular (pivot below `1e-300`).
+pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix/vector size mismatch");
+    assert!(a.iter().all(|row| row.len() == n), "matrix must be square");
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .expect("non-empty");
+        if a[pivot_row][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        let pivot = a[col][col];
+        for row in col + 1..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                let above = a[col][k];
+                a[row][k] -= factor * above;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in row + 1..n {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+/// `Aᵀ A` for a row-major `m × n` design matrix (returns `n × n`).
+pub fn gram(design: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = design.first().map_or(0, Vec::len);
+    let mut g = vec![vec![0.0; n]; n];
+    for row in design {
+        assert_eq!(row.len(), n, "ragged design matrix");
+        for i in 0..n {
+            for j in i..n {
+                g[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..i {
+            g[i][j] = g[j][i];
+        }
+    }
+    g
+}
+
+/// `Aᵀ y` for a row-major design matrix.
+pub fn gram_rhs(design: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
+    assert_eq!(design.len(), y.len(), "row count mismatch");
+    let n = design.first().map_or(0, Vec::len);
+    let mut r = vec![0.0; n];
+    for (row, &yi) in design.iter().zip(y) {
+        for i in 0..n {
+            r[i] += row[i] * yi;
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_3x3() {
+        // x = 1, y = -2, z = 3.
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let b = vec![-3.0, 5.0, 2.0];
+        let x = solve(a, b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] + 2.0).abs() < 1e-12);
+        assert!((x[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(a, vec![2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_solve() {
+        let a = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]];
+        let x = solve(a, vec![4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(x, vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn gram_matches_manual() {
+        let design = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let g = gram(&design);
+        assert_eq!(g[0][0], 1.0 + 9.0 + 25.0);
+        assert_eq!(g[0][1], 2.0 + 12.0 + 30.0);
+        assert_eq!(g[1][0], g[0][1]);
+        assert_eq!(g[1][1], 4.0 + 16.0 + 36.0);
+        let r = gram_rhs(&design, &[1.0, 1.0, 1.0]);
+        assert_eq!(r, vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn badly_scaled_system_still_accurate() {
+        // Mixed scales like the fit's (J vs pJ) coefficients.
+        let a = vec![vec![1e12, 1.0], vec![1e12, 2.0]];
+        let x = solve(a, vec![3.0, 4.0]).unwrap();
+        assert!((x[0] - 2e-12).abs() < 1e-18);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+}

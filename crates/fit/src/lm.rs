@@ -1,0 +1,202 @@
+//! Levenberg–Marquardt nonlinear least squares with a numeric Jacobian.
+
+// Index loops mirror the textbook algebra for symmetric matrix updates.
+#![allow(clippy::needless_range_loop)]
+
+use crate::linalg::solve;
+
+/// Options for [`levenberg_marquardt`].
+#[derive(Debug, Clone, Copy)]
+pub struct LmOptions {
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// Converged when the relative RSS improvement falls below this.
+    pub rss_tol: f64,
+    /// Initial damping factor λ.
+    pub lambda0: f64,
+    /// Relative step for the forward-difference Jacobian.
+    pub fd_step: f64,
+}
+
+impl Default for LmOptions {
+    fn default() -> Self {
+        Self { max_iters: 200, rss_tol: 1e-12, lambda0: 1e-3, fd_step: 1e-6 }
+    }
+}
+
+/// Result of a Levenberg–Marquardt run.
+#[derive(Debug, Clone)]
+pub struct LmResult {
+    /// Fitted parameters.
+    pub x: Vec<f64>,
+    /// Final residual sum of squares.
+    pub rss: f64,
+    /// Outer iterations used.
+    pub iters: usize,
+    /// `true` when the RSS tolerance was reached.
+    pub converged: bool,
+}
+
+/// Minimizes `‖r(x)‖²` where `residuals(x)` returns the residual vector,
+/// starting from `x0`.
+///
+/// # Panics
+/// Panics if `x0` is empty or `residuals` returns an empty vector.
+pub fn levenberg_marquardt<F>(mut residuals: F, x0: &[f64], opts: LmOptions) -> LmResult
+where
+    F: FnMut(&[f64]) -> Vec<f64>,
+{
+    let n = x0.len();
+    assert!(n > 0, "need parameters");
+    let mut x = x0.to_vec();
+    let mut r = residuals(&x);
+    assert!(!r.is_empty(), "need residuals");
+    let mut rss: f64 = r.iter().map(|v| v * v).sum();
+    let mut lambda = opts.lambda0;
+    let mut iters = 0;
+    let mut converged = false;
+
+    while iters < opts.max_iters {
+        iters += 1;
+        // Numeric Jacobian (forward differences), column-major by parameter.
+        let m = r.len();
+        let mut jac = vec![vec![0.0; n]; m];
+        for j in 0..n {
+            let mut xp = x.clone();
+            let h = if xp[j] != 0.0 { opts.fd_step * xp[j].abs() } else { opts.fd_step };
+            xp[j] += h;
+            let rp = residuals(&xp);
+            for i in 0..m {
+                jac[i][j] = (rp[i] - r[i]) / h;
+            }
+        }
+        // Normal equations with damping: (JᵀJ + λ diag(JᵀJ)) δ = -Jᵀ r.
+        let mut jtj = vec![vec![0.0; n]; n];
+        let mut jtr = vec![0.0; n];
+        for i in 0..m {
+            for a in 0..n {
+                jtr[a] -= jac[i][a] * r[i];
+                for b in a..n {
+                    jtj[a][b] += jac[i][a] * jac[i][b];
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..a {
+                jtj[a][b] = jtj[b][a];
+            }
+        }
+
+        let mut improved = false;
+        for _ in 0..12 {
+            let mut damped = jtj.clone();
+            for (a, row) in damped.iter_mut().enumerate() {
+                row[a] += lambda * jtj[a][a].max(1e-300);
+            }
+            let Some(delta) = solve(damped, jtr.clone()) else {
+                lambda *= 10.0;
+                continue;
+            };
+            let xn: Vec<f64> = x.iter().zip(&delta).map(|(a, d)| a + d).collect();
+            let rn = residuals(&xn);
+            let rss_n: f64 = rn.iter().map(|v| v * v).sum();
+            if rss_n.is_finite() && rss_n < rss {
+                let rel = (rss - rss_n) / rss.max(1e-300);
+                x = xn;
+                r = rn;
+                rss = rss_n;
+                lambda = (lambda * 0.3).max(1e-12);
+                improved = true;
+                if rel < opts.rss_tol {
+                    converged = true;
+                }
+                break;
+            }
+            lambda *= 10.0;
+        }
+        if converged || !improved {
+            converged = converged || !improved && rss.is_finite();
+            break;
+        }
+    }
+
+    LmResult { x, rss, iters, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exponential_decay() {
+        // y = a·exp(-b t), a = 5, b = 0.7.
+        let ts: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = ts.iter().map(|t| 5.0 * (-0.7 * t).exp()).collect();
+        let res = levenberg_marquardt(
+            |p| {
+                ts.iter()
+                    .zip(&ys)
+                    .map(|(t, y)| p[0] * (-p[1] * t).exp() - y)
+                    .collect()
+            },
+            &[1.0, 0.1],
+            LmOptions::default(),
+        );
+        assert!((res.x[0] - 5.0).abs() < 1e-6, "{:?}", res.x);
+        assert!((res.x[1] - 0.7).abs() < 1e-6, "{:?}", res.x);
+        assert!(res.rss < 1e-12);
+    }
+
+    #[test]
+    fn fits_line_exactly() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let res = levenberg_marquardt(
+            |p| xs.iter().zip(&ys).map(|(x, y)| p[0] * x + p[1] - y).collect(),
+            &[0.0, 0.0],
+            LmOptions::default(),
+        );
+        assert!((res.x[0] - 2.0).abs() < 1e-8);
+        assert!((res.x[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn noisy_fit_is_least_squares() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 * x + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let res = levenberg_marquardt(
+            |p| xs.iter().zip(&ys).map(|(x, y)| p[0] * x - y).collect(),
+            &[1.0],
+            LmOptions::default(),
+        );
+        // OLS slope of y = 3x ± 1 alternating: very close to 3.
+        assert!((res.x[0] - 3.0).abs() < 1e-3, "{:?}", res.x);
+    }
+
+    #[test]
+    fn converges_flag_set_for_easy_problem() {
+        let res = levenberg_marquardt(
+            |p| vec![p[0] - 4.0],
+            &[0.0],
+            LmOptions::default(),
+        );
+        assert!(res.converged);
+        assert!((res.x[0] - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rosenbrock_as_residuals() {
+        // Rosenbrock = (10(y−x²))² + (1−x)² — classic LM test.
+        let res = levenberg_marquardt(
+            |p| vec![10.0 * (p[1] - p[0] * p[0]), 1.0 - p[0]],
+            &[-1.2, 1.0],
+            LmOptions { max_iters: 500, ..Default::default() },
+        );
+        assert!((res.x[0] - 1.0).abs() < 1e-6, "{:?}", res.x);
+        assert!((res.x[1] - 1.0).abs() < 1e-6, "{:?}", res.x);
+    }
+}

@@ -1,0 +1,159 @@
+//! Measured run tuples consumed by the fitting pipeline.
+
+use serde::{Deserialize, Serialize};
+
+/// One measured microbenchmark run: work, traffic, wall time, and energy.
+///
+/// For DRAM-intensity runs `flops` and `bytes` are both positive; for pure
+/// streaming runs (`ε_mem`, `ε_L1`, `ε_L2` estimation) `flops == 0`; for
+/// pointer-chase runs `accesses > 0` and `bytes` counts the lines touched.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Run {
+    /// Arithmetic operations performed.
+    pub flops: f64,
+    /// Bytes moved through the channel under test.
+    pub bytes: f64,
+    /// Random accesses performed (0 for streaming runs).
+    #[serde(default)]
+    pub accesses: f64,
+    /// Wall-clock time, seconds.
+    pub time: f64,
+    /// Measured total energy, Joules.
+    pub energy: f64,
+}
+
+impl Run {
+    /// Operational intensity `W/Q` (infinite for compute-only runs).
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.bytes
+        }
+    }
+
+    /// Measured average power, W.
+    pub fn avg_power(&self) -> f64 {
+        self.energy / self.time
+    }
+
+    /// Achieved flop rate, flop/s.
+    pub fn flops_per_sec(&self) -> f64 {
+        self.flops / self.time
+    }
+
+    /// Achieved bandwidth, B/s.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes / self.time
+    }
+
+    /// Achieved access rate, accesses/s.
+    pub fn accesses_per_sec(&self) -> f64 {
+        self.accesses / self.time
+    }
+
+    /// Basic sanity: positive time/energy, non-negative counts.
+    pub fn is_valid(&self) -> bool {
+        self.time > 0.0
+            && self.time.is_finite()
+            && self.energy > 0.0
+            && self.energy.is_finite()
+            && self.flops >= 0.0
+            && self.bytes >= 0.0
+            && self.accesses >= 0.0
+    }
+}
+
+/// A set of measured runs for one (platform, precision, channel).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementSet {
+    /// The runs.
+    pub runs: Vec<Run>,
+}
+
+impl MeasurementSet {
+    /// Creates a set, validating every run.
+    ///
+    /// # Panics
+    /// Panics if any run is invalid.
+    pub fn new(runs: Vec<Run>) -> Self {
+        assert!(runs.iter().all(Run::is_valid), "invalid run in measurement set");
+        Self { runs }
+    }
+
+    /// Appends a run.
+    ///
+    /// # Panics
+    /// Panics if the run is invalid.
+    pub fn push(&mut self, run: Run) {
+        assert!(run.is_valid(), "invalid run");
+        self.runs.push(run);
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// `true` when no runs have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Best sustained flop rate across runs, flop/s (0 when no run computes).
+    pub fn peak_flops_per_sec(&self) -> f64 {
+        self.runs.iter().map(Run::flops_per_sec).fold(0.0, f64::max)
+    }
+
+    /// Best sustained bandwidth across runs, B/s.
+    pub fn peak_bytes_per_sec(&self) -> f64 {
+        self.runs.iter().map(Run::bytes_per_sec).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_accessors() {
+        let r = Run { flops: 8e9, bytes: 2e9, accesses: 0.0, time: 0.5, energy: 10.0 };
+        assert_eq!(r.intensity(), 4.0);
+        assert_eq!(r.avg_power(), 20.0);
+        assert_eq!(r.flops_per_sec(), 16e9);
+        assert_eq!(r.bytes_per_sec(), 4e9);
+        assert!(r.is_valid());
+    }
+
+    #[test]
+    fn compute_only_run_has_infinite_intensity() {
+        let r = Run { flops: 1e9, bytes: 0.0, accesses: 0.0, time: 0.1, energy: 1.0 };
+        assert!(r.intensity().is_infinite());
+    }
+
+    #[test]
+    fn peaks_over_set() {
+        let set = MeasurementSet::new(vec![
+            Run { flops: 1e9, bytes: 4e9, accesses: 0.0, time: 1.0, energy: 5.0 },
+            Run { flops: 9e9, bytes: 1e9, accesses: 0.0, time: 1.0, energy: 5.0 },
+        ]);
+        assert_eq!(set.peak_flops_per_sec(), 9e9);
+        assert_eq!(set.peak_bytes_per_sec(), 4e9);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid run")]
+    fn invalid_run_rejected() {
+        let mut set = MeasurementSet::default();
+        set.push(Run { flops: 1.0, bytes: 1.0, accesses: 0.0, time: 0.0, energy: 1.0 });
+    }
+
+    #[test]
+    fn serde_round_trip_with_default_accesses() {
+        // Older payloads without `accesses` must deserialize to 0.
+        let json = r#"{"runs":[{"flops":1.0,"bytes":2.0,"time":0.5,"energy":3.0}]}"#;
+        let set: MeasurementSet = serde_json::from_str(json).unwrap();
+        assert_eq!(set.runs[0].accesses, 0.0);
+    }
+}

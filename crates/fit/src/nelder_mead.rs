@@ -1,0 +1,209 @@
+//! Nelder–Mead derivative-free simplex minimization.
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone, Copy)]
+pub struct NmOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Converged when the simplex's objective spread falls below this
+    /// (relative to the best value's magnitude + 1e-30).
+    pub f_tol: f64,
+    /// Initial simplex step, relative to each coordinate (absolute 1e-4
+    /// fallback for zero coordinates).
+    pub initial_step: f64,
+}
+
+impl Default for NmOptions {
+    fn default() -> Self {
+        Self { max_evals: 4000, f_tol: 1e-12, initial_step: 0.1 }
+    }
+}
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone)]
+pub struct NmResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective at the best point.
+    pub fx: f64,
+    /// Objective evaluations used.
+    pub evals: usize,
+    /// `true` when the f-spread tolerance was reached before the budget.
+    pub converged: bool,
+}
+
+/// Minimizes `f` starting from `x0` with the standard Nelder–Mead moves
+/// (reflect α=1, expand γ=2, contract ρ=0.5, shrink σ=0.5).
+///
+/// # Panics
+/// Panics if `x0` is empty.
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(mut f: F, x0: &[f64], opts: NmOptions) -> NmResult {
+    let n = x0.len();
+    assert!(n > 0, "need at least one dimension");
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Initial simplex: x0 plus a perturbation along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let fx0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), fx0));
+    for i in 0..n {
+        let mut xi = x0.to_vec();
+        let step = if xi[i] != 0.0 { opts.initial_step * xi[i].abs() } else { 1e-4 };
+        xi[i] += step;
+        let fxi = eval(&xi, &mut evals);
+        simplex.push((xi, fxi));
+    }
+
+    let mut converged = false;
+    while evals < opts.max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN after mapping"));
+        let best = simplex[0].1;
+        let worst = simplex[n].1;
+        // Converge only when both the objective spread AND the simplex
+        // extent are small — f-spread alone stalls on symmetric ties (two
+        // points equidistant from a 1-D minimum have identical f).
+        let f_small = (worst - best).abs() <= opts.f_tol * (best.abs() + 1e-30);
+        let x_small = (0..n).all(|d| {
+            let lo = simplex.iter().map(|(x, _)| x[d]).fold(f64::INFINITY, f64::min);
+            let hi = simplex.iter().map(|(x, _)| x[d]).fold(f64::NEG_INFINITY, f64::max);
+            (hi - lo).abs() <= 1e-9 * (simplex[0].0[d].abs() + 1e-30)
+        });
+        if f_small && x_small {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in &simplex[..n] {
+            for (c, v) in centroid.iter_mut().zip(x) {
+                *c += v / n as f64;
+            }
+        }
+        let xw = simplex[n].0.clone();
+        let second_worst = simplex[n - 1].1;
+
+        let blend = |a: f64, b: f64| -> Vec<f64> {
+            centroid.iter().zip(&xw).map(|(c, w)| a * c + b * w).collect()
+        };
+
+        // Reflection.
+        let xr = blend(2.0, -1.0);
+        let fr = eval(&xr, &mut evals);
+        if fr < simplex[0].1 {
+            // Expansion.
+            let xe = blend(3.0, -2.0);
+            let fe = eval(&xe, &mut evals);
+            simplex[n] = if fe < fr { (xe, fe) } else { (xr, fr) };
+        } else if fr < second_worst {
+            simplex[n] = (xr, fr);
+        } else {
+            // Contraction (outside if reflected helped, inside otherwise).
+            let (xc, fc) = if fr < worst {
+                let xc = blend(1.5, -0.5);
+                let fc = eval(&xc, &mut evals);
+                (xc, fc)
+            } else {
+                let xc = blend(0.5, 0.5);
+                let fc = eval(&xc, &mut evals);
+                (xc, fc)
+            };
+            if fc < worst.min(fr) {
+                simplex[n] = (xc, fc);
+            } else {
+                // Shrink toward the best point.
+                let xb = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let x: Vec<f64> =
+                        entry.0.iter().zip(&xb).map(|(x, b)| 0.5 * (x + b)).collect();
+                    let fx = eval(&x, &mut evals);
+                    *entry = (x, fx);
+                }
+            }
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+    let (x, fx) = simplex.swap_remove(0);
+    NmResult { x, fx, evals, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let r = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            NmOptions::default(),
+        );
+        assert!(r.converged);
+        assert!((r.x[0] - 3.0).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.x[1] + 1.0).abs() < 1e-4, "{:?}", r.x);
+        assert!(r.fx < 1e-8);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let rosen = |x: &[f64]| {
+            100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2)
+        };
+        let r = nelder_mead(rosen, &[-1.2, 1.0], NmOptions { max_evals: 20_000, ..Default::default() });
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "{:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 1e-3, "{:?}", r.x);
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let r = nelder_mead(|x| (x[0] - 7.5).powi(2), &[100.0], NmOptions::default());
+        assert!((r.x[0] - 7.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nan_objective_treated_as_infinite() {
+        // A region returning NaN must be avoided, not crash the sort.
+        let r = nelder_mead(
+            |x| if x[0] < 0.0 { f64::NAN } else { (x[0] - 2.0).powi(2) },
+            &[5.0],
+            NmOptions::default(),
+        );
+        assert!((r.x[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let mut count = 0usize;
+        let _ = nelder_mead(
+            |x| {
+                count += 1;
+                x.iter().map(|v| v * v).sum()
+            },
+            &[1.0, 1.0, 1.0, 1.0],
+            NmOptions { max_evals: 100, ..Default::default() },
+        );
+        assert!(count <= 110, "used {count}"); // small slack for final moves
+    }
+
+    #[test]
+    fn four_dimensional_sum_of_squares() {
+        let r = nelder_mead(
+            |x| x.iter().enumerate().map(|(i, v)| (v - i as f64).powi(2)).sum(),
+            &[5.0, 5.0, 5.0, 5.0],
+            NmOptions { max_evals: 10_000, ..Default::default() },
+        );
+        for (i, v) in r.x.iter().enumerate() {
+            assert!((v - i as f64).abs() < 1e-3, "{:?}", r.x);
+        }
+    }
+}

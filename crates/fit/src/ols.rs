@@ -1,0 +1,130 @@
+//! Multivariate ordinary least squares (no intercept unless you add a
+//! column of ones), plus a non-negative variant.
+
+use crate::linalg::{gram, gram_rhs, solve};
+
+/// Solves `min ‖X β − y‖²` via the normal equations. `design` is row-major
+/// `m × n` with `m ≥ n`.
+///
+/// Returns `None` when the normal equations are singular.
+pub fn ols(design: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(design.len(), y.len(), "row count mismatch");
+    assert!(!design.is_empty(), "empty design");
+    solve(gram(design), gram_rhs(design, y))
+}
+
+/// Non-negative least squares by active-set clamping: solve OLS, clamp any
+/// negative coefficients to zero, re-solve over the remaining columns, and
+/// repeat. Adequate for the well-conditioned 3-parameter energy
+/// decompositions this crate needs (not a general-purpose NNLS).
+pub fn ols_nonneg(design: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    let n = design.first().map(Vec::len)?;
+    let mut active: Vec<bool> = vec![true; n];
+    for _ in 0..=n {
+        let cols: Vec<usize> = (0..n).filter(|&j| active[j]).collect();
+        if cols.is_empty() {
+            return Some(vec![0.0; n]);
+        }
+        let sub: Vec<Vec<f64>> =
+            design.iter().map(|row| cols.iter().map(|&j| row[j]).collect()).collect();
+        let beta = ols(&sub, y)?;
+        if beta.iter().all(|&b| b >= 0.0) {
+            let mut full = vec![0.0; n];
+            for (&j, &b) in cols.iter().zip(&beta) {
+                full[j] = b;
+            }
+            return Some(full);
+        }
+        // Deactivate the most negative coefficient and retry.
+        let worst = beta
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| cols[i])
+            .expect("non-empty");
+        active[worst] = false;
+    }
+    Some(vec![0.0; n])
+}
+
+/// Residual sum of squares of a fitted coefficient vector.
+pub fn rss(design: &[Vec<f64>], y: &[f64], beta: &[f64]) -> f64 {
+    design
+        .iter()
+        .zip(y)
+        .map(|(row, &yi)| {
+            let pred: f64 = row.iter().zip(beta).map(|(x, b)| x * b).sum();
+            (yi - pred) * (yi - pred)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_plane_recovered() {
+        // y = 2 a + 3 b.
+        let design: Vec<Vec<f64>> =
+            (0..10).map(|i| vec![i as f64, (i * i) as f64 * 0.1]).collect();
+        let y: Vec<f64> = design.iter().map(|r| 2.0 * r[0] + 3.0 * r[1]).collect();
+        let beta = ols(&design, &y).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-9);
+        assert!((beta[1] - 3.0).abs() < 1e-9);
+        assert!(rss(&design, &y, &beta) < 1e-12);
+    }
+
+    #[test]
+    fn noisy_fit_close() {
+        let design: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![1.0, i as f64, ((i * 7) % 13) as f64])
+            .collect();
+        let y: Vec<f64> = design
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 5.0 + 0.5 * r[1] + 2.0 * r[2] + if i % 2 == 0 { 0.01 } else { -0.01 })
+            .collect();
+        let beta = ols(&design, &y).unwrap();
+        assert!((beta[0] - 5.0).abs() < 0.01);
+        assert!((beta[1] - 0.5).abs() < 1e-3);
+        assert!((beta[2] - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn collinear_design_is_singular() {
+        let design: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        assert!(ols(&design, &y).is_none());
+    }
+
+    #[test]
+    fn nonneg_clamps_spurious_negative() {
+        // True model: y = 2 a + 0·b, but noise would drag b slightly
+        // negative in plain OLS; NNLS must return b = 0 exactly.
+        let design: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64, (i as f64).sin().abs() + 0.1])
+            .collect();
+        let y: Vec<f64> = design
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 2.0 * r[0] - 0.05 * r[1] + if i % 3 == 0 { 0.02 } else { 0.0 })
+            .collect();
+        let plain = ols(&design, &y).unwrap();
+        assert!(plain[1] < 0.0, "premise: OLS drags b negative, got {plain:?}");
+        let nn = ols_nonneg(&design, &y).unwrap();
+        assert_eq!(nn[1], 0.0);
+        assert!((nn[0] - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn nonneg_equals_ols_when_all_positive() {
+        let design: Vec<Vec<f64>> = (1..30).map(|i| vec![i as f64, 1.0]).collect();
+        let y: Vec<f64> = design.iter().map(|r| 3.0 * r[0] + 7.0).collect();
+        let a = ols(&design, &y).unwrap();
+        let b = ols_nonneg(&design, &y).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+}

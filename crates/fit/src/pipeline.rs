@@ -1,0 +1,340 @@
+//! The staged model-fitting pipeline (paper §V-A).
+//!
+//! 1. **Sustained peaks**: `τ_flop` and `τ_mem` are the reciprocals of the
+//!    best observed flop rate and bandwidth — the model's costs are
+//!    throughput-based and optimistic by construction.
+//! 2. **Linear energy decomposition**: `E = W·ε_flop + Q·ε_mem + π_1·T` is
+//!    linear in `(ε_flop, ε_mem, π_1)` given the *measured* time `T`, so a
+//!    non-negative least-squares solve yields initial energy constants.
+//! 3. **Cap seed**: runs whose measured time exceeds the uncapped bound
+//!    `max(W·τ_flop, Q·τ_mem)` reveal throttling; the median of
+//!    `(W·ε_flop + Q·ε_mem)/T` over those runs seeds `Δπ`.
+//! 4. **Joint nonlinear refinement**: Nelder–Mead over
+//!    `log(ε_flop, ε_mem, π_1, Δπ)` minimizing the summed squared relative
+//!    errors of predicted time and power. The uncapped (prior-model) fit
+//!    repeats stages 2 and 4 with the cap term removed.
+
+use serde::{Deserialize, Serialize};
+
+use archline_core::{EnergyRoofline, MachineParams, PowerCap, Workload};
+
+use crate::measurement::{MeasurementSet, Run};
+use crate::nelder_mead::{nelder_mead, NmOptions};
+use crate::ols::ols_nonneg;
+
+/// Goodness-of-fit diagnostics for one fitted model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitDiagnostics {
+    /// Root-mean-square relative error of predicted power.
+    pub power_rmse: f64,
+    /// Root-mean-square relative error of predicted time.
+    pub time_rmse: f64,
+    /// Worst absolute relative power error.
+    pub power_max: f64,
+}
+
+/// The result of fitting one platform's intensity-sweep measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitReport {
+    /// Parameters of this paper's capped model.
+    pub capped: MachineParams,
+    /// Parameters of the prior uncapped model, fit to the same data.
+    pub uncapped: MachineParams,
+    /// Diagnostics for the capped fit.
+    pub capped_diag: FitDiagnostics,
+    /// Diagnostics for the uncapped fit.
+    pub uncapped_diag: FitDiagnostics,
+    /// Best observed flop rate over the sweep ("sustained peak"), flop/s —
+    /// the parenthetical values of Table I, reported separately from the
+    /// fitted `1/τ_flop`.
+    pub observed_flops: f64,
+    /// Best observed bandwidth over the sweep, B/s.
+    pub observed_bw: f64,
+}
+
+/// Fits both models to a DRAM-intensity measurement sweep.
+///
+/// # Panics
+/// Panics if the set has fewer than 4 runs with both work and traffic, or
+/// no compute-heavy / traffic-heavy runs to pin the sustained peaks.
+pub fn fit_platform(set: &MeasurementSet) -> FitReport {
+    let runs: Vec<Run> =
+        set.runs.iter().copied().filter(|r| r.flops > 0.0 && r.bytes > 0.0).collect();
+    assert!(runs.len() >= 4, "need at least 4 intensity runs, got {}", runs.len());
+
+    // Stage 1: sustained peaks. The best flop rate is achieved by the most
+    // compute-bound run, the best bandwidth by the most memory-bound one.
+    let tau_flop = 1.0 / set.peak_flops_per_sec();
+    let tau_mem = 1.0 / set.peak_bytes_per_sec();
+    assert!(tau_flop.is_finite() && tau_flop > 0.0, "no compute-bound runs");
+    assert!(tau_mem.is_finite() && tau_mem > 0.0, "no bandwidth-bound runs");
+
+    // Stage 2: linear energy decomposition (shared seed for both models).
+    let design: Vec<Vec<f64>> = runs.iter().map(|r| vec![r.flops, r.bytes, r.time]).collect();
+    let target: Vec<f64> = runs.iter().map(|r| r.energy).collect();
+    let beta = ols_nonneg(&design, &target).expect("energy decomposition is well-posed");
+    let (mut eps_flop, mut eps_mem, mut pi1) = (beta[0], beta[1], beta[2]);
+    // Zero energies break the log-space refinement; nudge to tiny positives.
+    let floor = 1e-15;
+    eps_flop = eps_flop.max(floor);
+    eps_mem = eps_mem.max(floor);
+    pi1 = pi1.max(1e-6);
+
+    // Stage 3: cap seed from throttled runs.
+    let throttled: Vec<f64> = runs
+        .iter()
+        .filter(|r| r.time > 1.03 * (r.flops * tau_flop).max(r.bytes * tau_mem))
+        .map(|r| (r.flops * eps_flop + r.bytes * eps_mem) / r.time)
+        .collect();
+    let delta_pi0 = if throttled.is_empty() {
+        // No visible throttling: seed generously above peak demand.
+        2.0 * (eps_flop / tau_flop + eps_mem / tau_mem)
+    } else {
+        archline_stats::quantile(&throttled, 0.5)
+    };
+
+    // Stage 4: joint refinement — all parameters free, including the τs.
+    // This matters for the capped-vs-uncapped comparison: forced to explain
+    // a cap plateau it has no term for, the uncapped fit distorts its τ and
+    // ε estimates, shifting its errors at every intensity (the effect
+    // Fig. 4's K-S test picks up).
+    let capped =
+        refine(&runs, &[eps_flop, eps_mem, pi1, tau_flop, tau_mem, delta_pi0], true);
+    let uncapped = refine(&runs, &[eps_flop, eps_mem, pi1, tau_flop, tau_mem], false);
+
+    FitReport {
+        capped_diag: diagnostics(&capped, &runs),
+        uncapped_diag: diagnostics(&uncapped, &runs),
+        capped,
+        uncapped,
+        observed_flops: set.peak_flops_per_sec(),
+        observed_bw: set.peak_bytes_per_sec(),
+    }
+}
+
+/// Nelder–Mead refinement in log-parameter space.
+fn refine(runs: &[Run], seed: &[f64], capped: bool) -> MachineParams {
+    let build = |logs: &[f64]| -> MachineParams {
+        MachineParams {
+            time_per_flop: logs[3].exp(),
+            time_per_byte: logs[4].exp(),
+            energy_per_flop: logs[0].exp(),
+            energy_per_byte: logs[1].exp(),
+            const_power: logs[2].exp(),
+            cap: if capped { PowerCap::Capped(logs[5].exp()) } else { PowerCap::Uncapped },
+        }
+    };
+    let objective = |logs: &[f64]| -> f64 {
+        let params = build(logs);
+        if params.validate().is_err() {
+            return f64::INFINITY;
+        }
+        let model = EnergyRoofline::new(params);
+        runs.iter()
+            .map(|r| {
+                let w = Workload::new(r.flops, r.bytes);
+                let t_err = (model.time(&w) - r.time) / r.time;
+                let p_err = (model.avg_power(&w) - r.avg_power()) / r.avg_power();
+                t_err * t_err + p_err * p_err
+            })
+            .sum()
+    };
+    let x0: Vec<f64> = seed.iter().map(|v| v.ln()).collect();
+    let result =
+        nelder_mead(objective, &x0, NmOptions { max_evals: 12_000, ..Default::default() });
+    build(&result.x)
+}
+
+/// Relative-error diagnostics of a fitted model on its training runs.
+fn diagnostics(params: &MachineParams, runs: &[Run]) -> FitDiagnostics {
+    let model = EnergyRoofline::new(*params);
+    let mut p_sq = 0.0;
+    let mut t_sq = 0.0;
+    let mut p_max: f64 = 0.0;
+    for r in runs {
+        let w = Workload::new(r.flops, r.bytes);
+        let pe = (model.avg_power(&w) - r.avg_power()) / r.avg_power();
+        let te = (model.time(&w) - r.time) / r.time;
+        p_sq += pe * pe;
+        t_sq += te * te;
+        p_max = p_max.max(pe.abs());
+    }
+    let n = runs.len() as f64;
+    FitDiagnostics {
+        power_rmse: (p_sq / n).sqrt(),
+        time_rmse: (t_sq / n).sqrt(),
+        power_max: p_max,
+    }
+}
+
+/// Estimates a cache level's sustained bandwidth and inclusive energy per
+/// byte from pure streaming runs against that level, given the platform's
+/// fitted constant power: `ε_l = (E − π_1·T)/Q` averaged over runs.
+///
+/// Returns `(bytes_per_sec, energy_per_byte)`.
+///
+/// # Panics
+/// Panics if no run moves bytes.
+pub fn fit_level_cost(runs: &[Run], pi1: f64) -> (f64, f64) {
+    let streams: Vec<&Run> = runs.iter().filter(|r| r.bytes > 0.0).collect();
+    assert!(!streams.is_empty(), "no streaming runs for this level");
+    let bw = streams.iter().map(|r| r.bytes_per_sec()).fold(0.0, f64::max);
+    let eps: Vec<f64> =
+        streams.iter().map(|r| ((r.energy - pi1 * r.time) / r.bytes).max(0.0)).collect();
+    (bw, archline_stats::quantile(&eps, 0.5))
+}
+
+/// Estimates the random-access path's sustained rate and inclusive energy
+/// per access from pointer-chase runs: `ε_rand = (E − π_1·T)/R`.
+///
+/// Returns `(accesses_per_sec, energy_per_access)`.
+///
+/// # Panics
+/// Panics if no run performs accesses.
+pub fn fit_random_cost(runs: &[Run], pi1: f64) -> (f64, f64) {
+    let chases: Vec<&Run> = runs.iter().filter(|r| r.accesses > 0.0).collect();
+    assert!(!chases.is_empty(), "no pointer-chase runs");
+    let rate = chases.iter().map(|r| r.accesses_per_sec()).fold(0.0, f64::max);
+    let eps: Vec<f64> =
+        chases.iter().map(|r| ((r.energy - pi1 * r.time) / r.accesses).max(0.0)).collect();
+    (rate, archline_stats::quantile(&eps, 0.5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthesizes noiseless measurements from known ground truth.
+    fn synthetic_set(truth: &MachineParams, intensities: &[f64]) -> MeasurementSet {
+        let model = EnergyRoofline::new(*truth);
+        let runs = intensities
+            .iter()
+            .map(|&i| {
+                let w = Workload::from_intensity(1e10_f64.max(truth.flops_per_sec() * 0.3), i);
+                Run {
+                    flops: w.flops,
+                    bytes: w.bytes,
+                    accesses: 0.0,
+                    time: model.time(&w),
+                    energy: model.energy(&w),
+                }
+            })
+            .collect();
+        MeasurementSet::new(runs)
+    }
+
+    fn truth() -> MachineParams {
+        MachineParams::builder()
+            .flops_per_sec(100e9)
+            .bytes_per_sec(20e9)
+            .energy_per_flop(50e-12)
+            .energy_per_byte(400e-12)
+            .const_power(10.0)
+            .cap(PowerCap::Capped(9.0))
+            .build()
+            .unwrap()
+    }
+
+    fn grid() -> Vec<f64> {
+        (0..40).map(|k| 2f64.powf(k as f64 * 12.0 / 39.0 - 3.0)).collect()
+    }
+
+    #[test]
+    fn noiseless_fit_recovers_ground_truth() {
+        let set = synthetic_set(&truth(), &grid());
+        let report = fit_platform(&set);
+        let t = truth();
+        let rel = |a: f64, b: f64| (a - b).abs() / b;
+        assert!(rel(report.capped.energy_per_flop, t.energy_per_flop) < 0.05, "{:?}", report.capped);
+        assert!(rel(report.capped.energy_per_byte, t.energy_per_byte) < 0.05);
+        assert!(rel(report.capped.const_power, t.const_power) < 0.03);
+        assert!(rel(report.capped.cap.watts(), t.cap.watts()) < 0.05, "Δπ {}", report.capped.cap.watts());
+        assert!(report.capped_diag.power_rmse < 0.01);
+        assert!(report.capped_diag.time_rmse < 0.01);
+    }
+
+    #[test]
+    fn uncapped_fit_is_worse_when_cap_binds() {
+        let set = synthetic_set(&truth(), &grid());
+        let report = fit_platform(&set);
+        assert!(
+            report.uncapped_diag.power_rmse > 2.0 * report.capped_diag.power_rmse,
+            "capped {} vs uncapped {}",
+            report.capped_diag.power_rmse,
+            report.uncapped_diag.power_rmse
+        );
+    }
+
+    #[test]
+    fn fit_on_uncapped_truth_gives_equivalent_models() {
+        let mut t = truth();
+        t.cap = PowerCap::Capped(50.0); // never binds: π_f + π_m = 13 W
+        let set = synthetic_set(&t, &grid());
+        let report = fit_platform(&set);
+        // Both fits should describe the data equally well.
+        assert!(report.capped_diag.power_rmse < 0.01);
+        assert!(report.uncapped_diag.power_rmse < 0.01);
+        // And the fitted cap must not bind below peak demand.
+        let demand = report.capped.flop_power() + report.capped.mem_power();
+        assert!(report.capped.cap.watts() > 0.95 * demand);
+    }
+
+    #[test]
+    fn sustained_peaks_taken_from_best_runs() {
+        let set = synthetic_set(&truth(), &grid());
+        let report = fit_platform(&set);
+        assert!((report.observed_flops - 100e9).abs() / 100e9 < 0.01);
+        assert!((report.observed_bw - 20e9).abs() / 20e9 < 0.01);
+        // The refined τs stay near the observed peaks on clean data.
+        assert!((report.capped.flops_per_sec() - 100e9).abs() / 100e9 < 0.05);
+        assert!((report.capped.bytes_per_sec() - 20e9).abs() / 20e9 < 0.05);
+    }
+
+    #[test]
+    fn level_cost_recovered_from_streams() {
+        // Pure L2-stream runs on a machine with π_1 = 10 W: E = Q·ε + π_1·T.
+        let pi1 = 10.0;
+        let eps = 14.3e-12;
+        let bw = 103e9;
+        let runs: Vec<Run> = (1..=5)
+            .map(|k| {
+                let t = 0.1 * k as f64;
+                let q = bw * t;
+                Run { flops: 0.0, bytes: q, accesses: 0.0, time: t, energy: q * eps + pi1 * t }
+            })
+            .collect();
+        let (fit_bw, fit_eps) = fit_level_cost(&runs, pi1);
+        assert!((fit_bw - bw).abs() / bw < 1e-9);
+        assert!((fit_eps - eps).abs() / eps < 1e-9);
+    }
+
+    #[test]
+    fn random_cost_recovered_from_chases() {
+        let pi1 = 10.0;
+        let eps = 54.6e-9;
+        let rate = 55.3e6;
+        let runs: Vec<Run> = (1..=5)
+            .map(|k| {
+                let t = 0.05 * k as f64;
+                let n = rate * t;
+                Run {
+                    flops: 0.0,
+                    bytes: n * 64.0,
+                    accesses: n,
+                    time: t,
+                    energy: n * eps + pi1 * t,
+                }
+            })
+            .collect();
+        let (fit_rate, fit_eps) = fit_random_cost(&runs, pi1);
+        assert!((fit_rate - rate).abs() / rate < 1e-9);
+        assert!((fit_eps - eps).abs() / eps < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn too_few_runs_rejected() {
+        let set = synthetic_set(&truth(), &[1.0, 2.0]);
+        let _ = fit_platform(&set);
+    }
+}

@@ -1,0 +1,99 @@
+//! Relative-error distributions of model predictions vs. measurements —
+//! the raw material of the paper's Fig. 4.
+
+use serde::{Deserialize, Serialize};
+
+use archline_core::{EnergyRoofline, MachineParams, Workload};
+
+use crate::measurement::Run;
+
+/// Which predicted quantity to compare against the measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// Average power, W.
+    Power,
+    /// Wall time, s.
+    Time,
+    /// Total energy, J.
+    Energy,
+}
+
+/// Computes `(model − measured)/measured` for each run, under `params`.
+///
+/// Runs that do no DRAM work and no flops (e.g. pointer-chase runs) are
+/// skipped — the two-level model does not describe them.
+pub fn relative_errors(params: &MachineParams, runs: &[Run], kind: ErrorKind) -> Vec<f64> {
+    let model = EnergyRoofline::new(*params);
+    runs.iter()
+        .filter(|r| r.flops > 0.0 || r.bytes > 0.0)
+        .map(|r| {
+            let w = Workload::new(r.flops, r.bytes);
+            let (predicted, measured) = match kind {
+                ErrorKind::Power => (model.avg_power(&w), r.avg_power()),
+                ErrorKind::Time => (model.time(&w), r.time),
+                ErrorKind::Energy => (model.energy(&w), r.energy),
+            };
+            (predicted - measured) / measured
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archline_core::PowerCap;
+
+    fn params() -> MachineParams {
+        MachineParams::builder()
+            .flops_per_sec(100e9)
+            .bytes_per_sec(20e9)
+            .energy_per_flop(50e-12)
+            .energy_per_byte(400e-12)
+            .const_power(10.0)
+            .cap(PowerCap::Capped(9.0))
+            .build()
+            .unwrap()
+    }
+
+    fn exact_run(intensity: f64, flops: f64) -> Run {
+        let model = EnergyRoofline::new(params());
+        let w = Workload::from_intensity(flops, intensity);
+        Run {
+            flops: w.flops,
+            bytes: w.bytes,
+            accesses: 0.0,
+            time: model.time(&w),
+            energy: model.energy(&w),
+        }
+    }
+
+    #[test]
+    fn exact_measurements_have_zero_error() {
+        let runs: Vec<Run> = [0.25, 1.0, 5.0, 64.0].map(|i| exact_run(i, 1e10)).to_vec();
+        for kind in [ErrorKind::Power, ErrorKind::Time, ErrorKind::Energy] {
+            for e in relative_errors(&params(), &runs, kind) {
+                assert!(e.abs() < 1e-12, "{kind:?}: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn uncapped_model_overpredicts_power_in_cap_region() {
+        // Measurements follow the capped machine; evaluating with the
+        // uncapped model must produce positive power errors near balance.
+        let runs = vec![exact_run(5.0, 1e10)]; // B_τ = 5 for these params
+        let errs = relative_errors(&params().uncapped(), &runs, ErrorKind::Power);
+        assert!(errs[0] > 0.1, "expected overprediction, got {}", errs[0]);
+        // And underpredicts time (it ignores throttling).
+        let terr = relative_errors(&params().uncapped(), &runs, ErrorKind::Time);
+        assert!(terr[0] < -0.1, "{}", terr[0]);
+    }
+
+    #[test]
+    fn pointer_chase_runs_are_skipped() {
+        let mut runs = vec![exact_run(1.0, 1e10)];
+        runs.push(Run { flops: 0.0, bytes: 0.0, accesses: 1e6, time: 0.01, energy: 0.2 });
+        let errs = relative_errors(&params(), &runs, ErrorKind::Power);
+        assert_eq!(errs.len(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Information-criterion model selection between the uncapped, capped, and
+//! utilization-scaled model families.
+//!
+//! The paper compares models by their error distributions (Fig. 4); AIC
+//! gives a complementary single-number view that penalizes the capped
+//! model's extra parameter (`Δπ`) and the scaled model's extra depth
+//! (`γ`) — a model should win only if the cap genuinely explains the data.
+
+use serde::{Deserialize, Serialize};
+
+/// One candidate model's score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelScore {
+    /// Label ("uncapped", "capped", "utilization-scaled", …).
+    pub name: String,
+    /// Number of fitted parameters.
+    pub k: usize,
+    /// Residual sum of squares of relative errors.
+    pub rss: f64,
+    /// Akaike information criterion (Gaussian-residual form,
+    /// `n·ln(RSS/n) + 2k`), with the small-sample correction term.
+    pub aic: f64,
+}
+
+/// Computes AICc from an RSS over `n` observations with `k` parameters.
+///
+/// # Panics
+/// Panics unless `n > k + 1` (the correction diverges otherwise) and
+/// `rss > 0`.
+pub fn aic_c(rss: f64, n: usize, k: usize) -> f64 {
+    assert!(rss > 0.0 && rss.is_finite(), "rss must be positive, got {rss}");
+    assert!(n > k + 1, "need n > k + 1 (n = {n}, k = {k})");
+    let nf = n as f64;
+    let kf = k as f64;
+    nf * (rss / nf).ln() + 2.0 * kf + 2.0 * kf * (kf + 1.0) / (nf - kf - 1.0)
+}
+
+/// Scores and ranks candidate models `(name, k, rss)` over `n`
+/// observations; the returned vector is sorted best (lowest AICc) first.
+pub fn select_model(candidates: &[(&str, usize, f64)], n: usize) -> Vec<ModelScore> {
+    let mut scores: Vec<ModelScore> = candidates
+        .iter()
+        .map(|&(name, k, rss)| ModelScore {
+            name: name.to_string(),
+            k,
+            rss,
+            aic: aic_c(rss, n, k),
+        })
+        .collect();
+    scores.sort_by(|a, b| a.aic.partial_cmp(&b.aic).expect("finite AIC"));
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn much_better_fit_wins_despite_extra_parameter() {
+        // Capped (k=6) with 100× lower RSS beats uncapped (k=5).
+        let ranked = select_model(&[("uncapped", 5, 1.0), ("capped", 6, 0.01)], 40);
+        assert_eq!(ranked[0].name, "capped");
+        assert!(ranked[0].aic < ranked[1].aic);
+    }
+
+    #[test]
+    fn equal_fit_prefers_fewer_parameters() {
+        let ranked = select_model(&[("uncapped", 5, 0.5), ("capped", 6, 0.5)], 40);
+        assert_eq!(ranked[0].name, "uncapped");
+    }
+
+    #[test]
+    fn marginal_improvement_does_not_justify_extra_parameter() {
+        // 1 % RSS improvement for one extra parameter on 30 points: the
+        // AICc penalty (≈ +2.3) exceeds the gain (30·ln(0.99) ≈ −0.3).
+        let ranked = select_model(&[("uncapped", 5, 1.0), ("capped", 6, 0.99)], 30);
+        assert_eq!(ranked[0].name, "uncapped");
+    }
+
+    #[test]
+    fn aicc_reference_value() {
+        // n=20, k=2, rss=5: 20·ln(0.25) + 4 + 12/17.
+        let v = aic_c(5.0, 20, 2);
+        let expected = 20.0 * (0.25f64).ln() + 4.0 + 2.0 * 2.0 * 3.0 / 17.0;
+        assert!((v - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_way_ranking_is_total() {
+        let ranked = select_model(
+            &[("uncapped", 5, 0.8), ("capped", 6, 0.1), ("scaled", 7, 0.098)],
+            50,
+        );
+        assert_eq!(ranked.len(), 3);
+        assert!(ranked[0].aic <= ranked[1].aic && ranked[1].aic <= ranked[2].aic);
+        // The capped model should win: scaled's 2 % RSS gain
+        // (50·ln(0.98) ≈ −1.0) cannot pay γ's AICc penalty (≈ +2.7).
+        assert_eq!(ranked[0].name, "capped");
+    }
+
+    #[test]
+    #[should_panic(expected = "n > k + 1")]
+    fn degenerate_sample_rejected() {
+        let _ = aic_c(1.0, 5, 5);
+    }
+}

@@ -1,0 +1,123 @@
+//! Measurement campaigns: repeated trials with summary statistics.
+//!
+//! The paper's sustained peaks come from best-of-many runs; a single
+//! simulated trial carries run-level noise. This module provides the
+//! repetition layer: run a workload `trials` times with distinct seeds and
+//! summarize time/power/energy (the microbenchmark suite's per-point
+//! measurements can then use means, bests, or full distributions).
+
+use serde::{Deserialize, Serialize};
+
+use archline_core::HierWorkload;
+
+use crate::engine::Engine;
+use crate::exec::{measure, RunResult};
+use crate::spec::PlatformSpec;
+
+/// Summary of repeated measurements of one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialStats {
+    /// The individual trials.
+    pub trials: Vec<RunResult>,
+    /// Shortest wall time observed (the "sustained peak" estimator).
+    pub best_time: f64,
+    /// Mean wall time.
+    pub mean_time: f64,
+    /// Mean measured average power.
+    pub mean_power: f64,
+    /// Relative standard deviation of power across trials.
+    pub power_rel_std: f64,
+    /// Mean measured energy.
+    pub mean_energy: f64,
+}
+
+/// Runs `workload` `trials` times with seeds `base_seed..base_seed+trials`
+/// and summarizes.
+///
+/// # Panics
+/// Panics if `trials == 0`.
+pub fn measure_repeated(
+    spec: &PlatformSpec,
+    workload: &HierWorkload,
+    engine: &Engine,
+    trials: usize,
+    base_seed: u64,
+) -> TrialStats {
+    assert!(trials > 0, "need at least one trial");
+    let runs: Vec<RunResult> = (0..trials)
+        .map(|k| measure(spec, workload, engine, base_seed.wrapping_add(k as u64)))
+        .collect();
+    let mut time = archline_stats::Summary::new();
+    let mut power = archline_stats::Summary::new();
+    let mut energy = archline_stats::Summary::new();
+    for r in &runs {
+        time.push(r.duration);
+        power.push(r.avg_power);
+        energy.push(r.energy);
+    }
+    TrialStats {
+        best_time: time.min(),
+        mean_time: time.mean(),
+        mean_power: power.mean(),
+        power_rel_std: if runs.len() > 1 { power.std_dev() / power.mean() } else { 0.0 },
+        mean_energy: energy.mean(),
+        trials: runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{LevelSpec, NoiseSpec, PipelineSpec, Quirk};
+    use archline_powermon::RailSplit;
+
+    fn noisy_toy() -> PlatformSpec {
+        PlatformSpec {
+            name: "toy".to_string(),
+            flop: PipelineSpec { rate: 100e9, energy_per_op: 50e-12 },
+            levels: vec![LevelSpec { name: "DRAM".into(), rate: 20e9, energy_per_byte: 400e-12 }],
+            random: None,
+            const_power: 10.0,
+            usable_power: 9.0,
+            noise: NoiseSpec { rate_sigma: 0.03, power_sigma: 0.03, tick_sigma: 0.004 },
+            quirk: Quirk::None,
+            rail_split: RailSplit::single("brick", 12.0),
+        }
+    }
+
+    #[test]
+    fn summaries_are_consistent_with_trials() {
+        let spec = noisy_toy();
+        let w = spec.intensity_workload(4.0, 0.05);
+        let stats = measure_repeated(&spec, &w, &Engine::default(), 8, 100);
+        assert_eq!(stats.trials.len(), 8);
+        let min = stats.trials.iter().map(|r| r.duration).fold(f64::INFINITY, f64::min);
+        assert_eq!(stats.best_time, min);
+        assert!(stats.best_time <= stats.mean_time);
+        assert!(stats.power_rel_std > 0.005, "noise visible: {}", stats.power_rel_std);
+        assert!(stats.power_rel_std < 0.15);
+        let mean_e: f64 =
+            stats.trials.iter().map(|r| r.energy).sum::<f64>() / stats.trials.len() as f64;
+        assert!((stats.mean_energy - mean_e).abs() / mean_e < 1e-12);
+    }
+
+    #[test]
+    fn best_time_improves_with_more_trials() {
+        let spec = noisy_toy();
+        let w = spec.intensity_workload(64.0, 0.05);
+        let few = measure_repeated(&spec, &w, &Engine::default(), 2, 7);
+        let many = measure_repeated(&spec, &w, &Engine::default(), 16, 7);
+        // Same seed base: the first 2 trials are shared, so best-of-16 can
+        // only be at least as good.
+        assert!(many.best_time <= few.best_time);
+    }
+
+    #[test]
+    fn single_trial_has_zero_spread() {
+        let spec = noisy_toy();
+        let w = spec.intensity_workload(1.0, 0.03);
+        let stats = measure_repeated(&spec, &w, &Engine::default(), 1, 3);
+        assert_eq!(stats.power_rel_std, 0.0);
+        assert_eq!(stats.best_time, stats.mean_time);
+    }
+}

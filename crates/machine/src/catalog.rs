@@ -1,0 +1,136 @@
+//! Bridge from the paper's Table I records to simulator specifications.
+
+use archline_platforms::{Platform, PlatformClass, Precision, ProcessorKind, QuirkHint};
+use archline_powermon::{PcieInterposer, RailSplit};
+
+use crate::spec::{LevelSpec, NoiseSpec, PipelineSpec, PlatformSpec, Quirk, RandomSpec};
+
+/// Builds the ground-truth simulator spec for a Table I platform at the
+/// given precision.
+///
+/// # Panics
+/// Panics if the platform lacks the requested precision (use
+/// [`Platform::supports_double`] to check first).
+pub fn spec_for(platform: &Platform, precision: Precision) -> PlatformSpec {
+    let flop = match precision {
+        Precision::Single => platform.flop_single,
+        Precision::Double => platform
+            .flop_double
+            .unwrap_or_else(|| panic!("{} lacks double precision", platform.name)),
+    };
+    let mut levels = Vec::with_capacity(3);
+    if let Some(l1) = platform.l1 {
+        levels.push(LevelSpec { name: "L1".into(), rate: l1.rate, energy_per_byte: l1.energy });
+    }
+    if let Some(l2) = platform.l2 {
+        levels.push(LevelSpec { name: "L2".into(), rate: l2.rate, energy_per_byte: l2.energy });
+    }
+    levels.push(LevelSpec {
+        name: "DRAM".into(),
+        rate: platform.mem.rate,
+        energy_per_byte: platform.mem.energy,
+    });
+
+    PlatformSpec {
+        name: platform.name.clone(),
+        flop: PipelineSpec { rate: flop.rate, energy_per_op: flop.energy },
+        levels,
+        random: platform.random.map(|r| RandomSpec {
+            rate: r.accesses_per_sec,
+            energy_per_access: r.energy_per_access,
+        }),
+        const_power: platform.const_power,
+        usable_power: platform.usable_power,
+        noise: NoiseSpec {
+            rate_sigma: platform.noise.rate_sigma,
+            power_sigma: platform.noise.power_sigma,
+            tick_sigma: 0.004,
+        },
+        quirk: match platform.quirk {
+            QuirkHint::None => Quirk::None,
+            QuirkHint::OsInterference => Quirk::OsInterference {
+                rate_hz: 12.0,
+                mean_secs: 0.005,
+                slowdown: 0.75,
+                extra_power_frac: 0.10,
+            },
+            QuirkHint::UtilizationScaling => Quirk::UtilizationScaling { depth: 0.13 },
+        },
+        rail_split: rails_for(platform),
+    }
+}
+
+/// The measurement topology the paper uses for each platform class
+/// (paper Fig. 3 / §IV-h).
+fn rails_for(platform: &Platform) -> RailSplit {
+    match (platform.class, platform.kind) {
+        // Discrete GPUs: PCIe interposer + 6/8-pin taps.
+        (PlatformClass::Coprocessor, ProcessorKind::Gpu) => PcieInterposer::high_end_gpu(),
+        // Xeon Phi: slot + 8-pin aux.
+        (PlatformClass::Coprocessor, _) => PcieInterposer::coprocessor(),
+        // Mobile dev boards: single DC brick at the wall.
+        (PlatformClass::Mobile, _) => PcieInterposer::dev_board(5.0),
+        // Desktop/mini systems (CPU or integrated GPU): CPU + motherboard.
+        _ => PcieInterposer::cpu_system(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archline_platforms::{all_platforms, platform, PlatformId};
+
+    #[test]
+    fn all_single_precision_specs_validate() {
+        for p in all_platforms() {
+            let spec = spec_for(&p, Precision::Single);
+            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert_eq!(spec.name, p.name);
+        }
+    }
+
+    #[test]
+    fn dram_level_uses_table_bandwidth() {
+        let titan = platform(PlatformId::GtxTitan);
+        let spec = spec_for(&titan, Precision::Single);
+        let dram = &spec.levels[spec.dram_level()];
+        assert!((dram.rate - 239e9).abs() < 1e6);
+        assert!((dram.energy_per_byte - 267e-12).abs() < 1e-15);
+        assert_eq!(spec.levels.len(), 3);
+    }
+
+    #[test]
+    fn rail_topologies_match_platform_classes() {
+        let titan = spec_for(&platform(PlatformId::GtxTitan), Precision::Single);
+        assert_eq!(titan.rail_split.rails().len(), 3); // slot + 8-pin + 6-pin
+        let phi = spec_for(&platform(PlatformId::XeonPhi), Precision::Single);
+        assert_eq!(phi.rail_split.rails().len(), 2);
+        let arndale = spec_for(&platform(PlatformId::ArndaleGpu), Precision::Single);
+        assert_eq!(arndale.rail_split.rails().len(), 1);
+        let desktop = spec_for(&platform(PlatformId::DesktopCpu), Precision::Single);
+        assert_eq!(desktop.rail_split.rails().len(), 2);
+    }
+
+    #[test]
+    fn quirks_carried_over() {
+        let nuc_gpu = spec_for(&platform(PlatformId::NucGpu), Precision::Single);
+        assert!(matches!(nuc_gpu.quirk, Quirk::OsInterference { .. }));
+        let arndale_gpu = spec_for(&platform(PlatformId::ArndaleGpu), Precision::Single);
+        assert!(matches!(arndale_gpu.quirk, Quirk::UtilizationScaling { .. }));
+        let titan = spec_for(&platform(PlatformId::GtxTitan), Precision::Single);
+        assert!(matches!(titan.quirk, Quirk::None));
+    }
+
+    #[test]
+    fn double_precision_where_supported() {
+        let phi = platform(PlatformId::XeonPhi);
+        let spec = spec_for(&phi, Precision::Double);
+        assert!((spec.flop.rate - 1010e9).abs() < 1e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks double")]
+    fn double_precision_panics_where_missing() {
+        let _ = spec_for(&platform(PlatformId::ArndaleGpu), Precision::Double);
+    }
+}

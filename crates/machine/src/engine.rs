@@ -1,0 +1,410 @@
+//! The continuous-time execution engine with a power-cap governor.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use archline_core::HierWorkload;
+
+use crate::noise::{gauss, RunNoise};
+use crate::spec::{PlatformSpec, Quirk};
+
+/// A piecewise-constant power profile over uniform ticks (the last tick may
+/// be partial).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepProfile {
+    dt: f64,
+    watts: Vec<f64>,
+    duration: f64,
+}
+
+impl StepProfile {
+    /// Instantaneous power at time `t` (clamped to the profile's span).
+    pub fn power_at(&self, t: f64) -> f64 {
+        if self.watts.is_empty() {
+            return 0.0;
+        }
+        let idx = ((t / self.dt) as usize).min(self.watts.len() - 1);
+        self.watts[idx]
+    }
+
+    /// Total span, seconds.
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    /// Exact integral of the profile, Joules.
+    pub fn energy(&self) -> f64 {
+        let mut e = 0.0;
+        let mut remaining = self.duration;
+        for &w in &self.watts {
+            let span = remaining.min(self.dt);
+            e += w * span;
+            remaining -= span;
+        }
+        e
+    }
+
+    /// Tick length, seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+}
+
+/// Result of simulating one workload execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Execution {
+    /// Wall-clock duration, seconds.
+    pub duration: f64,
+    /// The power the device actually drew over time.
+    pub profile: StepProfile,
+}
+
+impl Execution {
+    /// Ground-truth energy (exact integral of the drawn power), Joules.
+    pub fn true_energy(&self) -> f64 {
+        self.profile.energy()
+    }
+
+    /// Ground-truth average power, Watts.
+    pub fn true_avg_power(&self) -> f64 {
+        self.true_energy() / self.duration
+    }
+}
+
+/// The simulator: integrates workload progress in fixed ticks, enforcing the
+/// power budget `Δπ` by throttling all resources proportionally whenever the
+/// demanded operation power exceeds it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Engine {
+    /// Integration tick, seconds.
+    pub dt: f64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self { dt: 1e-4 }
+    }
+}
+
+/// Internal view of one throughput resource for a given workload.
+struct Resource {
+    /// Time to process this resource's share alone at full (noised) rate.
+    t_alone: f64,
+    /// Power at full utilization, W.
+    pi: f64,
+}
+
+impl Engine {
+    /// Simulates `workload` on `spec`, returning the wall time and power
+    /// profile. Deterministic for a given `rng` state.
+    ///
+    /// # Panics
+    /// Panics if the spec fails validation or the workload exercises a
+    /// random-access path the platform lacks.
+    pub fn run<R: Rng>(
+        &self,
+        spec: &PlatformSpec,
+        workload: &HierWorkload,
+        rng: &mut R,
+    ) -> Execution {
+        spec.validate().expect("invalid platform spec");
+        assert!(self.dt > 0.0 && self.dt.is_finite(), "bad tick");
+        let run_noise = RunNoise::draw(spec.noise.rate_sigma, spec.noise.power_sigma, rng);
+
+        let mut resources: Vec<Resource> = Vec::new();
+        if workload.flops > 0.0 {
+            let rate = spec.flop.rate * run_noise.rate_factor;
+            resources.push(Resource {
+                t_alone: workload.flops / rate,
+                pi: rate * spec.flop.energy_per_op,
+            });
+        }
+        for (level, &bytes) in spec.levels.iter().zip(&workload.bytes_per_level) {
+            if bytes > 0.0 {
+                let rate = level.rate * run_noise.rate_factor;
+                resources.push(Resource {
+                    t_alone: bytes / rate,
+                    pi: rate * level.energy_per_byte,
+                });
+            }
+        }
+        if workload.random_accesses > 0.0 {
+            let r = spec.random.expect("platform lacks a random-access path");
+            let rate = r.rate * run_noise.rate_factor;
+            resources.push(Resource {
+                t_alone: workload.random_accesses / rate,
+                pi: rate * r.energy_per_access,
+            });
+        }
+        assert!(!resources.is_empty(), "workload does nothing");
+
+        let t_max = resources.iter().map(|r| r.t_alone).fold(0.0, f64::max);
+        let s_base = 1.0 / t_max; // progress (fraction of workload) per second
+
+        let mut progress = 0.0f64;
+        let mut time = 0.0f64;
+        let mut watts = Vec::with_capacity((t_max / self.dt) as usize + 8);
+        // OS-interference episode bookkeeping.
+        let mut episode_left = 0.0f64;
+
+        while progress < 1.0 {
+            // Utilizations if running at the unthrottled progress speed.
+            let mut s = s_base;
+            let mut p_ops: f64 = resources
+                .iter()
+                .map(|r| (s * r.t_alone).min(1.0) * r.pi)
+                .sum();
+            // Governor: throttle proportionally to hold P_ops ≤ Δπ.
+            if p_ops > spec.usable_power {
+                let scale = spec.usable_power / p_ops;
+                s *= scale;
+                p_ops = spec.usable_power;
+            }
+            // Quirk: utilization-dependent energy-efficiency scaling —
+            // partially-utilized resources cost less per op, so observed
+            // power at a given throughput dips below the clean model.
+            if let Quirk::UtilizationScaling { depth } = spec.quirk {
+                p_ops = resources
+                    .iter()
+                    .map(|r| {
+                        let u = (s * r.t_alone).min(1.0);
+                        u * r.pi * (1.0 - depth * (1.0 - u))
+                    })
+                    .sum::<f64>()
+                    .min(spec.usable_power);
+            }
+            let mut extra_power = 0.0;
+            if let Quirk::OsInterference { rate_hz, mean_secs, slowdown, extra_power_frac } =
+                spec.quirk
+            {
+                if episode_left > 0.0 {
+                    episode_left -= self.dt;
+                    s *= slowdown;
+                    extra_power = extra_power_frac * spec.const_power;
+                } else if rng.gen_bool((rate_hz * self.dt).min(1.0)) {
+                    episode_left = mean_secs * (0.5 + rng.gen_range(0.0..1.0));
+                }
+            }
+
+            let tick_noise = 1.0 + spec.noise.tick_sigma * gauss(rng);
+            let power = spec.const_power
+                + p_ops * run_noise.power_factor * tick_noise.max(0.0)
+                + extra_power;
+            let step = s * self.dt;
+            if progress + step >= 1.0 {
+                // Final, partial tick.
+                let needed = (1.0 - progress) / s;
+                watts.push(power);
+                time += needed;
+                progress = 1.0;
+            } else {
+                watts.push(power);
+                progress += step;
+                time += self.dt;
+            }
+        }
+
+        Execution {
+            duration: time,
+            profile: StepProfile { dt: self.dt, watts, duration: time },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{LevelSpec, NoiseSpec, PipelineSpec, PlatformSpec, RandomSpec};
+    use archline_core::{EnergyRoofline, MachineParams, PowerCap, Workload};
+    use archline_powermon::RailSplit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> PlatformSpec {
+        PlatformSpec {
+            name: "toy".to_string(),
+            flop: PipelineSpec { rate: 100e9, energy_per_op: 50e-12 }, // π_f = 5 W
+            levels: vec![
+                LevelSpec { name: "L1".into(), rate: 400e9, energy_per_byte: 10e-12 },
+                LevelSpec { name: "DRAM".into(), rate: 20e9, energy_per_byte: 400e-12 }, // π_m = 8 W
+            ],
+            random: Some(RandomSpec { rate: 50e6, energy_per_access: 60e-9 }),
+            const_power: 10.0,
+            usable_power: 9.0,
+            noise: NoiseSpec::NONE,
+            quirk: Quirk::None,
+            rail_split: RailSplit::single("brick", 12.0),
+        }
+    }
+
+    fn model_of(spec: &PlatformSpec) -> EnergyRoofline {
+        let dram = spec.levels.last().unwrap();
+        EnergyRoofline::new(
+            MachineParams::builder()
+                .flops_per_sec(spec.flop.rate)
+                .bytes_per_sec(dram.rate)
+                .energy_per_flop(spec.flop.energy_per_op)
+                .energy_per_byte(dram.energy_per_byte)
+                .const_power(spec.const_power)
+                .cap(PowerCap::Capped(spec.usable_power))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn run_noiseless(intensity: f64) -> (Execution, Workload) {
+        let spec = toy();
+        let w = spec.intensity_workload(intensity, 0.3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let ex = Engine::default().run(&spec, &w, &mut rng);
+        (ex, Workload::new(w.flops, w.bytes_per_level[1]))
+    }
+
+    #[test]
+    fn emergent_time_matches_closed_form_across_regimes() {
+        // The engine enforces the cap mechanistically; the model's eq. (3)
+        // must predict its wall time on a noiseless platform.
+        let spec = toy();
+        let model = model_of(&spec);
+        for &i in &[0.125, 0.5, 1.0, 2.0, 4.0, 6.25, 16.0, 64.0, 512.0] {
+            let (ex, flat) = run_noiseless(i);
+            let predicted = model.time(&flat);
+            let rel = (ex.duration - predicted).abs() / predicted;
+            assert!(rel < 2e-3, "I={i}: sim {} vs model {}", ex.duration, predicted);
+        }
+    }
+
+    #[test]
+    fn emergent_power_matches_closed_form_across_regimes() {
+        let spec = toy();
+        let model = model_of(&spec);
+        for &i in &[0.125, 1.0, 6.25, 64.0, 512.0] {
+            let (ex, flat) = run_noiseless(i);
+            let predicted = model.avg_power(&flat);
+            let rel = (ex.true_avg_power() - predicted).abs() / predicted;
+            assert!(rel < 2e-3, "I={i}: sim {} vs model {}", ex.true_avg_power(), predicted);
+        }
+    }
+
+    #[test]
+    fn cap_bound_region_draws_exactly_budget() {
+        // Toy machine: B_τ = 100/20 = 5 flop:B; π_f + π_m = 13 > Δπ = 9, so
+        // at I = 5 the governor must hold operation power at Δπ.
+        let (ex, _) = run_noiseless(5.0);
+        let avg = ex.true_avg_power();
+        assert!((avg - 19.0).abs() < 0.05, "avg {avg}");
+        // And the cap stretches wall time beyond the uncapped bound.
+        let spec = toy();
+        let w = spec.intensity_workload(5.0, 0.3);
+        let uncapped = w.bytes_per_level[1] / spec.levels[1].rate;
+        assert!(ex.duration > uncapped * 1.3, "{} vs {}", ex.duration, uncapped);
+    }
+
+    #[test]
+    fn power_never_exceeds_budget_on_clean_platform() {
+        for &i in &[0.125, 1.0, 5.0, 64.0] {
+            let (ex, _) = run_noiseless(i);
+            let max = ex
+                .profile
+                .power_at(0.0)
+                .max(ex.profile.power_at(ex.duration * 0.5))
+                .max(ex.profile.power_at(ex.duration));
+            assert!(max <= 19.0 + 1e-9, "I={i}: {max}");
+        }
+    }
+
+    #[test]
+    fn profile_energy_consistent_with_duration() {
+        let (ex, _) = run_noiseless(2.0);
+        let e = ex.true_energy();
+        let p = ex.true_avg_power();
+        assert!((e - p * ex.duration).abs() / e < 1e-12);
+        assert_eq!(ex.profile.duration(), ex.duration);
+    }
+
+    #[test]
+    fn pointer_chase_runs_at_random_rate() {
+        let spec = toy();
+        let w = spec.random_workload(0.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ex = Engine::default().run(&spec, &w, &mut rng);
+        assert!((ex.duration - 0.2).abs() < 1e-3, "duration {}", ex.duration);
+        // Random path: π_rand = 50e6 × 60e-9 = 3 W, plus π_1 = 10.
+        assert!((ex.true_avg_power() - 13.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn rate_noise_perturbs_duration_reproducibly() {
+        let mut spec = toy();
+        spec.noise = NoiseSpec { rate_sigma: 0.05, power_sigma: 0.0, tick_sigma: 0.0 };
+        let w = spec.intensity_workload(64.0, 0.2);
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Engine::default().run(&spec, &w, &mut rng).duration
+        };
+        assert_eq!(run(5), run(5), "same seed must reproduce");
+        assert_ne!(run(5), run(6), "different seeds must differ");
+        // Spread is on the order of rate_sigma.
+        let durations: Vec<f64> = (0..64).map(run).collect();
+        let mean = durations.iter().sum::<f64>() / durations.len() as f64;
+        let sd = (durations.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
+            / durations.len() as f64)
+            .sqrt();
+        assert!(sd / mean > 0.02 && sd / mean < 0.10, "rel sd {}", sd / mean);
+    }
+
+    #[test]
+    fn os_interference_adds_variance_and_slows() {
+        let clean = run_noiseless(64.0).0;
+        let mut spec = toy();
+        spec.quirk = Quirk::OsInterference {
+            rate_hz: 30.0,
+            mean_secs: 0.01,
+            slowdown: 0.5,
+            extra_power_frac: 0.2,
+        };
+        let w = spec.intensity_workload(64.0, 0.3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let ex = Engine::default().run(&spec, &w, &mut rng);
+        assert!(ex.duration > clean.duration * 1.02, "{} vs {}", ex.duration, clean.duration);
+    }
+
+    #[test]
+    fn utilization_scaling_reduces_mid_intensity_power() {
+        // At the cap-bound balance point both pipelines run partially
+        // utilized; with the quirk the measured power dips below π_1 + Δπ.
+        let mut spec = toy();
+        spec.quirk = Quirk::UtilizationScaling { depth: 0.15 };
+        let w = spec.intensity_workload(5.0, 0.3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ex = Engine::default().run(&spec, &w, &mut rng);
+        let avg = ex.true_avg_power();
+        assert!(avg < 19.0 - 0.1, "expected dip below cap plateau, got {avg}");
+        assert!(avg > 17.0, "dip should be bounded (≤15 %), got {avg}");
+        // But at extreme intensities utilization → 1 and the quirk vanishes.
+        let w = spec.intensity_workload(512.0, 0.2);
+        let ex = Engine::default().run(&spec, &w, &mut rng);
+        let clean = run_noiseless(512.0).0;
+        assert!((ex.true_avg_power() - clean.true_avg_power()).abs() < 0.15);
+    }
+
+    #[test]
+    #[should_panic(expected = "does nothing")]
+    fn empty_workload_rejected() {
+        let spec = toy();
+        let w = HierWorkload { flops: 0.0, bytes_per_level: vec![0.0, 0.0], random_accesses: 0.0 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Engine::default().run(&spec, &w, &mut rng);
+    }
+
+    #[test]
+    fn step_profile_lookup() {
+        let p = StepProfile { dt: 0.1, watts: vec![1.0, 2.0, 3.0], duration: 0.25 };
+        assert_eq!(p.power_at(0.05), 1.0);
+        assert_eq!(p.power_at(0.15), 2.0);
+        assert_eq!(p.power_at(0.22), 3.0);
+        assert_eq!(p.power_at(5.0), 3.0); // clamped
+        // Energy respects the partial last tick: 0.1 + 0.2 + 3*0.05.
+        assert!((p.energy() - (0.1 + 0.2 + 0.15)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+//! # archline-machine — continuous-time platform simulator
+//!
+//! The paper benchmarks 12 physical platforms. We do not have them, so this
+//! crate provides their synthetic stand-in: a continuous-time simulator of
+//! an abstract machine with a compute pipeline, a memory hierarchy, a
+//! random-access path, **constant power**, and — crucially — a power-cap
+//! **governor** that throttles execution tick-by-tick whenever the demanded
+//! operation power would exceed the usable budget `Δπ`.
+//!
+//! The simulator is deliberately *mechanistic*: the cap is enforced by a
+//! feedback rule on utilizations, not by evaluating the paper's closed-form
+//! eq. (3). The closed form is therefore a *prediction* about the simulator's
+//! emergent behaviour, and the model-fitting pipeline recovers parameters
+//! from simulated measurements exactly as it would from hardware.
+//!
+//! Ground truth for the 12 paper platforms comes from
+//! [`archline_platforms`] via the [`catalog`] bridge; per-platform noise
+//! levels and quirks (OS interference on the NUC GPU, utilization-dependent
+//! energy scaling on the Arndale GPU) make the synthetic measurements
+//! realistically imperfect.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod catalog;
+pub mod engine;
+pub mod ensemble;
+pub mod exec;
+pub mod noise;
+pub mod spec;
+
+pub use campaign::{measure_repeated, TrialStats};
+pub use catalog::spec_for;
+pub use engine::{Engine, Execution, StepProfile};
+pub use ensemble::{measure_ensemble, EnsembleResult, EnsembleSpec};
+pub use exec::{measure, RunResult};
+pub use spec::{LevelSpec, PipelineSpec, PlatformSpec, Quirk, RandomSpec};

@@ -1,0 +1,239 @@
+//! Ground-truth platform specifications for the simulator.
+
+use serde::{Deserialize, Serialize};
+
+use archline_core::HierWorkload;
+use archline_powermon::RailSplit;
+
+/// A throughput resource: sustained rate and marginal energy per operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    /// Sustained operation rate (flop/s).
+    pub rate: f64,
+    /// Marginal energy per operation (J/flop).
+    pub energy_per_op: f64,
+}
+
+/// One memory-hierarchy level as a throughput resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelSpec {
+    /// Label ("L1", "L2", "DRAM", …).
+    pub name: String,
+    /// Sustained bandwidth, B/s.
+    pub rate: f64,
+    /// Inclusive marginal energy per byte, J/B.
+    pub energy_per_byte: f64,
+}
+
+/// Random (pointer-chase) access path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomSpec {
+    /// Sustained accesses per second.
+    pub rate: f64,
+    /// Inclusive marginal energy per access, J.
+    pub energy_per_access: f64,
+}
+
+/// Platform behaviours beyond the clean resource model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Quirk {
+    /// Clean platform.
+    None,
+    /// Episodic OS interference: short stall/spike episodes (NUC GPU,
+    /// paper footnote 5). `rate_hz` episodes per second on average, each
+    /// lasting `mean_secs`, slowing progress by `slowdown` and adding
+    /// `extra_power_frac` of constant power.
+    OsInterference {
+        /// Mean episodes per second.
+        rate_hz: f64,
+        /// Mean episode duration, seconds.
+        mean_secs: f64,
+        /// Progress multiplier during an episode (0–1).
+        slowdown: f64,
+        /// Additional power during an episode, as a fraction of `π_1`.
+        extra_power_frac: f64,
+    },
+    /// Energy-efficiency scaling with utilization (Arndale GPU, §V-C):
+    /// the effective energy per operation at utilization `u` is
+    /// `ε·(1 − depth·(1 − u))` — partially-utilized pipelines are cheaper
+    /// per op, pulling mid-intensity power below the cap plateau.
+    UtilizationScaling {
+        /// Maximum relative reduction at zero utilization (≤ 0.15 in the
+        /// paper's observations).
+        depth: f64,
+    },
+}
+
+/// Run-level noise magnitudes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseSpec {
+    /// Relative sigma of the per-run throughput factor.
+    pub rate_sigma: f64,
+    /// Relative sigma of the per-run power offset.
+    pub power_sigma: f64,
+    /// Relative sigma of white per-tick power noise.
+    pub tick_sigma: f64,
+}
+
+impl NoiseSpec {
+    /// A noiseless specification (useful for exactness tests).
+    pub const NONE: NoiseSpec = NoiseSpec { rate_sigma: 0.0, power_sigma: 0.0, tick_sigma: 0.0 };
+}
+
+/// Everything the simulator needs to know about one platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Display name.
+    pub name: String,
+    /// Compute pipeline (one per precision; build one spec per precision).
+    pub flop: PipelineSpec,
+    /// Memory levels, fastest first; the last is "slow memory" (DRAM).
+    pub levels: Vec<LevelSpec>,
+    /// Random-access path, if the platform supports the pointer-chase
+    /// microbenchmark.
+    pub random: Option<RandomSpec>,
+    /// Constant power `π_1`, W.
+    pub const_power: f64,
+    /// Usable power budget `Δπ` enforced by the governor, W.
+    pub usable_power: f64,
+    /// Noise magnitudes.
+    pub noise: NoiseSpec,
+    /// Platform quirk.
+    pub quirk: Quirk,
+    /// How the platform's draw is split across measured rails.
+    pub rail_split: RailSplit,
+}
+
+impl PlatformSpec {
+    /// Index of the DRAM (slow-memory) level.
+    pub fn dram_level(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Peak operation power `π_flop + π_mem` (flops + DRAM streaming), W.
+    pub fn peak_op_power(&self) -> f64 {
+        let dram = &self.levels[self.dram_level()];
+        self.flop.rate * self.flop.energy_per_op + dram.rate * dram.energy_per_byte
+    }
+
+    /// A DRAM-streaming workload at operational intensity `intensity`
+    /// (flop:Byte) sized so the *uncapped* execution takes roughly
+    /// `target_secs`.
+    pub fn intensity_workload(&self, intensity: f64, target_secs: f64) -> HierWorkload {
+        assert!(intensity > 0.0 && intensity.is_finite());
+        assert!(target_secs > 0.0);
+        let dram = &self.levels[self.dram_level()];
+        // Per flop: time τ_f on compute, (1/I)·τ_mem on memory.
+        let per_flop_time =
+            (1.0 / self.flop.rate).max(1.0 / (intensity * dram.rate));
+        let flops = target_secs / per_flop_time;
+        let mut bytes_per_level = vec![0.0; self.levels.len()];
+        bytes_per_level[self.dram_level()] = flops / intensity;
+        HierWorkload { flops, bytes_per_level, random_accesses: 0.0 }
+    }
+
+    /// A pure streaming workload against hierarchy level `level` sized for
+    /// roughly `target_secs` (uncapped).
+    pub fn level_stream_workload(&self, level: usize, target_secs: f64) -> HierWorkload {
+        let bytes = self.levels[level].rate * target_secs;
+        HierWorkload::single_level(0.0, level, bytes)
+    }
+
+    /// A pointer-chase workload sized for roughly `target_secs` (uncapped).
+    ///
+    /// # Panics
+    /// Panics if the platform has no random-access path.
+    pub fn random_workload(&self, target_secs: f64) -> HierWorkload {
+        let r = self.random.expect("platform lacks a random-access path");
+        HierWorkload::pointer_chase(r.rate * target_secs)
+    }
+
+    /// Validates positivity of rates/energies/powers.
+    pub fn validate(&self) -> Result<(), String> {
+        let pos = |name: &str, v: f64| {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{name} must be positive, got {v}"))
+            }
+        };
+        pos("flop.rate", self.flop.rate)?;
+        pos("flop.energy_per_op", self.flop.energy_per_op)?;
+        pos("usable_power", self.usable_power)?;
+        if !(self.const_power.is_finite() && self.const_power >= 0.0) {
+            return Err(format!("const_power must be non-negative, got {}", self.const_power));
+        }
+        if self.levels.is_empty() {
+            return Err("need at least one memory level".to_string());
+        }
+        for l in &self.levels {
+            pos("level.rate", l.rate)?;
+            pos("level.energy_per_byte", l.energy_per_byte)?;
+        }
+        if let Some(r) = self.random {
+            pos("random.rate", r.rate)?;
+            pos("random.energy_per_access", r.energy_per_access)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archline_powermon::RailSplit;
+
+    pub(crate) fn toy_spec() -> PlatformSpec {
+        PlatformSpec {
+            name: "toy".to_string(),
+            flop: PipelineSpec { rate: 100e9, energy_per_op: 50e-12 }, // π_f = 5 W
+            levels: vec![
+                LevelSpec { name: "L1".into(), rate: 400e9, energy_per_byte: 10e-12 },
+                LevelSpec { name: "DRAM".into(), rate: 20e9, energy_per_byte: 400e-12 }, // π_m = 8 W
+            ],
+            random: Some(RandomSpec { rate: 50e6, energy_per_access: 60e-9 }),
+            const_power: 10.0,
+            usable_power: 9.0, // < π_f + π_m = 13: cap binds at balance
+            noise: NoiseSpec::NONE,
+            quirk: Quirk::None,
+            rail_split: RailSplit::single("brick", 12.0),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_toy_and_rejects_broken() {
+        toy_spec().validate().unwrap();
+        let mut bad = toy_spec();
+        bad.flop.rate = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = toy_spec();
+        bad.levels.clear();
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn intensity_workload_sized_for_target() {
+        let spec = toy_spec();
+        // Memory-bound at I=1: per-flop time dominated by 1/(1*20e9).
+        let w = spec.intensity_workload(1.0, 0.5);
+        assert!((w.flops / (1.0 * 20e9) - 0.5).abs() < 1e-9);
+        assert!((w.flops / w.bytes_per_level[1] - 1.0).abs() < 1e-12);
+        // Compute-bound at I=100: flop-limited sizing.
+        let w = spec.intensity_workload(100.0, 0.5);
+        assert!((w.flops / 100e9 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level_and_random_workloads() {
+        let spec = toy_spec();
+        let l1 = spec.level_stream_workload(0, 0.25);
+        assert!((l1.bytes_per_level[0] - 100e9).abs() < 1.0);
+        let chase = spec.random_workload(2.0);
+        assert!((chase.random_accesses - 100e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn peak_op_power() {
+        assert!((toy_spec().peak_op_power() - 13.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the simulator: physical invariants that must
+//! hold for *any* plausible platform, workload, and seed.
+
+use archline_core::HierWorkload;
+use archline_machine::spec::{LevelSpec, NoiseSpec, PipelineSpec, PlatformSpec, Quirk};
+use archline_machine::{measure, Engine};
+use archline_powermon::RailSplit;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_spec() -> impl Strategy<Value = PlatformSpec> {
+    (
+        1e9..2e12f64,
+        1e-12..2e-10f64,
+        5e8..2e11f64,
+        1e-11..2e-9f64,
+        0.5..150.0f64,
+        0.2..1.5f64,
+        0.0..0.05f64,
+        0.0..0.05f64,
+    )
+        .prop_map(|(fr, ef, br, em, pi1, cap_frac, rate_sigma, power_sigma)| PlatformSpec {
+            name: "prop".to_string(),
+            flop: PipelineSpec { rate: fr, energy_per_op: ef },
+            levels: vec![
+                LevelSpec { name: "L1".into(), rate: br * 8.0, energy_per_byte: em * 0.05 },
+                LevelSpec { name: "DRAM".into(), rate: br, energy_per_byte: em },
+            ],
+            random: None,
+            const_power: pi1,
+            usable_power: ((fr * ef + br * em) * cap_frac).max(1e-3),
+            noise: NoiseSpec { rate_sigma, power_sigma, tick_sigma: 0.003 },
+            quirk: Quirk::None,
+            rail_split: RailSplit::single("brick", 12.0),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn measured_power_within_physical_envelope(spec in arb_spec(), log_i in -3f64..9f64, seed in 0u64..500) {
+        let w = spec.intensity_workload(2f64.powf(log_i), 0.05);
+        let r = measure(&spec, &w, &Engine::default(), seed);
+        // Power above constant floor minus measurement/noise slack, below
+        // budget plus run-level noise slack (3σ each side + ADC error).
+        let slack = 1.0 + 3.0 * (spec.noise.power_sigma + spec.noise.tick_sigma) + 0.02;
+        let budget = spec.const_power + spec.usable_power;
+        prop_assert!(r.avg_power <= budget * slack, "{} > {budget}", r.avg_power);
+        prop_assert!(r.avg_power >= spec.const_power * 0.9, "{} < π1", r.avg_power);
+        prop_assert!(r.energy > 0.0 && r.duration > 0.0);
+        prop_assert!((r.energy - r.avg_power * r.duration).abs() / r.energy < 1e-9);
+    }
+
+    #[test]
+    fn duration_bounded_below_by_resource_times(spec in arb_spec(), log_i in -3f64..9f64) {
+        let w = spec.intensity_workload(2f64.powf(log_i), 0.05);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ex = Engine::default().run(&spec, &w, &mut rng);
+        // Even with favorable rate noise, duration cannot drop far below
+        // the noiseless resource bound.
+        let t_flop = w.flops / spec.flop.rate;
+        let t_mem = w.bytes_per_level[1] / spec.levels[1].rate;
+        let bound = t_flop.max(t_mem);
+        let slack = 1.0 - 4.0 * spec.noise.rate_sigma - 0.01;
+        prop_assert!(ex.duration >= bound * slack.max(0.1),
+            "{} < {bound}", ex.duration);
+    }
+
+    #[test]
+    fn l1_resident_work_avoids_dram_power(spec in arb_spec()) {
+        // Pure-L1 streaming draws (much) less power than DRAM streaming
+        // whenever DRAM's π_m exceeds L1's π_l1.
+        let l1 = HierWorkload::single_level(0.0, 0, spec.levels[0].rate * 0.05);
+        let dram = HierWorkload::single_level(0.0, 1, spec.levels[1].rate * 0.05);
+        let rl1 = measure(&spec, &l1, &Engine::default(), 9);
+        let rdram = measure(&spec, &dram, &Engine::default(), 9);
+        let pi_l1 = spec.levels[0].rate * spec.levels[0].energy_per_byte;
+        let pi_m = spec.levels[1].rate * spec.levels[1].energy_per_byte;
+        if pi_m.min(spec.usable_power) > 1.3 * pi_l1.min(spec.usable_power)
+            && pi_m.min(spec.usable_power) > 0.1 * spec.const_power {
+            prop_assert!(rl1.avg_power < rdram.avg_power * 1.05,
+                "L1 {} vs DRAM {}", rl1.avg_power, rdram.avg_power);
+        }
+    }
+
+    #[test]
+    fn seeds_reproduce_and_differ(spec in arb_spec(), seed in 0u64..100) {
+        let w = spec.intensity_workload(4.0, 0.03);
+        let a = measure(&spec, &w, &Engine::default(), seed);
+        let b = measure(&spec, &w, &Engine::default(), seed);
+        prop_assert_eq!(&a, &b);
+    }
+}

@@ -1,0 +1,217 @@
+//! `mbench` — run the real microbenchmark kernels on this machine.
+//!
+//! The live counterpart of the paper's released microbenchmark suite
+//! (hpcgarage.org/archline): sustained flop/s across intensities, streaming
+//! bandwidth, pointer-chase access rates, a cache working-set sweep, and a
+//! blocked GEMM — time-first, with package energy from Linux RAPL where the
+//! host exposes it.
+//!
+//! ```text
+//! mbench <intensity|stream|chase|cache|gemm|all> [--json] [--quick]
+//! ```
+
+use archline_microbench::{
+    cache::detect_levels, cache_sweep, gemm_bench, intensity_sweep_f32, pointer_chase,
+    stream_triad, StreamKind,
+};
+use archline_powermon::RaplReader;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    threads: usize,
+    rapl: bool,
+    intensity: Option<Vec<IntensityRow>>,
+    stream: Option<Vec<StreamRow>>,
+    chase: Option<Vec<ChaseRow>>,
+    cache: Option<Vec<CacheRow>>,
+    gemm: Option<Vec<GemmRow>>,
+}
+
+#[derive(Serialize)]
+struct IntensityRow {
+    flop_per_byte: f64,
+    gflops: f64,
+    gbytes: f64,
+    joules_per_iter: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct StreamRow {
+    kernel: String,
+    gbytes: f64,
+}
+
+#[derive(Serialize)]
+struct ChaseRow {
+    table_bytes: usize,
+    chains: usize,
+    ns_per_access: f64,
+    macc_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct CacheRow {
+    bytes: usize,
+    gbytes: f64,
+}
+
+#[derive(Serialize)]
+struct GemmRow {
+    n: usize,
+    block: usize,
+    gflops: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let run = |name: &str| what == "all" || what == name;
+    if !["all", "intensity", "stream", "chase", "cache", "gemm"].contains(&what.as_str()) {
+        eprintln!("usage: mbench <intensity|stream|chase|cache|gemm|all> [--json] [--quick]");
+        std::process::exit(2);
+    }
+
+    let budget = if quick { 0.02 } else { 0.15 };
+    let rapl = RaplReader::probe();
+    let mut report = Report {
+        threads: archline_par::num_threads(),
+        rapl: rapl.is_some(),
+        intensity: None,
+        stream: None,
+        chase: None,
+        cache: None,
+        gemm: None,
+    };
+
+    if run("intensity") {
+        let len = if quick { 1 << 20 } else { 16 << 20 };
+        let chains = [1usize, 2, 4, 8, 16, 32, 64, 128];
+        let rows = intensity_sweep_f32(len, &chains, budget, rapl.as_ref())
+            .into_iter()
+            .map(|r| IntensityRow {
+                flop_per_byte: r.intensity(),
+                gflops: r.gflops(),
+                gbytes: r.gbytes(),
+                joules_per_iter: r.joules,
+            })
+            .collect();
+        report.intensity = Some(rows);
+    }
+    if run("stream") {
+        let len = if quick { 1 << 18 } else { 4 << 20 };
+        let rows = [StreamKind::Copy, StreamKind::Scale, StreamKind::Add, StreamKind::Triad]
+            .into_iter()
+            .map(|k| StreamRow {
+                kernel: format!("{k:?}"),
+                gbytes: stream_triad(k, len, budget).gbytes(),
+            })
+            .collect();
+        report.stream = Some(rows);
+    }
+    if run("chase") {
+        let mut rng = StdRng::seed_from_u64(42);
+        let steps = if quick { 1 << 18 } else { 1 << 22 };
+        let rows = [(1usize << 13, 1usize), (1 << 22, 1), (1 << 22, archline_par::num_threads())]
+            .into_iter()
+            .map(|(table_len, chains)| {
+                let r = pointer_chase(table_len, steps, chains, budget, &mut rng);
+                ChaseRow {
+                    table_bytes: table_len * 4,
+                    chains,
+                    ns_per_access: r.ns_per_access(),
+                    macc_per_sec: r.accesses_per_sec() / 1e6,
+                }
+            })
+            .collect();
+        report.chase = Some(rows);
+    }
+    if run("cache") {
+        let max = if quick { 4 << 20 } else { 64 << 20 };
+        let pts = cache_sweep(16 << 10, max, if quick { 1e7 } else { 1e8 });
+        report.cache = Some(
+            pts.iter()
+                .map(|p| CacheRow { bytes: p.bytes, gbytes: p.bytes_per_sec / 1e9 })
+                .collect(),
+        );
+        if !json {
+            let levels = detect_levels(&pts, 0.7);
+            eprintln!("detected {} hierarchy plateau(s):", levels.len());
+            for l in levels {
+                eprintln!(
+                    "  up to {:>9} B: {:.2} GB/s",
+                    l.capacity_bytes,
+                    l.bytes_per_sec / 1e9
+                );
+            }
+        }
+    }
+    if run("gemm") {
+        let sizes: &[usize] = if quick { &[128] } else { &[256, 512] };
+        let rows = sizes
+            .iter()
+            .map(|&n| {
+                let r = gemm_bench(n, 64, budget);
+                GemmRow { n, block: r.block, gflops: r.gflops() }
+            })
+            .collect();
+        report.gemm = Some(rows);
+    }
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serialize"));
+    } else {
+        print_human(&report);
+    }
+}
+
+fn print_human(r: &Report) {
+    println!("mbench: {} threads, RAPL {}", r.threads, if r.rapl { "on" } else { "off" });
+    if let Some(rows) = &r.intensity {
+        println!("\nintensity sweep (flop:Byte  Gflop/s  GB/s  J/iter):");
+        for row in rows {
+            println!(
+                "  {:>8.3} {:>9.2} {:>8.2}  {}",
+                row.flop_per_byte,
+                row.gflops,
+                row.gbytes,
+                row.joules_per_iter.map_or("-".to_string(), |j| format!("{j:.4}")),
+            );
+        }
+    }
+    if let Some(rows) = &r.stream {
+        println!("\nstream:");
+        for row in rows {
+            println!("  {:<6} {:>8.2} GB/s", row.kernel, row.gbytes);
+        }
+    }
+    if let Some(rows) = &r.chase {
+        println!("\npointer chase:");
+        for row in rows {
+            println!(
+                "  {:>10} B table, {:>2} chain(s): {:>7.1} ns/acc, {:>8.1} Macc/s",
+                row.table_bytes, row.chains, row.ns_per_access, row.macc_per_sec
+            );
+        }
+    }
+    if let Some(rows) = &r.cache {
+        println!("\ncache sweep:");
+        for row in rows {
+            println!("  {:>10} B: {:>7.2} GB/s", row.bytes, row.gbytes);
+        }
+    }
+    if let Some(rows) = &r.gemm {
+        println!("\nblocked sgemm:");
+        for row in rows {
+            println!("  n={:<5} block={:<3} {:>8.2} Gflop/s", row.n, row.block, row.gflops);
+        }
+    }
+}

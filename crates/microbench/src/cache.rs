@@ -1,0 +1,173 @@
+//! Working-set-size sweep: sustained bandwidth per memory-hierarchy level
+//! (paper §IV-g).
+//!
+//! On CPU systems the paper uses the streaming or chasing benchmark with a
+//! data set sized to fit in the target cache level. This sweep runs a
+//! scale-style kernel over geometrically growing working sets; bandwidth
+//! plateaus mark hierarchy levels.
+
+use serde::{Deserialize, Serialize};
+
+use crate::timer::time_kernel;
+
+/// Bandwidth at one working-set size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CachePoint {
+    /// Working-set size, bytes.
+    pub bytes: usize,
+    /// Sustained bandwidth, B/s.
+    pub bytes_per_sec: f64,
+}
+
+/// Sweeps working-set sizes from `min_bytes` to `max_bytes` (geometric
+/// steps of 2×), measuring single-thread scale bandwidth (`x ← s·x`) at
+/// each size. Sizes are rounded to whole f64 elements; each measurement
+/// repeats the kernel enough to touch at least `min_traffic` bytes.
+pub fn cache_sweep(min_bytes: usize, max_bytes: usize, min_traffic: f64) -> Vec<CachePoint> {
+    assert!(min_bytes >= 64 && min_bytes <= max_bytes, "bad size range");
+    let mut out = Vec::new();
+    let mut size = min_bytes;
+    while size <= max_bytes {
+        let len = size / std::mem::size_of::<f64>();
+        let mut data = vec![1.0f64; len.max(8)];
+        let reps = ((min_traffic / (2.0 * size as f64)).ceil() as usize).max(1);
+        let seconds = time_kernel(
+            || {
+                for _ in 0..reps {
+                    for x in data.iter_mut() {
+                        *x *= 0.999_999;
+                    }
+                }
+                std::hint::black_box(&data);
+            },
+            1,
+            0.0,
+        );
+        // Traffic: read + write per element per rep.
+        let traffic = 2.0 * (data.len() * std::mem::size_of::<f64>()) as f64 * reps as f64;
+        out.push(CachePoint { bytes: size, bytes_per_sec: traffic / seconds });
+        size *= 2;
+    }
+    out
+}
+
+/// One detected hierarchy level from a working-set sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectedLevel {
+    /// Largest working set still served at this level's bandwidth, bytes.
+    pub capacity_bytes: usize,
+    /// Plateau bandwidth, B/s.
+    pub bytes_per_sec: f64,
+}
+
+/// Detects hierarchy levels from a bandwidth-vs-size sweep: a level
+/// boundary is a drop of more than `drop_ratio` (e.g. 0.7 keeps drops to
+/// below 70 % of the running plateau) between consecutive sizes. Returns
+/// the levels fastest-first; the final entry is the memory plateau.
+///
+/// This automates what the paper does by construction ("we need only
+/// ensure the data set size is small enough to fit into the target cache
+/// level") for hosts whose cache sizes are unknown.
+pub fn detect_levels(points: &[CachePoint], drop_ratio: f64) -> Vec<DetectedLevel> {
+    assert!((0.0..1.0).contains(&drop_ratio), "drop ratio must be in (0,1)");
+    assert!(!points.is_empty(), "need sweep points");
+    let mut levels = Vec::new();
+    let mut plateau_bw = points[0].bytes_per_sec;
+    let mut plateau_cap = points[0].bytes;
+    let mut count = 1.0;
+    for p in &points[1..] {
+        if p.bytes_per_sec < drop_ratio * (plateau_bw / count) {
+            // Boundary: close the running plateau.
+            levels.push(DetectedLevel {
+                capacity_bytes: plateau_cap,
+                bytes_per_sec: plateau_bw / count,
+            });
+            plateau_bw = p.bytes_per_sec;
+            plateau_cap = p.bytes;
+            count = 1.0;
+        } else {
+            plateau_bw += p.bytes_per_sec;
+            plateau_cap = p.bytes;
+            count += 1.0;
+        }
+    }
+    levels.push(DetectedLevel { capacity_bytes: plateau_cap, bytes_per_sec: plateau_bw / count });
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_levels_on_synthetic_three_tier_curve() {
+        // L1-ish 100 GB/s up to 32 KiB, L2-ish 40 GB/s up to 1 MiB,
+        // DRAM-ish 10 GB/s beyond.
+        let mut pts = Vec::new();
+        let mut size = 4 << 10;
+        while size <= 64 << 20 {
+            let bw = if size <= 32 << 10 {
+                100e9
+            } else if size <= 1 << 20 {
+                40e9
+            } else {
+                10e9
+            };
+            pts.push(CachePoint { bytes: size, bytes_per_sec: bw });
+            size *= 2;
+        }
+        let levels = detect_levels(&pts, 0.7);
+        assert_eq!(levels.len(), 3, "{levels:?}");
+        assert_eq!(levels[0].capacity_bytes, 32 << 10);
+        assert!((levels[0].bytes_per_sec - 100e9).abs() < 1e-6);
+        assert_eq!(levels[1].capacity_bytes, 1 << 20);
+        assert!((levels[2].bytes_per_sec - 10e9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flat_curve_is_one_level() {
+        let pts: Vec<CachePoint> = (0..8)
+            .map(|k| CachePoint { bytes: 1 << (10 + k), bytes_per_sec: 50e9 })
+            .collect();
+        let levels = detect_levels(&pts, 0.7);
+        assert_eq!(levels.len(), 1);
+        assert!((levels[0].bytes_per_sec - 50e9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noise_within_tolerance_does_not_split_levels() {
+        let pts: Vec<CachePoint> = (0..8)
+            .map(|k| CachePoint {
+                bytes: 1 << (10 + k),
+                bytes_per_sec: 50e9 * (1.0 + 0.1 * ((k % 3) as f64 - 1.0)),
+            })
+            .collect();
+        assert_eq!(detect_levels(&pts, 0.7).len(), 1);
+    }
+
+    #[test]
+    fn sweep_covers_the_requested_range() {
+        let pts = cache_sweep(1 << 10, 1 << 14, 1e5);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0].bytes, 1 << 10);
+        assert_eq!(pts[4].bytes, 1 << 14);
+        assert!(pts.iter().all(|p| p.bytes_per_sec > 0.0));
+    }
+
+    #[test]
+    fn small_sets_are_not_slower_than_huge_sets() {
+        // Cache-resident bandwidth should be at least comparable to
+        // DRAM-sized bandwidth; allow generous slack for tiny test sizes
+        // and noisy CI machines.
+        let pts = cache_sweep(1 << 12, 1 << 22, 1e6);
+        let small = pts.first().unwrap().bytes_per_sec;
+        let large = pts.last().unwrap().bytes_per_sec;
+        assert!(small > large * 0.2, "small {small} vs large {large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad size range")]
+    fn reversed_range_rejected() {
+        let _ = cache_sweep(1 << 20, 1 << 10, 1.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! The random-access (pointer-chase) microbenchmark (paper §IV-f).
+//!
+//! Fetches data from random places in memory rather than streaming it, as a
+//! sparse-matrix or graph computation would. The buffer holds a random
+//! single-cycle permutation (built with Sattolo's algorithm), so a walk of
+//! `n` steps performs `n` serially-dependent loads the prefetcher cannot
+//! predict. The paper reports sustainable accesses per unit time.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::timer::time_kernel;
+
+/// Result of a pointer-chase measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaseResult {
+    /// Table entries (each one cache-line-spread index slot).
+    pub table_len: usize,
+    /// Chase steps per invocation.
+    pub steps: u64,
+    /// Independent parallel chains.
+    pub chains: usize,
+    /// Best per-invocation time, seconds.
+    pub seconds: f64,
+}
+
+impl ChaseResult {
+    /// Sustained accesses per second (all chains combined).
+    pub fn accesses_per_sec(&self) -> f64 {
+        (self.steps as f64 * self.chains as f64) / self.seconds
+    }
+
+    /// Nanoseconds per access within one chain (the serial latency).
+    pub fn ns_per_access(&self) -> f64 {
+        self.seconds * 1e9 / self.steps as f64
+    }
+}
+
+/// Builds a uniform random single-cycle permutation of `0..len` using
+/// Sattolo's algorithm: following `table[i]` from any start visits every
+/// slot exactly once before returning.
+pub fn sattolo_cycle<R: Rng>(len: usize, rng: &mut R) -> Vec<u32> {
+    assert!(len >= 2, "need at least two slots");
+    assert!(len <= u32::MAX as usize, "table too large for u32 indices");
+    let mut items: Vec<u32> = (0..len as u32).collect();
+    // Sattolo: like Fisher–Yates but j < i strictly, yielding one cycle.
+    for i in (1..len).rev() {
+        let j = rng.gen_range(0..i);
+        items.swap(i, j);
+    }
+    // items is a cyclic *sequence*; convert to successor table.
+    let mut table = vec![0u32; len];
+    for w in items.windows(2) {
+        table[w[0] as usize] = w[1];
+    }
+    table[items[len - 1] as usize] = items[0];
+    table
+}
+
+/// Walks the permutation `steps` times from slot 0, returning the final
+/// index (forcing the dependency chain to be computed).
+pub fn walk(table: &[u32], steps: u64) -> u32 {
+    let mut idx = 0u32;
+    for _ in 0..steps {
+        idx = table[idx as usize];
+    }
+    idx
+}
+
+/// Runs the pointer-chase benchmark: a `table_len`-slot Sattolo cycle
+/// walked `steps` times by each of `chains` threads concurrently (chains
+/// start at different offsets of the same cycle).
+pub fn pointer_chase<R: Rng>(
+    table_len: usize,
+    steps: u64,
+    chains: usize,
+    min_secs: f64,
+    rng: &mut R,
+) -> ChaseResult {
+    assert!(chains >= 1);
+    let table = sattolo_cycle(table_len, rng);
+    let starts: Vec<u32> = (0..chains)
+        .map(|c| ((c * table_len) / chains) as u32)
+        .collect();
+    let seconds = time_kernel(
+        || {
+            std::thread::scope(|scope| {
+                for &start in &starts {
+                    let table = &table;
+                    scope.spawn(move || {
+                        let mut idx = start;
+                        for _ in 0..steps {
+                            idx = table[idx as usize];
+                        }
+                        std::hint::black_box(idx);
+                    });
+                }
+            });
+        },
+        1,
+        min_secs,
+    );
+    ChaseResult { table_len, steps, chains, seconds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sattolo_is_a_single_cycle() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in [2usize, 3, 10, 1000] {
+            let table = sattolo_cycle(len, &mut rng);
+            // Permutation: all targets distinct.
+            let mut seen = vec![false; len];
+            for &t in &table {
+                assert!(!seen[t as usize], "len={len}: not a permutation");
+                seen[t as usize] = true;
+            }
+            // Single cycle: walking len steps returns to start, and no
+            // earlier.
+            let mut idx = 0u32;
+            for step in 1..=len {
+                idx = table[idx as usize];
+                if idx == 0 {
+                    assert_eq!(step, len, "cycle shorter than the table");
+                }
+            }
+            assert_eq!(idx, 0);
+        }
+    }
+
+    #[test]
+    fn sattolo_has_no_fixed_points() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let table = sattolo_cycle(500, &mut rng);
+        for (i, &t) in table.iter().enumerate() {
+            assert_ne!(i as u32, t, "fixed point at {i}");
+        }
+    }
+
+    #[test]
+    fn walk_returns_to_start_after_full_cycle() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let table = sattolo_cycle(257, &mut rng);
+        assert_eq!(walk(&table, 257), 0);
+        assert_ne!(walk(&table, 128), 0);
+    }
+
+    #[test]
+    fn chase_reports_positive_rates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = pointer_chase(1 << 12, 1 << 14, 2, 0.0, &mut rng);
+        assert!(r.seconds > 0.0);
+        assert!(r.accesses_per_sec() > 0.0);
+        assert!(r.ns_per_access() > 0.0);
+        assert_eq!(r.chains, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two slots")]
+    fn tiny_table_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = sattolo_cycle(1, &mut rng);
+    }
+}

@@ -1,0 +1,175 @@
+//! Application kernel: cache-blocked single-precision matrix multiply.
+//!
+//! The paper's evaluation is microbenchmark-only and names "more complex
+//! applications" as future work; this module provides the first rung of
+//! that ladder — a real, parallel, cache-blocked `C += A·B` whose measured
+//! intensity can be compared against the [`archline_core::apps::DenseMatMul`]
+//! workload model.
+
+use archline_par::parallel_chunks_mut;
+use serde::{Deserialize, Serialize};
+
+use crate::timer::time_kernel;
+
+/// Result of a GEMM measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GemmResult {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Block edge used.
+    pub block: usize,
+    /// Flops per invocation (`2n³`).
+    pub flops: f64,
+    /// Best per-invocation time, seconds.
+    pub seconds: f64,
+}
+
+impl GemmResult {
+    /// Achieved Gflop/s.
+    pub fn gflops(&self) -> f64 {
+        self.flops / self.seconds / 1e9
+    }
+}
+
+/// `C += A·B` for row-major `n×n` single-precision matrices, blocked by
+/// `block` in all three dimensions and parallelized over row panels of `C`.
+///
+/// # Panics
+/// Panics on size mismatches or a zero block.
+pub fn blocked_sgemm(c: &mut [f32], a: &[f32], b: &[f32], n: usize, block: usize) {
+    assert!(block > 0, "block must be positive");
+    assert_eq!(c.len(), n * n, "C size");
+    assert_eq!(a.len(), n * n, "A size");
+    assert_eq!(b.len(), n * n, "B size");
+    // Each parallel task owns `block` full rows of C (disjoint chunks).
+    parallel_chunks_mut(c, block * n, |panel_idx, c_panel| {
+        let i0 = panel_idx * block;
+        let rows = c_panel.len() / n;
+        for k0 in (0..n).step_by(block) {
+            let k_hi = (k0 + block).min(n);
+            for j0 in (0..n).step_by(block) {
+                let j_hi = (j0 + block).min(n);
+                for di in 0..rows {
+                    let i = i0 + di;
+                    let c_row = &mut c_panel[di * n..(di + 1) * n];
+                    for k in k0..k_hi {
+                        let aik = a[i * n + k];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[k * n + j0..k * n + j_hi];
+                        for (cj, &bkj) in c_row[j0..j_hi].iter_mut().zip(b_row) {
+                            *cj = bkj.mul_add(aik, *cj);
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Reference triple loop (for correctness checks).
+pub fn naive_sgemm(c: &mut [f32], a: &[f32], b: &[f32], n: usize) {
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+}
+
+/// Times a blocked SGEMM of dimension `n` with the given block edge.
+pub fn gemm_bench(n: usize, block: usize, min_secs: f64) -> GemmResult {
+    let a: Vec<f32> = (0..n * n).map(|i| ((i % 101) as f32) * 0.01).collect();
+    let b: Vec<f32> = (0..n * n).map(|i| ((i % 97) as f32) * 0.01).collect();
+    let mut c = vec![0.0f32; n * n];
+    let seconds = time_kernel(
+        || {
+            blocked_sgemm(&mut c, &a, &b, n, block);
+            std::hint::black_box(&c);
+        },
+        1,
+        min_secs,
+    );
+    GemmResult { n, block, flops: 2.0 * (n as f64).powi(3), seconds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrices(n: usize) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..n * n).map(|i| ((i * 7 % 13) as f32) - 6.0).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| ((i * 5 % 11) as f32) - 5.0).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        for n in [1usize, 7, 16, 33] {
+            let (a, b) = matrices(n);
+            let mut c1 = vec![0.0f32; n * n];
+            let mut c2 = vec![0.0f32; n * n];
+            naive_sgemm(&mut c1, &a, &b, n);
+            blocked_sgemm(&mut c2, &a, &b, n, 8);
+            for (x, y) in c1.iter().zip(&c2) {
+                assert!((x - y).abs() <= 1e-3 * x.abs().max(1.0), "n={n}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_size_does_not_change_the_result() {
+        let n = 24;
+        let (a, b) = matrices(n);
+        let mut reference = vec![0.0f32; n * n];
+        blocked_sgemm(&mut reference, &a, &b, n, 4);
+        for block in [1usize, 5, 16, 64] {
+            let mut c = vec![0.0f32; n * n];
+            blocked_sgemm(&mut c, &a, &b, n, block);
+            for (x, y) in reference.iter().zip(&c) {
+                assert!((x - y).abs() <= 1e-3 * x.abs().max(1.0), "block={block}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let n = 4;
+        let (a, b) = matrices(n);
+        let mut c = vec![1.0f32; n * n];
+        let mut expected = vec![1.0f32; n * n];
+        naive_sgemm(&mut expected, &a, &b, n);
+        blocked_sgemm(&mut c, &a, &b, n, 2);
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn identity_times_identity() {
+        let n = 8;
+        let mut ident = vec![0.0f32; n * n];
+        for i in 0..n {
+            ident[i * n + i] = 1.0;
+        }
+        let mut c = vec![0.0f32; n * n];
+        blocked_sgemm(&mut c, &ident, &ident, n, 3);
+        assert_eq!(c, ident);
+    }
+
+    #[test]
+    fn bench_reports_2n_cubed() {
+        let r = gemm_bench(64, 16, 0.0);
+        assert_eq!(r.flops, 2.0 * 64f64.powi(3));
+        assert!(r.seconds > 0.0);
+        assert!(r.gflops() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "C size")]
+    fn size_mismatch_rejected() {
+        let mut c = vec![0.0f32; 4];
+        blocked_sgemm(&mut c, &[0.0; 9], &[0.0; 9], 3, 2);
+    }
+}

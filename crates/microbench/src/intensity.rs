@@ -1,0 +1,221 @@
+//! The tunable-intensity microbenchmark (paper §IV-e).
+//!
+//! Varies operational intensity "nearly continuously" by performing a
+//! configurable chain of fused multiply-adds on every element streamed from
+//! memory: `x ← x·a + b`, repeated `chain` times per element. Each element
+//! costs `2·chain` flops and one read + one write of traffic, so intensity
+//! is `2·chain / (2·size_of::<T>())` flop:Byte. The paper hand-tunes this in
+//! assembly/SIMD per platform; here the same structure is expressed with
+//! `mul_add` chains the compiler vectorizes, parallelized across cores with
+//! the `archline-par` substrate.
+
+use archline_par::parallel_chunks_mut;
+use serde::{Deserialize, Serialize};
+
+use crate::timer::time_kernel;
+
+/// Result of one real kernel measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelResult {
+    /// Arithmetic operations per kernel invocation.
+    pub flops: f64,
+    /// Bytes of memory traffic per invocation (reads + writes).
+    pub bytes: f64,
+    /// Best per-invocation wall time, seconds.
+    pub seconds: f64,
+    /// Measured package energy per invocation, Joules, when RAPL was
+    /// available during the sweep.
+    pub joules: Option<f64>,
+}
+
+impl KernelResult {
+    /// Achieved Gflop/s.
+    pub fn gflops(&self) -> f64 {
+        self.flops / self.seconds / 1e9
+    }
+
+    /// Achieved GB/s.
+    pub fn gbytes(&self) -> f64 {
+        self.bytes / self.seconds / 1e9
+    }
+
+    /// Operational intensity, flop:Byte.
+    pub fn intensity(&self) -> f64 {
+        self.flops / self.bytes
+    }
+}
+
+macro_rules! fma_impl {
+    ($name:ident, $fixed:ident, $ty:ty) => {
+        /// Applies `chain` fused multiply-adds to every element (parallel).
+        pub fn $name(data: &mut [$ty], a: $ty, b: $ty, chain: usize, chunk: usize) {
+            assert!(chain > 0, "chain must be positive");
+            parallel_chunks_mut(data, chunk.max(1), |_, part| match chain {
+                1 => $fixed::<1>(part, a, b),
+                2 => $fixed::<2>(part, a, b),
+                4 => $fixed::<4>(part, a, b),
+                8 => $fixed::<8>(part, a, b),
+                16 => $fixed::<16>(part, a, b),
+                32 => $fixed::<32>(part, a, b),
+                64 => $fixed::<64>(part, a, b),
+                128 => $fixed::<128>(part, a, b),
+                256 => $fixed::<256>(part, a, b),
+                n => {
+                    for x in part.iter_mut() {
+                        let mut v = *x;
+                        for _ in 0..n {
+                            v = v.mul_add(a, b);
+                        }
+                        *x = v;
+                    }
+                }
+            });
+        }
+
+        fn $fixed<const R: usize>(part: &mut [$ty], a: $ty, b: $ty) {
+            for x in part.iter_mut() {
+                let mut v = *x;
+                for _ in 0..R {
+                    v = v.mul_add(a, b);
+                }
+                *x = v;
+            }
+        }
+    };
+}
+
+fma_impl!(fma_kernel_f32, fma_fixed_f32, f32);
+fma_impl!(fma_kernel_f64, fma_fixed_f64, f64);
+
+macro_rules! sweep_impl {
+    ($(#[$doc:meta])* $name:ident, $kernel:ident, $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(
+            len: usize,
+            chains: &[usize],
+            min_secs: f64,
+            rapl: Option<&archline_powermon::RaplReader>,
+        ) -> Vec<KernelResult> {
+            assert!(len > 0, "need a buffer");
+            let mut data = vec![1.0 as $ty; len];
+            let chunk = (len / archline_par::num_threads()).max(4096);
+            chains
+                .iter()
+                .map(|&chain| {
+                    // Values stay bounded: a < 1 keeps the chain from
+                    // overflowing.
+                    let run = || $kernel(&mut data, 0.999 as $ty, 1e-7 as $ty, chain, chunk);
+                    let (seconds, joules) = if let Some(reader) = rapl {
+                        let mut f = run;
+                        let t0 = time_kernel(&mut f, 1, 0.0);
+                        let session = reader.start();
+                        let mut calls = 0u32;
+                        let start = std::time::Instant::now();
+                        while start.elapsed().as_secs_f64() < min_secs.max(t0) {
+                            f();
+                            calls += 1;
+                        }
+                        let reading = session.stop();
+                        (t0, Some(reading.joules / calls.max(1) as f64))
+                    } else {
+                        let mut f = run;
+                        (time_kernel(&mut f, 1, min_secs), None)
+                    };
+                    KernelResult {
+                        flops: 2.0 * chain as f64 * len as f64,
+                        bytes: 2.0 * std::mem::size_of::<$ty>() as f64 * len as f64,
+                        seconds,
+                        joules,
+                    }
+                })
+                .collect()
+        }
+    };
+}
+
+sweep_impl!(
+    /// Runs the single-precision intensity sweep on the host: for each chain
+    /// length, times the FMA kernel over a `len`-element buffer and reports
+    /// achieved rates. `min_secs` is the per-point timing budget.
+    ///
+    /// When `rapl` is `Some`, package energy is measured around the timed
+    /// region and reported per invocation.
+    intensity_sweep_f32,
+    fma_kernel_f32,
+    f32
+);
+
+sweep_impl!(
+    /// Double-precision intensity sweep (the paper tests single and double
+    /// separately; note intensity halves at equal chain length because each
+    /// element carries 16 B of traffic).
+    intensity_sweep_f64,
+    fma_kernel_f64,
+    f64
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_computes_the_chain() {
+        let mut data = vec![2.0f32; 100];
+        fma_kernel_f32(&mut data, 0.5, 1.0, 3, 16);
+        // 2 → 2·.5+1 = 2 → 2 → 2 (fixed point of x·0.5 + 1).
+        assert!(data.iter().all(|&x| (x - 2.0).abs() < 1e-6));
+        let mut data = vec![1.0f64; 10];
+        fma_kernel_f64(&mut data, 1.0, 1.0, 5, 4);
+        assert!(data.iter().all(|&x| (x - 6.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn dynamic_chain_matches_fixed() {
+        let mut a = vec![1.5f32; 64];
+        let mut b = a.clone();
+        fma_kernel_f32(&mut a, 0.9, 0.1, 8, 8); // fixed path
+        fma_kernel_f32(&mut b, 0.9, 0.1, 7, 8); // dynamic path
+        fma_kernel_f32(&mut b, 0.9, 0.1, 1, 8); // +1 more = 8 total
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sweep_reports_consistent_counts() {
+        let results = intensity_sweep_f32(1 << 12, &[1, 4, 16], 0.0, None);
+        assert_eq!(results.len(), 3);
+        for (r, &chain) in results.iter().zip(&[1usize, 4, 16]) {
+            assert_eq!(r.flops, 2.0 * chain as f64 * 4096.0);
+            assert_eq!(r.bytes, 8.0 * 4096.0);
+            assert!((r.intensity() - chain as f64 / 4.0).abs() < 1e-12);
+            assert!(r.seconds > 0.0);
+            assert!(r.gflops() > 0.0);
+            assert!(r.gbytes() > 0.0);
+        }
+    }
+
+    #[test]
+    fn higher_chain_is_not_faster_in_flops_time() {
+        // More flops per element cannot take *less* total time.
+        let results = intensity_sweep_f32(1 << 14, &[1, 64], 0.005, None);
+        assert!(results[1].seconds >= results[0].seconds * 0.8);
+    }
+
+    #[test]
+    fn double_sweep_halves_intensity_at_equal_chain() {
+        let f32s = intensity_sweep_f32(1 << 10, &[8], 0.0, None);
+        let f64s = intensity_sweep_f64(1 << 10, &[8], 0.0, None);
+        assert!((f32s[0].intensity() - 2.0).abs() < 1e-12);
+        assert!((f64s[0].intensity() - 1.0).abs() < 1e-12);
+        assert_eq!(f64s[0].bytes, 2.0 * f32s[0].bytes);
+        assert_eq!(f64s[0].flops, f32s[0].flops);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain must be positive")]
+    fn zero_chain_rejected() {
+        let mut data = vec![0.0f32; 4];
+        fma_kernel_f32(&mut data, 1.0, 1.0, 0, 2);
+    }
+}

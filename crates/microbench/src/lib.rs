@@ -1,0 +1,38 @@
+//! # archline-microbench — the microbenchmark suite
+//!
+//! The paper's evaluation rests on hand-tuned microbenchmarks (§IV): an
+//! **intensity** benchmark that varies flop:Byte nearly continuously, a
+//! **random access** (pointer-chase) benchmark, **cache** benchmarks per
+//! hierarchy level, and sustained-peak streams. This crate provides both:
+//!
+//! * **Real host kernels** ([`intensity`], [`stream`], [`chase`],
+//!   [`cache`]) — multithreaded Rust implementations (via the
+//!   [`archline_par`] substrate) that run on the build machine and report
+//!   achieved flop/s, bandwidth, and access rates, with energy from Linux
+//!   RAPL when available. These demonstrate the measurement methodology
+//!   live, time-first.
+//! * **The simulated suite driver** ([`suite`]) — runs the same benchmark
+//!   *shapes* against the [`archline_machine`] simulator for each of the 12
+//!   paper platforms, with PowerMon-style power measurement, producing the
+//!   [`archline_fit::MeasurementSet`]s the fitting pipeline consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod gemm;
+pub mod chase;
+pub mod intensity;
+pub mod stream;
+pub mod suite;
+pub mod timer;
+
+pub use cache::{cache_sweep, CachePoint};
+pub use gemm::{blocked_sgemm, gemm_bench, GemmResult};
+pub use chase::{pointer_chase, ChaseResult};
+pub use intensity::{
+    fma_kernel_f32, fma_kernel_f64, intensity_sweep_f32, intensity_sweep_f64, KernelResult,
+};
+pub use stream::{stream_triad, StreamKind, StreamResult};
+pub use suite::{run_suite, SimulatedSuite, SweepConfig};
+pub use timer::time_kernel;

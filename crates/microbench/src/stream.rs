@@ -1,0 +1,176 @@
+//! STREAM-style sustained-bandwidth kernels (copy / scale / add / triad).
+
+use archline_par::num_threads;
+use serde::{Deserialize, Serialize};
+
+use crate::timer::time_kernel;
+
+/// Which STREAM kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamKind {
+    /// `c[i] = a[i]` — 2 words of traffic per element, 0 flops.
+    Copy,
+    /// `b[i] = s·c[i]` — 2 words, 1 flop.
+    Scale,
+    /// `c[i] = a[i] + b[i]` — 3 words, 1 flop.
+    Add,
+    /// `a[i] = b[i] + s·c[i]` — 3 words, 2 flops.
+    Triad,
+}
+
+impl StreamKind {
+    /// Words of memory traffic per element.
+    pub fn words(&self) -> usize {
+        match self {
+            StreamKind::Copy | StreamKind::Scale => 2,
+            StreamKind::Add | StreamKind::Triad => 3,
+        }
+    }
+
+    /// Flops per element.
+    pub fn flops(&self) -> usize {
+        match self {
+            StreamKind::Copy => 0,
+            StreamKind::Scale | StreamKind::Add => 1,
+            StreamKind::Triad => 2,
+        }
+    }
+}
+
+/// Result of a stream measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamResult {
+    /// Which kernel ran.
+    pub kind: StreamKind,
+    /// Elements per array.
+    pub len: usize,
+    /// Bytes of traffic per invocation.
+    pub bytes: f64,
+    /// Best per-invocation time, seconds.
+    pub seconds: f64,
+}
+
+impl StreamResult {
+    /// Sustained bandwidth, GB/s.
+    pub fn gbytes(&self) -> f64 {
+        self.bytes / self.seconds / 1e9
+    }
+}
+
+/// Runs one STREAM kernel over `len`-element f64 arrays with all cores,
+/// timing with `min_secs` budget.
+pub fn stream_triad(kind: StreamKind, len: usize, min_secs: f64) -> StreamResult {
+    assert!(len > 0);
+    let mut a = vec![1.0f64; len];
+    let mut b = vec![2.0f64; len];
+    let mut c = vec![0.0f64; len];
+    let s = 3.0f64;
+    // Each kernel writes one array while reading the others; chunked zips
+    // keep the disjointness visible to the borrow checker and vectorize.
+    let seconds = {
+        let chunk = (len / num_threads()).max(4096);
+        let mut f = || match kind {
+            StreamKind::Copy => {
+                par_zip2(&mut c, &a, chunk, |dst, src| dst.copy_from_slice(src));
+            }
+            StreamKind::Scale => {
+                par_zip2(&mut b, &c, chunk, |dst, src| {
+                    for (d, &x) in dst.iter_mut().zip(src) {
+                        *d = s * x;
+                    }
+                });
+            }
+            StreamKind::Add => {
+                par_zip3(&mut c, &a, &b, chunk, |dst, x, y| {
+                    for ((d, &p), &q) in dst.iter_mut().zip(x).zip(y) {
+                        *d = p + q;
+                    }
+                });
+            }
+            StreamKind::Triad => {
+                par_zip3(&mut a, &b, &c, chunk, |dst, x, y| {
+                    for ((d, &p), &q) in dst.iter_mut().zip(x).zip(y) {
+                        *d = q.mul_add(s, p);
+                    }
+                });
+            }
+        };
+        time_kernel(&mut f, 1, min_secs)
+    };
+    StreamResult {
+        kind,
+        len,
+        bytes: (kind.words() * std::mem::size_of::<f64>() * len) as f64,
+        seconds,
+    }
+}
+
+/// Parallel zip over one mutable and one shared array, chunkwise.
+fn par_zip2<F>(dst: &mut [f64], src: &[f64], chunk: usize, f: F)
+where
+    F: Fn(&mut [f64], &[f64]) + Sync,
+{
+    assert_eq!(dst.len(), src.len());
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (d, s) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
+            scope.spawn(move || f(d, s));
+        }
+    });
+}
+
+/// Parallel zip over one mutable and two shared arrays, chunkwise.
+fn par_zip3<F>(dst: &mut [f64], x: &[f64], y: &[f64], chunk: usize, f: F)
+where
+    F: Fn(&mut [f64], &[f64], &[f64]) + Sync,
+{
+    assert_eq!(dst.len(), x.len());
+    assert_eq!(dst.len(), y.len());
+    std::thread::scope(|scope| {
+        let f = &f;
+        for ((d, a), b) in dst.chunks_mut(chunk).zip(x.chunks(chunk)).zip(y.chunks(chunk)) {
+            scope.spawn(move || f(d, a, b));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_accounting() {
+        assert_eq!(StreamKind::Copy.words(), 2);
+        assert_eq!(StreamKind::Triad.words(), 3);
+        assert_eq!(StreamKind::Triad.flops(), 2);
+        let r = stream_triad(StreamKind::Copy, 1 << 10, 0.0);
+        assert_eq!(r.bytes, (2 * 8 * 1024) as f64);
+        assert!(r.gbytes() > 0.0);
+    }
+
+    #[test]
+    fn all_kernels_run() {
+        for kind in [StreamKind::Copy, StreamKind::Scale, StreamKind::Add, StreamKind::Triad] {
+            let r = stream_triad(kind, 1 << 12, 0.0);
+            assert!(r.seconds > 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn par_zip_correctness() {
+        let mut dst = vec![0.0; 1000];
+        let src: Vec<f64> = (0..1000).map(f64::from).collect();
+        par_zip2(&mut dst, &src, 128, |d, s| d.copy_from_slice(s));
+        assert_eq!(dst, src);
+        let x = vec![1.0; 1000];
+        let y: Vec<f64> = (0..1000).map(f64::from).collect();
+        par_zip3(&mut dst, &x, &y, 77, |d, a, b| {
+            for ((dd, &p), &q) in d.iter_mut().zip(a).zip(b) {
+                *dd = p + q;
+            }
+        });
+        for (i, v) in dst.iter().enumerate() {
+            assert_eq!(*v, 1.0 + i as f64);
+        }
+    }
+}

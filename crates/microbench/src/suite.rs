@@ -1,0 +1,221 @@
+//! The simulated microbenchmark suite: runs the paper's benchmark shapes
+//! against a platform simulator and collects fit-ready measurement sets.
+
+use serde::{Deserialize, Serialize};
+
+use archline_core::power::sample_intensities;
+use archline_fit::{MeasurementSet, Run};
+use archline_machine::{measure, Engine, PlatformSpec};
+use archline_par::parallel_map;
+
+/// Configuration of the simulated sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Lowest intensity, flop:Byte (paper figures start at 1/8).
+    pub intensity_lo: f64,
+    /// Highest intensity (paper figures end at 512).
+    pub intensity_hi: f64,
+    /// Number of log-spaced intensity points.
+    pub points: usize,
+    /// Target uncapped run duration, seconds.
+    pub target_secs: f64,
+    /// Pure-streaming runs per hierarchy level.
+    pub level_runs: usize,
+    /// Pointer-chase runs.
+    pub random_runs: usize,
+    /// Base RNG seed; every run derives a distinct deterministic seed.
+    pub base_seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            intensity_lo: 0.125,
+            intensity_hi: 512.0,
+            points: 49,
+            target_secs: 0.25,
+            level_runs: 3,
+            random_runs: 3,
+            base_seed: 0x41,
+        }
+    }
+}
+
+/// All measurements the suite produced for one platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulatedSuite {
+    /// Platform name.
+    pub platform: String,
+    /// Intensity grid used for the DRAM sweep.
+    pub intensities: Vec<f64>,
+    /// The DRAM intensity sweep (input to [`archline_fit::fit_platform`]).
+    pub dram: MeasurementSet,
+    /// Pure-streaming runs per hierarchy level (`(level name, runs)`),
+    /// fastest level first, excluding DRAM (covered by the sweep's
+    /// low-intensity end) — input to `fit_level_cost`.
+    pub levels: Vec<(String, MeasurementSet)>,
+    /// Pointer-chase runs, when the platform supports them — input to
+    /// `fit_random_cost`.
+    pub random: Option<MeasurementSet>,
+}
+
+/// Runs the full simulated suite for one platform. Runs execute
+/// concurrently across the measurement grid (each with its own
+/// deterministic seed), mirroring how the paper sweeps `W` and `Q`.
+pub fn run_suite(spec: &PlatformSpec, cfg: &SweepConfig, engine: &Engine) -> SimulatedSuite {
+    let intensities = sample_intensities(cfg.intensity_lo, cfg.intensity_hi, cfg.points);
+    let dram_idx = spec.dram_level();
+
+    // DRAM intensity sweep.
+    let sweep_runs: Vec<Run> = parallel_map(&intensities, |&i| {
+        let seq = intensities.iter().position(|&x| x == i).unwrap_or(0) as u64;
+        let w = spec.intensity_workload(i, cfg.target_secs);
+        let r = measure(spec, &w, engine, cfg.base_seed.wrapping_add(seq));
+        Run {
+            flops: w.flops,
+            bytes: w.bytes_per_level[dram_idx],
+            accesses: 0.0,
+            time: r.duration,
+            energy: r.energy,
+        }
+    });
+
+    // Per-level pure streams (cache levels only; DRAM streaming is the
+    // sweep's low-intensity limit but we also record explicit DRAM streams
+    // for the ε_mem cross-check).
+    let mut levels = Vec::new();
+    for (li, level) in spec.levels.iter().enumerate() {
+        if li == dram_idx {
+            continue;
+        }
+        let runs: Vec<Run> = (0..cfg.level_runs)
+            .map(|k| {
+                let secs = cfg.target_secs * (0.5 + 0.5 * k as f64);
+                let w = spec.level_stream_workload(li, secs);
+                let r = measure(
+                    spec,
+                    &w,
+                    engine,
+                    cfg.base_seed.wrapping_add(1000 + (li * 100 + k) as u64),
+                );
+                Run {
+                    flops: 0.0,
+                    bytes: w.bytes_per_level[li],
+                    accesses: 0.0,
+                    time: r.duration,
+                    energy: r.energy,
+                }
+            })
+            .collect();
+        levels.push((level.name.clone(), MeasurementSet::new(runs)));
+    }
+
+    // Pointer chase.
+    let random = spec.random.map(|_| {
+        let runs: Vec<Run> = (0..cfg.random_runs)
+            .map(|k| {
+                let secs = cfg.target_secs * (0.5 + 0.5 * k as f64);
+                let w = spec.random_workload(secs);
+                let r =
+                    measure(spec, &w, engine, cfg.base_seed.wrapping_add(5000 + k as u64));
+                Run {
+                    flops: 0.0,
+                    bytes: w.random_accesses * 64.0,
+                    accesses: w.random_accesses,
+                    time: r.duration,
+                    energy: r.energy,
+                }
+            })
+            .collect();
+        MeasurementSet::new(runs)
+    });
+
+    SimulatedSuite {
+        platform: spec.name.clone(),
+        intensities,
+        dram: MeasurementSet::new(sweep_runs),
+        levels,
+        random,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archline_fit::{fit_level_cost, fit_platform, fit_random_cost};
+    use archline_machine::spec::{LevelSpec, NoiseSpec, PipelineSpec, Quirk, RandomSpec};
+    use archline_powermon::RailSplit;
+
+    fn toy() -> PlatformSpec {
+        PlatformSpec {
+            name: "toy".to_string(),
+            flop: PipelineSpec { rate: 100e9, energy_per_op: 50e-12 },
+            levels: vec![
+                LevelSpec { name: "L1".into(), rate: 400e9, energy_per_byte: 10e-12 },
+                LevelSpec { name: "DRAM".into(), rate: 20e9, energy_per_byte: 400e-12 },
+            ],
+            random: Some(RandomSpec { rate: 50e6, energy_per_access: 60e-9 }),
+            const_power: 10.0,
+            usable_power: 9.0,
+            noise: NoiseSpec::NONE,
+            quirk: Quirk::None,
+            rail_split: RailSplit::single("brick", 12.0),
+        }
+    }
+
+    fn small_cfg() -> SweepConfig {
+        SweepConfig { points: 17, target_secs: 0.05, level_runs: 2, random_runs: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn suite_produces_expected_shapes() {
+        let suite = run_suite(&toy(), &small_cfg(), &Engine::default());
+        assert_eq!(suite.dram.len(), 17);
+        assert_eq!(suite.levels.len(), 1); // L1 only (DRAM covered by sweep)
+        assert_eq!(suite.levels[0].0, "L1");
+        assert_eq!(suite.levels[0].1.len(), 2);
+        assert_eq!(suite.random.as_ref().unwrap().len(), 2);
+        // Intensities of sweep runs match the grid.
+        for (run, &i) in suite.dram.runs.iter().zip(&suite.intensities) {
+            assert!((run.intensity() - i).abs() / i < 1e-9);
+        }
+    }
+
+    #[test]
+    fn end_to_end_fit_recovers_toy_ground_truth() {
+        let spec = toy();
+        let suite = run_suite(&spec, &small_cfg(), &Engine::default());
+        let report = fit_platform(&suite.dram);
+        let rel = |a: f64, b: f64| (a - b).abs() / b;
+        assert!(rel(report.capped.flops_per_sec(), 100e9) < 0.02, "{:?}", report.capped);
+        assert!(rel(report.capped.bytes_per_sec(), 20e9) < 0.02);
+        assert!(rel(report.capped.energy_per_flop, 50e-12) < 0.10);
+        assert!(rel(report.capped.energy_per_byte, 400e-12) < 0.10);
+        assert!(rel(report.capped.const_power, 10.0) < 0.05);
+        assert!(rel(report.capped.cap.watts(), 9.0) < 0.08, "Δπ {}", report.capped.cap.watts());
+
+        let (l1_bw, l1_eps) = fit_level_cost(&suite.levels[0].1.runs, report.capped.const_power);
+        assert!(rel(l1_bw, 400e9) < 0.02, "L1 bw {l1_bw}");
+        assert!(rel(l1_eps, 10e-12) < 0.15, "L1 ε {l1_eps}");
+
+        let (r_rate, r_eps) =
+            fit_random_cost(&suite.random.as_ref().unwrap().runs, report.capped.const_power);
+        assert!(rel(r_rate, 50e6) < 0.02, "rand rate {r_rate}");
+        assert!(rel(r_eps, 60e-9) < 0.15, "ε_rand {r_eps}");
+    }
+
+    #[test]
+    fn deterministic_given_same_config() {
+        let a = run_suite(&toy(), &small_cfg(), &Engine::default());
+        let b = run_suite(&toy(), &small_cfg(), &Engine::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn platform_without_random_path_yields_none() {
+        let mut spec = toy();
+        spec.random = None;
+        let suite = run_suite(&spec, &small_cfg(), &Engine::default());
+        assert!(suite.random.is_none());
+    }
+}

@@ -1,0 +1,55 @@
+//! # archline-par — minimal data-parallelism substrate
+//!
+//! A small, safe, from-scratch parallelism layer used by the microbenchmark
+//! kernels and the multi-platform sweeps, in place of an external library
+//! such as rayon (per the reproduction's build-everything rule).
+//!
+//! Two complementary primitives:
+//!
+//! * **Scoped data parallelism** ([`parallel_for`], [`parallel_map`],
+//!   [`parallel_reduce`], [`parallel_chunks_mut`]) built on
+//!   [`std::thread::scope`]: borrow local data freely, fork-join semantics,
+//!   no pool management. This is the right shape for STREAM-style kernels
+//!   that run for milliseconds or more — spawn cost is negligible and the
+//!   OS places fresh threads across cores.
+//! * **A persistent [`ThreadPool`]** for many small independent `'static`
+//!   tasks (e.g. simulating 12 platforms concurrently), with a blocking
+//!   `wait_idle` and panic propagation.
+//!
+//! Thread count defaults to [`std::thread::available_parallelism`] and can
+//! be overridden with the `ARCHLINE_THREADS` environment variable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod scope;
+
+pub use pool::ThreadPool;
+pub use scope::{
+    parallel_chunks_mut, parallel_for, parallel_for_dynamic, parallel_map, parallel_reduce,
+};
+
+/// The worker count used by the scoped primitives: `ARCHLINE_THREADS` if set
+/// to a positive integer, otherwise the machine's available parallelism
+/// (minimum 1).
+pub fn num_threads() -> usize {
+    if let Ok(s) = std::env::var("ARCHLINE_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

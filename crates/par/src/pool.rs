@@ -1,0 +1,204 @@
+//! A persistent thread pool for `'static` fork-join task batches.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    pending: AtomicUsize,
+    panics: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// A fixed-size worker pool executing `'static` closures, with
+/// [`ThreadPool::wait_idle`] as the join point for a batch of submissions.
+///
+/// Worker panics are counted and re-raised (as a panic) from `wait_idle`,
+/// so a failing task cannot be silently swallowed.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `size` workers.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "pool needs at least one worker");
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let shared = Arc::new(Shared {
+            pending: AtomicUsize::new(0),
+            panics: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let workers = (0..size)
+            .map(|i| {
+                let rx = receiver.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("archline-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                shared.panics.fetch_add(1, Ordering::SeqCst);
+                            }
+                            if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                                let _guard = shared.idle_lock.lock();
+                                shared.idle_cv.notify_all();
+                            }
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { sender: Some(sender), workers, shared }
+    }
+
+    /// Creates a pool with [`crate::num_threads`] workers.
+    pub fn with_default_size() -> Self {
+        Self::new(crate::num_threads())
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of submitted-but-unfinished jobs.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::SeqCst)
+    }
+
+    /// Submits a job for execution.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.sender
+            .as_ref()
+            .expect("pool sender live until drop")
+            .send(Box::new(job))
+            .expect("workers alive while pool exists");
+    }
+
+    /// Blocks until every submitted job has finished.
+    ///
+    /// # Panics
+    /// Panics if any job panicked since the last `wait_idle`.
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.idle_lock.lock();
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+            self.shared.idle_cv.wait(&mut guard);
+        }
+        drop(guard);
+        let panics = self.shared.panics.swap(0, Ordering::SeqCst);
+        assert!(panics == 0, "{panics} pool job(s) panicked");
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain remaining jobs and exit.
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn wait_idle_on_empty_pool_returns_immediately() {
+        let pool = ThreadPool::new(2);
+        pool.wait_idle();
+    }
+
+    #[test]
+    fn multiple_batches_reuse_workers() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicU64::new(0));
+        for batch in 0..5 {
+            for _ in 0..100 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle();
+            assert_eq!(counter.load(Ordering::Relaxed), (batch + 1) * 100);
+        }
+    }
+
+    #[test]
+    fn panicking_job_reported_at_wait_idle() {
+        let pool = ThreadPool::new(2);
+        pool.execute(|| panic!("boom"));
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| pool.wait_idle()));
+        assert!(err.is_err());
+        // Pool remains usable afterwards.
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        pool.execute(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drop_joins_cleanly_with_outstanding_jobs() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..50 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Dropped without wait_idle: workers drain the queue.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_size_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn default_size_matches_num_threads() {
+        let pool = ThreadPool::with_default_size();
+        assert_eq!(pool.size(), crate::num_threads());
+    }
+}

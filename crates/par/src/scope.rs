@@ -1,0 +1,318 @@
+//! Scoped fork-join data parallelism over index ranges and slices.
+
+use std::ops::Range;
+
+use crate::num_threads;
+
+/// Splits `0..len` into at most `threads` contiguous chunks of roughly equal
+/// size; returns the ranges (empty when `len == 0`).
+pub fn split_ranges(len: usize, threads: usize) -> Vec<Range<usize>> {
+    assert!(threads > 0, "need at least one thread");
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(len);
+    let base = len / threads;
+    let extra = len % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let size = base + usize::from(t < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Runs `f(range)` on contiguous chunks of `0..len` across worker threads
+/// and waits for all of them (fork-join). The calling thread executes one
+/// chunk itself. Panics in workers propagate after all threads join.
+pub fn parallel_for<F>(len: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let ranges = split_ranges(len, num_threads());
+    match ranges.len() {
+        0 => {}
+        1 => f(ranges.into_iter().next().expect("one range")),
+        _ => std::thread::scope(|s| {
+            let f = &f;
+            let mut iter = ranges.into_iter();
+            let own = iter.next().expect("at least two ranges");
+            for r in iter {
+                s.spawn(move || f(r));
+            }
+            f(own);
+        }),
+    }
+}
+
+/// Parallel map over a slice, preserving order.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let ranges = split_ranges(items.len(), num_threads());
+    if ranges.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut pieces: Vec<Option<Vec<U>>> = Vec::new();
+    pieces.resize_with(ranges.len(), || None);
+    std::thread::scope(|s| {
+        let f = &f;
+        for (slot, r) in pieces.iter_mut().zip(ranges) {
+            let chunk = &items[r];
+            s.spawn(move || {
+                *slot = Some(chunk.iter().map(f).collect());
+            });
+        }
+    });
+    pieces.into_iter().flat_map(|p| p.expect("worker completed")).collect()
+}
+
+/// Parallel map-reduce over `0..len`: `map(i)` produces per-index values,
+/// folded with `reduce` starting from `identity` (reduce must be associative
+/// and commutative with the identity for a deterministic result).
+pub fn parallel_reduce<T, M, R>(len: usize, identity: T, map: M, reduce: R) -> T
+where
+    T: Send + Clone,
+    M: Fn(usize) -> T + Sync,
+    R: Fn(T, T) -> T + Sync + Send,
+{
+    let ranges = split_ranges(len, num_threads());
+    if ranges.is_empty() {
+        return identity;
+    }
+    let mut partials: Vec<Option<T>> = Vec::new();
+    partials.resize_with(ranges.len(), || None);
+    std::thread::scope(|s| {
+        let map = &map;
+        let reduce = &reduce;
+        for (slot, r) in partials.iter_mut().zip(ranges) {
+            let id = identity.clone();
+            s.spawn(move || {
+                let mut acc = id;
+                for i in r {
+                    acc = reduce(acc, map(i));
+                }
+                *slot = Some(acc);
+            });
+        }
+    });
+    partials
+        .into_iter()
+        .map(|p| p.expect("worker completed"))
+        .fold(identity, reduce)
+}
+
+/// Dynamically scheduled parallel-for: workers pull indices from a shared
+/// atomic counter in blocks of `grain`, so wildly uneven per-index costs
+/// (e.g. per-platform simulations where capped runs take longer) balance
+/// automatically. For uniform costs prefer [`parallel_for`] (less
+/// contention, deterministic chunking).
+pub fn parallel_for_dynamic<F>(len: usize, grain: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(grain > 0, "grain must be positive");
+    if len == 0 {
+        return;
+    }
+    let threads = num_threads().min(len.div_ceil(grain));
+    if threads <= 1 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let start = next.fetch_add(grain, std::sync::atomic::Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                for i in start..(start + grain).min(len) {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// Runs `f(chunk_index, chunk)` over disjoint mutable chunks of `data` of
+/// size `chunk_len` (the last chunk may be shorter), in parallel.
+///
+/// # Panics
+/// Panics if `chunk_len == 0`.
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    if data.is_empty() {
+        return;
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            s.spawn(move || f(idx, chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn split_ranges_covers_exactly_once() {
+        for len in [0usize, 1, 7, 64, 1000, 1001] {
+            for threads in [1usize, 2, 3, 8, 64] {
+                let ranges = split_ranges(len, threads);
+                let mut seen = vec![false; len];
+                for r in &ranges {
+                    for i in r.clone() {
+                        assert!(!seen[i], "index {i} covered twice");
+                        seen[i] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "len={len} threads={threads}");
+                // Balanced: sizes differ by at most 1.
+                if !ranges.is_empty() {
+                    let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                    let (mn, mx) =
+                        (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                    assert!(mx - mn <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_touches_every_index_once() {
+        let n = 10_000;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, |range| {
+            for i in range {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_is_noop() {
+        parallel_for(0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let xs: Vec<i64> = (0..5000).collect();
+        let ys = parallel_map(&xs, |&x| x * x);
+        assert_eq!(ys.len(), xs.len());
+        for (i, y) in ys.iter().enumerate() {
+            assert_eq!(*y, (i as i64) * (i as i64));
+        }
+    }
+
+    #[test]
+    fn parallel_map_small_inputs() {
+        assert_eq!(parallel_map(&[3], |&x: &i32| x + 1), vec![4]);
+        assert_eq!(parallel_map::<i32, i32, _>(&[], |&x| x), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn parallel_reduce_sums_like_sequential() {
+        let n = 100_000usize;
+        let sum = parallel_reduce(n, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(sum, (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn parallel_reduce_empty_returns_identity() {
+        assert_eq!(parallel_reduce(0, 42u64, |_| 0, |a, b| a + b), 42);
+    }
+
+    #[test]
+    fn parallel_chunks_mut_writes_disjointly() {
+        let mut data = vec![0u32; 1003];
+        parallel_chunks_mut(&mut data, 100, |idx, chunk| {
+            for v in chunk.iter_mut() {
+                *v = idx as u32 + 1;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i / 100) as u32 + 1, "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len")]
+    fn zero_chunk_len_panics() {
+        let mut data = [1, 2, 3];
+        parallel_chunks_mut(&mut data, 0, |_, _| {});
+    }
+
+    #[test]
+    fn dynamic_covers_every_index_once() {
+        let n = 5000;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_dynamic(n, 7, |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn dynamic_handles_edges() {
+        parallel_for_dynamic(0, 4, |_| panic!("must not run"));
+        let hit = AtomicUsize::new(0);
+        parallel_for_dynamic(1, 100, |_| {
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn dynamic_balances_skewed_work() {
+        // One index is 100× slower; the wall time should stay well below
+        // the serial sum when other workers absorb the rest.
+        use std::time::{Duration, Instant};
+        let n = 64;
+        let start = Instant::now();
+        parallel_for_dynamic(n, 1, |i| {
+            let us = if i == 0 { 20_000 } else { 200 };
+            std::thread::sleep(Duration::from_micros(us));
+        });
+        let elapsed = start.elapsed();
+        let serial = Duration::from_micros(20_000 + 63 * 200);
+        if crate::num_threads() >= 4 {
+            assert!(elapsed < serial, "{elapsed:?} vs serial {serial:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grain")]
+    fn zero_grain_rejected() {
+        parallel_for_dynamic(10, 0, |_| {});
+    }
+
+    #[test]
+    fn matches_sequential_for_float_kernel() {
+        // The exact arithmetic (per-chunk order) must match a sequential
+        // chunked loop — determinism matters for benchmarks.
+        let xs: Vec<f64> = (0..4096).map(|i| (i as f64).sin()).collect();
+        let par = parallel_map(&xs, |&x| x.mul_add(2.0, 1.0));
+        let seq: Vec<f64> = xs.iter().map(|&x| x.mul_add(2.0, 1.0)).collect();
+        assert_eq!(par, seq);
+    }
+}

@@ -1,0 +1,65 @@
+//! JSON import/export of platform records, so downstream users can study
+//! their own hardware with the same tooling: dump the Table I catalog,
+//! edit/extend it, and load custom records back.
+
+use crate::record::Platform;
+use crate::table1::all_platforms;
+
+/// Serializes the full Table I catalog as pretty JSON.
+pub fn catalog_json() -> String {
+    serde_json::to_string_pretty(&all_platforms()).expect("catalog serializes")
+}
+
+/// Parses a JSON array of platform records (the format written by
+/// [`catalog_json`]).
+pub fn platforms_from_json(json: &str) -> Result<Vec<Platform>, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Parses a single platform record.
+pub fn platform_from_json(json: &str) -> Result<Platform, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Precision;
+
+    #[test]
+    fn catalog_round_trips() {
+        let json = catalog_json();
+        let back = platforms_from_json(&json).unwrap();
+        assert_eq!(back, all_platforms());
+        assert_eq!(back.len(), 12);
+    }
+
+    #[test]
+    fn custom_platform_loads_and_models() {
+        // A user-defined record: take the Titan, rename it, halve the cap.
+        let mut p = crate::table1::platform(crate::record::PlatformId::GtxTitan);
+        p.name = "MyAccelerator".to_string();
+        p.usable_power /= 2.0;
+        let json = serde_json::to_string(&p).unwrap();
+        let loaded = platform_from_json(&json).unwrap();
+        assert_eq!(loaded.name, "MyAccelerator");
+        let m = loaded.machine_params(Precision::Single).unwrap();
+        assert_eq!(m.cap.watts(), 82.0);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(platforms_from_json("{not json").is_err());
+        assert!(platform_from_json("[]").is_err());
+    }
+
+    #[test]
+    fn json_contains_si_values_not_paper_units() {
+        // The serialized form is SI (J, flop/s), not pJ/Gflop — check one
+        // known constant appears in exponent form.
+        let json = catalog_json();
+        assert!(json.contains("\"GTX Titan\""));
+        // ε_s = 30.4 pJ = 3.04e-11 J.
+        assert!(json.contains("3.04e-11"), "expected SI-encoded energies");
+    }
+}

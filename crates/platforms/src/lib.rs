@@ -1,0 +1,27 @@
+//! # archline-platforms — the paper's 12 evaluation platforms as data
+//!
+//! Table I of Choi et al. (IPDPS 2014) summarizes 9 systems / 12 "platforms"
+//! (hybrid CPU+GPU parts are evaluated separately): vendor peaks, fitted
+//! model constants (`π_1`, `Δπ`, `ε_s`, `ε_d`, `ε_mem`, `ε_L1`, `ε_L2`,
+//! `ε_rand`) and the sustained throughputs the microbenchmarks achieved.
+//!
+//! This crate transcribes that table as typed data and converts it into the
+//! model parameters of [`archline_core`] and (via `archline-machine`) into
+//! ground-truth specifications for the platform simulator. It also carries
+//! the paper's per-platform headline numbers (Fig. 5 annotations) and the
+//! Fig. 4 Kolmogorov–Smirnov significance marks, which the reproduction
+//! harness validates against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod record;
+pub mod table1;
+
+pub use record::{
+    CacheCost, EnergyRate, NoiseCalib, PaperHeadline, Platform, PlatformClass, PlatformId,
+    Precision, ProcessorKind, QuirkHint, RandomCost, VendorPeaks,
+};
+pub use catalog::{catalog_json, platform_from_json, platforms_from_json};
+pub use table1::{all_platforms, platform};

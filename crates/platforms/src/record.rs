@@ -1,0 +1,280 @@
+//! Typed representation of one Table I row.
+
+use serde::{Deserialize, Serialize};
+
+use archline_core::{
+    HierParams, MachineParams, MemoryLevel, ModelError, PowerCap, RandomAccessParams,
+};
+
+/// Identifier for each of the paper's 12 platforms, in Table I order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum PlatformId {
+    DesktopCpu,
+    NucCpu,
+    NucGpu,
+    ApuCpu,
+    ApuGpu,
+    Gtx580,
+    Gtx680,
+    GtxTitan,
+    XeonPhi,
+    PandaBoardEs,
+    ArndaleCpu,
+    ArndaleGpu,
+}
+
+impl PlatformId {
+    /// All twelve platforms, in Table I order.
+    pub const ALL: [PlatformId; 12] = [
+        PlatformId::DesktopCpu,
+        PlatformId::NucCpu,
+        PlatformId::NucGpu,
+        PlatformId::ApuCpu,
+        PlatformId::ApuGpu,
+        PlatformId::Gtx580,
+        PlatformId::Gtx680,
+        PlatformId::GtxTitan,
+        PlatformId::XeonPhi,
+        PlatformId::PandaBoardEs,
+        PlatformId::ArndaleCpu,
+        PlatformId::ArndaleGpu,
+    ];
+}
+
+/// Broad market class of the system the platform lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformClass {
+    /// Conventional desktop/server x86 box.
+    Desktop,
+    /// Mini-PC class (Intel NUC, AMD APU boards).
+    Mini,
+    /// Discrete coprocessor card (GPUs, Xeon Phi) — measured without host.
+    Coprocessor,
+    /// Mobile/embedded developer board (ARM SoCs) — measured at the wall.
+    Mobile,
+}
+
+/// What kind of processor executes the microbenchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessorKind {
+    /// Conventional CPU cores.
+    Cpu,
+    /// GPU (discrete or integrated).
+    Gpu,
+    /// Many-core coprocessor (Xeon Phi).
+    Manycore,
+}
+
+/// Floating-point precision of a microbenchmark / model instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit floats (the paper's headline results).
+    Single,
+    /// 64-bit floats (not supported on all platforms).
+    Double,
+}
+
+/// Vendor-claimed peaks (Table I columns 3–5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VendorPeaks {
+    /// Single-precision peak, flop/s.
+    pub single_flops: f64,
+    /// Double-precision peak, flop/s (None where unsupported).
+    pub double_flops: Option<f64>,
+    /// Peak memory bandwidth, B/s.
+    pub mem_bandwidth: f64,
+}
+
+/// A fitted marginal energy cost paired with the sustained throughput the
+/// microbenchmark achieved (the parenthetical values of Table I cols 8–13).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyRate {
+    /// Energy per operation (J/flop or J/B).
+    pub energy: f64,
+    /// Sustained rate (flop/s or B/s).
+    pub rate: f64,
+}
+
+/// Cache-level cost (`ε_L1`/`ε_L2` columns): inclusive energy and bandwidth.
+pub type CacheCost = EnergyRate;
+
+/// Random-access cost (`ε_rand` column): per-access energy and access rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomCost {
+    /// Energy per access, J.
+    pub energy_per_access: f64,
+    /// Sustained accesses per second.
+    pub accesses_per_sec: f64,
+}
+
+/// The headline numbers the paper annotates each Fig. 5 panel with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperHeadline {
+    /// Peak energy-efficiency, flop/J (e.g. 16 Gflop/J for the GTX Titan).
+    pub peak_flops_per_joule: f64,
+    /// Peak streaming efficiency, B/J (e.g. 1.3 GB/J for the GTX Titan).
+    pub peak_bytes_per_joule: f64,
+}
+
+/// Platform quirks the paper reports, realized by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QuirkHint {
+    /// Well-behaved platform.
+    None,
+    /// NUC GPU: OS interference (Windows-only OpenCL driver, no user-level
+    /// power management — paper footnote 5) causes bursty power variability.
+    OsInterference,
+    /// Arndale GPU: active energy-efficiency scaling with utilization even
+    /// at fixed clocks, causing ≤15 % mid-intensity mispredictions (§V-C).
+    UtilizationScaling,
+}
+
+/// Per-platform measurement/machine noise calibration for the simulator.
+///
+/// The paper does not report raw noise levels; these are calibrated so the
+/// simulated pipeline reproduces Fig. 4's error spreads and significance
+/// pattern (see DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseCalib {
+    /// Relative sigma of run-level power noise.
+    pub power_sigma: f64,
+    /// Relative sigma of run-level throughput noise.
+    pub rate_sigma: f64,
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Stable identifier.
+    pub id: PlatformId,
+    /// Display name used in the paper ("GTX Titan", "Arndale GPU", …).
+    pub name: String,
+    /// Microarchitecture codename ("Kepler", "Bobcat", …).
+    pub codename: String,
+    /// Part number ("NVIDIA GK110", "Intel Core i7-950", …).
+    pub processor: String,
+    /// Process node in nanometers, when the paper lists it.
+    pub process_nm: Option<u32>,
+    /// Market class.
+    pub class: PlatformClass,
+    /// Processor kind.
+    pub kind: ProcessorKind,
+    /// Vendor-claimed peaks.
+    pub vendor: VendorPeaks,
+    /// Fitted constant power `π_1`, W.
+    pub const_power: f64,
+    /// Observed idle power, W (Table I parenthetical in column 6).
+    pub idle_power: f64,
+    /// `true` for the four platforms whose fitted `π_1` fell below observed
+    /// idle power (Table I note 1, the "*" marks).
+    pub const_below_idle: bool,
+    /// Fitted usable power `Δπ`, W.
+    pub usable_power: f64,
+    /// Single-precision flop cost `ε_s` + sustained rate.
+    pub flop_single: EnergyRate,
+    /// Double-precision flop cost `ε_d` + sustained rate (None where
+    /// unsupported or unmeasurable).
+    pub flop_double: Option<EnergyRate>,
+    /// DRAM streaming cost `ε_mem` + sustained bandwidth.
+    pub mem: EnergyRate,
+    /// L1 / scratchpad / shared-memory cost `ε_L1` (None where the driver
+    /// prevented measurement).
+    pub l1: Option<CacheCost>,
+    /// L2 cost `ε_L2` (None where not applicable).
+    pub l2: Option<CacheCost>,
+    /// Random-access cost `ε_rand` (None where unmeasurable).
+    pub random: Option<RandomCost>,
+    /// Cache-line / minimum random-access granularity, bytes.
+    pub line_bytes: u32,
+    /// Fig. 5 headline annotations.
+    pub headline: PaperHeadline,
+    /// `true` for the seven platforms Fig. 4 marks "**" (capped vs. uncapped
+    /// error distributions differ at p < 0.05 by the K-S test).
+    pub ks_starred: bool,
+    /// Simulator quirk.
+    pub quirk: QuirkHint,
+    /// Simulator noise calibration.
+    pub noise: NoiseCalib,
+}
+
+impl Platform {
+    /// Two-level model parameters for the given precision, using the
+    /// *sustained* throughputs (the model's `τ` are throughput reciprocals).
+    ///
+    /// Returns [`ModelError::MissingField`] when the precision is
+    /// unsupported on this platform.
+    pub fn machine_params(&self, precision: Precision) -> Result<MachineParams, ModelError> {
+        let flop = match precision {
+            Precision::Single => self.flop_single,
+            Precision::Double => {
+                self.flop_double.ok_or(ModelError::MissingField { name: "flop_double" })?
+            }
+        };
+        MachineParams::builder()
+            .flops_per_sec(flop.rate)
+            .bytes_per_sec(self.mem.rate)
+            .energy_per_flop(flop.energy)
+            .energy_per_byte(self.mem.energy)
+            .const_power(self.const_power)
+            .cap(PowerCap::Capped(self.usable_power))
+            .build()
+    }
+
+    /// Hierarchy model parameters (levels ordered fastest-first: L1, L2,
+    /// DRAM — missing levels skipped) for the given precision.
+    pub fn hier_params(&self, precision: Precision) -> Result<HierParams, ModelError> {
+        let flop = match precision {
+            Precision::Single => self.flop_single,
+            Precision::Double => {
+                self.flop_double.ok_or(ModelError::MissingField { name: "flop_double" })?
+            }
+        };
+        let mut levels = Vec::with_capacity(3);
+        if let Some(l1) = self.l1 {
+            levels.push(MemoryLevel::from_bandwidth("L1", l1.rate, l1.energy));
+        }
+        if let Some(l2) = self.l2 {
+            levels.push(MemoryLevel::from_bandwidth("L2", l2.rate, l2.energy));
+        }
+        levels.push(MemoryLevel::from_bandwidth("DRAM", self.mem.rate, self.mem.energy));
+        let params = HierParams {
+            time_per_flop: 1.0 / flop.rate,
+            energy_per_flop: flop.energy,
+            levels,
+            random: self
+                .random
+                .map(|r| RandomAccessParams::from_rate(r.accesses_per_sec, r.energy_per_access)),
+            const_power: self.const_power,
+            cap: PowerCap::Capped(self.usable_power),
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// Index of the DRAM level within [`Platform::hier_params`]' levels.
+    pub fn dram_level_index(&self) -> usize {
+        usize::from(self.l1.is_some()) + usize::from(self.l2.is_some())
+    }
+
+    /// Single-precision efficiency of the sustained peak relative to the
+    /// vendor claim (the bracketed percentages in Fig. 5, e.g. "81 %").
+    pub fn sustained_flop_fraction(&self) -> f64 {
+        self.flop_single.rate / self.vendor.single_flops
+    }
+
+    /// Sustained bandwidth relative to the vendor claim.
+    pub fn sustained_bw_fraction(&self) -> f64 {
+        self.mem.rate / self.vendor.mem_bandwidth
+    }
+
+    /// `true` when the platform supports double precision in Table I.
+    pub fn supports_double(&self) -> bool {
+        self.flop_double.is_some()
+    }
+
+    /// Maximum modeled system power `π_1 + Δπ`, W.
+    pub fn max_power(&self) -> f64 {
+        self.const_power + self.usable_power
+    }
+}

@@ -1,0 +1,601 @@
+//! Table I of the paper, transcribed.
+//!
+//! Units: energies are stored in Joules, rates in flop/s, B/s or accesses/s
+//! (the table prints pJ/flop, pJ/B, nJ/access, Gflop/s, GB/s, Macc/s).
+//! Sustained throughputs are the parenthetical values of columns 8–13.
+
+use crate::record::{
+    EnergyRate, NoiseCalib, PaperHeadline, Platform, PlatformClass, PlatformId, ProcessorKind,
+    QuirkHint, RandomCost, VendorPeaks,
+};
+
+const G: f64 = 1e9;
+const M: f64 = 1e6;
+const PJ: f64 = 1e-12;
+const NJ: f64 = 1e-9;
+
+fn er(pj: f64, grate: f64) -> EnergyRate {
+    EnergyRate { energy: pj * PJ, rate: grate * G }
+}
+
+fn rc(nj: f64, macc: f64) -> RandomCost {
+    RandomCost { energy_per_access: nj * NJ, accesses_per_sec: macc * M }
+}
+
+/// Returns the Table I record for one platform.
+pub fn platform(id: PlatformId) -> Platform {
+    match id {
+        PlatformId::DesktopCpu => Platform {
+            id,
+            name: "Desktop CPU".to_string(),
+            codename: "Nehalem".to_string(),
+            processor: "Intel Core i7-950".to_string(),
+            process_nm: Some(45),
+            class: PlatformClass::Desktop,
+            kind: ProcessorKind::Cpu,
+            vendor: VendorPeaks {
+                single_flops: 107.0 * G,
+                double_flops: Some(53.3 * G),
+                mem_bandwidth: 25.6 * G,
+            },
+            const_power: 122.0,
+            idle_power: 79.9,
+            const_below_idle: false,
+            usable_power: 44.2,
+            flop_single: er(371.0, 99.4),
+            flop_double: Some(er(670.0, 49.7)),
+            mem: er(795.0, 19.1),
+            l1: Some(er(135.0, 201.0)),
+            l2: Some(er(168.0, 120.0)),
+            random: Some(rc(108.0, 149.0)),
+            line_bytes: 64,
+            headline: PaperHeadline {
+                peak_flops_per_joule: 620.0 * M,
+                peak_bytes_per_joule: 140.0 * M,
+            },
+            ks_starred: false,
+            quirk: QuirkHint::None,
+            noise: NoiseCalib { power_sigma: 0.040, rate_sigma: 0.010 },
+        },
+        PlatformId::NucCpu => Platform {
+            id,
+            name: "NUC CPU".to_string(),
+            codename: "Ivy Bridge".to_string(),
+            processor: "Intel Core i3-3217U".to_string(),
+            process_nm: Some(22),
+            class: PlatformClass::Mini,
+            kind: ProcessorKind::Cpu,
+            vendor: VendorPeaks {
+                single_flops: 57.6 * G,
+                double_flops: Some(28.8 * G),
+                mem_bandwidth: 25.6 * G,
+            },
+            const_power: 16.5,
+            idle_power: 13.2,
+            const_below_idle: false,
+            usable_power: 7.37,
+            flop_single: er(14.7, 55.6),
+            flop_double: Some(er(24.3, 27.9)),
+            mem: er(418.0, 17.9),
+            l1: Some(er(8.75, 201.0)),
+            l2: Some(er(14.3, 103.0)),
+            random: Some(rc(54.6, 55.3)),
+            line_bytes: 64,
+            headline: PaperHeadline {
+                peak_flops_per_joule: 3.2 * G,
+                peak_bytes_per_joule: 750.0 * M,
+            },
+            ks_starred: false,
+            quirk: QuirkHint::None,
+            noise: NoiseCalib { power_sigma: 0.035, rate_sigma: 0.008 },
+        },
+        PlatformId::NucGpu => Platform {
+            id,
+            name: "NUC GPU".to_string(),
+            codename: "Ivy Bridge".to_string(),
+            processor: "Intel HD 4000".to_string(),
+            process_nm: Some(22),
+            class: PlatformClass::Mini,
+            kind: ProcessorKind::Gpu,
+            vendor: VendorPeaks {
+                single_flops: 269.0 * G,
+                double_flops: None,
+                mem_bandwidth: 25.6 * G,
+            },
+            const_power: 10.1,
+            idle_power: 13.2,
+            const_below_idle: true,
+            usable_power: 17.7,
+            flop_single: er(76.1, 268.0),
+            flop_double: None,
+            mem: er(837.0, 15.4),
+            l1: None, // OpenCL driver deficiencies (Table I note 2)
+            l2: None,
+            random: None,
+            line_bytes: 64,
+            headline: PaperHeadline {
+                peak_flops_per_joule: 8.8 * G,
+                peak_bytes_per_joule: 670.0 * M,
+            },
+            ks_starred: true,
+            quirk: QuirkHint::OsInterference,
+            noise: NoiseCalib { power_sigma: 0.012, rate_sigma: 0.008 },
+        },
+        PlatformId::ApuCpu => Platform {
+            id,
+            name: "APU CPU".to_string(),
+            codename: "Bobcat".to_string(),
+            processor: "AMD E2-1800".to_string(),
+            process_nm: Some(40),
+            class: PlatformClass::Mini,
+            kind: ProcessorKind::Cpu,
+            vendor: VendorPeaks {
+                single_flops: 13.6 * G,
+                double_flops: Some(5.10 * G),
+                mem_bandwidth: 10.7 * G,
+            },
+            const_power: 20.1,
+            idle_power: 11.8,
+            const_below_idle: false,
+            usable_power: 1.39,
+            flop_single: er(33.5, 13.4),
+            flop_double: Some(er(119.0, 5.05)),
+            mem: er(435.0, 3.32),
+            l1: Some(er(84.0, 25.8)),
+            l2: Some(er(138.0, 11.6)),
+            random: Some(rc(75.6, 8.03)),
+            line_bytes: 64,
+            headline: PaperHeadline {
+                peak_flops_per_joule: 650.0 * M,
+                peak_bytes_per_joule: 150.0 * M,
+            },
+            ks_starred: false,
+            quirk: QuirkHint::None,
+            noise: NoiseCalib { power_sigma: 0.035, rate_sigma: 0.008 },
+        },
+        PlatformId::ApuGpu => Platform {
+            id,
+            name: "APU GPU".to_string(),
+            codename: "Zacate".to_string(),
+            processor: "AMD HD 7340".to_string(),
+            process_nm: Some(40),
+            class: PlatformClass::Mini,
+            kind: ProcessorKind::Gpu,
+            vendor: VendorPeaks {
+                single_flops: 109.0 * G,
+                double_flops: None,
+                mem_bandwidth: 10.7 * G,
+            },
+            const_power: 15.6,
+            idle_power: 11.8,
+            const_below_idle: false,
+            usable_power: 3.23,
+            flop_single: er(5.82, 104.0),
+            flop_double: None,
+            mem: er(333.0, 8.70),
+            l1: Some(er(6.47, 46.0)), // software-managed scratchpad
+            l2: None,
+            random: Some(rc(45.8, 115.0)),
+            line_bytes: 64,
+            headline: PaperHeadline {
+                peak_flops_per_joule: 6.4 * G,
+                peak_bytes_per_joule: 470.0 * M,
+            },
+            ks_starred: true,
+            quirk: QuirkHint::None,
+            noise: NoiseCalib { power_sigma: 0.002, rate_sigma: 0.003 },
+        },
+        PlatformId::Gtx580 => Platform {
+            id,
+            name: "GTX 580".to_string(),
+            codename: "Fermi".to_string(),
+            processor: "NVIDIA GF100".to_string(),
+            process_nm: Some(40),
+            class: PlatformClass::Coprocessor,
+            kind: ProcessorKind::Gpu,
+            vendor: VendorPeaks {
+                single_flops: 1580.0 * G,
+                double_flops: Some(198.0 * G),
+                mem_bandwidth: 192.0 * G,
+            },
+            const_power: 122.0,
+            idle_power: 148.0,
+            const_below_idle: true,
+            usable_power: 146.0,
+            flop_single: er(99.7, 1400.0),
+            flop_double: Some(er(213.0, 196.0)),
+            mem: er(513.0, 171.0),
+            l1: Some(er(149.0, 761.0)),
+            l2: Some(er(257.0, 284.0)),
+            random: Some(rc(112.0, 977.0)),
+            line_bytes: 128,
+            headline: PaperHeadline {
+                peak_flops_per_joule: 5.3 * G,
+                peak_bytes_per_joule: 810.0 * M,
+            },
+            ks_starred: false,
+            quirk: QuirkHint::None,
+            noise: NoiseCalib { power_sigma: 0.090, rate_sigma: 0.015 },
+        },
+        PlatformId::Gtx680 => Platform {
+            id,
+            name: "GTX 680".to_string(),
+            codename: "Kepler".to_string(),
+            processor: "NVIDIA GK104".to_string(),
+            process_nm: Some(28),
+            class: PlatformClass::Coprocessor,
+            kind: ProcessorKind::Gpu,
+            vendor: VendorPeaks {
+                single_flops: 3530.0 * G,
+                double_flops: Some(147.0 * G),
+                mem_bandwidth: 192.0 * G,
+            },
+            const_power: 66.4,
+            idle_power: 100.0,
+            const_below_idle: true,
+            usable_power: 145.0,
+            flop_single: er(43.2, 3030.0),
+            flop_double: Some(er(263.0, 147.0)),
+            mem: er(437.0, 158.0),
+            l1: Some(er(51.0, 1150.0)), // Kepler: shared memory, not L1
+            l2: Some(er(195.0, 297.0)),
+            random: Some(rc(184.0, 1420.0)),
+            line_bytes: 128,
+            headline: PaperHeadline {
+                peak_flops_per_joule: 15.0 * G,
+                peak_bytes_per_joule: 1.2 * G,
+            },
+            ks_starred: true,
+            quirk: QuirkHint::None,
+            noise: NoiseCalib { power_sigma: 0.006, rate_sigma: 0.006 },
+        },
+        PlatformId::GtxTitan => Platform {
+            id,
+            name: "GTX Titan".to_string(),
+            codename: "Kepler".to_string(),
+            processor: "NVIDIA GK110".to_string(),
+            process_nm: Some(28),
+            class: PlatformClass::Coprocessor,
+            kind: ProcessorKind::Gpu,
+            vendor: VendorPeaks {
+                single_flops: 4990.0 * G,
+                double_flops: Some(1660.0 * G),
+                mem_bandwidth: 288.0 * G,
+            },
+            const_power: 123.0,
+            idle_power: 72.9,
+            const_below_idle: false,
+            usable_power: 164.0,
+            flop_single: er(30.4, 4020.0),
+            flop_double: Some(er(93.9, 1600.0)),
+            mem: er(267.0, 239.0),
+            l1: Some(er(24.4, 1610.0)), // Kepler: shared memory
+            l2: Some(er(195.0, 297.0)),
+            random: Some(rc(48.0, 968.0)),
+            line_bytes: 128,
+            headline: PaperHeadline {
+                peak_flops_per_joule: 16.0 * G,
+                peak_bytes_per_joule: 1.3 * G,
+            },
+            ks_starred: false,
+            quirk: QuirkHint::None,
+            noise: NoiseCalib { power_sigma: 0.050, rate_sigma: 0.010 },
+        },
+        PlatformId::XeonPhi => Platform {
+            id,
+            name: "Xeon Phi".to_string(),
+            codename: "KNC".to_string(),
+            processor: "Intel 5110P".to_string(),
+            process_nm: Some(22),
+            class: PlatformClass::Coprocessor,
+            kind: ProcessorKind::Manycore,
+            vendor: VendorPeaks {
+                single_flops: 2020.0 * G,
+                double_flops: Some(1010.0 * G),
+                mem_bandwidth: 320.0 * G,
+            },
+            const_power: 180.0,
+            idle_power: 90.0,
+            const_below_idle: false,
+            usable_power: 36.1,
+            flop_single: er(6.05, 2020.0),
+            flop_double: Some(er(12.4, 1010.0)),
+            mem: er(136.0, 181.0),
+            l1: Some(er(2.19, 2890.0)),
+            l2: Some(er(8.65, 591.0)),
+            random: Some(rc(5.11, 706.0)),
+            line_bytes: 64,
+            headline: PaperHeadline {
+                peak_flops_per_joule: 11.0 * G,
+                peak_bytes_per_joule: 880.0 * M,
+            },
+            ks_starred: true,
+            quirk: QuirkHint::None,
+            noise: NoiseCalib { power_sigma: 0.006, rate_sigma: 0.006 },
+        },
+        PlatformId::PandaBoardEs => Platform {
+            id,
+            name: "PandaBoard ES".to_string(),
+            codename: "Cortex-A9".to_string(),
+            processor: "TI OMAP4460".to_string(),
+            process_nm: Some(45),
+            class: PlatformClass::Mobile,
+            kind: ProcessorKind::Cpu,
+            vendor: VendorPeaks {
+                single_flops: 9.60 * G,
+                double_flops: Some(3.60 * G),
+                mem_bandwidth: 3.20 * G,
+            },
+            const_power: 3.48,
+            idle_power: 2.74,
+            const_below_idle: false,
+            usable_power: 1.19,
+            flop_single: er(37.2, 9.47),
+            flop_double: Some(er(302.0, 3.02)),
+            mem: er(810.0, 1.28),
+            l1: Some(er(79.5, 18.4)),
+            l2: Some(er(134.0, 4.12)),
+            random: Some(rc(60.9, 12.1)),
+            line_bytes: 32,
+            headline: PaperHeadline {
+                peak_flops_per_joule: 2.5 * G,
+                peak_bytes_per_joule: 280.0 * M,
+            },
+            ks_starred: true,
+            quirk: QuirkHint::None,
+            noise: NoiseCalib { power_sigma: 0.006, rate_sigma: 0.006 },
+        },
+        PlatformId::ArndaleCpu => Platform {
+            id,
+            name: "Arndale CPU".to_string(),
+            codename: "Cortex-A15".to_string(),
+            processor: "Samsung Exynos 5".to_string(),
+            process_nm: Some(32),
+            class: PlatformClass::Mobile,
+            kind: ProcessorKind::Cpu,
+            vendor: VendorPeaks {
+                single_flops: 27.2 * G,
+                double_flops: Some(6.80 * G),
+                mem_bandwidth: 12.8 * G,
+            },
+            const_power: 5.50,
+            idle_power: 1.72,
+            const_below_idle: false,
+            usable_power: 2.01,
+            flop_single: er(107.0, 15.8),
+            flop_double: Some(er(275.0, 3.97)),
+            mem: er(386.0, 3.94),
+            l1: Some(er(76.3, 50.8)),
+            l2: Some(er(248.0, 15.2)),
+            random: Some(rc(138.0, 14.8)),
+            line_bytes: 64,
+            headline: PaperHeadline {
+                peak_flops_per_joule: 2.2 * G,
+                peak_bytes_per_joule: 560.0 * M,
+            },
+            ks_starred: true,
+            quirk: QuirkHint::None,
+            noise: NoiseCalib { power_sigma: 0.006, rate_sigma: 0.006 },
+        },
+        PlatformId::ArndaleGpu => Platform {
+            id,
+            name: "Arndale GPU".to_string(),
+            codename: "Mali T-604".to_string(),
+            processor: "Samsung Exynos 5".to_string(),
+            process_nm: Some(32),
+            class: PlatformClass::Mobile,
+            kind: ProcessorKind::Gpu,
+            vendor: VendorPeaks {
+                single_flops: 72.0 * G,
+                double_flops: None,
+                mem_bandwidth: 12.8 * G,
+            },
+            const_power: 1.28,
+            idle_power: 1.72,
+            const_below_idle: true,
+            usable_power: 4.83,
+            flop_single: er(84.2, 33.0),
+            flop_double: None,
+            mem: er(518.0, 8.39),
+            l1: Some(er(71.4, 33.4)), // software-managed scratchpad
+            l2: None,
+            random: Some(rc(125.0, 33.6)),
+            line_bytes: 64,
+            headline: PaperHeadline {
+                peak_flops_per_joule: 8.1 * G,
+                peak_bytes_per_joule: 1.5 * G,
+            },
+            ks_starred: true,
+            quirk: QuirkHint::UtilizationScaling,
+            noise: NoiseCalib { power_sigma: 0.006, rate_sigma: 0.006 },
+        },
+    }
+}
+
+/// All twelve platforms in Table I order.
+pub fn all_platforms() -> Vec<Platform> {
+    PlatformId::ALL.iter().map(|&id| platform(id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Precision;
+
+    #[test]
+    fn twelve_platforms_with_unique_names() {
+        let all = all_platforms();
+        assert_eq!(all.len(), 12);
+        let mut names: Vec<&str> = all.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn exactly_seven_platforms_are_ks_starred() {
+        // Fig. 4: Arndale GPU, NUC GPU, Arndale CPU, GTX 680, PandaBoard ES,
+        // Xeon Phi, APU GPU.
+        let starred: Vec<_> =
+            all_platforms().into_iter().filter(|p| p.ks_starred).map(|p| p.id).collect();
+        assert_eq!(starred.len(), 7);
+        for id in [
+            PlatformId::ArndaleGpu,
+            PlatformId::NucGpu,
+            PlatformId::ArndaleCpu,
+            PlatformId::Gtx680,
+            PlatformId::PandaBoardEs,
+            PlatformId::XeonPhi,
+            PlatformId::ApuGpu,
+        ] {
+            assert!(starred.contains(&id), "{id:?} should be starred");
+        }
+    }
+
+    #[test]
+    fn exactly_four_platforms_have_const_below_idle() {
+        // Table I note 1.
+        let marked: Vec<_> =
+            all_platforms().into_iter().filter(|p| p.const_below_idle).map(|p| p.id).collect();
+        assert_eq!(
+            marked,
+            vec![
+                PlatformId::NucGpu,
+                PlatformId::Gtx580,
+                PlatformId::Gtx680,
+                PlatformId::ArndaleGpu
+            ]
+        );
+    }
+
+    #[test]
+    fn all_single_precision_models_validate() {
+        for p in all_platforms() {
+            let m = p.machine_params(Precision::Single).unwrap();
+            assert!(m.validate().is_ok(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn double_precision_missing_exactly_where_the_table_says() {
+        let no_double = [PlatformId::NucGpu, PlatformId::ApuGpu, PlatformId::ArndaleGpu];
+        for p in all_platforms() {
+            let res = p.machine_params(Precision::Double);
+            if no_double.contains(&p.id) {
+                assert!(res.is_err(), "{} should lack double", p.name);
+            } else {
+                assert!(res.is_ok(), "{} should support double", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchies_validate_and_respect_energy_ordering() {
+        for p in all_platforms() {
+            let h = p.hier_params(Precision::Single).unwrap();
+            // Paper §V-B: ε_L1 ≤ ε_L2 for every system; DRAM above both.
+            h.check_level_ordering().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn sustained_peaks_do_not_exceed_vendor_claims() {
+        for p in all_platforms() {
+            assert!(
+                p.sustained_flop_fraction() <= 1.001,
+                "{}: {}",
+                p.name,
+                p.sustained_flop_fraction()
+            );
+            assert!(p.sustained_bw_fraction() <= 1.001, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn random_access_energy_at_least_an_order_above_mem_per_line() {
+        // Paper §V-B: ε_rand includes reading an entire line, so per access
+        // it should be far above ε_mem × 1 B; sanity: ε_rand ≥ 5 × line ε_mem
+        // is too strong, but ε_rand ≥ ε_mem per byte × 8 holds broadly.
+        for p in all_platforms() {
+            if let Some(r) = p.random {
+                assert!(
+                    r.energy_per_access > 8.0 * p.mem.energy,
+                    "{}: ε_rand {} vs ε_mem {}",
+                    p.name,
+                    r.energy_per_access,
+                    p.mem.energy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phi_random_access_is_an_order_cheaper_than_everyone_else() {
+        // Paper conclusion: Xeon Phi's ε_rand is at least one order of
+        // magnitude below any other platform (5.11 nJ vs ≥ 45.8 nJ).
+        let all = all_platforms();
+        let phi = all.iter().find(|p| p.id == PlatformId::XeonPhi).unwrap();
+        let phi_rand = phi.random.unwrap().energy_per_access;
+        for p in &all {
+            if p.id != PlatformId::XeonPhi {
+                if let Some(r) = p.random {
+                    assert!(
+                        r.energy_per_access >= 8.9 * phi_rand,
+                        "{}: {} vs Phi {}",
+                        p.name,
+                        r.energy_per_access,
+                        phi_rand
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn const_power_fraction_above_half_on_seven_platforms() {
+        // Paper §V-C: π_1/(π_1+Δπ) > 50 % for 7 of the 12 platforms.
+        let over_half = all_platforms()
+            .iter()
+            .filter(|p| p.const_power / p.max_power() > 0.5)
+            .count();
+        assert_eq!(over_half, 7);
+    }
+
+    #[test]
+    fn peak_efficiencies_match_fig5_headlines() {
+        // The model's I→∞ and I→0 efficiency limits must reproduce the
+        // paper's Fig. 5 annotations within rounding (headline values carry
+        // 2 significant digits).
+        use archline_core::EnergyRoofline;
+        for p in all_platforms() {
+            let m = EnergyRoofline::new(p.machine_params(Precision::Single).unwrap());
+            let flops_per_j = m.peak_energy_eff();
+            let bytes_per_j = m.peak_byte_eff();
+            let rel_f = (flops_per_j - p.headline.peak_flops_per_joule).abs()
+                / p.headline.peak_flops_per_joule;
+            let rel_b = (bytes_per_j - p.headline.peak_bytes_per_joule).abs()
+                / p.headline.peak_bytes_per_joule;
+            assert!(rel_f < 0.06, "{}: {} vs {} flop/J", p.name, flops_per_j, p.headline.peak_flops_per_joule);
+            assert!(rel_b < 0.06, "{}: {} vs {} B/J", p.name, bytes_per_j, p.headline.peak_bytes_per_joule);
+        }
+    }
+
+    #[test]
+    fn dram_level_index_counts_present_caches() {
+        let titan = platform(PlatformId::GtxTitan);
+        assert_eq!(titan.dram_level_index(), 2);
+        let nuc_gpu = platform(PlatformId::NucGpu);
+        assert_eq!(nuc_gpu.dram_level_index(), 0);
+        let arndale_gpu = platform(PlatformId::ArndaleGpu);
+        assert_eq!(arndale_gpu.dram_level_index(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for p in all_platforms() {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: Platform = serde_json::from_str(&json).unwrap();
+            assert_eq!(p, back);
+        }
+    }
+}

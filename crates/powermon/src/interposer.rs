@@ -1,0 +1,95 @@
+//! The custom PCIe interposer (paper Fig. 3).
+//!
+//! High-performance GPUs draw power from the motherboard PCIe slot *and*
+//! from 12 V 6-pin/8-pin connectors. The interposer sits between the
+//! motherboard and the card to expose the slot rail to PowerMon 2; the
+//! connector rails are tapped directly. This module provides the standard
+//! rail topologies as [`RailSplit`] presets.
+
+use crate::rail::{Rail, RailSplit};
+
+/// The PCIe interposer: builds rail splits for the measurement topologies
+/// the paper uses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PcieInterposer;
+
+impl PcieInterposer {
+    /// PCIe CEM slot power limit, Watts.
+    pub const SLOT_LIMIT_W: f64 = 75.0;
+    /// 6-pin auxiliary connector limit, Watts.
+    pub const SIX_PIN_LIMIT_W: f64 = 75.0;
+    /// 8-pin auxiliary connector limit, Watts.
+    pub const EIGHT_PIN_LIMIT_W: f64 = 150.0;
+
+    /// Rail split for a high-end GPU with 8-pin + 6-pin connectors
+    /// (GTX 580/680/Titan class): slot + both connectors, three channels.
+    pub fn high_end_gpu() -> RailSplit {
+        RailSplit::new(vec![
+            Rail::limited("PCIe slot (interposer)", 12.0, 1.0, Self::SLOT_LIMIT_W),
+            Rail::limited("8-pin PCIe", 12.0, 2.0, Self::EIGHT_PIN_LIMIT_W),
+            Rail::limited("6-pin PCIe", 12.0, 1.0, Self::SIX_PIN_LIMIT_W),
+        ])
+    }
+
+    /// Rail split for a coprocessor fed by slot + two 6-pin/8-pin style
+    /// connectors sized for ~300 W total (Xeon Phi 5110P class).
+    pub fn coprocessor() -> RailSplit {
+        RailSplit::new(vec![
+            Rail::limited("PCIe slot (interposer)", 12.0, 1.0, Self::SLOT_LIMIT_W),
+            Rail::limited("8-pin aux", 12.0, 2.0, Self::EIGHT_PIN_LIMIT_W),
+        ])
+    }
+
+    /// CPU-system split: ATX 12 V EPS (CPU package) plus the motherboard
+    /// input that feeds DRAM (paper: "we measure input both to the CPU and
+    /// to the motherboard").
+    pub fn cpu_system() -> RailSplit {
+        RailSplit::new(vec![
+            Rail::new("12V EPS (CPU)", 12.0, 3.0),
+            Rail::new("ATX motherboard", 12.0, 1.0),
+        ])
+    }
+
+    /// Mobile/developer-board split: one wall brick carrying the whole
+    /// system (CPU, GPU, DRAM, peripherals).
+    pub fn dev_board(volts: f64) -> RailSplit {
+        RailSplit::single("DC power brick", volts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_end_gpu_has_three_limited_rails() {
+        let s = PcieInterposer::high_end_gpu();
+        assert_eq!(s.rails().len(), 3);
+        assert!(s.rails().iter().all(|r| r.max_watts.is_some()));
+        // Combined limit covers a 250 W TDP card with headroom.
+        let cap: f64 = s.rails().iter().map(|r| r.max_watts.unwrap()).sum();
+        assert_eq!(cap, 300.0);
+    }
+
+    #[test]
+    fn titan_class_draw_fits_without_overflow() {
+        let s = PcieInterposer::high_end_gpu();
+        let alloc = s.split(287.0); // Titan π_1 + Δπ
+        assert!(alloc[0] <= 75.0 + 1e-9);
+        assert!(alloc[1] <= 150.0 + 1e-9);
+        assert!(alloc[2] <= 75.0 + 1e-9);
+        assert!((alloc.iter().sum::<f64>() - 287.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dev_board_is_single_rail() {
+        let s = PcieInterposer::dev_board(5.0);
+        assert_eq!(s.rails().len(), 1);
+        assert!(s.rails()[0].max_watts.is_none());
+    }
+
+    #[test]
+    fn cpu_system_monitors_two_inputs() {
+        assert_eq!(PcieInterposer::cpu_system().rails().len(), 2);
+    }
+}

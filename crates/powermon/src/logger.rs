@@ -1,0 +1,202 @@
+//! PowerMon-style measurement logs: a simple, stable, line-oriented text
+//! format for persisting and exchanging power measurements.
+//!
+//! The real PowerMon 2 "reports time-stamped measurements without the need
+//! for specialized software" (paper §IV-h); this module defines the
+//! equivalent on-disk representation for the simulated device so
+//! measurement campaigns can be archived and re-analyzed:
+//!
+//! ```text
+//! # powermon2-log v1
+//! # exec_time_s: 1.25
+//! # rails: PCIe slot (interposer)|8-pin PCIe|6-pin PCIe
+//! time_s,rail_index,watts
+//! 0.000488,0,31.25
+//! 0.000488,1,62.50
+//! ...
+//! ```
+
+use crate::device::Measurement;
+use crate::trace::{PowerTrace, Sample};
+
+/// Serializes a measurement to the log format.
+pub fn write_log(m: &Measurement) -> String {
+    let mut out = String::new();
+    out.push_str("# powermon2-log v1\n");
+    out.push_str(&format!("# exec_time_s: {}\n", m.exec_time));
+    out.push_str(&format!("# rails: {}\n", m.rail_names.join("|")));
+    out.push_str("time_s,rail_index,watts\n");
+    // Interleave channels by sample index, as the device streams them.
+    let n = m.traces.first().map_or(0, PowerTrace::len);
+    for i in 0..n {
+        for (rail, trace) in m.traces.iter().enumerate() {
+            if let Some(s) = trace.samples().get(i) {
+                out.push_str(&format!("{},{},{}\n", s.time, rail, s.watts));
+            }
+        }
+    }
+    out
+}
+
+/// Errors from [`parse_log`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogError {
+    /// Missing or wrong magic header.
+    BadMagic,
+    /// Missing required header field.
+    MissingHeader(&'static str),
+    /// Malformed data line (1-based line number).
+    BadLine(usize),
+    /// Rail index out of range (1-based line number).
+    BadRail(usize),
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::BadMagic => write!(f, "not a powermon2-log v1 file"),
+            LogError::MissingHeader(h) => write!(f, "missing header `{h}`"),
+            LogError::BadLine(n) => write!(f, "malformed data at line {n}"),
+            LogError::BadRail(n) => write!(f, "rail index out of range at line {n}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// Parses a log produced by [`write_log`] back into a [`Measurement`].
+pub fn parse_log(text: &str) -> Result<Measurement, LogError> {
+    let mut lines = text.lines().enumerate();
+    let (_, magic) = lines.next().ok_or(LogError::BadMagic)?;
+    if magic.trim() != "# powermon2-log v1" {
+        return Err(LogError::BadMagic);
+    }
+    let mut exec_time: Option<f64> = None;
+    let mut rails: Option<Vec<String>> = None;
+    let mut data_started = false;
+    let mut per_rail: Vec<Vec<Sample>> = Vec::new();
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# exec_time_s:") {
+            exec_time = Some(rest.trim().parse().map_err(|_| LogError::BadLine(lineno))?);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# rails:") {
+            let names: Vec<String> = rest.trim().split('|').map(str::to_string).collect();
+            per_rail = vec![Vec::new(); names.len()];
+            rails = Some(names);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        if line == "time_s,rail_index,watts" {
+            data_started = true;
+            continue;
+        }
+        if !data_started {
+            return Err(LogError::BadLine(lineno));
+        }
+        let mut parts = line.split(',');
+        let time: f64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(LogError::BadLine(lineno))?;
+        let rail: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(LogError::BadLine(lineno))?;
+        let watts: f64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(LogError::BadLine(lineno))?;
+        if parts.next().is_some() {
+            return Err(LogError::BadLine(lineno));
+        }
+        let slot = per_rail.get_mut(rail).ok_or(LogError::BadRail(lineno))?;
+        slot.push(Sample { time, watts });
+    }
+    Ok(Measurement {
+        rail_names: rails.ok_or(LogError::MissingHeader("rails"))?,
+        exec_time: exec_time.ok_or(LogError::MissingHeader("exec_time_s"))?,
+        traces: per_rail.into_iter().map(PowerTrace::new).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::PowerMon2;
+    use crate::rail::RailSplit;
+    use crate::PcieInterposer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_measurement() -> Measurement {
+        let split = PcieInterposer::high_end_gpu();
+        let dev = PowerMon2::for_rails(&split, 400.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        dev.record(&split, |t| 200.0 + 20.0 * (t * 40.0).sin(), 0.05, &mut rng)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let m = sample_measurement();
+        let text = write_log(&m);
+        let back = parse_log(&text).unwrap();
+        assert_eq!(back.rail_names, m.rail_names);
+        assert_eq!(back.exec_time, m.exec_time);
+        assert_eq!(back.traces.len(), m.traces.len());
+        for (a, b) in back.traces.iter().zip(&m.traces) {
+            assert_eq!(a.len(), b.len());
+            for (sa, sb) in a.samples().iter().zip(b.samples()) {
+                assert_eq!(sa.time, sb.time);
+                assert_eq!(sa.watts, sb.watts);
+            }
+        }
+        // And the estimators agree exactly.
+        assert_eq!(back.avg_power(), m.avg_power());
+        assert_eq!(back.energy(), m.energy());
+    }
+
+    #[test]
+    fn single_rail_round_trip() {
+        let split = RailSplit::single("brick", 5.0);
+        let dev = PowerMon2::for_rails(&split, 10.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = dev.record(&split, |_| 4.2, 0.01, &mut rng);
+        let back = parse_log(&write_log(&m)).unwrap();
+        assert_eq!(back.rail_names, vec!["brick"]);
+        assert_eq!(back.traces[0].len(), m.traces[0].len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(parse_log("hello\n"), Err(LogError::BadMagic));
+        assert_eq!(parse_log(""), Err(LogError::BadMagic));
+    }
+
+    #[test]
+    fn missing_headers_detected() {
+        let text = "# powermon2-log v1\ntime_s,rail_index,watts\n";
+        assert!(matches!(parse_log(text), Err(LogError::MissingHeader(_))));
+    }
+
+    #[test]
+    fn malformed_lines_reported_with_position() {
+        let text = "# powermon2-log v1\n# exec_time_s: 1\n# rails: a\ntime_s,rail_index,watts\n0.1,0,nope\n";
+        assert_eq!(parse_log(text), Err(LogError::BadLine(5)));
+        let text = "# powermon2-log v1\n# exec_time_s: 1\n# rails: a\ntime_s,rail_index,watts\n0.1,7,3.0\n";
+        assert_eq!(parse_log(text), Err(LogError::BadRail(5)));
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(LogError::BadMagic.to_string().contains("powermon2"));
+        assert!(LogError::BadLine(3).to_string().contains('3'));
+    }
+}

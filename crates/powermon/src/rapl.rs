@@ -1,0 +1,193 @@
+//! Optional live energy measurement via Linux RAPL
+//! (`/sys/class/powercap/intel-rapl*`).
+//!
+//! On hosts that expose RAPL, the real microbenchmark kernels can report
+//! measured package energy next to their timings, mirroring how the paper's
+//! setup pairs PowerMon traces with execution times. On hosts without RAPL
+//! (containers, non-Intel machines, restricted permissions) construction
+//! returns `None` and callers fall back to time-only reporting.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// A handle to one RAPL energy counter domain (e.g. `package-0`).
+#[derive(Debug, Clone)]
+pub struct RaplDomain {
+    /// Domain name as reported by the kernel.
+    pub name: String,
+    energy_path: PathBuf,
+    max_energy_uj: u64,
+}
+
+/// Reader over all accessible RAPL domains.
+#[derive(Debug, Clone)]
+pub struct RaplReader {
+    domains: Vec<RaplDomain>,
+}
+
+/// An in-progress energy measurement.
+#[derive(Debug)]
+pub struct RaplSession<'a> {
+    reader: &'a RaplReader,
+    start_uj: Vec<u64>,
+    start_time: Instant,
+}
+
+/// Result of a RAPL measurement window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaplReading {
+    /// Total energy across domains, Joules.
+    pub joules: f64,
+    /// Elapsed wall time, seconds.
+    pub seconds: f64,
+}
+
+impl RaplReading {
+    /// Average power over the window, Watts.
+    pub fn avg_watts(&self) -> f64 {
+        self.joules / self.seconds
+    }
+}
+
+impl RaplReader {
+    /// Probes `/sys/class/powercap` for readable RAPL energy counters.
+    /// Returns `None` when none are accessible.
+    pub fn probe() -> Option<Self> {
+        Self::probe_at("/sys/class/powercap")
+    }
+
+    /// Probes a specific powercap root (separated out for testing).
+    pub fn probe_at(root: &str) -> Option<Self> {
+        let entries = fs::read_dir(root).ok()?;
+        let mut domains = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let fname = entry.file_name();
+            let fname = fname.to_string_lossy();
+            if !fname.starts_with("intel-rapl") {
+                continue;
+            }
+            let energy_path = path.join("energy_uj");
+            // Only usable if we can actually read the counter.
+            let Ok(s) = fs::read_to_string(&energy_path) else { continue };
+            if s.trim().parse::<u64>().is_err() {
+                continue;
+            }
+            let name = fs::read_to_string(path.join("name"))
+                .map(|s| s.trim().to_string())
+                .unwrap_or_else(|_| fname.to_string());
+            let max_energy_uj = fs::read_to_string(path.join("max_energy_range_uj"))
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(u64::MAX);
+            domains.push(RaplDomain { name, energy_path, max_energy_uj });
+        }
+        if domains.is_empty() {
+            None
+        } else {
+            Some(Self { domains })
+        }
+    }
+
+    /// Accessible domains.
+    pub fn domains(&self) -> &[RaplDomain] {
+        &self.domains
+    }
+
+    /// Begins a measurement window.
+    pub fn start(&self) -> RaplSession<'_> {
+        RaplSession {
+            reader: self,
+            start_uj: self.domains.iter().map(|d| d.read_uj().unwrap_or(0)).collect(),
+            start_time: Instant::now(),
+        }
+    }
+}
+
+impl RaplDomain {
+    fn read_uj(&self) -> Option<u64> {
+        fs::read_to_string(&self.energy_path).ok()?.trim().parse().ok()
+    }
+}
+
+impl RaplSession<'_> {
+    /// Ends the window and returns total energy and elapsed time, handling
+    /// counter wraparound via each domain's `max_energy_range_uj`.
+    pub fn stop(self) -> RaplReading {
+        let seconds = self.start_time.elapsed().as_secs_f64();
+        let mut joules = 0.0;
+        for (domain, &start) in self.reader.domains.iter().zip(&self.start_uj) {
+            let end = domain.read_uj().unwrap_or(start);
+            let delta_uj = if end >= start {
+                end - start
+            } else {
+                // Wrapped around the counter range.
+                domain.max_energy_uj.saturating_sub(start).saturating_add(end)
+            };
+            joules += delta_uj as f64 * 1e-6;
+        }
+        RaplReading { joules, seconds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_missing_root_returns_none() {
+        assert!(RaplReader::probe_at("/definitely/not/a/path").is_none());
+    }
+
+    #[test]
+    fn probe_with_fake_sysfs_tree() {
+        let dir = std::env::temp_dir().join(format!("archline-rapl-{}", std::process::id()));
+        let dom = dir.join("intel-rapl:0");
+        fs::create_dir_all(&dom).unwrap();
+        fs::write(dom.join("energy_uj"), "123456789\n").unwrap();
+        fs::write(dom.join("name"), "package-0\n").unwrap();
+        fs::write(dom.join("max_energy_range_uj"), "262143328850\n").unwrap();
+        // Distractor entry that must be ignored.
+        fs::create_dir_all(dir.join("thermal-junk")).unwrap();
+
+        let reader = RaplReader::probe_at(dir.to_str().unwrap()).expect("probe ok");
+        assert_eq!(reader.domains().len(), 1);
+        assert_eq!(reader.domains()[0].name, "package-0");
+
+        // A session across a counter increment reports the delta in Joules.
+        let session = reader.start();
+        fs::write(dom.join("energy_uj"), "123956789\n").unwrap(); // +0.5 J
+        let reading = session.stop();
+        assert!((reading.joules - 0.5).abs() < 1e-9, "got {}", reading.joules);
+        assert!(reading.seconds >= 0.0);
+        assert!(reading.avg_watts().is_finite());
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wraparound_handled() {
+        let dir =
+            std::env::temp_dir().join(format!("archline-rapl-wrap-{}", std::process::id()));
+        let dom = dir.join("intel-rapl:0");
+        fs::create_dir_all(&dom).unwrap();
+        fs::write(dom.join("energy_uj"), "999000\n").unwrap();
+        fs::write(dom.join("name"), "package-0\n").unwrap();
+        fs::write(dom.join("max_energy_range_uj"), "1000000\n").unwrap();
+
+        let reader = RaplReader::probe_at(dir.to_str().unwrap()).unwrap();
+        let session = reader.start();
+        fs::write(dom.join("energy_uj"), "1000\n").unwrap(); // wrapped: 1000+1000000-999000 = 2000 uJ
+        let reading = session.stop();
+        assert!((reading.joules - 0.002).abs() < 1e-9, "got {}", reading.joules);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn live_probe_does_not_crash() {
+        // Whatever the host exposes, probing must be safe.
+        let _ = RaplReader::probe();
+    }
+}

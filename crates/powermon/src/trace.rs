@@ -1,0 +1,290 @@
+//! Time-stamped power traces and the paper's energy estimators.
+
+use serde::{Deserialize, Serialize};
+
+/// One time-stamped instantaneous power sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Timestamp, seconds from the start of the measurement.
+    pub time: f64,
+    /// Instantaneous power, Watts.
+    pub watts: f64,
+}
+
+/// A sequence of power samples from one channel (or a summed total).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerTrace {
+    samples: Vec<Sample>,
+}
+
+impl PowerTrace {
+    /// Creates a trace from samples; timestamps must be non-decreasing and
+    /// finite, powers finite.
+    ///
+    /// # Panics
+    /// Panics on unordered or non-finite data.
+    pub fn new(samples: Vec<Sample>) -> Self {
+        for pair in samples.windows(2) {
+            assert!(pair[0].time <= pair[1].time, "timestamps must be non-decreasing");
+        }
+        assert!(
+            samples.iter().all(|s| s.time.is_finite() && s.watts.is_finite()),
+            "samples must be finite"
+        );
+        Self { samples }
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Time span covered, seconds (0 for fewer than two samples).
+    pub fn duration(&self) -> f64 {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(a), Some(b)) => b.time - a.time,
+            _ => 0.0,
+        }
+    }
+
+    /// The paper's average-power estimator: the arithmetic mean of
+    /// instantaneous samples (assumes uniform sampling).
+    ///
+    /// Returns NaN for an empty trace.
+    pub fn avg_power(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.iter().map(|s| s.watts).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// The paper's total-energy estimator: average power × execution time.
+    /// `exec_time` is the benchmark's wall time, which may exceed the trace
+    /// span slightly.
+    pub fn energy_paper(&self, exec_time: f64) -> f64 {
+        self.avg_power() * exec_time
+    }
+
+    /// Trapezoidal integral of the trace, Joules — the higher-fidelity
+    /// estimator used to cross-check the paper's mean × time estimate.
+    pub fn energy_trapezoid(&self) -> f64 {
+        self.samples
+            .windows(2)
+            .map(|w| 0.5 * (w[0].watts + w[1].watts) * (w[1].time - w[0].time))
+            .sum()
+    }
+
+    /// Sub-trace with `t0 <= time <= t1`.
+    pub fn window(&self, t0: f64, t1: f64) -> PowerTrace {
+        PowerTrace {
+            samples: self
+                .samples
+                .iter()
+                .copied()
+                .filter(|s| s.time >= t0 && s.time <= t1)
+                .collect(),
+        }
+    }
+
+    /// Peak instantaneous power, Watts (NaN when empty).
+    pub fn peak_power(&self) -> f64 {
+        self.samples.iter().map(|s| s.watts).fold(f64::NAN, f64::max)
+    }
+
+    /// Detects the active measurement window: the longest contiguous span
+    /// of samples whose power exceeds `idle_watts + threshold_watts`.
+    /// Returns `(t_start, t_end)` or `None` when nothing rises above idle.
+    ///
+    /// The paper aligns PowerMon's time-stamped samples with benchmark
+    /// execution; on hardware the benchmark window must be recovered from
+    /// the trace itself, which is what this does.
+    pub fn active_window(&self, idle_watts: f64, threshold_watts: f64) -> Option<(f64, f64)> {
+        let floor = idle_watts + threshold_watts;
+        let mut best: Option<(f64, f64)> = None;
+        let mut current: Option<(f64, f64)> = None;
+        for s in &self.samples {
+            if s.watts > floor {
+                current = Some(match current {
+                    Some((start, _)) => (start, s.time),
+                    None => (s.time, s.time),
+                });
+            } else {
+                if let (Some(c), best_len) =
+                    (current, best.map_or(0.0, |(a, b)| b - a))
+                {
+                    if c.1 - c.0 >= best_len {
+                        best = Some(c);
+                    }
+                }
+                current = None;
+            }
+        }
+        if let (Some(c), best_len) = (current, best.map_or(0.0, |(a, b)| b - a)) {
+            if c.1 - c.0 >= best_len {
+                best = Some(c);
+            }
+        }
+        best
+    }
+
+    /// Sums several synchronously sampled rails into a total-power trace.
+    ///
+    /// # Panics
+    /// Panics if traces have different lengths or misaligned (>1 µs apart)
+    /// timestamps — PowerMon 2 samples its channels on a common clock.
+    pub fn sum_rails(traces: &[PowerTrace]) -> PowerTrace {
+        assert!(!traces.is_empty(), "need at least one rail");
+        let n = traces[0].len();
+        for t in traces {
+            assert_eq!(t.len(), n, "rail traces must have equal length");
+        }
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let t0 = traces[0].samples[i].time;
+            let mut watts = 0.0;
+            for t in traces {
+                assert!(
+                    (t.samples[i].time - t0).abs() < 1e-6,
+                    "rail timestamps misaligned at sample {i}"
+                );
+                watts += t.samples[i].watts;
+            }
+            samples.push(Sample { time: t0, watts });
+        }
+        PowerTrace { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> PowerTrace {
+        // 0..=10 s, power = 10 + t.
+        PowerTrace::new(
+            (0..=10).map(|i| Sample { time: i as f64, watts: 10.0 + i as f64 }).collect(),
+        )
+    }
+
+    #[test]
+    fn avg_power_is_sample_mean() {
+        let t = ramp();
+        assert!((t.avg_power() - 15.0).abs() < 1e-12);
+        assert_eq!(t.duration(), 10.0);
+        assert_eq!(t.len(), 11);
+    }
+
+    #[test]
+    fn trapezoid_matches_analytic_integral() {
+        // ∫₀¹⁰ (10 + t) dt = 100 + 50 = 150 J, and the ramp is piecewise
+        // linear so the trapezoid is exact.
+        assert!((ramp().energy_trapezoid() - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_energy_estimator() {
+        let t = ramp();
+        assert!((t.energy_paper(10.0) - 150.0).abs() < 1e-12);
+        // The paper estimator tolerates exec_time beyond the trace span.
+        assert!((t.energy_paper(12.0) - 180.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_selects_inclusive_range() {
+        let w = ramp().window(2.0, 4.0);
+        assert_eq!(w.len(), 3);
+        assert!((w.avg_power() - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_rails_adds_pointwise() {
+        let a = ramp();
+        let b = ramp();
+        let total = PowerTrace::sum_rails(&[a, b]);
+        assert!((total.avg_power() - 30.0).abs() < 1e-12);
+        assert_eq!(total.len(), 11);
+    }
+
+    #[test]
+    fn peak_power() {
+        assert_eq!(ramp().peak_power(), 20.0);
+        assert!(PowerTrace::default().peak_power().is_nan());
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let t = PowerTrace::default();
+        assert!(t.is_empty());
+        assert!(t.avg_power().is_nan());
+        assert_eq!(t.energy_trapezoid(), 0.0);
+        assert_eq!(t.duration(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn unordered_timestamps_rejected() {
+        let _ = PowerTrace::new(vec![
+            Sample { time: 1.0, watts: 1.0 },
+            Sample { time: 0.5, watts: 1.0 },
+        ]);
+    }
+
+    #[test]
+    fn active_window_finds_the_benchmark_span() {
+        // Idle 10 W, a burst of 50 W from t = 3..=6, idle again.
+        let samples: Vec<Sample> = (0..=10)
+            .map(|i| Sample {
+                time: i as f64,
+                watts: if (3..=6).contains(&i) { 50.0 } else { 10.0 },
+            })
+            .collect();
+        let t = PowerTrace::new(samples);
+        let (a, b) = t.active_window(10.0, 5.0).expect("burst detected");
+        assert_eq!((a, b), (3.0, 6.0));
+    }
+
+    #[test]
+    fn active_window_picks_the_longest_burst() {
+        let mut samples = Vec::new();
+        for i in 0..30 {
+            let w = match i {
+                2..=3 => 50.0,   // short burst
+                10..=20 => 48.0, // long burst
+                _ => 9.0,
+            };
+            samples.push(Sample { time: i as f64, watts: w });
+        }
+        let t = PowerTrace::new(samples);
+        let (a, b) = t.active_window(9.0, 10.0).unwrap();
+        assert_eq!((a, b), (10.0, 20.0));
+    }
+
+    #[test]
+    fn active_window_none_when_flat() {
+        let t = ramp(); // max 20 W
+        assert!(t.active_window(25.0, 5.0).is_none());
+        // Trailing burst (still active at the end) is found.
+        let samples: Vec<Sample> =
+            (0..5).map(|i| Sample { time: i as f64, watts: if i >= 3 { 40.0 } else { 5.0 } }).collect();
+        let t = PowerTrace::new(samples);
+        assert_eq!(t.active_window(5.0, 10.0), Some((3.0, 4.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_rail_lengths_rejected() {
+        let a = ramp();
+        let b = a.window(0.0, 5.0);
+        let _ = PowerTrace::sum_rails(&[a, b]);
+    }
+}

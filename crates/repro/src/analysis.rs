@@ -1,0 +1,59 @@
+//! Shared per-platform analysis: simulate the microbenchmark suite and fit
+//! both models. Table I, Fig. 4, and Fig. 5 all consume this.
+
+use serde::{Deserialize, Serialize};
+
+use archline_fit::{fit_platform, FitReport};
+use archline_machine::{spec_for, Engine, PlatformSpec};
+use archline_microbench::{run_suite, SimulatedSuite, SweepConfig};
+use archline_par::parallel_map;
+use archline_platforms::{Platform, Precision};
+
+use crate::platforms_by_peak_efficiency;
+
+/// Everything measured and fitted for one platform at single precision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformAnalysis {
+    /// The Table I record.
+    pub platform: Platform,
+    /// Ground-truth simulator spec the measurements came from.
+    pub spec: PlatformSpec,
+    /// The simulated measurement suite.
+    pub suite: SimulatedSuite,
+    /// Capped + uncapped fits to the DRAM intensity sweep.
+    pub fit: FitReport,
+}
+
+/// Runs the suite and fit for every platform (in Fig. 5 panel order),
+/// concurrently across platforms.
+pub fn analyze_all(cfg: &SweepConfig) -> Vec<PlatformAnalysis> {
+    let engine = Engine::default();
+    let platforms = platforms_by_peak_efficiency();
+    parallel_map(&platforms, |platform| {
+        let spec = spec_for(platform, Precision::Single);
+        let suite = run_suite(&spec, cfg, &engine);
+        let fit = fit_platform(&suite.dram);
+        PlatformAnalysis { platform: platform.clone(), spec, suite, fit }
+    })
+}
+
+/// A smaller sweep for tests and `repro --fast`.
+pub fn fast_config() -> SweepConfig {
+    SweepConfig { points: 33, target_secs: 0.08, level_runs: 2, random_runs: 2, ..Default::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyzes_all_twelve_platforms() {
+        let all = analyze_all(&fast_config());
+        assert_eq!(all.len(), 12);
+        assert_eq!(all[0].platform.name, "GTX Titan");
+        for a in &all {
+            assert_eq!(a.suite.dram.len(), fast_config().points);
+            assert!(a.fit.capped_diag.power_rmse < 0.25, "{}: {:?}", a.platform.name, a.fit.capped_diag);
+        }
+    }
+}

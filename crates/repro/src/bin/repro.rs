@@ -1,0 +1,139 @@
+//! `repro` — regenerate the tables and figures of Choi et al. (IPDPS 2014).
+//!
+//! ```text
+//! repro <artifact> [--fast] [--csv DIR]
+//!
+//! artifacts:
+//!   table1         Table I  — platform summary (paper vs re-fitted)
+//!   fig1           Fig. 1   — GTX Titan vs Arndale GPU (+ power-matched array)
+//!   fig4           Fig. 4   — capped vs uncapped error distributions + K-S
+//!   fig5           Fig. 5   — normalized power vs intensity, 12 platforms
+//!   fig6           Fig. 6   — power under caps Δπ/k
+//!   fig7a | fig7b  Fig. 7   — performance / energy-efficiency under caps
+//!   vc-energy      §V-C     — streaming energy per byte worked example
+//!   vc-constpower  §V-C     — constant-power fraction + correlation
+//!   vd-bounding    §V-D     — power bounding comparison
+//!   ext-arndale    extension: utilization-scaled capping ablation
+//!   ext-network    extension: interconnect-cost erosion of Fig. 1
+//!   ext-bounding   extension: §V-D generalized to all platform pairs
+//!   ext-dvfs       extension: energy-optimal DVFS frequencies
+//!   scorecard      every headline claim checked with a PASS/DEVIATION verdict
+//!   all            everything above
+//!
+//! flags:
+//!   --fast      smaller simulated sweeps (quick smoke runs)
+//!   --csv DIR   also write machine-readable JSON reports into DIR
+//! ```
+
+use std::io::Write as _;
+
+use archline_microbench::SweepConfig;
+use archline_repro::{
+    analysis, ext, fig1, fig4, fig5, fig6, fig7, scorecard, section_vc, section_vd, table1,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let artifact = args
+        .iter()
+        .find(|a| !a.starts_with("--") && Some(a.as_str()) != csv_dir.as_deref())
+        .cloned()
+        .unwrap_or_else(|| {
+            eprintln!("usage: repro <table1|fig1|fig4|fig5|fig6|fig7a|fig7b|vc-energy|vc-constpower|vd-bounding|ext-arndale|ext-network|ext-bounding|ext-dvfs|scorecard|all> [--fast] [--csv DIR]");
+            std::process::exit(2);
+        });
+
+    let cfg = if fast { analysis::fast_config() } else { SweepConfig::default() };
+    let names: Vec<&str> = if artifact == "all" {
+        vec![
+            "table1", "fig1", "fig4", "fig5", "fig6", "fig7a", "fig7b", "vc-energy",
+            "vc-constpower", "vd-bounding", "ext-arndale", "ext-network", "ext-bounding", "ext-dvfs",
+            "scorecard",
+        ]
+    } else {
+        vec![artifact.as_str()]
+    };
+
+    for name in names {
+        let (text, json) = run_artifact(name, &cfg, fast);
+        println!("{text}");
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create output dir");
+            let path = format!("{dir}/{name}.json");
+            let mut f = std::fs::File::create(&path).expect("create report file");
+            f.write_all(json.as_bytes()).expect("write report");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+fn run_artifact(name: &str, cfg: &SweepConfig, fast: bool) -> (String, String) {
+    match name {
+        "table1" => {
+            let r = table1::compute(cfg, !fast);
+            (table1::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+        }
+        "fig1" => {
+            let r = fig1::compute(if fast { 9 } else { 17 });
+            (fig1::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+        }
+        "fig4" => {
+            let r = fig4::compute(cfg);
+            (fig4::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+        }
+        "fig5" => {
+            let r = fig5::compute(cfg);
+            (fig5::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+        }
+        "fig6" => {
+            let r = fig6::compute();
+            (fig6::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+        }
+        "fig7a" => {
+            let r = fig7::compute(fig7::Fig7Kind::Performance);
+            (fig7::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+        }
+        "fig7b" => {
+            let r = fig7::compute(fig7::Fig7Kind::EnergyEfficiency);
+            (fig7::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+        }
+        "vc-energy" | "vc-constpower" => {
+            let r = section_vc::compute();
+            (section_vc::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+        }
+        "vd-bounding" => {
+            let r = section_vd::compute();
+            (section_vd::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+        }
+        "ext-arndale" => {
+            let r = ext::arndale_ablation(cfg);
+            (ext::render_arndale(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+        }
+        "ext-network" => {
+            let r = ext::network_erosion();
+            (ext::render_network(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+        }
+        "ext-bounding" => {
+            let r = ext::bounding_matrix();
+            (ext::render_bounding(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+        }
+        "ext-dvfs" => {
+            let r = ext::dvfs_whatif();
+            (ext::render_dvfs(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+        }
+        "scorecard" => {
+            let r = scorecard::compute(cfg);
+            (scorecard::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+        }
+        other => {
+            eprintln!("unknown artifact `{other}`");
+            std::process::exit(2);
+        }
+    }
+}

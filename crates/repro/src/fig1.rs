@@ -1,0 +1,240 @@
+//! Fig. 1: GTX Titan vs. Arndale GPU — time-efficiency, energy-efficiency,
+//! and power across intensities, plus the power-matched "47 × Arndale GPU"
+//! hypothetical system.
+
+use serde::{Deserialize, Serialize};
+
+use archline_core::power::sample_intensities;
+use archline_core::{crossovers, power_match, EnergyRoofline, Metric};
+use archline_machine::{measure, spec_for, Engine};
+use archline_platforms::{platform, PlatformId, Precision};
+
+use crate::render::{sig3, TextTable};
+
+/// One intensity sample of the three panels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Point {
+    /// Intensity, flop:Byte.
+    pub intensity: f64,
+    /// GTX Titan value.
+    pub titan: f64,
+    /// Arndale GPU value.
+    pub arndale: f64,
+    /// Power-matched Arndale array value.
+    pub array: f64,
+}
+
+/// The regenerated figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Report {
+    /// Arndale GPUs needed to match the Titan's peak power.
+    pub array_size: u32,
+    /// Performance (flop/s), normalized to the Titan's peak.
+    pub performance: Vec<Fig1Point>,
+    /// Energy-efficiency (flop/J), normalized to the Titan's peak
+    /// energy-efficiency.
+    pub energy_eff: Vec<Fig1Point>,
+    /// Average power (W), normalized to the Titan's peak power.
+    pub power: Vec<Fig1Point>,
+    /// Intensity where Arndale GPU and Titan tie on energy-efficiency.
+    pub energy_crossover: Option<f64>,
+    /// Aggregate-bandwidth advantage of the array over the Titan
+    /// (the paper's "up to 1.6×").
+    pub bandwidth_advantage: f64,
+    /// Peak-performance ratio of the array vs. the Titan (the paper's
+    /// "less than 1/2").
+    pub peak_ratio: f64,
+    /// Measured (simulated) energy-efficiency dots for both devices, as
+    /// `(intensity, titan flop/J, arndale flop/J)` normalized like
+    /// `energy_eff`.
+    pub measured_energy_eff: Vec<(f64, f64, f64)>,
+}
+
+/// Regenerates Fig. 1. `measured_points` simulated dots are added per
+/// device (0 to skip the simulation).
+pub fn compute(measured_points: usize) -> Fig1Report {
+    let titan_rec = platform(PlatformId::GtxTitan);
+    let arndale_rec = platform(PlatformId::ArndaleGpu);
+    let titan_params = titan_rec.machine_params(Precision::Single).expect("single");
+    let arndale_params = arndale_rec.machine_params(Precision::Single).expect("single");
+    let titan = EnergyRoofline::new(titan_params);
+    let arndale = EnergyRoofline::new(arndale_params);
+
+    // Match the Titan's peak modeled power π_1 + Δπ = 287 W.
+    let rep = power_match(&arndale_params, titan_params.const_power + titan_params.cap.watts());
+    let array = rep.model();
+
+    let grid = sample_intensities(0.125, 256.0, 45);
+    let perf_norm = titan.peak_perf();
+    let eff_norm = titan.peak_energy_eff();
+    let pow_norm = titan.params().peak_power();
+
+    let collect = |f: &dyn Fn(&EnergyRoofline, f64) -> f64, norm: f64| -> Vec<Fig1Point> {
+        grid.iter()
+            .map(|&i| Fig1Point {
+                intensity: i,
+                titan: f(&titan, i) / norm,
+                arndale: f(&arndale, i) / norm,
+                array: f(&array, i) / norm,
+            })
+            .collect()
+    };
+
+    let crossover = crossovers(&arndale, &titan, Metric::EnergyEfficiency, 0.125, 512.0, 512)
+        .first()
+        .map(|x| x.intensity);
+
+    // Measured dots via the simulator.
+    let measured_energy_eff = if measured_points > 0 {
+        let engine = Engine::default();
+        let dots = sample_intensities(0.125, 256.0, measured_points);
+        dots.iter()
+            .enumerate()
+            .map(|(k, &i)| {
+                let ts = spec_for(&titan_rec, Precision::Single);
+                let asx = spec_for(&arndale_rec, Precision::Single);
+                let tw = ts.intensity_workload(i, 0.1);
+                let aw = asx.intensity_workload(i, 0.1);
+                let tr = measure(&ts, &tw, &engine, 0xF1 + k as u64);
+                let ar = measure(&asx, &aw, &engine, 0xA1 + k as u64);
+                (i, tr.flops_per_joule() / eff_norm, ar.flops_per_joule() / eff_norm)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    Fig1Report {
+        array_size: rep.n,
+        performance: collect(&|m, i| m.perf_at(i), perf_norm),
+        energy_eff: collect(&|m, i| m.energy_eff_at(i), eff_norm),
+        power: collect(&|m, i| m.avg_power_at(i), pow_norm),
+        energy_crossover: crossover,
+        bandwidth_advantage: array.peak_bandwidth() / titan.peak_bandwidth(),
+        peak_ratio: array.peak_perf() / titan.peak_perf(),
+        measured_energy_eff,
+    }
+}
+
+/// Renders the three panels as ASCII charts (log-2 y like the paper) over
+/// the aligned series tables.
+pub fn render_charts(report: &Fig1Report) -> String {
+    use crate::plot::{ascii_plot, Series};
+    let mut out = String::new();
+    for (title, series) in [
+        ("Flop / Time (log2, normalized)", &report.performance),
+        ("Flop / Energy (log2, normalized)", &report.energy_eff),
+    ] {
+        let mk = |f: &dyn Fn(&Fig1Point) -> f64, glyph: char, label: &str| {
+            Series::new(
+                glyph,
+                label,
+                series.iter().map(|p| (p.intensity, f(p).log2())).collect(),
+            )
+        };
+        let chart = ascii_plot(
+            &[
+                mk(&|p| p.titan, 'T', "GTX Titan"),
+                mk(&|p| p.arndale, 'a', "Arndale GPU"),
+                mk(&|p| p.array, '#', "power-matched array"),
+            ],
+            64,
+            14,
+        );
+        out.push_str(&format!("{title}\n{chart}\n"));
+    }
+    out
+}
+
+/// Renders the three panels as aligned series.
+pub fn render(report: &Fig1Report) -> String {
+    let mut out = format!(
+        "Fig. 1: GTX Titan vs Arndale GPU vs {}x Arndale array (power-matched)\n\
+         array bandwidth advantage: {}x   array peak-performance ratio: {}x\n\
+         energy-efficiency crossover: I ~= {} flop:Byte\n\n",
+        report.array_size,
+        sig3(report.bandwidth_advantage),
+        sig3(report.peak_ratio),
+        report.energy_crossover.map_or("-".to_string(), sig3),
+    );
+    for (title, series) in [
+        ("Flop / Time (normalized to Titan peak)", &report.performance),
+        ("Flop / Energy (normalized to Titan peak)", &report.energy_eff),
+        ("Power (normalized to Titan peak power)", &report.power),
+    ] {
+        let mut t = TextTable::new(vec!["I", "Titan", "Arndale", "Array"]);
+        for p in series.iter().step_by(4) {
+            t.row(vec![
+                archline_core::units::format_intensity(p.intensity),
+                sig3(p.titan),
+                sig3(p.arndale),
+                sig3(p.array),
+            ]);
+        }
+        out.push_str(&format!("{title}\n{}\n", t.render()));
+    }
+    out.push_str(&render_charts(report));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_size_matches_peak_power_budget() {
+        let r = compute(0);
+        // 287 W / 6.11 W -> 46 or 47 depending on Table I rounding.
+        assert!((46..=47).contains(&r.array_size), "{}", r.array_size);
+    }
+
+    #[test]
+    fn headline_claims_hold() {
+        let r = compute(0);
+        // "aggregate memory bandwidth up to 1.6× higher".
+        assert!((1.5..=1.8).contains(&r.bandwidth_advantage), "{}", r.bandwidth_advantage);
+        // "sacrificing peak performance (less than 1/2)".
+        assert!(r.peak_ratio < 0.5, "{}", r.peak_ratio);
+        // Array beats Titan on perf at bandwidth-bound intensities...
+        let low = &r.performance[0];
+        assert!(low.array > low.titan);
+        // ...but loses at compute-bound intensities.
+        let high = r.performance.last().unwrap();
+        assert!(high.array < high.titan);
+    }
+
+    #[test]
+    fn crossover_in_expected_band() {
+        let r = compute(0);
+        let x = r.energy_crossover.expect("crossover exists");
+        assert!((1.0..=4.0).contains(&x), "I = {x}");
+    }
+
+    #[test]
+    fn measured_dots_track_model() {
+        let r = compute(7);
+        assert_eq!(r.measured_energy_eff.len(), 7);
+        for &(i, titan_meas, arndale_meas) in &r.measured_energy_eff {
+            let model = r
+                .energy_eff
+                .iter()
+                .min_by(|a, b| {
+                    (a.intensity.ln() - i.ln())
+                        .abs()
+                        .partial_cmp(&(b.intensity.ln() - i.ln()).abs())
+                        .expect("finite")
+                })
+                .expect("grid non-empty");
+            assert!(
+                (titan_meas - model.titan).abs() / model.titan < 0.25,
+                "Titan at I={i}: {titan_meas} vs {}",
+                model.titan
+            );
+            assert!(
+                (arndale_meas - model.arndale).abs() / model.arndale < 0.30,
+                "Arndale at I={i}: {arndale_meas} vs {}",
+                model.arndale
+            );
+        }
+    }
+}

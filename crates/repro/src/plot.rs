@@ -1,0 +1,153 @@
+//! Minimal ASCII line plots for terminal rendering of the figures.
+//!
+//! The paper's figures are log-x line charts with overlaid measurement
+//! dots; this renderer draws the same shape in a character grid so `repro`
+//! output is inspectable without a plotting stack.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Glyph used for this series' points.
+    pub glyph: char,
+    /// Label shown in the legend.
+    pub label: String,
+    /// The points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(glyph: char, label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self { glyph, label: label.into(), points }
+    }
+}
+
+/// Renders series into a `width × height` character grid with a log-2
+/// x-axis (matching the paper's intensity axes) and a linear y-axis.
+/// Later series overdraw earlier ones where cells collide.
+///
+/// # Panics
+/// Panics if dimensions are degenerate or no finite positive-x points
+/// exist.
+pub fn ascii_plot(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "plot too small");
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| *x > 0.0 && x.is_finite() && y.is_finite())
+        .collect();
+    assert!(!pts.is_empty(), "nothing to plot");
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (x, y) in &pts {
+        x_lo = x_lo.min(*x);
+        x_hi = x_hi.max(*x);
+        y_lo = y_lo.min(*y);
+        y_hi = y_hi.max(*y);
+    }
+    if y_hi == y_lo {
+        y_hi = y_lo + 1.0;
+    }
+    if x_hi == x_lo {
+        x_hi = x_lo * 2.0;
+    }
+    let (lx_lo, lx_hi) = (x_lo.log2(), x_hi.log2());
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            if !(x > 0.0 && x.is_finite() && y.is_finite()) {
+                continue;
+            }
+            let cx = ((x.log2() - lx_lo) / (lx_hi - lx_lo) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = s.glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{y_hi:>9.3} ┤"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in &grid[1..height - 1] {
+        out.push_str("          │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_lo:>9.3} ┤"));
+    out.push_str(&grid[height - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str(&format!(
+        "          └{}\n           I = {:.3} … {:.3} (log2)\n",
+        "─".repeat(width),
+        x_lo,
+        x_hi
+    ));
+    for s in series {
+        out.push_str(&format!("           {} {}\n", s.glyph, s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(f: impl Fn(f64) -> f64) -> Vec<(f64, f64)> {
+        (0..40).map(|k| 2f64.powf(k as f64 / 4.0 - 3.0)).map(|x| (x, f(x))).collect()
+    }
+
+    #[test]
+    fn renders_expected_dimensions() {
+        let s = Series::new('*', "rising", curve(|x| x.log2()));
+        let plot = ascii_plot(&[s], 60, 12);
+        let lines: Vec<&str> = plot.lines().collect();
+        // 12 grid rows + axis + x-label + 1 legend line.
+        assert_eq!(lines.len(), 12 + 2 + 1);
+        assert!(lines.iter().any(|l| l.contains('*')));
+        assert!(plot.contains("rising"));
+    }
+
+    #[test]
+    fn monotone_series_fills_corners() {
+        let s = Series::new('o', "mono", curve(|x| x.log2()));
+        let plot = ascii_plot(&[s], 40, 8);
+        let lines: Vec<&str> = plot.lines().collect();
+        // Max of the series lands on the top row, min on the bottom row.
+        assert!(lines[0].contains('o'), "{plot}");
+        assert!(lines[7].contains('o'), "{plot}");
+    }
+
+    #[test]
+    fn two_series_both_present() {
+        let a = Series::new('T', "titan", curve(|x| (x).min(16.0)));
+        let b = Series::new('A', "arndale", curve(|x| (x * 0.2).min(2.0)));
+        let plot = ascii_plot(&[a, b], 64, 10);
+        assert!(plot.contains('T'));
+        assert!(plot.contains('A'));
+        assert!(plot.contains("titan"));
+        assert!(plot.contains("arndale"));
+    }
+
+    #[test]
+    fn constant_series_handled() {
+        let s = Series::new('=', "flat", curve(|_| 1.0));
+        let plot = ascii_plot(&[s], 32, 5);
+        assert!(plot.contains('='));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn degenerate_dimensions_rejected() {
+        let s = Series::new('x', "s", vec![(1.0, 1.0)]);
+        let _ = ascii_plot(&[s], 4, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_series_rejected() {
+        let s = Series::new('x', "s", vec![]);
+        let _ = ascii_plot(&[s], 32, 6);
+    }
+}

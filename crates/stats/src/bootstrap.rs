@@ -1,0 +1,83 @@
+//! Percentile bootstrap confidence intervals.
+
+use rand::Rng;
+
+use crate::check_sample;
+use crate::quantiles::quantile;
+
+/// A percentile-bootstrap confidence interval for `statistic` of `xs`.
+///
+/// Draws `resamples` bootstrap resamples with replacement using `rng`,
+/// evaluates `statistic` on each, and returns the `(lo, hi)` quantiles that
+/// bracket the central `confidence` mass (e.g. 0.95 → 2.5 % and 97.5 %).
+///
+/// # Panics
+/// Panics if `xs` is empty/NaN, `resamples == 0`, or `confidence ∉ (0, 1)`.
+pub fn bootstrap_ci<R: Rng, F: Fn(&[f64]) -> f64>(
+    xs: &[f64],
+    statistic: F,
+    resamples: usize,
+    confidence: f64,
+    rng: &mut R,
+) -> (f64, f64) {
+    check_sample("bootstrap", xs);
+    assert!(resamples > 0, "need at least one resample");
+    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; xs.len()];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = xs[rng.gen_range(0..xs.len())];
+        }
+        stats.push(statistic(&buf));
+    }
+    let alpha = (1.0 - confidence) / 2.0;
+    (quantile(&stats, alpha), quantile(&stats, 1.0 - alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn ci_brackets_the_sample_mean() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 * 0.7).sin() + 5.0).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (lo, hi) = bootstrap_ci(&xs, mean, 500, 0.95, &mut rng);
+        let m = mean(&xs);
+        assert!(lo <= m && m <= hi, "CI [{lo}, {hi}] excludes mean {m}");
+        assert!(hi - lo < 0.5, "CI implausibly wide: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn wider_confidence_means_wider_interval() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 1.3).cos() * 2.0).collect();
+        let mut rng1 = StdRng::seed_from_u64(2);
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let (lo90, hi90) = bootstrap_ci(&xs, mean, 400, 0.90, &mut rng1);
+        let (lo99, hi99) = bootstrap_ci(&xs, mean, 400, 0.99, &mut rng2);
+        assert!(hi99 - lo99 >= hi90 - lo90);
+    }
+
+    #[test]
+    fn degenerate_sample_gives_point_interval() {
+        let xs = [3.0; 20];
+        let mut rng = StdRng::seed_from_u64(3);
+        let (lo, hi) = bootstrap_ci(&xs, mean, 50, 0.95, &mut rng);
+        assert_eq!(lo, 3.0);
+        assert_eq!(hi, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn bad_confidence_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = bootstrap_ci(&[1.0, 2.0], mean, 10, 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,85 @@
+//! Empirical cumulative distribution functions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{check_sample, sorted};
+
+/// An empirical CDF built from a sample: `F̂(x) = #{xᵢ ≤ x}/n`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of a sample.
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty or contains NaN.
+    pub fn new(xs: &[f64]) -> Self {
+        check_sample("ecdf", xs);
+        Self { sorted: sorted(xs) }
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always `false`: construction rejects empty samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `F̂(x)`: fraction of the sample at or below `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements <= x when we ask for
+        // the first index where element > x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The sorted sample underlying the ECDF.
+    pub fn support(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_function_values() {
+        let f = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(f.eval(0.5), 0.0);
+        assert_eq!(f.eval(1.0), 0.25);
+        assert_eq!(f.eval(2.5), 0.5);
+        assert_eq!(f.eval(4.0), 1.0);
+        assert_eq!(f.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn ties_jump_together() {
+        let f = Ecdf::new(&[1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(f.eval(1.0), 0.75);
+        assert_eq!(f.eval(0.999), 0.0);
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let f = Ecdf::new(&[3.0, -1.0, 2.0, 2.0, 8.0]);
+        let mut prev = 0.0;
+        for i in -20..=20 {
+            let v = f.eval(i as f64 * 0.5);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn support_is_sorted_input() {
+        let f = Ecdf::new(&[3.0, 1.0, 2.0]);
+        assert_eq!(f.support(), &[1.0, 2.0, 3.0]);
+        assert_eq!(f.len(), 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Fixed-width histograms.
+
+use serde::{Deserialize, Serialize};
+
+use crate::check_sample;
+
+/// A fixed-width histogram over `[lo, hi)` with values clamped into the edge
+/// bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins over
+    /// `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or the range is degenerate/non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad histogram range");
+        Self { lo, hi, counts: vec![0; bins], total: 0 }
+    }
+
+    /// Builds a histogram from a sample, spanning its min..max.
+    pub fn from_sample(xs: &[f64], bins: usize) -> Self {
+        check_sample("histogram", xs);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let hi = if hi > lo { hi } else { lo + 1.0 };
+        let mut h = Self::new(lo, hi * (1.0 + 1e-12) + 1e-300, bins);
+        for &x in xs {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Adds one observation; out-of-range values land in the edge bins.
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "histogram received NaN");
+        let bins = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// Fraction of mass in bin `i` (0 when empty).
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fill() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.add(i as f64 + 0.5);
+        }
+        assert!(h.counts().iter().all(|&c| c == 1));
+        assert_eq!(h.total(), 10);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-5.0);
+        h.add(7.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn from_sample_spans_data() {
+        let h = Histogram::from_sample(&[1.0, 2.0, 3.0, 4.0], 4);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts().iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let h = Histogram::from_sample(&[0.0, 0.1, 0.2, 0.9, 0.95], 5);
+        let sum: f64 = (0..5).map(|i| h.fraction(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_sample_does_not_panic() {
+        let h = Histogram::from_sample(&[2.0; 7], 3);
+        assert_eq!(h.total(), 7);
+    }
+}

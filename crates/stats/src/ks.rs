@@ -1,0 +1,178 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! The paper (Fig. 4) tests, per platform, whether the relative-error samples
+//! of the *uncapped* and *capped* models come from the same distribution,
+//! rejecting at p < 0.05 (marked `**`). The K-S statistic is the supremum
+//! distance between the two empirical CDFs; the asymptotic p-value uses the
+//! Kolmogorov distribution `Q_KS(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2 j² λ²}`
+//! with the finite-sample correction of Stephens (as popularized by
+//! *Numerical Recipes*).
+
+use serde::{Deserialize, Serialize};
+
+use crate::check_sample;
+use crate::ecdf::Ecdf;
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsResult {
+    /// The K-S statistic `D = sup_x |F̂₁(x) − F̂₂(x)|`.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value.
+    pub p_value: f64,
+    /// Size of the first sample.
+    pub n1: usize,
+    /// Size of the second sample.
+    pub n2: usize,
+}
+
+impl KsResult {
+    /// `true` when the null hypothesis (same distribution) is rejected at
+    /// significance level `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs the two-sample K-S test on `xs` and `ys`.
+///
+/// # Panics
+/// Panics if either sample is empty or contains NaN.
+pub fn ks_two_sample(xs: &[f64], ys: &[f64]) -> KsResult {
+    check_sample("ks sample 1", xs);
+    check_sample("ks sample 2", ys);
+    let fx = Ecdf::new(xs);
+    let fy = Ecdf::new(ys);
+
+    // D is attained at a data point of either sample; evaluate both ECDFs at
+    // every support point, taking care with left limits via the "≤" ECDF:
+    // sup over jump points of |F1 - F2| evaluated at each datum suffices.
+    let mut d: f64 = 0.0;
+    for &x in fx.support().iter().chain(fy.support()) {
+        let diff = (fx.eval(x) - fy.eval(x)).abs();
+        if diff > d {
+            d = diff;
+        }
+    }
+
+    let n1 = fx.len();
+    let n2 = fy.len();
+    let ne = (n1 as f64 * n2 as f64) / (n1 as f64 + n2 as f64);
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    KsResult { statistic: d, p_value: kolmogorov_q(lambda), n1, n2 }
+}
+
+/// The Kolmogorov distribution's complementary CDF
+/// `Q_KS(λ) = 2 Σ_{j≥1} (−1)^{j−1} exp(−2 j² λ²)`, clamped to `[0, 1]`.
+pub fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    let a = -2.0 * lambda * lambda;
+    let mut prev_term = f64::INFINITY;
+    for j in 1..=100 {
+        let term = (a * (j * j) as f64).exp();
+        sum += sign * term;
+        // The series is alternating with decreasing terms; stop when
+        // negligible.
+        if term < 1e-12 * sum.abs() || term >= prev_term {
+            break;
+        }
+        prev_term = term;
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn kolmogorov_q_reference_values() {
+        // Known values of the Kolmogorov distribution.
+        assert!((kolmogorov_q(0.5) - 0.9639).abs() < 1e-3);
+        assert!((kolmogorov_q(1.0) - 0.2700).abs() < 1e-3);
+        assert!((kolmogorov_q(1.36) - 0.0505).abs() < 2e-3); // ~5% critical point
+        assert!((kolmogorov_q(2.0) - 0.00067).abs() < 1e-4);
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert_eq!(kolmogorov_q(-1.0), 1.0);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = ks_two_sample(&xs, &xs);
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.p_value, 1.0);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [10.0, 11.0, 12.0];
+        let r = ks_two_sample(&xs, &ys);
+        assert_eq!(r.statistic, 1.0);
+        assert!(r.p_value < 0.2, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn shifted_gaussians_detected_with_enough_data() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..400).map(|_| gauss(&mut rng)).collect();
+        let ys: Vec<f64> = (0..400).map(|_| gauss(&mut rng) + 0.5).collect();
+        let r = ks_two_sample(&xs, &ys);
+        assert!(r.significant_at(0.05), "p = {}", r.p_value);
+        assert!(r.statistic > 0.15);
+    }
+
+    #[test]
+    fn same_distribution_rarely_significant() {
+        // Under the null, ~5 % of draws are significant at α = 0.05. Across
+        // 20 fixed seeds, seeing more than 4 rejections would indicate a
+        // broken p-value (P[X > 4] ≈ 0.3 % for Binomial(20, 0.05)).
+        let mut rejections = 0;
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let xs: Vec<f64> = (0..300).map(|_| gauss(&mut rng)).collect();
+            let ys: Vec<f64> = (0..300).map(|_| gauss(&mut rng)).collect();
+            if ks_two_sample(&xs, &ys).significant_at(0.05) {
+                rejections += 1;
+            }
+        }
+        assert!(rejections <= 4, "{rejections}/20 null rejections");
+    }
+
+    #[test]
+    fn statistic_matches_hand_computation() {
+        // xs = {1,2}, ys = {1.5}: F1(1)=0.5,F2(1)=0; F1(1.5)=.5,F2=1 → D=0.5;
+        // F1(2)=1,F2(2)=1.
+        let r = ks_two_sample(&[1.0, 2.0], &[1.5]);
+        assert!((r.statistic - 0.5).abs() < 1e-12);
+        assert_eq!(r.n1, 2);
+        assert_eq!(r.n2, 1);
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let xs = [0.1, 0.4, 0.9, 1.4, 2.2];
+        let ys = [0.3, 0.35, 1.0, 3.0];
+        let a = ks_two_sample(&xs, &ys);
+        let b = ks_two_sample(&ys, &xs);
+        assert_eq!(a.statistic, b.statistic);
+        assert_eq!(a.p_value, b.p_value);
+    }
+
+    /// Box–Muller standard normal.
+    fn gauss(rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}

@@ -1,0 +1,97 @@
+//! Ordinary least-squares line fitting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::check_sample;
+
+/// Result of fitting `y ≈ intercept + slope·x` by least squares.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Coefficient of determination `R²` (1 for a perfect fit; NaN when `y`
+    /// is constant).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// The fitted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits a line through `(xs[i], ys[i])` by ordinary least squares.
+///
+/// # Panics
+/// Panics on length mismatch, fewer than two points, NaN, or constant `xs`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    check_sample("linfit xs", xs);
+    check_sample("linfit ys", ys);
+    assert_eq!(xs.len(), ys.len(), "samples must have equal length");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+    }
+    assert!(sxx > 0.0, "xs are constant; slope undefined");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let e = y - (intercept + slope * x);
+        ss_res += e * e;
+        ss_tot += (y - my) * (y - my);
+    }
+    let r_squared = if ss_tot == 0.0 { f64::NAN } else { 1.0 - ss_res / ss_tot };
+    LinearFit { intercept, slope, r_squared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let f = linear_fit(&xs, &ys);
+        assert!((f.intercept - 3.0).abs() < 1e-12);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_fits_reasonably() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let ys: Vec<f64> =
+            xs.iter().enumerate().map(|(i, x)| 1.0 + 0.5 * x + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 0.5).abs() < 0.01);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn r_squared_zero_for_uncorrelated() {
+        let xs = [-1.0, 0.0, 1.0];
+        let ys = [1.0, 0.0, 1.0];
+        let f = linear_fit(&xs, &ys);
+        assert!(f.slope.abs() < 1e-12);
+        assert!(f.r_squared.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant")]
+    fn constant_xs_rejected() {
+        let _ = linear_fit(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+}

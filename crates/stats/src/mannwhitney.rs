@@ -1,0 +1,158 @@
+//! Two-sample Mann–Whitney U test (Wilcoxon rank-sum).
+//!
+//! Used as a robustness cross-check of the Fig. 4 Kolmogorov–Smirnov
+//! results: the U test is sensitive to location shifts (the uncapped
+//! model's overprediction bias) where K-S is sensitive to any
+//! distributional difference.
+
+use serde::{Deserialize, Serialize};
+
+use crate::check_sample;
+use crate::corr::ranks;
+
+/// Result of a two-sided Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MannWhitneyResult {
+    /// The U statistic for the first sample.
+    pub u: f64,
+    /// Two-sided p-value from the tie-corrected normal approximation.
+    pub p_value: f64,
+    /// Standardized statistic `z`.
+    pub z: f64,
+}
+
+impl MannWhitneyResult {
+    /// `true` when the null (same distribution) is rejected at `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs the two-sided Mann–Whitney U test on `xs` vs `ys`, using the
+/// normal approximation with tie correction (adequate for n ≥ ~8 per
+/// sample; the Fig. 4 samples have ≥ 20).
+///
+/// # Panics
+/// Panics if either sample is empty or contains NaN.
+pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> MannWhitneyResult {
+    check_sample("mann-whitney xs", xs);
+    check_sample("mann-whitney ys", ys);
+    let n1 = xs.len() as f64;
+    let n2 = ys.len() as f64;
+    let mut pooled: Vec<f64> = Vec::with_capacity(xs.len() + ys.len());
+    pooled.extend_from_slice(xs);
+    pooled.extend_from_slice(ys);
+    let r = ranks(&pooled);
+    let r1: f64 = r[..xs.len()].iter().sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+
+    let mean = n1 * n2 / 2.0;
+    // Tie correction: subtract Σ(t³−t)/((n)(n−1)) term from the variance.
+    let n = n1 + n2;
+    let mut sorted = pooled.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected"));
+    let mut tie_sum = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        if t > 1.0 {
+            tie_sum += t * t * t - t;
+        }
+        i = j + 1;
+    }
+    let var = n1 * n2 / 12.0 * ((n + 1.0) - tie_sum / (n * (n - 1.0)));
+    if var <= 0.0 {
+        // All values tied: no evidence of difference.
+        return MannWhitneyResult { u: u1, p_value: 1.0, z: 0.0 };
+    }
+    // Continuity correction toward the mean. (Note: f64::signum(0.0) is
+    // +1.0 in Rust, so the zero case must be explicit.)
+    let diff = u1 - mean;
+    let sign = if diff == 0.0 { 0.0 } else { diff.signum() };
+    let z = (diff - 0.5 * sign) / var.sqrt();
+    let p = 2.0 * normal_sf(z.abs());
+    MannWhitneyResult { u: u1, p_value: p.min(1.0), z }
+}
+
+/// Standard normal survival function `P(Z > z)` via the complementary
+/// error function (Abramowitz–Stegun 7.1.26 rational approximation,
+/// |error| < 1.5e-7).
+pub fn normal_sf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    0.5 * erfc(x)
+}
+
+fn erfc(x: f64) -> f64 {
+    let ax = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * ax);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let val = poly * (-ax * ax).exp();
+    if x >= 0.0 {
+        val
+    } else {
+        2.0 - val
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_sf_reference_values() {
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_sf(1.0) - 0.158_655).abs() < 1e-5);
+        assert!((normal_sf(1.96) - 0.024_998).abs() < 1e-4);
+        assert!((normal_sf(-1.0) - 0.841_345).abs() < 1e-5);
+    }
+
+    #[test]
+    fn identical_distributions_not_significant() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin()).collect();
+        let ys: Vec<f64> = (0..50).map(|i| ((i + 100) as f64 * 0.7).sin()).collect();
+        let r = mann_whitney_u(&xs, &ys);
+        assert!(!r.significant_at(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn shifted_distributions_detected() {
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).sin()).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x + 1.5).collect();
+        let r = mann_whitney_u(&xs, &ys);
+        assert!(r.significant_at(0.01), "p = {}", r.p_value);
+        assert!(r.z < 0.0, "xs below ys → negative z, got {}", r.z);
+    }
+
+    #[test]
+    fn u_statistic_hand_example() {
+        // xs = {1, 2}, ys = {3, 4}: all ys exceed xs, so U1 = 0.
+        let r = mann_whitney_u(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(r.u, 0.0);
+        // Reversed: U1 = n1·n2 = 4.
+        let r = mann_whitney_u(&[3.0, 4.0], &[1.0, 2.0]);
+        assert_eq!(r.u, 4.0);
+    }
+
+    #[test]
+    fn all_tied_yields_p_one() {
+        let r = mann_whitney_u(&[2.0; 10], &[2.0; 8]);
+        assert_eq!(r.p_value, 1.0);
+        assert_eq!(r.z, 0.0);
+    }
+
+    #[test]
+    fn symmetric_p_values() {
+        let xs = [0.1, 0.9, 1.7, 2.0, 3.1];
+        let ys = [0.5, 1.0, 1.1, 4.0];
+        let a = mann_whitney_u(&xs, &ys);
+        let b = mann_whitney_u(&ys, &xs);
+        assert!((a.p_value - b.p_value).abs() < 1e-12);
+        assert!((a.z + b.z).abs() < 1e-12);
+    }
+}

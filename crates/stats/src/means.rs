@@ -1,0 +1,71 @@
+//! Geometric and harmonic means — the summary statistics appropriate for
+//! rates and ratios (speedups, flop/s across benchmarks), per standard
+//! benchmarking practice.
+
+use crate::check_sample;
+
+/// Geometric mean of a positive sample: `exp(mean(ln xᵢ))`.
+///
+/// # Panics
+/// Panics on empty/NaN samples or non-positive values.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    check_sample("geometric_mean", xs);
+    assert!(xs.iter().all(|&x| x > 0.0), "geometric mean needs positive values");
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Harmonic mean of a positive sample: `n / Σ(1/xᵢ)` — the right mean for
+/// rates over equal work units.
+///
+/// # Panics
+/// Panics on empty/NaN samples or non-positive values.
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    check_sample("harmonic_mean", xs);
+    assert!(xs.iter().all(|&x| x > 0.0), "harmonic mean needs positive values");
+    xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // Classic: average speed over equal distances at 60 and 30.
+        assert!((harmonic_mean(&[60.0, 30.0]) - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_inequality_chain() {
+        // harmonic ≤ geometric ≤ arithmetic for positive samples.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 9.0];
+        let am = xs.iter().sum::<f64>() / xs.len() as f64;
+        let gm = geometric_mean(&xs);
+        let hm = harmonic_mean(&xs);
+        assert!(hm <= gm && gm <= am, "{hm} {gm} {am}");
+    }
+
+    #[test]
+    fn constant_sample_all_means_equal() {
+        let xs = [3.5; 7];
+        assert!((geometric_mean(&xs) - 3.5).abs() < 1e-12);
+        assert!((harmonic_mean(&xs) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariance_of_geometric_mean_ratio() {
+        let xs = [1.2, 3.4, 0.8];
+        let scaled: Vec<f64> = xs.iter().map(|x| x * 10.0).collect();
+        assert!((geometric_mean(&scaled) / geometric_mean(&xs) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rejected() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Type-7 quantiles and boxplot five-number summaries.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{check_sample, sorted};
+
+/// The `p`-th quantile of `xs` (0 ≤ p ≤ 1), using linear interpolation of
+/// order statistics — R's default "type 7", matching the quantiles behind
+/// the paper's Fig. 4 boxplots.
+///
+/// # Panics
+/// Panics if `xs` is empty or contains NaN, or if `p` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], p: f64) -> f64 {
+    check_sample("quantile", xs);
+    assert!((0.0..=1.0).contains(&p), "quantile level {p} outside [0,1]");
+    let v = sorted(xs);
+    quantile_sorted(&v, p)
+}
+
+/// Type-7 quantile of an already-sorted sample (no copy).
+pub fn quantile_sorted(sorted_xs: &[f64], p: f64) -> f64 {
+    let n = sorted_xs.len();
+    if n == 1 {
+        return sorted_xs[0];
+    }
+    let h = (n - 1) as f64 * p;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted_xs[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted_xs[lo] * (1.0 - frac) + sorted_xs[hi] * frac
+    }
+}
+
+/// Tukey boxplot statistics: quartiles, whiskers at the last datum within
+/// 1.5·IQR of the box, and the outliers beyond them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxplotStats {
+    /// 25 % quantile.
+    pub q1: f64,
+    /// Median (50 % quantile).
+    pub median: f64,
+    /// 75 % quantile.
+    pub q3: f64,
+    /// Lower whisker: smallest datum ≥ `q1 − 1.5·IQR`.
+    pub whisker_lo: f64,
+    /// Upper whisker: largest datum ≤ `q3 + 1.5·IQR`.
+    pub whisker_hi: f64,
+    /// Data beyond the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxplotStats {
+    /// Interquartile range `q3 − q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Computes Tukey boxplot statistics for a sample.
+///
+/// Whiskers extend to the most extreme data within 1.5·IQR of the box and
+/// never retreat inside it: when every datum on one side of the box is an
+/// outlier (possible for small samples, because interpolated quartiles need
+/// not be data points), the whisker sits at the box edge — the convention
+/// standard plotting libraries use.
+///
+/// # Panics
+/// Panics if `xs` is empty or contains NaN.
+pub fn boxplot(xs: &[f64]) -> BoxplotStats {
+    check_sample("boxplot", xs);
+    let v = sorted(xs);
+    let q1 = quantile_sorted(&v, 0.25);
+    let median = quantile_sorted(&v, 0.5);
+    let q3 = quantile_sorted(&v, 0.75);
+    let iqr = q3 - q1;
+    let lo_fence = q1 - 1.5 * iqr;
+    let hi_fence = q3 + 1.5 * iqr;
+    let whisker_lo = v.iter().copied().find(|&x| x >= lo_fence).unwrap_or(v[0]).min(q1);
+    let whisker_hi = v
+        .iter()
+        .rev()
+        .copied()
+        .find(|&x| x <= hi_fence)
+        .unwrap_or(v[v.len() - 1])
+        .max(q3);
+    let outliers = v.iter().copied().filter(|&x| x < lo_fence || x > hi_fence).collect();
+    BoxplotStats { q1, median, q3, whisker_lo, whisker_hi, outliers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_matches_r_type7() {
+        // R: quantile(c(1,2,3,4), c(0,.25,.5,.75,1)) -> 1.00 1.75 2.50 3.25 4.00
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.75) - 3.25).abs() < 1e-12);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+    }
+
+    #[test]
+    fn quantile_of_singleton() {
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    fn quantile_is_order_independent() {
+        let a = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        for p in [0.1, 0.25, 0.5, 0.9] {
+            assert_eq!(quantile(&a, p), quantile(&b, p));
+        }
+    }
+
+    #[test]
+    fn median_of_odd_sample_is_middle() {
+        assert_eq!(quantile(&[9.0, 1.0, 5.0], 0.5), 5.0);
+    }
+
+    #[test]
+    fn boxplot_without_outliers() {
+        let xs: Vec<f64> = (1..=11).map(f64::from).collect();
+        let b = boxplot(&xs);
+        assert_eq!(b.median, 6.0);
+        assert_eq!(b.q1, 3.5);
+        assert_eq!(b.q3, 8.5);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 11.0);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.iqr(), 5.0);
+    }
+
+    #[test]
+    fn boxplot_flags_outliers() {
+        let mut xs: Vec<f64> = (1..=11).map(f64::from).collect();
+        xs.push(100.0);
+        xs.push(-50.0);
+        let b = boxplot(&xs);
+        assert_eq!(b.outliers, vec![-50.0, 100.0]);
+        // Whiskers stay at the non-outlying extremes.
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 11.0);
+    }
+
+    #[test]
+    fn whiskers_never_retreat_inside_the_box() {
+        // Regression (found by proptest): with n = 4 and one extreme value,
+        // the interpolated q3 can exceed every non-outlying datum; the
+        // whisker must then clamp to the box edge, not sit below it.
+        let xs = [-493406.74, -673749.77, 545695.06, -900579.73];
+        let b = boxplot(&xs);
+        assert!(b.whisker_hi >= b.q3, "{b:?}");
+        assert!(b.whisker_lo <= b.q1, "{b:?}");
+        assert_eq!(b.outliers, vec![545695.06]);
+    }
+
+    #[test]
+    fn constant_sample_degenerates_gracefully() {
+        let b = boxplot(&[2.0; 10]);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 2.0);
+        assert_eq!(b.whisker_lo, 2.0);
+        assert_eq!(b.whisker_hi, 2.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_level_validated() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_rejected() {
+        let _ = boxplot(&[]);
+    }
+}

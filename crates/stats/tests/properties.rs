@@ -1,0 +1,107 @@
+//! Property-based tests of the statistics substrate.
+
+use archline_stats::{
+    boxplot, ks_two_sample, mann_whitney_u, pearson, quantile, Ecdf, Summary,
+};
+use proptest::prelude::*;
+
+fn arb_sample() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6..1e6f64, 1..200)
+}
+
+fn arb_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (arb_sample(), arb_sample())
+}
+
+proptest! {
+    #[test]
+    fn quantiles_are_monotone_and_bounded((xs, _) in arb_pair(), p in 0.0..1.0f64, q in 0.0..1.0f64) {
+        let (lo, hi) = if p <= q { (p, q) } else { (q, p) };
+        let a = quantile(&xs, lo);
+        let b = quantile(&xs, hi);
+        prop_assert!(a <= b);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min && b <= max);
+    }
+
+    #[test]
+    fn boxplot_orderings_hold(xs in arb_sample()) {
+        let b = boxplot(&xs);
+        prop_assert!(b.whisker_lo <= b.q1 + 1e-9);
+        prop_assert!(b.q1 <= b.median && b.median <= b.q3);
+        prop_assert!(b.q3 <= b.whisker_hi + 1e-9);
+        // Outliers lie strictly outside the whisker fences.
+        for o in &b.outliers {
+            prop_assert!(*o < b.q1 - 1.5 * b.iqr() || *o > b.q3 + 1.5 * b.iqr());
+        }
+    }
+
+    #[test]
+    fn ecdf_is_a_cdf(xs in arb_sample(), probe in -1e6..1e6f64) {
+        let f = Ecdf::new(&xs);
+        let v = f.eval(probe);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!(f.eval(f64::INFINITY) == 1.0);
+        prop_assert!(f.eval(f64::NEG_INFINITY) == 0.0);
+    }
+
+    #[test]
+    fn ks_statistic_in_unit_interval((xs, ys) in arb_pair()) {
+        let r = ks_two_sample(&xs, &ys);
+        prop_assert!((0.0..=1.0).contains(&r.statistic));
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        // Symmetry.
+        let rev = ks_two_sample(&ys, &xs);
+        prop_assert!((r.statistic - rev.statistic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_of_sample_with_itself_is_zero(xs in arb_sample()) {
+        let r = ks_two_sample(&xs, &xs);
+        prop_assert_eq!(r.statistic, 0.0);
+        prop_assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn mann_whitney_u_in_range((xs, ys) in arb_pair()) {
+        let r = mann_whitney_u(&xs, &ys);
+        let max_u = (xs.len() * ys.len()) as f64;
+        prop_assert!((0.0..=max_u).contains(&r.u), "U = {} of {max_u}", r.u);
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+    }
+
+    #[test]
+    fn pearson_bounded_and_symmetric(xs in proptest::collection::vec(-1e3..1e3f64, 3..50),
+                                     ys in proptest::collection::vec(-1e3..1e3f64, 3..50)) {
+        let n = xs.len().min(ys.len());
+        let (a, b) = (&xs[..n], &ys[..n]);
+        let r = pearson(a, b);
+        if r.is_nan() {
+            // Constant input; acceptable.
+            return Ok(());
+        }
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        prop_assert!((pearson(b, a) - r).abs() < 1e-12);
+        // Perfect self-correlation unless constant.
+        let self_r = pearson(a, a);
+        if !self_r.is_nan() {
+            prop_assert!((self_r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn summary_merge_associates(xs in arb_sample(), split in 0.0..1.0f64) {
+        let cut = ((xs.len() as f64) * split) as usize;
+        let (a, b) = xs.split_at(cut.min(xs.len()));
+        let mut sa = Summary::from_slice(a);
+        sa.merge(&Summary::from_slice(b));
+        let whole = Summary::from_slice(&xs);
+        prop_assert_eq!(sa.count(), whole.count());
+        if !xs.is_empty() {
+            prop_assert!((sa.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
+            prop_assert_eq!(sa.min(), whole.min());
+            prop_assert_eq!(sa.max(), whole.max());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Algorithm-centric analysis: for the workloads the paper's introduction
+//! motivates (SpMV at ~0.25-0.5 flop:Byte, large FFTs at ~2-4, dense
+//! compute at high intensity, and pointer-chasing graph traversals), which
+//! building block finishes first, and which spends the least energy?
+//!
+//! ```sh
+//! cargo run --release --example algorithm_analysis
+//! ```
+
+use archline::model::pareto::{evaluate, pareto_frontier};
+use archline::model::units::format_si;
+use archline::model::workload::reference_kernels;
+use archline::model::{EnergyRoofline, Workload};
+use archline::platforms::{all_platforms, Precision};
+
+fn main() {
+    let kernels: Vec<(&str, f64)> = vec![
+        ("SpMV (I=0.25)", reference_kernels::SPMV_SINGLE_LO),
+        ("SpMV (I=0.5)", reference_kernels::SPMV_SINGLE_HI),
+        ("FFT (I=2)", reference_kernels::FFT_SINGLE_LO),
+        ("FFT (I=4)", reference_kernels::FFT_SINGLE_HI),
+        ("Dense (I=64)", 64.0),
+    ];
+
+    let platforms = all_platforms();
+    let flops = 1e12; // 1 Tflop of work for each kernel
+
+    for (name, intensity) in &kernels {
+        let w = Workload::from_intensity(flops, *intensity);
+        let mut rows: Vec<(String, f64, f64, f64)> = platforms
+            .iter()
+            .map(|p| {
+                let m = EnergyRoofline::new(
+                    p.machine_params(Precision::Single).expect("single"),
+                );
+                (p.name.clone(), m.time(&w), m.energy(&w), m.avg_power(&w))
+            })
+            .collect();
+
+        println!("\n=== {name}: 1 Tflop of work ===");
+        println!(
+            "{:<15} {:>10} {:>12} {:>9}  {:>10} {:>12}",
+            "platform", "time", "energy", "power", "rank(time)", "rank(energy)"
+        );
+        let mut by_time: Vec<usize> = (0..rows.len()).collect();
+        by_time.sort_by(|&a, &b| rows[a].1.partial_cmp(&rows[b].1).unwrap());
+        let mut by_energy: Vec<usize> = (0..rows.len()).collect();
+        by_energy.sort_by(|&a, &b| rows[a].2.partial_cmp(&rows[b].2).unwrap());
+        let rank = |order: &[usize], i: usize| order.iter().position(|&x| x == i).unwrap() + 1;
+        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        // Re-derive original indices after the sort for rank lookup.
+        for (pname, t, e, pw) in &rows {
+            let i = platforms.iter().position(|p| &p.name == pname).unwrap();
+            println!(
+                "{:<15} {:>10} {:>12} {:>8.1}W  {:>10} {:>12}",
+                pname,
+                format!("{:.3} s", t),
+                format_si(*e, "J"),
+                pw,
+                rank(&by_time, i),
+                rank(&by_energy, i),
+            );
+        }
+        let fastest = &rows[0].0;
+        let mut by_e = rows.clone();
+        by_e.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+        println!("  fastest: {fastest}   most energy-efficient: {}", by_e[0].0);
+
+        // Pareto-optimal set: no other block is both faster and cheaper.
+        let models: Vec<(String, EnergyRoofline)> = platforms
+            .iter()
+            .map(|p| {
+                (
+                    p.name.clone(),
+                    EnergyRoofline::new(p.machine_params(Precision::Single).unwrap()),
+                )
+            })
+            .collect();
+        let cands = evaluate(models.iter().map(|(n, m)| (n.as_str(), m)), &w);
+        let frontier = pareto_frontier(&cands);
+        let names: Vec<&str> = frontier.iter().map(|c| c.name.as_str()).collect();
+        println!("  Pareto-optimal (time vs energy): {}", names.join(", "));
+    }
+
+    // Irregular access: the paper highlights the Xeon Phi's ε_rand as an
+    // order of magnitude below everyone else's.
+    println!("\n=== Pointer-chase (1e9 random line accesses) ===");
+    println!("{:<15} {:>12} {:>12}", "platform", "time", "energy");
+    let mut rows: Vec<(String, f64, f64)> = platforms
+        .iter()
+        .filter_map(|p| {
+            let h = p.hier_params(Precision::Single).ok()?;
+            let r = h.random?;
+            let n = 1e9;
+            let time = n * r.time_per_access;
+            let energy = n * r.energy_per_access + h.const_power * time;
+            Some((p.name.clone(), time, energy))
+        })
+        .collect();
+    rows.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+    for (name, t, e) in &rows {
+        println!("{:<15} {:>12} {:>12}", name, format!("{:.2} s", t), format_si(*e, "J"));
+    }
+    println!("  most energy-efficient for irregular access: {}", rows[0].0);
+}

@@ -1,0 +1,78 @@
+//! Algorithm-level analysis with `W(n)` / `Q(n; Z)` workload models: size a
+//! real problem (blocked GEMM, FFT, stencil, SpMV, external sort), derive
+//! its abstract workload for a given fast-memory capacity, and ask each
+//! building block for time and energy.
+//!
+//! ```sh
+//! cargo run --release --example app_workloads
+//! ```
+
+use archline::model::apps::{DenseMatMul, Element, Fft, Sort, SpMv, Stencil};
+use archline::model::units::{format_intensity, format_si};
+use archline::model::{EnergyRoofline, Workload};
+use archline::platforms::{all_platforms, Precision};
+
+fn main() {
+    // A nominal 1 MiB fast memory (last-level working set) for the
+    // capacity-dependent models.
+    let z = 1024.0 * 1024.0;
+
+    let apps: Vec<(&str, Workload)> = vec![
+        (
+            "GEMM 8192^3 (blocked)",
+            DenseMatMul { n: 8192, element: Element::F32, fast_bytes: z }.workload(),
+        ),
+        (
+            "FFT 2^27 points",
+            Fft { n: 1 << 27, element: Element::F32, fast_bytes: z }.workload(),
+        ),
+        (
+            "7-pt stencil, 512^3 x 100",
+            Stencil {
+                n: 512 * 512 * 512,
+                flops_per_point: 8.0,
+                iters: 100,
+                element: Element::F32,
+            }
+            .workload(),
+        ),
+        (
+            "SpMV 2^22 rows, 50 nnz/row",
+            SpMv { rows: 1 << 22, nnz: 50 << 22, element: Element::F32 }.workload(),
+        ),
+        (
+            "Sort 2^30 8B keys",
+            Sort { n: 1 << 30, key_bytes: 8.0, fast_bytes: z }.workload(),
+        ),
+    ];
+
+    let platforms = all_platforms();
+    for (name, w) in &apps {
+        println!(
+            "\n=== {name}: W = {}, Q = {}, I = {} ===",
+            format_si(w.flops, "op"),
+            format_si(w.bytes, "B"),
+            format_intensity(w.intensity()),
+        );
+        let mut rows: Vec<(String, f64, f64)> = platforms
+            .iter()
+            .map(|p| {
+                let m = EnergyRoofline::new(
+                    p.machine_params(Precision::Single).expect("single"),
+                );
+                (p.name.clone(), m.time(w), m.energy(w))
+            })
+            .collect();
+        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        println!("{:<15} {:>12} {:>12}", "platform", "time", "energy");
+        for (pname, t, e) in rows.iter().take(5) {
+            println!("{:<15} {:>12} {:>12}", pname, format!("{:.2} s", t), format_si(*e, "J"));
+        }
+        let mut by_energy = rows.clone();
+        by_energy.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"));
+        println!(
+            "  fastest: {}   most energy-efficient: {}",
+            rows[0].0, by_energy[0].0
+        );
+    }
+}

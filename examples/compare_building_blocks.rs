@@ -1,0 +1,112 @@
+//! Compare two candidate compute-node building blocks the way the paper's
+//! Fig. 1 compares the GTX Titan against the Arndale GPU: performance,
+//! energy-efficiency, crossover intensities, and a power-matched array.
+//!
+//! ```sh
+//! cargo run --release --example compare_building_blocks            # Titan vs Arndale GPU
+//! cargo run --release --example compare_building_blocks XeonPhi NucCpu
+//! ```
+
+use archline::model::units::{format_intensity, format_si};
+use archline::model::{crossovers, power_match, EnergyRoofline, Metric};
+use archline::platforms::{all_platforms, Platform, Precision};
+
+fn lookup(name: &str) -> Platform {
+    let wanted = name.to_lowercase();
+    all_platforms()
+        .into_iter()
+        .find(|p| {
+            p.name.to_lowercase().replace(' ', "") == wanted
+                || format!("{:?}", p.id).to_lowercase() == wanted
+        })
+        .unwrap_or_else(|| {
+            eprintln!("unknown platform `{name}`; options:");
+            for p in all_platforms() {
+                eprintln!("  {:?}  ({})", p.id, p.name);
+            }
+            std::process::exit(2);
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let a = lookup(args.first().map(String::as_str).unwrap_or("GtxTitan"));
+    let b = lookup(args.get(1).map(String::as_str).unwrap_or("ArndaleGpu"));
+
+    let pa = a.machine_params(Precision::Single).expect("single");
+    let pb = b.machine_params(Precision::Single).expect("single");
+    let ma = EnergyRoofline::new(pa);
+    let mb = EnergyRoofline::new(pb);
+
+    println!("{} vs {}\n", a.name, b.name);
+    println!("{:<28} {:>16} {:>16}", "", a.name, b.name);
+    let row = |label: &str, va: String, vb: String| {
+        println!("{label:<28} {va:>16} {vb:>16}");
+    };
+    row("peak perf", format_si(ma.peak_perf(), "flop/s"), format_si(mb.peak_perf(), "flop/s"));
+    row(
+        "peak bandwidth",
+        format_si(ma.peak_bandwidth(), "B/s"),
+        format_si(mb.peak_bandwidth(), "B/s"),
+    );
+    row(
+        "peak energy-efficiency",
+        format_si(ma.peak_energy_eff(), "flop/J"),
+        format_si(mb.peak_energy_eff(), "flop/J"),
+    );
+    row(
+        "streaming energy/byte",
+        format_si(ma.streaming_energy_per_byte(), "J/B"),
+        format_si(mb.streaming_energy_per_byte(), "J/B"),
+    );
+    row(
+        "peak power",
+        format!("{:.1} W", pa.peak_power()),
+        format!("{:.1} W", pb.peak_power()),
+    );
+
+    for (metric, label) in [
+        (Metric::Performance, "performance"),
+        (Metric::EnergyEfficiency, "energy-efficiency"),
+    ] {
+        let xs = crossovers(&ma, &mb, metric, 0.125, 512.0, 512);
+        if xs.is_empty() {
+            let leader = if metric.eval(&ma, 1.0) >= metric.eval(&mb, 1.0) { &a.name } else { &b.name };
+            println!("\n{label}: {leader} leads at every intensity in [1/8, 512]");
+        } else {
+            for x in xs {
+                let (below, above) =
+                    if x.a_leads_below { (&a.name, &b.name) } else { (&b.name, &a.name) };
+                println!(
+                    "\n{label}: {below} leads below I = {} flop:Byte, {above} above",
+                    format_intensity(x.intensity)
+                );
+            }
+        }
+    }
+
+    // Power-matched array of the smaller block (paper Sec. I demonstration).
+    let (big, bp, small, sp) =
+        if pa.peak_power() >= pb.peak_power() { (&a, pa, &b, pb) } else { (&b, pb, &a, pa) };
+    let rep = power_match(&sp, bp.peak_power());
+    let agg = rep.model();
+    let big_model = EnergyRoofline::new(bp);
+    println!(
+        "\npower-matched array: {} x {} ({:.0} W) against one {} ({:.0} W)",
+        rep.n,
+        small.name,
+        rep.peak_power(),
+        big.name,
+        bp.peak_power()
+    );
+    println!(
+        "  aggregate bandwidth : {:.2}x of {}",
+        agg.peak_bandwidth() / big_model.peak_bandwidth(),
+        big.name
+    );
+    println!(
+        "  aggregate peak perf : {:.2}x of {}",
+        agg.peak_perf() / big_model.peak_perf(),
+        big.name
+    );
+}

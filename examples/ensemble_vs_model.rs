@@ -1,0 +1,87 @@
+//! Cross-validate the paper's analytic "47 × Arndale GPU" construction by
+//! *running* it: instantiate the ensemble in the simulator, measure every
+//! node through the PowerMon chain, and compare the emergent wall time and
+//! energy against the closed-form replication model — with and without an
+//! interconnect.
+//!
+//! ```sh
+//! cargo run --release --example ensemble_vs_model
+//! ```
+
+use archline::machine::{measure, measure_ensemble, spec_for, Engine, EnsembleSpec};
+use archline::model::units::format_si;
+use archline::model::{HierWorkload, Interconnect, Replication, Workload};
+use archline::platforms::{platform, PlatformId, Precision};
+
+fn main() {
+    let engine = Engine::default();
+    let titan_rec = platform(PlatformId::GtxTitan);
+    let arndale_rec = platform(PlatformId::ArndaleGpu);
+    let titan_spec = spec_for(&titan_rec, Precision::Single);
+    let node = spec_for(&arndale_rec, Precision::Single);
+    let n = 46;
+
+    println!("one GTX Titan vs a measured {n}-board Arndale GPU ensemble\n");
+    println!(
+        "{:>9} {:>14} {:>14} {:>12} {:>14} {:>10}",
+        "I", "Titan time", "array time", "speedup", "array energy", "model dev"
+    );
+
+    for intensity in [0.25, 1.0, 4.0, 16.0, 64.0] {
+        // Identical total job for both systems, sized for the Titan.
+        let w = titan_spec.intensity_workload(intensity, 0.2);
+        let titan_run = measure(&titan_spec, &w, &engine, 17);
+
+        let total = HierWorkload::single_level(
+            w.flops,
+            node.dram_level(),
+            w.bytes_per_level[titan_spec.dram_level()],
+        );
+        let ensemble =
+            EnsembleSpec { node: node.clone(), n, interconnect: Interconnect::IDEAL };
+        let run = measure_ensemble(&ensemble, &total, &engine, 23);
+
+        // Closed-form prediction for the same ensemble.
+        let rep = Replication {
+            unit: arndale_rec.machine_params(Precision::Single).unwrap(),
+            n,
+        };
+        let model = rep.model();
+        let flat = Workload::new(total.flops, total.bytes_per_level[node.dram_level()]);
+        let model_dev = (run.duration - model.time(&flat)).abs() / model.time(&flat);
+
+        println!(
+            "{:>9} {:>14} {:>14} {:>11.2}x {:>14} {:>9.1}%",
+            archline::model::units::format_intensity(intensity),
+            format!("{:.3} s", titan_run.duration),
+            format!("{:.3} s", run.duration),
+            titan_run.duration / run.duration,
+            format_si(run.energy, "J"),
+            model_dev * 100.0,
+        );
+    }
+
+    // How a non-free network changes the verdict at the SpMV point.
+    println!("\nwith an interconnect (I = 0.25):");
+    let w = titan_spec.intensity_workload(0.25, 0.2);
+    let titan_run = measure(&titan_spec, &w, &engine, 31);
+    let total = HierWorkload::single_level(
+        w.flops,
+        node.dram_level(),
+        w.bytes_per_level[titan_spec.dram_level()],
+    );
+    for (watts, eff) in [(0.0, 1.0), (1.0, 0.9), (3.0, 0.85)] {
+        let net = Interconnect { per_node_watts: watts, bandwidth_efficiency: eff };
+        // Fewer boards fit once the network eats budget.
+        let per_node = node.const_power + node.usable_power + watts;
+        let boards = ((titan_rec.max_power()) / per_node).floor() as u32;
+        let ensemble = EnsembleSpec { node: node.clone(), n: boards.max(1), interconnect: net };
+        let run = measure_ensemble(&ensemble, &total, &engine, 37);
+        println!(
+            "  {watts:>4.1} W/node, {eff:>4.2} bw eff: {boards:>2} boards, speedup {:>5.2}x, array power {:>6}",
+            titan_run.duration / run.duration,
+            format_si(run.avg_power, "W"),
+        );
+    }
+    println!("\n(ideal-network speedup tracks the paper's 1.6x; a few Watts per node erase it)");
+}

@@ -1,0 +1,102 @@
+//! End-to-end measurement-and-fitting demo: simulate the microbenchmark
+//! suite on one platform (with its calibrated noise and quirks), run the
+//! staged nonlinear fit, and compare the recovered constants to Table I.
+//!
+//! ```sh
+//! cargo run --release --example fit_pipeline            # Arndale GPU
+//! cargo run --release --example fit_pipeline Gtx680
+//! ```
+
+use archline::fit::{fit_level_cost, fit_platform, fit_platform_ci, fit_random_cost};
+use archline::machine::{spec_for, Engine};
+use archline::microbench::{run_suite, SweepConfig};
+use archline::model::units::format_si;
+use archline::platforms::{all_platforms, Platform, Precision};
+
+fn lookup(name: &str) -> Platform {
+    let wanted = name.to_lowercase();
+    all_platforms()
+        .into_iter()
+        .find(|p| {
+            p.name.to_lowercase().replace(' ', "") == wanted
+                || format!("{:?}", p.id).to_lowercase() == wanted
+        })
+        .unwrap_or_else(|| {
+            eprintln!("unknown platform `{name}`");
+            std::process::exit(2);
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let p = lookup(args.first().map(String::as_str).unwrap_or("ArndaleGpu"));
+    let spec = spec_for(&p, Precision::Single);
+    let cfg = SweepConfig::default();
+
+    println!("simulating the microbenchmark suite on {} ({} intensity points)...", p.name, cfg.points);
+    let suite = run_suite(&spec, &cfg, &Engine::default());
+    println!(
+        "  {} DRAM sweep runs, {} cache-level sets, {} pointer-chase runs",
+        suite.dram.len(),
+        suite.levels.len(),
+        suite.random.as_ref().map_or(0, |s| s.len())
+    );
+
+    println!("fitting the capped and uncapped models...");
+    let fit = fit_platform(&suite.dram);
+
+    let row = |label: &str, paper: f64, fitted: f64, unit: &str| {
+        println!(
+            "  {label:<22} {:>14}  ->  {:>14}   ({:+.1}%)",
+            format_si(paper, unit),
+            format_si(fitted, unit),
+            (fitted - paper) / paper * 100.0
+        );
+    };
+    println!("\nrecovered constants (paper -> fitted):");
+    row("pi_1", p.const_power, fit.capped.const_power, "W");
+    row("delta_pi", p.usable_power, fit.capped.cap.watts(), "W");
+    row("eps_flop (single)", p.flop_single.energy, fit.capped.energy_per_flop, "J/flop");
+    row("eps_mem", p.mem.energy, fit.capped.energy_per_byte, "J/B");
+    row("sustained flop rate", p.flop_single.rate, fit.observed_flops, "flop/s");
+    row("sustained bandwidth", p.mem.rate, fit.observed_bw, "B/s");
+
+    for (name, set) in &suite.levels {
+        let (bw, eps) = fit_level_cost(&set.runs, fit.capped.const_power);
+        let paper = match name.as_str() {
+            "L1" => p.l1,
+            _ => p.l2,
+        };
+        if let Some(paper) = paper {
+            row(&format!("eps_{name}"), paper.energy, eps, "J/B");
+            row(&format!("{name} bandwidth"), paper.rate, bw, "B/s");
+        }
+    }
+    if let (Some(set), Some(paper)) = (&suite.random, p.random) {
+        let (rate, eps) = fit_random_cost(&set.runs, fit.capped.const_power);
+        row("eps_rand", paper.energy_per_access, eps, "J/access");
+        row("random access rate", paper.accesses_per_sec, rate, "acc/s");
+    }
+
+    println!("\nfit quality (relative RMSE on the training sweep):");
+    println!(
+        "  capped model   : power {:.2}%  time {:.2}%",
+        fit.capped_diag.power_rmse * 100.0,
+        fit.capped_diag.time_rmse * 100.0
+    );
+    println!(
+        "  uncapped model : power {:.2}%  time {:.2}%   <- the prior (IPDPS'13) model",
+        fit.uncapped_diag.power_rmse * 100.0,
+        fit.uncapped_diag.time_rmse * 100.0
+    );
+
+    println!("\nbootstrap 90% confidence intervals (20 resamples):");
+    let ci = fit_platform_ci(&suite.dram, 20, 0.9, 0xC1);
+    let ival = |label: &str, lo: f64, hi: f64, unit: &str| {
+        println!("  {label:<22} [{}, {}]", format_si(lo, unit), format_si(hi, unit));
+    };
+    ival("pi_1", ci.const_power.lo, ci.const_power.hi, "W");
+    ival("delta_pi", ci.usable_power.lo, ci.usable_power.hi, "W");
+    ival("eps_flop", ci.energy_per_flop.lo, ci.energy_per_flop.hi, "J/flop");
+    ival("eps_mem", ci.energy_per_byte.lo, ci.energy_per_byte.hi, "J/B");
+}

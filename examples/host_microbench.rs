@@ -1,0 +1,77 @@
+//! Run the *real* microbenchmark kernels on this machine: the tunable
+//! flop:Byte intensity sweep, STREAM-style bandwidth, the pointer-chase
+//! latency/throughput benchmark, and a cache working-set sweep — with
+//! package energy from Linux RAPL when the host exposes it.
+//!
+//! This is the live counterpart of the measurement methodology the paper
+//! applies to its 12 platforms (time-first; energy when a meter exists).
+//!
+//! ```sh
+//! cargo run --release --example host_microbench
+//! ```
+
+use archline::microbench::{
+    cache_sweep, intensity_sweep_f32, pointer_chase, stream_triad, StreamKind,
+};
+use archline::model::units::format_si;
+use archline::powermon::RaplReader;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let threads = archline::par::num_threads();
+    let rapl = RaplReader::probe();
+    println!(
+        "host microbenchmarks: {threads} threads, RAPL {}",
+        if rapl.is_some() { "available" } else { "not available (time-only)" }
+    );
+
+    // Intensity sweep: 64 MiB of f32, chains 1..256 (I = 0.25 .. 128).
+    println!("\nintensity microbenchmark (x <- a*x + b chains over 64 MiB):");
+    println!("{:>10} {:>12} {:>12} {:>12}", "flop:Byte", "Gflop/s", "GB/s", "J/iter");
+    let len = 16 << 20;
+    let chains = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
+    for r in intensity_sweep_f32(len, &chains, 0.15, rapl.as_ref()) {
+        println!(
+            "{:>10} {:>12.2} {:>12.2} {:>12}",
+            archline::model::units::format_intensity(r.intensity()),
+            r.gflops(),
+            r.gbytes(),
+            r.joules.map_or("-".to_string(), |j| format_si(j, "J")),
+        );
+    }
+
+    // STREAM kernels over 32 MiB arrays.
+    println!("\nstreaming bandwidth (STREAM-style, 3 x 32 MiB f64 arrays):");
+    for kind in [StreamKind::Copy, StreamKind::Scale, StreamKind::Add, StreamKind::Triad] {
+        let r = stream_triad(kind, 4 << 20, 0.2);
+        println!("  {:<6} {:>8.2} GB/s", format!("{kind:?}"), r.gbytes());
+    }
+
+    // Pointer chase: DRAM-sized table, serial chain + all-thread chains.
+    println!("\npointer chase (Sattolo cycle):");
+    let mut rng = StdRng::seed_from_u64(42);
+    for (label, table_len, chains_n) in [
+        ("L2-resident, 1 chain", 1 << 15, 1),
+        ("DRAM-sized, 1 chain", 1 << 24, 1),
+        ("DRAM-sized, all threads", 1 << 24, threads),
+    ] {
+        let r = pointer_chase(table_len, 1 << 22, chains_n, 0.1, &mut rng);
+        println!(
+            "  {label:<26} {:>8.1} ns/access  {:>10} acc/s total",
+            r.ns_per_access(),
+            format_si(r.accesses_per_sec(), ""),
+        );
+    }
+
+    // Cache sweep: 16 KiB .. 64 MiB.
+    println!("\ncache working-set sweep (single thread, x <- s*x):");
+    println!("{:>10} {:>10}", "size", "GB/s");
+    for p in cache_sweep(16 << 10, 64 << 20, 5e7) {
+        println!(
+            "{:>10} {:>10.2}",
+            format_si(p.bytes as f64, "B"),
+            p.bytes_per_sec / 1e9
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! What-if analysis under power caps (paper §V-D): throttle a platform's
+//! usable power to Δπ/k and inspect power, performance, and efficiency;
+//! then run the power-bounding comparison against an array of small nodes.
+//!
+//! ```sh
+//! cargo run --release --example power_capping            # GTX Titan
+//! cargo run --release --example power_capping XeonPhi
+//! ```
+
+use archline::model::units::{format_intensity, format_si};
+use archline::model::{power_bounding, EnergyRoofline, ThrottleScenario};
+use archline::platforms::{all_platforms, platform, Platform, PlatformId, Precision};
+
+fn lookup(name: &str) -> Platform {
+    let wanted = name.to_lowercase();
+    all_platforms()
+        .into_iter()
+        .find(|p| {
+            p.name.to_lowercase().replace(' ', "") == wanted
+                || format!("{:?}", p.id).to_lowercase() == wanted
+        })
+        .unwrap_or_else(|| {
+            eprintln!("unknown platform `{name}`");
+            std::process::exit(2);
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let p = lookup(args.first().map(String::as_str).unwrap_or("GtxTitan"));
+    let params = p.machine_params(Precision::Single).expect("single");
+
+    println!("power throttling on {} (π1 = {:.1} W, Δπ = {:.1} W)\n", p.name, params.const_power, params.cap.watts());
+    let scenario = ThrottleScenario::paper_factors(params);
+    println!(
+        "{:>5}  {:>10}  {:>10}  {:>14}  {:>14}",
+        "k", "max power", "reduction", "perf @ I=1/4", "perf @ I=128"
+    );
+    for ((k, model), (_, reduction)) in scenario.models().into_iter().zip(scenario.power_reduction()) {
+        println!(
+            "{:>5}  {:>10}  {:>9.2}x  {:>14}  {:>14}",
+            if k == 1.0 { "full".to_string() } else { format!("1/{}", k as u32) },
+            format!("{:.1} W", model.params().const_power + model.params().cap.watts()),
+            reduction,
+            format_si(model.perf_at(0.25), "flop/s"),
+            format_si(model.perf_at(128.0), "flop/s"),
+        );
+    }
+
+    // Power bounding: cap this platform to half its peak power and compare
+    // against an Arndale GPU array in the same budget (paper §V-D).
+    let small = platform(PlatformId::ArndaleGpu);
+    let small_params = small.machine_params(Precision::Single).expect("single");
+    let budget = (params.const_power + params.cap.watts() / 8.0).max(params.const_power * 1.05);
+    let intensity = 0.25;
+    let out = power_bounding(&params, &small_params, budget, intensity);
+    println!(
+        "\npower bounding at {:.1} W per node, I = {} (SpMV-like):",
+        budget,
+        format_intensity(intensity)
+    );
+    println!(
+        "  {} capped to the budget: {}  ({:.2}x of its default-cap performance)",
+        p.name,
+        format_si(out.big_node_perf, "flop/s"),
+        out.big_node_slowdown
+    );
+    println!(
+        "  {} x {}: {}  ->  {:.2}x speedup over the capped {}",
+        out.small_nodes,
+        small.name,
+        format_si(out.ensemble_perf, "flop/s"),
+        out.ensemble_speedup,
+        p.name
+    );
+
+    // Energy-efficiency view at a few intensities.
+    println!("\nenergy-efficiency under caps (flop/J):");
+    println!("{:>5}  {:>12}  {:>12}  {:>12}", "k", "I=1/4", "I=4", "I=128");
+    for (k, model) in ThrottleScenario::paper_factors(params).models() {
+        let eff = |i: f64| format_si(EnergyRoofline::new(*model.params()).energy_eff_at(i), "flop/J");
+        println!(
+            "{:>5}  {:>12}  {:>12}  {:>12}",
+            if k == 1.0 { "full".to_string() } else { format!("1/{}", k as u32) },
+            eff(0.25),
+            eff(4.0),
+            eff(128.0),
+        );
+    }
+}

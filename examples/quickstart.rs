@@ -1,0 +1,57 @@
+//! Quickstart: ask the energy-roofline model for the time, energy, and
+//! power of an abstract computation on a Table I platform.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use archline::model::units::format_si;
+use archline::model::{EnergyRoofline, Workload};
+use archline::platforms::{platform, PlatformId, Precision};
+
+fn main() {
+    // A GTX Titan, straight from the paper's Table I (single precision).
+    let titan = platform(PlatformId::GtxTitan);
+    let params = titan.machine_params(Precision::Single).expect("single precision");
+    let model = EnergyRoofline::new(params);
+
+    println!("platform: {} ({} {})", titan.name, titan.processor, titan.codename);
+    println!("  sustained peak : {}", format_si(params.flops_per_sec(), "flop/s"));
+    println!("  bandwidth      : {}", format_si(params.bytes_per_sec(), "B/s"));
+    println!("  constant power : {}", format_si(params.const_power, "W"));
+    println!("  usable power   : {}", format_si(params.cap.watts(), "W"));
+
+    let b = params.balances();
+    println!(
+        "  balance points : B-_tau = {:.1}, B_tau = {:.1}, B+_tau = {:.1} flop:Byte",
+        b.lower, b.time, b.upper
+    );
+
+    // A large single-precision FFT is roughly 2-4 flop:Byte (paper Sec. I);
+    // take 1 Tflop of work at I = 4.
+    let fft = Workload::from_intensity(1e12, 4.0);
+    println!("\n1 Tflop FFT-like workload at I = 4 flop:Byte:");
+    println!("  time    : {:.4} s  ({})", model.time(&fft), model.regime_at(4.0));
+    println!("  energy  : {:.1} J", model.energy(&fft));
+    println!("  power   : {:.0} W", model.avg_power(&fft));
+    println!(
+        "  rate    : {}  efficiency: {}",
+        format_si(fft.flops / model.time(&fft), "flop/s"),
+        format_si(fft.flops / model.energy(&fft), "flop/J"),
+    );
+
+    // Sweep the regimes.
+    println!("\nintensity sweep:");
+    println!("{:>10}  {:>14}  {:>12}  {:>8}  regime", "flop:Byte", "perf", "flop/J", "power");
+    for k in [-3i32, -1, 0, 1, 2, 3, 4, 5, 7, 9] {
+        let i = 2f64.powi(k);
+        println!(
+            "{:>10}  {:>14}  {:>12}  {:>8}  {}",
+            archline::model::units::format_intensity(i),
+            format_si(model.perf_at(i), "flop/s"),
+            format_si(model.energy_eff_at(i), "flop/J"),
+            format!("{:.0} W", model.avg_power_at(i)),
+            model.regime_at(i),
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! One-import convenience: `use archline::prelude::*;`.
+//!
+//! Brings in the types needed for the common flow — pick a platform, build
+//! a model, describe a workload, query costs, compare alternatives:
+//!
+//! ```
+//! use archline::prelude::*;
+//!
+//! let titan = platform(PlatformId::GtxTitan);
+//! let model = EnergyRoofline::new(titan.machine_params(Precision::Single).unwrap());
+//! let spmv = Workload::from_intensity(1e12, 0.25);
+//! assert!(model.avg_power(&spmv) < titan.max_power());
+//! let pred = model.predict(&spmv);
+//! assert!((pred.power().value() - model.avg_power(&spmv)).abs() < 1e-9);
+//! ```
+
+pub use archline_core::{
+    crossovers, power_bounding, power_match, power_match_with, Balances, Candidate, DvfsModel,
+    EnergyRoofline, HierParams, HierWorkload, Interconnect, MachineParams, MemoryLevel, Metric,
+    PowerCap, Regime, Replication, ThrottleScenario, UtilizationScaledModel, Workload,
+};
+pub use archline_core::pareto::{evaluate as evaluate_candidates, pareto_frontier};
+pub use archline_core::quantity::{Joules, Prediction, Seconds, Watts};
+pub use archline_fit::{fit_platform, fit_platform_ci, FitReport, MeasurementSet, Run};
+pub use archline_machine::{measure, measure_repeated, spec_for, Engine, PlatformSpec};
+pub use archline_microbench::{run_suite, SimulatedSuite, SweepConfig};
+pub use archline_platforms::{all_platforms, platform, Platform, PlatformId, Precision};
+pub use archline_powermon::{PcieInterposer, PowerMon2, PowerTrace, RailSplit};

@@ -1,0 +1,122 @@
+//! Cross-crate integration: simulate → measure → fit round trips through
+//! the full stack (machine + powermon + microbench + fit), for real Table I
+//! platforms.
+
+use archline::fit::{fit_level_cost, fit_platform, fit_random_cost, relative_errors, ErrorKind};
+use archline::machine::{measure, spec_for, Engine};
+use archline::microbench::{run_suite, SweepConfig};
+use archline::model::{EnergyRoofline, Workload};
+use archline::platforms::{platform, PlatformId, Precision};
+use archline::stats::ks_two_sample;
+
+fn cfg() -> SweepConfig {
+    SweepConfig { points: 33, target_secs: 0.08, level_runs: 2, random_runs: 2, ..Default::default() }
+}
+
+/// The full pipeline recovers the GTX Titan's constants through noise,
+/// rail splitting, ADC quantization, and the cap governor.
+#[test]
+fn titan_full_roundtrip() {
+    let rec = platform(PlatformId::GtxTitan);
+    let spec = spec_for(&rec, Precision::Single);
+    let suite = run_suite(&spec, &cfg(), &Engine::default());
+    let fit = fit_platform(&suite.dram);
+    let rel = |a: f64, b: f64| (a - b).abs() / b;
+    assert!(rel(fit.observed_flops, 4.02e12) < 0.05, "{}", fit.observed_flops);
+    assert!(rel(fit.observed_bw, 239e9) < 0.05, "{}", fit.observed_bw);
+    assert!(rel(fit.capped.const_power, 123.0) < 0.12, "{}", fit.capped.const_power);
+    let max_power = fit.capped.const_power + fit.capped.cap.watts();
+    assert!(rel(max_power, 287.0) < 0.06, "{max_power}");
+    assert!(rel(fit.capped.energy_per_flop, 30.4e-12) < 0.20, "{}", fit.capped.energy_per_flop);
+    assert!(rel(fit.capped.energy_per_byte, 267e-12) < 0.20, "{}", fit.capped.energy_per_byte);
+    // Cache levels and random access.
+    let (l1_bw, l1_eps) = fit_level_cost(&suite.levels[0].1.runs, fit.capped.const_power);
+    assert!(rel(l1_bw, 1610e9) < 0.05, "{l1_bw}");
+    assert!(rel(l1_eps, 24.4e-12) < 0.35, "{l1_eps}");
+    let (r_rate, r_eps) =
+        fit_random_cost(&suite.random.as_ref().unwrap().runs, fit.capped.const_power);
+    assert!(rel(r_rate, 968e6) < 0.05, "{r_rate}");
+    assert!(rel(r_eps, 48e-9) < 0.30, "{r_eps}");
+}
+
+/// The mobile board round trip (single-rail wall measurement, small
+/// powers): the Arndale CPU's plateau pins π_1 + Δπ.
+#[test]
+fn arndale_cpu_roundtrip() {
+    let rec = platform(PlatformId::ArndaleCpu);
+    let spec = spec_for(&rec, Precision::Single);
+    let suite = run_suite(&spec, &cfg(), &Engine::default());
+    let fit = fit_platform(&suite.dram);
+    let max_power = fit.capped.const_power + fit.capped.cap.watts();
+    assert!((max_power - 7.51).abs() / 7.51 < 0.06, "{max_power}");
+    // Capped fit strictly better than uncapped on this cap-heavy platform.
+    assert!(fit.capped_diag.power_rmse < 0.5 * fit.uncapped_diag.power_rmse);
+}
+
+/// Double-precision round trip where supported.
+#[test]
+fn xeon_phi_double_roundtrip() {
+    let rec = platform(PlatformId::XeonPhi);
+    let spec = spec_for(&rec, Precision::Double);
+    let suite = run_suite(&spec, &cfg(), &Engine::default());
+    let fit = fit_platform(&suite.dram);
+    assert!((fit.observed_flops - 1010e9).abs() / 1010e9 < 0.05);
+    assert!((fit.capped.energy_per_flop - 12.4e-12).abs() / 12.4e-12 < 0.25);
+}
+
+/// K-S separation appears for a platform with a wide cap region (GTX 680)
+/// and not for one with a sliver (Xeon Phi) — the structural core of
+/// Fig. 4.
+#[test]
+fn ks_separation_tracks_cap_region_width() {
+    let engine = Engine::default();
+    let mut results = Vec::new();
+    for id in [PlatformId::Gtx680, PlatformId::XeonPhi] {
+        let rec = platform(id);
+        let spec = spec_for(&rec, Precision::Single);
+        let suite = run_suite(&spec, &cfg(), &engine);
+        let fit = fit_platform(&suite.dram);
+        let capped = relative_errors(&fit.capped, &suite.dram.runs, ErrorKind::Power);
+        let uncapped = relative_errors(&fit.uncapped, &suite.dram.runs, ErrorKind::Power);
+        results.push((rec.name.clone(), ks_two_sample(&capped, &uncapped)));
+    }
+    let (gtx, phi) = (&results[0], &results[1]);
+    assert!(gtx.1.significant_at(0.05), "GTX 680 p = {}", gtx.1.p_value);
+    assert!(!phi.1.significant_at(0.05), "Xeon Phi p = {}", phi.1.p_value);
+}
+
+/// A single measured run agrees with the model prediction within noise on
+/// a clean platform — across all three regimes.
+#[test]
+fn single_runs_match_model_across_regimes() {
+    let rec = platform(PlatformId::Gtx580);
+    let spec = spec_for(&rec, Precision::Single);
+    let model = EnergyRoofline::new(rec.machine_params(Precision::Single).unwrap());
+    let engine = Engine::default();
+    for (k, &i) in [0.25, 2.0, 8.19, 64.0, 512.0].iter().enumerate() {
+        let w = spec.intensity_workload(i, 0.1);
+        let r = measure(&spec, &w, &engine, 100 + k as u64);
+        let flat = Workload::new(w.flops, w.bytes_per_level[spec.dram_level()]);
+        let t_rel = (r.duration - model.time(&flat)).abs() / model.time(&flat);
+        let p_rel = (r.avg_power - model.avg_power(&flat)).abs() / model.avg_power(&flat);
+        // GTX 580 carries the noisiest calibration (σ_power = 9 %).
+        assert!(t_rel < 0.10, "I={i}: time off {t_rel}");
+        assert!(p_rel < 0.30, "I={i}: power off {p_rel}");
+    }
+}
+
+/// Determinism: the same configuration reproduces bit-identical suites, so
+/// every figure regeneration is reproducible.
+#[test]
+fn suites_are_deterministic() {
+    let rec = platform(PlatformId::PandaBoardEs);
+    let spec = spec_for(&rec, Precision::Single);
+    let small = SweepConfig { points: 9, target_secs: 0.03, ..cfg() };
+    let a = run_suite(&spec, &small, &Engine::default());
+    let b = run_suite(&spec, &small, &Engine::default());
+    assert_eq!(a, b);
+    let mut other = small;
+    other.base_seed ^= 1;
+    let c = run_suite(&spec, &other, &Engine::default());
+    assert_ne!(a, c);
+}

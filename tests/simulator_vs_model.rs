@@ -1,0 +1,110 @@
+//! Property-based cross-crate tests: on *random* (not just Table I)
+//! noiseless platforms, the simulator's emergent behaviour must coincide
+//! with the closed-form model — the central consistency requirement of the
+//! reproduction.
+
+use archline::machine::spec::{LevelSpec, NoiseSpec, PipelineSpec, PlatformSpec, Quirk};
+use archline::machine::Engine;
+use archline::model::{EnergyRoofline, MachineParams, PowerCap, Workload};
+use archline::powermon::RailSplit;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random two-level machine in a physically plausible envelope.
+fn arb_spec() -> impl Strategy<Value = PlatformSpec> {
+    (
+        1e9..5e12f64,   // flop rate
+        1e-12..5e-10f64, // eps_flop
+        1e9..5e11f64,   // dram bandwidth
+        1e-11..5e-9f64, // eps_mem
+        0.5..200.0f64,  // pi1
+        0.1..2.0f64,    // cap as a fraction of peak op power
+    )
+        .prop_map(|(fr, ef, br, em, pi1, frac)| {
+            let peak_ops = fr * ef + br * em;
+            PlatformSpec {
+                name: "random".to_string(),
+                flop: PipelineSpec { rate: fr, energy_per_op: ef },
+                levels: vec![LevelSpec {
+                    name: "DRAM".into(),
+                    rate: br,
+                    energy_per_byte: em,
+                }],
+                random: None,
+                const_power: pi1,
+                usable_power: (peak_ops * frac).max(1e-3),
+                noise: NoiseSpec::NONE,
+                quirk: Quirk::None,
+                rail_split: RailSplit::single("brick", 12.0),
+            }
+        })
+}
+
+fn model_of(spec: &PlatformSpec) -> EnergyRoofline {
+    EnergyRoofline::new(
+        MachineParams {
+            time_per_flop: 1.0 / spec.flop.rate,
+            time_per_byte: 1.0 / spec.levels[0].rate,
+            energy_per_flop: spec.flop.energy_per_op,
+            energy_per_byte: spec.levels[0].energy_per_byte,
+            const_power: spec.const_power,
+            cap: PowerCap::Capped(spec.usable_power),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn emergent_time_matches_eq3(spec in arb_spec(), log_i in -3f64..9f64, seed in 0u64..1000) {
+        let intensity = 2f64.powf(log_i);
+        let w = spec.intensity_workload(intensity, 0.05);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ex = Engine::default().run(&spec, &w, &mut rng);
+        let flat = Workload::new(w.flops, w.bytes_per_level[0]);
+        let predicted = model_of(&spec).time(&flat);
+        let rel = (ex.duration - predicted).abs() / predicted;
+        prop_assert!(rel < 5e-3, "I={intensity}: sim {} vs eq.(3) {}", ex.duration, predicted);
+    }
+
+    #[test]
+    fn emergent_power_matches_eq7(spec in arb_spec(), log_i in -3f64..9f64) {
+        let intensity = 2f64.powf(log_i);
+        let w = spec.intensity_workload(intensity, 0.05);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ex = Engine::default().run(&spec, &w, &mut rng);
+        let predicted = model_of(&spec).avg_power_at(intensity);
+        let measured = ex.true_avg_power();
+        let rel = (measured - predicted).abs() / predicted;
+        prop_assert!(rel < 5e-3, "I={intensity}: sim {measured} vs eq.(7) {predicted}");
+    }
+
+    #[test]
+    fn governor_never_exceeds_budget(spec in arb_spec(), log_i in -3f64..9f64) {
+        let intensity = 2f64.powf(log_i);
+        let w = spec.intensity_workload(intensity, 0.03);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ex = Engine::default().run(&spec, &w, &mut rng);
+        let budget = spec.const_power + spec.usable_power;
+        for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let p = ex.profile.power_at(ex.duration * frac);
+            prop_assert!(p <= budget * (1.0 + 1e-9), "p = {p} > {budget}");
+        }
+    }
+
+    #[test]
+    fn powermon_energy_estimator_tracks_truth(spec in arb_spec(), log_i in -2f64..8f64, seed in 0u64..100) {
+        // The paper's estimator (mean sampled power × wall time) agrees
+        // with the simulator's exact energy integral within sampling +
+        // quantization error.
+        let intensity = 2f64.powf(log_i);
+        let w = spec.intensity_workload(intensity, 0.1);
+        let r = archline::machine::measure(&spec, &w, &Engine::default(), seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ex = Engine::default().run(&spec, &w, &mut rng);
+        let rel = (r.energy - ex.true_energy()).abs() / ex.true_energy();
+        prop_assert!(rel < 0.02, "measured {} vs truth {}", r.energy, ex.true_energy());
+    }
+}
