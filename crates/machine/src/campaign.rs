@@ -59,9 +59,19 @@ pub fn measure_repeated(
         best_time: time.min(),
         mean_time: time.mean(),
         mean_power: power.mean(),
-        power_rel_std: if runs.len() > 1 { power.std_dev() / power.mean() } else { 0.0 },
+        power_rel_std: rel_std(&power, runs.len()),
         mean_energy: energy.mean(),
         trials: runs,
+    }
+}
+
+/// Relative standard deviation of `n` samples; 0 for fewer than two samples
+/// or a zero mean (0/0 would otherwise surface as NaN in reports).
+fn rel_std(summary: &archline_stats::Summary, n: usize) -> f64 {
+    if n > 1 && summary.mean() != 0.0 {
+        summary.std_dev() / summary.mean()
+    } else {
+        0.0
     }
 }
 
@@ -110,6 +120,17 @@ mod tests {
         // Same seed base: the first 2 trials are shared, so best-of-16 can
         // only be at least as good.
         assert!(many.best_time <= few.best_time);
+    }
+
+    #[test]
+    fn zero_mean_power_yields_zero_rel_std_not_nan() {
+        let mut power = archline_stats::Summary::new();
+        power.push(0.0);
+        power.push(0.0);
+        power.push(0.0);
+        let rs = rel_std(&power, 3);
+        assert!(!rs.is_nan());
+        assert_eq!(rs, 0.0);
     }
 
     #[test]

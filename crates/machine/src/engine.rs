@@ -8,18 +8,48 @@ use archline_core::HierWorkload;
 use crate::noise::{gauss, RunNoise};
 use crate::spec::{PlatformSpec, Quirk};
 
-/// A piecewise-constant power profile over uniform ticks (the last tick may
-/// be partial).
+/// One constant-power stretch of a run-length-encoded profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Power drawn over the segment, Watts.
+    pub watts: f64,
+    /// End time of the segment, seconds (segments are contiguous from 0).
+    pub until: f64,
+}
+
+/// A piecewise-constant power profile: either uniform ticks (the last tick
+/// may be partial), as produced by the tick integrator, or run-length
+/// encoded [`Segment`]s, as produced by the closed-form fast path. Both
+/// representations share exact `power_at`/`energy` semantics; a time on a
+/// boundary belongs to the later tick/segment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StepProfile {
     dt: f64,
     watts: Vec<f64>,
     duration: f64,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    segments: Option<Vec<Segment>>,
 }
 
 impl StepProfile {
+    /// Builds a uniform-tick profile (tick integrator output).
+    pub fn from_ticks(dt: f64, watts: Vec<f64>, duration: f64) -> Self {
+        Self { dt, watts, duration, segments: None }
+    }
+
+    /// Builds a run-length-encoded profile from contiguous segments
+    /// (closed-form fast-path output). The span is the last segment's end.
+    pub fn from_segments(segments: Vec<Segment>) -> Self {
+        let duration = segments.last().map_or(0.0, |s| s.until);
+        Self { dt: duration, watts: Vec::new(), duration, segments: Some(segments) }
+    }
+
     /// Instantaneous power at time `t` (clamped to the profile's span).
     pub fn power_at(&self, t: f64) -> f64 {
+        if let Some(segments) = &self.segments {
+            let Some(last) = segments.last() else { return 0.0 };
+            return segments.iter().find(|s| t < s.until).unwrap_or(last).watts;
+        }
         if self.watts.is_empty() {
             return 0.0;
         }
@@ -34,6 +64,15 @@ impl StepProfile {
 
     /// Exact integral of the profile, Joules.
     pub fn energy(&self) -> f64 {
+        if let Some(segments) = &self.segments {
+            let mut e = 0.0;
+            let mut start = 0.0;
+            for s in segments {
+                e += s.watts * (s.until - start);
+                start = s.until;
+            }
+            return e;
+        }
         let mut e = 0.0;
         let mut remaining = self.duration;
         for &w in &self.watts {
@@ -44,9 +83,16 @@ impl StepProfile {
         e
     }
 
-    /// Tick length, seconds.
+    /// Tick length, seconds (equals [`StepProfile::duration`] for
+    /// run-length-encoded profiles, which have no uniform tick).
     pub fn dt(&self) -> f64 {
         self.dt
+    }
+
+    /// The run-length-encoded segments, if this profile came from the
+    /// closed-form fast path.
+    pub fn segments(&self) -> Option<&[Segment]> {
+        self.segments.as_deref()
     }
 }
 
@@ -98,6 +144,15 @@ impl Engine {
     /// Simulates `workload` on `spec`, returning the wall time and power
     /// profile. Deterministic for a given `rng` state.
     ///
+    /// When the spec has no [`Quirk::OsInterference`] and zero `tick_sigma`,
+    /// every tick is identical and the simulation is evaluated in closed
+    /// form ([`Engine::run_closed_form`]) — same speed, power, and energy,
+    /// with a run-length-encoded profile instead of ~`duration/dt` ticks.
+    /// The closed form consumes no RNG beyond the per-run noise draw (the
+    /// tick loop burns one Gaussian per tick), so for such specs the `rng`
+    /// stream position after `run` differs from older releases; seeded
+    /// results on noisy specs (all Table I platforms) are unchanged.
+    ///
     /// # Panics
     /// Panics if the spec fails validation or the workload exercises a
     /// random-access path the platform lacks.
@@ -110,7 +165,48 @@ impl Engine {
         spec.validate().expect("invalid platform spec");
         assert!(self.dt > 0.0 && self.dt.is_finite(), "bad tick");
         let run_noise = RunNoise::draw(spec.noise.rate_sigma, spec.noise.power_sigma, rng);
+        let resources = Self::resources_for(spec, workload, &run_noise);
+        if Self::is_piecewise_constant(spec) {
+            Self::run_closed_form(spec, &resources, &run_noise)
+        } else {
+            self.run_ticks(spec, &resources, &run_noise, rng)
+        }
+    }
 
+    /// Reference integrator: always runs the per-tick loop, even for specs
+    /// the closed-form fast path could handle. Property tests compare this
+    /// against [`Engine::run`] as `dt → 0`.
+    pub fn run_ticked<R: Rng>(
+        &self,
+        spec: &PlatformSpec,
+        workload: &HierWorkload,
+        rng: &mut R,
+    ) -> Execution {
+        spec.validate().expect("invalid platform spec");
+        assert!(self.dt > 0.0 && self.dt.is_finite(), "bad tick");
+        let run_noise = RunNoise::draw(spec.noise.rate_sigma, spec.noise.power_sigma, rng);
+        let resources = Self::resources_for(spec, workload, &run_noise);
+        self.run_ticks(spec, &resources, &run_noise, rng)
+    }
+
+    /// Whether every tick of a run on `spec` is identical, making the
+    /// closed-form evaluation exact: no stochastic per-tick noise and no
+    /// episodic OS interference (utilization scaling is a deterministic
+    /// function of the steady speed, so it stays eligible).
+    fn is_piecewise_constant(spec: &PlatformSpec) -> bool {
+        spec.noise.tick_sigma == 0.0 && !matches!(spec.quirk, Quirk::OsInterference { .. })
+    }
+
+    /// Builds the per-resource view of `workload` under this run's noise.
+    ///
+    /// # Panics
+    /// Panics if the workload exercises no resource or needs a
+    /// random-access path the platform lacks.
+    fn resources_for(
+        spec: &PlatformSpec,
+        workload: &HierWorkload,
+        run_noise: &RunNoise,
+    ) -> Vec<Resource> {
         let mut resources: Vec<Resource> = Vec::new();
         if workload.flops > 0.0 {
             let rate = spec.flop.rate * run_noise.rate_factor;
@@ -137,9 +233,64 @@ impl Engine {
             });
         }
         assert!(!resources.is_empty(), "workload does nothing");
+        resources
+    }
 
+    /// The steady (speed, operation-power) pair the governor settles on —
+    /// the same arithmetic as one iteration of the tick loop.
+    fn steady_state(spec: &PlatformSpec, resources: &[Resource]) -> (f64, f64) {
         let t_max = resources.iter().map(|r| r.t_alone).fold(0.0, f64::max);
-        let s_base = 1.0 / t_max; // progress (fraction of workload) per second
+        let mut s = 1.0 / t_max;
+        let mut p_ops: f64 = resources.iter().map(|r| (s * r.t_alone).min(1.0) * r.pi).sum();
+        if p_ops > spec.usable_power {
+            let scale = spec.usable_power / p_ops;
+            s *= scale;
+            p_ops = spec.usable_power;
+        }
+        if let Quirk::UtilizationScaling { depth } = spec.quirk {
+            p_ops = resources
+                .iter()
+                .map(|r| {
+                    let u = (s * r.t_alone).min(1.0);
+                    u * r.pi * (1.0 - depth * (1.0 - u))
+                })
+                .sum::<f64>()
+                .min(spec.usable_power);
+        }
+        (s, p_ops)
+    }
+
+    /// Closed-form evaluation for piecewise-constant runs: the governor's
+    /// steady state holds for the entire execution, so the run is a single
+    /// constant-power segment of length `1/s` — no tick loop, no per-tick
+    /// RNG draws, bit-for-bit deterministic.
+    fn run_closed_form(
+        spec: &PlatformSpec,
+        resources: &[Resource],
+        run_noise: &RunNoise,
+    ) -> Execution {
+        let (s, p_ops) = Self::steady_state(spec, resources);
+        let power = spec.const_power + p_ops * run_noise.power_factor;
+        let duration = 1.0 / s;
+        Execution {
+            duration,
+            profile: StepProfile::from_segments(vec![Segment { watts: power, until: duration }]),
+        }
+    }
+
+    /// The per-tick integrator (reference path; also handles OS
+    /// interference and per-tick noise, which the closed form cannot).
+    fn run_ticks<R: Rng>(
+        &self,
+        spec: &PlatformSpec,
+        resources: &[Resource],
+        run_noise: &RunNoise,
+        rng: &mut R,
+    ) -> Execution {
+        let t_max = resources.iter().map(|r| r.t_alone).fold(0.0, f64::max);
+        // The governor's steady state is constant over the run (only quirks
+        // and per-tick noise perturb it below), so hoist it out of the loop.
+        let (steady_s, steady_p_ops) = Self::steady_state(spec, resources);
 
         let mut progress = 0.0f64;
         let mut time = 0.0f64;
@@ -148,31 +299,8 @@ impl Engine {
         let mut episode_left = 0.0f64;
 
         while progress < 1.0 {
-            // Utilizations if running at the unthrottled progress speed.
-            let mut s = s_base;
-            let mut p_ops: f64 = resources
-                .iter()
-                .map(|r| (s * r.t_alone).min(1.0) * r.pi)
-                .sum();
-            // Governor: throttle proportionally to hold P_ops ≤ Δπ.
-            if p_ops > spec.usable_power {
-                let scale = spec.usable_power / p_ops;
-                s *= scale;
-                p_ops = spec.usable_power;
-            }
-            // Quirk: utilization-dependent energy-efficiency scaling —
-            // partially-utilized resources cost less per op, so observed
-            // power at a given throughput dips below the clean model.
-            if let Quirk::UtilizationScaling { depth } = spec.quirk {
-                p_ops = resources
-                    .iter()
-                    .map(|r| {
-                        let u = (s * r.t_alone).min(1.0);
-                        u * r.pi * (1.0 - depth * (1.0 - u))
-                    })
-                    .sum::<f64>()
-                    .min(spec.usable_power);
-            }
+            let mut s = steady_s;
+            let p_ops = steady_p_ops;
             let mut extra_power = 0.0;
             if let Quirk::OsInterference { rate_hz, mean_secs, slowdown, extra_power_frac } =
                 spec.quirk
@@ -206,7 +334,7 @@ impl Engine {
 
         Execution {
             duration: time,
-            profile: StepProfile { dt: self.dt, watts, duration: time },
+            profile: StepProfile::from_ticks(self.dt, watts, time),
         }
     }
 }
@@ -399,12 +527,105 @@ mod tests {
 
     #[test]
     fn step_profile_lookup() {
-        let p = StepProfile { dt: 0.1, watts: vec![1.0, 2.0, 3.0], duration: 0.25 };
+        let p = StepProfile::from_ticks(0.1, vec![1.0, 2.0, 3.0], 0.25);
         assert_eq!(p.power_at(0.05), 1.0);
         assert_eq!(p.power_at(0.15), 2.0);
         assert_eq!(p.power_at(0.22), 3.0);
         assert_eq!(p.power_at(5.0), 3.0); // clamped
         // Energy respects the partial last tick: 0.1 + 0.2 + 3*0.05.
         assert!((p.energy() - (0.1 + 0.2 + 0.15)).abs() < 1e-12);
+        assert!(p.segments().is_none());
+    }
+
+    #[test]
+    fn segment_profile_lookup() {
+        let p = StepProfile::from_segments(vec![
+            Segment { watts: 4.0, until: 0.1 },
+            Segment { watts: 2.0, until: 0.4 },
+        ]);
+        assert_eq!(p.duration(), 0.4);
+        assert_eq!(p.power_at(0.0), 4.0);
+        assert_eq!(p.power_at(0.1), 2.0); // boundary belongs to the later segment
+        assert_eq!(p.power_at(0.39), 2.0);
+        assert_eq!(p.power_at(9.0), 2.0); // clamped
+        assert!((p.energy() - (4.0 * 0.1 + 2.0 * 0.3)).abs() < 1e-12);
+        assert_eq!(p.segments().map(<[Segment]>::len), Some(2));
+        // Degenerate cases.
+        let empty = StepProfile::from_segments(Vec::new());
+        assert_eq!(empty.power_at(0.0), 0.0);
+        assert_eq!(empty.energy(), 0.0);
+    }
+
+    #[test]
+    fn fast_path_engages_only_for_piecewise_constant_specs() {
+        // Noise-free, quirk-free toy: closed form, RLE profile.
+        let (ex, _) = run_noiseless(2.0);
+        assert!(ex.profile.segments().is_some(), "expected closed-form profile");
+
+        // Per-tick noise forces the tick integrator.
+        let mut spec = toy();
+        spec.noise = NoiseSpec { rate_sigma: 0.0, power_sigma: 0.0, tick_sigma: 0.004 };
+        let w = spec.intensity_workload(2.0, 0.3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let ex = Engine::default().run(&spec, &w, &mut rng);
+        assert!(ex.profile.segments().is_none(), "tick_sigma must use the tick loop");
+
+        // OS interference forces the tick integrator.
+        let mut spec = toy();
+        spec.quirk = Quirk::OsInterference {
+            rate_hz: 30.0,
+            mean_secs: 0.01,
+            slowdown: 0.5,
+            extra_power_frac: 0.2,
+        };
+        let w = spec.intensity_workload(2.0, 0.3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let ex = Engine::default().run(&spec, &w, &mut rng);
+        assert!(ex.profile.segments().is_none(), "OsInterference must use the tick loop");
+
+        // Utilization scaling is deterministic: still closed form.
+        let mut spec = toy();
+        spec.quirk = Quirk::UtilizationScaling { depth: 0.15 };
+        let w = spec.intensity_workload(2.0, 0.3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let ex = Engine::default().run(&spec, &w, &mut rng);
+        assert!(ex.profile.segments().is_some(), "deterministic quirk stays closed-form");
+    }
+
+    #[test]
+    fn fast_path_agrees_with_tick_integrator() {
+        // dt → 0: the tick loop converges on the closed form it replaced.
+        for quirk in [Quirk::None, Quirk::UtilizationScaling { depth: 0.15 }] {
+            let mut spec = toy();
+            spec.quirk = quirk;
+            for &i in &[0.125, 1.0, 5.0, 64.0, 512.0] {
+                let w = spec.intensity_workload(i, 0.05);
+                let mut rng = StdRng::seed_from_u64(7);
+                let fast = Engine::default().run(&spec, &w, &mut rng);
+                let mut rng = StdRng::seed_from_u64(7);
+                let tick = Engine { dt: 1e-5 }.run_ticked(&spec, &w, &mut rng);
+                let dt_rel = (fast.duration - tick.duration).abs() / tick.duration;
+                let de_rel =
+                    (fast.true_energy() - tick.true_energy()).abs() / tick.true_energy();
+                assert!(dt_rel < 1e-6, "I={i}: duration rel err {dt_rel}");
+                assert!(de_rel < 1e-6, "I={i}: energy rel err {de_rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_is_bit_for_bit_deterministic() {
+        let mut spec = toy();
+        spec.noise = NoiseSpec { rate_sigma: 0.05, power_sigma: 0.03, tick_sigma: 0.0 };
+        let w = spec.intensity_workload(6.25, 0.2);
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Engine::default().run(&spec, &w, &mut rng)
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.duration.to_bits(), b.duration.to_bits());
+        assert_eq!(a.profile, b.profile);
+        assert!(a.profile.segments().is_some());
     }
 }

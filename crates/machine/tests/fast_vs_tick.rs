@@ -1,0 +1,91 @@
+//! Property tests for the closed-form engine fast path: on any
+//! piecewise-constant spec (no per-tick noise, no OS interference) the
+//! closed form must agree with the tick integrator as `dt → 0`, and must be
+//! bit-for-bit deterministic given a seed.
+
+use archline_machine::spec::{LevelSpec, NoiseSpec, PipelineSpec, PlatformSpec, Quirk};
+use archline_machine::Engine;
+use archline_powermon::RailSplit;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random two-level machine with run-level (but no per-tick) noise, with or
+/// without the deterministic utilization-scaling quirk.
+fn arb_spec() -> impl Strategy<Value = PlatformSpec> {
+    (
+        1e9..2e12f64,    // flop rate
+        1e-12..2e-10f64, // eps_flop
+        5e8..2e11f64,    // dram bandwidth
+        1e-11..2e-9f64,  // eps_mem
+        0.5..150.0f64,   // pi1
+        0.2..1.5f64,     // cap as a fraction of peak op power
+        0.0..0.05f64,    // rate_sigma (run-level: fast-path compatible)
+        0.0..0.05f64,    // power_sigma (run-level)
+        prop_oneof![Just(Quirk::None), (0.05..0.3f64).prop_map(|d| Quirk::UtilizationScaling {
+            depth: d
+        })],
+    )
+        .prop_map(|(fr, ef, br, em, pi1, cap_frac, rate_sigma, power_sigma, quirk)| {
+            PlatformSpec {
+                name: "fastprop".to_string(),
+                flop: PipelineSpec { rate: fr, energy_per_op: ef },
+                levels: vec![
+                    LevelSpec { name: "L1".into(), rate: br * 8.0, energy_per_byte: em * 0.05 },
+                    LevelSpec { name: "DRAM".into(), rate: br, energy_per_byte: em },
+                ],
+                random: None,
+                const_power: pi1,
+                usable_power: ((fr * ef + br * em) * cap_frac).max(1e-3),
+                noise: NoiseSpec { rate_sigma, power_sigma, tick_sigma: 0.0 },
+                quirk,
+                rail_split: RailSplit::single("brick", 12.0),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fast_path_matches_tick_integrator(
+        spec in arb_spec(),
+        log_i in -3f64..9f64,
+        seed in 0u64..1000,
+    ) {
+        let w = spec.intensity_workload(2f64.powf(log_i), 0.02);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fast = Engine::default().run(&spec, &w, &mut rng);
+        prop_assert!(fast.profile.segments().is_some(), "fast path must engage");
+
+        // The same seed gives both paths the same run-level noise draw; the
+        // tick loop then only adds integration error, which vanishes with dt.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tick = Engine { dt: fast.duration / 4096.0 }.run_ticked(&spec, &w, &mut rng);
+        prop_assert!(tick.profile.segments().is_none());
+
+        let dt_rel = (fast.duration - tick.duration).abs() / tick.duration;
+        prop_assert!(dt_rel < 1e-6, "duration rel err {dt_rel}");
+        let de_rel = (fast.true_energy() - tick.true_energy()).abs() / tick.true_energy();
+        prop_assert!(de_rel < 1e-6, "energy rel err {de_rel}");
+        let dp_rel =
+            (fast.true_avg_power() - tick.true_avg_power()).abs() / tick.true_avg_power();
+        prop_assert!(dp_rel < 1e-6, "avg power rel err {dp_rel}");
+    }
+
+    #[test]
+    fn fast_path_bit_for_bit_deterministic(
+        spec in arb_spec(),
+        log_i in -3f64..9f64,
+        seed in 0u64..1000,
+    ) {
+        let w = spec.intensity_workload(2f64.powf(log_i), 0.02);
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Engine::default().run(&spec, &w, &mut rng)
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.duration.to_bits(), b.duration.to_bits());
+        prop_assert_eq!(&a.profile, &b.profile);
+    }
+}

@@ -1,39 +1,57 @@
 //! # archline-par — minimal data-parallelism substrate
 //!
-//! A small, safe, from-scratch parallelism layer used by the microbenchmark
+//! A small, from-scratch parallelism layer used by the microbenchmark
 //! kernels and the multi-platform sweeps, in place of an external library
-//! such as rayon (per the reproduction's build-everything rule).
+//! such as rayon (per the reproduction's build-everything rule). The crate
+//! has no dependencies outside `std`.
 //!
-//! Two complementary primitives:
+//! Everything runs on one **process-wide, lazily-initialized work-stealing
+//! [`Executor`](executor::Executor)**:
 //!
-//! * **Scoped data parallelism** ([`parallel_for`], [`parallel_map`],
-//!   [`parallel_reduce`], [`parallel_chunks_mut`]) built on
-//!   [`std::thread::scope`]: borrow local data freely, fork-join semantics,
-//!   no pool management. This is the right shape for STREAM-style kernels
-//!   that run for milliseconds or more — spawn cost is negligible and the
-//!   OS places fresh threads across cores.
-//! * **A persistent [`ThreadPool`]** for many small independent `'static`
-//!   tasks (e.g. simulating 12 platforms concurrently), with a blocking
-//!   `wait_idle` and panic propagation.
+//! * **Data-parallel primitives** ([`parallel_for`], [`parallel_map`],
+//!   [`parallel_reduce`], [`parallel_for_dynamic`], [`parallel_chunks_mut`])
+//!   borrow local data freely with fork-join semantics. Nested calls — a
+//!   `parallel_map` inside a `parallel_map`, as in the 12-platform sweep
+//!   whose per-platform suites are themselves parallel — share the same
+//!   worker set: the joining thread helps drain sub-tasks instead of
+//!   spawning fresh scoped threads.
+//! * **A [`ThreadPool`] facade** for many small independent `'static`
+//!   tasks, with a blocking `wait_idle` and panic propagation, also backed
+//!   by the global executor.
 //!
-//! Thread count defaults to [`std::thread::available_parallelism`] and can
-//! be overridden with the `ARCHLINE_THREADS` environment variable.
+//! Worker count defaults to [`std::thread::available_parallelism`], is
+//! overridden by the `ARCHLINE_THREADS` environment variable, and can be
+//! pinned programmatically with [`set_num_threads`] before the first
+//! parallel call (e.g. from a `--threads` CLI flag).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // one audited exception: executor::erase (join-barrier lifetime erasure)
 #![warn(missing_docs)]
 
+pub mod executor;
 pub mod pool;
 pub mod scope;
 
+pub use executor::Executor;
 pub use pool::ThreadPool;
 pub use scope::{
     parallel_chunks_mut, parallel_for, parallel_for_dynamic, parallel_map, parallel_reduce,
 };
 
-/// The worker count used by the scoped primitives: `ARCHLINE_THREADS` if set
-/// to a positive integer, otherwise the machine's available parallelism
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Programmatic thread-count override (0 = unset); takes precedence over
+/// `ARCHLINE_THREADS`.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The worker count used by the parallel primitives: the
+/// [`set_num_threads`] override if set, else `ARCHLINE_THREADS` if set to a
+/// positive integer, otherwise the machine's available parallelism
 /// (minimum 1).
 pub fn num_threads() -> usize {
+    let pinned = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if pinned > 0 {
+        return pinned;
+    }
     if let Ok(s) = std::env::var("ARCHLINE_THREADS") {
         if let Ok(n) = s.parse::<usize>() {
             if n > 0 {
@@ -44,6 +62,25 @@ pub fn num_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Pins the worker count for the process-wide executor, overriding
+/// `ARCHLINE_THREADS`. Must be called before the first parallel call;
+/// returns an error once the global executor is already running (its width
+/// is fixed at creation).
+pub fn set_num_threads(n: usize) -> Result<(), String> {
+    if n == 0 {
+        return Err("thread count must be positive".into());
+    }
+    if executor::global_started() {
+        return Err(
+            "global executor already initialized; set the thread count before the first \
+             parallel call"
+                .into(),
+        );
+    }
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,5 +88,17 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn set_num_threads_rejects_zero() {
+        assert!(set_num_threads(0).is_err());
+    }
+
+    #[test]
+    fn set_num_threads_rejects_late_calls() {
+        // Force the global executor into existence, then attempt to resize.
+        assert!(Executor::global().threads() >= 1);
+        assert!(set_num_threads(3).is_err());
     }
 }

@@ -1,14 +1,18 @@
-//! A persistent thread pool for `'static` fork-join task batches.
+//! Batch-oriented task groups for `'static` fork-join workloads.
+//!
+//! [`ThreadPool`] used to own its worker threads; it is now a thin facade
+//! over the process-wide [`Executor`](crate::executor::Executor): `execute`
+//! submits detached tasks to the shared workers, and the pool tracks its own
+//! completion and panic counts so `wait_idle` keeps its original semantics
+//! (join point for a batch, panics re-raised). Creating many pools therefore
+//! no longer multiplies OS threads.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
-
-type Job = Box<dyn FnOnce() + Send + 'static>;
+use crate::executor::Executor;
 
 struct Shared {
     pending: AtomicUsize,
@@ -17,52 +21,36 @@ struct Shared {
     idle_cv: Condvar,
 }
 
-/// A fixed-size worker pool executing `'static` closures, with
-/// [`ThreadPool::wait_idle`] as the join point for a batch of submissions.
+fn lock(m: &Mutex<()>) -> MutexGuard<'_, ()> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A handle grouping `'static` closures into joinable batches on the global
+/// executor, with [`ThreadPool::wait_idle`] as the join point.
 ///
 /// Worker panics are counted and re-raised (as a panic) from `wait_idle`,
 /// so a failing task cannot be silently swallowed.
 pub struct ThreadPool {
-    sender: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
+    size: usize,
 }
 
 impl ThreadPool {
-    /// Creates a pool with `size` workers.
+    /// Creates a pool handle. `size` is the nominal width reported by
+    /// [`ThreadPool::size`]; actual concurrency is bounded by the global
+    /// executor's worker count.
     ///
     /// # Panics
     /// Panics if `size == 0`.
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "pool needs at least one worker");
-        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
         let shared = Arc::new(Shared {
             pending: AtomicUsize::new(0),
             panics: AtomicUsize::new(0),
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
         });
-        let workers = (0..size)
-            .map(|i| {
-                let rx = receiver.clone();
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("archline-pool-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            if catch_unwind(AssertUnwindSafe(job)).is_err() {
-                                shared.panics.fetch_add(1, Ordering::SeqCst);
-                            }
-                            if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-                                let _guard = shared.idle_lock.lock();
-                                shared.idle_cv.notify_all();
-                            }
-                        }
-                    })
-                    .expect("spawn pool worker")
-            })
-            .collect();
-        Self { sender: Some(sender), workers, shared }
+        Self { shared, size }
     }
 
     /// Creates a pool with [`crate::num_threads`] workers.
@@ -70,9 +58,9 @@ impl ThreadPool {
         Self::new(crate::num_threads())
     }
 
-    /// Number of workers.
+    /// Nominal worker count.
     pub fn size(&self) -> usize {
-        self.workers.len()
+        self.size
     }
 
     /// Number of submitted-but-unfinished jobs.
@@ -80,38 +68,50 @@ impl ThreadPool {
         self.shared.pending.load(Ordering::SeqCst)
     }
 
-    /// Submits a job for execution.
+    /// Submits a job for execution on the global executor.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        self.sender
-            .as_ref()
-            .expect("pool sender live until drop")
-            .send(Box::new(job))
-            .expect("workers alive while pool exists");
+        let shared = Arc::clone(&self.shared);
+        Executor::global().spawn_detached(Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                shared.panics.fetch_add(1, Ordering::SeqCst);
+            }
+            if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _guard = lock(&shared.idle_lock);
+                shared.idle_cv.notify_all();
+            }
+        }));
     }
 
-    /// Blocks until every submitted job has finished.
+    /// Blocks until every submitted job has finished, helping the executor
+    /// drain queued tasks while it waits.
     ///
     /// # Panics
     /// Panics if any job panicked since the last `wait_idle`.
     pub fn wait_idle(&self) {
-        let mut guard = self.shared.idle_lock.lock();
-        while self.shared.pending.load(Ordering::SeqCst) != 0 {
-            self.shared.idle_cv.wait(&mut guard);
-        }
-        drop(guard);
+        self.drain();
         let panics = self.shared.panics.swap(0, Ordering::SeqCst);
         assert!(panics == 0, "{panics} pool job(s) panicked");
+    }
+
+    fn drain(&self) {
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+            if Executor::global().help_one() {
+                continue;
+            }
+            let guard = lock(&self.shared.idle_lock);
+            if self.shared.pending.load(Ordering::SeqCst) != 0 {
+                let _ = self.shared.idle_cv.wait_timeout(guard, Duration::from_micros(500));
+            }
+        }
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Closing the channel lets workers drain remaining jobs and exit.
-        self.sender.take();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        // Preserve the original drain-on-drop semantics: outstanding jobs
+        // finish before the owner proceeds (panics are not re-raised here).
+        self.drain();
     }
 }
 
@@ -185,7 +185,7 @@ mod tests {
                     c.fetch_add(1, Ordering::Relaxed);
                 });
             }
-            // Dropped without wait_idle: workers drain the queue.
+            // Dropped without wait_idle: the drop drains the batch.
         }
         assert_eq!(counter.load(Ordering::Relaxed), 50);
     }
@@ -200,5 +200,25 @@ mod tests {
     fn default_size_matches_num_threads() {
         let pool = ThreadPool::with_default_size();
         assert_eq!(pool.size(), crate::num_threads());
+    }
+
+    #[test]
+    fn wait_idle_inside_executor_job_makes_progress() {
+        // A pool joined from inside a parallel job must help drain rather
+        // than park a worker forever.
+        let outer: Vec<usize> = (0..4).collect();
+        let got = crate::parallel_map(&outer, |&o| {
+            let pool = ThreadPool::new(2);
+            let counter = Arc::new(AtomicU64::new(0));
+            for _ in 0..8 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle();
+            counter.load(Ordering::Relaxed) + o as u64
+        });
+        assert_eq!(got, vec![8, 9, 10, 11]);
     }
 }

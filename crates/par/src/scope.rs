@@ -1,7 +1,20 @@
-//! Scoped fork-join data parallelism over index ranges and slices.
+//! Fork-join data parallelism over index ranges and slices.
+//!
+//! All primitives run on the process-wide [`Executor`]: the first parallel
+//! call starts the workers, every later call reuses them, and nested calls
+//! (a `parallel_map` inside a `parallel_map`) are executed by the same
+//! worker set via the executor's help-while-joining protocol instead of
+//! spawning fresh scoped threads.
+//!
+//! Work is split into the same contiguous, balanced chunks as before the
+//! executor existed ([`split_ranges`] with [`num_threads`] chunks), and each
+//! chunk is processed in index order by whichever thread picks it up — so
+//! results, including floating-point results, are bit-for-bit deterministic
+//! and independent of scheduling.
 
 use std::ops::Range;
 
+use crate::executor::{Executor, Job};
 use crate::num_threads;
 
 /// Splits `0..len` into at most `threads` contiguous chunks of roughly equal
@@ -25,9 +38,10 @@ pub fn split_ranges(len: usize, threads: usize) -> Vec<Range<usize>> {
     out
 }
 
-/// Runs `f(range)` on contiguous chunks of `0..len` across worker threads
-/// and waits for all of them (fork-join). The calling thread executes one
-/// chunk itself. Panics in workers propagate after all threads join.
+/// Runs `f(range)` on contiguous chunks of `0..len` across the executor's
+/// workers and waits for all of them (fork-join). The calling thread helps
+/// execute chunks while it waits. Panics in chunks propagate after the
+/// whole batch finishes.
 pub fn parallel_for<F>(len: usize, f: F)
 where
     F: Fn(Range<usize>) + Sync,
@@ -36,15 +50,12 @@ where
     match ranges.len() {
         0 => {}
         1 => f(ranges.into_iter().next().expect("one range")),
-        _ => std::thread::scope(|s| {
+        _ => {
             let f = &f;
-            let mut iter = ranges.into_iter();
-            let own = iter.next().expect("at least two ranges");
-            for r in iter {
-                s.spawn(move || f(r));
-            }
-            f(own);
-        }),
+            let jobs: Vec<Job<'_>> =
+                ranges.into_iter().map(|r| Box::new(move || f(r)) as Job<'_>).collect();
+            Executor::global().run_batch(jobs);
+        }
     }
 }
 
@@ -61,16 +72,21 @@ where
     }
     let mut pieces: Vec<Option<Vec<U>>> = Vec::new();
     pieces.resize_with(ranges.len(), || None);
-    std::thread::scope(|s| {
+    {
         let f = &f;
-        for (slot, r) in pieces.iter_mut().zip(ranges) {
-            let chunk = &items[r];
-            s.spawn(move || {
-                *slot = Some(chunk.iter().map(f).collect());
-            });
-        }
-    });
-    pieces.into_iter().flat_map(|p| p.expect("worker completed")).collect()
+        let jobs: Vec<Job<'_>> = pieces
+            .iter_mut()
+            .zip(ranges)
+            .map(|(slot, r)| {
+                let chunk = &items[r];
+                Box::new(move || {
+                    *slot = Some(chunk.iter().map(f).collect());
+                }) as Job<'_>
+            })
+            .collect();
+        Executor::global().run_batch(jobs);
+    }
+    pieces.into_iter().flat_map(|p| p.expect("chunk completed")).collect()
 }
 
 /// Parallel map-reduce over `0..len`: `map(i)` produces per-index values,
@@ -88,23 +104,28 @@ where
     }
     let mut partials: Vec<Option<T>> = Vec::new();
     partials.resize_with(ranges.len(), || None);
-    std::thread::scope(|s| {
+    {
         let map = &map;
         let reduce = &reduce;
-        for (slot, r) in partials.iter_mut().zip(ranges) {
-            let id = identity.clone();
-            s.spawn(move || {
-                let mut acc = id;
-                for i in r {
-                    acc = reduce(acc, map(i));
-                }
-                *slot = Some(acc);
-            });
-        }
-    });
+        let jobs: Vec<Job<'_>> = partials
+            .iter_mut()
+            .zip(ranges)
+            .map(|(slot, r)| {
+                let id = identity.clone();
+                Box::new(move || {
+                    let mut acc = id;
+                    for i in r {
+                        acc = reduce(acc, map(i));
+                    }
+                    *slot = Some(acc);
+                }) as Job<'_>
+            })
+            .collect();
+        Executor::global().run_batch(jobs);
+    }
     partials
         .into_iter()
-        .map(|p| p.expect("worker completed"))
+        .map(|p| p.expect("chunk completed"))
         .fold(identity, reduce)
 }
 
@@ -129,25 +150,30 @@ where
         return;
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            let next = &next;
-            let f = &f;
-            s.spawn(move || loop {
-                let start = next.fetch_add(grain, std::sync::atomic::Ordering::Relaxed);
-                if start >= len {
-                    break;
-                }
-                for i in start..(start + grain).min(len) {
-                    f(i);
-                }
-            });
-        }
-    });
+    {
+        let next = &next;
+        let f = &f;
+        let jobs: Vec<Job<'_>> = (0..threads)
+            .map(|_| {
+                Box::new(move || loop {
+                    let start = next.fetch_add(grain, std::sync::atomic::Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    for i in start..(start + grain).min(len) {
+                        f(i);
+                    }
+                }) as Job<'_>
+            })
+            .collect();
+        Executor::global().run_batch(jobs);
+    }
 }
 
 /// Runs `f(chunk_index, chunk)` over disjoint mutable chunks of `data` of
-/// size `chunk_len` (the last chunk may be shorter), in parallel.
+/// size `chunk_len` (the last chunk may be shorter), in parallel. The
+/// executor bounds concurrency at its worker count even when there are many
+/// chunks (the old scoped implementation spawned one thread per chunk).
 ///
 /// # Panics
 /// Panics if `chunk_len == 0`.
@@ -160,12 +186,13 @@ where
     if data.is_empty() {
         return;
     }
-    std::thread::scope(|s| {
-        let f = &f;
-        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
-            s.spawn(move || f(idx, chunk));
-        }
-    });
+    let f = &f;
+    let jobs: Vec<Job<'_>> = data
+        .chunks_mut(chunk_len)
+        .enumerate()
+        .map(|(idx, chunk)| Box::new(move || f(idx, chunk)) as Job<'_>)
+        .collect();
+    Executor::global().run_batch(jobs);
 }
 
 #[cfg(test)]
@@ -314,5 +341,56 @@ mod tests {
         let par = parallel_map(&xs, |&x| x.mul_add(2.0, 1.0));
         let seq: Vec<f64> = xs.iter().map(|&x| x.mul_add(2.0, 1.0)).collect();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn nested_map_completes_without_deadlock() {
+        // Outer map over 8 items, each running an inner map over 64 items —
+        // the old implementation spawned a fresh thread::scope per level;
+        // the executor runs both levels on one worker set.
+        let outer: Vec<usize> = (0..8).collect();
+        let got = parallel_map(&outer, |&o| {
+            let inner: Vec<usize> = (0..64).map(|i| o * 64 + i).collect();
+            let squares = parallel_map(&inner, |&x| x * x);
+            squares.iter().sum::<usize>()
+        });
+        for (o, sum) in got.iter().enumerate() {
+            let expect: usize = (0..64).map(|i| (o * 64 + i) * (o * 64 + i)).sum();
+            assert_eq!(*sum, expect, "outer item {o}");
+        }
+    }
+
+    #[test]
+    fn nested_panic_propagates_to_outer_caller() {
+        let outer: Vec<usize> = (0..6).collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(&outer, |&o| {
+                let inner: Vec<usize> = (0..32).collect();
+                parallel_map(&inner, |&i| {
+                    if o == 3 && i == 17 {
+                        panic!("inner task failed");
+                    }
+                    i
+                })
+            });
+        }));
+        assert!(err.is_err(), "nested panic must reach the outer caller");
+        // The executor stays healthy after the unwind.
+        let xs: Vec<i32> = (0..100).collect();
+        assert_eq!(parallel_map(&xs, |&x| x + 1).len(), 100);
+    }
+
+    #[test]
+    fn nested_map_preserves_ordering() {
+        let outer: Vec<usize> = (0..12).collect();
+        let got = parallel_map(&outer, |&o| {
+            let inner: Vec<usize> = (0..100).collect();
+            parallel_map(&inner, |&i| o * 1000 + i)
+        });
+        for (o, row) in got.iter().enumerate() {
+            for (i, v) in row.iter().enumerate() {
+                assert_eq!(*v, o * 1000 + i, "outer {o} inner {i}");
+            }
+        }
     }
 }

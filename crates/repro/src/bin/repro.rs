@@ -1,7 +1,7 @@
 //! `repro` — regenerate the tables and figures of Choi et al. (IPDPS 2014).
 //!
 //! ```text
-//! repro <artifact> [--fast] [--csv DIR]
+//! repro <artifact> [--fast] [--csv DIR] [--threads N]
 //!
 //! artifacts:
 //!   table1         Table I  — platform summary (paper vs re-fitted)
@@ -21,47 +21,108 @@
 //!   all            everything above
 //!
 //! flags:
-//!   --fast      smaller simulated sweeps (quick smoke runs)
-//!   --csv DIR   also write machine-readable JSON reports into DIR
+//!   --fast        smaller simulated sweeps (quick smoke runs)
+//!   --csv DIR     also write machine-readable JSON reports into DIR
+//!   --threads N   worker threads for the simulation sweeps (default: all
+//!                 cores, or the ARCHLINE_THREADS environment variable)
 //! ```
+//!
+//! All artifacts computed in one invocation share an
+//! [`archline_repro::AnalysisContext`], so `repro all` runs the 12-platform
+//! measurement-and-fit sweep exactly once. Per-artifact wall times go to
+//! stderr; `repro all` additionally writes them to `BENCH_repro.json`.
 
 use std::io::Write as _;
+use std::time::Instant;
 
 use archline_microbench::SweepConfig;
 use archline_repro::{
     analysis, ext, fig1, fig4, fig5, fig6, fig7, scorecard, section_vc, section_vd, table1,
+    AnalysisContext,
 };
+
+const ARTIFACTS: &[&str] = &[
+    "table1",
+    "fig1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7a",
+    "fig7b",
+    "vc-energy",
+    "vc-constpower",
+    "vd-bounding",
+    "ext-arndale",
+    "ext-network",
+    "ext-bounding",
+    "ext-dvfs",
+    "scorecard",
+];
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("repro: {error}");
+    }
+    eprintln!(
+        "usage: repro <artifact> [--fast] [--csv DIR] [--threads N]\n\
+         artifacts: {} | all",
+        ARTIFACTS.join(" | ")
+    );
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let csv_dir = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let artifact = args
-        .iter()
-        .find(|a| !a.starts_with("--") && Some(a.as_str()) != csv_dir.as_deref())
-        .cloned()
-        .unwrap_or_else(|| {
-            eprintln!("usage: repro <table1|fig1|fig4|fig5|fig6|fig7a|fig7b|vc-energy|vc-constpower|vd-bounding|ext-arndale|ext-network|ext-bounding|ext-dvfs|scorecard|all> [--fast] [--csv DIR]");
-            std::process::exit(2);
-        });
+    let mut fast = false;
+    let mut csv_dir: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut artifact: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fast" => fast = true,
+            "--csv" => match it.next() {
+                Some(dir) => csv_dir = Some(dir.clone()),
+                None => usage("--csv needs a directory"),
+            },
+            "--threads" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => threads = Some(n),
+                Some(Err(_)) => usage("--threads needs a positive integer"),
+                None => usage("--threads needs a positive integer"),
+            },
+            name if !name.starts_with("--") && artifact.is_none() => {
+                artifact = Some(name.to_string());
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let artifact = artifact.unwrap_or_else(|| usage(""));
+    if artifact != "all" && !ARTIFACTS.contains(&artifact.as_str()) {
+        usage(&format!("unknown artifact `{artifact}`"));
+    }
+    if let Some(n) = threads {
+        if let Err(e) = archline_par::set_num_threads(n) {
+            usage(&format!("--threads {n}: {e}"));
+        }
+    }
 
     let cfg = if fast { analysis::fast_config() } else { SweepConfig::default() };
-    let names: Vec<&str> = if artifact == "all" {
-        vec![
-            "table1", "fig1", "fig4", "fig5", "fig6", "fig7a", "fig7b", "vc-energy",
-            "vc-constpower", "vd-bounding", "ext-arndale", "ext-network", "ext-bounding", "ext-dvfs",
-            "scorecard",
-        ]
-    } else {
-        vec![artifact.as_str()]
-    };
+    // One shared context: every artifact below reuses the same 12-platform
+    // sweep instead of re-running it.
+    let ctx = AnalysisContext::new(cfg);
+    let all = artifact == "all";
+    let names: Vec<&str> = if all { ARTIFACTS.to_vec() } else { vec![artifact.as_str()] };
 
+    let total_start = Instant::now();
+    let mut timings: Vec<(&str, f64)> = Vec::new();
     for name in names {
-        let (text, json) = run_artifact(name, &cfg, fast);
+        let start = Instant::now();
+        let (text, json) = run_artifact(name, &ctx, fast);
+        let secs = start.elapsed().as_secs_f64();
+        timings.push((name, secs));
+        eprintln!("[time] {name}: {secs:.3}s");
         println!("{text}");
         if let Some(dir) = &csv_dir {
             std::fs::create_dir_all(dir).expect("create output dir");
@@ -71,12 +132,26 @@ fn main() {
             eprintln!("wrote {path}");
         }
     }
+    let total = total_start.elapsed().as_secs_f64();
+    eprintln!("[time] total: {total:.3}s");
+
+    if all {
+        let mut bench = serde_json::Map::new();
+        for (name, secs) in &timings {
+            bench.insert((*name).to_string(), serde_json::Value::from(*secs));
+        }
+        bench.insert("total".to_string(), serde_json::Value::from(total));
+        let body = serde_json::to_string_pretty(&serde_json::Value::Object(bench))
+            .expect("serialize timings");
+        std::fs::write("BENCH_repro.json", body).expect("write BENCH_repro.json");
+        eprintln!("wrote BENCH_repro.json");
+    }
 }
 
-fn run_artifact(name: &str, cfg: &SweepConfig, fast: bool) -> (String, String) {
+fn run_artifact(name: &str, ctx: &AnalysisContext, fast: bool) -> (String, String) {
     match name {
         "table1" => {
-            let r = table1::compute(cfg, !fast);
+            let r = table1::compute_with(ctx, !fast);
             (table1::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
         }
         "fig1" => {
@@ -84,35 +159,35 @@ fn run_artifact(name: &str, cfg: &SweepConfig, fast: bool) -> (String, String) {
             (fig1::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
         }
         "fig4" => {
-            let r = fig4::compute(cfg);
+            let r = fig4::compute_with(ctx);
             (fig4::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
         }
         "fig5" => {
-            let r = fig5::compute(cfg);
+            let r = fig5::compute_with(ctx);
             (fig5::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
         }
         "fig6" => {
-            let r = fig6::compute();
+            let r = fig6::compute_with(ctx);
             (fig6::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
         }
         "fig7a" => {
-            let r = fig7::compute(fig7::Fig7Kind::Performance);
+            let r = fig7::compute_with(ctx, fig7::Fig7Kind::Performance);
             (fig7::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
         }
         "fig7b" => {
-            let r = fig7::compute(fig7::Fig7Kind::EnergyEfficiency);
+            let r = fig7::compute_with(ctx, fig7::Fig7Kind::EnergyEfficiency);
             (fig7::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
         }
         "vc-energy" | "vc-constpower" => {
-            let r = section_vc::compute();
+            let r = section_vc::compute_with(ctx);
             (section_vc::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
         }
         "vd-bounding" => {
-            let r = section_vd::compute();
+            let r = section_vd::compute_with(ctx);
             (section_vd::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
         }
         "ext-arndale" => {
-            let r = ext::arndale_ablation(cfg);
+            let r = ext::arndale_ablation_with(ctx);
             (ext::render_arndale(&r), serde_json::to_string_pretty(&r).expect("serialize"))
         }
         "ext-network" => {
@@ -128,12 +203,9 @@ fn run_artifact(name: &str, cfg: &SweepConfig, fast: bool) -> (String, String) {
             (ext::render_dvfs(&r), serde_json::to_string_pretty(&r).expect("serialize"))
         }
         "scorecard" => {
-            let r = scorecard::compute(cfg);
+            let r = scorecard::compute_with(ctx);
             (scorecard::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
         }
-        other => {
-            eprintln!("unknown artifact `{other}`");
-            std::process::exit(2);
-        }
+        other => unreachable!("artifact `{other}` validated in main"),
     }
 }

@@ -1,0 +1,150 @@
+//! Shared analysis cache for the artifact pipeline.
+//!
+//! Almost every artifact starts from the same 12-platform sweep
+//! ([`analyze_all`]): simulate the microbenchmark suite, then fit both
+//! models. Before this cache existed, `repro all` re-ran that sweep once per
+//! artifact. [`AnalysisContext`] memoizes the sweep (and Table I's
+//! double-precision variant) behind [`OnceLock`], so any number of artifacts
+//! computed against one context share a single sweep — concurrently-arriving
+//! callers block on the first computation instead of duplicating it.
+//!
+//! Each artifact module exposes a `compute_with(&AnalysisContext, ...)`
+//! entry point; the original config-only `compute` functions remain as thin
+//! wrappers that build a throwaway context.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use archline_fit::fit_platform;
+use archline_machine::{spec_for, Engine};
+use archline_microbench::{run_suite, SweepConfig};
+use archline_par::parallel_map;
+use archline_platforms::Precision;
+
+use crate::analysis::{analyze_all, PlatformAnalysis};
+use crate::table1::FittedValue;
+
+/// Config-keyed memo of the shared per-platform analyses.
+///
+/// Construct one per [`SweepConfig`]; the sweep runs lazily on first use and
+/// exactly once per context regardless of how many artifacts (or threads)
+/// ask for it. `&AnalysisContext` is `Send + Sync`, so artifacts may be
+/// computed concurrently against the same context.
+#[derive(Debug)]
+pub struct AnalysisContext {
+    cfg: SweepConfig,
+    analyses: OnceLock<Vec<PlatformAnalysis>>,
+    doubles: OnceLock<Vec<Option<FittedValue>>>,
+    sweep_misses: AtomicUsize,
+    sweep_hits: AtomicUsize,
+}
+
+impl AnalysisContext {
+    /// A context keyed to `cfg`. No work happens until an artifact asks.
+    pub fn new(cfg: SweepConfig) -> Self {
+        Self {
+            cfg,
+            analyses: OnceLock::new(),
+            doubles: OnceLock::new(),
+            sweep_misses: AtomicUsize::new(0),
+            sweep_hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// The sweep configuration this context is keyed to.
+    pub fn cfg(&self) -> &SweepConfig {
+        &self.cfg
+    }
+
+    /// The single-precision 12-platform sweep, computed at most once.
+    pub fn analyses(&self) -> &[PlatformAnalysis] {
+        if let Some(cached) = self.analyses.get() {
+            self.sweep_hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        self.analyses.get_or_init(|| {
+            self.sweep_misses.fetch_add(1, Ordering::Relaxed);
+            analyze_all(&self.cfg)
+        })
+    }
+
+    /// Table I's double-precision `ε_d` column (one slot per platform, in
+    /// sweep order; `None` where double precision is unsupported). Also
+    /// memoized: only the first caller pays for the extra sweeps.
+    pub fn doubles(&self) -> &[Option<FittedValue>] {
+        self.doubles.get_or_init(|| {
+            let engine = Engine::default();
+            parallel_map(self.analyses(), |a| {
+                if !a.platform.supports_double() {
+                    return None;
+                }
+                let spec = spec_for(&a.platform, Precision::Double);
+                let suite = run_suite(&spec, &self.cfg, &engine);
+                let fit = fit_platform(&suite.dram);
+                a.platform.flop_double.map(|paper| FittedValue {
+                    paper: paper.energy,
+                    fitted: fit.capped.energy_per_flop,
+                })
+            })
+        })
+    }
+
+    /// How many [`Self::analyses`] calls found the sweep already computed.
+    pub fn sweep_hits(&self) -> usize {
+        self.sweep_hits.load(Ordering::Relaxed)
+    }
+
+    /// How many times the sweep was actually run (1 after any use; the whole
+    /// point of the cache is that it never reaches 2).
+    pub fn sweep_misses(&self) -> usize {
+        self.sweep_misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::fast_config;
+    use crate::{ext, fig4, fig5, scorecard, table1};
+
+    #[test]
+    fn sweep_runs_exactly_once_across_artifacts() {
+        let ctx = AnalysisContext::new(fast_config());
+        assert_eq!(ctx.sweep_misses(), 0, "lazy until first use");
+
+        let t1 = table1::compute_with(&ctx, false);
+        let f4 = fig4::compute_with(&ctx);
+        let f5 = fig5::compute_with(&ctx);
+        let sc = scorecard::compute_with(&ctx);
+        let ab = ext::arndale_ablation_with(&ctx);
+
+        assert_eq!(t1.rows.len(), 12);
+        assert_eq!(f4.rows.len(), 12);
+        assert_eq!(f5.panels.len(), 12);
+        assert!(!sc.claims.is_empty());
+        assert!(ab.true_depth > 0.0);
+        assert_eq!(ctx.sweep_misses(), 1, "sweep must run exactly once");
+        assert!(ctx.sweep_hits() >= 4, "artifacts after the first all hit");
+    }
+
+    #[test]
+    fn context_results_match_uncached_compute() {
+        let cfg = fast_config();
+        let ctx = AnalysisContext::new(cfg);
+        assert_eq!(table1::compute_with(&ctx, false), table1::compute(&cfg, false));
+        assert_eq!(fig4::compute_with(&ctx), fig4::compute(&cfg));
+    }
+
+    #[test]
+    fn concurrent_first_use_still_sweeps_once() {
+        let ctx = AnalysisContext::new(fast_config());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    assert_eq!(ctx.analyses().len(), 12);
+                });
+            }
+        });
+        assert_eq!(ctx.sweep_misses(), 1);
+    }
+}

@@ -21,11 +21,10 @@ use archline_core::{
     power_match_with, DvfsModel, EnergyRoofline, Interconnect, UtilizationScaledModel, Workload,
 };
 use archline_core::extended::fit_depth;
-use archline_fit::fit_platform;
-use archline_machine::{spec_for, Engine};
-use archline_microbench::{run_suite, SweepConfig};
+use archline_microbench::SweepConfig;
 use archline_platforms::{platform, PlatformId, Precision};
 
+use crate::context::AnalysisContext;
 use crate::render::{pct, sig3, TextTable};
 
 // ---------------------------------------------------------------------------
@@ -54,10 +53,19 @@ pub struct ArndaleAblation {
 /// lower Δπ, hiding the effect the refinement is meant to explain. (The
 /// refit is still performed; its diagnostics are not used here.)
 pub fn arndale_ablation(cfg: &SweepConfig) -> ArndaleAblation {
-    let rec = platform(PlatformId::ArndaleGpu);
-    let spec = spec_for(&rec, Precision::Single);
-    let suite = run_suite(&spec, cfg, &Engine::default());
-    let _refit = fit_platform(&suite.dram);
+    arndale_ablation_with(&AnalysisContext::new(*cfg))
+}
+
+/// Runs the Arndale ablation from a shared [`AnalysisContext`], reusing the
+/// context's Arndale GPU suite and refit (bit-identical inputs: same spec,
+/// config, and seeds as a standalone sweep).
+pub fn arndale_ablation_with(ctx: &AnalysisContext) -> ArndaleAblation {
+    let a = ctx
+        .analyses()
+        .iter()
+        .find(|a| a.platform.id == PlatformId::ArndaleGpu)
+        .expect("Arndale GPU is in the 12-platform sweep");
+    let (rec, spec, suite) = (&a.platform, &a.spec, &a.suite);
     let table1_params = rec.machine_params(Precision::Single).expect("single");
 
     let observations: Vec<(Workload, f64)> = suite

@@ -9,7 +9,8 @@ use archline_stats::{
     boxplot, ks_two_sample, mann_whitney_u, quantile, BoxplotStats, KsResult, MannWhitneyResult,
 };
 
-use crate::analysis::{analyze_all, PlatformAnalysis};
+use crate::analysis::PlatformAnalysis;
+use crate::context::AnalysisContext;
 use crate::render::{sig3, TextTable};
 
 /// Error distributions for one platform.
@@ -77,8 +78,12 @@ impl Fig4Report {
 
 /// Regenerates Fig. 4 from simulated measurements.
 pub fn compute(cfg: &SweepConfig) -> Fig4Report {
-    let analyses = analyze_all(cfg);
-    let mut rows: Vec<Fig4Row> = analyses.iter().map(row_for).collect();
+    compute_with(&AnalysisContext::new(*cfg))
+}
+
+/// Regenerates Fig. 4 from a shared [`AnalysisContext`] (no re-sweep).
+pub fn compute_with(ctx: &AnalysisContext) -> Fig4Report {
+    let mut rows: Vec<Fig4Row> = ctx.analyses().iter().map(row_for).collect();
     rows.sort_by(|a, b| {
         b.uncapped_median_abs()
             .partial_cmp(&a.uncapped_median_abs())

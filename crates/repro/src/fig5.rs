@@ -7,7 +7,8 @@ use serde::{Deserialize, Serialize};
 use archline_core::{power::power_curve, EnergyRoofline, Regime};
 use archline_microbench::SweepConfig;
 
-use crate::analysis::{analyze_all, PlatformAnalysis};
+use crate::analysis::PlatformAnalysis;
+use crate::context::AnalysisContext;
 use crate::render::{pct, sig3, TextTable};
 
 /// One measured dot of the figure.
@@ -88,8 +89,13 @@ pub struct Fig5Report {
 
 /// Regenerates Fig. 5.
 pub fn compute(cfg: &SweepConfig) -> Fig5Report {
-    let analyses = analyze_all(cfg);
-    Fig5Report { panels: analyses.iter().map(|a| panel_for(a, cfg)).collect() }
+    compute_with(&AnalysisContext::new(*cfg))
+}
+
+/// Regenerates Fig. 5 from a shared [`AnalysisContext`] (no re-sweep).
+pub fn compute_with(ctx: &AnalysisContext) -> Fig5Report {
+    let cfg = ctx.cfg();
+    Fig5Report { panels: ctx.analyses().iter().map(|a| panel_for(a, cfg)).collect() }
 }
 
 fn panel_for(a: &PlatformAnalysis, cfg: &SweepConfig) -> Fig5Panel {

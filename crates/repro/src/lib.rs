@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod context;
 pub mod ext;
 pub mod fig1;
 pub mod fig4;
@@ -39,6 +40,8 @@ pub mod table1;
 
 use archline_core::EnergyRoofline;
 use archline_platforms::{all_platforms, Platform, Precision};
+
+pub use context::AnalysisContext;
 
 /// The 12 platforms ordered by decreasing peak energy-efficiency — the
 /// panel order of Figs. 5–7 (GTX Titan first, Desktop CPU last).

@@ -10,6 +10,7 @@ use archline_microbench::SweepConfig;
 use archline_platforms::{all_platforms, platform, PlatformId, Precision};
 use archline_stats::pearson;
 
+use crate::context::AnalysisContext;
 use crate::fig4;
 use crate::render::{sig3, TextTable};
 
@@ -54,6 +55,12 @@ fn model(id: PlatformId) -> EnergyRoofline {
 /// Computes the scorecard. The Fig. 4 check runs the simulated pipeline
 /// with `cfg`; everything else is model-only.
 pub fn compute(cfg: &SweepConfig) -> Scorecard {
+    compute_with(&AnalysisContext::new(*cfg))
+}
+
+/// Computes the scorecard from a shared [`AnalysisContext`]: the Fig. 4
+/// check reuses the context's sweep instead of re-running it.
+pub fn compute_with(ctx: &AnalysisContext) -> Scorecard {
     let mut claims = Vec::new();
     let mut check = |source: &str, statement: &str, expected: String, actual: String, pass: bool| {
         claims.push(Claim {
@@ -207,7 +214,7 @@ pub fn compute(cfg: &SweepConfig) -> Scorecard {
     );
 
     // Fig. 4 star pattern (simulated pipeline).
-    let fig4_report = fig4::compute(cfg);
+    let fig4_report = fig4::compute_with(ctx);
     let agreement = fig4_report.star_agreement();
     check(
         "Fig. 4",

@@ -10,13 +10,11 @@
 
 use serde::{Deserialize, Serialize};
 
-use archline_fit::{fit_level_cost, fit_platform, fit_random_cost};
-use archline_machine::{spec_for, Engine};
-use archline_microbench::{run_suite, SweepConfig};
-use archline_par::parallel_map;
-use archline_platforms::Precision;
+use archline_fit::{fit_level_cost, fit_random_cost};
+use archline_microbench::SweepConfig;
 
-use crate::analysis::{analyze_all, PlatformAnalysis};
+use crate::analysis::PlatformAnalysis;
+use crate::context::AnalysisContext;
 use crate::render::{sig3, TextTable};
 
 /// A paper value paired with the pipeline's re-fitted estimate.
@@ -75,27 +73,20 @@ pub struct Table1Report {
 /// Regenerates Table I. `include_double` additionally sweeps the
 /// double-precision pipeline on platforms that support it (slower).
 pub fn compute(cfg: &SweepConfig, include_double: bool) -> Table1Report {
-    let analyses = analyze_all(cfg);
-    let engine = Engine::default();
+    compute_with(&AnalysisContext::new(*cfg), include_double)
+}
 
-    // Double-precision ε_d needs its own sweep per supporting platform.
-    let doubles: Vec<Option<FittedValue>> = parallel_map(&analyses, |a| {
-        if !include_double || !a.platform.supports_double() {
-            return None;
-        }
-        let spec = spec_for(&a.platform, Precision::Double);
-        let suite = run_suite(&spec, cfg, &engine);
-        let fit = fit_platform(&suite.dram);
-        a.platform.flop_double.map(|paper| FittedValue {
-            paper: paper.energy,
-            fitted: fit.capped.energy_per_flop,
-        })
-    });
-
+/// Regenerates Table I from a shared [`AnalysisContext`] (no re-sweep; the
+/// double-precision `ε_d` sweeps are memoized on the context too).
+pub fn compute_with(ctx: &AnalysisContext, include_double: bool) -> Table1Report {
+    let analyses = ctx.analyses();
     let rows = analyses
         .iter()
-        .zip(doubles)
-        .map(|(a, eps_double)| row_for(a, eps_double))
+        .enumerate()
+        .map(|(i, a)| {
+            let eps_double = if include_double { ctx.doubles()[i] } else { None };
+            row_for(a, eps_double)
+        })
         .collect();
     Table1Report { rows }
 }
