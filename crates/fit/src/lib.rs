@@ -16,6 +16,8 @@
 //!   decomposition → joint nonlinear refinement, for both the capped and
 //!   the uncapped (prior) model.
 //! * [`residuals`] — the relative-error distributions Fig. 4 analyzes.
+//! * [`robust`] — typed fit errors, MAD outlier rejection, Huber loss,
+//!   and the perturbed-restart policy for dirty measurements.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +30,7 @@ pub mod nelder_mead;
 pub mod ols;
 pub mod pipeline;
 pub mod residuals;
+pub mod robust;
 pub mod selection;
 
 pub use ci::{fit_platform_ci, FitCi, Interval};
@@ -35,6 +38,9 @@ pub use lm::{levenberg_marquardt, LmOptions, LmResult};
 pub use measurement::{MeasurementSet, Run};
 pub use nelder_mead::{nelder_mead, NmOptions, NmResult};
 pub use ols::{ols, ols_nonneg};
-pub use pipeline::{fit_level_cost, fit_platform, fit_random_cost, FitDiagnostics, FitReport};
+pub use pipeline::{
+    fit_level_cost, fit_platform, fit_random_cost, try_fit_platform, FitDiagnostics, FitReport,
+};
 pub use residuals::{relative_errors, ErrorKind};
+pub use robust::{iqr, mad, mad_outliers, median, FitError, FitOptions, Loss};
 pub use selection::{aic_c, select_model, ModelScore};

@@ -81,6 +81,13 @@ impl MeasurementSet {
         Self { runs }
     }
 
+    /// Creates a set without validating: the ingest path for measured (or
+    /// fault-injected) data that may contain invalid runs.
+    /// [`crate::try_fit_platform`] screens and reports them.
+    pub fn from_raw(runs: Vec<Run>) -> Self {
+        Self { runs }
+    }
+
     /// Appends a run.
     ///
     /// # Panics

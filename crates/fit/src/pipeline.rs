@@ -10,9 +10,16 @@
 //!    `max(W·τ_flop, Q·τ_mem)` reveal throttling; the median of
 //!    `(W·ε_flop + Q·ε_mem)/T` over those runs seeds `Δπ`.
 //! 4. **Joint nonlinear refinement**: Nelder–Mead over
-//!    `log(ε_flop, ε_mem, π_1, Δπ)` minimizing the summed squared relative
-//!    errors of predicted time and power. The uncapped (prior-model) fit
-//!    repeats stages 2 and 4 with the cap term removed.
+//!    `log(ε_flop, ε_mem, π_1, Δπ)` minimizing the summed per-run losses of
+//!    predicted time and power relative errors. The uncapped (prior-model)
+//!    fit repeats stages 2 and 4 with the cap term removed.
+//!
+//! [`try_fit_platform`] is the fallible, policy-aware entry point: invalid
+//! runs are screened out, [`FitOptions`] can enable MAD outlier rejection
+//! ahead of stage 2, a Huber loss in stage 4, and perturbed restarts when
+//! the simplex stalls. [`fit_platform`] is the historical panicking wrapper
+//! with default options and is bit-identical to the pre-robustness
+//! pipeline on clean data.
 
 use serde::{Deserialize, Serialize};
 
@@ -21,6 +28,21 @@ use archline_core::{EnergyRoofline, MachineParams, PowerCap, Workload};
 use crate::measurement::{MeasurementSet, Run};
 use crate::nelder_mead::{nelder_mead, NmOptions};
 use crate::ols::ols_nonneg;
+use crate::robust::{mad, median, perturb_seed, restart_rng, FitError, FitOptions};
+
+/// Absolute floor on the robust residual scale (log-space) used by outlier
+/// rejection: residual spreads under a part per billion are float noise,
+/// not measurement noise, and MAD-flagging against them would reject
+/// arbitrary healthy runs from an essentially perfect fit. Clamping (rather
+/// than skipping rejection) keeps isolated gross outliers detectable on
+/// noiseless data.
+const REJECTION_NOISE_FLOOR: f64 = 1e-9;
+
+/// Absolute backstop for energy rejection, in log-ratio space: a run whose
+/// energy is more than 4× off the decomposition's typical prediction ratio
+/// is grossly corrupt even when heavy contamination has inflated the MAD
+/// enough to mask it (spike factors are ≥ e² ≈ 7.4×, so they clear this).
+const GROSS_LOG_RATIO: f64 = 1.386_294_361_119_890_6; // ln(4)
 
 /// Goodness-of-fit diagnostics for one fitted model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -31,6 +53,14 @@ pub struct FitDiagnostics {
     pub time_rmse: f64,
     /// Worst absolute relative power error.
     pub power_max: f64,
+    /// Runs screened out before fitting (invalid + rejected outliers).
+    #[serde(default)]
+    pub rejected_runs: usize,
+    /// `true` when the fit completed but should not be fully trusted:
+    /// the refinement never converged despite restarts, or over half the
+    /// candidate runs had to be rejected.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// The result of fitting one platform's intensity-sweep measurements.
@@ -52,27 +82,64 @@ pub struct FitReport {
     pub observed_bw: f64,
 }
 
-/// Fits both models to a DRAM-intensity measurement sweep.
+/// Fits both models to a DRAM-intensity measurement sweep with default
+/// (classical) options.
 ///
 /// # Panics
 /// Panics if the set has fewer than 4 runs with both work and traffic, or
-/// no compute-heavy / traffic-heavy runs to pin the sustained peaks.
+/// no compute-heavy / traffic-heavy runs to pin the sustained peaks. Use
+/// [`try_fit_platform`] where a corrupt platform must not abort the caller.
 pub fn fit_platform(set: &MeasurementSet) -> FitReport {
-    let runs: Vec<Run> =
-        set.runs.iter().copied().filter(|r| r.flops > 0.0 && r.bytes > 0.0).collect();
-    assert!(runs.len() >= 4, "need at least 4 intensity runs, got {}", runs.len());
+    match try_fit_platform(set, &FitOptions::default()) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fits both models to a DRAM-intensity measurement sweep, returning a
+/// typed error instead of panicking when the data cannot support a fit.
+pub fn try_fit_platform(set: &MeasurementSet, opts: &FitOptions) -> Result<FitReport, FitError> {
+    // Screen out runs no fit stage can digest (NaN/zero time, negative
+    // energy — the shapes counter wraparound and crashed runs leave).
+    let valid: Vec<Run> = set.runs.iter().copied().filter(Run::is_valid).collect();
+    let mut rejected = set.runs.len() - valid.len();
+
+    let mut runs: Vec<Run> =
+        valid.iter().copied().filter(|r| r.flops > 0.0 && r.bytes > 0.0).collect();
+    let candidates = runs.len();
+    if runs.len() < 4 {
+        return Err(FitError::TooFewRuns { got: runs.len() });
+    }
 
     // Stage 1: sustained peaks. The best flop rate is achieved by the most
     // compute-bound run, the best bandwidth by the most memory-bound one.
-    let tau_flop = 1.0 / set.peak_flops_per_sec();
-    let tau_mem = 1.0 / set.peak_bytes_per_sec();
-    assert!(tau_flop.is_finite() && tau_flop > 0.0, "no compute-bound runs");
-    assert!(tau_mem.is_finite() && tau_mem > 0.0, "no bandwidth-bound runs");
+    // Maxima are robust to slow outliers (corruption only ever loses rate).
+    let observed_flops = valid.iter().map(Run::flops_per_sec).fold(0.0, f64::max);
+    let observed_bw = valid.iter().map(Run::bytes_per_sec).fold(0.0, f64::max);
+    let tau_flop = 1.0 / observed_flops;
+    let tau_mem = 1.0 / observed_bw;
+    if !(tau_flop.is_finite() && tau_flop > 0.0) {
+        return Err(FitError::NoComputeBoundRuns);
+    }
+    if !(tau_mem.is_finite() && tau_mem > 0.0) {
+        return Err(FitError::NoBandwidthBoundRuns);
+    }
+
+    // Optional robust screening before anything is least-squared: gross
+    // time outliers first (judged against the uncapped roofline bound),
+    // then energy outliers by residual against an interim decomposition.
+    if opts.reject_outliers {
+        rejected += reject_time_outliers(&mut runs, tau_flop, tau_mem, opts.outlier_k);
+        rejected += reject_energy_outliers(&mut runs, opts.outlier_k);
+        if runs.len() < 4 {
+            return Err(FitError::TooFewRuns { got: runs.len() });
+        }
+    }
 
     // Stage 2: linear energy decomposition (shared seed for both models).
     let design: Vec<Vec<f64>> = runs.iter().map(|r| vec![r.flops, r.bytes, r.time]).collect();
     let target: Vec<f64> = runs.iter().map(|r| r.energy).collect();
-    let beta = ols_nonneg(&design, &target).expect("energy decomposition is well-posed");
+    let beta = ols_nonneg(&design, &target).ok_or(FitError::DecompositionFailed)?;
     let (mut eps_flop, mut eps_mem, mut pi1) = (beta[0], beta[1], beta[2]);
     // Zero energies break the log-space refinement; nudge to tiny positives.
     let floor = 1e-15;
@@ -98,22 +165,92 @@ pub fn fit_platform(set: &MeasurementSet) -> FitReport {
     // a cap plateau it has no term for, the uncapped fit distorts its τ and
     // ε estimates, shifting its errors at every intensity (the effect
     // Fig. 4's K-S test picks up).
-    let capped =
-        refine(&runs, &[eps_flop, eps_mem, pi1, tau_flop, tau_mem, delta_pi0], true);
-    let uncapped = refine(&runs, &[eps_flop, eps_mem, pi1, tau_flop, tau_mem], false);
+    let (capped, capped_conv) =
+        refine(&runs, &[eps_flop, eps_mem, pi1, tau_flop, tau_mem, delta_pi0], true, opts);
+    let (uncapped, uncapped_conv) =
+        refine(&runs, &[eps_flop, eps_mem, pi1, tau_flop, tau_mem], false, opts);
 
-    FitReport {
-        capped_diag: diagnostics(&capped, &runs),
-        uncapped_diag: diagnostics(&uncapped, &runs),
+    // Degradation is only judged under a robust policy: the classical
+    // pipeline has no restart budget to exhaust and screens nothing.
+    let over_rejected = opts.reject_outliers && 2 * rejected > candidates;
+    let degraded_capped = (opts.max_restarts > 0 && !capped_conv) || over_rejected;
+    let degraded_uncapped = (opts.max_restarts > 0 && !uncapped_conv) || over_rejected;
+
+    Ok(FitReport {
+        capped_diag: diagnostics(&capped, &runs, rejected, degraded_capped),
+        uncapped_diag: diagnostics(&uncapped, &runs, rejected, degraded_uncapped),
         capped,
         uncapped,
-        observed_flops: set.peak_flops_per_sec(),
-        observed_bw: set.peak_bytes_per_sec(),
-    }
+        observed_flops,
+        observed_bw,
+    })
 }
 
-/// Nelder–Mead refinement in log-parameter space.
-fn refine(runs: &[Run], seed: &[f64], capped: bool) -> MachineParams {
+/// Drops runs whose measured time is a MAD outlier *below* the uncapped
+/// roofline bound — faster than the hardware's best observed rates allows,
+/// so a timer glitch. Slow-side deviations are never rejected here: a run
+/// above the bound is indistinguishable from legitimate power-cap
+/// throttling, and rejecting the throttle plateau would un-pin `Δπ` from
+/// `π_1`. Returns the number rejected.
+fn reject_time_outliers(runs: &mut Vec<Run>, tau_flop: f64, tau_mem: f64, k: f64) -> usize {
+    let ratios: Vec<f64> = runs
+        .iter()
+        .map(|r| (r.time / (r.flops * tau_flop).max(r.bytes * tau_mem)).ln())
+        .collect();
+    let m = median(&ratios);
+    let sigma = (1.4826 * mad(&ratios)).max(REJECTION_NOISE_FLOOR);
+    let before = runs.len();
+    let mut keep =
+        ratios.iter().map(|&ratio| !((m - ratio) / sigma > k && ratio < 0.0));
+    runs.retain(|_| keep.next().unwrap_or(true));
+    before - runs.len()
+}
+
+/// Iteratively drops runs whose relative energy residual against a
+/// non-negative least-squares decomposition is a MAD outlier — or beats
+/// the absolute [`GROSS_LOG_RATIO`] backstop, which catches gross spikes
+/// at contamination levels high enough to inflate (mask) the MAD itself.
+/// Refits after each pass: spikes bias the interim decomposition, so one
+/// pass can under-reject. Returns the number rejected.
+fn reject_energy_outliers(runs: &mut Vec<Run>, k: f64) -> usize {
+    let before = runs.len();
+    for _ in 0..5 {
+        if runs.len() < 4 {
+            break;
+        }
+        let design: Vec<Vec<f64>> =
+            runs.iter().map(|r| vec![r.flops, r.bytes, r.time]).collect();
+        let target: Vec<f64> = runs.iter().map(|r| r.energy).collect();
+        let Some(beta) = ols_nonneg(&design, &target) else { break };
+        let resid: Vec<f64> = runs
+            .iter()
+            .map(|r| {
+                let pred = r.flops * beta[0] + r.bytes * beta[1] + r.time * beta[2];
+                if pred > 0.0 {
+                    ((r.energy / pred).max(1e-12)).ln()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let m = median(&resid);
+        let sigma = (1.4826 * mad(&resid)).max(REJECTION_NOISE_FLOOR);
+        let flags: Vec<bool> = resid
+            .iter()
+            .map(|&r| (r - m).abs() / sigma > k || r - m > GROSS_LOG_RATIO)
+            .collect();
+        if !flags.iter().any(|&f| f) {
+            break;
+        }
+        let mut keep = flags.iter().map(|f| !f);
+        runs.retain(|_| keep.next().unwrap_or(true));
+    }
+    before - runs.len()
+}
+
+/// Nelder–Mead refinement in log-parameter space. Returns the refined
+/// parameters and whether the (possibly restarted) simplex converged.
+fn refine(runs: &[Run], seed: &[f64], capped: bool, opts: &FitOptions) -> (MachineParams, bool) {
     let build = |logs: &[f64]| -> MachineParams {
         MachineParams {
             time_per_flop: logs[3].exp(),
@@ -124,6 +261,7 @@ fn refine(runs: &[Run], seed: &[f64], capped: bool) -> MachineParams {
             cap: if capped { PowerCap::Capped(logs[5].exp()) } else { PowerCap::Uncapped },
         }
     };
+    let loss = opts.loss;
     let objective = |logs: &[f64]| -> f64 {
         let params = build(logs);
         if params.validate().is_err() {
@@ -135,18 +273,37 @@ fn refine(runs: &[Run], seed: &[f64], capped: bool) -> MachineParams {
                 let w = Workload::new(r.flops, r.bytes);
                 let t_err = (model.time(&w) - r.time) / r.time;
                 let p_err = (model.avg_power(&w) - r.avg_power()) / r.avg_power();
-                t_err * t_err + p_err * p_err
+                loss.rho(t_err) + loss.rho(p_err)
             })
             .sum()
     };
+    let nm_opts = NmOptions { max_evals: 12_000, ..Default::default() };
     let x0: Vec<f64> = seed.iter().map(|v| v.ln()).collect();
-    let result =
-        nelder_mead(objective, &x0, NmOptions { max_evals: 12_000, ..Default::default() });
-    build(&result.x)
+    let mut result = nelder_mead(objective, &x0, nm_opts);
+    // A stalled simplex gets bounded retries from perturbed seeds; keep the
+    // best objective seen so a failed retry can never lose ground.
+    let mut rng = restart_rng(opts.restart_seed);
+    for _ in 0..opts.max_restarts {
+        if result.converged {
+            break;
+        }
+        let xp = perturb_seed(&x0, 0.05, &mut rng);
+        let retry = nelder_mead(objective, &xp, nm_opts);
+        if retry.fx < result.fx || (retry.converged && !result.converged && retry.fx <= result.fx)
+        {
+            result = retry;
+        }
+    }
+    (build(&result.x), result.converged)
 }
 
 /// Relative-error diagnostics of a fitted model on its training runs.
-fn diagnostics(params: &MachineParams, runs: &[Run]) -> FitDiagnostics {
+fn diagnostics(
+    params: &MachineParams,
+    runs: &[Run],
+    rejected_runs: usize,
+    degraded: bool,
+) -> FitDiagnostics {
     let model = EnergyRoofline::new(*params);
     let mut p_sq = 0.0;
     let mut t_sq = 0.0;
@@ -164,6 +321,8 @@ fn diagnostics(params: &MachineParams, runs: &[Run]) -> FitDiagnostics {
         power_rmse: (p_sq / n).sqrt(),
         time_rmse: (t_sq / n).sqrt(),
         power_max: p_max,
+        rejected_runs,
+        degraded,
     }
 }
 
@@ -251,6 +410,16 @@ mod tests {
         assert!(rel(report.capped.cap.watts(), t.cap.watts()) < 0.05, "Δπ {}", report.capped.cap.watts());
         assert!(report.capped_diag.power_rmse < 0.01);
         assert!(report.capped_diag.time_rmse < 0.01);
+        assert_eq!(report.capped_diag.rejected_runs, 0);
+        assert!(!report.capped_diag.degraded);
+    }
+
+    #[test]
+    fn try_fit_with_default_options_matches_fit_platform() {
+        let set = synthetic_set(&truth(), &grid());
+        let a = fit_platform(&set);
+        let b = try_fit_platform(&set, &FitOptions::default()).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -288,6 +457,50 @@ mod tests {
         // The refined τs stay near the observed peaks on clean data.
         assert!((report.capped.flops_per_sec() - 100e9).abs() / 100e9 < 0.05);
         assert!((report.capped.bytes_per_sec() - 20e9).abs() / 20e9 < 0.05);
+    }
+
+    #[test]
+    fn robust_fit_survives_gross_energy_spikes() {
+        let mut set = synthetic_set(&truth(), &grid());
+        // Spike 15% of the runs' energies by 20× — an un-screened NNLS
+        // would absorb these into ε and π_1.
+        for (i, run) in set.runs.iter_mut().enumerate() {
+            if i % 7 == 0 {
+                run.energy *= 20.0;
+            }
+        }
+        let report = try_fit_platform(&set, &FitOptions::robust()).unwrap();
+        let t = truth();
+        let rel = |a: f64, b: f64| (a - b).abs() / b;
+        assert!(report.capped_diag.rejected_runs >= 5, "{:?}", report.capped_diag);
+        assert!(rel(report.capped.const_power, t.const_power) < 0.10, "{:?}", report.capped);
+        assert!(rel(report.capped.energy_per_byte, t.energy_per_byte) < 0.15);
+        assert!(rel(report.capped.cap.watts(), t.cap.watts()) < 0.15);
+    }
+
+    #[test]
+    fn invalid_runs_are_screened_not_fatal() {
+        let mut set = synthetic_set(&truth(), &grid());
+        // Counter wraparound (negative energy) and a crashed run (NaNs):
+        // both must be dropped and counted, even under default options.
+        set.runs[3].energy = -4294.0;
+        set.runs[11].time = f64::NAN;
+        set.runs[11].energy = f64::NAN;
+        let report = try_fit_platform(&set, &FitOptions::default()).unwrap();
+        assert_eq!(report.capped_diag.rejected_runs, 2);
+        assert!(report.capped_diag.power_rmse < 0.01);
+    }
+
+    #[test]
+    fn corrupted_past_fitability_reports_too_few_runs() {
+        let mut set = synthetic_set(&truth(), &grid());
+        for run in set.runs.iter_mut() {
+            run.time = f64::NAN;
+        }
+        match try_fit_platform(&set, &FitOptions::robust()) {
+            Err(FitError::TooFewRuns { got: 0 }) => {}
+            other => panic!("expected TooFewRuns, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Robust-fitting policy: typed fit errors, outlier rejection, bounded
+//! losses, and restart control for the staged pipeline.
+//!
+//! The default [`FitOptions`] reproduce the classical pipeline bit for bit
+//! (no rejection, quadratic loss, no restarts) so clean-data constants and
+//! their tight tolerances never move. [`FitOptions::robust`] is what the
+//! degradation-aware paths use when the measurements may be dirty: invalid
+//! runs are always screened, gross outliers are rejected by MAD before they
+//! can bias the linear energy decomposition, the nonlinear refinement uses
+//! a Huber loss so any survivors influence it linearly rather than
+//! quadratically, and a non-converged simplex is retried from perturbed
+//! seeds before the fit is declared degraded.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Why a platform's measurements could not be fitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FitError {
+    /// Fewer than 4 usable intensity runs survived screening.
+    TooFewRuns {
+        /// Usable runs found.
+        got: usize,
+    },
+    /// No run achieved a positive flop rate to pin `τ_flop`.
+    NoComputeBoundRuns,
+    /// No run achieved a positive bandwidth to pin `τ_mem`.
+    NoBandwidthBoundRuns,
+    /// The non-negative least-squares energy decomposition was singular.
+    DecompositionFailed,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Keep the historical panic wording: callers (and tests) match
+            // on these substrings.
+            FitError::TooFewRuns { got } => {
+                write!(f, "need at least 4 intensity runs, got {got}")
+            }
+            FitError::NoComputeBoundRuns => f.write_str("no compute-bound runs"),
+            FitError::NoBandwidthBoundRuns => f.write_str("no bandwidth-bound runs"),
+            FitError::DecompositionFailed => {
+                f.write_str("energy decomposition is singular (degenerate design)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Residual loss used by the nonlinear refinement stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Classical squared loss `r²` (the paper's objective).
+    Quadratic,
+    /// Huber loss: `r²` for `|r| ≤ δ`, `δ(2|r| − δ)` beyond — outliers
+    /// that survive screening pull the fit linearly, not quadratically.
+    Huber {
+        /// Transition point between the quadratic and linear regimes.
+        delta: f64,
+    },
+}
+
+impl Loss {
+    /// ρ(r) for one residual.
+    #[inline]
+    pub fn rho(&self, r: f64) -> f64 {
+        match *self {
+            Loss::Quadratic => r * r,
+            Loss::Huber { delta } => {
+                let a = r.abs();
+                if a <= delta {
+                    r * r
+                } else {
+                    delta * (2.0 * a - delta)
+                }
+            }
+        }
+    }
+}
+
+/// Knobs for [`try_fit_platform`](crate::pipeline::try_fit_platform).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitOptions {
+    /// Reject gross outliers (MAD screens on time and on energy residuals)
+    /// before the energy decomposition. Off by default.
+    pub reject_outliers: bool,
+    /// Rejection threshold in robust standard deviations (`k · 1.4826 ·
+    /// MAD`). 3.5 is the usual Iglewicz–Hoaglin choice.
+    pub outlier_k: f64,
+    /// Loss for the nonlinear refinement.
+    pub loss: Loss,
+    /// Extra Nelder–Mead attempts from perturbed seeds when the simplex
+    /// fails to converge within its budget.
+    pub max_restarts: usize,
+    /// Seed for the restart perturbations (fits stay deterministic).
+    pub restart_seed: u64,
+}
+
+impl Default for FitOptions {
+    /// The classical pipeline, unchanged: no rejection, quadratic loss,
+    /// single refinement attempt.
+    fn default() -> Self {
+        Self {
+            reject_outliers: false,
+            outlier_k: 3.5,
+            loss: Loss::Quadratic,
+            max_restarts: 0,
+            restart_seed: 0x5EED,
+        }
+    }
+}
+
+impl FitOptions {
+    /// The dirty-data policy: MAD rejection, Huber refinement, up to three
+    /// perturbed restarts.
+    pub fn robust() -> Self {
+        Self {
+            reject_outliers: true,
+            outlier_k: 3.5,
+            loss: Loss::Huber { delta: 1.0 },
+            max_restarts: 3,
+            restart_seed: 0x5EED,
+        }
+    }
+}
+
+/// Median of a slice (NaN-free input assumed). Returns NaN when empty.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Median absolute deviation about the median.
+pub fn mad(values: &[f64]) -> f64 {
+    let m = median(values);
+    let dev: Vec<f64> = values.iter().map(|v| (v - m).abs()).collect();
+    median(&dev)
+}
+
+/// Flags values whose robust z-score (`|v − median| / (1.4826 · MAD)`)
+/// exceeds `k`. When MAD degenerates to ~0 (over half the values tied),
+/// nothing is flagged — there is no spread to judge against.
+pub fn mad_outliers(values: &[f64], k: f64) -> Vec<bool> {
+    let m = median(values);
+    let sigma = 1.4826 * mad(values);
+    // NaN-safe: a degenerate (or NaN) sigma flags nothing.
+    if sigma.is_nan() || sigma <= 1e-12 * (m.abs() + 1e-30) {
+        return vec![false; values.len()];
+    }
+    values.iter().map(|v| (v - m).abs() / sigma > k).collect()
+}
+
+/// Interquartile range (Q3 − Q1) — exposed for severity diagnostics.
+pub fn iqr(values: &[f64]) -> f64 {
+    archline_stats::quantile(values, 0.75) - archline_stats::quantile(values, 0.25)
+}
+
+/// Gaussian perturbation of a log-parameter seed for a refinement restart
+/// (Box–Muller on the stub-safe RNG surface).
+pub(crate) fn perturb_seed(logs: &[f64], scale: f64, rng: &mut StdRng) -> Vec<f64> {
+    logs.iter()
+        .map(|&v| {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            v + scale * g
+        })
+        .collect()
+}
+
+/// RNG for a deterministic restart schedule.
+pub(crate) fn restart_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_match_historical_panics() {
+        assert_eq!(
+            FitError::TooFewRuns { got: 2 }.to_string(),
+            "need at least 4 intensity runs, got 2"
+        );
+        assert_eq!(FitError::NoComputeBoundRuns.to_string(), "no compute-bound runs");
+        assert_eq!(FitError::NoBandwidthBoundRuns.to_string(), "no bandwidth-bound runs");
+    }
+
+    #[test]
+    fn quadratic_loss_is_squared_residual() {
+        for r in [-2.0, -0.3, 0.0, 0.7, 5.0] {
+            assert_eq!(Loss::Quadratic.rho(r), r * r);
+        }
+    }
+
+    #[test]
+    fn huber_loss_is_quadratic_inside_linear_outside() {
+        let l = Loss::Huber { delta: 1.0 };
+        assert_eq!(l.rho(0.5), 0.25);
+        assert_eq!(l.rho(-0.5), 0.25);
+        assert!((l.rho(3.0) - (2.0 * 3.0 - 1.0)).abs() < 1e-15);
+        // Continuous at the transition.
+        assert!((l.rho(1.0 + 1e-9) - l.rho(1.0 - 1e-9)).abs() < 1e-6);
+        // Grows strictly slower than quadratic beyond δ.
+        assert!(l.rho(10.0) < Loss::Quadratic.rho(10.0));
+    }
+
+    #[test]
+    fn median_and_mad_basics() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 100.0]), 1.0);
+    }
+
+    #[test]
+    fn mad_flags_the_gross_outlier_only() {
+        let mut v: Vec<f64> = (0..50).map(|i| 10.0 + 0.01 * i as f64).collect();
+        v.push(500.0);
+        let flags = mad_outliers(&v, 3.5);
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 1);
+        assert!(flags[50]);
+    }
+
+    #[test]
+    fn mad_with_no_spread_flags_nothing() {
+        let flags = mad_outliers(&[5.0; 8], 3.5);
+        assert!(flags.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn default_options_are_the_classical_pipeline() {
+        let d = FitOptions::default();
+        assert!(!d.reject_outliers);
+        assert_eq!(d.loss, Loss::Quadratic);
+        assert_eq!(d.max_restarts, 0);
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_per_seed() {
+        let logs = [0.0, 1.0, -2.0];
+        let a = perturb_seed(&logs, 0.05, &mut restart_rng(7));
+        let b = perturb_seed(&logs, 0.05, &mut restart_rng(7));
+        let c = perturb_seed(&logs, 0.05, &mut restart_rng(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for (p, l) in a.iter().zip(&logs) {
+            assert!((p - l).abs() < 0.5, "perturbation too large: {p} vs {l}");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Fork-join panic isolation: a panicking closure inside `parallel_map`
+//! must not wedge or poison the process-wide executor. The panic
+//! propagates to the caller at the join barrier, every *other* chunk of
+//! the batch still runs to completion, and the executor remains fully
+//! usable afterwards — the property the per-platform `catch_unwind`
+//! isolation in archline-repro leans on.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use archline_par::parallel_map;
+
+/// Best-effort width pin so the batch actually fans out even on a
+/// single-core CI box. Harmless if the executor already started.
+fn want_parallelism() {
+    let _ = archline_par::set_num_threads(4);
+}
+
+#[test]
+fn panicking_item_propagates_after_the_batch_and_leaves_the_executor_usable() {
+    want_parallelism();
+    let items: Vec<usize> = (0..64).collect();
+    let completed = AtomicUsize::new(0);
+    // Panic on the *last* item: under any contiguous chunking it is the
+    // final item of the final chunk, so every sibling item must have run
+    // by the time the join barrier re-raises the panic.
+    let poisoned = items.len() - 1;
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        parallel_map(&items, |&i| {
+            if i == poisoned {
+                panic!("injected worker panic");
+            }
+            completed.fetch_add(1, Ordering::SeqCst);
+            i * 2
+        })
+    }));
+
+    // The panic reaches the caller rather than being swallowed...
+    let payload = result.expect_err("the worker panic must propagate to the join point");
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(message.contains("injected worker panic"), "payload: {message:?}");
+    // ...and no sibling item was abandoned: the barrier waits for the
+    // whole batch before re-raising.
+    assert_eq!(completed.load(Ordering::SeqCst), items.len() - 1);
+
+    // The executor survives: the next fork-join call works normally.
+    let doubled = parallel_map(&items, |&i| i * 2);
+    assert_eq!(doubled, items.iter().map(|&i| i * 2).collect::<Vec<_>>());
+}
+
+#[test]
+fn per_item_catch_unwind_turns_panics_into_values() {
+    want_parallelism();
+    // The archline-repro isolation pattern: catching inside the closure
+    // converts a poisoned item into data, and the batch reports no panic.
+    let items: Vec<usize> = (0..16).collect();
+    let results = parallel_map(&items, |&i| {
+        catch_unwind(AssertUnwindSafe(|| {
+            if i % 5 == 0 {
+                panic!("item {i} failed");
+            }
+            i
+        }))
+        .map_err(|_| i)
+    });
+    let failed: Vec<usize> = results.iter().filter_map(|r| r.as_ref().err().copied()).collect();
+    assert_eq!(failed, vec![0, 5, 10, 15]);
+    assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 12);
+}

@@ -31,5 +31,5 @@ pub use device::{ChannelConfig, Measurement, PowerMon2};
 pub use interposer::PcieInterposer;
 pub use logger::{parse_log, write_log, LogError};
 pub use rail::{Rail, RailSplit};
-pub use rapl::RaplReader;
-pub use trace::{PowerTrace, Sample};
+pub use rapl::{counter_delta_uj, RaplReader};
+pub use trace::{PowerTrace, Sample, SanitizeReport, TraceError};

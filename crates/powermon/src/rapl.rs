@@ -111,21 +111,41 @@ impl RaplDomain {
     }
 }
 
+/// Decodes the delta of a wrapping RAPL energy counter.
+///
+/// The package energy-status MSR is 32 bits of µJ on most parts — at 200 W
+/// it wraps about every six hours, and the finer-grained PP0/PP1 counters
+/// wrap in *minutes* at high power — so `end < start` across a measurement
+/// window is routine, not an error. When the kernel reports the counter
+/// range (`max_energy_range_uj`), a backwards step is decoded as one
+/// wraparound. When the range is unknown (`u64::MAX` sentinel), a backwards
+/// step is indistinguishable from a counter reset and is decoded as zero
+/// energy rather than an absurdly large delta.
+///
+/// Multiple wraps within one window are undetectable from two endpoint
+/// reads; keep windows short relative to the wrap period.
+pub fn counter_delta_uj(start: u64, end: u64, max_range_uj: u64) -> u64 {
+    if end >= start {
+        end - start
+    } else if max_range_uj == u64::MAX {
+        // Unknown range: treat the backwards step as a counter reset.
+        0
+    } else {
+        // Wrapped around the counter range.
+        max_range_uj.saturating_sub(start).saturating_add(end)
+    }
+}
+
 impl RaplSession<'_> {
     /// Ends the window and returns total energy and elapsed time, handling
-    /// counter wraparound via each domain's `max_energy_range_uj`.
+    /// counter wraparound via each domain's `max_energy_range_uj` (see
+    /// [`counter_delta_uj`]).
     pub fn stop(self) -> RaplReading {
         let seconds = self.start_time.elapsed().as_secs_f64();
         let mut joules = 0.0;
         for (domain, &start) in self.reader.domains.iter().zip(&self.start_uj) {
             let end = domain.read_uj().unwrap_or(start);
-            let delta_uj = if end >= start {
-                end - start
-            } else {
-                // Wrapped around the counter range.
-                domain.max_energy_uj.saturating_sub(start).saturating_add(end)
-            };
-            joules += delta_uj as f64 * 1e-6;
+            joules += counter_delta_uj(start, end, domain.max_energy_uj) as f64 * 1e-6;
         }
         RaplReading { joules, seconds }
     }
@@ -189,5 +209,83 @@ mod tests {
     fn live_probe_does_not_crash() {
         // Whatever the host exposes, probing must be safe.
         let _ = RaplReader::probe();
+    }
+
+    #[test]
+    fn counter_delta_no_wrap() {
+        assert_eq!(counter_delta_uj(100, 600, 1_000_000), 500);
+        assert_eq!(counter_delta_uj(0, 0, 1_000_000), 0);
+    }
+
+    #[test]
+    fn counter_delta_32bit_wrap() {
+        // The 32-bit energy-status MSR: max range 2^32 µJ ≈ 4295 J. At
+        // 200 W it wraps every ~21 s, so a 30 s window sees end < start.
+        let max = 1u64 << 32;
+        let start = max - 1_000;
+        let end = 5_000;
+        assert_eq!(counter_delta_uj(start, end, max), 6_000);
+    }
+
+    #[test]
+    fn counter_delta_wrap_at_exact_boundary() {
+        let max = 1_000_000u64;
+        assert_eq!(counter_delta_uj(max, 0, max), 0);
+        assert_eq!(counter_delta_uj(999_999, 1, max), 2);
+    }
+
+    #[test]
+    fn counter_reset_with_unknown_range_decodes_to_zero() {
+        // A non-monotonic counter with no published range (the u64::MAX
+        // sentinel from a missing max_energy_range_uj) is a reset, not a
+        // wrap: decoding it as `MAX - start + end` would report an absurd
+        // ~10^13 J energy for the window.
+        assert_eq!(counter_delta_uj(987_654_321, 12, u64::MAX), 0);
+    }
+
+    #[test]
+    fn non_monotonic_counter_yields_sane_session_energy() {
+        // A session whose counter goes *backwards* (reset, or wrap with a
+        // known range) must never report negative or absurd energy.
+        let dir =
+            std::env::temp_dir().join(format!("archline-rapl-nonmono-{}", std::process::id()));
+        let dom = dir.join("intel-rapl:0");
+        fs::create_dir_all(&dom).unwrap();
+        fs::write(dom.join("energy_uj"), "500000\n").unwrap();
+        fs::write(dom.join("name"), "package-0\n").unwrap();
+        fs::write(dom.join("max_energy_range_uj"), "1000000\n").unwrap();
+
+        let reader = RaplReader::probe_at(dir.to_str().unwrap()).unwrap();
+        let session = reader.start();
+        // Counter moved backwards by 100000 µJ: decoded as one wrap,
+        // 1000000 - 500000 + 400000 = 900000 µJ = 0.9 J.
+        fs::write(dom.join("energy_uj"), "400000\n").unwrap();
+        let reading = session.stop();
+        assert!((reading.joules - 0.9).abs() < 1e-9, "got {}", reading.joules);
+        assert!(reading.joules >= 0.0);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unreadable_counter_mid_session_reports_zero_delta() {
+        // If the counter file vanishes mid-window (domain hot-unplugged,
+        // permissions revoked), the session falls back to the start value
+        // and reports zero energy for that domain rather than failing.
+        let dir =
+            std::env::temp_dir().join(format!("archline-rapl-gone-{}", std::process::id()));
+        let dom = dir.join("intel-rapl:0");
+        fs::create_dir_all(&dom).unwrap();
+        fs::write(dom.join("energy_uj"), "123\n").unwrap();
+        fs::write(dom.join("name"), "package-0\n").unwrap();
+        fs::write(dom.join("max_energy_range_uj"), "1000000\n").unwrap();
+
+        let reader = RaplReader::probe_at(dir.to_str().unwrap()).unwrap();
+        let session = reader.start();
+        fs::remove_file(dom.join("energy_uj")).unwrap();
+        let reading = session.stop();
+        assert_eq!(reading.joules, 0.0);
+
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -11,6 +11,72 @@ pub struct Sample {
     pub watts: f64,
 }
 
+/// Why a raw sample vector cannot form a [`PowerTrace`].
+///
+/// Real meters produce exactly these pathologies: PowerMon's USB link drops
+/// and reorders packets, and clock adjustments on the logging host move
+/// timestamps backwards. [`PowerTrace::try_new`] reports them instead of
+/// panicking; [`PowerTrace::sanitize`] repairs them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceError {
+    /// The sample at `index` has an earlier timestamp than its predecessor.
+    NonMonotonic {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// The sample at `index` has a non-finite timestamp or power.
+    NonFinite {
+        /// Index of the offending sample.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::NonMonotonic { index } => {
+                write!(f, "timestamps must be non-decreasing (sample {index} goes backwards)")
+            }
+            TraceError::NonFinite { index } => {
+                write!(f, "samples must be finite (sample {index} is not)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// What [`PowerTrace::sanitize`] had to repair to make a trace usable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SanitizeReport {
+    /// Samples in the raw input.
+    pub input_samples: usize,
+    /// Samples dropped for a non-finite timestamp or power.
+    pub dropped_non_finite: usize,
+    /// Samples that arrived with a timestamp earlier than their predecessor
+    /// (re-sorted into place).
+    pub reordered: usize,
+    /// Duplicate-timestamp samples collapsed (powers averaged).
+    pub deduped: usize,
+    /// Negative power readings clipped to zero.
+    pub clipped_negative: usize,
+}
+
+impl SanitizeReport {
+    /// `true` when any repair was applied.
+    pub fn repaired(&self) -> bool {
+        self.dropped_non_finite > 0
+            || self.reordered > 0
+            || self.deduped > 0
+            || self.clipped_negative > 0
+    }
+
+    /// Samples surviving sanitization.
+    pub fn kept(&self) -> usize {
+        self.input_samples - self.dropped_non_finite - self.deduped
+    }
+}
+
 /// A sequence of power samples from one channel (or a summed total).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PowerTrace {
@@ -21,17 +87,84 @@ impl PowerTrace {
     /// Creates a trace from samples; timestamps must be non-decreasing and
     /// finite, powers finite.
     ///
+    /// This is the documented panicking wrapper around [`Self::try_new`]
+    /// for callers that generate their samples and can guarantee they are
+    /// clean. Measured data should go through [`Self::try_new`] or
+    /// [`Self::sanitize`] instead.
+    ///
     /// # Panics
     /// Panics on unordered or non-finite data.
     pub fn new(samples: Vec<Sample>) -> Self {
-        for pair in samples.windows(2) {
-            assert!(pair[0].time <= pair[1].time, "timestamps must be non-decreasing");
+        match Self::try_new(samples) {
+            Ok(trace) => trace,
+            Err(e) => panic!("{e}"),
         }
-        assert!(
-            samples.iter().all(|s| s.time.is_finite() && s.watts.is_finite()),
-            "samples must be finite"
-        );
-        Self { samples }
+    }
+
+    /// Fallible trace construction: validates that timestamps are
+    /// non-decreasing and that every sample is finite, returning the first
+    /// violation as a typed [`TraceError`] instead of panicking.
+    pub fn try_new(samples: Vec<Sample>) -> Result<Self, TraceError> {
+        for (i, s) in samples.iter().enumerate() {
+            if !(s.time.is_finite() && s.watts.is_finite()) {
+                return Err(TraceError::NonFinite { index: i });
+            }
+        }
+        for (i, pair) in samples.windows(2).enumerate() {
+            if pair[0].time > pair[1].time {
+                return Err(TraceError::NonMonotonic { index: i + 1 });
+            }
+        }
+        Ok(Self { samples })
+    }
+
+    /// Repairs a dirty sample stream into a valid trace, reporting what was
+    /// done: non-finite samples are dropped, out-of-order timestamps are
+    /// stably re-sorted, exact duplicate timestamps are collapsed to their
+    /// mean power, and negative powers are clipped to zero.
+    ///
+    /// This is the ingest path for real meter logs, which drop samples,
+    /// deliver out of order, and spike below zero on ADC glitches.
+    pub fn sanitize(samples: Vec<Sample>) -> (Self, SanitizeReport) {
+        let mut report = SanitizeReport { input_samples: samples.len(), ..Default::default() };
+
+        let mut kept: Vec<Sample> = Vec::with_capacity(samples.len());
+        for s in samples {
+            if s.time.is_finite() && s.watts.is_finite() {
+                kept.push(s);
+            } else {
+                report.dropped_non_finite += 1;
+            }
+        }
+
+        report.reordered =
+            kept.windows(2).filter(|pair| pair[1].time < pair[0].time).count();
+        if report.reordered > 0 {
+            kept.sort_by(|a, b| a.time.total_cmp(&b.time));
+        }
+
+        let mut out: Vec<Sample> = Vec::with_capacity(kept.len());
+        let mut i = 0;
+        while i < kept.len() {
+            let mut j = i + 1;
+            while j < kept.len() && kept[j].time == kept[i].time {
+                j += 1;
+            }
+            let watts =
+                kept[i..j].iter().map(|s| s.watts).sum::<f64>() / (j - i) as f64;
+            out.push(Sample { time: kept[i].time, watts });
+            report.deduped += j - i - 1;
+            i = j;
+        }
+
+        for s in &mut out {
+            if s.watts < 0.0 {
+                s.watts = 0.0;
+                report.clipped_negative += 1;
+            }
+        }
+
+        (Self { samples: out }, report)
     }
 
     /// The samples.
@@ -286,5 +419,76 @@ mod tests {
         let a = ramp();
         let b = a.window(0.0, 5.0);
         let _ = PowerTrace::sum_rails(&[a, b]);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        let ok = PowerTrace::try_new(vec![
+            Sample { time: 0.0, watts: 1.0 },
+            Sample { time: 1.0, watts: 2.0 },
+        ]);
+        assert_eq!(ok.unwrap().len(), 2);
+
+        let err = PowerTrace::try_new(vec![
+            Sample { time: 1.0, watts: 1.0 },
+            Sample { time: 0.5, watts: 1.0 },
+        ])
+        .unwrap_err();
+        assert_eq!(err, TraceError::NonMonotonic { index: 1 });
+        assert!(err.to_string().contains("non-decreasing"));
+
+        let err = PowerTrace::try_new(vec![
+            Sample { time: 0.0, watts: 1.0 },
+            Sample { time: 1.0, watts: f64::NAN },
+        ])
+        .unwrap_err();
+        assert_eq!(err, TraceError::NonFinite { index: 1 });
+        assert!(err.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn sanitize_clean_input_is_identity() {
+        let raw: Vec<Sample> = ramp().samples().to_vec();
+        let (trace, report) = PowerTrace::sanitize(raw.clone());
+        assert_eq!(trace.samples(), &raw[..]);
+        assert!(!report.repaired());
+        assert_eq!(report.kept(), raw.len());
+    }
+
+    #[test]
+    fn sanitize_repairs_disorder_duplicates_and_garbage() {
+        let raw = vec![
+            Sample { time: 0.0, watts: 10.0 },
+            Sample { time: 2.0, watts: 12.0 }, // out of order w.r.t. next
+            Sample { time: 1.0, watts: 11.0 },
+            Sample { time: 2.0, watts: 14.0 }, // duplicate timestamp
+            Sample { time: 3.0, watts: f64::NAN }, // dropped
+            Sample { time: f64::INFINITY, watts: 1.0 }, // dropped
+            Sample { time: 4.0, watts: -2.0 }, // clipped
+        ];
+        let (trace, report) = PowerTrace::sanitize(raw);
+        assert_eq!(report.input_samples, 7);
+        assert_eq!(report.dropped_non_finite, 2);
+        assert_eq!(report.reordered, 1);
+        assert_eq!(report.deduped, 1);
+        assert_eq!(report.clipped_negative, 1);
+        assert!(report.repaired());
+        assert_eq!(report.kept(), 4);
+
+        let times: Vec<f64> = trace.samples().iter().map(|s| s.time).collect();
+        assert_eq!(times, vec![0.0, 1.0, 2.0, 4.0]);
+        // Duplicate timestamps averaged: (12 + 14) / 2 = 13.
+        assert_eq!(trace.samples()[2].watts, 13.0);
+        // Negative power clipped to zero.
+        assert_eq!(trace.samples()[3].watts, 0.0);
+        // The result is a valid trace by construction.
+        assert!(PowerTrace::try_new(trace.samples().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn sanitize_empty_input() {
+        let (trace, report) = PowerTrace::sanitize(Vec::new());
+        assert!(trace.is_empty());
+        assert!(!report.repaired());
     }
 }

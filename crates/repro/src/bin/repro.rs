@@ -1,7 +1,7 @@
 //! `repro` — regenerate the tables and figures of Choi et al. (IPDPS 2014).
 //!
 //! ```text
-//! repro <artifact> [--fast] [--csv DIR] [--threads N]
+//! repro <artifact> [--fast] [--csv DIR] [--threads N] [--inject SPEC]
 //!
 //! artifacts:
 //!   table1         Table I  — platform summary (paper vs re-fitted)
@@ -21,24 +21,40 @@
 //!   all            everything above
 //!
 //! flags:
-//!   --fast        smaller simulated sweeps (quick smoke runs)
-//!   --csv DIR     also write machine-readable JSON reports into DIR
-//!   --threads N   worker threads for the simulation sweeps (default: all
-//!                 cores, or the ARCHLINE_THREADS environment variable)
+//!   --fast         smaller simulated sweeps (quick smoke runs)
+//!   --csv DIR      also write machine-readable JSON reports into DIR
+//!   --threads N    worker threads for the simulation sweeps (default: all
+//!                  cores, or the ARCHLINE_THREADS environment variable)
+//!   --inject SPEC  corrupt one platform's DRAM measurements with a seeded
+//!                  fault before fitting (repeatable). SPEC is
+//!                  `PLATFORM:CLASS:SEVERITY[:SEED]`, e.g.
+//!                  `Arndale GPU:spike:0.2:7`. Classes: drop, duplicate,
+//!                  out-of-order, clock-skew, jitter, spike, quantize,
+//!                  counter-wrap, rail-dropout, fail-run.
 //! ```
 //!
 //! All artifacts computed in one invocation share an
 //! [`archline_repro::AnalysisContext`], so `repro all` runs the 12-platform
 //! measurement-and-fit sweep exactly once. Per-artifact wall times go to
-//! stderr; `repro all` additionally writes them to `BENCH_repro.json`.
+//! stderr; `repro all` additionally writes them to `BENCH_repro.json`
+//! (emitted even when some artifacts fail, with the failures recorded).
+//!
+//! **Degradation contract**: a platform whose measure-and-fit fails — or
+//! that `--inject` corrupts past fitability — is dropped from the sweep and
+//! marked DEGRADED in Table I and the scorecard; artifacts that crash or
+//! error are reported in an end-of-run failure summary instead of aborting
+//! the rest. Exit status: `0` when everything succeeded, `3` when some
+//! artifacts succeeded but platforms were degraded or artifacts failed
+//! (partial failure), `1` when no artifact succeeded, `2` for usage errors.
 
-use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
+use archline_faults::{FaultPlan, FaultSpec};
 use archline_microbench::SweepConfig;
 use archline_repro::{
-    analysis, ext, fig1, fig4, fig5, fig6, fig7, scorecard, section_vc, section_vd, table1,
-    AnalysisContext,
+    analysis, ext, failure::panic_message, fig1, fig4, fig5, fig6, fig7, scorecard, section_vc,
+    section_vd, table1, AnalysisContext, ArtifactError,
 };
 
 const ARTIFACTS: &[&str] = &[
@@ -59,16 +75,37 @@ const ARTIFACTS: &[&str] = &[
     "scorecard",
 ];
 
+const EXIT_TOTAL_FAILURE: i32 = 1;
+const EXIT_USAGE: i32 = 2;
+const EXIT_PARTIAL_FAILURE: i32 = 3;
+
 fn usage(error: &str) -> ! {
     if !error.is_empty() {
         eprintln!("repro: {error}");
     }
     eprintln!(
-        "usage: repro <artifact> [--fast] [--csv DIR] [--threads N]\n\
+        "usage: repro <artifact> [--fast] [--csv DIR] [--threads N] \
+         [--inject 'PLATFORM:CLASS:SEVERITY[:SEED]']\n\
          artifacts: {} | all",
         ARTIFACTS.join(" | ")
     );
-    std::process::exit(2);
+    std::process::exit(EXIT_USAGE);
+}
+
+/// Parses one `--inject` value: `PLATFORM:CLASS:SEVERITY[:SEED]`.
+fn parse_inject(value: &str) -> Result<(String, FaultSpec), String> {
+    let (platform, spec) = value
+        .split_once(':')
+        .ok_or_else(|| format!("--inject `{value}`: expected PLATFORM:CLASS:SEVERITY[:SEED]"))?;
+    let known = archline_repro::platforms_by_peak_efficiency();
+    if !known.iter().any(|p| p.name == platform) {
+        return Err(format!(
+            "--inject: unknown platform `{platform}` (one of: {})",
+            known.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(", ")
+        ));
+    }
+    let spec = FaultSpec::parse(spec).map_err(|e| format!("--inject: {e}"))?;
+    Ok((platform.to_string(), spec))
 }
 
 fn main() {
@@ -77,6 +114,7 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut artifact: Option<String> = None;
+    let mut injections: Vec<(String, FaultSpec)> = Vec::new();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -90,6 +128,13 @@ fn main() {
                 Some(Ok(n)) => threads = Some(n),
                 Some(Err(_)) => usage("--threads needs a positive integer"),
                 None => usage("--threads needs a positive integer"),
+            },
+            "--inject" => match it.next() {
+                Some(value) => match parse_inject(value) {
+                    Ok(inj) => injections.push(inj),
+                    Err(e) => usage(&e),
+                },
+                None => usage("--inject needs PLATFORM:CLASS:SEVERITY[:SEED]"),
             },
             name if !name.starts_with("--") && artifact.is_none() => {
                 artifact = Some(name.to_string());
@@ -108,104 +153,217 @@ fn main() {
         }
     }
 
+    // Fold repeated --inject specs into one ordered plan per platform.
+    let mut sabotage: Vec<(String, FaultPlan)> = Vec::new();
+    for (platform, spec) in injections {
+        match sabotage.iter_mut().find(|(name, _)| *name == platform) {
+            Some((_, plan)) => plan.specs.push(spec),
+            None => sabotage.push((platform, FaultPlan::new(vec![spec]))),
+        }
+    }
+
     let cfg = if fast { analysis::fast_config() } else { SweepConfig::default() };
     // One shared context: every artifact below reuses the same 12-platform
     // sweep instead of re-running it.
-    let ctx = AnalysisContext::new(cfg);
+    let ctx = AnalysisContext::with_sabotage(cfg, sabotage);
     let all = artifact == "all";
     let names: Vec<&str> = if all { ARTIFACTS.to_vec() } else { vec![artifact.as_str()] };
+    let attempted = names.len();
 
     let total_start = Instant::now();
     let mut timings: Vec<(&str, f64)> = Vec::new();
+    let mut failed: Vec<(&str, String)> = Vec::new();
     for name in names {
         let start = Instant::now();
-        let (text, json) = run_artifact(name, &ctx, fast);
+        // Isolate each artifact: a panic (or error) in one must not take
+        // down the rest of `repro all`.
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_one(name, &ctx, fast, &csv_dir)));
+        let result = match outcome {
+            Ok(r) => r,
+            Err(payload) => Err(ArtifactError::new(panic_message(payload))),
+        };
         let secs = start.elapsed().as_secs_f64();
         timings.push((name, secs));
         eprintln!("[time] {name}: {secs:.3}s");
-        println!("{text}");
-        if let Some(dir) = &csv_dir {
-            std::fs::create_dir_all(dir).expect("create output dir");
-            let path = format!("{dir}/{name}.json");
-            let mut f = std::fs::File::create(&path).expect("create report file");
-            f.write_all(json.as_bytes()).expect("write report");
-            eprintln!("wrote {path}");
+        if let Err(e) = result {
+            eprintln!("repro: ERROR: {name}: {e}");
+            failed.push((name, e.message));
         }
     }
     let total = total_start.elapsed().as_secs_f64();
     eprintln!("[time] total: {total:.3}s");
 
+    // Degraded platforms, without forcing the sweep for artifacts that
+    // never needed it (fig1, the model-only extensions).
+    let degraded: Vec<(String, String)> = if ctx.sweep_misses() > 0 {
+        ctx.failures().iter().map(|f| (f.name.clone(), f.error.clone())).collect()
+    } else {
+        Vec::new()
+    };
+
+    let exit = if failed.is_empty() && degraded.is_empty() {
+        0
+    } else if failed.len() == attempted {
+        EXIT_TOTAL_FAILURE
+    } else {
+        EXIT_PARTIAL_FAILURE
+    };
+
     if all {
-        let mut bench = serde_json::Map::new();
-        for (name, secs) in &timings {
-            bench.insert((*name).to_string(), serde_json::Value::from(*secs));
+        write_bench(&timings, total, &failed, &degraded);
+    }
+
+    // End-of-run failure summary (stderr, after all artifact output).
+    if !degraded.is_empty() || !failed.is_empty() {
+        eprintln!("repro: failure summary");
+        if !degraded.is_empty() {
+            eprintln!("  degraded platforms ({} of 12):", degraded.len());
+            for (name, reason) in &degraded {
+                eprintln!("    {name} — {reason}");
+            }
         }
-        bench.insert("total".to_string(), serde_json::Value::from(total));
-        let body = serde_json::to_string_pretty(&serde_json::Value::Object(bench))
-            .expect("serialize timings");
-        std::fs::write("BENCH_repro.json", body).expect("write BENCH_repro.json");
-        eprintln!("wrote BENCH_repro.json");
+        if !failed.is_empty() {
+            eprintln!("  failed artifacts ({} of {attempted}):", failed.len());
+            for (name, reason) in &failed {
+                eprintln!("    {name} — {reason}");
+            }
+        }
+        let kind = if exit == EXIT_TOTAL_FAILURE { "total" } else { "partial" };
+        eprintln!("repro: exiting {exit} ({kind} failure)");
+    }
+    std::process::exit(exit);
+}
+
+/// Computes, prints, and (optionally) persists one artifact.
+fn run_one(
+    name: &str,
+    ctx: &AnalysisContext,
+    fast: bool,
+    csv_dir: &Option<String>,
+) -> Result<(), ArtifactError> {
+    let (text, json) = run_artifact(name, ctx, fast)?;
+    println!("{text}");
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ArtifactError::new(format!("create output dir {dir}: {e}")))?;
+        let path = format!("{dir}/{name}.json");
+        std::fs::write(&path, json)
+            .map_err(|e| ArtifactError::new(format!("write {path}: {e}")))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Serializes a report, mapping serializer errors into the failure path.
+fn to_json<T: serde::Serialize>(name: &str, report: &T) -> Result<String, ArtifactError> {
+    serde_json::to_string_pretty(report)
+        .map_err(|e| ArtifactError::new(format!("serialize {name}: {e}")))
+}
+
+/// Writes `BENCH_repro.json` — always, even on partial failure, so a
+/// degraded run still leaves a machine-readable record of what completed.
+fn write_bench(
+    timings: &[(&str, f64)],
+    total: f64,
+    failed: &[(&str, String)],
+    degraded: &[(String, String)],
+) {
+    let mut bench = serde_json::Map::new();
+    for (name, secs) in timings {
+        bench.insert((*name).to_string(), serde_json::Value::from(*secs));
+    }
+    bench.insert("total".to_string(), serde_json::Value::from(total));
+    let status = if failed.is_empty() && degraded.is_empty() {
+        "ok"
+    } else if failed.len() == timings.len() {
+        "failed"
+    } else {
+        "partial"
+    };
+    bench.insert("status".to_string(), serde_json::Value::from(status));
+    if !failed.is_empty() {
+        let list = failed.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ");
+        bench.insert("failed_artifacts".to_string(), serde_json::Value::from(list));
+    }
+    if !degraded.is_empty() {
+        let list = degraded.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(", ");
+        bench.insert("degraded_platforms".to_string(), serde_json::Value::from(list));
+    }
+    let body = match serde_json::to_string_pretty(&serde_json::Value::Object(bench)) {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("repro: warning: serialize BENCH_repro.json: {e}");
+            return;
+        }
+    };
+    match std::fs::write("BENCH_repro.json", body) {
+        Ok(()) => eprintln!("wrote BENCH_repro.json"),
+        Err(e) => eprintln!("repro: warning: write BENCH_repro.json: {e}"),
     }
 }
 
-fn run_artifact(name: &str, ctx: &AnalysisContext, fast: bool) -> (String, String) {
+fn run_artifact(
+    name: &str,
+    ctx: &AnalysisContext,
+    fast: bool,
+) -> Result<(String, String), ArtifactError> {
     match name {
         "table1" => {
             let r = table1::compute_with(ctx, !fast);
-            (table1::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+            Ok((table1::render(&r), to_json(name, &r)?))
         }
         "fig1" => {
             let r = fig1::compute(if fast { 9 } else { 17 });
-            (fig1::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+            Ok((fig1::render(&r), to_json(name, &r)?))
         }
         "fig4" => {
             let r = fig4::compute_with(ctx);
-            (fig4::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+            Ok((fig4::render(&r), to_json(name, &r)?))
         }
         "fig5" => {
             let r = fig5::compute_with(ctx);
-            (fig5::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+            Ok((fig5::render(&r), to_json(name, &r)?))
         }
         "fig6" => {
             let r = fig6::compute_with(ctx);
-            (fig6::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+            Ok((fig6::render(&r), to_json(name, &r)?))
         }
         "fig7a" => {
             let r = fig7::compute_with(ctx, fig7::Fig7Kind::Performance);
-            (fig7::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+            Ok((fig7::render(&r), to_json(name, &r)?))
         }
         "fig7b" => {
             let r = fig7::compute_with(ctx, fig7::Fig7Kind::EnergyEfficiency);
-            (fig7::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+            Ok((fig7::render(&r), to_json(name, &r)?))
         }
         "vc-energy" | "vc-constpower" => {
             let r = section_vc::compute_with(ctx);
-            (section_vc::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+            Ok((section_vc::render(&r), to_json(name, &r)?))
         }
         "vd-bounding" => {
             let r = section_vd::compute_with(ctx);
-            (section_vd::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+            Ok((section_vd::render(&r), to_json(name, &r)?))
         }
         "ext-arndale" => {
-            let r = ext::arndale_ablation_with(ctx);
-            (ext::render_arndale(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+            let r = ext::arndale_ablation_with(ctx)?;
+            Ok((ext::render_arndale(&r), to_json(name, &r)?))
         }
         "ext-network" => {
-            let r = ext::network_erosion();
-            (ext::render_network(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+            let r = ext::network_erosion()?;
+            Ok((ext::render_network(&r), to_json(name, &r)?))
         }
         "ext-bounding" => {
-            let r = ext::bounding_matrix();
-            (ext::render_bounding(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+            let r = ext::bounding_matrix()?;
+            Ok((ext::render_bounding(&r), to_json(name, &r)?))
         }
         "ext-dvfs" => {
-            let r = ext::dvfs_whatif();
-            (ext::render_dvfs(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+            let r = ext::dvfs_whatif()?;
+            Ok((ext::render_dvfs(&r), to_json(name, &r)?))
         }
         "scorecard" => {
             let r = scorecard::compute_with(ctx);
-            (scorecard::render(&r), serde_json::to_string_pretty(&r).expect("serialize"))
+            Ok((scorecard::render(&r), to_json(name, &r)?))
         }
-        other => unreachable!("artifact `{other}` validated in main"),
+        other => Err(ArtifactError::new(format!("artifact `{other}` validated in main"))),
     }
 }

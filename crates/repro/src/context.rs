@@ -1,12 +1,18 @@
 //! Shared analysis cache for the artifact pipeline.
 //!
 //! Almost every artifact starts from the same 12-platform sweep
-//! ([`analyze_all`]): simulate the microbenchmark suite, then fit both
+//! ([`analyze_outcome`]): simulate the microbenchmark suite, then fit both
 //! models. Before this cache existed, `repro all` re-ran that sweep once per
 //! artifact. [`AnalysisContext`] memoizes the sweep (and Table I's
 //! double-precision variant) behind [`OnceLock`], so any number of artifacts
 //! computed against one context share a single sweep — concurrently-arriving
 //! callers block on the first computation instead of duplicating it.
+//!
+//! The context also carries the pipeline's **degradation state**: platforms
+//! whose measure-and-fit failed (organically or through an injected fault
+//! plan) are recorded as [`PlatformFailure`]s instead of aborting the
+//! sweep, and [`Self::analyses`] serves the healthy subset. Artifacts mark
+//! those platforms degraded rather than crashing.
 //!
 //! Each artifact module exposes a `compute_with(&AnalysisContext, ...)`
 //! entry point; the original config-only `compute` functions remain as thin
@@ -15,13 +21,15 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-use archline_fit::fit_platform;
+use archline_faults::FaultPlan;
+use archline_fit::{try_fit_platform, FitOptions};
 use archline_machine::{spec_for, Engine};
 use archline_microbench::{run_suite, SweepConfig};
 use archline_par::parallel_map;
 use archline_platforms::Precision;
 
-use crate::analysis::{analyze_all, PlatformAnalysis};
+use crate::analysis::{analyze_outcome, PlatformAnalysis};
+use crate::failure::PlatformFailure;
 use crate::table1::FittedValue;
 
 /// Config-keyed memo of the shared per-platform analyses.
@@ -33,7 +41,8 @@ use crate::table1::FittedValue;
 #[derive(Debug)]
 pub struct AnalysisContext {
     cfg: SweepConfig,
-    analyses: OnceLock<Vec<PlatformAnalysis>>,
+    sabotage: Vec<(String, FaultPlan)>,
+    outcome: OnceLock<(Vec<PlatformAnalysis>, Vec<PlatformFailure>)>,
     doubles: OnceLock<Vec<Option<FittedValue>>>,
     sweep_misses: AtomicUsize,
     sweep_hits: AtomicUsize,
@@ -42,9 +51,19 @@ pub struct AnalysisContext {
 impl AnalysisContext {
     /// A context keyed to `cfg`. No work happens until an artifact asks.
     pub fn new(cfg: SweepConfig) -> Self {
+        Self::with_sabotage(cfg, Vec::new())
+    }
+
+    /// A context whose sweep will corrupt the named platforms' DRAM
+    /// measurements with the given seeded fault plans (chaos testing and
+    /// the `repro --inject` flag). Sabotaged platforms are fitted with the
+    /// robust policy; those corrupted past fitability surface in
+    /// [`Self::failures`] instead of panicking.
+    pub fn with_sabotage(cfg: SweepConfig, sabotage: Vec<(String, FaultPlan)>) -> Self {
         Self {
             cfg,
-            analyses: OnceLock::new(),
+            sabotage,
+            outcome: OnceLock::new(),
             doubles: OnceLock::new(),
             sweep_misses: AtomicUsize::new(0),
             sweep_hits: AtomicUsize::new(0),
@@ -56,21 +75,34 @@ impl AnalysisContext {
         &self.cfg
     }
 
-    /// The single-precision 12-platform sweep, computed at most once.
-    pub fn analyses(&self) -> &[PlatformAnalysis] {
-        if let Some(cached) = self.analyses.get() {
+    fn outcome(&self) -> &(Vec<PlatformAnalysis>, Vec<PlatformFailure>) {
+        if let Some(cached) = self.outcome.get() {
             self.sweep_hits.fetch_add(1, Ordering::Relaxed);
             return cached;
         }
-        self.analyses.get_or_init(|| {
+        self.outcome.get_or_init(|| {
             self.sweep_misses.fetch_add(1, Ordering::Relaxed);
-            analyze_all(&self.cfg)
+            analyze_outcome(&self.cfg, &self.sabotage)
         })
     }
 
-    /// Table I's double-precision `ε_d` column (one slot per platform, in
-    /// sweep order; `None` where double precision is unsupported). Also
-    /// memoized: only the first caller pays for the extra sweeps.
+    /// The single-precision 12-platform sweep, computed at most once. Only
+    /// successfully fitted platforms appear (all 12 in a healthy run); see
+    /// [`Self::failures`] for the rest.
+    pub fn analyses(&self) -> &[PlatformAnalysis] {
+        &self.outcome().0
+    }
+
+    /// Platforms whose measure-and-fit failed, with causes. Empty in a
+    /// healthy run.
+    pub fn failures(&self) -> &[PlatformFailure] {
+        &self.outcome().1
+    }
+
+    /// Table I's double-precision `ε_d` column (one slot per *healthy*
+    /// platform, aligned with [`Self::analyses`]; `None` where double
+    /// precision is unsupported or its fit fails). Also memoized: only the
+    /// first caller pays for the extra sweeps.
     pub fn doubles(&self) -> &[Option<FittedValue>] {
         self.doubles.get_or_init(|| {
             let engine = Engine::default();
@@ -80,7 +112,7 @@ impl AnalysisContext {
                 }
                 let spec = spec_for(&a.platform, Precision::Double);
                 let suite = run_suite(&spec, &self.cfg, &engine);
-                let fit = fit_platform(&suite.dram);
+                let fit = try_fit_platform(&suite.dram, &FitOptions::default()).ok()?;
                 a.platform.flop_double.map(|paper| FittedValue {
                     paper: paper.energy,
                     fitted: fit.capped.energy_per_flop,
@@ -89,7 +121,8 @@ impl AnalysisContext {
         })
     }
 
-    /// How many [`Self::analyses`] calls found the sweep already computed.
+    /// How many [`Self::analyses`]/[`Self::failures`] calls found the sweep
+    /// already computed.
     pub fn sweep_hits(&self) -> usize {
         self.sweep_hits.load(Ordering::Relaxed)
     }
@@ -106,6 +139,7 @@ mod tests {
     use super::*;
     use crate::analysis::fast_config;
     use crate::{ext, fig4, fig5, scorecard, table1};
+    use archline_faults::FaultClass;
 
     #[test]
     fn sweep_runs_exactly_once_across_artifacts() {
@@ -116,7 +150,7 @@ mod tests {
         let f4 = fig4::compute_with(&ctx);
         let f5 = fig5::compute_with(&ctx);
         let sc = scorecard::compute_with(&ctx);
-        let ab = ext::arndale_ablation_with(&ctx);
+        let ab = ext::arndale_ablation_with(&ctx).expect("Arndale healthy");
 
         assert_eq!(t1.rows.len(), 12);
         assert_eq!(f4.rows.len(), 12);
@@ -146,5 +180,21 @@ mod tests {
             }
         });
         assert_eq!(ctx.sweep_misses(), 1);
+    }
+
+    #[test]
+    fn sabotaged_context_serves_the_healthy_subset() {
+        let plan = FaultPlan::single(FaultClass::FailRun, 1.0, 3);
+        let ctx =
+            AnalysisContext::with_sabotage(fast_config(), vec![("Xeon Phi".to_string(), plan)]);
+        assert_eq!(ctx.analyses().len(), 11);
+        assert_eq!(ctx.failures().len(), 1);
+        assert_eq!(ctx.failures()[0].name, "Xeon Phi");
+        assert_eq!(ctx.sweep_misses(), 1, "failure path shares the memo");
+        // Artifacts over the degraded context still complete.
+        let t1 = table1::compute_with(&ctx, false);
+        assert_eq!(t1.rows.len(), 11);
+        assert_eq!(t1.degraded.len(), 1);
+        assert_eq!(t1.degraded[0].name, "Xeon Phi");
     }
 }

@@ -25,7 +25,18 @@ use archline_microbench::SweepConfig;
 use archline_platforms::{platform, PlatformId, Precision};
 
 use crate::context::AnalysisContext;
+use crate::failure::ArtifactError;
 use crate::render::{pct, sig3, TextTable};
+
+/// Single-precision machine params for a Table I record, as an artifact
+/// error when absent (every Table I platform publishes single precision,
+/// but the failure path must not panic).
+fn single_params(
+    rec: &archline_platforms::Platform,
+) -> Result<archline_core::MachineParams, ArtifactError> {
+    rec.machine_params(Precision::Single)
+        .map_err(|e| ArtifactError::new(format!("{}: no single-precision constants: {e}", rec.name)))
+}
 
 // ---------------------------------------------------------------------------
 // 1. Arndale capping ablation
@@ -52,21 +63,24 @@ pub struct ArndaleAblation {
 /// paper's Fig. 5 is): a free refit would simply absorb the dip into a
 /// lower Δπ, hiding the effect the refinement is meant to explain. (The
 /// refit is still performed; its diagnostics are not used here.)
-pub fn arndale_ablation(cfg: &SweepConfig) -> ArndaleAblation {
+pub fn arndale_ablation(cfg: &SweepConfig) -> Result<ArndaleAblation, ArtifactError> {
     arndale_ablation_with(&AnalysisContext::new(*cfg))
 }
 
 /// Runs the Arndale ablation from a shared [`AnalysisContext`], reusing the
 /// context's Arndale GPU suite and refit (bit-identical inputs: same spec,
-/// config, and seeds as a standalone sweep).
-pub fn arndale_ablation_with(ctx: &AnalysisContext) -> ArndaleAblation {
+/// config, and seeds as a standalone sweep). Errors when the Arndale GPU is
+/// missing from the sweep — i.e. its measure-and-fit was degraded.
+pub fn arndale_ablation_with(ctx: &AnalysisContext) -> Result<ArndaleAblation, ArtifactError> {
     let a = ctx
         .analyses()
         .iter()
         .find(|a| a.platform.id == PlatformId::ArndaleGpu)
-        .expect("Arndale GPU is in the 12-platform sweep");
+        .ok_or_else(|| {
+            ArtifactError::new("Arndale GPU missing from the sweep (platform degraded)")
+        })?;
     let (rec, spec, suite) = (&a.platform, &a.spec, &a.suite);
-    let table1_params = rec.machine_params(Precision::Single).expect("single");
+    let table1_params = single_params(rec)?;
 
     let observations: Vec<(Workload, f64)> = suite
         .dram
@@ -93,13 +107,13 @@ pub fn arndale_ablation_with(ctx: &AnalysisContext) -> ArndaleAblation {
         archline_machine::Quirk::UtilizationScaling { depth } => depth,
         _ => 0.0,
     };
-    ArndaleAblation {
+    Ok(ArndaleAblation {
         fitted_depth: gamma,
         true_depth,
         clean_rmse: (clean_sq / n).sqrt(),
         scaled_rmse: (scaled_sq / n).sqrt(),
         clean_max,
-    }
+    })
 }
 
 /// Renders the ablation.
@@ -148,10 +162,9 @@ pub struct NetworkErosion {
 }
 
 /// Sweeps interconnect overheads for the Fig. 1 Arndale-array scenario.
-pub fn network_erosion() -> NetworkErosion {
-    let titan = platform(PlatformId::GtxTitan).machine_params(Precision::Single).expect("single");
-    let arndale =
-        platform(PlatformId::ArndaleGpu).machine_params(Precision::Single).expect("single");
+pub fn network_erosion() -> Result<NetworkErosion, ArtifactError> {
+    let titan = single_params(&platform(PlatformId::GtxTitan))?;
+    let arndale = single_params(&platform(PlatformId::ArndaleGpu))?;
     let budget = titan.const_power + titan.cap.watts();
     let titan_model = EnergyRoofline::new(titan);
 
@@ -174,7 +187,7 @@ pub fn network_erosion() -> NetworkErosion {
         .filter(|p| p.bandwidth_efficiency == 0.9 && p.bandwidth_advantage < 1.0)
         .map(|p| p.per_node_watts)
         .fold(None, |acc: Option<f64>, w| Some(acc.map_or(w, |a| a.min(w))));
-    NetworkErosion { points, break_even_watts }
+    Ok(NetworkErosion { points, break_even_watts })
 }
 
 /// Renders the sweep.
@@ -226,29 +239,24 @@ pub struct BoundingMatrix {
 /// Computes the full power-bounding matrix: bound each platform to its own
 /// `Δπ/8` budget and ask which other platform, replicated into the same
 /// budget, runs an `I = 0.25` (SpMV-like) workload fastest.
-pub fn bounding_matrix() -> BoundingMatrix {
+pub fn bounding_matrix() -> Result<BoundingMatrix, ArtifactError> {
     use archline_core::power_bounding;
     let platforms = crate::platforms_by_peak_efficiency();
     let intensity = 0.25;
     let mut rows = Vec::new();
     for big in &platforms {
-        let big_params = big.machine_params(Precision::Single).expect("single");
+        let big_params = single_params(big)?;
         let budget = big_params.const_power + big_params.cap.watts() / 8.0;
-        let mut alternatives: Vec<(String, u32, f64)> = platforms
-            .iter()
-            .filter(|small| small.id != big.id)
-            .filter(|small| small.max_power() <= budget)
-            .map(|small| {
-                let small_params = small.machine_params(Precision::Single).expect("single");
-                let out = power_bounding(&big_params, &small_params, budget, intensity);
-                (small.name.clone(), out.small_nodes, out.ensemble_speedup)
-            })
-            .collect();
-        alternatives
-            .sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite speedups"));
+        let mut alternatives = Vec::new();
+        for small in platforms.iter().filter(|s| s.id != big.id && s.max_power() <= budget) {
+            let small_params = single_params(small)?;
+            let out = power_bounding(&big_params, &small_params, budget, intensity);
+            alternatives.push((small.name.clone(), out.small_nodes, out.ensemble_speedup));
+        }
+        alternatives.sort_by(|a: &(String, u32, f64), b| b.2.total_cmp(&a.2));
         rows.push(BoundingRow { big: big.name.clone(), budget, alternatives });
     }
-    BoundingMatrix { rows }
+    Ok(BoundingMatrix { rows })
 }
 
 /// Renders the top alternative per bounded platform.
@@ -303,22 +311,19 @@ pub struct DvfsReport {
 }
 
 /// Computes energy-optimal frequencies for a representative platform trio.
-pub fn dvfs_whatif() -> DvfsReport {
+pub fn dvfs_whatif() -> Result<DvfsReport, ArtifactError> {
     let intensities = [0.125, 0.5, 2.0, 8.0, 32.0, 128.0];
-    let rows = [PlatformId::GtxTitan, PlatformId::NucCpu, PlatformId::ArndaleCpu]
-        .iter()
-        .map(|&id| {
-            let rec = platform(id);
-            let dvfs =
-                DvfsModel::conventional(rec.machine_params(Precision::Single).expect("single"));
-            let optima = intensities
-                .iter()
-                .map(|&i| (i, dvfs.energy_optimal_frequency(i, 0.25, 1.5, 51).0))
-                .collect();
-            DvfsRow { name: rec.name.clone(), optima }
-        })
-        .collect();
-    DvfsReport { rows }
+    let mut rows = Vec::new();
+    for &id in &[PlatformId::GtxTitan, PlatformId::NucCpu, PlatformId::ArndaleCpu] {
+        let rec = platform(id);
+        let dvfs = DvfsModel::conventional(single_params(&rec)?);
+        let optima = intensities
+            .iter()
+            .map(|&i| (i, dvfs.energy_optimal_frequency(i, 0.25, 1.5, 51).0))
+            .collect();
+        rows.push(DvfsRow { name: rec.name.clone(), optima });
+    }
+    Ok(DvfsReport { rows })
 }
 
 /// Renders the DVFS table.
@@ -343,7 +348,7 @@ mod tests {
 
     #[test]
     fn scaled_model_halves_arndale_error() {
-        let a = arndale_ablation(&fast_config());
+        let a = arndale_ablation(&fast_config()).unwrap();
         assert!(a.clean_max < 0.15, "paper bound: {}", a.clean_max);
         assert!(a.clean_max > 0.01, "quirk should be visible: {}", a.clean_max);
         assert!(
@@ -358,7 +363,7 @@ mod tests {
 
     #[test]
     fn network_overheads_erode_the_edge_monotonically() {
-        let n = network_erosion();
+        let n = network_erosion().unwrap();
         // Ideal point reproduces Fig. 1.
         let ideal = n
             .points
@@ -382,7 +387,7 @@ mod tests {
 
     #[test]
     fn bounding_matrix_reproduces_the_papers_pair_and_more() {
-        let m = bounding_matrix();
+        let m = bounding_matrix().unwrap();
         assert_eq!(m.rows.len(), 12);
         // The paper's pair: Titan bounded, Arndale GPU among alternatives
         // with 23 nodes and ≈2.6×.
@@ -409,7 +414,7 @@ mod tests {
 
     #[test]
     fn dvfs_optima_increase_with_intensity_dependence() {
-        let r = dvfs_whatif();
+        let r = dvfs_whatif().unwrap();
         assert_eq!(r.rows.len(), 3);
         for row in &r.rows {
             // Memory-bound work never wants a *higher* clock than
@@ -425,7 +430,19 @@ mod tests {
 
     #[test]
     fn renders_are_nonempty() {
-        assert!(render_network(&network_erosion()).contains("boards"));
-        assert!(render_dvfs(&dvfs_whatif()).contains("Platform"));
+        assert!(render_network(&network_erosion().unwrap()).contains("boards"));
+        assert!(render_dvfs(&dvfs_whatif().unwrap()).contains("Platform"));
+    }
+
+    #[test]
+    fn ablation_reports_degradation_instead_of_panicking() {
+        use archline_faults::{FaultClass, FaultPlan};
+        let plan = FaultPlan::single(FaultClass::FailRun, 1.0, 13);
+        let ctx = AnalysisContext::with_sabotage(
+            fast_config(),
+            vec![("Arndale GPU".to_string(), plan)],
+        );
+        let err = arndale_ablation_with(&ctx).unwrap_err();
+        assert!(err.message.contains("degraded"), "{err}");
     }
 }

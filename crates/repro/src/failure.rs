@@ -1,0 +1,107 @@
+//! Structured failure reporting for the degradation-aware pipeline.
+//!
+//! A corrupt platform or a crashing artifact must not take `repro all`
+//! down with it: per-platform fit failures become [`PlatformFailure`]
+//! records carried by the shared context, per-artifact errors become
+//! [`ArtifactError`]s collected into the end-of-run failure summary, and
+//! panics from either level are caught and converted via
+//! [`panic_message`].
+
+use serde::{Deserialize, Serialize};
+
+/// One platform the 12-platform sweep could not measure-and-fit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlatformFailure {
+    /// Platform name (Table I spelling).
+    pub name: String,
+    /// What went wrong (a `FitError` rendering or a panic payload).
+    pub error: String,
+    /// `true` when the failure was a caught panic rather than a typed
+    /// fit error.
+    pub panicked: bool,
+}
+
+impl std::fmt::Display for PlatformFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.name, self.error)
+    }
+}
+
+/// Why one artifact could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtifactError {
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl ArtifactError {
+    /// An error from any displayable cause.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<String> for ArtifactError {
+    fn from(message: String) -> Self {
+        Self { message }
+    }
+}
+
+impl From<&str> for ArtifactError {
+    fn from(message: &str) -> Self {
+        Self { message: message.to_string() }
+    }
+}
+
+/// Extracts the human-readable message from a caught panic payload
+/// (`std::panic::catch_unwind`'s `Err` value).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn panic_messages_extracted_from_both_payload_shapes() {
+        let e = catch_unwind(|| panic!("static message")).unwrap_err();
+        assert_eq!(panic_message(e), "static message");
+        let n = 7;
+        let e = catch_unwind(AssertUnwindSafe(|| panic!("formatted {n}"))).unwrap_err();
+        assert_eq!(panic_message(e), "formatted 7");
+    }
+
+    #[test]
+    fn artifact_error_displays_its_message() {
+        let e = ArtifactError::new("fig5: no panels");
+        assert_eq!(e.to_string(), "fig5: no panels");
+        let e: ArtifactError = "from str".into();
+        assert_eq!(e.message, "from str");
+    }
+
+    #[test]
+    fn platform_failure_displays_name_and_cause() {
+        let f = PlatformFailure {
+            name: "Arndale GPU".into(),
+            error: "need at least 4 intensity runs, got 0".into(),
+            panicked: false,
+        };
+        assert_eq!(f.to_string(), "Arndale GPU: need at least 4 intensity runs, got 0");
+    }
+}

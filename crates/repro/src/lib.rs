@@ -26,6 +26,7 @@
 pub mod analysis;
 pub mod context;
 pub mod ext;
+pub mod failure;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;
@@ -42,6 +43,7 @@ use archline_core::EnergyRoofline;
 use archline_platforms::{all_platforms, Platform, Precision};
 
 pub use context::AnalysisContext;
+pub use failure::{panic_message, ArtifactError, PlatformFailure};
 
 /// The 12 platforms ordered by decreasing peak energy-efficiency — the
 /// panel order of Figs. 5–7 (GTX Titan first, Desktop CPU last).

@@ -72,6 +72,28 @@ pub fn compute_with(ctx: &AnalysisContext) -> Scorecard {
         });
     };
 
+    // Pipeline health: did the measure-and-fit sweep survive every
+    // platform? A degraded run still produces a scorecard — this claim is
+    // what flips to DEVIATION when platforms are corrupted or crash.
+    let healthy = ctx.analyses().len();
+    let failures = ctx.failures();
+    let failed_names = failures
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect::<Vec<_>>()
+        .join(", ");
+    check(
+        "pipeline",
+        "all 12 platforms measured and fitted",
+        "12 of 12".into(),
+        if failures.is_empty() {
+            format!("{healthy} of 12")
+        } else {
+            format!("{healthy} of 12 (DEGRADED: {failed_names})")
+        },
+        failures.is_empty() && healthy == 12,
+    );
+
     // Fig. 5 headline ladder.
     let titan = model(PlatformId::GtxTitan);
     let titan_eff = titan.peak_energy_eff() / 1e9;
@@ -272,6 +294,25 @@ mod tests {
         }
         assert!(card.total() >= 12, "{} claims", card.total());
         assert_eq!(card.passed(), card.total());
+    }
+
+    #[test]
+    fn degraded_sweep_flips_the_health_claim_only() {
+        use archline_faults::{FaultClass, FaultPlan};
+        let plan = FaultPlan::single(FaultClass::FailRun, 1.0, 9);
+        let ctx = AnalysisContext::with_sabotage(
+            fast_config(),
+            vec![("Desktop CPU".to_string(), plan)],
+        );
+        let card = compute_with(&ctx);
+        let health = card.claims.iter().find(|c| c.source == "pipeline").unwrap();
+        assert!(!health.pass);
+        assert!(health.actual.contains("Desktop CPU"), "{}", health.actual);
+        assert!(render(&card).contains("DEVIATION"));
+        // The model-only claims are untouched by a degraded sweep.
+        for c in card.claims.iter().filter(|c| ["Fig. 5", "Fig. 1", "§V-D"].contains(&c.source.as_str())) {
+            assert!(c.pass, "{}: {}", c.source, c.statement);
+        }
     }
 
     #[test]

@@ -61,13 +61,30 @@ pub struct Table1Row {
     pub eps_rand: Option<FittedValue>,
     /// Capped-fit power RMSE (diagnostic).
     pub power_rmse: f64,
+    /// `true` when this row's fit completed but is flagged degraded
+    /// (non-converged refinement or heavy outlier rejection).
+    #[serde(default)]
+    pub degraded: bool,
+}
+
+/// A platform the sweep could not fit at all: it has no row, only a cause.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradedPlatform {
+    /// Platform name (Table I spelling).
+    pub name: String,
+    /// Why the measure-and-fit failed.
+    pub reason: String,
 }
 
 /// The regenerated table.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Table1Report {
-    /// One row per platform, Fig. 5 panel order.
+    /// One row per successfully fitted platform, Fig. 5 panel order.
     pub rows: Vec<Table1Row>,
+    /// Platforms with no row because their measure-and-fit failed (empty in
+    /// a healthy run).
+    #[serde(default)]
+    pub degraded: Vec<DegradedPlatform>,
 }
 
 /// Regenerates Table I. `include_double` additionally sweeps the
@@ -88,7 +105,12 @@ pub fn compute_with(ctx: &AnalysisContext, include_double: bool) -> Table1Report
             row_for(a, eps_double)
         })
         .collect();
-    Table1Report { rows }
+    let degraded = ctx
+        .failures()
+        .iter()
+        .map(|f| DegradedPlatform { name: f.name.clone(), reason: f.error.clone() })
+        .collect();
+    Table1Report { rows, degraded }
 }
 
 fn row_for(a: &PlatformAnalysis, eps_double: Option<FittedValue>) -> Table1Row {
@@ -134,6 +156,7 @@ fn row_for(a: &PlatformAnalysis, eps_double: Option<FittedValue>) -> Table1Row {
         eps_l2,
         eps_rand,
         power_rmse: a.fit.capped_diag.power_rmse,
+        degraded: a.fit.capped_diag.degraded,
     }
 }
 
@@ -161,7 +184,7 @@ pub fn render(report: &Table1Report) -> String {
     };
     for r in &report.rows {
         t.row(vec![
-            r.name.clone(),
+            if r.degraded { format!("{} [DEGRADED]", r.name) } else { r.name.clone() },
             cell(&r.const_power, 1.0),
             cell(&r.usable_power, 1.0),
             cell(&r.eps_single, 1e-12),
@@ -175,7 +198,15 @@ pub fn render(report: &Table1Report) -> String {
             format!("{:.3}", r.power_rmse),
         ]);
     }
-    format!("Table I (paper -> re-fitted through the simulated pipeline)\n\n{}", t.render())
+    let mut out =
+        format!("Table I (paper -> re-fitted through the simulated pipeline)\n\n{}", t.render());
+    if !report.degraded.is_empty() {
+        out.push_str("\nDEGRADED platforms (measure-and-fit failed; no row above):\n");
+        for d in &report.degraded {
+            out.push_str(&format!("  {} — {}\n", d.name, d.reason));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -266,6 +297,23 @@ mod tests {
             }
         }
         assert_eq!(checked, 9, "nine platforms support double precision");
+    }
+
+    #[test]
+    fn degraded_platforms_render_as_a_footer() {
+        use archline_faults::{FaultClass, FaultPlan};
+        let plan = FaultPlan::single(FaultClass::FailRun, 1.0, 5);
+        let ctx = AnalysisContext::with_sabotage(
+            fast_config(),
+            vec![("NUC GPU".to_string(), plan)],
+        );
+        let report = compute_with(&ctx, false);
+        assert_eq!(report.rows.len(), 11);
+        assert_eq!(report.degraded.len(), 1);
+        let text = render(&report);
+        assert!(text.contains("DEGRADED"));
+        assert!(text.contains("NUC GPU"));
+        assert!(text.contains("at least 4"), "reason carried through:\n{text}");
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! End-to-end degradation contract of the `repro` binary: `repro all` with
+//! one platform corrupted past fitability must still complete, mark the
+//! platform DEGRADED in the rendered artifacts, write a partial
+//! BENCH_repro.json, and exit with the partial-failure status (3).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("archline-degraded-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn corrupted_platform_degrades_instead_of_aborting() {
+    let dir = fresh_dir("all");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["all", "--fast", "--inject", "Arndale GPU:fail-run:1.0:7"])
+        .current_dir(&dir)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    // Partial failure, not total: most artifacts still rendered.
+    assert_eq!(out.status.code(), Some(3), "stderr:\n{stderr}");
+    assert!(stdout.contains("Table I"), "table1 still renders");
+    assert!(stdout.contains("DEGRADED"), "degraded marker in output:\n{stdout}");
+    assert!(stdout.contains("Arndale GPU"), "degraded platform named");
+    assert!(stdout.contains("scorecard"), "scorecard still renders");
+
+    // The failure summary names the artifact that needed the dead platform
+    // and the platform itself.
+    assert!(stderr.contains("failure summary"), "stderr:\n{stderr}");
+    assert!(stderr.contains("degraded platforms"), "stderr:\n{stderr}");
+    assert!(stderr.contains("ext-arndale"), "stderr:\n{stderr}");
+
+    // Partial BENCH_repro.json is still written.
+    assert!(dir.join("BENCH_repro.json").exists(), "partial BENCH_repro.json emitted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_single_artifact_exits_zero() {
+    let dir = fresh_dir("clean");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig1", "--fast"])
+        .current_dir(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr:\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("GTX Titan"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_inject_spec_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["all", "--fast", "--inject", "No Such Platform:spike:0.5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown platform"));
+}

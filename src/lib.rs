@@ -16,6 +16,7 @@
 //! * [`stats`] — quantiles, K-S test, correlation, bootstrap.
 //! * [`fit`] — regression substrate and the model-fitting pipeline.
 //! * [`par`] — the minimal data-parallelism substrate.
+//! * [`faults`] — seeded fault injection over traces and measurement runs.
 //! * [`powermon`] — power traces, the simulated PowerMon 2 and interposer.
 //! * [`machine`] — the continuous-time platform simulator.
 //! * [`microbench`] — microbenchmark kernels and sweep drivers.
@@ -43,6 +44,7 @@
 pub mod prelude;
 
 pub use archline_core as model;
+pub use archline_faults as faults;
 pub use archline_fit as fit;
 pub use archline_machine as machine;
 pub use archline_microbench as microbench;

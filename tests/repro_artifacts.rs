@@ -75,15 +75,15 @@ fn section_reports_serialize() {
 
 #[test]
 fn extension_reports_serialize() {
-    let net = ext::network_erosion();
+    let net = ext::network_erosion().unwrap();
     let back: ext::NetworkErosion =
         serde_json::from_str(&serde_json::to_string(&net).unwrap()).unwrap();
     assert_eq!(back, net);
-    let dvfs = ext::dvfs_whatif();
+    let dvfs = ext::dvfs_whatif().unwrap();
     let back: ext::DvfsReport =
         serde_json::from_str(&serde_json::to_string(&dvfs).unwrap()).unwrap();
     assert_eq!(back, dvfs);
-    let bounding = ext::bounding_matrix();
+    let bounding = ext::bounding_matrix().unwrap();
     let back: ext::BoundingMatrix =
         serde_json::from_str(&serde_json::to_string(&bounding).unwrap()).unwrap();
     assert_eq!(back, bounding);
