@@ -8,7 +8,7 @@ use archline_core::extended::fit_depth;
 use archline_core::{UtilizationScaledModel, Workload};
 use archline_fit::{fit_platform_ci, MeasurementSet};
 use archline_machine::{spec_for, Engine};
-use archline_microbench::{gemm_bench, run_suite, SweepConfig};
+use archline_microbench::{gemm_bench_with, run_suite, GemmWorkspace, SweepConfig};
 use archline_platforms::{platform, PlatformId, Precision};
 
 fn arndale_suite() -> MeasurementSet {
@@ -54,8 +54,11 @@ fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("blocked_sgemm");
     group.sample_size(10);
     for n in [128usize, 256] {
-        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
-            b.iter(|| gemm_bench(n, 64, 0.0))
+        // The workspace hoists the three matrix allocations out of the
+        // timing loop; each iteration measures the multiply alone.
+        let mut ws = GemmWorkspace::new(n);
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, _n| {
+            b.iter(|| gemm_bench_with(&mut ws, 64, 0.0));
         });
     }
     group.finish();

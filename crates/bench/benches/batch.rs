@@ -1,0 +1,91 @@
+//! Bench: plan-compiled batch evaluation vs the scalar model — the
+//! trajectory behind `RooflinePlan` (see EXPERIMENTS.md §Benchmark
+//! methodology). Sizes 10³/10⁵/10⁷ cover below-threshold, just-parallel,
+//! and saturated regimes; `fit_platform_end_to_end` times the suite → fit
+//! path whose inner objective the batch kernels accelerate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use archline_core::{EnergyRoofline, RooflinePlan};
+use archline_fit::{try_fit_platform, FitOptions};
+use archline_machine::{spec_for, Engine};
+use archline_microbench::{run_suite, SweepConfig};
+use archline_platforms::{platform, PlatformId, Precision};
+
+fn titan() -> EnergyRoofline {
+    EnergyRoofline::new(
+        platform(PlatformId::GtxTitan).machine_params(Precision::Single).expect("single"),
+    )
+}
+
+/// Log-spaced intensity grid spanning all three regimes.
+fn grid(n: usize) -> Vec<f64> {
+    let (lo, hi) = (0.01f64, 1e4f64);
+    let step = (hi / lo).ln() / (n - 1) as f64;
+    (0..n).map(|k| lo * (step * k as f64).exp()).collect()
+}
+
+fn bench_avg_power(c: &mut Criterion) {
+    let model = titan();
+    let plan = *model.plan();
+    let mut group = c.benchmark_group("avg_power_sweep");
+    group.sample_size(10);
+    for &n in &[1_000usize, 100_000, 10_000_000] {
+        let xs = grid(n);
+        let mut out = vec![0.0; n];
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+            b.iter(|| {
+                for (o, &x) in out.iter_mut().zip(&xs) {
+                    *o = model.avg_power_at(black_box(x));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batch", n), &n, |b, _| {
+            b.iter(|| plan.avg_power_batch_serial(black_box(&xs), &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("batch_par", n), &n, |b, _| {
+            b.iter(|| plan.avg_power_batch(black_box(&xs), &mut out));
+        });
+    }
+    group.finish();
+}
+
+fn bench_time_energy(c: &mut Criterion) {
+    let plan = RooflinePlan::new(*titan().params());
+    let n = 100_000usize;
+    let xs = grid(n);
+    let flops: Vec<f64> = xs.iter().map(|_| 1e9).collect();
+    let bytes: Vec<f64> = xs.iter().map(|&i| 1e9 / i).collect();
+    let mut t = vec![0.0; n];
+    let mut e = vec![0.0; n];
+    let mut group = c.benchmark_group("time_energy");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("fused_batch", |b| {
+        b.iter(|| plan.time_energy_batch(black_box(&flops), black_box(&bytes), &mut t, &mut e));
+    });
+    group.finish();
+}
+
+fn bench_fit_platform(c: &mut Criterion) {
+    let spec = spec_for(&platform(PlatformId::ArndaleGpu), Precision::Single);
+    let cfg = SweepConfig {
+        points: 17,
+        target_secs: 0.04,
+        level_runs: 1,
+        random_runs: 1,
+        ..Default::default()
+    };
+    let suite = run_suite(&spec, &cfg, &Engine::default()).dram;
+    let mut group = c.benchmark_group("fit_platform_end_to_end");
+    group.sample_size(10);
+    group.bench_function("arndale_17pt", |b| {
+        b.iter(|| try_fit_platform(black_box(&suite), &FitOptions::default()).expect("fit"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_avg_power, bench_time_energy, bench_fit_platform);
+criterion_main!(benches);

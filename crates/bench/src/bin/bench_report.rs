@@ -1,0 +1,202 @@
+//! `bench_report` — measures the batch-evaluation speedups and writes
+//! `BENCH_model.json` into the current directory (the repo root in CI).
+//!
+//! Three baselines bracket the claim (see EXPERIMENTS.md):
+//! - `scalar_underived`: the pre-plan per-point path, re-deriving balance
+//!   points and pipeline powers on every call (replicated here because the
+//!   in-tree scalar model now caches the derivation too);
+//! - `scalar`: today's `EnergyRoofline::avg_power_at`, plan-backed;
+//! - `batch` / `batch_par`: the SoA kernels, single-threaded and chunked.
+//!
+//! All sweeps run over the same 10⁶-point log-spaced intensity grid. The
+//! GEMM section records the blocked-SGEMM throughput before/after the
+//! zero-skip branch removal (the branchy variant is replicated inline).
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use archline_core::{EnergyRoofline, MachineParams};
+use archline_fit::{try_fit_platform, FitOptions};
+use archline_machine::{spec_for, Engine};
+use archline_microbench::{gemm_bench_with, run_suite, GemmWorkspace, SweepConfig};
+use archline_platforms::{platform, PlatformId, Precision};
+
+const SWEEP_POINTS: usize = 1_000_000;
+
+fn grid(n: usize) -> Vec<f64> {
+    let (lo, hi) = (0.01f64, 1e4f64);
+    let step = (hi / lo).ln() / (n - 1) as f64;
+    (0..n).map(|k| lo * (step * k as f64).exp()).collect()
+}
+
+/// Replica of the pre-plan `avg_power_at`: balance points and pipeline
+/// powers re-derived per call, as the seed's scalar model did. Never
+/// inlined — the seed's consumers (the `dyn Fn` sweeps in fig1, the
+/// per-candidate fit objectives) paid the full derivation on every call,
+/// so the baseline must not let LICM amortize it across the loop.
+#[inline(never)]
+fn avg_power_underived(p: &MachineParams, intensity: f64) -> f64 {
+    let b = p.balances();
+    let pi_f = p.flop_power();
+    let pi_m = p.mem_power();
+    let b_tau = b.time;
+    p.const_power
+        + if intensity >= b.upper {
+            pi_f + if intensity.is_infinite() { 0.0 } else { pi_m * b_tau / intensity }
+        } else if intensity <= b.lower {
+            pi_m + pi_f * intensity / b_tau
+        } else {
+            p.cap.watts()
+        }
+}
+
+/// Best-of-`reps` wall time of `f`, seconds.
+fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn mpts(n: usize, secs: f64) -> f64 {
+    n as f64 / secs / 1e6
+}
+
+fn main() {
+    let model = EnergyRoofline::new(
+        platform(PlatformId::GtxTitan).machine_params(Precision::Single).expect("single"),
+    );
+    let params = *model.params();
+    let plan = *model.plan();
+    let xs = grid(SWEEP_POINTS);
+    let mut out = vec![0.0; SWEEP_POINTS];
+    let reps = 5;
+
+    eprintln!("bench_report: 10^6-point avg-power sweep ({reps} reps each)...");
+    let t_underived = best_secs(reps, || {
+        for (o, &x) in out.iter_mut().zip(&xs) {
+            *o = avg_power_underived(black_box(&params), black_box(x));
+        }
+        black_box(&out);
+    });
+    let t_scalar = best_secs(reps, || {
+        for (o, &x) in out.iter_mut().zip(&xs) {
+            *o = model.avg_power_at(black_box(x));
+        }
+        black_box(&out);
+    });
+    let t_batch = best_secs(reps, || {
+        plan.avg_power_batch_serial(black_box(&xs), &mut out);
+        black_box(&out);
+    });
+    let t_batch_par = best_secs(reps, || {
+        plan.avg_power_batch(black_box(&xs), &mut out);
+        black_box(&out);
+    });
+
+    eprintln!("bench_report: end-to-end fit_platform...");
+    let spec = spec_for(&platform(PlatformId::ArndaleGpu), Precision::Single);
+    let cfg = SweepConfig {
+        points: 17,
+        target_secs: 0.04,
+        level_runs: 1,
+        random_runs: 1,
+        ..Default::default()
+    };
+    let suite = run_suite(&spec, &cfg, &Engine::default()).dram;
+    let t_fit = best_secs(3, || {
+        black_box(try_fit_platform(black_box(&suite), &FitOptions::default()).expect("fit"));
+    });
+
+    eprintln!("bench_report: blocked SGEMM (branchless vs branchy replica)...");
+    let n_gemm = 256;
+    let mut ws = GemmWorkspace::new(n_gemm);
+    let branchless = gemm_bench_with(&mut ws, 64, 0.2);
+    let branchy_secs = {
+        let a: Vec<f32> = (0..n_gemm * n_gemm).map(|i| ((i % 101) as f32) * 0.01).collect();
+        let b: Vec<f32> = (0..n_gemm * n_gemm).map(|i| ((i % 97) as f32) * 0.01).collect();
+        let mut c = vec![0.0f32; n_gemm * n_gemm];
+        // Warmup + best-of until 0.2 s, mirroring `time_kernel`.
+        branchy_sgemm(&mut c, &a, &b, n_gemm, 64);
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        while total < 0.2 {
+            c.fill(0.0);
+            let start = Instant::now();
+            branchy_sgemm(&mut c, &a, &b, n_gemm, 64);
+            let dt = start.elapsed().as_secs_f64();
+            black_box(&c);
+            best = best.min(dt);
+            total += dt;
+        }
+        best
+    };
+    let gflops = |secs: f64| 2.0 * (n_gemm as f64).powi(3) / secs / 1e9;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"sweep_points\": {SWEEP_POINTS},");
+    let _ = writeln!(json, "  \"avg_power_sweep\": {{");
+    let _ = writeln!(
+        json,
+        "    \"scalar_underived_mpts_per_sec\": {:.3},",
+        mpts(SWEEP_POINTS, t_underived)
+    );
+    let _ = writeln!(json, "    \"scalar_mpts_per_sec\": {:.3},", mpts(SWEEP_POINTS, t_scalar));
+    let _ = writeln!(json, "    \"batch_mpts_per_sec\": {:.3},", mpts(SWEEP_POINTS, t_batch));
+    let _ = writeln!(
+        json,
+        "    \"batch_par_mpts_per_sec\": {:.3},",
+        mpts(SWEEP_POINTS, t_batch_par)
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_batch_vs_scalar_underived\": {:.3},",
+        t_underived / t_batch
+    );
+    let _ = writeln!(json, "    \"speedup_batch_vs_scalar\": {:.3},", t_scalar / t_batch);
+    let _ = writeln!(json, "    \"speedup_batch_par_vs_batch\": {:.3}", t_batch / t_batch_par);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"fit_platform_ms\": {:.3},", t_fit * 1e3);
+    let _ = writeln!(json, "  \"gemm_n{n_gemm}_block64\": {{");
+    let _ = writeln!(json, "    \"branchy_gflops\": {:.3},", gflops(branchy_secs));
+    let _ = writeln!(json, "    \"branchless_gflops\": {:.3}", branchless.gflops());
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_model.json", &json).expect("write BENCH_model.json");
+    eprintln!("wrote BENCH_model.json");
+    print!("{json}");
+}
+
+/// The seed's blocked SGEMM, zero-skip branch included — kept only so the
+/// report can quantify what removing it bought.
+fn branchy_sgemm(c: &mut [f32], a: &[f32], b: &[f32], n: usize, block: usize) {
+    archline_par::parallel_chunks_mut(c, block * n, |panel_idx, c_panel| {
+        let i0 = panel_idx * block;
+        let rows = c_panel.len() / n;
+        for k0 in (0..n).step_by(block) {
+            let k_hi = (k0 + block).min(n);
+            for j0 in (0..n).step_by(block) {
+                let j_hi = (j0 + block).min(n);
+                for di in 0..rows {
+                    let i = i0 + di;
+                    let c_row = &mut c_panel[di * n..(di + 1) * n];
+                    for k in k0..k_hi {
+                        let aik = a[i * n + k];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[k * n + j0..k * n + j_hi];
+                        for (cj, &bkj) in c_row[j0..j_hi].iter_mut().zip(b_row) {
+                            *cj = bkj.mul_add(aik, *cj);
+                        }
+                    }
+                }
+            }
+        }
+    });
+}

@@ -46,6 +46,20 @@ impl Metric {
             Metric::Power => model.avg_power_at(intensity),
         }
     }
+
+    /// Evaluates the metric at every intensity through the model's
+    /// precompiled plan (bit-identical to per-point [`Metric::eval`]).
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    pub fn eval_batch(&self, model: &EnergyRoofline, intensities: &[f64], out: &mut [f64]) {
+        let plan = model.plan();
+        match self {
+            Metric::Performance => plan.perf_batch(intensities, out),
+            Metric::EnergyEfficiency => plan.energy_eff_batch(intensities, out),
+            Metric::Power => plan.avg_power_batch(intensities, out),
+        }
+    }
 }
 
 /// A crossover: intensity at which machine `a` and machine `b` tie on a
@@ -74,12 +88,18 @@ pub fn crossovers(
     grid: usize,
 ) -> Vec<Crossover> {
     let xs = sample_intensities(lo, hi, grid.max(8));
+    // The dense grid scan goes through the batch kernels; bisection refines
+    // with scalar evaluations (same plan, bit-identical values).
+    let mut va = vec![0.0; xs.len()];
+    let mut vb = vec![0.0; xs.len()];
+    metric.eval_batch(a, &xs, &mut va);
+    metric.eval_batch(b, &xs, &mut vb);
     let diff = |i: f64| metric.eval(a, i) - metric.eval(b, i);
     let mut out = Vec::new();
     let mut prev_x = xs[0];
-    let mut prev_d = diff(prev_x);
-    for &x in &xs[1..] {
-        let d = diff(x);
+    let mut prev_d = va[0] - vb[0];
+    for (k, &x) in xs.iter().enumerate().skip(1) {
+        let d = va[k] - vb[k];
         if prev_d == 0.0 {
             // Tie exactly on a grid point: count it once. We cannot see which
             // side `a` led on before the tie, so infer from the sign after:

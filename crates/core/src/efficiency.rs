@@ -23,14 +23,12 @@ impl EnergyRoofline {
     /// Performance at intensity `I` in flop/s (paper eq. 4 inverted):
     /// `W/T = [τ_flop · max(1, B_τ/I, (π_flop/Δπ)(1 + B_ε/I))]⁻¹`.
     pub fn perf_at(&self, intensity: f64) -> f64 {
-        let w = Workload::from_intensity(1.0, intensity);
-        1.0 / self.time(&w)
+        self.plan().perf_at(intensity)
     }
 
     /// Energy-efficiency at intensity `I` in flop/J: `W/E(W, W/I)`.
     pub fn energy_eff_at(&self, intensity: f64) -> f64 {
-        let w = Workload::from_intensity(1.0, intensity);
-        1.0 / self.energy(&w)
+        self.plan().energy_eff_at(intensity)
     }
 
     /// Total energy per flop at intensity `I` (J/flop), including the
@@ -96,15 +94,26 @@ impl EnergyRoofline {
         self.energy(&w) * self.time(&w)
     }
 
-    /// Samples performance/energy-efficiency/power at the given intensities.
+    /// Samples performance/energy-efficiency/power at the given intensities
+    /// through the precompiled plan's SoA batch kernels (bit-identical to
+    /// per-point [`EnergyRoofline::perf_at`] / `energy_eff_at` /
+    /// `avg_power_at` calls).
     pub fn efficiency_curve(&self, intensities: &[f64]) -> Vec<EfficiencyPoint> {
+        let plan = self.plan();
+        let mut perf = vec![0.0; intensities.len()];
+        let mut eff = vec![0.0; intensities.len()];
+        let mut power = vec![0.0; intensities.len()];
+        plan.perf_batch(intensities, &mut perf);
+        plan.energy_eff_batch(intensities, &mut eff);
+        plan.avg_power_batch(intensities, &mut power);
         intensities
             .iter()
-            .map(|&i| EfficiencyPoint {
+            .enumerate()
+            .map(|(k, &i)| EfficiencyPoint {
                 intensity: i,
-                flops_per_sec: self.perf_at(i),
-                flops_per_joule: self.energy_eff_at(i),
-                power: self.avg_power_at(i),
+                flops_per_sec: perf[k],
+                flops_per_joule: eff[k],
+                power: power[k],
             })
             .collect()
     }

@@ -33,6 +33,7 @@
 //! * [`cap`] — the power cap `Δπ` (capped/uncapped).
 //! * [`params`] — [`MachineParams`]: the six constants plus derived balances.
 //! * [`model`] — [`EnergyRoofline`]: time/energy/power predictions (eqs. 1–7).
+//! * [`plan`] — [`RooflinePlan`]: precompiled constants and SoA batch kernels.
 //! * [`power`] — the piecewise average-power curve and its regimes.
 //! * [`efficiency`] — performance and energy-efficiency as functions of `I`.
 //! * [`hierarchy`] — the memory-hierarchy extension (`ε_L1`, `ε_L2`, `ε_rand`).
@@ -79,6 +80,7 @@ pub mod hierarchy;
 pub mod model;
 pub mod params;
 pub mod pareto;
+pub mod plan;
 pub mod power;
 pub mod quantity;
 pub mod scenario;
@@ -94,6 +96,7 @@ pub use hierarchy::{HierParams, HierWorkload, MemoryLevel, RandomAccessParams};
 pub use model::EnergyRoofline;
 pub use params::{Balances, MachineParams, MachineParamsBuilder};
 pub use pareto::{evaluate as evaluate_candidates, pareto_frontier, Candidate};
+pub use plan::RooflinePlan;
 pub use power::Regime;
 pub use scenario::{
     power_bounding, power_match, power_match_with, Interconnect, PowerBoundingOutcome,

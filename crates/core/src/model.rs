@@ -3,17 +3,44 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::ModelError;
 use crate::params::MachineParams;
+use crate::plan::RooflinePlan;
 use crate::power::Regime;
 use crate::workload::Workload;
 
 /// Time/energy/power predictor for one machine (paper eqs. 1–7).
 ///
-/// Thin, copyable wrapper around [`MachineParams`] that provides the model's
-/// prediction functions. Construct one per (platform, precision) pair.
+/// Copyable wrapper around a [`RooflinePlan`]: the balance interval and `π`
+/// components are derived once at construction and shared by every scalar
+/// query and batch kernel. Construct one per (platform, precision) pair.
+///
+/// Serializes as `{ "params": { ... } }` (the derived constants are
+/// recomputed on deserialization, which also re-validates the parameters).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "PersistedModel", into = "PersistedModel")]
 pub struct EnergyRoofline {
+    plan: RooflinePlan,
+}
+
+/// The on-disk shape of [`EnergyRoofline`]: just the fundamental constants.
+#[derive(Serialize, Deserialize)]
+struct PersistedModel {
     params: MachineParams,
+}
+
+impl TryFrom<PersistedModel> for EnergyRoofline {
+    type Error = ModelError;
+
+    fn try_from(p: PersistedModel) -> Result<Self, ModelError> {
+        RooflinePlan::try_new(p.params).map(|plan| Self { plan })
+    }
+}
+
+impl From<EnergyRoofline> for PersistedModel {
+    fn from(m: EnergyRoofline) -> Self {
+        PersistedModel { params: *m.params() }
+    }
 }
 
 impl EnergyRoofline {
@@ -23,13 +50,17 @@ impl EnergyRoofline {
     /// Panics if the parameters do not validate; use
     /// [`MachineParams::validate`] first for fallible construction.
     pub fn new(params: MachineParams) -> Self {
-        params.validate().expect("invalid machine parameters");
-        Self { params }
+        Self { plan: RooflinePlan::new(params) }
     }
 
     /// The underlying machine constants.
     pub fn params(&self) -> &MachineParams {
-        &self.params
+        self.plan.params()
+    }
+
+    /// The precompiled evaluation plan (batch kernels live there).
+    pub fn plan(&self) -> &RooflinePlan {
+        &self.plan
     }
 
     /// Best-case execution time `T(W,Q)` in seconds (paper eq. 3):
@@ -43,30 +74,32 @@ impl EnergyRoofline {
     /// the usable power `Δπ`. For [`crate::PowerCap::Uncapped`] machines the
     /// third term vanishes, recovering the prior (IPDPS 2013) model.
     pub fn time(&self, w: &Workload) -> f64 {
-        let p = &self.params;
-        let t_flop = w.flops * p.time_per_flop;
-        let t_mem = w.bytes * p.time_per_byte;
-        let op_energy = self.operation_energy(w);
-        let t_cap = op_energy / p.cap.watts(); // 0 when uncapped
-        t_flop.max(t_mem).max(t_cap)
+        self.plan.time(w.flops, w.bytes)
     }
 
     /// Execution time under the prior, uncapped model: `max(W·τ_flop, Q·τ_mem)`.
     pub fn time_uncapped(&self, w: &Workload) -> f64 {
-        let p = &self.params;
+        let p = self.params();
         (w.flops * p.time_per_flop).max(w.bytes * p.time_per_byte)
     }
 
     /// The marginal operation energy `W·ε_flop + Q·ε_mem` in Joules — the
     /// energy with the constant-power term excluded.
     pub fn operation_energy(&self, w: &Workload) -> f64 {
-        w.flops * self.params.energy_per_flop + w.bytes * self.params.energy_per_byte
+        self.plan.operation_energy(w.flops, w.bytes)
     }
 
     /// Total energy `E(W,Q) = W·ε_flop + Q·ε_mem + π_1·T(W,Q)` in Joules
     /// (paper eq. 1).
     pub fn energy(&self, w: &Workload) -> f64 {
-        self.operation_energy(w) + self.params.const_power * self.time(w)
+        self.plan.energy(w.flops, w.bytes)
+    }
+
+    /// `(T, E)` in one evaluation: the operation energy is computed once and
+    /// shared, bit-identical to calling [`EnergyRoofline::time`] and
+    /// [`EnergyRoofline::energy`] separately.
+    pub fn time_energy(&self, w: &Workload) -> (f64, f64) {
+        self.plan.time_energy(w.flops, w.bytes)
     }
 
     /// Average power `P̄ = E/T` in Watts for a concrete workload.
@@ -74,42 +107,21 @@ impl EnergyRoofline {
     /// Agrees with the closed-form piecewise expression
     /// [`EnergyRoofline::avg_power_at`] (paper eq. 7) whenever `I = W/Q`.
     pub fn avg_power(&self, w: &Workload) -> f64 {
-        self.energy(w) / self.time(w)
+        self.plan.avg_power(w.flops, w.bytes)
     }
 
     /// Average power at operational intensity `I`, closed form (paper eq. 7).
     ///
     /// Accepts `I = 0` (pure streaming: `π_1 + π_mem`, possibly cap-limited)
     /// and `I = ∞` (pure compute: `π_1 + π_flop`, possibly cap-limited).
+    /// The balance interval is precompiled in the plan, not re-derived here.
     pub fn avg_power_at(&self, intensity: f64) -> f64 {
-        let p = &self.params;
-        let b = p.balances();
-        let pi_f = p.flop_power();
-        let pi_m = p.mem_power();
-        let b_tau = b.time;
-        p.const_power
-            + if intensity >= b.upper {
-                // Compute-bound: flops at full rate, memory at B_τ/I of peak.
-                pi_f + if intensity.is_infinite() { 0.0 } else { pi_m * b_tau / intensity }
-            } else if intensity <= b.lower {
-                // Memory-bound: memory at full rate, flops at I/B_τ of peak.
-                pi_m + pi_f * intensity / b_tau
-            } else {
-                // Cap-bound: operations throttled so P̄ = π_1 + Δπ.
-                p.cap.watts()
-            }
+        self.plan.avg_power_at(intensity)
     }
 
     /// Which regime the machine is in at intensity `I`.
     pub fn regime_at(&self, intensity: f64) -> Regime {
-        let b = self.params.balances();
-        if intensity >= b.upper {
-            Regime::ComputeBound
-        } else if intensity <= b.lower {
-            Regime::MemoryBound
-        } else {
-            Regime::CapBound
-        }
+        self.plan.regime_at(intensity)
     }
 }
 

@@ -48,10 +48,9 @@ where
 {
     models
         .into_iter()
-        .map(|(name, m)| Candidate {
-            name: name.to_string(),
-            time: m.time(workload),
-            energy: m.energy(workload),
+        .map(|(name, m)| {
+            let (time, energy) = m.time_energy(workload);
+            Candidate { name: name.to_string(), time, energy }
         })
         .collect()
 }

@@ -1,0 +1,425 @@
+//! Plan-compiled batch evaluation of the roofline model.
+//!
+//! Every hot path in the workspace — fit objectives, fig4/fig5 intensity
+//! sweeps, crossover scans, the simulated-machine fast path — reduces to
+//! evaluating eqs. 1–7 over many `(W, Q)` points against *one* fixed
+//! [`MachineParams`]. The scalar methods re-derive the balance interval and
+//! the `π` components on every call; a [`RooflinePlan`] derives them once and
+//! exposes SoA batch kernels (`time_batch`, `energy_batch`,
+//! `avg_power_batch`, `regime_batch`, …) that write into caller-provided
+//! output buffers and parallelize over chunks via `archline-par` above a
+//! size threshold.
+//!
+//! **Bit-identity contract:** every kernel performs the exact same floating
+//! point operations, in the same order, as the corresponding scalar method
+//! on [`crate::EnergyRoofline`] — no reassociation, no reciprocal-multiply
+//! rewrites. Batch output is `to_bits()`-identical to a per-point scalar
+//! loop (property-tested in `tests/plan_properties.rs`).
+
+use archline_par::parallel_chunks_mut;
+
+use crate::error::ModelError;
+use crate::params::{Balances, MachineParams};
+use crate::power::Regime;
+
+/// Batch sizes at or above this go through `archline-par`; smaller inputs
+/// are evaluated serially (spawn/steal overhead would dominate).
+const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Chunk length handed to each parallel worker.
+const PAR_GRAIN: usize = 1 << 14;
+
+/// A [`MachineParams`] precompiled for repeated evaluation: the derived
+/// balance interval `[B⁻_τ, B_τ, B⁺_τ]`, the power components
+/// `π_flop`/`π_mem`, and the cap in Watts are computed once at construction
+/// instead of once per model query.
+///
+/// Construct with [`RooflinePlan::new`] (panicking) or
+/// [`RooflinePlan::try_new`] (fallible), or borrow one from an
+/// [`crate::EnergyRoofline`] via [`crate::EnergyRoofline::plan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflinePlan {
+    params: MachineParams,
+    balances: Balances,
+    pi_flop: f64,
+    pi_mem: f64,
+    cap_watts: f64,
+}
+
+impl RooflinePlan {
+    /// Precompiles validated machine parameters.
+    ///
+    /// # Panics
+    /// Panics if the parameters do not validate; use
+    /// [`RooflinePlan::try_new`] for fallible construction.
+    pub fn new(params: MachineParams) -> Self {
+        Self::try_new(params).expect("invalid machine parameters")
+    }
+
+    /// Precompiles machine parameters, rejecting invalid ones.
+    pub fn try_new(params: MachineParams) -> Result<Self, ModelError> {
+        params.validate()?;
+        Ok(Self {
+            params,
+            balances: params.balances(),
+            pi_flop: params.flop_power(),
+            pi_mem: params.mem_power(),
+            cap_watts: params.cap.watts(),
+        })
+    }
+
+    /// The underlying machine constants.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// The precompiled balance interval (paper eqs. 5–6).
+    pub fn balances(&self) -> Balances {
+        self.balances
+    }
+
+    // ------------------------------------------------------------------
+    // Single-point kernels (the building blocks of the batch loops).
+    // ------------------------------------------------------------------
+
+    /// Best-case execution time `T(W,Q)` (paper eq. 3).
+    #[inline]
+    pub fn time(&self, flops: f64, bytes: f64) -> f64 {
+        let t_flop = flops * self.params.time_per_flop;
+        let t_mem = bytes * self.params.time_per_byte;
+        let t_cap = self.operation_energy(flops, bytes) / self.cap_watts; // 0 when uncapped
+        t_flop.max(t_mem).max(t_cap)
+    }
+
+    /// Marginal operation energy `W·ε_flop + Q·ε_mem`.
+    #[inline]
+    pub fn operation_energy(&self, flops: f64, bytes: f64) -> f64 {
+        flops * self.params.energy_per_flop + bytes * self.params.energy_per_byte
+    }
+
+    /// Total energy `E(W,Q)` (paper eq. 1).
+    #[inline]
+    pub fn energy(&self, flops: f64, bytes: f64) -> f64 {
+        self.operation_energy(flops, bytes) + self.params.const_power * self.time(flops, bytes)
+    }
+
+    /// `(T, E)` fused: the operation energy and time are computed once and
+    /// shared, bit-identical to calling [`RooflinePlan::time`] and
+    /// [`RooflinePlan::energy`] separately.
+    #[inline]
+    pub fn time_energy(&self, flops: f64, bytes: f64) -> (f64, f64) {
+        let t_flop = flops * self.params.time_per_flop;
+        let t_mem = bytes * self.params.time_per_byte;
+        let op = self.operation_energy(flops, bytes);
+        let t = t_flop.max(t_mem).max(op / self.cap_watts);
+        (t, op + self.params.const_power * t)
+    }
+
+    /// Average power `P̄ = E/T` for a concrete workload.
+    #[inline]
+    pub fn avg_power(&self, flops: f64, bytes: f64) -> f64 {
+        let (t, e) = self.time_energy(flops, bytes);
+        e / t
+    }
+
+    /// Average power at intensity `I`, closed form (paper eq. 7).
+    #[inline]
+    pub fn avg_power_at(&self, intensity: f64) -> f64 {
+        let b = self.balances;
+        self.params.const_power
+            + if intensity >= b.upper {
+                self.pi_flop
+                    + if intensity.is_infinite() { 0.0 } else { self.pi_mem * b.time / intensity }
+            } else if intensity <= b.lower {
+                self.pi_mem + self.pi_flop * intensity / b.time
+            } else {
+                self.cap_watts
+            }
+    }
+
+    /// Operating regime at intensity `I`.
+    #[inline]
+    pub fn regime_at(&self, intensity: f64) -> Regime {
+        if intensity >= self.balances.upper {
+            Regime::ComputeBound
+        } else if intensity <= self.balances.lower {
+            Regime::MemoryBound
+        } else {
+            Regime::CapBound
+        }
+    }
+
+    /// Performance at intensity `I` in flop/s (`W/T` at unit work).
+    ///
+    /// # Panics
+    /// Panics if `intensity` is not strictly positive and finite (matching
+    /// [`crate::Workload::from_intensity`]).
+    #[inline]
+    pub fn perf_at(&self, intensity: f64) -> f64 {
+        assert!(
+            intensity.is_finite() && intensity > 0.0,
+            "intensity must be positive and finite, got {intensity}"
+        );
+        1.0 / self.time(1.0, 1.0 / intensity)
+    }
+
+    /// Energy-efficiency at intensity `I` in flop/J (`W/E` at unit work).
+    ///
+    /// # Panics
+    /// Panics if `intensity` is not strictly positive and finite.
+    #[inline]
+    pub fn energy_eff_at(&self, intensity: f64) -> f64 {
+        assert!(
+            intensity.is_finite() && intensity > 0.0,
+            "intensity must be positive and finite, got {intensity}"
+        );
+        1.0 / self.energy(1.0, 1.0 / intensity)
+    }
+
+    // ------------------------------------------------------------------
+    // SoA batch kernels.
+    // ------------------------------------------------------------------
+
+    /// `out[k] = T(flops[k], bytes[k])` for every `k`.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    pub fn time_batch(&self, flops: &[f64], bytes: &[f64], out: &mut [f64]) {
+        assert_batch_lens(flops.len(), bytes.len(), out.len());
+        dispatch(out, |k, slot| *slot = self.time(flops[k], bytes[k]));
+    }
+
+    /// Serial variant of [`RooflinePlan::time_batch`] (never parallelizes);
+    /// same results bit-for-bit.
+    pub fn time_batch_serial(&self, flops: &[f64], bytes: &[f64], out: &mut [f64]) {
+        assert_batch_lens(flops.len(), bytes.len(), out.len());
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.time(flops[k], bytes[k]);
+        }
+    }
+
+    /// `out[k] = E(flops[k], bytes[k])` for every `k`.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    pub fn energy_batch(&self, flops: &[f64], bytes: &[f64], out: &mut [f64]) {
+        assert_batch_lens(flops.len(), bytes.len(), out.len());
+        dispatch(out, |k, slot| *slot = self.energy(flops[k], bytes[k]));
+    }
+
+    /// Serial variant of [`RooflinePlan::energy_batch`].
+    pub fn energy_batch_serial(&self, flops: &[f64], bytes: &[f64], out: &mut [f64]) {
+        assert_batch_lens(flops.len(), bytes.len(), out.len());
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.energy(flops[k], bytes[k]);
+        }
+    }
+
+    /// Fused `(T, E)` over a measurement set: `t_out[k], e_out[k] =
+    /// time_energy(flops[k], bytes[k])`. Serial — intended for
+    /// measurement-set-sized batches (fit objectives, Pareto scans) where
+    /// the fusion, not parallelism, is the win.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    pub fn time_energy_batch(
+        &self,
+        flops: &[f64],
+        bytes: &[f64],
+        t_out: &mut [f64],
+        e_out: &mut [f64],
+    ) {
+        assert_batch_lens(flops.len(), bytes.len(), t_out.len());
+        assert_batch_lens(flops.len(), bytes.len(), e_out.len());
+        for (k, (t, e)) in t_out.iter_mut().zip(e_out.iter_mut()).enumerate() {
+            (*t, *e) = self.time_energy(flops[k], bytes[k]);
+        }
+    }
+
+    /// `out[k] = P̄(intensities[k])` (closed form, paper eq. 7).
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    pub fn avg_power_batch(&self, intensities: &[f64], out: &mut [f64]) {
+        assert_eq!(intensities.len(), out.len(), "batch slice lengths must match");
+        dispatch(out, |k, slot| *slot = self.avg_power_at(intensities[k]));
+    }
+
+    /// Serial variant of [`RooflinePlan::avg_power_batch`].
+    pub fn avg_power_batch_serial(&self, intensities: &[f64], out: &mut [f64]) {
+        assert_eq!(intensities.len(), out.len(), "batch slice lengths must match");
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.avg_power_at(intensities[k]);
+        }
+    }
+
+    /// `out[k] = regime(intensities[k])`.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    pub fn regime_batch(&self, intensities: &[f64], out: &mut [Regime]) {
+        assert_eq!(intensities.len(), out.len(), "batch slice lengths must match");
+        dispatch(out, |k, slot| *slot = self.regime_at(intensities[k]));
+    }
+
+    /// `out[k] = perf(intensities[k])` in flop/s.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ, or any intensity is not strictly
+    /// positive and finite.
+    pub fn perf_batch(&self, intensities: &[f64], out: &mut [f64]) {
+        assert_eq!(intensities.len(), out.len(), "batch slice lengths must match");
+        dispatch(out, |k, slot| *slot = self.perf_at(intensities[k]));
+    }
+
+    /// `out[k] = energy_eff(intensities[k])` in flop/J.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ, or any intensity is not strictly
+    /// positive and finite.
+    pub fn energy_eff_batch(&self, intensities: &[f64], out: &mut [f64]) {
+        assert_eq!(intensities.len(), out.len(), "batch slice lengths must match");
+        dispatch(out, |k, slot| *slot = self.energy_eff_at(intensities[k]));
+    }
+}
+
+fn assert_batch_lens(flops: usize, bytes: usize, out: usize) {
+    assert!(flops == bytes && bytes == out, "batch slice lengths must match");
+}
+
+/// Runs `fill(global_index, output_slot)` over every slot of `out`,
+/// chunk-parallel above [`PAR_THRESHOLD`]. Each slot is written exactly once
+/// by exactly one worker, so the parallel path is bit-identical to the
+/// serial one by construction.
+fn dispatch<T, F>(out: &mut [T], fill: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if out.len() >= PAR_THRESHOLD {
+        parallel_chunks_mut(out, PAR_GRAIN, |chunk_idx, chunk| {
+            let base = chunk_idx * PAR_GRAIN;
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                fill(base + k, slot);
+            }
+        });
+    } else {
+        for (k, slot) in out.iter_mut().enumerate() {
+            fill(k, slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EnergyRoofline;
+    use crate::workload::Workload;
+
+    fn titan_params() -> MachineParams {
+        MachineParams::builder()
+            .flops_per_sec(4.02e12)
+            .bytes_per_sec(239e9)
+            .energy_per_flop(30.4e-12)
+            .energy_per_byte(267e-12)
+            .const_power(123.0)
+            .usable_power(164.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_matches_scalar_model_bitwise() {
+        let params = titan_params();
+        let plan = RooflinePlan::new(params);
+        let model = EnergyRoofline::new(params);
+        for k in -8..=24 {
+            let i = 2f64.powi(k);
+            let w = Workload::from_intensity(1e11, i);
+            assert_eq!(plan.time(w.flops, w.bytes).to_bits(), model.time(&w).to_bits());
+            assert_eq!(plan.energy(w.flops, w.bytes).to_bits(), model.energy(&w).to_bits());
+            assert_eq!(plan.avg_power_at(i).to_bits(), model.avg_power_at(i).to_bits());
+            assert_eq!(plan.regime_at(i), model.regime_at(i));
+        }
+    }
+
+    #[test]
+    fn fused_time_energy_matches_separate_calls() {
+        let plan = RooflinePlan::new(titan_params());
+        for k in -8..=24 {
+            let i = 2f64.powi(k);
+            let w = Workload::from_intensity(1e11, i);
+            let (t, e) = plan.time_energy(w.flops, w.bytes);
+            assert_eq!(t.to_bits(), plan.time(w.flops, w.bytes).to_bits());
+            assert_eq!(e.to_bits(), plan.energy(w.flops, w.bytes).to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_kernels_match_point_kernels() {
+        let plan = RooflinePlan::new(titan_params());
+        let n = 257; // deliberately not a power of two
+        let intensities: Vec<f64> = (0..n).map(|k| 2f64.powf(k as f64 / 16.0 - 4.0)).collect();
+        let flops: Vec<f64> = intensities.iter().map(|_| 1e11).collect();
+        let bytes: Vec<f64> = intensities.iter().map(|&i| 1e11 / i).collect();
+
+        let mut t = vec![0.0; n];
+        let mut e = vec![0.0; n];
+        let mut p = vec![0.0; n];
+        plan.time_batch(&flops, &bytes, &mut t);
+        plan.energy_batch(&flops, &bytes, &mut e);
+        plan.avg_power_batch(&intensities, &mut p);
+        let mut r = vec![Regime::MemoryBound; n];
+        plan.regime_batch(&intensities, &mut r);
+        for k in 0..n {
+            assert_eq!(t[k].to_bits(), plan.time(flops[k], bytes[k]).to_bits());
+            assert_eq!(e[k].to_bits(), plan.energy(flops[k], bytes[k]).to_bits());
+            assert_eq!(p[k].to_bits(), plan.avg_power_at(intensities[k]).to_bits());
+            assert_eq!(r[k], plan.regime_at(intensities[k]));
+        }
+    }
+
+    #[test]
+    fn parallel_dispatch_is_bit_identical_to_serial() {
+        let plan = RooflinePlan::new(titan_params());
+        let n = PAR_THRESHOLD + 123; // forces the parallel path
+        let intensities: Vec<f64> =
+            (0..n).map(|k| 2f64.powf((k % 977) as f64 / 61.0 - 4.0)).collect();
+        let mut par = vec![0.0; n];
+        let mut ser = vec![0.0; n];
+        plan.avg_power_batch(&intensities, &mut par);
+        plan.avg_power_batch_serial(&intensities, &mut ser);
+        for k in 0..n {
+            assert_eq!(par[k].to_bits(), ser[k].to_bits(), "mismatch at {k}");
+        }
+    }
+
+    #[test]
+    fn adversarial_intensities_handled() {
+        let plan = RooflinePlan::new(titan_params());
+        let b = plan.balances();
+        let is = [0.0, b.lower, b.time, b.upper, f64::INFINITY];
+        let mut p = vec![0.0; is.len()];
+        plan.avg_power_batch(&is, &mut p);
+        let model = EnergyRoofline::new(*plan.params());
+        for (k, &i) in is.iter().enumerate() {
+            assert_eq!(p[k].to_bits(), model.avg_power_at(i).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch slice lengths must match")]
+    fn mismatched_lengths_rejected() {
+        let plan = RooflinePlan::new(titan_params());
+        let mut out = vec![0.0; 3];
+        plan.time_batch(&[1.0, 2.0], &[1.0, 2.0], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid machine parameters")]
+    fn new_rejects_invalid_params() {
+        let mut p = titan_params();
+        p.time_per_flop = -1.0;
+        let _ = RooflinePlan::new(p);
+    }
+}

@@ -53,16 +53,23 @@ pub struct PowerPoint {
 /// Samples the closed-form power curve `P̄(I)` at `n` log-spaced intensities
 /// in `[lo, hi]` (inclusive), as the paper's figures do (log-2 x-axes).
 ///
+/// Evaluated through the model's precompiled plan with the SoA batch
+/// kernels ([`crate::RooflinePlan::avg_power_batch`] /
+/// [`crate::RooflinePlan::regime_batch`]), bit-identical to per-point
+/// scalar calls.
+///
 /// # Panics
 /// Panics if `lo`/`hi` are not positive finite with `lo < hi`, or `n < 2`.
 pub fn power_curve(model: &EnergyRoofline, lo: f64, hi: f64, n: usize) -> Vec<PowerPoint> {
-    sample_intensities(lo, hi, n)
-        .into_iter()
-        .map(|i| PowerPoint {
-            intensity: i,
-            power: model.avg_power_at(i),
-            regime: model.regime_at(i),
-        })
+    let xs = sample_intensities(lo, hi, n);
+    let plan = model.plan();
+    let mut power = vec![0.0; xs.len()];
+    let mut regime = vec![Regime::MemoryBound; xs.len()];
+    plan.avg_power_batch(&xs, &mut power);
+    plan.regime_batch(&xs, &mut regime);
+    xs.iter()
+        .zip(power.iter().zip(regime.iter()))
+        .map(|(&intensity, (&power, &regime))| PowerPoint { intensity, power, regime })
         .collect()
 }
 

@@ -1,0 +1,175 @@
+//! Property sweep: the plan-compiled batch kernels are bit-identical to the
+//! per-point scalar model — and both to an inline replica of the paper's
+//! formulas — across randomized capped/uncapped machines and adversarial
+//! intensities (0, ∞, the exact balance points).
+//!
+//! Deterministic hand-rolled generators (an LCG) instead of `proptest` so
+//! the sweep runs identically everywhere and failures print a plain seed.
+
+use archline_core::{EnergyRoofline, MachineParams, PowerCap, Regime, RooflinePlan, Workload};
+
+/// Minimal xorshift-multiply LCG; uniform in [0, 1).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64 step: good enough mixing for parameter sampling.
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Log-uniform in [lo, hi].
+    fn log_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo * (hi / lo).powf(self.unit())
+    }
+}
+
+/// A random plausible machine; capped with probability ~1/2. Retries until
+/// validation passes (the ranges below essentially always do).
+fn random_params(rng: &mut Lcg) -> MachineParams {
+    loop {
+        let flops_per_sec = rng.log_range(1e9, 1e13);
+        let bytes_per_sec = rng.log_range(1e8, 1e12);
+        let energy_per_flop = rng.log_range(1e-12, 1e-9);
+        let energy_per_byte = rng.log_range(1e-12, 1e-9);
+        let const_power = rng.log_range(0.1, 300.0);
+        let capped = rng.unit() < 0.5;
+        let pi_f = flops_per_sec * energy_per_flop;
+        let pi_m = bytes_per_sec * energy_per_byte;
+        let cap = if capped {
+            // Between the single-pipeline powers and their sum, so all
+            // three regimes exist for some machines.
+            PowerCap::Capped(pi_f.max(pi_m) * (0.5 + rng.unit()))
+        } else {
+            PowerCap::Uncapped
+        };
+        let p = MachineParams {
+            time_per_flop: 1.0 / flops_per_sec,
+            time_per_byte: 1.0 / bytes_per_sec,
+            energy_per_flop,
+            energy_per_byte,
+            const_power,
+            cap,
+        };
+        if p.validate().is_ok() {
+            return p;
+        }
+    }
+}
+
+/// Paper-formula replica of the scalar path (the bit-identity reference).
+fn replica_time_energy(p: &MachineParams, flops: f64, bytes: f64) -> (f64, f64) {
+    let t_flop = flops * p.time_per_flop;
+    let t_mem = bytes * p.time_per_byte;
+    let op = flops * p.energy_per_flop + bytes * p.energy_per_byte;
+    let t = t_flop.max(t_mem).max(op / p.cap.watts());
+    (t, op + p.const_power * t)
+}
+
+#[test]
+fn batch_kernels_bit_identical_to_scalar_across_random_machines() {
+    let mut rng = Lcg(0xA5A5_0001);
+    for trial in 0..200 {
+        let params = random_params(&mut rng);
+        let model = EnergyRoofline::new(params);
+        let plan = RooflinePlan::new(params);
+        let n = 64;
+        let flops: Vec<f64> = (0..n).map(|_| rng.log_range(1e6, 1e12)).collect();
+        let bytes: Vec<f64> = (0..n).map(|_| rng.log_range(1e6, 1e12)).collect();
+        let mut t_out = vec![0.0; n];
+        let mut e_out = vec![0.0; n];
+        plan.time_batch(&flops, &bytes, &mut t_out);
+        plan.energy_batch(&flops, &bytes, &mut e_out);
+        for k in 0..n {
+            let w = Workload::new(flops[k], bytes[k]);
+            let (rt, re) = replica_time_energy(&params, flops[k], bytes[k]);
+            assert_eq!(t_out[k].to_bits(), model.time(&w).to_bits(), "trial {trial} time");
+            assert_eq!(t_out[k].to_bits(), rt.to_bits(), "trial {trial} time vs replica");
+            assert_eq!(e_out[k].to_bits(), model.energy(&w).to_bits(), "trial {trial} energy");
+            assert_eq!(e_out[k].to_bits(), re.to_bits(), "trial {trial} energy vs replica");
+        }
+        // Fused kernel agrees with the separate ones.
+        let mut t2 = vec![0.0; n];
+        let mut e2 = vec![0.0; n];
+        plan.time_energy_batch(&flops, &bytes, &mut t2, &mut e2);
+        assert!(t2.iter().zip(&t_out).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(e2.iter().zip(&e_out).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+}
+
+#[test]
+fn intensity_kernels_bit_identical_on_adversarial_points() {
+    let mut rng = Lcg(0xA5A5_0002);
+    for trial in 0..200 {
+        let params = random_params(&mut rng);
+        let model = EnergyRoofline::new(params);
+        let plan = RooflinePlan::new(params);
+        let b = plan.balances();
+        // 0, ∞, the exact balance points, their neighborhoods, and a few
+        // random intensities.
+        let mut xs = vec![0.0, f64::INFINITY, b.time];
+        for v in [b.lower, b.upper] {
+            if v.is_finite() && v > 0.0 {
+                xs.extend([v, v * (1.0 - 1e-15), v * (1.0 + 1e-15)]);
+            }
+        }
+        for _ in 0..8 {
+            xs.push(rng.log_range(1e-4, 1e6));
+        }
+        let mut power = vec![0.0; xs.len()];
+        let mut regime = vec![Regime::MemoryBound; xs.len()];
+        plan.avg_power_batch(&xs, &mut power);
+        plan.regime_batch(&xs, &mut regime);
+        for (k, &x) in xs.iter().enumerate() {
+            assert_eq!(
+                power[k].to_bits(),
+                model.avg_power_at(x).to_bits(),
+                "trial {trial}, I = {x}"
+            );
+            assert!(power[k].is_finite(), "trial {trial}: non-finite power at I = {x}");
+            assert_eq!(regime[k], model.regime_at(x), "trial {trial}, I = {x}");
+        }
+        // perf/energy-eff require positive finite intensity.
+        let pos: Vec<f64> = xs.iter().copied().filter(|x| *x > 0.0 && x.is_finite()).collect();
+        let mut perf = vec![0.0; pos.len()];
+        let mut eff = vec![0.0; pos.len()];
+        plan.perf_batch(&pos, &mut perf);
+        plan.energy_eff_batch(&pos, &mut eff);
+        for (k, &x) in pos.iter().enumerate() {
+            assert_eq!(perf[k].to_bits(), model.perf_at(x).to_bits(), "trial {trial}");
+            assert_eq!(eff[k].to_bits(), model.energy_eff_at(x).to_bits(), "trial {trial}");
+        }
+    }
+}
+
+#[test]
+fn parallel_dispatch_bit_identical_to_serial_above_threshold() {
+    let mut rng = Lcg(0xA5A5_0003);
+    for _ in 0..2 {
+        let params = random_params(&mut rng);
+        let plan = RooflinePlan::new(params);
+        // Above the parallel threshold (1 << 15), with a ragged tail.
+        let n = (1 << 15) + 4321;
+        let xs: Vec<f64> = (0..n).map(|_| rng.log_range(1e-3, 1e5)).collect();
+        let mut par = vec![0.0; n];
+        let mut ser = vec![0.0; n];
+        plan.avg_power_batch(&xs, &mut par);
+        plan.avg_power_batch_serial(&xs, &mut ser);
+        assert!(par.iter().zip(&ser).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        let flops: Vec<f64> = (0..n).map(|_| rng.log_range(1e6, 1e12)).collect();
+        let bytes: Vec<f64> = (0..n).map(|_| rng.log_range(1e6, 1e12)).collect();
+        let mut t_par = vec![0.0; n];
+        let mut t_ser = vec![0.0; n];
+        plan.time_batch(&flops, &bytes, &mut t_par);
+        plan.time_batch_serial(&flops, &bytes, &mut t_ser);
+        assert!(t_par.iter().zip(&t_ser).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+}

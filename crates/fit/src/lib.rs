@@ -39,7 +39,8 @@ pub use measurement::{MeasurementSet, Run};
 pub use nelder_mead::{nelder_mead, NmOptions, NmResult};
 pub use ols::{ols, ols_nonneg};
 pub use pipeline::{
-    fit_level_cost, fit_platform, fit_random_cost, try_fit_platform, FitDiagnostics, FitReport,
+    fit_level_cost, fit_platform, fit_random_cost, refinement_loss, try_fit_platform,
+    FitDiagnostics, FitReport,
 };
 pub use residuals::{relative_errors, ErrorKind};
 pub use robust::{iqr, mad, mad_outliers, median, FitError, FitOptions, Loss};

@@ -23,12 +23,12 @@
 
 use serde::{Deserialize, Serialize};
 
-use archline_core::{EnergyRoofline, MachineParams, PowerCap, Workload};
+use archline_core::{EnergyRoofline, MachineParams, PowerCap, RooflinePlan};
 
 use crate::measurement::{MeasurementSet, Run};
 use crate::nelder_mead::{nelder_mead, NmOptions};
 use crate::ols::ols_nonneg;
-use crate::robust::{mad, median, perturb_seed, restart_rng, FitError, FitOptions};
+use crate::robust::{mad, median, perturb_seed, restart_rng, FitError, FitOptions, Loss};
 
 /// Absolute floor on the robust residual scale (log-space) used by outlier
 /// rejection: residual spreads under a part per billion are float noise,
@@ -248,8 +248,83 @@ fn reject_energy_outliers(runs: &mut Vec<Run>, k: f64) -> usize {
     before - runs.len()
 }
 
+/// Structure-of-arrays view of a run set: the refinement objective and the
+/// diagnostics pass evaluate every candidate over the whole set through the
+/// plan-compiled batch kernels, so the per-run fields are transposed into
+/// contiguous columns once instead of being re-walked per evaluation.
+struct RunColumns {
+    flops: Vec<f64>,
+    bytes: Vec<f64>,
+    meas_time: Vec<f64>,
+    meas_power: Vec<f64>,
+}
+
+impl RunColumns {
+    fn new(runs: &[Run]) -> Self {
+        let mut cols = Self {
+            flops: Vec::with_capacity(runs.len()),
+            bytes: Vec::with_capacity(runs.len()),
+            meas_time: Vec::with_capacity(runs.len()),
+            meas_power: Vec::with_capacity(runs.len()),
+        };
+        for r in runs {
+            cols.flops.push(r.flops);
+            cols.bytes.push(r.bytes);
+            cols.meas_time.push(r.time);
+            cols.meas_power.push(r.avg_power());
+        }
+        cols
+    }
+
+    fn len(&self) -> usize {
+        self.flops.len()
+    }
+}
+
+/// Summed robust loss of one candidate over the columns: per run,
+/// `ρ(relative time error) + ρ(relative power error)`, accumulated in run
+/// order — bit-identical to the historical per-run scalar loop because the
+/// fused batch kernel reproduces the scalar model exactly and the addition
+/// order is unchanged.
+fn batch_loss(
+    plan: &RooflinePlan,
+    cols: &RunColumns,
+    loss: Loss,
+    t_buf: &mut [f64],
+    e_buf: &mut [f64],
+) -> f64 {
+    plan.time_energy_batch(&cols.flops, &cols.bytes, t_buf, e_buf);
+    let mut total = 0.0;
+    for k in 0..cols.len() {
+        let t_err = (t_buf[k] - cols.meas_time[k]) / cols.meas_time[k];
+        let p_err = (e_buf[k] / t_buf[k] - cols.meas_power[k]) / cols.meas_power[k];
+        total += loss.rho(t_err) + loss.rho(p_err);
+    }
+    total
+}
+
+/// The stage-4 refinement objective for one parameter candidate: the summed
+/// per-run loss of predicted time and power relative errors, evaluated
+/// through [`RooflinePlan`] batch kernels. Invalid parameters score
+/// `+∞`. Exposed so tests can pin the batch objective's bit-identity
+/// against a per-point scalar evaluation.
+pub fn refinement_loss(params: &MachineParams, runs: &[Run], loss: Loss) -> f64 {
+    let Ok(plan) = RooflinePlan::try_new(*params) else {
+        return f64::INFINITY;
+    };
+    let cols = RunColumns::new(runs);
+    let mut t_buf = vec![0.0; cols.len()];
+    let mut e_buf = vec![0.0; cols.len()];
+    batch_loss(&plan, &cols, loss, &mut t_buf, &mut e_buf)
+}
+
 /// Nelder–Mead refinement in log-parameter space. Returns the refined
 /// parameters and whether the (possibly restarted) simplex converged.
+///
+/// The objective compiles each candidate into a [`RooflinePlan`] once and
+/// evaluates the whole run set through the fused time+energy batch kernel
+/// into buffers owned by the closure, so the thousands of simplex
+/// evaluations do no per-run rederivation and no per-evaluation allocation.
 fn refine(runs: &[Run], seed: &[f64], capped: bool, opts: &FitOptions) -> (MachineParams, bool) {
     let build = |logs: &[f64]| -> MachineParams {
         MachineParams {
@@ -262,24 +337,18 @@ fn refine(runs: &[Run], seed: &[f64], capped: bool, opts: &FitOptions) -> (Machi
         }
     };
     let loss = opts.loss;
-    let objective = |logs: &[f64]| -> f64 {
-        let params = build(logs);
-        if params.validate().is_err() {
-            return f64::INFINITY;
+    let cols = RunColumns::new(runs);
+    let mut t_buf = vec![0.0; cols.len()];
+    let mut e_buf = vec![0.0; cols.len()];
+    let mut objective = |logs: &[f64]| -> f64 {
+        match RooflinePlan::try_new(build(logs)) {
+            Ok(plan) => batch_loss(&plan, &cols, loss, &mut t_buf, &mut e_buf),
+            Err(_) => f64::INFINITY,
         }
-        let model = EnergyRoofline::new(params);
-        runs.iter()
-            .map(|r| {
-                let w = Workload::new(r.flops, r.bytes);
-                let t_err = (model.time(&w) - r.time) / r.time;
-                let p_err = (model.avg_power(&w) - r.avg_power()) / r.avg_power();
-                loss.rho(t_err) + loss.rho(p_err)
-            })
-            .sum()
     };
     let nm_opts = NmOptions { max_evals: 12_000, ..Default::default() };
     let x0: Vec<f64> = seed.iter().map(|v| v.ln()).collect();
-    let mut result = nelder_mead(objective, &x0, nm_opts);
+    let mut result = nelder_mead(&mut objective, &x0, nm_opts);
     // A stalled simplex gets bounded retries from perturbed seeds; keep the
     // best objective seen so a failed retry can never lose ground.
     let mut rng = restart_rng(opts.restart_seed);
@@ -288,7 +357,7 @@ fn refine(runs: &[Run], seed: &[f64], capped: bool, opts: &FitOptions) -> (Machi
             break;
         }
         let xp = perturb_seed(&x0, 0.05, &mut rng);
-        let retry = nelder_mead(objective, &xp, nm_opts);
+        let retry = nelder_mead(&mut objective, &xp, nm_opts);
         if retry.fx < result.fx || (retry.converged && !result.converged && retry.fx <= result.fx)
         {
             result = retry;
@@ -305,13 +374,16 @@ fn diagnostics(
     degraded: bool,
 ) -> FitDiagnostics {
     let model = EnergyRoofline::new(*params);
+    let cols = RunColumns::new(runs);
+    let mut t_buf = vec![0.0; cols.len()];
+    let mut e_buf = vec![0.0; cols.len()];
+    model.plan().time_energy_batch(&cols.flops, &cols.bytes, &mut t_buf, &mut e_buf);
     let mut p_sq = 0.0;
     let mut t_sq = 0.0;
     let mut p_max: f64 = 0.0;
-    for r in runs {
-        let w = Workload::new(r.flops, r.bytes);
-        let pe = (model.avg_power(&w) - r.avg_power()) / r.avg_power();
-        let te = (model.time(&w) - r.time) / r.time;
+    for k in 0..cols.len() {
+        let pe = (e_buf[k] / t_buf[k] - cols.meas_power[k]) / cols.meas_power[k];
+        let te = (t_buf[k] - cols.meas_time[k]) / cols.meas_time[k];
         p_sq += pe * pe;
         t_sq += te * te;
         p_max = p_max.max(pe.abs());
@@ -362,6 +434,7 @@ pub fn fit_random_cost(runs: &[Run], pi1: f64) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use archline_core::Workload;
 
     /// Synthesizes noiseless measurements from known ground truth.
     fn synthetic_set(truth: &MachineParams, intensities: &[f64]) -> MeasurementSet {

@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use archline_core::{EnergyRoofline, MachineParams, Workload};
+use archline_core::{MachineParams, RooflinePlan};
 
 use crate::measurement::Run;
 
@@ -23,15 +23,20 @@ pub enum ErrorKind {
 /// Runs that do no DRAM work and no flops (e.g. pointer-chase runs) are
 /// skipped — the two-level model does not describe them.
 pub fn relative_errors(params: &MachineParams, runs: &[Run], kind: ErrorKind) -> Vec<f64> {
-    let model = EnergyRoofline::new(*params);
-    runs.iter()
-        .filter(|r| r.flops > 0.0 || r.bytes > 0.0)
-        .map(|r| {
-            let w = Workload::new(r.flops, r.bytes);
+    let plan = RooflinePlan::new(*params);
+    let kept: Vec<&Run> = runs.iter().filter(|r| r.flops > 0.0 || r.bytes > 0.0).collect();
+    let flops: Vec<f64> = kept.iter().map(|r| r.flops).collect();
+    let bytes: Vec<f64> = kept.iter().map(|r| r.bytes).collect();
+    let mut t_buf = vec![0.0; kept.len()];
+    let mut e_buf = vec![0.0; kept.len()];
+    plan.time_energy_batch(&flops, &bytes, &mut t_buf, &mut e_buf);
+    kept.iter()
+        .enumerate()
+        .map(|(k, r)| {
             let (predicted, measured) = match kind {
-                ErrorKind::Power => (model.avg_power(&w), r.avg_power()),
-                ErrorKind::Time => (model.time(&w), r.time),
-                ErrorKind::Energy => (model.energy(&w), r.energy),
+                ErrorKind::Power => (e_buf[k] / t_buf[k], r.avg_power()),
+                ErrorKind::Time => (t_buf[k], r.time),
+                ErrorKind::Energy => (e_buf[k], r.energy),
             };
             (predicted - measured) / measured
         })
@@ -41,7 +46,7 @@ pub fn relative_errors(params: &MachineParams, runs: &[Run], kind: ErrorKind) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use archline_core::PowerCap;
+    use archline_core::{EnergyRoofline, PowerCap, Workload};
 
     fn params() -> MachineParams {
         MachineParams::builder()

@@ -1,0 +1,127 @@
+//! The batch refinement objective is bit-identical to the historical
+//! per-run scalar loop, and the whole fit pipeline stays deterministic and
+//! bit-stable through it (the default-path bit-identity contract).
+
+use archline_core::{EnergyRoofline, MachineParams, PowerCap, Workload};
+use archline_fit::{refinement_loss, try_fit_platform, FitOptions, Loss, MeasurementSet, Run};
+
+/// splitmix64-style deterministic generator, uniform in [0, 1).
+struct Lcg(u64);
+
+impl Lcg {
+    fn unit(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn log_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo * (hi / lo).powf(self.unit())
+    }
+}
+
+fn truth() -> MachineParams {
+    MachineParams::builder()
+        .flops_per_sec(100e9)
+        .bytes_per_sec(20e9)
+        .energy_per_flop(50e-12)
+        .energy_per_byte(400e-12)
+        .const_power(10.0)
+        .cap(PowerCap::Capped(9.0))
+        .build()
+        .unwrap()
+}
+
+/// Noiseless synthetic runs from the ground-truth machine, lightly
+/// perturbed so the objective is non-trivial.
+fn runs(n: usize, rng: &mut Lcg) -> Vec<Run> {
+    let model = EnergyRoofline::new(truth());
+    (0..n)
+        .map(|_| {
+            let i = rng.log_range(0.125, 512.0);
+            let w = Workload::from_intensity(1e10, i);
+            let jitter_t = 1.0 + 0.02 * (rng.unit() - 0.5);
+            let jitter_e = 1.0 + 0.02 * (rng.unit() - 0.5);
+            Run {
+                flops: w.flops,
+                bytes: w.bytes,
+                accesses: 0.0,
+                time: model.time(&w) * jitter_t,
+                energy: model.energy(&w) * jitter_e,
+            }
+        })
+        .collect()
+}
+
+/// The historical stage-4 objective: per run, through the scalar
+/// `EnergyRoofline`, summed with `Iterator::sum` exactly as the seed did.
+fn scalar_loss(params: &MachineParams, runs: &[Run], loss: Loss) -> f64 {
+    if params.validate().is_err() {
+        return f64::INFINITY;
+    }
+    let model = EnergyRoofline::new(*params);
+    runs.iter()
+        .map(|r| {
+            let w = Workload::new(r.flops, r.bytes);
+            let t_err = (model.time(&w) - r.time) / r.time;
+            let p_err = (model.avg_power(&w) - r.avg_power()) / r.avg_power();
+            loss.rho(t_err) + loss.rho(p_err)
+        })
+        .sum()
+}
+
+#[test]
+fn refinement_loss_bit_identical_to_scalar_objective() {
+    let mut rng = Lcg(0xF17_0001);
+    let runs = runs(40, &mut rng);
+    let base = truth();
+    for trial in 0..300 {
+        // Candidates scattered around the truth, as the simplex would
+        // produce — including some far-off and some uncapped.
+        let scale = |rng: &mut Lcg| 0.25 + 3.0 * rng.unit();
+        let params = MachineParams {
+            time_per_flop: base.time_per_flop * scale(&mut rng),
+            time_per_byte: base.time_per_byte * scale(&mut rng),
+            energy_per_flop: base.energy_per_flop * scale(&mut rng),
+            energy_per_byte: base.energy_per_byte * scale(&mut rng),
+            const_power: base.const_power * scale(&mut rng),
+            cap: if rng.unit() < 0.5 {
+                PowerCap::Capped(9.0 * scale(&mut rng))
+            } else {
+                PowerCap::Uncapped
+            },
+        };
+        for loss in [Loss::Quadratic, Loss::Huber { delta: 1.0 }] {
+            let batch = refinement_loss(&params, &runs, loss);
+            let scalar = scalar_loss(&params, &runs, loss);
+            assert_eq!(batch.to_bits(), scalar.to_bits(), "trial {trial}, {loss:?}");
+        }
+    }
+}
+
+#[test]
+fn invalid_candidates_score_infinity() {
+    let mut rng = Lcg(0xF17_0002);
+    let runs = runs(8, &mut rng);
+    let mut bad = truth();
+    bad.const_power = -1.0;
+    assert_eq!(refinement_loss(&bad, &runs, Loss::Quadratic), f64::INFINITY);
+}
+
+#[test]
+fn fit_through_batch_objective_is_bit_stable() {
+    let mut rng = Lcg(0xF17_0003);
+    let set = MeasurementSet::new(runs(33, &mut rng));
+    let a = try_fit_platform(&set, &FitOptions::default()).expect("fit a");
+    let b = try_fit_platform(&set, &FitOptions::default()).expect("fit b");
+    assert_eq!(a, b, "default fit must be deterministic bit-for-bit");
+    // The refined parameters are a local minimum of the same objective the
+    // scalar path defines: evaluating both on the result must agree.
+    let loss = FitOptions::default().loss;
+    assert_eq!(
+        refinement_loss(&a.capped, set.runs.as_slice(), loss).to_bits(),
+        scalar_loss(&a.capped, set.runs.as_slice(), loss).to_bits()
+    );
+}

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use archline_core::HierWorkload;
 
 use crate::engine::Engine;
-use crate::exec::{measure, RunResult};
+use crate::exec::{MeasurePlan, RunResult};
 use crate::spec::PlatformSpec;
 
 /// Summary of repeated measurements of one workload.
@@ -44,8 +44,9 @@ pub fn measure_repeated(
     base_seed: u64,
 ) -> TrialStats {
     assert!(trials > 0, "need at least one trial");
+    let plan = MeasurePlan::new(spec, *engine);
     let runs: Vec<RunResult> = (0..trials)
-        .map(|k| measure(spec, workload, engine, base_seed.wrapping_add(k as u64)))
+        .map(|k| plan.measure(workload, base_seed.wrapping_add(k as u64)))
         .collect();
     let mut time = archline_stats::Summary::new();
     let mut power = archline_stats::Summary::new();

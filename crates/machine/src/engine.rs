@@ -47,8 +47,14 @@ impl StepProfile {
     /// Instantaneous power at time `t` (clamped to the profile's span).
     pub fn power_at(&self, t: f64) -> f64 {
         if let Some(segments) = &self.segments {
-            let Some(last) = segments.last() else { return 0.0 };
-            return segments.iter().find(|s| t < s.until).unwrap_or(last).watts;
+            if segments.is_empty() {
+                return 0.0;
+            }
+            // Segment end times are strictly increasing, so the first
+            // segment with `t < until` is a binary-search boundary; times
+            // past the span clamp to the last segment.
+            let idx = segments.partition_point(|s| s.until <= t);
+            return segments[idx.min(segments.len() - 1)].watts;
         }
         if self.watts.is_empty() {
             return 0.0;
@@ -140,6 +146,33 @@ struct Resource {
     pi: f64,
 }
 
+/// A platform spec validated once with its run-invariant decisions
+/// precompiled (closed-form eligibility), so repeated executions — trial
+/// campaigns, suite sweeps — skip the per-run validation walk. Building a
+/// plan consumes no RNG; running through it is bit-identical to
+/// [`Engine::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpecPlan<'a> {
+    spec: &'a PlatformSpec,
+    piecewise_constant: bool,
+}
+
+impl<'a> SpecPlan<'a> {
+    /// Validates `spec` and compiles the run-invariant decisions.
+    ///
+    /// # Panics
+    /// Panics if the spec fails validation.
+    pub fn new(spec: &'a PlatformSpec) -> Self {
+        spec.validate().expect("invalid platform spec");
+        Self { spec, piecewise_constant: Engine::is_piecewise_constant(spec) }
+    }
+
+    /// The validated spec this plan compiles.
+    pub fn spec(&self) -> &'a PlatformSpec {
+        self.spec
+    }
+}
+
 impl Engine {
     /// Simulates `workload` on `spec`, returning the wall time and power
     /// profile. Deterministic for a given `rng` state.
@@ -162,11 +195,26 @@ impl Engine {
         workload: &HierWorkload,
         rng: &mut R,
     ) -> Execution {
-        spec.validate().expect("invalid platform spec");
+        self.run_planned(&SpecPlan::new(spec), workload, rng)
+    }
+
+    /// [`Engine::run`] through a prebuilt [`SpecPlan`]: identical output
+    /// and RNG consumption, minus the per-run spec validation.
+    ///
+    /// # Panics
+    /// Panics if the workload exercises a random-access path the platform
+    /// lacks or does nothing at all.
+    pub fn run_planned<R: Rng>(
+        &self,
+        plan: &SpecPlan<'_>,
+        workload: &HierWorkload,
+        rng: &mut R,
+    ) -> Execution {
         assert!(self.dt > 0.0 && self.dt.is_finite(), "bad tick");
+        let spec = plan.spec;
         let run_noise = RunNoise::draw(spec.noise.rate_sigma, spec.noise.power_sigma, rng);
         let resources = Self::resources_for(spec, workload, &run_noise);
-        if Self::is_piecewise_constant(spec) {
+        if plan.piecewise_constant {
             Self::run_closed_form(spec, &resources, &run_noise)
         } else {
             self.run_ticks(spec, &resources, &run_noise, rng)
@@ -554,6 +602,31 @@ mod tests {
         let empty = StepProfile::from_segments(Vec::new());
         assert_eq!(empty.power_at(0.0), 0.0);
         assert_eq!(empty.energy(), 0.0);
+    }
+
+    #[test]
+    fn segment_lookup_agrees_with_linear_scan_on_boundaries() {
+        // Many-segment profile: the binary search must agree with the
+        // reference linear scan exactly on, just before, and just after
+        // every boundary, plus before the profile and past its span.
+        let segments: Vec<Segment> =
+            (0..37).map(|k| Segment { watts: k as f64, until: 0.1 * (k + 1) as f64 }).collect();
+        let p = StepProfile::from_segments(segments.clone());
+        let linear = |t: f64| -> f64 {
+            segments.iter().find(|s| t < s.until).unwrap_or(segments.last().unwrap()).watts
+        };
+        let mut probes = vec![-1.0, 0.0, 1e-12, p.duration(), p.duration() + 5.0];
+        for s in &segments {
+            probes.extend([s.until - 1e-9, s.until, s.until + 1e-9]);
+        }
+        for t in probes {
+            assert_eq!(p.power_at(t), linear(t), "t = {t}");
+        }
+        // Single-segment profile degenerates to a constant.
+        let one = StepProfile::from_segments(vec![Segment { watts: 7.0, until: 2.0 }]);
+        for t in [0.0, 1.0, 2.0, 3.0] {
+            assert_eq!(one.power_at(t), 7.0);
+        }
     }
 
     #[test]

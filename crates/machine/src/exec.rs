@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 use archline_core::HierWorkload;
 use archline_powermon::PowerMon2;
 
-use crate::engine::Engine;
+use crate::engine::{Engine, SpecPlan};
 use crate::spec::PlatformSpec;
 
 /// One measured run: the workload, its wall time, and the power/energy the
@@ -49,25 +49,57 @@ impl RunResult {
     }
 }
 
+/// The measurement chain compiled once per platform: validated
+/// [`SpecPlan`], engine, and the PowerMon 2 device sized for the
+/// platform's rails. Campaigns and sweeps reuse one plan across trials
+/// instead of re-validating the spec and rebuilding the device per run;
+/// neither step consumes RNG, so results are bit-identical to the
+/// one-shot [`measure`].
+#[derive(Debug, Clone)]
+pub struct MeasurePlan<'a> {
+    plan: SpecPlan<'a>,
+    engine: Engine,
+    device: PowerMon2,
+}
+
+impl<'a> MeasurePlan<'a> {
+    /// Compiles the measurement chain for `spec`.
+    ///
+    /// # Panics
+    /// Panics if the spec fails validation.
+    pub fn new(spec: &'a PlatformSpec, engine: Engine) -> Self {
+        let headroom = 1.4 * (spec.const_power + spec.usable_power);
+        Self {
+            plan: SpecPlan::new(spec),
+            engine,
+            device: PowerMon2::for_rails(&spec.rail_split, headroom),
+        }
+    }
+
+    /// Runs `workload` and measures it, deterministic in `seed`.
+    pub fn measure(&self, workload: &HierWorkload, seed: u64) -> RunResult {
+        let spec = self.plan.spec();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let execution = self.engine.run_planned(&self.plan, workload, &mut rng);
+        let m = self.device.record(
+            &spec.rail_split,
+            |t| execution.profile.power_at(t),
+            execution.duration,
+            &mut rng,
+        );
+        RunResult {
+            workload: workload.clone(),
+            duration: execution.duration,
+            avg_power: m.avg_power(),
+            energy: m.energy(),
+        }
+    }
+}
+
 /// Runs `workload` on the simulated platform and measures it with a
 /// PowerMon 2 configured for the platform's rails. Deterministic in `seed`.
 pub fn measure(spec: &PlatformSpec, workload: &HierWorkload, engine: &Engine, seed: u64) -> RunResult {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let execution = engine.run(spec, workload, &mut rng);
-    let headroom = 1.4 * (spec.const_power + spec.usable_power);
-    let device = PowerMon2::for_rails(&spec.rail_split, headroom);
-    let m = device.record(
-        &spec.rail_split,
-        |t| execution.profile.power_at(t),
-        execution.duration,
-        &mut rng,
-    );
-    RunResult {
-        workload: workload.clone(),
-        duration: execution.duration,
-        avg_power: m.avg_power(),
-        energy: m.energy(),
-    }
+    MeasurePlan::new(spec, *engine).measure(workload, seed)
 }
 
 #[cfg(test)]

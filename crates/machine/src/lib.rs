@@ -32,7 +32,7 @@ pub mod spec;
 
 pub use campaign::{measure_repeated, TrialStats};
 pub use catalog::spec_for;
-pub use engine::{Engine, Execution, StepProfile};
+pub use engine::{Engine, Execution, SpecPlan, StepProfile};
 pub use ensemble::{measure_ensemble, EnsembleResult, EnsembleSpec};
-pub use exec::{measure, RunResult};
+pub use exec::{measure, MeasurePlan, RunResult};
 pub use spec::{LevelSpec, PipelineSpec, PlatformSpec, Quirk, RandomSpec};

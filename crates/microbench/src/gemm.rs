@@ -53,10 +53,11 @@ pub fn blocked_sgemm(c: &mut [f32], a: &[f32], b: &[f32], n: usize, block: usize
                     let i = i0 + di;
                     let c_row = &mut c_panel[di * n..(di + 1) * n];
                     for k in k0..k_hi {
+                        // No zero-skip on `aik`: the branch defeats
+                        // unrolling/vectorization of the inner FMA loop and
+                        // `fma(b, 0, c) = c` makes it a pure pessimization
+                        // on finite data.
                         let aik = a[i * n + k];
-                        if aik == 0.0 {
-                            continue;
-                        }
                         let b_row = &b[k * n + j0..k * n + j_hi];
                         for (cj, &bkj) in c_row[j0..j_hi].iter_mut().zip(b_row) {
                             *cj = bkj.mul_add(aik, *cj);
@@ -80,20 +81,53 @@ pub fn naive_sgemm(c: &mut [f32], a: &[f32], b: &[f32], n: usize) {
     }
 }
 
+/// Reusable GEMM buffers: callers that time many invocations (criterion
+/// loops, block sweeps) allocate the three matrices once instead of once
+/// per measured call.
+#[derive(Debug, Clone)]
+pub struct GemmWorkspace {
+    n: usize,
+    a: Vec<f32>,
+    b: Vec<f32>,
+    c: Vec<f32>,
+}
+
+impl GemmWorkspace {
+    /// Buffers for `n×n` matrices with the bench's fixed fill pattern.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            a: (0..n * n).map(|i| ((i % 101) as f32) * 0.01).collect(),
+            b: (0..n * n).map(|i| ((i % 97) as f32) * 0.01).collect(),
+            c: vec![0.0f32; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// One `C = A·B` invocation with block edge `block`. `C` is zeroed
+    /// first (an `n²` fill, negligible against the `2n³` multiply) so
+    /// repeated timed calls stay bounded.
+    pub fn run(&mut self, block: usize) {
+        self.c.fill(0.0);
+        blocked_sgemm(&mut self.c, &self.a, &self.b, self.n, block);
+        std::hint::black_box(&self.c);
+    }
+}
+
+/// Times a blocked SGEMM on a prebuilt workspace (no per-call allocation).
+pub fn gemm_bench_with(ws: &mut GemmWorkspace, block: usize, min_secs: f64) -> GemmResult {
+    let n = ws.n;
+    let seconds = time_kernel(|| ws.run(block), 1, min_secs);
+    GemmResult { n, block, flops: 2.0 * (n as f64).powi(3), seconds }
+}
+
 /// Times a blocked SGEMM of dimension `n` with the given block edge.
 pub fn gemm_bench(n: usize, block: usize, min_secs: f64) -> GemmResult {
-    let a: Vec<f32> = (0..n * n).map(|i| ((i % 101) as f32) * 0.01).collect();
-    let b: Vec<f32> = (0..n * n).map(|i| ((i % 97) as f32) * 0.01).collect();
-    let mut c = vec![0.0f32; n * n];
-    let seconds = time_kernel(
-        || {
-            blocked_sgemm(&mut c, &a, &b, n, block);
-            std::hint::black_box(&c);
-        },
-        1,
-        min_secs,
-    );
-    GemmResult { n, block, flops: 2.0 * (n as f64).powi(3), seconds }
+    gemm_bench_with(&mut GemmWorkspace::new(n), block, min_secs)
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@ pub mod suite;
 pub mod timer;
 
 pub use cache::{cache_sweep, CachePoint};
-pub use gemm::{blocked_sgemm, gemm_bench, GemmResult};
+pub use gemm::{blocked_sgemm, gemm_bench, gemm_bench_with, GemmResult, GemmWorkspace};
 pub use chase::{pointer_chase, ChaseResult};
 pub use intensity::{
     fma_kernel_f32, fma_kernel_f64, intensity_sweep_f32, intensity_sweep_f64, KernelResult,

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use archline_core::power::sample_intensities;
 use archline_fit::{MeasurementSet, Run};
-use archline_machine::{measure, Engine, PlatformSpec};
+use archline_machine::{Engine, MeasurePlan, PlatformSpec};
 use archline_par::parallel_map;
 
 /// Configuration of the simulated sweep.
@@ -65,12 +65,15 @@ pub struct SimulatedSuite {
 pub fn run_suite(spec: &PlatformSpec, cfg: &SweepConfig, engine: &Engine) -> SimulatedSuite {
     let intensities = sample_intensities(cfg.intensity_lo, cfg.intensity_hi, cfg.points);
     let dram_idx = spec.dram_level();
+    // One compiled measurement chain shared by every point of the grid:
+    // spec validation and PowerMon sizing run once, not per measurement.
+    let plan = MeasurePlan::new(spec, *engine);
 
     // DRAM intensity sweep.
     let sweep_runs: Vec<Run> = parallel_map(&intensities, |&i| {
         let seq = intensities.iter().position(|&x| x == i).unwrap_or(0) as u64;
         let w = spec.intensity_workload(i, cfg.target_secs);
-        let r = measure(spec, &w, engine, cfg.base_seed.wrapping_add(seq));
+        let r = plan.measure(&w, cfg.base_seed.wrapping_add(seq));
         Run {
             flops: w.flops,
             bytes: w.bytes_per_level[dram_idx],
@@ -92,12 +95,7 @@ pub fn run_suite(spec: &PlatformSpec, cfg: &SweepConfig, engine: &Engine) -> Sim
             .map(|k| {
                 let secs = cfg.target_secs * (0.5 + 0.5 * k as f64);
                 let w = spec.level_stream_workload(li, secs);
-                let r = measure(
-                    spec,
-                    &w,
-                    engine,
-                    cfg.base_seed.wrapping_add(1000 + (li * 100 + k) as u64),
-                );
+                let r = plan.measure(&w, cfg.base_seed.wrapping_add(1000 + (li * 100 + k) as u64));
                 Run {
                     flops: 0.0,
                     bytes: w.bytes_per_level[li],
@@ -116,8 +114,7 @@ pub fn run_suite(spec: &PlatformSpec, cfg: &SweepConfig, engine: &Engine) -> Sim
             .map(|k| {
                 let secs = cfg.target_secs * (0.5 + 0.5 * k as f64);
                 let w = spec.random_workload(secs);
-                let r =
-                    measure(spec, &w, engine, cfg.base_seed.wrapping_add(5000 + k as u64));
+                let r = plan.measure(&w, cfg.base_seed.wrapping_add(5000 + k as u64));
                 Run {
                     flops: 0.0,
                     bytes: w.random_accesses * 64.0,

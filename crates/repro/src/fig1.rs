@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use archline_core::power::sample_intensities;
 use archline_core::{crossovers, power_match, EnergyRoofline, Metric};
-use archline_machine::{measure, spec_for, Engine};
+use archline_machine::{spec_for, Engine, MeasurePlan};
 use archline_platforms::{platform, PlatformId, Precision};
 
 use crate::render::{sig3, TextTable};
@@ -69,13 +69,21 @@ pub fn compute(measured_points: usize) -> Fig1Report {
     let eff_norm = titan.peak_energy_eff();
     let pow_norm = titan.params().peak_power();
 
-    let collect = |f: &dyn Fn(&EnergyRoofline, f64) -> f64, norm: f64| -> Vec<Fig1Point> {
+    // One batch evaluation per (metric, machine) pair over the whole grid.
+    let collect = |metric: Metric, norm: f64| -> Vec<Fig1Point> {
+        let mut t = vec![0.0; grid.len()];
+        let mut a = vec![0.0; grid.len()];
+        let mut arr = vec![0.0; grid.len()];
+        metric.eval_batch(&titan, &grid, &mut t);
+        metric.eval_batch(&arndale, &grid, &mut a);
+        metric.eval_batch(&array, &grid, &mut arr);
         grid.iter()
-            .map(|&i| Fig1Point {
+            .enumerate()
+            .map(|(k, &i)| Fig1Point {
                 intensity: i,
-                titan: f(&titan, i) / norm,
-                arndale: f(&arndale, i) / norm,
-                array: f(&array, i) / norm,
+                titan: t[k] / norm,
+                arndale: a[k] / norm,
+                array: arr[k] / norm,
             })
             .collect()
     };
@@ -88,15 +96,17 @@ pub fn compute(measured_points: usize) -> Fig1Report {
     let measured_energy_eff = if measured_points > 0 {
         let engine = Engine::default();
         let dots = sample_intensities(0.125, 256.0, measured_points);
+        let ts = spec_for(&titan_rec, Precision::Single);
+        let asx = spec_for(&arndale_rec, Precision::Single);
+        let tplan = MeasurePlan::new(&ts, engine);
+        let aplan = MeasurePlan::new(&asx, engine);
         dots.iter()
             .enumerate()
             .map(|(k, &i)| {
-                let ts = spec_for(&titan_rec, Precision::Single);
-                let asx = spec_for(&arndale_rec, Precision::Single);
                 let tw = ts.intensity_workload(i, 0.1);
                 let aw = asx.intensity_workload(i, 0.1);
-                let tr = measure(&ts, &tw, &engine, 0xF1 + k as u64);
-                let ar = measure(&asx, &aw, &engine, 0xA1 + k as u64);
+                let tr = tplan.measure(&tw, 0xF1 + k as u64);
+                let ar = aplan.measure(&aw, 0xA1 + k as u64);
                 (i, tr.flops_per_joule() / eff_norm, ar.flops_per_joule() / eff_norm)
             })
             .collect()
@@ -106,9 +116,9 @@ pub fn compute(measured_points: usize) -> Fig1Report {
 
     Fig1Report {
         array_size: rep.n,
-        performance: collect(&|m, i| m.perf_at(i), perf_norm),
-        energy_eff: collect(&|m, i| m.energy_eff_at(i), eff_norm),
-        power: collect(&|m, i| m.avg_power_at(i), pow_norm),
+        performance: collect(Metric::Performance, perf_norm),
+        energy_eff: collect(Metric::EnergyEfficiency, eff_norm),
+        power: collect(Metric::Power, pow_norm),
         energy_crossover: crossover,
         bandwidth_advantage: array.peak_bandwidth() / titan.peak_bandwidth(),
         peak_ratio: array.peak_perf() / titan.peak_perf(),

@@ -65,16 +65,17 @@ pub fn compute(kind: Fig7Kind) -> Fig7Report {
                 .models()
                 .into_iter()
                 .map(|(k, model)| {
-                    let samples = grid
-                        .iter()
-                        .map(|&i| {
-                            let v = match kind {
-                                Fig7Kind::Performance => model.perf_at(i),
-                                Fig7Kind::EnergyEfficiency => model.energy_eff_at(i),
-                            };
-                            (i, v / norm)
-                        })
-                        .collect();
+                    // One batch evaluation per curve instead of a scalar
+                    // call per grid point.
+                    let mut vals = vec![0.0; grid.len()];
+                    match kind {
+                        Fig7Kind::Performance => model.plan().perf_batch(&grid, &mut vals),
+                        Fig7Kind::EnergyEfficiency => {
+                            model.plan().energy_eff_batch(&grid, &mut vals);
+                        }
+                    }
+                    let samples =
+                        grid.iter().zip(&vals).map(|(&i, &v)| (i, v / norm)).collect();
                     (k, samples)
                 })
                 .collect();

@@ -17,7 +17,8 @@
 pub use archline_core::{
     crossovers, power_bounding, power_match, power_match_with, Balances, Candidate, DvfsModel,
     EnergyRoofline, HierParams, HierWorkload, Interconnect, MachineParams, MemoryLevel, Metric,
-    PowerCap, Regime, Replication, ThrottleScenario, UtilizationScaledModel, Workload,
+    PowerCap, Regime, Replication, RooflinePlan, ThrottleScenario, UtilizationScaledModel,
+    Workload,
 };
 pub use archline_core::pareto::{evaluate as evaluate_candidates, pareto_frontier};
 pub use archline_core::quantity::{Joules, Prediction, Seconds, Watts};
