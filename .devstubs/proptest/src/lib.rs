@@ -1,0 +1,429 @@
+//! Offline `proptest` replacement used via the workspace `[patch.crates-io]`
+//! (see `.devstubs/README.md`). Unlike a typecheck-only shim, this actually
+//! *runs* properties: strategies are samplers over a deterministic PRNG, and
+//! the `proptest!` macro expands each property into a `#[test]` that draws
+//! `cases` random inputs and executes the body against every one.
+//!
+//! Divergences from upstream proptest (documented, deterministic):
+//! - No shrinking: a failing case reports its case index and seed, but is
+//!   not minimised.
+//! - Seeding is derived from the property name (FNV-1a) instead of system
+//!   entropy, so runs are reproducible without a regression file. Set
+//!   `PROPTEST_CASES` to override the case count globally.
+
+pub mod test_runner {
+    /// Early-exit marker: property bodies may `return Ok(())` / carry an
+    /// error, mirroring upstream's `TestCaseResult` plumbing.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    /// Subset of upstream's config: only `cases` is consulted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+}
+
+/// splitmix64: small, seedable, and good enough for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty choice");
+        self.next_u64() % n
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Drives one property: `cases` sampled executions with per-case seeds.
+/// Panics from the body (prop_assert!) are annotated with the failing case
+/// so the run can be reproduced, then re-raised.
+pub fn run_property<F: FnMut(&mut TestRng)>(name: &str, cases: u32, mut body: F) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cases);
+    let base = fnv1a(name);
+    for case in 0..cases {
+        let seed = base ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::from_seed(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            body(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest stub: property `{name}` failed at case {case}/{cases} (seed {seed:#x})"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use std::rc::Rc;
+
+    /// A sampler: `None` means the draw was rejected (`prop_filter`).
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+        where
+            Self: Sized + 'static,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                self.sample(rng).map(&f)
+            }))
+        }
+
+        fn prop_filter<F>(self, _reason: &'static str, f: F) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            F: Fn(&Self::Value) -> bool + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                self.sample(rng).filter(|v| f(v))
+            }))
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> BoxedStrategy<S::Value>
+        where
+            Self: Sized + 'static,
+            S: Strategy + 'static,
+            F: Fn(Self::Value) -> S + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                self.sample(rng).and_then(|v| f(v).sample(rng))
+            }))
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.sample(rng)))
+        }
+    }
+
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> Option<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            (self.0)(rng)
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// Uniform choice between strategies (the `prop_oneof!` backend).
+    pub fn one_of<T>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T>
+    where
+        T: 'static,
+    {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+            let idx = rng.below(arms.len() as u64) as usize;
+            arms[idx].sample(rng)
+        }))
+    }
+
+    /// Draws a required sample, retrying rejected draws a bounded number of
+    /// times (mirrors upstream's global rejection cap).
+    pub fn sample_required<S: Strategy>(strategy: &S, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            if let Some(v) = strategy.sample(rng) {
+                return v;
+            }
+        }
+        panic!("proptest stub: strategy rejected 1000 consecutive draws (prop_filter too strict?)");
+    }
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    assert!(self.start < self.end, "empty range");
+                    Some(self.start + (rng.unit_f64() as $t) * (self.end - self.start))
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    Some(lo + (rng.unit_f64() as $t) * (hi - lo))
+                }
+            }
+        )*};
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    let span = self.end as i128 - self.start as i128;
+                    assert!(span > 0, "empty range");
+                    Some(self.start + (rng.next_u64() as i128).rem_euclid(span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    let span = *self.end() as i128 - *self.start() as i128 + 1;
+                    assert!(span > 0, "empty range");
+                    Some(*self.start() + (rng.next_u64() as i128).rem_euclid(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_float_range!(f32, f64);
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    Some(($(self.$idx.sample(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+}
+
+pub mod collection {
+    use super::strategy::{BoxedStrategy, Strategy};
+    use super::TestRng;
+    use std::rc::Rc;
+
+    /// Size specification for `collection::vec`.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    pub fn vec<S, R>(element: S, size: R) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        R: SizeRange + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+            let n = size.pick(rng);
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(element.sample(rng)?);
+            }
+            Some(out)
+        }))
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = ::core::primitive::bool;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<::core::primitive::bool> {
+            Some(rng.next_u64() & 1 == 1)
+        }
+    }
+
+    pub const ANY: AnyBool = AnyBool;
+}
+
+pub mod num {
+    pub mod f64 {
+        pub use crate::strategy::BoxedStrategy;
+    }
+}
+
+/// Expands to one `#[test]` per property; each draws `cases` inputs from the
+/// argument strategies and runs the body. `#![proptest_config(..)]` is
+/// honoured for its `cases` field.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::run_property(stringify!($name), __config.cases, |__rng| {
+                    $(let $pat = $crate::strategy::sample_required(&($strat), __rng);)+
+                    // Result-typed inner closure so bodies may `return Ok(())`.
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__e) = __outcome {
+                        panic!("property case returned error: {}", __e.0);
+                    }
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        $crate::strategy::one_of(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            panic!("prop_assert_eq failed: {:?} != {:?}", __a, __b);
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+/// Skips the current case when the assumption fails (no resampling).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub mod prop {
+        pub use crate::{bool, collection, num};
+    }
+}

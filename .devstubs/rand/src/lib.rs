@@ -1,0 +1,473 @@
+//! Offline `rand` replacement used via the workspace `[patch.crates-io]`
+//! (see `.devstubs/README.md`). Unlike a typecheck-only stub, this is a
+//! *stream-faithful* reimplementation of the `rand 0.8` surface the
+//! workspace uses: `StdRng` is the real ChaCha12 generator behind
+//! `rand::rngs::StdRng` (including `rand_core`'s PCG32-based
+//! `seed_from_u64` expansion and the 4-block output buffer), `SmallRng`
+//! is xoshiro256++ with the reference SplitMix64 seeding, and
+//! `gen_range`/`gen_bool` use the upstream sampling algorithms
+//! (widening-multiply rejection for integers, the `[1, 2)` mantissa
+//! trick for floats, fixed-point comparison for Bernoulli). Seeded
+//! streams therefore match the real crate bit for bit, which keeps the
+//! repo's seed-pinned synthetic measurements reproducible.
+
+// ------------------------------------------------------------------ traits
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// `rand_core 0.6` default implementation: a PCG32 stream expands the
+    /// `u64` into the full seed, 4 bytes at a time.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Upstream `Bernoulli`: `p` is converted to 64-bit fixed point and
+    /// compared against one `u64` draw; `p == 1.0` consumes no randomness.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "p={p} is outside range [0.0, 1.0]"
+        );
+        if p == 1.0 {
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        self.next_u64() < (p * SCALE) as u64
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+// ------------------------------------------------------- uniform sampling
+
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_between<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+/// Upstream `UniformFloat::sample_single`: draw a float in `[1, 2)` by
+/// overwriting the exponent bits, shift to `[0, 1)`, then scale. The
+/// rejection loop only triggers on rounding edge cases where
+/// `value0_1 * scale + low` lands exactly on `high`.
+macro_rules! impl_sample_float {
+    ($ty:ty, $uty:ty, $next:ident, $bits_to_discard:expr, $one_exp:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_between<G: RngCore + ?Sized>(
+                rng: &mut G,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "UniformSampler::sample_single: low > high");
+                } else {
+                    assert!(lo < hi, "UniformSampler::sample_single: low >= high");
+                }
+                let mut scale = hi - lo;
+                loop {
+                    let value1_2 =
+                        <$ty>::from_bits((rng.$next() >> $bits_to_discard) as $uty | $one_exp);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + lo;
+                    if inclusive || res < hi {
+                        return res;
+                    }
+                    // Shave one ulp off the scale and retry (upstream
+                    // `decrease_masked`).
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+    };
+}
+
+impl_sample_float!(f32, u32, next_u32, 9, 0x3F80_0000u32);
+impl_sample_float!(f64, u64, next_u64, 12, 0x3FF0_0000_0000_0000u64);
+
+/// Upstream `UniformInt::sample_single_inclusive`: widen the draw type to
+/// `$u_large` (`u32` for sub-word integers, matching `uniform_int_impl!`),
+/// then Lemire-style widening multiply with a rejection zone.
+macro_rules! impl_sample_int {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wide:ty, $next:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_between<G: RngCore + ?Sized>(
+                rng: &mut G,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let hi_inc: $ty = if inclusive {
+                    assert!(lo <= hi, "UniformSampler::sample_single: low > high");
+                    hi
+                } else {
+                    assert!(lo < hi, "UniformSampler::sample_single: low >= high");
+                    hi - 1
+                };
+                let range =
+                    ((hi_inc.wrapping_sub(lo) as $unsigned).wrapping_add(1)) as $u_large;
+                if range == 0 {
+                    // Span covers the whole type: every draw is accepted.
+                    return rng.$next() as $ty;
+                }
+                let zone = if (<$unsigned>::MAX as u128) <= u16::MAX as u128 {
+                    // Small types use a modulus to size the zone.
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = rng.$next() as $u_large;
+                    let t = (v as $wide) * (range as $wide);
+                    let hi_part = (t >> <$u_large>::BITS) as $u_large;
+                    let lo_part = t as $u_large;
+                    if lo_part <= zone {
+                        return lo.wrapping_add(hi_part as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+impl_sample_int!(u8, u8, u32, u64, next_u32);
+impl_sample_int!(u16, u16, u32, u64, next_u32);
+impl_sample_int!(u32, u32, u32, u64, next_u32);
+impl_sample_int!(u64, u64, u64, u128, next_u64);
+impl_sample_int!(usize, usize, usize, u128, next_u64);
+impl_sample_int!(i8, u8, u32, u64, next_u32);
+impl_sample_int!(i16, u16, u32, u64, next_u32);
+impl_sample_int!(i32, u32, u32, u64, next_u32);
+impl_sample_int!(i64, u64, u64, u128, next_u64);
+impl_sample_int!(isize, usize, usize, u128, next_u64);
+
+pub trait SampleRange<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        T::sample_between(rng, *self.start(), *self.end(), true)
+    }
+}
+
+// ------------------------------------------------------------ ChaCha core
+
+/// ChaCha block function with `ROUNDS` rounds over the classic
+/// 64-bit-counter/64-bit-nonce layout (`rand_chacha` uses the same).
+fn chacha_block<const ROUNDS: usize>(key: &[u32; 8], counter: u64, out: &mut [u32; 16]) {
+    const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    let mut x = [0u32; 16];
+    x[..4].copy_from_slice(&CONSTANTS);
+    x[4..12].copy_from_slice(key);
+    x[12] = counter as u32;
+    x[13] = (counter >> 32) as u32;
+    // x[14], x[15]: zero nonce (stream 0).
+
+    let input = x;
+
+    #[inline(always)]
+    fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+
+    for _ in 0..ROUNDS / 2 {
+        quarter(&mut x, 0, 4, 8, 12);
+        quarter(&mut x, 1, 5, 9, 13);
+        quarter(&mut x, 2, 6, 10, 14);
+        quarter(&mut x, 3, 7, 11, 15);
+        quarter(&mut x, 0, 5, 10, 15);
+        quarter(&mut x, 1, 6, 11, 12);
+        quarter(&mut x, 2, 7, 8, 13);
+        quarter(&mut x, 3, 4, 9, 14);
+    }
+
+    for (o, (v, s)) in out.iter_mut().zip(x.iter().zip(input.iter())) {
+        *o = v.wrapping_add(*s);
+    }
+}
+
+const BUF_WORDS: usize = 64; // rand_chacha buffers 4 blocks at a time.
+
+/// `rand_core::block::BlockRng` over a 4-block ChaCha12 buffer — including
+/// the buffer-straddling `next_u64` behavior, so word-level consumption
+/// matches the real `StdRng` exactly even after an odd `next_u32`.
+#[derive(Debug, Clone)]
+struct ChaCha12Core {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; BUF_WORDS],
+    index: usize,
+}
+
+impl ChaCha12Core {
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Self {
+            key,
+            counter: 0,
+            buf: [0; BUF_WORDS],
+            index: BUF_WORDS,
+        }
+    }
+
+    fn generate(&mut self) {
+        for b in 0..BUF_WORDS / 16 {
+            let mut block = [0u32; 16];
+            chacha_block::<12>(&self.key, self.counter.wrapping_add(b as u64), &mut block);
+            self.buf[b * 16..(b + 1) * 16].copy_from_slice(&block);
+        }
+        self.counter = self.counter.wrapping_add((BUF_WORDS / 16) as u64);
+    }
+}
+
+impl RngCore for ChaCha12Core {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.generate();
+            self.index = 0;
+        }
+        let v = self.buf[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let read = |buf: &[u32; BUF_WORDS], i: usize| {
+            u64::from(buf[i]) | (u64::from(buf[i + 1]) << 32)
+        };
+        if self.index < BUF_WORDS - 1 {
+            let v = read(&self.buf, self.index);
+            self.index += 2;
+            v
+        } else if self.index >= BUF_WORDS {
+            self.generate();
+            self.index = 2;
+            read(&self.buf, 0)
+        } else {
+            // One word left: low half from this buffer, high half from the
+            // next one.
+            let x = u64::from(self.buf[BUF_WORDS - 1]);
+            self.generate();
+            self.index = 1;
+            (u64::from(self.buf[0]) << 32) | x
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+// -------------------------------------------------------- xoshiro256++
+
+/// xoshiro256++ core (upstream `SmallRng` on 64-bit platforms).
+#[derive(Debug, Clone)]
+struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (w, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *w = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Self { s }
+    }
+
+    /// Upstream override: SplitMix64 expansion (the xoshiro reference
+    /// seeding), *not* the `rand_core` PCG32 default.
+    fn from_u64(mut state: u64) -> Self {
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+// ------------------------------------------------------------- named rngs
+
+pub mod rngs {
+    use super::{ChaCha12Core, RngCore, SeedableRng, Xoshiro256PlusPlus};
+
+    /// The real `rand 0.8` `StdRng`: ChaCha with 12 rounds.
+    #[derive(Debug, Clone)]
+    pub struct StdRng(ChaCha12Core);
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            Self(ChaCha12Core::from_seed(seed))
+        }
+        // seed_from_u64: the trait default (PCG32 expansion), as upstream.
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest)
+        }
+    }
+
+    /// The real `rand 0.8` `SmallRng` on 64-bit platforms: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(Xoshiro256PlusPlus);
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            Self(Xoshiro256PlusPlus::from_seed(seed))
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            Self(Xoshiro256PlusPlus::from_u64(state))
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            // The low bits of xoshiro256++ have linear dependencies; upstream
+            // takes the high half.
+            (self.0.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::{Rng, RngCore, SampleRange, SampleUniform, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// ECRYPT ChaCha12 test vector: all-zero key and nonce, first 16
+    /// keystream bytes. Verifies rounds/layout against the published
+    /// cipher, which `rand_chacha` also matches.
+    #[test]
+    fn chacha12_matches_ecrypt_vector() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        let mut bytes = [0u8; 16];
+        rng.fill_bytes(&mut bytes);
+        assert_eq!(
+            bytes,
+            [
+                0x9b, 0xf4, 0x9a, 0x6a, 0x07, 0x55, 0xf9, 0x53, 0x81, 0x1f, 0xce, 0x12, 0x5f,
+                0x26, 0x83, 0xd5
+            ]
+        );
+    }
+
+    /// The PCG32 seed expansion must spread a small seed across the whole
+    /// key (a raw copy would leave 28 zero bytes).
+    #[test]
+    fn seed_from_u64_expands_seed() {
+        let a = StdRng::seed_from_u64(0).next_u64();
+        let b = StdRng::seed_from_u64(1).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, StdRng::from_seed([0u8; 32]).next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&x));
+            let n: usize = rng.gen_range(0..7);
+            assert!(n < 7);
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Offline `serde` replacement used via the workspace `[patch.crates-io]`
+//! (see `.devstubs/README.md`).
+//!
+//! Unlike upstream serde's zero-copy streaming architecture, this crate uses
+//! a simple JSON-shaped value tree as its data model: `Serialize` lowers a
+//! type to [`Value`], `Deserialize` raises it back. The derive macros in the
+//! sibling `serde_derive` stub generate real impls against these traits, so
+//! serialization round-trips are functional and exact — not vacuous. The
+//! trait *signatures* intentionally differ from upstream (no `Serializer` /
+//! `Deserializer` visitors); only derive + `serde_json` entry points are
+//! supported, which is the entire surface this workspace uses. Anything else
+//! fails to compile rather than silently misbehaving.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped data model shared by the `serde` and `serde_json` stubs.
+///
+/// Objects are ordered maps with sorted keys (`BTreeMap`), so serialized
+/// output is deterministic. Field declaration order is not preserved — a
+/// documented divergence from upstream `serde_json` struct serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+pub type Map = BTreeMap<String, Value>;
+
+/// Exact number representation: integers keep full `u64`/`i64` precision
+/// instead of being squashed through `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+// From conversions used when hand-building `Value` trees (repro reports).
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        if v.is_finite() {
+            Value::Number(Number::Float(v))
+        } else {
+            // Upstream serde_json maps non-finite floats to null.
+            Value::Null
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Number(Number::PosInt(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Number(Number::PosInt(v as u64))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        if v >= 0 {
+            Value::Number(Number::PosInt(v as u64))
+        } else {
+            Value::Number(Number::NegInt(v))
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+pub mod de {
+    use std::fmt;
+
+    /// Deserialization error: a plain message, no position tracking.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl Error {
+        pub fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}
+
+/// Lower `self` into the [`Value`] data model. Implemented by the derive
+/// macro and the primitive/container impls below; called by `serde_json`.
+pub trait Serialize {
+    fn __to_value(&self) -> Value;
+}
+
+/// Raise a [`Value`] back into `Self`. The lifetime parameter exists only
+/// for signature compatibility with upstream `derive` bounds.
+pub trait Deserialize<'de>: Sized {
+    fn __from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+fn wrong_type(expected: &str, got: &Value) -> de::Error {
+    de::Error(format!("expected {expected}, found {}", got.type_name()))
+}
+
+// --- identity impls so `Value` trees themselves serialize ---
+
+impl Serialize for Value {
+    fn __to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn __from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}
+
+// --- primitives ---
+
+impl Serialize for bool {
+    fn __to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn __from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(wrong_type("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn __from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Number(Number::PosInt(n)) => <$t>::try_from(*n)
+                        .map_err(|_| de::Error(format!("integer {n} out of range"))),
+                    other => Err(wrong_type("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn __from_value(v: &Value) -> Result<Self, de::Error> {
+                let wide: i64 = match v {
+                    Value::Number(Number::PosInt(n)) => i64::try_from(*n)
+                        .map_err(|_| de::Error(format!("integer {n} out of range")))?,
+                    Value::Number(Number::NegInt(n)) => *n,
+                    other => return Err(wrong_type("integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| de::Error(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __to_value(&self) -> Value {
+                Value::from(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn __from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    // Non-finite floats serialize to null (upstream behaviour);
+                    // raising null back to NaN keeps round-trips total.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(wrong_type("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for char {
+    fn __to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn __from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(wrong_type("single-character string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn __to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn __to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn __from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(wrong_type("string", other)),
+        }
+    }
+}
+
+// --- references and containers ---
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn __to_value(&self) -> Value {
+        (**self).__to_value()
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn __to_value(&self) -> Value {
+        (**self).__to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn __from_value(v: &Value) -> Result<Self, de::Error> {
+        T::__from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn __to_value(&self) -> Value {
+        match self {
+            Some(x) => x.__to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn __from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::__from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn __to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn __to_value(&self) -> Value {
+        self.as_slice().__to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn __from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::__from_value).collect(),
+            other => Err(wrong_type("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn __to_value(&self) -> Value {
+        self.as_slice().__to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn __from_value(v: &Value) -> Result<Self, de::Error> {
+        let items: Vec<T> = Vec::__from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| de::Error(format!("expected array of length {N}, found {got}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn __to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.__to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn __from_value(v: &Value) -> Result<Self, de::Error> {
+                const LEN: usize = [$($idx),+].len();
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::__from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(wrong_type("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn __to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.__to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn __from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::__from_value(v)?)))
+                .collect(),
+            other => Err(wrong_type("object", other)),
+        }
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn __to_value(&self) -> Value {
+        // Sorted on the way out (Map is a BTreeMap), so output is stable.
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.__to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, V: Deserialize<'de>, S: std::hash::BuildHasher + Default> Deserialize<'de>
+    for HashMap<String, V, S>
+{
+    fn __from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::__from_value(v)?)))
+                .collect(),
+            other => Err(wrong_type("object", other)),
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! Functional `serde_derive` replacement for offline builds (see
+//! `.devstubs/README.md`). Generates real `Serialize` / `Deserialize` impls
+//! against the value-tree traits in the sibling `serde` stub, parsing the
+//! item with a hand-rolled token walker instead of `syn` (which is not
+//! available offline).
+//!
+//! Supported shapes — the full surface this workspace uses:
+//! - structs with named fields, newtype structs, unit structs (no generics)
+//! - enums with unit, single-field newtype, and struct variants
+//!   (externally tagged, upstream's default representation)
+//! - `#[serde(default)]`, `#[serde(skip_serializing_if = "path")]` on fields
+//! - `#[serde(try_from = "Type", into = "Type")]` on containers
+//!
+//! Anything else — unknown `#[serde(...)]` arguments, generics, multi-field
+//! tuple variants — is a **compile error**, never a silently wrong impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Newtype,
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+    /// Container-level `#[serde(try_from = "T", into = "T")]` proxying.
+    Proxy { name: String, via: String },
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let item = parse_item(input);
+    let code = match dir {
+        Direction::Serialize => gen_serialize(&item),
+        Direction::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().unwrap_or_else(|e| {
+        panic!("serde_derive stub generated invalid Rust ({e}):\n{code}")
+    })
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Collects `#[serde(...)]` argument strings, skipping every other attribute.
+fn take_attrs(trees: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Vec<String> {
+    let mut serde_args = Vec::new();
+    while matches!(trees.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        trees.next();
+        match trees.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let mut inner = g.stream().into_iter();
+                if let Some(TokenTree::Ident(name)) = inner.next() {
+                    if name.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            serde_args.push(args.stream().to_string());
+                        }
+                    }
+                }
+            }
+            other => panic!("serde_derive stub: malformed attribute near {other:?}"),
+        }
+    }
+    serde_args
+}
+
+fn skip_visibility(trees: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(trees.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        trees.next();
+        if matches!(trees.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            trees.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut trees = input.into_iter().peekable();
+    let container_attrs = take_attrs(&mut trees);
+    skip_visibility(&mut trees);
+
+    let kind = match trees.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match trees.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    if matches!(trees.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+
+    // Container attrs: only the try_from/into pair is recognised.
+    let mut try_from = None;
+    let mut into = None;
+    for args in &container_attrs {
+        for (key, val) in parse_attr_args(args, &name) {
+            match key.as_str() {
+                "try_from" => try_from = val,
+                "into" => into = val,
+                other => panic!(
+                    "serde_derive stub: unsupported container attribute `serde({other})` on `{name}`"
+                ),
+            }
+        }
+    }
+    if try_from.is_some() || into.is_some() {
+        let (Some(tf), Some(via)) = (try_from, into) else {
+            panic!("serde_derive stub: `{name}` needs both try_from and into");
+        };
+        assert_eq!(
+            tf, via,
+            "serde_derive stub: `{name}` must use the same type for try_from and into"
+        );
+        return Item::Proxy { name, via };
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let shape = match trees.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream(), &name))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let arity = top_level_arity(g.stream());
+                    if arity != 1 {
+                        panic!(
+                            "serde_derive stub: tuple struct `{name}` has {arity} fields; \
+                             only newtype structs are supported"
+                        );
+                    }
+                    Shape::Newtype
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde_derive stub: malformed struct `{name}` near {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match trees.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive stub: malformed enum `{name}` near {other:?}"),
+            };
+            Item::Enum {
+                variants: parse_variants(body, &name),
+                name,
+            }
+        }
+        other => panic!("serde_derive stub: cannot derive for `{other}`"),
+    }
+}
+
+/// Parses `key = "value"` / bare `key` lists from a `#[serde(...)]` group.
+fn parse_attr_args(args: &str, ctx: &str) -> Vec<(String, Option<String>)> {
+    args.split(',')
+        .map(|clause| {
+            let clause = clause.trim();
+            match clause.split_once('=') {
+                Some((key, val)) => {
+                    let val = val.trim().trim_matches('"').to_string();
+                    (key.trim().to_string(), Some(val))
+                }
+                None => (clause.to_string(), None),
+            }
+        })
+        .filter(|(k, _)| {
+            if k.is_empty() {
+                panic!("serde_derive stub: empty serde attribute on `{ctx}`");
+            }
+            true
+        })
+        .collect()
+}
+
+fn parse_named_fields(body: TokenStream, ctx: &str) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut trees = body.into_iter().peekable();
+    loop {
+        let attrs = take_attrs(&mut trees);
+        skip_visibility(&mut trees);
+        let Some(tree) = trees.next() else { break };
+        let TokenTree::Ident(field_name) = tree else {
+            panic!("serde_derive stub: expected field name in `{ctx}`, got {tree:?}");
+        };
+        let field_name = field_name.to_string();
+        match trees.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde_derive stub: expected `:` after `{ctx}.{field_name}`, got {other:?}"
+            ),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match trees.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        trees.next();
+                        break;
+                    }
+                    trees.next();
+                }
+                Some(_) => {
+                    trees.next();
+                }
+            }
+        }
+
+        let mut field = Field {
+            name: field_name,
+            default: false,
+            skip_serializing_if: None,
+        };
+        for args in &attrs {
+            for (key, val) in parse_attr_args(args, ctx) {
+                match (key.as_str(), val) {
+                    ("default", None) => field.default = true,
+                    ("skip_serializing_if", Some(path)) => {
+                        field.skip_serializing_if = Some(path);
+                    }
+                    (other, _) => panic!(
+                        "serde_derive stub: unsupported field attribute `serde({other})` \
+                         on `{ctx}.{}`",
+                        field.name
+                    ),
+                }
+            }
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn top_level_arity(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut arity = 0usize;
+    let mut saw_tokens = false;
+    for tree in body {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tree {
+            let c = p.as_char();
+            if c == '<' {
+                depth += 1;
+            } else if c == '>' {
+                depth -= 1;
+            } else if c == ',' && depth == 0 {
+                arity += 1;
+            }
+        }
+    }
+    if saw_tokens {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream, ctx: &str) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut trees = body.into_iter().peekable();
+    loop {
+        let attrs = take_attrs(&mut trees);
+        if !attrs.is_empty() {
+            panic!("serde_derive stub: variant-level serde attributes unsupported in `{ctx}`");
+        }
+        let Some(tree) = trees.next() else { break };
+        let TokenTree::Ident(variant_name) = tree else {
+            panic!("serde_derive stub: expected variant name in `{ctx}`, got {tree:?}");
+        };
+        let variant_name = variant_name.to_string();
+        let shape = match trees.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                trees.next();
+                Shape::Named(parse_named_fields(g, ctx))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = top_level_arity(g.stream());
+                trees.next();
+                if arity != 1 {
+                    panic!(
+                        "serde_derive stub: tuple variant `{ctx}::{variant_name}` has {arity} \
+                         fields; only newtype variants are supported"
+                    );
+                }
+                Shape::Newtype
+            }
+            _ => Shape::Unit,
+        };
+        // Discriminant values (`= expr`) and the trailing comma.
+        while let Some(tree) = trees.peek() {
+            if matches!(tree, TokenTree::Punct(p) if p.as_char() == ',') {
+                trees.next();
+                break;
+            }
+            trees.next();
+        }
+        variants.push(Variant {
+            name: variant_name,
+            shape,
+        });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn named_to_value(fields: &[Field], access_prefix: &str) -> String {
+    let mut code = String::from("{ let mut __m = ::serde::Map::new();\n");
+    for f in fields {
+        let access = format!("{access_prefix}{}", f.name);
+        let insert = format!(
+            "__m.insert(\"{n}\".to_string(), ::serde::Serialize::__to_value(&{access}));\n",
+            n = f.name
+        );
+        match &f.skip_serializing_if {
+            Some(pred) => {
+                code.push_str(&format!("if !{pred}(&{access}) {{ {insert} }}\n"));
+            }
+            None => code.push_str(&insert),
+        }
+    }
+    code.push_str("::serde::Value::Object(__m) }");
+    code
+}
+
+fn named_from_value(ty_path: &str, fields: &[Field], obj_var: &str) -> String {
+    let mut code = format!("{ty_path} {{\n");
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"missing field `{}`\"))",
+                f.name
+            )
+        };
+        code.push_str(&format!(
+            "{n}: match {obj_var}.get(\"{n}\") {{ \
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::__from_value(__x)?, \
+             ::std::option::Option::None => {missing}, }},\n",
+            n = f.name
+        ));
+    }
+    code.push('}');
+    code
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Proxy { name, via } => (
+            name,
+            format!(
+                "let __proxy: {via} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+                 ::serde::Serialize::__to_value(&__proxy)"
+            ),
+        ),
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => named_to_value(fields, "self."),
+                Shape::Newtype => "::serde::Serialize::__to_value(&self.0)".to_string(),
+                Shape::Unit => "::serde::Value::Null".to_string(),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    Shape::Newtype => arms.push_str(&format!(
+                        "{name}::{v}(__x) => {{ let mut __m = ::serde::Map::new();\n\
+                         __m.insert(\"{v}\".to_string(), ::serde::Serialize::__to_value(__x));\n\
+                         ::serde::Value::Object(__m) }}\n",
+                        v = v.name
+                    )),
+                    Shape::Named(fields) => {
+                        let bindings: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_to_value(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ let __inner = {inner};\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(\"{v}\".to_string(), __inner);\n\
+                             ::serde::Value::Object(__m) }}\n",
+                            v = v.name,
+                            binds = bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn __to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Proxy { name, via } => (
+            name,
+            format!(
+                "let __proxy: {via} = ::serde::Deserialize::__from_value(__v)?;\n\
+                 ::std::convert::TryFrom::try_from(__proxy)\n\
+                 .map_err(|__e| ::serde::de::Error::custom(__e))"
+            ),
+        ),
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::de::Error::custom(\"{name}: expected object\"))?;\n\
+                     ::std::result::Result::Ok({})",
+                    named_from_value(name, fields, "__obj")
+                ),
+                Shape::Newtype => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::__from_value(__v)?))"
+                ),
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut string_arms = String::new();
+            let mut object_arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => string_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    Shape::Newtype => object_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::__from_value(__inner)?)),\n",
+                        v = v.name
+                    )),
+                    Shape::Named(fields) => {
+                        let ctor = named_from_value(&format!("{name}::{}", v.name), fields, "__fields");
+                        object_arms.push_str(&format!(
+                            "\"{v}\" => {{ let __fields = __inner.as_object().ok_or_else(|| \
+                             ::serde::de::Error::custom(\"{name}::{v}: expected object\"))?;\n\
+                             ::std::result::Result::Ok({ctor}) }}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{string_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = __m.iter().next().unwrap();\n\
+                 match __tag.as_str() {{\n{object_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"{name}: expected string or single-key object\")),\n}}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn __from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

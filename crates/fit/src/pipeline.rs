@@ -165,10 +165,35 @@ pub fn try_fit_platform(set: &MeasurementSet, opts: &FitOptions) -> Result<FitRe
     // a cap plateau it has no term for, the uncapped fit distorts its τ and
     // ε estimates, shifting its errors at every intensity (the effect
     // Fig. 4's K-S test picks up).
-    let (capped, capped_conv) =
+    let (mut capped, mut capped_conv) =
         refine(&runs, &[eps_flop, eps_mem, pi1, tau_flop, tau_mem, delta_pi0], true, opts);
     let (uncapped, uncapped_conv) =
         refine(&runs, &[eps_flop, eps_mem, pi1, tau_flop, tau_mem], false, opts);
+
+    // Nested-model guarantee: every uncapped model is a capped model whose
+    // cap never binds, so at the optimum the capped loss can never exceed
+    // the uncapped loss. When it clearly does (beyond simplex-termination
+    // noise), the 6-d simplex collapsed into a worse basin than the 5-d
+    // one — an optimizer failure, not a verdict about the data. Re-refine
+    // from the uncapped optimum with the cap seeded above peak dynamic
+    // demand and keep the better candidate.
+    let capped_loss = refinement_loss(&capped, &runs, opts.loss);
+    if capped_loss > 1.05 * refinement_loss(&uncapped, &runs, opts.loss) {
+        let free_dpi = 2.0 * (uncapped.flop_power() + uncapped.mem_power());
+        let seed = [
+            uncapped.energy_per_flop,
+            uncapped.energy_per_byte,
+            uncapped.const_power,
+            uncapped.time_per_flop,
+            uncapped.time_per_byte,
+            free_dpi,
+        ];
+        let (retry, retry_conv) = refine(&runs, &seed, true, opts);
+        if refinement_loss(&retry, &runs, opts.loss) < capped_loss {
+            capped = retry;
+            capped_conv = retry_conv;
+        }
+    }
 
     // Degradation is only judged under a robust policy: the classical
     // pipeline has no restart budget to exhaust and screens nothing.
