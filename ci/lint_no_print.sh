@@ -1,0 +1,22 @@
+#!/bin/sh
+# Library crates must route diagnostics through archline-obs, not raw
+# `println!`/`eprintln!` — raw prints bypass the level gate, the JSONL
+# trace, and the `-q`/`--verbose` flags. Binaries (src/bin/) own their
+# stdout and are exempt; crates/obs/src/sink.rs is the one place a raw
+# eprintln is allowed to exist (it IS the stderr sink). Comment and
+# doc-comment mentions are ignored.
+set -eu
+cd "$(dirname "$0")/.."
+
+bad=$(grep -rn --include='*.rs' 'println!' src crates/*/src \
+    | grep -v '/bin/' \
+    | grep -v '^crates/obs/src/sink.rs:' \
+    | grep -vE ':[0-9]+:[[:space:]]*//' \
+    || true)
+
+if [ -n "$bad" ]; then
+    echo "error: raw print macros in library code — log via archline-obs instead:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "lint: library crates free of raw print macros"

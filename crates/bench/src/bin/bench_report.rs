@@ -20,9 +20,15 @@ use archline_core::{EnergyRoofline, MachineParams};
 use archline_fit::{try_fit_platform, FitOptions};
 use archline_machine::{spec_for, Engine};
 use archline_microbench::{gemm_bench_with, run_suite, GemmWorkspace, SweepConfig};
+use archline_obs as obs;
 use archline_platforms::{platform, PlatformId, Precision};
 
 const SWEEP_POINTS: usize = 1_000_000;
+
+/// Schema of `BENCH_model.json`. v1 (implicit, pre-versioning) had no
+/// marker; v2 adds `schema_version`, `git_rev`, and the final counter
+/// snapshot under `metrics`.
+const BENCH_SCHEMA_VERSION: u64 = 2;
 
 fn grid(n: usize) -> Vec<f64> {
     let (lo, hi) = (0.01f64, 1e4f64);
@@ -67,6 +73,12 @@ fn mpts(n: usize, secs: f64) -> f64 {
 }
 
 fn main() {
+    obs::set_stderr_level(Some(obs::Level::Info));
+    if let Err(e) = obs::init_from_env() {
+        obs::error!("bench", "bench_report: {e}");
+        std::process::exit(2);
+    }
+
     let model = EnergyRoofline::new(
         platform(PlatformId::GtxTitan).machine_params(Precision::Single).expect("single"),
     );
@@ -76,7 +88,7 @@ fn main() {
     let mut out = vec![0.0; SWEEP_POINTS];
     let reps = 5;
 
-    eprintln!("bench_report: 10^6-point avg-power sweep ({reps} reps each)...");
+    obs::info!("bench", "bench_report: 10^6-point avg-power sweep ({reps} reps each)...");
     let t_underived = best_secs(reps, || {
         for (o, &x) in out.iter_mut().zip(&xs) {
             *o = avg_power_underived(black_box(&params), black_box(x));
@@ -98,7 +110,7 @@ fn main() {
         black_box(&out);
     });
 
-    eprintln!("bench_report: end-to-end fit_platform...");
+    obs::info!("bench", "bench_report: end-to-end fit_platform...");
     let spec = spec_for(&platform(PlatformId::ArndaleGpu), Precision::Single);
     let cfg = SweepConfig {
         points: 17,
@@ -112,7 +124,7 @@ fn main() {
         black_box(try_fit_platform(black_box(&suite), &FitOptions::default()).expect("fit"));
     });
 
-    eprintln!("bench_report: blocked SGEMM (branchless vs branchy replica)...");
+    obs::info!("bench", "bench_report: blocked SGEMM (branchless vs branchy replica)...");
     let n_gemm = 256;
     let mut ws = GemmWorkspace::new(n_gemm);
     let branchless = gemm_bench_with(&mut ws, 64, 0.2);
@@ -138,6 +150,10 @@ fn main() {
     let gflops = |secs: f64| 2.0 * (n_gemm as f64).powi(3) / secs / 1e9;
 
     let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema_version\": {BENCH_SCHEMA_VERSION},");
+    if let Some(rev) = obs::git_revision() {
+        let _ = writeln!(json, "  \"git_rev\": \"{rev}\",");
+    }
     let _ = writeln!(json, "  \"sweep_points\": {SWEEP_POINTS},");
     let _ = writeln!(json, "  \"avg_power_sweep\": {{");
     let _ = writeln!(
@@ -164,12 +180,17 @@ fn main() {
     let _ = writeln!(json, "  \"gemm_n{n_gemm}_block64\": {{");
     let _ = writeln!(json, "    \"branchy_gflops\": {:.3},", gflops(branchy_secs));
     let _ = writeln!(json, "    \"branchless_gflops\": {:.3}", branchless.gflops());
-    let _ = writeln!(json, "  }}");
-    json.push_str("}\n");
+    let _ = writeln!(json, "  }},");
+    // Final counter snapshot (obs writes well-formed JSON), so the report
+    // records how much measured work stands behind the numbers above.
+    json.push_str("  \"metrics\": ");
+    obs::metrics::snapshot().write_json(&mut json);
+    json.push_str("\n}\n");
 
     std::fs::write("BENCH_model.json", &json).expect("write BENCH_model.json");
-    eprintln!("wrote BENCH_model.json");
+    obs::info!("bench", "wrote BENCH_model.json");
     print!("{json}");
+    obs::flush();
 }
 
 /// The seed's blocked SGEMM, zero-skip branch included — kept only so the

@@ -30,7 +30,39 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use archline_fit::Run;
+use archline_obs::{self as obs, field, Counter};
 use archline_powermon::Sample;
+
+/// Fault-spec applications (one per spec per stream/run-set injected).
+static INJECTIONS: Counter = Counter::new("fault.injections");
+/// Individual samples/runs corrupted across all injections.
+static SITES: Counter = Counter::new("fault.sites");
+
+/// Emits the audit event for one spec application. Exactly one event per
+/// `(spec, representation)` — the chaos suite asserts this — carrying the
+/// seed so any corruption is reproducible from the trace alone. Counting
+/// `affected` never draws from the spec's RNG: corrupted streams must stay
+/// bit-identical to their un-audited form.
+fn audit(spec: &FaultSpec, site: &'static str, n_in: usize, n_out: usize, affected: u64) {
+    INJECTIONS.inc();
+    SITES.add(affected);
+    if obs::enabled(obs::Level::Debug) {
+        obs::emit(
+            obs::Level::Debug,
+            "fault",
+            "injected",
+            &[
+                field("class", spec.class.name()),
+                field("severity", spec.severity),
+                field("seed", spec.seed),
+                field("site", site),
+                field("n_in", n_in),
+                field("n_out", n_out),
+                field("affected", affected),
+            ],
+        );
+    }
+}
 
 /// Energy span of a 32-bit µJ RAPL counter, Joules (`2^32 µJ`); the amount
 /// an un-decoded wraparound subtracts from a measured energy.
@@ -237,15 +269,33 @@ fn spike_factor<R: Rng>(rng: &mut R) -> f64 {
 }
 
 fn inject_samples(samples: Vec<Sample>, spec: &FaultSpec) -> Vec<Sample> {
+    let n_in = samples.len();
+    let mut affected = 0u64;
+    let out = inject_samples_impl(samples, spec, &mut affected);
+    audit(spec, "samples", n_in, out.len(), affected);
+    out
+}
+
+fn inject_samples_impl(samples: Vec<Sample>, spec: &FaultSpec, affected: &mut u64) -> Vec<Sample> {
     let mut rng = spec.rng();
     let s = spec.severity;
     match spec.class {
-        FaultClass::Drop => samples.into_iter().filter(|_| !rng.gen_bool(s)).collect(),
+        FaultClass::Drop => samples
+            .into_iter()
+            .filter(|_| {
+                let dropped = rng.gen_bool(s);
+                if dropped {
+                    *affected += 1;
+                }
+                !dropped
+            })
+            .collect(),
         FaultClass::Duplicate => {
             let mut out = Vec::with_capacity(samples.len() * 2);
             for sample in samples {
                 out.push(sample);
                 if rng.gen_bool(s) {
+                    *affected += 1;
                     out.push(sample);
                 }
             }
@@ -257,6 +307,7 @@ fn inject_samples(samples: Vec<Sample>, spec: &FaultSpec) -> Vec<Sample> {
             while i + 1 < out.len() {
                 if rng.gen_bool(s) {
                     out.swap(i, i + 1);
+                    *affected += 2;
                     i += 2; // don't re-swap the pair we just disordered
                 } else {
                     i += 1;
@@ -266,6 +317,7 @@ fn inject_samples(samples: Vec<Sample>, spec: &FaultSpec) -> Vec<Sample> {
         }
         FaultClass::ClockSkew => {
             let k = 1.0 + s;
+            *affected = samples.len() as u64;
             samples.into_iter().map(|p| Sample { time: p.time * k, watts: p.watts }).collect()
         }
         FaultClass::Jitter => {
@@ -273,6 +325,7 @@ fn inject_samples(samples: Vec<Sample>, spec: &FaultSpec) -> Vec<Sample> {
                 samples.windows(2).map(|w| w[1].time - w[0].time).collect();
             dts.sort_by(f64::total_cmp);
             let median_dt = dts.get(dts.len() / 2).copied().unwrap_or(0.0);
+            *affected = samples.len() as u64;
             samples
                 .into_iter()
                 .map(|p| Sample { time: p.time + gauss(&mut rng) * s * median_dt, watts: p.watts })
@@ -282,6 +335,7 @@ fn inject_samples(samples: Vec<Sample>, spec: &FaultSpec) -> Vec<Sample> {
             .into_iter()
             .map(|mut p| {
                 if rng.gen_bool(s) {
+                    *affected += 1;
                     p.watts *= spike_factor(&mut rng);
                 }
                 p
@@ -293,6 +347,7 @@ fn inject_samples(samples: Vec<Sample>, spec: &FaultSpec) -> Vec<Sample> {
             if step <= 0.0 {
                 return samples;
             }
+            *affected = samples.len() as u64;
             samples
                 .into_iter()
                 .map(|p| Sample { time: p.time, watts: (p.watts / step).round() * step })
@@ -302,6 +357,7 @@ fn inject_samples(samples: Vec<Sample>, spec: &FaultSpec) -> Vec<Sample> {
             .into_iter()
             .map(|mut p| {
                 if rng.gen_bool(s) {
+                    *affected += 1;
                     p.watts = 0.0;
                 }
                 p
@@ -319,6 +375,7 @@ fn inject_samples(samples: Vec<Sample>, spec: &FaultSpec) -> Vec<Sample> {
                 .into_iter()
                 .map(|mut p| {
                     if p.time >= start && p.time <= start + width {
+                        *affected += 1;
                         p.watts = 0.0;
                     }
                     p
@@ -329,6 +386,7 @@ fn inject_samples(samples: Vec<Sample>, spec: &FaultSpec) -> Vec<Sample> {
             .into_iter()
             .map(|mut p| {
                 if rng.gen_bool(s) {
+                    *affected += 1;
                     p.watts = f64::NAN;
                 }
                 p
@@ -338,15 +396,33 @@ fn inject_samples(samples: Vec<Sample>, spec: &FaultSpec) -> Vec<Sample> {
 }
 
 fn inject_runs(runs: Vec<Run>, spec: &FaultSpec) -> Vec<Run> {
+    let n_in = runs.len();
+    let mut affected = 0u64;
+    let out = inject_runs_impl(runs, spec, &mut affected);
+    audit(spec, "runs", n_in, out.len(), affected);
+    out
+}
+
+fn inject_runs_impl(runs: Vec<Run>, spec: &FaultSpec, affected: &mut u64) -> Vec<Run> {
     let mut rng = spec.rng();
     let s = spec.severity;
     match spec.class {
-        FaultClass::Drop => runs.into_iter().filter(|_| !rng.gen_bool(s)).collect(),
+        FaultClass::Drop => runs
+            .into_iter()
+            .filter(|_| {
+                let dropped = rng.gen_bool(s);
+                if dropped {
+                    *affected += 1;
+                }
+                !dropped
+            })
+            .collect(),
         FaultClass::Duplicate => {
             let mut out = Vec::with_capacity(runs.len() * 2);
             for run in runs {
                 out.push(run);
                 if rng.gen_bool(s) {
+                    *affected += 1;
                     out.push(run);
                 }
             }
@@ -357,6 +433,7 @@ fn inject_runs(runs: Vec<Run>, spec: &FaultSpec) -> Vec<Run> {
             // A skewed clock stretches every measured duration; energy is
             // integrated power × (skewed) time, so it stretches too.
             let k = 1.0 + s;
+            *affected = runs.len() as u64;
             runs.into_iter()
                 .map(|mut r| {
                     r.time *= k;
@@ -369,6 +446,7 @@ fn inject_runs(runs: Vec<Run>, spec: &FaultSpec) -> Vec<Run> {
             .into_iter()
             .map(|mut r| {
                 if rng.gen_bool(s) {
+                    *affected += 1;
                     r.energy *= spike_factor(&mut rng);
                 }
                 r
@@ -380,6 +458,7 @@ fn inject_runs(runs: Vec<Run>, spec: &FaultSpec) -> Vec<Run> {
             if step <= 0.0 {
                 return runs;
             }
+            *affected = runs.len() as u64;
             runs.into_iter()
                 .map(|mut r| {
                     r.energy = (r.energy / step).round() * step;
@@ -391,6 +470,7 @@ fn inject_runs(runs: Vec<Run>, spec: &FaultSpec) -> Vec<Run> {
             .into_iter()
             .map(|mut r| {
                 if rng.gen_bool(s) {
+                    *affected += 1;
                     r.energy -= COUNTER_WRAP_JOULES;
                 }
                 r
@@ -400,6 +480,7 @@ fn inject_runs(runs: Vec<Run>, spec: &FaultSpec) -> Vec<Run> {
             .into_iter()
             .map(|mut r| {
                 if rng.gen_bool(s) {
+                    *affected += 1;
                     // Rotate through the shapes real failures leave behind.
                     match rng.gen_range(0u32..3) {
                         0 => {
@@ -588,6 +669,41 @@ mod tests {
         assert!(FaultSpec::parse("spike:0.1:7:9").is_err());
         for class in FaultClass::ALL {
             assert_eq!(FaultClass::parse(class.name()), Some(class));
+        }
+    }
+
+    #[test]
+    fn audit_event_emitted_exactly_once_per_spec() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec::new(FaultClass::Spike, 0.2, 1234),
+            FaultSpec::new(FaultClass::Drop, 0.1, 5678),
+        ]);
+        let ((), events) = archline_obs::test_support::capture(|| {
+            let _ = plan.apply_to_runs(runs(100));
+        });
+        let audits: Vec<_> =
+            events.iter().filter(|e| e.target == "fault" && e.name == "injected").collect();
+        assert_eq!(audits.len(), 2, "one audit event per spec application");
+        assert_eq!(audits[0].get_str("class"), Some("spike"));
+        assert_eq!(audits[0].get_u64("seed"), Some(1234));
+        assert_eq!(audits[0].get_str("site"), Some("runs"));
+        assert_eq!(audits[1].get_str("class"), Some("drop"));
+        assert_eq!(audits[1].get_u64("seed"), Some(5678));
+        // The affected count is real: spikes at 20% over 100 runs.
+        let affected = audits[0].get_u64("affected").unwrap();
+        assert!(affected > 0 && affected < 50, "{affected}");
+    }
+
+    #[test]
+    fn audit_does_not_perturb_rng_streams() {
+        // Corruption must be bit-identical whether or not anyone listens:
+        // the audit path must never draw from the spec's RNG.
+        let plan = FaultPlan::single(FaultClass::FailRun, 0.5, 99);
+        let silent = plan.apply_to_runs(runs(200));
+        let (observed, _) =
+            archline_obs::test_support::capture(|| plan.apply_to_runs(runs(200)));
+        for (a, b) in silent.iter().zip(&observed) {
+            assert!(same_bits(a.time, b.time) && same_bits(a.energy, b.energy));
         }
     }
 

@@ -1,5 +1,7 @@
 //! Nelder–Mead derivative-free simplex minimization.
 
+use archline_obs::{self as obs, field};
+
 /// Options for [`nelder_mead`].
 #[derive(Debug, Clone, Copy)]
 pub struct NmOptions {
@@ -11,11 +13,15 @@ pub struct NmOptions {
     /// Initial simplex step, relative to each coordinate (absolute 1e-4
     /// fallback for zero coordinates).
     pub initial_step: f64,
+    /// Emit a `fit.nm_iter` trace event every this many iterations while
+    /// trace-level observability is enabled (0 disables iteration traces).
+    /// Pure diagnostics: never alters the optimization path.
+    pub trace_every: usize,
 }
 
 impl Default for NmOptions {
     fn default() -> Self {
-        Self { max_evals: 4000, f_tol: 1e-12, initial_step: 0.1 }
+        Self { max_evals: 4000, f_tol: 1e-12, initial_step: 0.1, trace_every: 50 }
     }
 }
 
@@ -64,10 +70,28 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(mut f: F, x0: &[f64], opts: NmOption
     }
 
     let mut converged = false;
+    let mut iter = 0usize;
     while evals < opts.max_evals {
         simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN after mapping"));
         let best = simplex[0].1;
         let worst = simplex[n].1;
+        iter += 1;
+        if opts.trace_every > 0
+            && iter % opts.trace_every == 0
+            && obs::enabled(obs::Level::Trace)
+        {
+            obs::emit(
+                obs::Level::Trace,
+                "fit",
+                "nm_iter",
+                &[
+                    field("iter", iter),
+                    field("evals", evals),
+                    field("best", best),
+                    field("spread", worst - best),
+                ],
+            );
+        }
         // Converge only when both the objective spread AND the simplex
         // extent are small — f-spread alone stalls on symmetric ties (two
         // points equidistant from a 1-D minimum have identical f).

@@ -24,6 +24,7 @@
 use serde::{Deserialize, Serialize};
 
 use archline_core::{EnergyRoofline, MachineParams, PowerCap, RooflinePlan};
+use archline_obs::{self as obs, field, Counter};
 
 use crate::measurement::{MeasurementSet, Run};
 use crate::nelder_mead::{nelder_mead, NmOptions};
@@ -43,6 +44,16 @@ const REJECTION_NOISE_FLOOR: f64 = 1e-9;
 /// is grossly corrupt even when heavy contamination has inflated the MAD
 /// enough to mask it (spike factors are ≥ e² ≈ 7.4×, so they clear this).
 const GROSS_LOG_RATIO: f64 = 1.386_294_361_119_890_6; // ln(4)
+
+/// Platform fits attempted through [`try_fit_platform`].
+static FITS: Counter = Counter::new("fit.platforms");
+/// Nelder–Mead objective evaluations across all refinements.
+static NM_EVALS: Counter = Counter::new("fit.nm_evals");
+/// Runs screened out (invalid + MAD-rejected) across all fits.
+static RUNS_REJECTED: Counter = Counter::new("fit.runs_rejected");
+/// Basin-failure rescues that improved the capped fit (see the
+/// nested-model guarantee in [`try_fit_platform`]).
+static RESCUES: Counter = Counter::new("fit.rescues");
 
 /// Goodness-of-fit diagnostics for one fitted model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -99,8 +110,16 @@ pub fn fit_platform(set: &MeasurementSet) -> FitReport {
 /// Fits both models to a DRAM-intensity measurement sweep, returning a
 /// typed error instead of panicking when the data cannot support a fit.
 pub fn try_fit_platform(set: &MeasurementSet, opts: &FitOptions) -> Result<FitReport, FitError> {
+    FITS.inc();
+    let _fit_span = obs::span_with(
+        obs::Level::Debug,
+        "fit",
+        "fit_platform",
+        &[field("runs", set.runs.len())],
+    );
     // Screen out runs no fit stage can digest (NaN/zero time, negative
     // energy — the shapes counter wraparound and crashed runs leave).
+    let screen_span = obs::span(obs::Level::Debug, "fit", "screen");
     let valid: Vec<Run> = set.runs.iter().copied().filter(Run::is_valid).collect();
     let mut rejected = set.runs.len() - valid.len();
 
@@ -132,11 +151,15 @@ pub fn try_fit_platform(set: &MeasurementSet, opts: &FitOptions) -> Result<FitRe
         rejected += reject_time_outliers(&mut runs, tau_flop, tau_mem, opts.outlier_k);
         rejected += reject_energy_outliers(&mut runs, opts.outlier_k);
         if runs.len() < 4 {
+            RUNS_REJECTED.add(rejected as u64);
             return Err(FitError::TooFewRuns { got: runs.len() });
         }
     }
+    RUNS_REJECTED.add(rejected as u64);
+    drop(screen_span);
 
     // Stage 2: linear energy decomposition (shared seed for both models).
+    let decompose_span = obs::span(obs::Level::Debug, "fit", "decompose");
     let design: Vec<Vec<f64>> = runs.iter().map(|r| vec![r.flops, r.bytes, r.time]).collect();
     let target: Vec<f64> = runs.iter().map(|r| r.energy).collect();
     let beta = ols_nonneg(&design, &target).ok_or(FitError::DecompositionFailed)?;
@@ -146,6 +169,7 @@ pub fn try_fit_platform(set: &MeasurementSet, opts: &FitOptions) -> Result<FitRe
     eps_flop = eps_flop.max(floor);
     eps_mem = eps_mem.max(floor);
     pi1 = pi1.max(1e-6);
+    drop(decompose_span);
 
     // Stage 3: cap seed from throttled runs.
     let throttled: Vec<f64> = runs
@@ -159,6 +183,14 @@ pub fn try_fit_platform(set: &MeasurementSet, opts: &FitOptions) -> Result<FitRe
     } else {
         archline_stats::quantile(&throttled, 0.5)
     };
+    if obs::enabled(obs::Level::Debug) {
+        obs::emit(
+            obs::Level::Debug,
+            "fit",
+            "cap_seed",
+            &[field("throttled_runs", throttled.len()), field("delta_pi0", delta_pi0)],
+        );
+    }
 
     // Stage 4: joint refinement — all parameters free, including the τs.
     // This matters for the capped-vs-uncapped comparison: forced to explain
@@ -178,7 +210,8 @@ pub fn try_fit_platform(set: &MeasurementSet, opts: &FitOptions) -> Result<FitRe
     // from the uncapped optimum with the cap seeded above peak dynamic
     // demand and keep the better candidate.
     let capped_loss = refinement_loss(&capped, &runs, opts.loss);
-    if capped_loss > 1.05 * refinement_loss(&uncapped, &runs, opts.loss) {
+    let uncapped_loss = refinement_loss(&uncapped, &runs, opts.loss);
+    if capped_loss > 1.05 * uncapped_loss {
         let free_dpi = 2.0 * (uncapped.flop_power() + uncapped.mem_power());
         let seed = [
             uncapped.energy_per_flop,
@@ -189,7 +222,23 @@ pub fn try_fit_platform(set: &MeasurementSet, opts: &FitOptions) -> Result<FitRe
             free_dpi,
         ];
         let (retry, retry_conv) = refine(&runs, &seed, true, opts);
-        if refinement_loss(&retry, &runs, opts.loss) < capped_loss {
+        let retry_loss = refinement_loss(&retry, &runs, opts.loss);
+        let rescued = retry_loss < capped_loss;
+        if obs::enabled(obs::Level::Debug) {
+            obs::emit(
+                obs::Level::Debug,
+                "fit",
+                "rescue",
+                &[
+                    field("capped_loss", capped_loss),
+                    field("uncapped_loss", uncapped_loss),
+                    field("retry_loss", retry_loss),
+                    field("rescued", rescued),
+                ],
+            );
+        }
+        if rescued {
+            RESCUES.inc();
             capped = retry;
             capped_conv = retry_conv;
         }
@@ -200,6 +249,19 @@ pub fn try_fit_platform(set: &MeasurementSet, opts: &FitOptions) -> Result<FitRe
     let over_rejected = opts.reject_outliers && 2 * rejected > candidates;
     let degraded_capped = (opts.max_restarts > 0 && !capped_conv) || over_rejected;
     let degraded_uncapped = (opts.max_restarts > 0 && !uncapped_conv) || over_rejected;
+    if (degraded_capped || degraded_uncapped) && obs::enabled(obs::Level::Debug) {
+        obs::emit(
+            obs::Level::Debug,
+            "fit",
+            "degraded",
+            &[
+                field("capped_converged", capped_conv),
+                field("uncapped_converged", uncapped_conv),
+                field("rejected", rejected),
+                field("candidates", candidates),
+            ],
+        );
+    }
 
     Ok(FitReport {
         capped_diag: diagnostics(&capped, &runs, rejected, degraded_capped),
@@ -225,8 +287,26 @@ fn reject_time_outliers(runs: &mut Vec<Run>, tau_flop: f64, tau_mem: f64, k: f64
     let m = median(&ratios);
     let sigma = (1.4826 * mad(&ratios)).max(REJECTION_NOISE_FLOOR);
     let before = runs.len();
-    let mut keep =
-        ratios.iter().map(|&ratio| !((m - ratio) / sigma > k && ratio < 0.0));
+    let flags: Vec<bool> =
+        ratios.iter().map(|&ratio| (m - ratio) / sigma > k && ratio < 0.0).collect();
+    if obs::enabled(obs::Level::Debug) {
+        for (i, (&flag, &ratio)) in flags.iter().zip(&ratios).enumerate() {
+            if flag {
+                obs::emit(
+                    obs::Level::Debug,
+                    "fit",
+                    "reject_run",
+                    &[
+                        field("kind", "time"),
+                        field("run", i),
+                        field("mad_score", (m - ratio) / sigma),
+                        field("log_ratio", ratio),
+                    ],
+                );
+            }
+        }
+    }
+    let mut keep = flags.iter().map(|f| !f);
     runs.retain(|_| keep.next().unwrap_or(true));
     before - runs.len()
 }
@@ -266,6 +346,23 @@ fn reject_energy_outliers(runs: &mut Vec<Run>, k: f64) -> usize {
             .collect();
         if !flags.iter().any(|&f| f) {
             break;
+        }
+        if obs::enabled(obs::Level::Debug) {
+            for (i, (&flag, &r)) in flags.iter().zip(&resid).enumerate() {
+                if flag {
+                    obs::emit(
+                        obs::Level::Debug,
+                        "fit",
+                        "reject_run",
+                        &[
+                            field("kind", "energy"),
+                            field("run", i),
+                            field("mad_score", (r - m).abs() / sigma),
+                            field("log_ratio", r),
+                        ],
+                    );
+                }
+            }
         }
         let mut keep = flags.iter().map(|f| !f);
         runs.retain(|_| keep.next().unwrap_or(true));
@@ -351,6 +448,12 @@ pub fn refinement_loss(params: &MachineParams, runs: &[Run], loss: Loss) -> f64 
 /// into buffers owned by the closure, so the thousands of simplex
 /// evaluations do no per-run rederivation and no per-evaluation allocation.
 fn refine(runs: &[Run], seed: &[f64], capped: bool, opts: &FitOptions) -> (MachineParams, bool) {
+    let _span = obs::span_with(
+        obs::Level::Debug,
+        "fit",
+        "refine",
+        &[field("model", if capped { "capped" } else { "uncapped" }), field("runs", runs.len())],
+    );
     let build = |logs: &[f64]| -> MachineParams {
         MachineParams {
             time_per_flop: logs[3].exp(),
@@ -372,21 +475,49 @@ fn refine(runs: &[Run], seed: &[f64], capped: bool, opts: &FitOptions) -> (Machi
         }
     };
     let nm_opts = NmOptions { max_evals: 12_000, ..Default::default() };
+    let model = if capped { "capped" } else { "uncapped" };
+    let nm_attempt = |result: &crate::nelder_mead::NmResult, attempt: usize| {
+        NM_EVALS.add(result.evals as u64);
+        if obs::enabled(obs::Level::Debug) {
+            obs::emit(
+                obs::Level::Debug,
+                "fit",
+                "nm_attempt",
+                &[
+                    field("model", model),
+                    field("attempt", attempt),
+                    field("evals", result.evals),
+                    field("fx", result.fx),
+                    field("converged", result.converged),
+                ],
+            );
+        }
+    };
     let x0: Vec<f64> = seed.iter().map(|v| v.ln()).collect();
     let mut result = nelder_mead(&mut objective, &x0, nm_opts);
+    nm_attempt(&result, 0);
     // A stalled simplex gets bounded retries from perturbed seeds; keep the
     // best objective seen so a failed retry can never lose ground.
     let mut rng = restart_rng(opts.restart_seed);
-    for _ in 0..opts.max_restarts {
+    for restart in 0..opts.max_restarts {
         if result.converged {
             break;
         }
         let xp = perturb_seed(&x0, 0.05, &mut rng);
         let retry = nelder_mead(&mut objective, &xp, nm_opts);
+        nm_attempt(&retry, restart + 1);
         if retry.fx < result.fx || (retry.converged && !result.converged && retry.fx <= result.fx)
         {
             result = retry;
         }
+    }
+    if obs::enabled(obs::Level::Debug) {
+        obs::emit(
+            obs::Level::Debug,
+            "fit",
+            "convergence",
+            &[field("model", model), field("converged", result.converged), field("fx", result.fx)],
+        );
     }
     (build(&result.x), result.converged)
 }

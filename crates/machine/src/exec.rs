@@ -6,7 +6,11 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use archline_core::HierWorkload;
+use archline_obs::{self as obs, Counter};
 use archline_powermon::PowerMon2;
+
+/// Simulated measurement runs executed through [`MeasurePlan::measure`].
+static RUNS: Counter = Counter::new("machine.runs");
 
 use crate::engine::{Engine, SpecPlan};
 use crate::spec::PlatformSpec;
@@ -78,6 +82,8 @@ impl<'a> MeasurePlan<'a> {
 
     /// Runs `workload` and measures it, deterministic in `seed`.
     pub fn measure(&self, workload: &HierWorkload, seed: u64) -> RunResult {
+        RUNS.inc();
+        let _span = obs::span(obs::Level::Trace, "machine", "measure");
         let spec = self.plan.spec();
         let mut rng = StdRng::seed_from_u64(seed);
         let execution = self.engine.run_planned(&self.plan, workload, &mut rng);

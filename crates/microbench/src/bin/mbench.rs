@@ -14,6 +14,7 @@ use archline_microbench::{
     cache::detect_levels, cache_sweep, gemm_bench, intensity_sweep_f32, pointer_chase,
     stream_triad, StreamKind,
 };
+use archline_obs as obs;
 use archline_powermon::RaplReader;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -80,6 +81,12 @@ fn main() {
         std::process::exit(2);
     }
 
+    obs::set_stderr_level(Some(obs::Level::Info));
+    if let Err(e) = obs::init_from_env() {
+        obs::error!("mbench", "mbench: {e}");
+        std::process::exit(2);
+    }
+
     let budget = if quick { 0.02 } else { 0.15 };
     let rapl = RaplReader::probe();
     let mut report = Report {
@@ -93,6 +100,7 @@ fn main() {
     };
 
     if run("intensity") {
+        let _span = obs::span(obs::Level::Debug, "mbench", "intensity");
         let len = if quick { 1 << 20 } else { 16 << 20 };
         let chains = [1usize, 2, 4, 8, 16, 32, 64, 128];
         let rows = intensity_sweep_f32(len, &chains, budget, rapl.as_ref())
@@ -107,6 +115,7 @@ fn main() {
         report.intensity = Some(rows);
     }
     if run("stream") {
+        let _span = obs::span(obs::Level::Debug, "mbench", "stream");
         let len = if quick { 1 << 18 } else { 4 << 20 };
         let rows = [StreamKind::Copy, StreamKind::Scale, StreamKind::Add, StreamKind::Triad]
             .into_iter()
@@ -118,6 +127,7 @@ fn main() {
         report.stream = Some(rows);
     }
     if run("chase") {
+        let _span = obs::span(obs::Level::Debug, "mbench", "chase");
         let mut rng = StdRng::seed_from_u64(42);
         let steps = if quick { 1 << 18 } else { 1 << 22 };
         let rows = [(1usize << 13, 1usize), (1 << 22, 1), (1 << 22, archline_par::num_threads())]
@@ -135,6 +145,7 @@ fn main() {
         report.chase = Some(rows);
     }
     if run("cache") {
+        let _span = obs::span(obs::Level::Debug, "mbench", "cache");
         let max = if quick { 4 << 20 } else { 64 << 20 };
         let pts = cache_sweep(16 << 10, max, if quick { 1e7 } else { 1e8 });
         report.cache = Some(
@@ -144,9 +155,10 @@ fn main() {
         );
         if !json {
             let levels = detect_levels(&pts, 0.7);
-            eprintln!("detected {} hierarchy plateau(s):", levels.len());
+            obs::info!("mbench", "detected {} hierarchy plateau(s):", levels.len());
             for l in levels {
-                eprintln!(
+                obs::info!(
+                    "mbench",
                     "  up to {:>9} B: {:.2} GB/s",
                     l.capacity_bytes,
                     l.bytes_per_sec / 1e9
@@ -155,6 +167,7 @@ fn main() {
         }
     }
     if run("gemm") {
+        let _span = obs::span(obs::Level::Debug, "mbench", "gemm");
         let sizes: &[usize] = if quick { &[128] } else { &[256, 512] };
         let rows = sizes
             .iter()
@@ -171,6 +184,7 @@ fn main() {
     } else {
         print_human(&report);
     }
+    obs::flush();
 }
 
 fn print_human(r: &Report) {

@@ -1,0 +1,116 @@
+//! Git revision discovery without subprocesses or libgit2: walk up from the
+//! current directory to `.git`, then resolve `HEAD` through loose refs and
+//! `packed-refs`. Offline-container safe (no `git` binary needed) and cheap
+//! enough to call once per run for BENCH provenance stamps.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The current commit hash (full 40-hex), or `None` outside a git checkout
+/// or when the repository layout is unrecognized. Detached HEADs resolve
+/// directly; symbolic HEADs resolve through `refs/...` then `packed-refs`.
+pub fn git_revision() -> Option<String> {
+    let start = std::env::current_dir().ok()?;
+    let git_dir = find_git_dir(&start)?;
+    let head = fs::read_to_string(git_dir.join("HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(refname) = head.strip_prefix("ref: ") {
+        resolve_ref(&git_dir, refname.trim())
+    } else if is_hex40(head) {
+        Some(head.to_string())
+    } else {
+        None
+    }
+}
+
+fn find_git_dir(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let candidate = dir.join(".git");
+        if candidate.is_dir() {
+            return Some(candidate);
+        }
+        // Worktrees and submodules use a `.git` *file* pointing elsewhere.
+        if candidate.is_file() {
+            let content = fs::read_to_string(&candidate).ok()?;
+            let target = content.trim().strip_prefix("gitdir: ")?.trim();
+            let target = if Path::new(target).is_absolute() {
+                PathBuf::from(target)
+            } else {
+                dir.join(target)
+            };
+            return Some(target);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn resolve_ref(git_dir: &Path, refname: &str) -> Option<String> {
+    // Refuse path traversal from a hostile HEAD.
+    if refname.contains("..") || refname.starts_with('/') {
+        return None;
+    }
+    if let Ok(loose) = fs::read_to_string(git_dir.join(refname)) {
+        let loose = loose.trim();
+        if is_hex40(loose) {
+            return Some(loose.to_string());
+        }
+    }
+    let packed = fs::read_to_string(git_dir.join("packed-refs")).ok()?;
+    for line in packed.lines() {
+        let line = line.trim();
+        if line.starts_with('#') || line.starts_with('^') {
+            continue;
+        }
+        if let Some((hash, name)) = line.split_once(' ') {
+            if name.trim() == refname && is_hex40(hash) {
+                return Some(hash.to_string());
+            }
+        }
+    }
+    None
+}
+
+fn is_hex40(s: &str) -> bool {
+    s.len() == 40 && s.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex40_detection() {
+        assert!(is_hex40(&"a".repeat(40)));
+        assert!(!is_hex40(&"a".repeat(39)));
+        assert!(!is_hex40(&"g".repeat(40)));
+    }
+
+    #[test]
+    fn resolves_this_repository_if_present() {
+        // In a git checkout this returns a 40-hex hash; in an exported
+        // tarball it returns None. Both are correct.
+        if let Some(rev) = git_revision() {
+            assert!(is_hex40(&rev), "{rev}");
+        }
+    }
+
+    #[test]
+    fn resolve_ref_reads_loose_and_packed() {
+        let dir = std::env::temp_dir().join(format!("obs-git-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("refs/heads")).unwrap();
+        let loose_hash = "1".repeat(40);
+        fs::write(dir.join("refs/heads/main"), format!("{loose_hash}\n")).unwrap();
+        assert_eq!(resolve_ref(&dir, "refs/heads/main"), Some(loose_hash));
+        let packed_hash = "2".repeat(40);
+        fs::write(dir.join("packed-refs"), format!("# pack-refs\n{packed_hash} refs/heads/other\n"))
+            .unwrap();
+        assert_eq!(resolve_ref(&dir, "refs/heads/other"), Some(packed_hash));
+        assert_eq!(resolve_ref(&dir, "refs/heads/missing"), None);
+        assert_eq!(resolve_ref(&dir, "../escape"), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,77 @@
+//! Minimal JSON emission helpers (the crate is zero-dependency by design,
+//! so it cannot use `serde_json`). Only what the JSONL sink needs: string
+//! escaping and float formatting, both deterministic.
+
+/// Appends `s` as a JSON string (with surrounding quotes) to `out`.
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number. Rust's `Display` for `f64` is the shortest
+/// round-trip representation (deterministic); non-finite values become
+/// `null`, matching what `serde_json` does elsewhere in the workspace.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // `Display` prints integral floats without a dot ("3"); keep the
+        // token unambiguously a float so downstream schema checks are easy.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn esc(s: &str) -> String {
+        let mut out = String::new();
+        push_str_escaped(&mut out, s);
+        out
+    }
+
+    fn num(v: f64) -> String {
+        let mut out = String::new();
+        push_f64(&mut out, v);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(esc("plain"), "\"plain\"");
+        assert_eq!(esc("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(esc("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(esc("\u{01}"), "\"\\u0001\"");
+        assert_eq!(esc("τ_flop ≤ ε"), "\"τ_flop ≤ ε\"");
+    }
+
+    #[test]
+    fn floats_round_trip_and_stay_floats() {
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(3.0), "3.0");
+        assert_eq!(num(-2.0), "-2.0");
+        assert_eq!(num(0.1), "0.1");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        let v: f64 = num(1e300).parse().unwrap();
+        assert_eq!(v, 1e300);
+    }
+}

@@ -1,0 +1,356 @@
+//! Process-wide metrics: counters, gauges, and power-of-two histograms.
+//!
+//! All updates are single relaxed atomic operations — metrics stay on even
+//! when no sink is installed, because a `fetch_add` is cheaper than any
+//! branch-and-maybe-count scheme is worth. Instruments register themselves
+//! in a global registry on first use (via [`std::sync::Once`]), so a
+//! snapshot sees exactly the instruments the run actually touched.
+//!
+//! Two flavors of counter:
+//!
+//! * `static TASKS: Counter = Counter::new("par.tasks");` — zero-cost
+//!   static with `const` construction (preferred);
+//! * [`counter("par.worker.3.busy")`](counter) — dynamic names, leaked into
+//!   the registry (bounded: one allocation per distinct name per process).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, Once};
+
+use crate::json;
+
+/// A monotonically increasing counter.
+pub struct Counter {
+    name: &'static str,
+    v: AtomicU64,
+    once: Once,
+}
+
+impl Counter {
+    /// A new counter; registers itself on first [`add`](Counter::add).
+    pub const fn new(name: &'static str) -> Self {
+        Self { name, v: AtomicU64::new(0), once: Once::new() }
+    }
+
+    /// Adds `n`. Requires `&'static self` so the registry can hold the
+    /// reference; counters are meant to be `static` items.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        self.once.call_once(|| with_registry(|r| r.counters.push(self)));
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// The counter's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A last-value-wins gauge (also tracks the maximum ever set).
+pub struct Gauge {
+    name: &'static str,
+    v: AtomicU64,
+    max: AtomicU64,
+    once: Once,
+}
+
+impl Gauge {
+    /// A new gauge; registers itself on first [`set`](Gauge::set).
+    pub const fn new(name: &'static str) -> Self {
+        Self { name, v: AtomicU64::new(0), max: AtomicU64::new(0), once: Once::new() }
+    }
+
+    /// Sets the current value (and folds it into the running maximum).
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        self.once.call_once(|| with_registry(|r| r.gauges.push(self)));
+        self.v.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever set.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+const BUCKETS: usize = 64;
+
+/// A histogram over `u64` samples with power-of-two buckets: bucket `i`
+/// counts samples of bit length `i` (bucket 0 holds the value 0).
+/// Fixed-size, lock-free — good enough for queue depths and durations.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    once: Once,
+}
+
+impl Histogram {
+    /// A new histogram; registers itself on first [`record`](Histogram::record).
+    pub const fn new(name: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const Z: AtomicU64 = AtomicU64::new(0);
+        Self {
+            name,
+            buckets: [Z; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            once: Once::new(),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        self.once.call_once(|| with_registry(|r| r.histograms.push(self)));
+        let b = (64 - v.leading_zeros()) as usize; // 0 for v==0, else bit length
+        self.buckets[b.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                // Inclusive upper bound of bucket i (values of bit length
+                // i are < 2^i); bucket 0 is exactly the value 0.
+                let le = if i == 0 { 0 } else { ((1u128 << i) - 1) as u64 };
+                buckets.push((le, n));
+            }
+        }
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            count,
+            sum,
+            max: self.max.load(Ordering::Relaxed),
+            mean: if count > 0 { sum as f64 / count as f64 } else { 0.0 },
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Mean sample (0 when empty).
+    pub mean: f64,
+    /// Non-empty buckets as `(upper_bound_inclusive, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+struct Registry {
+    counters: Vec<&'static Counter>,
+    gauges: Vec<&'static Gauge>,
+    histograms: Vec<&'static Histogram>,
+    dynamic: BTreeMap<String, &'static Counter>,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
+    let mut guard = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let reg = guard.get_or_insert_with(|| Registry {
+        counters: Vec::new(),
+        gauges: Vec::new(),
+        histograms: Vec::new(),
+        dynamic: BTreeMap::new(),
+    });
+    f(reg)
+}
+
+/// A dynamically named counter. The first call for a given name leaks one
+/// `Counter` (and its name) so updates after lookup are as cheap as the
+/// static flavor; subsequent calls return the same instance.
+pub fn counter(name: &str) -> &'static Counter {
+    with_registry(|r| {
+        if let Some(c) = r.dynamic.get(name) {
+            return *c;
+        }
+        let leaked_name: &'static str = Box::leak(name.to_string().into_boxed_str());
+        let c: &'static Counter = Box::leak(Box::new(Counter::new(leaked_name)));
+        // Registered here directly; burn the `Once` so the first `add`
+        // doesn't register it a second time.
+        c.once.call_once(|| {});
+        r.dynamic.insert(leaked_name.to_string(), c);
+        r.counters.push(c);
+        c
+    })
+}
+
+/// A point-in-time copy of every registered instrument, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter touched so far.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value, max)` for every gauge touched so far.
+    pub gauges: Vec<(String, u64, u64)>,
+    /// Every histogram touched so far.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Appends this snapshot as a JSON object to `out`:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str_escaped(out, name);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v, max)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str_escaped(out, name);
+            let _ = write!(out, ":{{\"value\":{v},\"max\":{max}}}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str_escaped(out, &h.name);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":",
+                h.count, h.sum, h.max
+            );
+            json::push_f64(out, h.mean);
+            out.push_str(",\"buckets\":[");
+            for (j, (le, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{le},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+    }
+}
+
+/// Snapshots every registered instrument, sorted (and same-name counters
+/// merged) so the JSON output is deterministic regardless of registration
+/// order.
+pub fn snapshot() -> MetricsSnapshot {
+    with_registry(|r| {
+        let mut by_name: BTreeMap<String, u64> = BTreeMap::new();
+        for c in &r.counters {
+            *by_name.entry(c.name.to_string()).or_insert(0) += c.get();
+        }
+        let counters: Vec<(String, u64)> = by_name.into_iter().collect();
+        let mut gauges: Vec<(String, u64, u64)> =
+            r.gauges.iter().map(|g| (g.name.to_string(), g.get(), g.max())).collect();
+        gauges.sort();
+        let mut histograms: Vec<HistogramSnapshot> =
+            r.histograms.iter().map(|h| h.snapshot()).collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot { counters, gauges, histograms }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        static C: Counter = Counter::new("test.metrics.counter");
+        C.add(3);
+        C.inc();
+        assert_eq!(C.get(), 4);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.metrics.counter"), Some(4));
+    }
+
+    #[test]
+    fn gauges_track_max() {
+        static G: Gauge = Gauge::new("test.metrics.gauge");
+        G.set(10);
+        G.set(3);
+        assert_eq!(G.get(), 3);
+        assert_eq!(G.max(), 10);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        static H: Histogram = Histogram::new("test.metrics.hist");
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            H.record(v);
+        }
+        let snap = snapshot();
+        let h = snap.histograms.iter().find(|h| h.name == "test.metrics.hist").unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1106);
+        assert_eq!(h.max, 1000);
+        // 0 → le=0; 1 → le=1; 2,3 → le=3; 100 → le=127; 1000 → le=1023.
+        assert_eq!(h.buckets, vec![(0, 1), (1, 1), (3, 2), (127, 1), (1023, 1)]);
+    }
+
+    #[test]
+    fn dynamic_counters_are_interned() {
+        let a = counter("test.metrics.dyn");
+        let b = counter("test.metrics.dyn");
+        assert!(std::ptr::eq(a, b));
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.metrics.dyn"), Some(2));
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        static C: Counter = Counter::new("test.metrics.json_c");
+        C.inc();
+        let snap = snapshot();
+        let mut out = String::new();
+        snap.write_json(&mut out);
+        assert!(out.starts_with("{\"counters\":{"), "{out}");
+        assert!(out.contains("\"test.metrics.json_c\":1"), "{out}");
+        assert!(out.ends_with("}}"), "{out}");
+    }
+}

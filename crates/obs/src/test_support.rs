@@ -1,0 +1,72 @@
+//! Test helpers: run a closure with an in-memory capture sink installed
+//! and get back everything it emitted.
+//!
+//! Sinks are process-global, so concurrent captures would see each other's
+//! events; a global mutex serializes capture windows across test threads.
+//! (Events emitted by *other* threads during the window — e.g. executor
+//! workers started inside the closure — are captured too, which is exactly
+//! what the span-nesting tests want.)
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use crate::event::OwnedEvent;
+use crate::sink::CaptureSink;
+
+fn capture_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with a fresh capture sink installed; returns `f`'s result and
+/// every event emitted during the window, in `seq` order.
+///
+/// The sink is removed even if `f` panics (the panic is then propagated),
+/// so one failing test cannot leave global tracing enabled for the rest of
+/// the suite.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Vec<OwnedEvent>) {
+    let _guard = capture_lock();
+    let sink = Arc::new(CaptureSink::new());
+    let id = crate::install_sink(sink.clone());
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    crate::remove_sink(id);
+    let mut events = sink.drain();
+    events.sort_by_key(|e| e.seq);
+    match result {
+        Ok(v) => (v, events),
+        Err(p) => std::panic::resume_unwind(p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, Level};
+
+    #[test]
+    fn capture_sees_events_and_cleans_up() {
+        let ((), events) = capture(|| {
+            crate::emit(Level::Info, "tsup", "ping", &[crate::field("n", 1u64)]);
+        });
+        let ping =
+            events.iter().find(|e| e.target == "tsup" && e.name == "ping").expect("captured");
+        assert_eq!(ping.kind, EventKind::Point);
+        assert_eq!(ping.get_u64("n"), Some(1));
+    }
+
+    #[test]
+    fn capture_removes_sink_on_panic() {
+        let r = std::panic::catch_unwind(|| {
+            capture(|| {
+                crate::emit(Level::Info, "tsup", "pre-panic", &[]);
+                panic!("test panic");
+            })
+        });
+        assert!(r.is_err());
+        // A later capture window still works and starts empty of our events.
+        let ((), events) = capture(|| {
+            crate::emit(Level::Info, "tsup", "after", &[]);
+        });
+        assert!(events.iter().any(|e| e.name == "after"));
+        assert!(!events.iter().any(|e| e.name == "pre-panic"));
+    }
+}

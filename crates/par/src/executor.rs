@@ -42,6 +42,23 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use archline_obs::{self as obs, Counter, Histogram};
+
+/// Batches submitted through `run_batch` (multi-job path only).
+static BATCHES: Counter = Counter::new("par.batches");
+/// Tasks executed, regardless of which thread ran them.
+static TASKS: Counter = Counter::new("par.tasks");
+/// Tasks taken from the shared injector queue.
+static INJECTOR_POPS: Counter = Counter::new("par.injector_pops");
+/// Tasks stolen from a sibling worker's deque.
+static STEALS: Counter = Counter::new("par.steals");
+/// Task panics captured by the batch barrier.
+static TASK_PANICS: Counter = Counter::new("par.task_panics");
+/// Queue depth (tasks queued, not yet popped) sampled at each submission.
+static QUEUE_DEPTH: Histogram = Histogram::new("par.queue_depth");
+/// Jobs per multi-job batch.
+static BATCH_JOBS: Histogram = Histogram::new("par.batch_jobs");
+
 /// A unit of work with the lifetime of the submitting `run_batch` call.
 pub type Job<'scope> = Box<dyn FnOnce() + Send + 'scope>;
 
@@ -186,12 +203,21 @@ impl Executor {
             .map(|job| Task { batch: Some(Arc::clone(&batch)), job: erase(job) })
             .collect();
 
+        BATCHES.inc();
+        BATCH_JOBS.record(n as u64);
+        let _span = obs::span_with(
+            obs::Level::Trace,
+            "par",
+            "batch",
+            &[obs::field("jobs", n as u64)],
+        );
+
         let me = current_worker_on(&self.shared);
         match me {
             Some(idx) => lock(&self.shared.queues[idx]).extend(tasks),
             None => lock(&self.shared.injector).extend(tasks),
         }
-        self.shared.queued.fetch_add(n, Ordering::SeqCst);
+        QUEUE_DEPTH.record(self.shared.queued.fetch_add(n, Ordering::SeqCst) as u64 + n as u64);
         {
             let _guard = lock(&self.shared.idle_lock);
             self.shared.idle_cv.notify_all();
@@ -239,7 +265,7 @@ impl Executor {
             Some(idx) => lock(&self.shared.queues[idx]).push_back(Task { batch: None, job }),
             None => lock(&self.shared.injector).push_back(Task { batch: None, job }),
         }
-        self.shared.queued.fetch_add(1, Ordering::SeqCst);
+        QUEUE_DEPTH.record(self.shared.queued.fetch_add(1, Ordering::SeqCst) as u64 + 1);
         let _guard = lock(&self.shared.idle_lock);
         self.shared.idle_cv.notify_all();
     }
@@ -275,8 +301,12 @@ fn current_worker_on(shared: &Arc<Shared>) -> Option<usize> {
 
 fn worker_loop(shared: Arc<Shared>, idx: usize) {
     WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&shared), idx)));
+    // Per-worker utilization counter, interned once (updates are one
+    // relaxed fetch_add; the registry lookup happens only here).
+    let worker_tasks = obs::counter(&format!("par.worker.{idx}.tasks"));
     loop {
         if let Some(task) = find_task(&shared, Some(idx)) {
+            worker_tasks.inc();
             execute(task);
             continue;
         }
@@ -305,6 +335,7 @@ fn find_task(shared: &Shared, me: Option<usize>) -> Option<Task> {
     }
     if let Some(t) = lock(&shared.injector).pop_front() {
         shared.queued.fetch_sub(1, Ordering::SeqCst);
+        INJECTOR_POPS.inc();
         return Some(t);
     }
     let n = shared.queues.len();
@@ -316,6 +347,7 @@ fn find_task(shared: &Shared, me: Option<usize>) -> Option<Task> {
         }
         if let Some(t) = lock(&shared.queues[victim]).pop_front() {
             shared.queued.fetch_sub(1, Ordering::SeqCst);
+            STEALS.inc();
             return Some(t);
         }
     }
@@ -326,7 +358,16 @@ fn find_task(shared: &Shared, me: Option<usize>) -> Option<Task> {
 /// joiner when the batch completes.
 fn execute(task: Task) {
     let Task { batch, job } = task;
-    let result = catch_unwind(AssertUnwindSafe(job));
+    TASKS.inc();
+    let result = {
+        // Opened before `catch_unwind` so a panicking job still closes its
+        // span during unwind — the trace never shows a dangling task.
+        let _span = obs::span(obs::Level::Trace, "par", "task");
+        catch_unwind(AssertUnwindSafe(job))
+    };
+    if result.is_err() {
+        TASK_PANICS.inc();
+    }
     let Some(batch) = batch else {
         // Detached tasks manage their own panic accounting (see
         // `ThreadPool::execute`, which wraps jobs in `catch_unwind`).

@@ -1,0 +1,106 @@
+//! Span integrity under the work-stealing executor.
+//!
+//! The obs crate promises a well-formed span tree even when spans open on
+//! worker threads, nest across fork-join boundaries, or belong to tasks
+//! that panic (the executor isolates the panic and re-raises it from
+//! `run_batch`). These tests run real nested `parallel_map` batches under
+//! a capture sink and check the structural invariants:
+//!
+//! * every `span_open` has exactly one matching `span_close`;
+//! * a child's parent span is still open when the child opens (parent
+//!   linkage is same-thread, so this must hold in `seq` order);
+//! * a panicking task closes its span before the panic propagates.
+//!
+//! This lives in `archline-par`'s tests (not `archline-obs`'s) because obs
+//! cannot depend on par without a cycle.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+use archline_obs::{test_support::capture, EventKind, OwnedEvent};
+use archline_par::parallel_map;
+
+/// Pins the pool to 4 workers so `parallel_map` takes the batched executor
+/// path even on a single-core host (the width is fixed at first use).
+fn force_pool() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let _ = archline_par::set_num_threads(4);
+    });
+}
+
+/// Asserts the open/close structural invariants over a captured window.
+/// Sound because `capture` serializes windows process-wide and every batch
+/// joins before the window closes — no span can leak out of the window.
+fn check_span_tree(events: &[OwnedEvent]) {
+    use std::collections::HashSet;
+    let mut open: HashSet<u64> = HashSet::new();
+    let (mut opened, mut closed) = (0u64, 0u64);
+    for e in events {
+        match e.kind {
+            EventKind::SpanOpen => {
+                assert!(e.span_id != 0, "live span with null id");
+                assert!(open.insert(e.span_id), "span {} opened twice", e.span_id);
+                if e.parent != 0 {
+                    assert!(
+                        open.contains(&e.parent),
+                        "span {} opened under parent {} which is closed or unknown",
+                        e.span_id,
+                        e.parent
+                    );
+                }
+                opened += 1;
+            }
+            EventKind::SpanClose => {
+                assert!(open.remove(&e.span_id), "span {} closed but never opened", e.span_id);
+                closed += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "spans still open at window end: {open:?}");
+    assert_eq!(opened, closed);
+}
+
+#[test]
+fn nested_fork_join_spans_nest_and_close() {
+    force_pool();
+    let (result, events) = capture(|| {
+        let outer: Vec<usize> = (0..4).collect();
+        parallel_map(&outer, |&i| {
+            let inner: Vec<usize> = (0..8).collect();
+            parallel_map(&inner, |&j| i * 100 + j).into_iter().sum::<usize>()
+        })
+    });
+    assert_eq!(result.len(), 4);
+    check_span_tree(&events);
+    let opens = |name: &str| {
+        events.iter().filter(|e| e.kind == EventKind::SpanOpen && e.name == name).count()
+    };
+    assert!(opens("batch") >= 2, "outer + nested batches, saw {}", opens("batch"));
+    assert!(opens("task") >= 2, "chunk tasks, saw {}", opens("task"));
+}
+
+#[test]
+fn panicking_task_still_closes_its_span() {
+    force_pool();
+    let ((), events) = capture(|| {
+        let items: Vec<usize> = (0..4).collect();
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, |&i| {
+                if i == 2 {
+                    panic!("boom from task {i}");
+                }
+                i
+            })
+        }));
+        assert!(r.is_err(), "the batch re-raises the task panic after joining");
+    });
+    check_span_tree(&events);
+    let opens =
+        events.iter().filter(|e| e.kind == EventKind::SpanOpen && e.name == "task").count();
+    let closes =
+        events.iter().filter(|e| e.kind == EventKind::SpanClose && e.name == "task").count();
+    assert!(opens >= 1, "at least the panicking chunk ran as a task");
+    assert_eq!(opens, closes, "every task span closed, panicking one included");
+}

@@ -2,6 +2,18 @@
 
 use serde::{Deserialize, Serialize};
 
+use archline_obs::{self as obs, field, Counter};
+
+/// Traces successfully constructed through [`PowerTrace::try_new`]
+/// (including via the panicking [`PowerTrace::new`] wrapper).
+static TRACES: Counter = Counter::new("powermon.traces");
+/// Samples admitted into constructed traces.
+static SAMPLES: Counter = Counter::new("powermon.samples");
+/// [`PowerTrace::sanitize`] invocations.
+static SANITIZES: Counter = Counter::new("powermon.sanitizes");
+/// Samples repaired or removed across all sanitize calls.
+static REPAIRS: Counter = Counter::new("powermon.repairs");
+
 /// One time-stamped instantaneous power sample.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Sample {
@@ -115,6 +127,8 @@ impl PowerTrace {
                 return Err(TraceError::NonMonotonic { index: i + 1 });
             }
         }
+        TRACES.inc();
+        SAMPLES.add(samples.len() as u64);
         Ok(Self { samples })
     }
 
@@ -162,6 +176,29 @@ impl PowerTrace {
                 s.watts = 0.0;
                 report.clipped_negative += 1;
             }
+        }
+
+        SANITIZES.inc();
+        REPAIRS.add(
+            (report.dropped_non_finite + report.reordered + report.deduped
+                + report.clipped_negative) as u64,
+        );
+        TRACES.inc();
+        SAMPLES.add(out.len() as u64);
+        if report.repaired() && obs::enabled(obs::Level::Debug) {
+            obs::emit(
+                obs::Level::Debug,
+                "powermon",
+                "sanitize",
+                &[
+                    field("input", report.input_samples),
+                    field("dropped_non_finite", report.dropped_non_finite),
+                    field("reordered", report.reordered),
+                    field("deduped", report.deduped),
+                    field("clipped_negative", report.clipped_negative),
+                    field("kept", report.kept()),
+                ],
+            );
         }
 
         (Self { samples: out }, report)

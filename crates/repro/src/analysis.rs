@@ -17,6 +17,7 @@ use archline_faults::FaultPlan;
 use archline_fit::{try_fit_platform, FitError, FitOptions, FitReport};
 use archline_machine::{spec_for, Engine, PlatformSpec};
 use archline_microbench::{run_suite, SimulatedSuite, SweepConfig};
+use archline_obs::{self as obs, field};
 use archline_par::parallel_map;
 use archline_platforms::{Platform, Precision};
 
@@ -64,6 +65,12 @@ pub fn analyze_outcome(
     let platforms = platforms_by_peak_efficiency();
     let results = parallel_map(&platforms, |platform| {
         let plan = sabotage.iter().find(|(name, _)| *name == platform.name).map(|(_, p)| p);
+        let _span = obs::span_with(
+            obs::Level::Debug,
+            "repro",
+            "platform",
+            &[field("name", platform.name.clone()), field("sabotaged", plan.is_some())],
+        );
         match catch_unwind(AssertUnwindSafe(|| analyze_one(platform, cfg, &engine, plan))) {
             Ok(Ok(analysis)) => Ok(analysis),
             Ok(Err(e)) => Err(PlatformFailure {
@@ -83,7 +90,15 @@ pub fn analyze_outcome(
     for r in results {
         match r {
             Ok(a) => healthy.push(a),
-            Err(f) => failures.push(f),
+            Err(f) => {
+                obs::emit(
+                    obs::Level::Debug,
+                    "repro",
+                    "platform_failed",
+                    &[field("name", f.name.clone()), field("panicked", f.panicked)],
+                );
+                failures.push(f);
+            }
         }
     }
     (healthy, failures)

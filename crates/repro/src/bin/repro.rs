@@ -31,6 +31,16 @@
 //!                  `Arndale GPU:spike:0.2:7`. Classes: drop, duplicate,
 //!                  out-of-order, clock-skew, jitter, spike, quantize,
 //!                  counter-wrap, rail-dropout, fail-run.
+//!   -q, --quiet    stderr shows errors only
+//!   -v, --verbose  stderr verbosity: -v = stage-level detail (fit stages,
+//!                  fault audits), -vv = everything (per-task spans, NM
+//!                  iteration traces)
+//!   --trace-out P  write a machine-readable JSONL trace of the whole run
+//!                  to P (every level, regardless of -q/-v; equivalent to
+//!                  ARCHLINE_TRACE=P)
+//!   --profile      collect span timings; print a per-stage self-time
+//!                  breakdown to stderr and embed the metrics snapshot in
+//!                  BENCH_repro.json
 //! ```
 //!
 //! All artifacts computed in one invocation share an
@@ -52,6 +62,7 @@ use std::time::Instant;
 
 use archline_faults::{FaultPlan, FaultSpec};
 use archline_microbench::SweepConfig;
+use archline_obs::{self as obs, field};
 use archline_repro::{
     analysis, ext, failure::panic_message, fig1, fig4, fig5, fig6, fig7, scorecard, section_vc,
     section_vd, table1, AnalysisContext, ArtifactError,
@@ -79,16 +90,23 @@ const EXIT_TOTAL_FAILURE: i32 = 1;
 const EXIT_USAGE: i32 = 2;
 const EXIT_PARTIAL_FAILURE: i32 = 3;
 
+/// Schema of `BENCH_repro.json`. v1 (implicit, pre-versioning) had only
+/// per-artifact timings + status; v2 adds `schema_version`, `git_rev`, and
+/// the optional `metrics`/`profile` sections.
+const BENCH_SCHEMA_VERSION: u64 = 2;
+
 fn usage(error: &str) -> ! {
     if !error.is_empty() {
         eprintln!("repro: {error}");
     }
     eprintln!(
         "usage: repro <artifact> [--fast] [--csv DIR] [--threads N] \
-         [--inject 'PLATFORM:CLASS:SEVERITY[:SEED]']\n\
+         [--inject 'PLATFORM:CLASS:SEVERITY[:SEED]'] [-q] [-v[v]] \
+         [--trace-out PATH] [--profile]\n\
          artifacts: {} | all",
         ARTIFACTS.join(" | ")
     );
+    obs::flush();
     std::process::exit(EXIT_USAGE);
 }
 
@@ -115,11 +133,23 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut artifact: Option<String> = None;
     let mut injections: Vec<(String, FaultSpec)> = Vec::new();
+    let mut quiet = false;
+    let mut verbose: u8 = 0;
+    let mut trace_out: Option<String> = None;
+    let mut profile = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--fast" => fast = true,
+            "-q" | "--quiet" => quiet = true,
+            "-v" | "--verbose" => verbose += 1,
+            "-vv" => verbose += 2,
+            "--profile" => profile = true,
+            "--trace-out" => match it.next() {
+                Some(path) => trace_out = Some(path.clone()),
+                None => usage("--trace-out needs a path"),
+            },
             "--csv" => match it.next() {
                 Some(dir) => csv_dir = Some(dir.clone()),
                 None => usage("--csv needs a directory"),
@@ -147,6 +177,34 @@ fn main() {
     if artifact != "all" && !ARTIFACTS.contains(&artifact.as_str()) {
         usage(&format!("unknown artifact `{artifact}`"));
     }
+
+    // Observability: Info on stderr preserves the pre-obs output
+    // ([time] lines, error reports, the failure summary). The environment
+    // (ARCHLINE_LOG / ARCHLINE_TRACE / ARCHLINE_TRACE_TIMING) applies
+    // next; explicit flags win over both.
+    obs::set_stderr_level(Some(obs::Level::Info));
+    if let Err(e) = obs::init_from_env() {
+        usage(&e);
+    }
+    if quiet {
+        obs::set_stderr_level(Some(obs::Level::Error));
+    } else if verbose >= 2 {
+        obs::set_stderr_level(Some(obs::Level::Trace));
+    } else if verbose == 1 {
+        obs::set_stderr_level(Some(obs::Level::Debug));
+    }
+    if let Some(path) = &trace_out {
+        match obs::JsonlSink::file(path) {
+            Ok(sink) => {
+                obs::install_sink(std::sync::Arc::new(sink));
+            }
+            Err(e) => usage(&format!("--trace-out: cannot open `{path}`: {e}")),
+        }
+    }
+    if profile {
+        obs::set_profiling(true);
+    }
+
     if let Some(n) = threads {
         if let Err(e) = archline_par::set_num_threads(n) {
             usage(&format!("--threads {n}: {e}"));
@@ -176,22 +234,31 @@ fn main() {
     for name in names {
         let start = Instant::now();
         // Isolate each artifact: a panic (or error) in one must not take
-        // down the rest of `repro all`.
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_one(name, &ctx, fast, &csv_dir)));
+        // down the rest of `repro all`. The span guard sits outside the
+        // unwind handler, so a panicking artifact still closes its span.
+        let outcome = {
+            let _span = obs::span_with(
+                obs::Level::Debug,
+                "repro",
+                "artifact",
+                &[field("name", name.to_string())],
+            );
+            catch_unwind(AssertUnwindSafe(|| run_one(name, &ctx, fast, &csv_dir)))
+        };
         let result = match outcome {
             Ok(r) => r,
             Err(payload) => Err(ArtifactError::new(panic_message(payload))),
         };
         let secs = start.elapsed().as_secs_f64();
         timings.push((name, secs));
-        eprintln!("[time] {name}: {secs:.3}s");
+        obs::info!("repro", "[time] {name}: {secs:.3}s");
         if let Err(e) = result {
-            eprintln!("repro: ERROR: {name}: {e}");
+            obs::error!("repro", "repro: ERROR: {name}: {e}");
             failed.push((name, e.message));
         }
     }
     let total = total_start.elapsed().as_secs_f64();
-    eprintln!("[time] total: {total:.3}s");
+    obs::info!("repro", "[time] total: {total:.3}s");
 
     // Degraded platforms, without forcing the sweep for artifacts that
     // never needed it (fig1, the model-only extensions).
@@ -210,27 +277,33 @@ fn main() {
     };
 
     if all {
-        write_bench(&timings, total, &failed, &degraded);
+        write_bench(&timings, total, &failed, &degraded, profile);
     }
 
     // End-of-run failure summary (stderr, after all artifact output).
     if !degraded.is_empty() || !failed.is_empty() {
-        eprintln!("repro: failure summary");
+        obs::error!("repro", "repro: failure summary");
         if !degraded.is_empty() {
-            eprintln!("  degraded platforms ({} of 12):", degraded.len());
+            obs::error!("repro", "  degraded platforms ({} of 12):", degraded.len());
             for (name, reason) in &degraded {
-                eprintln!("    {name} — {reason}");
+                obs::error!("repro", "    {name} — {reason}");
             }
         }
         if !failed.is_empty() {
-            eprintln!("  failed artifacts ({} of {attempted}):", failed.len());
+            obs::error!("repro", "  failed artifacts ({} of {attempted}):", failed.len());
             for (name, reason) in &failed {
-                eprintln!("    {name} — {reason}");
+                obs::error!("repro", "    {name} — {reason}");
             }
         }
         let kind = if exit == EXIT_TOTAL_FAILURE { "total" } else { "partial" };
-        eprintln!("repro: exiting {exit} ({kind} failure)");
+        obs::error!("repro", "repro: exiting {exit} ({kind} failure)");
     }
+
+    if profile {
+        eprint!("{}", obs::render_profile(&obs::profile_snapshot()));
+    }
+    // `exit` skips destructors, so flush the trace/metrics explicitly.
+    obs::flush();
     std::process::exit(exit);
 }
 
@@ -249,7 +322,7 @@ fn run_one(
         let path = format!("{dir}/{name}.json");
         std::fs::write(&path, json)
             .map_err(|e| ArtifactError::new(format!("write {path}: {e}")))?;
-        eprintln!("wrote {path}");
+        obs::info!("repro", "wrote {path}");
     }
     Ok(())
 }
@@ -260,6 +333,33 @@ fn to_json<T: serde::Serialize>(name: &str, report: &T) -> Result<String, Artifa
         .map_err(|e| ArtifactError::new(format!("serialize {name}: {e}")))
 }
 
+/// Warns when the file about to be replaced predates the current schema —
+/// an older binary's output should never be silently confused with ours.
+fn check_prior_schema(path: &str) {
+    let Ok(old) = std::fs::read_to_string(path) else { return };
+    match serde_json::from_str::<serde_json::Value>(&old) {
+        Ok(v) => {
+            // Files written before versioning carry no marker: schema v1.
+            let old_ver = v
+                .as_object()
+                .and_then(|m| m.get("schema_version"))
+                .and_then(|v| match v {
+                    serde_json::Value::Number(serde_json::Number::PosInt(n)) => Some(*n),
+                    _ => None,
+                })
+                .unwrap_or(1);
+            if old_ver < BENCH_SCHEMA_VERSION {
+                obs::warn!(
+                    "repro",
+                    "repro: replacing {path} with schema_version {old_ver} \
+                     (current is {BENCH_SCHEMA_VERSION})"
+                );
+            }
+        }
+        Err(e) => obs::warn!("repro", "repro: replacing unparseable {path}: {e}"),
+    }
+}
+
 /// Writes `BENCH_repro.json` — always, even on partial failure, so a
 /// degraded run still leaves a machine-readable record of what completed.
 fn write_bench(
@@ -267,8 +367,13 @@ fn write_bench(
     total: f64,
     failed: &[(&str, String)],
     degraded: &[(String, String)],
+    profile: bool,
 ) {
     let mut bench = serde_json::Map::new();
+    bench.insert("schema_version".to_string(), serde_json::Value::from(BENCH_SCHEMA_VERSION));
+    if let Some(rev) = obs::git_revision() {
+        bench.insert("git_rev".to_string(), serde_json::Value::from(rev));
+    }
     for (name, secs) in timings {
         bench.insert((*name).to_string(), serde_json::Value::from(*secs));
     }
@@ -289,16 +394,45 @@ fn write_bench(
         let list = degraded.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(", ");
         bench.insert("degraded_platforms".to_string(), serde_json::Value::from(list));
     }
+    if profile {
+        let mut metrics = String::new();
+        obs::metrics::snapshot().write_json(&mut metrics);
+        match serde_json::from_str::<serde_json::Value>(&metrics) {
+            Ok(v) => {
+                bench.insert("metrics".to_string(), v);
+            }
+            Err(e) => obs::warn!("repro", "repro: warning: metrics snapshot unparseable: {e}"),
+        }
+        let rows: Vec<serde_json::Value> = obs::profile_snapshot()
+            .iter()
+            .map(|r| {
+                let mut m = serde_json::Map::new();
+                m.insert(
+                    "span".to_string(),
+                    serde_json::Value::from(format!("{}.{}", r.target, r.name)),
+                );
+                m.insert("count".to_string(), serde_json::Value::from(r.count));
+                m.insert(
+                    "total_ms".to_string(),
+                    serde_json::Value::from(r.total_ns as f64 / 1e6),
+                );
+                m.insert("self_ms".to_string(), serde_json::Value::from(r.self_ns as f64 / 1e6));
+                serde_json::Value::Object(m)
+            })
+            .collect();
+        bench.insert("profile".to_string(), serde_json::Value::from(rows));
+    }
     let body = match serde_json::to_string_pretty(&serde_json::Value::Object(bench)) {
         Ok(body) => body,
         Err(e) => {
-            eprintln!("repro: warning: serialize BENCH_repro.json: {e}");
+            obs::warn!("repro", "repro: warning: serialize BENCH_repro.json: {e}");
             return;
         }
     };
+    check_prior_schema("BENCH_repro.json");
     match std::fs::write("BENCH_repro.json", body) {
-        Ok(()) => eprintln!("wrote BENCH_repro.json"),
-        Err(e) => eprintln!("repro: warning: write BENCH_repro.json: {e}"),
+        Ok(()) => obs::info!("repro", "wrote BENCH_repro.json"),
+        Err(e) => obs::warn!("repro", "repro: warning: write BENCH_repro.json: {e}"),
     }
 }
 

@@ -25,8 +25,17 @@ use archline_faults::FaultPlan;
 use archline_fit::{try_fit_platform, FitOptions};
 use archline_machine::{spec_for, Engine};
 use archline_microbench::{run_suite, SweepConfig};
+use archline_obs::{self as obs, field, Counter};
 use archline_par::parallel_map;
 use archline_platforms::Precision;
+
+/// Artifact requests that found the shared sweep already memoized.
+static CACHE_HITS: Counter = Counter::new("repro.cache.hits");
+/// Artifact requests that had to run the sweep (1 per healthy context).
+static CACHE_MISSES: Counter = Counter::new("repro.cache.misses");
+/// Approximate memoized payload size (serialized JSON bytes of the healthy
+/// analyses), accumulated across contexts.
+static CACHE_BYTES: Counter = Counter::new("repro.cache.bytes");
 
 use crate::analysis::{analyze_outcome, PlatformAnalysis};
 use crate::failure::PlatformFailure;
@@ -78,11 +87,36 @@ impl AnalysisContext {
     fn outcome(&self) -> &(Vec<PlatformAnalysis>, Vec<PlatformFailure>) {
         if let Some(cached) = self.outcome.get() {
             self.sweep_hits.fetch_add(1, Ordering::Relaxed);
+            CACHE_HITS.inc();
             return cached;
         }
         self.outcome.get_or_init(|| {
             self.sweep_misses.fetch_add(1, Ordering::Relaxed);
-            analyze_outcome(&self.cfg, &self.sabotage)
+            CACHE_MISSES.inc();
+            let _span = obs::span(obs::Level::Debug, "repro", "sweep");
+            let outcome = analyze_outcome(&self.cfg, &self.sabotage);
+            // Size the memoized payload so traces/metrics show what the
+            // cache holds. Sizing means serializing the analyses, which is
+            // not free — so unlike plain counters it only runs when
+            // something is actually listening (the bytes counter reads 0
+            // otherwise).
+            let bytes = if obs::enabled(obs::Level::Debug) || obs::profile::profiling() {
+                serde_json::to_string(&outcome.0).map(|s| s.len() as u64).unwrap_or(0)
+            } else {
+                0
+            };
+            CACHE_BYTES.add(bytes);
+            obs::emit(
+                obs::Level::Debug,
+                "repro",
+                "cache_fill",
+                &[
+                    field("platforms", outcome.0.len()),
+                    field("failures", outcome.1.len()),
+                    field("bytes", bytes),
+                ],
+            );
+            outcome
         })
     }
 

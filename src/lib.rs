@@ -17,6 +17,7 @@
 //! * [`fit`] — regression substrate and the model-fitting pipeline.
 //! * [`par`] — the minimal data-parallelism substrate.
 //! * [`faults`] — seeded fault injection over traces and measurement runs.
+//! * [`obs`] — structured tracing, metrics, and convergence diagnostics.
 //! * [`powermon`] — power traces, the simulated PowerMon 2 and interposer.
 //! * [`machine`] — the continuous-time platform simulator.
 //! * [`microbench`] — microbenchmark kernels and sweep drivers.
@@ -48,6 +49,7 @@ pub use archline_faults as faults;
 pub use archline_fit as fit;
 pub use archline_machine as machine;
 pub use archline_microbench as microbench;
+pub use archline_obs as obs;
 pub use archline_par as par;
 pub use archline_platforms as platforms;
 pub use archline_powermon as powermon;

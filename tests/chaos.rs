@@ -214,3 +214,59 @@ fn different_seeds_corrupt_differently() {
     let identical = a.len() == b.len() && a.iter().zip(&b).all(|(x, y)| x == y);
     assert!(!identical, "two seeds produced identical drop patterns");
 }
+
+// ---------------------------------------------------------------------------
+// Family 4: auditability — every injection appears in the trace, once.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_injected_fault_is_audited_exactly_once_with_its_seed() {
+    use archline::obs::{test_support::capture, EventKind};
+
+    // One application per (class, representation), each with a unique seed
+    // so audits are attributable to the spec that produced them.
+    let ((), events) = capture(|| {
+        for (i, class) in FaultClass::ALL.into_iter().enumerate() {
+            let plan = FaultPlan::single(class, 0.2, 1000 + i as u64);
+            let _ = plan.apply_to_samples(clean_samples());
+            let _ = plan.apply_to_runs(clean_runs());
+        }
+    });
+    let audits: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Point && e.target == "fault" && e.name == "injected")
+        .collect();
+    assert_eq!(
+        audits.len(),
+        FaultClass::ALL.len() * 2,
+        "one audit per (spec, representation), no more, no less"
+    );
+    for (i, class) in FaultClass::ALL.into_iter().enumerate() {
+        let seed = 1000 + i as u64;
+        let mine: Vec<_> =
+            audits.iter().filter(|e| e.get_u64("seed") == Some(seed)).collect();
+        assert_eq!(mine.len(), 2, "{class}: samples + runs audits for seed {seed}");
+        let mut sites: Vec<&str> = mine.iter().filter_map(|e| e.get_str("site")).collect();
+        sites.sort_unstable();
+        assert_eq!(sites, ["runs", "samples"], "{class}");
+        for e in &mine {
+            assert_eq!(e.get_str("class"), Some(class.name()), "audit names its class");
+        }
+    }
+}
+
+#[test]
+fn audited_corruption_is_bit_identical_to_unobserved_corruption() {
+    use archline::obs::test_support::capture;
+
+    // The audit counts affected sites without drawing from the spec's RNG;
+    // attaching an observer must not change a single bit of the output.
+    let plan = FaultPlan::single(FaultClass::Spike, 0.3, base_seed());
+    let unobserved = plan.apply_to_runs(clean_runs());
+    let (observed, _) = capture(|| plan.apply_to_runs(clean_runs()));
+    assert_eq!(unobserved.len(), observed.len());
+    for (a, b) in unobserved.iter().zip(&observed) {
+        assert_eq!(a.time.to_bits(), b.time.to_bits());
+        assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+    }
+}
