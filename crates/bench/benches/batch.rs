@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use archline_core::{EnergyRoofline, RooflinePlan};
+use archline_core::{EnergyRoofline, Regime, RooflinePlan};
 use archline_fit::{try_fit_platform, FitOptions};
 use archline_machine::{spec_for, Engine};
 use archline_microbench::{run_suite, SweepConfig};
@@ -69,6 +69,49 @@ fn bench_time_energy(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fully fused sweep kernels: `evaluate_batch` (time+energy+power+regime
+/// in one pass, scalar per-point loop as the baseline) and the curve
+/// builders' fused `power_regime_batch` / `efficiency_batch`.
+fn bench_fused(c: &mut Criterion) {
+    let plan = RooflinePlan::new(*titan().params());
+    let n = 100_000usize;
+    let xs = grid(n);
+    let flops: Vec<f64> = xs.iter().map(|_| 1e9).collect();
+    let bytes: Vec<f64> = xs.iter().map(|&i| 1e9 / i).collect();
+    let (mut t, mut e, mut p) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+    let mut r = vec![Regime::MemoryBound; n];
+    let mut group = c.benchmark_group("fused_sweeps");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("evaluate_scalar", |b| {
+        b.iter(|| {
+            for k in 0..n {
+                (t[k], e[k], p[k], r[k]) = plan.evaluate(black_box(flops[k]), black_box(bytes[k]));
+            }
+        });
+    });
+    group.bench_function("evaluate_batch", |b| {
+        b.iter(|| {
+            plan.evaluate_batch(
+                black_box(&flops),
+                black_box(&bytes),
+                &mut t,
+                &mut e,
+                &mut p,
+                &mut r,
+            )
+        });
+    });
+    group.bench_function("power_regime_batch", |b| {
+        b.iter(|| plan.power_regime_batch(black_box(&xs), &mut p, &mut r));
+    });
+    let (mut perf, mut eff) = (vec![0.0; n], vec![0.0; n]);
+    group.bench_function("efficiency_batch", |b| {
+        b.iter(|| plan.efficiency_batch(black_box(&xs), &mut perf, &mut eff, &mut p));
+    });
+    group.finish();
+}
+
 fn bench_fit_platform(c: &mut Criterion) {
     let spec = spec_for(&platform(PlatformId::ArndaleGpu), Precision::Single);
     let cfg = SweepConfig {
@@ -87,5 +130,5 @@ fn bench_fit_platform(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_avg_power, bench_time_energy, bench_fit_platform);
+criterion_group!(benches, bench_avg_power, bench_time_energy, bench_fused, bench_fit_platform);
 criterion_main!(benches);

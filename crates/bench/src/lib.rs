@@ -1,1 +1,88 @@
-//! Bench-only crate: see `benches/`.
+//! Bench-only crate: criterion targets live in `benches/`, the
+//! `bench_report` binary in `src/bin/`. This library holds the pieces both
+//! need and the tests want to pin: the `BENCH_model.json` schema version
+//! and the replaced-file schema check.
+
+/// Schema of `BENCH_model.json`.
+///
+/// * v1 (implicit, pre-versioning): no marker.
+/// * v2: adds `schema_version`, `git_rev`, and the final counter snapshot
+///   under `metrics`.
+/// * v3: `avg_power_sweep` becomes `kernel_sweeps` with one entry per batch
+///   kernel (not just avg_power); adds `num_workers`, `par_grain`,
+///   `par_threshold`; the headline `speedup_batch_vs_scalar` is the fused
+///   `evaluate_batch` sweep against the *derived* per-point scalar path
+///   (the underived-baseline ratio is still recorded, but no longer the
+///   headline); the GEMM section gains explicit branchy/branchless fields
+///   both measured from the same workspace.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
+
+/// Inspects a prior `BENCH_model.json` about to be replaced and returns a
+/// human-readable warning when it predates `current` (or does not parse) —
+/// an older binary's output should never be silently confused with the new
+/// schema. Returns `None` when the file is already current.
+///
+/// Files written before versioning carry no `schema_version` marker and
+/// count as schema 1.
+pub fn prior_schema_warning(contents: &str, current: u64) -> Option<String> {
+    match serde_json::from_str::<serde_json::Value>(contents) {
+        Ok(v) => {
+            let old_ver = v
+                .as_object()
+                .and_then(|m| m.get("schema_version"))
+                .and_then(|v| match v {
+                    serde_json::Value::Number(serde_json::Number::PosInt(n)) => Some(*n),
+                    _ => None,
+                })
+                .unwrap_or(1);
+            (old_ver < current).then(|| {
+                format!(
+                    "replacing BENCH_model.json with schema_version {old_ver} \
+                     (current is {current})"
+                )
+            })
+        }
+        Err(e) => Some(format!("replacing unparseable BENCH_model.json: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_schema_is_silent() {
+        let doc = format!("{{\"schema_version\": {BENCH_SCHEMA_VERSION}}}");
+        assert_eq!(prior_schema_warning(&doc, BENCH_SCHEMA_VERSION), None);
+    }
+
+    #[test]
+    fn older_schema_warns_with_both_versions() {
+        let w = prior_schema_warning("{\"schema_version\": 2}", BENCH_SCHEMA_VERSION)
+            .expect("older schema must warn");
+        assert!(w.contains("schema_version 2"), "{w}");
+        assert!(w.contains(&format!("current is {BENCH_SCHEMA_VERSION}")), "{w}");
+    }
+
+    #[test]
+    fn unversioned_file_counts_as_schema_one() {
+        let w = prior_schema_warning("{\"sweep_points\": 1000000}", BENCH_SCHEMA_VERSION)
+            .expect("unversioned file must warn");
+        assert!(w.contains("schema_version 1"), "{w}");
+    }
+
+    #[test]
+    fn unparseable_file_warns() {
+        let w = prior_schema_warning("not json at all", BENCH_SCHEMA_VERSION)
+            .expect("junk must warn");
+        assert!(w.contains("unparseable"), "{w}");
+    }
+
+    #[test]
+    fn newer_schema_does_not_warn() {
+        // A file from a *newer* binary is not "older"; replacing it is the
+        // caller's decision, not a downgrade we flag here.
+        let doc = format!("{{\"schema_version\": {}}}", BENCH_SCHEMA_VERSION + 1);
+        assert_eq!(prior_schema_warning(&doc, BENCH_SCHEMA_VERSION), None);
+    }
+}

@@ -95,17 +95,17 @@ impl EnergyRoofline {
     }
 
     /// Samples performance/energy-efficiency/power at the given intensities
-    /// through the precompiled plan's SoA batch kernels (bit-identical to
-    /// per-point [`EnergyRoofline::perf_at`] / `energy_eff_at` /
-    /// `avg_power_at` calls).
+    /// through the precompiled plan's fused SoA kernel
+    /// ([`crate::RooflinePlan::efficiency_batch`], one memory pass for all
+    /// three curves — bit-identical to per-point
+    /// [`EnergyRoofline::perf_at`] / `energy_eff_at` / `avg_power_at`
+    /// calls).
     pub fn efficiency_curve(&self, intensities: &[f64]) -> Vec<EfficiencyPoint> {
         let plan = self.plan();
         let mut perf = vec![0.0; intensities.len()];
         let mut eff = vec![0.0; intensities.len()];
         let mut power = vec![0.0; intensities.len()];
-        plan.perf_batch(intensities, &mut perf);
-        plan.energy_eff_batch(intensities, &mut eff);
-        plan.avg_power_batch(intensities, &mut power);
+        plan.efficiency_batch(intensities, &mut perf, &mut eff, &mut power);
         intensities
             .iter()
             .enumerate()

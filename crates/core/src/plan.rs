@@ -6,33 +6,65 @@
 //! [`MachineParams`]. The scalar methods re-derive the balance interval and
 //! the `π` components on every call; a [`RooflinePlan`] derives them once and
 //! exposes SoA batch kernels (`time_batch`, `energy_batch`,
-//! `avg_power_batch`, `regime_batch`, …) that write into caller-provided
-//! output buffers and parallelize over chunks via `archline-par` above a
-//! size threshold.
+//! `avg_power_batch`, `regime_batch`, the fused [`RooflinePlan::evaluate_batch`], …)
+//! that write into caller-provided output buffers and parallelize over
+//! chunks via `archline-par` above a size threshold.
 //!
-//! **Bit-identity contract:** every kernel performs the exact same floating
-//! point operations, in the same order, as the corresponding scalar method
-//! on [`crate::EnergyRoofline`] — no reassociation, no reciprocal-multiply
-//! rewrites. Batch output is `to_bits()`-identical to a per-point scalar
-//! loop (property-tested in `tests/plan_properties.rs`).
+//! **Kernel shape.** The batch kernels are allocation-free, branchless
+//! lockstep streams of pure multiply/`mul_add`/`max`/compare-select
+//! arithmetic that LLVM autovectorizes into wide unrolled lanes (8 × `f64`
+//! per 512-bit register here — no intrinsics, no nightly `std::simd`).
+//! Divisions by *plan constants* are hoisted into reciprocals precomputed
+//! at construction ([`RooflinePlan::try_new`]); only divisions by per-point
+//! *data* (`E/T`, `B·π_mem/I`, `W/Q`) remain in the loops. Regime
+//! classification is a branchless two-compare table lookup, emitted as a
+//! *separate* byte-store pass in the fused kernels so the f64 passes stay
+//! shuffle-free (hand-chunked fixed-width blocks with interleaved byte
+//! stores measured ~3× slower — see EXPERIMENTS.md, "Kernel optimization").
+//!
+//! **Bit-identity contract:** every batch kernel performs the exact same
+//! floating-point operations, in the same order, as the corresponding
+//! single-point method on this type (and therefore on
+//! [`crate::EnergyRoofline`], whose scalar methods delegate here). Batch
+//! output is `to_bits()`-identical to a per-point scalar loop, serial or
+//! parallel, at any split (property-tested in `tests/plan_properties.rs`).
+//!
+//! **ULP policy vs. the paper's formulas:** the canonical arithmetic uses
+//! `op · (1/Δπ)` where the paper writes `op / Δπ`, and
+//! `fma(π_flop/B_τ, I, π_mem)` where eq. 7 writes `π_mem + π_flop·I/B_τ`.
+//! Both rewrites are documented, ULP-bounded deviations from a literal
+//! transcription (at most a few units in the last place; the property suite
+//! asserts an explicit bound against an independent replica). They are *not*
+//! deviations between any two paths in this crate — scalar, batch, serial,
+//! and parallel all share the canonical form bit-for-bit.
 
-use archline_par::parallel_chunks_mut;
+use archline_par::{
+    adaptive_grain, parallel_chunks_mut, parallel_chunks_mut2, parallel_chunks_mut3,
+    parallel_chunks_mut4,
+};
 
 use crate::error::ModelError;
 use crate::params::{Balances, MachineParams};
 use crate::power::Regime;
 
 /// Batch sizes at or above this go through `archline-par`; smaller inputs
-/// are evaluated serially (spawn/steal overhead would dominate).
-const PAR_THRESHOLD: usize = 1 << 15;
+/// are evaluated serially (spawn/steal overhead would dominate). The chunk
+/// length itself adapts to input size and worker count — see
+/// [`archline_par::adaptive_grain`] and its `ARCHLINE_PAR_GRAIN` override.
+pub const PAR_THRESHOLD: usize = 1 << 15;
 
-/// Chunk length handed to each parallel worker.
-const PAR_GRAIN: usize = 1 << 14;
+/// The chunk grain when a batch is parallelized, `None` when it runs
+/// serially.
+#[inline]
+fn par_grain(len: usize) -> Option<usize> {
+    (len >= PAR_THRESHOLD).then(|| adaptive_grain(len))
+}
 
 /// A [`MachineParams`] precompiled for repeated evaluation: the derived
 /// balance interval `[B⁻_τ, B_τ, B⁺_τ]`, the power components
-/// `π_flop`/`π_mem`, and the cap in Watts are computed once at construction
-/// instead of once per model query.
+/// `π_flop`/`π_mem`, the cap in Watts, and the reciprocal/product constants
+/// the kernels need (`1/Δπ`, `π_mem·B_τ`, `π_flop/B_τ`) are computed once at
+/// construction instead of once per model query.
 ///
 /// Construct with [`RooflinePlan::new`] (panicking) or
 /// [`RooflinePlan::try_new`] (fallible), or borrow one from an
@@ -44,6 +76,15 @@ pub struct RooflinePlan {
     pi_flop: f64,
     pi_mem: f64,
     cap_watts: f64,
+    /// `1/Δπ`; `+0.0` when uncapped (`1/∞`), which makes the cap term of the
+    /// time roofline vanish exactly as the division form did.
+    inv_cap: f64,
+    /// `π_mem · B_τ` — the numerator of eq. 7's compute-bound tail. Hoisting
+    /// the product is bit-identical to the left-associated scalar form
+    /// `π_mem · B_τ / I`.
+    pim_btime: f64,
+    /// `π_flop / B_τ` — the slope of eq. 7's memory-bound ramp.
+    pif_over_btime: f64,
 }
 
 impl RooflinePlan {
@@ -59,12 +100,19 @@ impl RooflinePlan {
     /// Precompiles machine parameters, rejecting invalid ones.
     pub fn try_new(params: MachineParams) -> Result<Self, ModelError> {
         params.validate()?;
+        let balances = params.balances();
+        let pi_flop = params.flop_power();
+        let pi_mem = params.mem_power();
+        let cap_watts = params.cap.watts();
         Ok(Self {
             params,
-            balances: params.balances(),
-            pi_flop: params.flop_power(),
-            pi_mem: params.mem_power(),
-            cap_watts: params.cap.watts(),
+            balances,
+            pi_flop,
+            pi_mem,
+            cap_watts,
+            inv_cap: 1.0 / cap_watts,
+            pim_btime: pi_mem * balances.time,
+            pif_over_btime: pi_flop / balances.time,
         })
     }
 
@@ -79,26 +127,29 @@ impl RooflinePlan {
     }
 
     // ------------------------------------------------------------------
-    // Single-point kernels (the building blocks of the batch loops).
+    // Single-point kernels — the canonical arithmetic. Every batch loop
+    // calls exactly these, so batch output is bit-identical to a scalar
+    // loop by construction.
     // ------------------------------------------------------------------
 
-    /// Best-case execution time `T(W,Q)` (paper eq. 3).
-    #[inline]
+    /// Best-case execution time `T(W,Q)` (paper eq. 3), with the cap term
+    /// as `op · (1/Δπ)` (see the module-level ULP policy).
+    #[inline(always)]
     pub fn time(&self, flops: f64, bytes: f64) -> f64 {
         let t_flop = flops * self.params.time_per_flop;
         let t_mem = bytes * self.params.time_per_byte;
-        let t_cap = self.operation_energy(flops, bytes) / self.cap_watts; // 0 when uncapped
+        let t_cap = self.operation_energy(flops, bytes) * self.inv_cap; // 0 when uncapped
         t_flop.max(t_mem).max(t_cap)
     }
 
     /// Marginal operation energy `W·ε_flop + Q·ε_mem`.
-    #[inline]
+    #[inline(always)]
     pub fn operation_energy(&self, flops: f64, bytes: f64) -> f64 {
         flops * self.params.energy_per_flop + bytes * self.params.energy_per_byte
     }
 
     /// Total energy `E(W,Q)` (paper eq. 1).
-    #[inline]
+    #[inline(always)]
     pub fn energy(&self, flops: f64, bytes: f64) -> f64 {
         self.operation_energy(flops, bytes) + self.params.const_power * self.time(flops, bytes)
     }
@@ -106,47 +157,67 @@ impl RooflinePlan {
     /// `(T, E)` fused: the operation energy and time are computed once and
     /// shared, bit-identical to calling [`RooflinePlan::time`] and
     /// [`RooflinePlan::energy`] separately.
-    #[inline]
+    #[inline(always)]
     pub fn time_energy(&self, flops: f64, bytes: f64) -> (f64, f64) {
         let t_flop = flops * self.params.time_per_flop;
         let t_mem = bytes * self.params.time_per_byte;
         let op = self.operation_energy(flops, bytes);
-        let t = t_flop.max(t_mem).max(op / self.cap_watts);
+        let t = t_flop.max(t_mem).max(op * self.inv_cap);
         (t, op + self.params.const_power * t)
     }
 
     /// Average power `P̄ = E/T` for a concrete workload.
-    #[inline]
+    #[inline(always)]
     pub fn avg_power(&self, flops: f64, bytes: f64) -> f64 {
         let (t, e) = self.time_energy(flops, bytes);
         e / t
     }
 
-    /// Average power at intensity `I`, closed form (paper eq. 7).
-    #[inline]
-    pub fn avg_power_at(&self, intensity: f64) -> f64 {
-        let b = self.balances;
-        self.params.const_power
-            + if intensity >= b.upper {
-                self.pi_flop
-                    + if intensity.is_infinite() { 0.0 } else { self.pi_mem * b.time / intensity }
-            } else if intensity <= b.lower {
-                self.pi_mem + self.pi_flop * intensity / b.time
-            } else {
-                self.cap_watts
-            }
+    /// Fully fused point evaluation — `(T, E, P̄ = E/T, regime(W/Q))` — the
+    /// scalar anchor of [`RooflinePlan::evaluate_batch`].
+    #[inline(always)]
+    pub fn evaluate(&self, flops: f64, bytes: f64) -> (f64, f64, f64, Regime) {
+        let (t, e) = self.time_energy(flops, bytes);
+        (t, e, e / t, self.regime_at(flops / bytes))
     }
 
-    /// Operating regime at intensity `I`.
-    #[inline]
-    pub fn regime_at(&self, intensity: f64) -> Regime {
-        if intensity >= self.balances.upper {
-            Regime::ComputeBound
+    /// Average power at intensity `I`, closed form (paper eq. 7).
+    ///
+    /// Branchless: both piecewise arms are computed unconditionally (cheap
+    /// selects instead of branches, so the batch loop vectorizes). The
+    /// compute-bound arm's `π_mem·B_τ/I` evaluates to `+0.0` at `I = ∞`,
+    /// which makes the historical `is_infinite` special case bit-identical
+    /// without the branch. A NaN intensity fails both comparisons and takes
+    /// the cap arm, exactly as the branchy form did.
+    #[inline(always)]
+    pub fn avg_power_at(&self, intensity: f64) -> f64 {
+        let hi = self.pi_flop + self.pim_btime / intensity;
+        let lo = self.pif_over_btime.mul_add(intensity, self.pi_mem);
+        let piecewise = if intensity >= self.balances.upper {
+            hi
         } else if intensity <= self.balances.lower {
-            Regime::MemoryBound
+            lo
         } else {
-            Regime::CapBound
-        }
+            self.cap_watts
+        };
+        self.params.const_power + piecewise
+    }
+
+    /// Operating regime at intensity `I` — a branchless two-compare table
+    /// lookup. Matches the historical `if` chain exactly, including its
+    /// precedence when the balance interval is collapsed (`I ≥ B⁺` wins) and
+    /// its NaN behavior (both compares false → cap-bound).
+    #[inline(always)]
+    pub fn regime_at(&self, intensity: f64) -> Regime {
+        const LUT: [Regime; 4] = [
+            Regime::CapBound,     // neither compare: strictly inside the interval (or NaN)
+            Regime::MemoryBound,  // I ≤ B⁻ only
+            Regime::ComputeBound, // I ≥ B⁺ only
+            Regime::ComputeBound, // both (collapsed interval): ≥ B⁺ takes precedence
+        ];
+        let hi = usize::from(intensity >= self.balances.upper);
+        let lo = usize::from(intensity <= self.balances.lower);
+        LUT[(hi << 1) | lo]
     }
 
     /// Performance at intensity `I` in flop/s (`W/T` at unit work).
@@ -156,11 +227,8 @@ impl RooflinePlan {
     /// [`crate::Workload::from_intensity`]).
     #[inline]
     pub fn perf_at(&self, intensity: f64) -> f64 {
-        assert!(
-            intensity.is_finite() && intensity > 0.0,
-            "intensity must be positive and finite, got {intensity}"
-        );
-        1.0 / self.time(1.0, 1.0 / intensity)
+        validate_intensity(intensity);
+        self.perf_point(intensity)
     }
 
     /// Energy-efficiency at intensity `I` in flop/J (`W/E` at unit work).
@@ -169,15 +237,151 @@ impl RooflinePlan {
     /// Panics if `intensity` is not strictly positive and finite.
     #[inline]
     pub fn energy_eff_at(&self, intensity: f64) -> f64 {
-        assert!(
-            intensity.is_finite() && intensity > 0.0,
-            "intensity must be positive and finite, got {intensity}"
-        );
+        validate_intensity(intensity);
+        self.energy_eff_point(intensity)
+    }
+
+    #[inline(always)]
+    fn perf_point(&self, intensity: f64) -> f64 {
+        1.0 / self.time(1.0, 1.0 / intensity)
+    }
+
+    #[inline(always)]
+    fn energy_eff_point(&self, intensity: f64) -> f64 {
         1.0 / self.energy(1.0, 1.0 / intensity)
     }
 
     // ------------------------------------------------------------------
-    // SoA batch kernels.
+    // Serial slice kernels: plain lockstep (zip) streams over the point
+    // kernels. LLVM autovectorizes these into wide unrolled lanes;
+    // measured faster than hand-chunked fixed-width blocks, whose mixed
+    // f64/byte stores compiled into shuffle-heavy code (see
+    // EXPERIMENTS.md, "Kernel optimization"). Kernels with a byte-typed
+    // regime output split it into a second pass over the same inputs so
+    // the f64 arithmetic vectorizes cleanly — per-element operations and
+    // their order are unchanged, so batch output stays bit-identical to
+    // the per-point scalar methods.
+    //
+    // `#[inline(never)]`: each kernel gets exactly one out-of-line copy.
+    // When these loops inline into large callers the vectorizer emits a
+    // markedly worse body under register pressure (measured ~3.5x slower
+    // for the fused kernel inlined into a big main); a pinned standalone
+    // copy keeps every call site on the clean codegen, and the call
+    // overhead is noise next to the loop.
+    // ------------------------------------------------------------------
+
+    #[inline(never)]
+    fn time_slice(&self, flops: &[f64], bytes: &[f64], out: &mut [f64]) {
+        for ((&w, &q), o) in flops.iter().zip(bytes).zip(out.iter_mut()) {
+            *o = self.time(w, q);
+        }
+    }
+
+    #[inline(never)]
+    fn energy_slice(&self, flops: &[f64], bytes: &[f64], out: &mut [f64]) {
+        for ((&w, &q), o) in flops.iter().zip(bytes).zip(out.iter_mut()) {
+            *o = self.energy(w, q);
+        }
+    }
+
+    #[inline(never)]
+    fn time_energy_slice(&self, flops: &[f64], bytes: &[f64], t_out: &mut [f64], e_out: &mut [f64]) {
+        for (((&w, &q), t), e) in
+            flops.iter().zip(bytes).zip(t_out.iter_mut()).zip(e_out.iter_mut())
+        {
+            (*t, *e) = self.time_energy(w, q);
+        }
+    }
+
+    #[inline(never)]
+    fn evaluate_slice(
+        &self,
+        flops: &[f64],
+        bytes: &[f64],
+        t_out: &mut [f64],
+        e_out: &mut [f64],
+        p_out: &mut [f64],
+        r_out: &mut [Regime],
+    ) {
+        // Pass 1: the f64 outputs (vectorizes as pure mul/fma/max/div).
+        for ((((&w, &q), t), e), p) in flops
+            .iter()
+            .zip(bytes)
+            .zip(t_out.iter_mut())
+            .zip(e_out.iter_mut())
+            .zip(p_out.iter_mut())
+        {
+            let (tv, ev) = self.time_energy(w, q);
+            *t = tv;
+            *e = ev;
+            *p = ev / tv;
+        }
+        // Pass 2: the regime bytes (same classification the scalar
+        // `evaluate` performs; separate loop so pass 1 stays shuffle-free).
+        for ((&w, &q), r) in flops.iter().zip(bytes).zip(r_out.iter_mut()) {
+            *r = self.regime_at(w / q);
+        }
+    }
+
+    #[inline(never)]
+    fn avg_power_slice(&self, intensities: &[f64], out: &mut [f64]) {
+        for (&x, o) in intensities.iter().zip(out.iter_mut()) {
+            *o = self.avg_power_at(x);
+        }
+    }
+
+    #[inline(never)]
+    fn regime_slice(&self, intensities: &[f64], out: &mut [Regime]) {
+        for (&x, o) in intensities.iter().zip(out.iter_mut()) {
+            *o = self.regime_at(x);
+        }
+    }
+
+    #[inline(never)]
+    fn power_regime_slice(&self, intensities: &[f64], p_out: &mut [f64], r_out: &mut [Regime]) {
+        self.avg_power_slice(intensities, p_out);
+        self.regime_slice(intensities, r_out);
+    }
+
+    #[inline(never)]
+    fn perf_slice(&self, intensities: &[f64], out: &mut [f64]) {
+        for (&x, o) in intensities.iter().zip(out.iter_mut()) {
+            *o = self.perf_point(x);
+        }
+    }
+
+    #[inline(never)]
+    fn energy_eff_slice(&self, intensities: &[f64], out: &mut [f64]) {
+        for (&x, o) in intensities.iter().zip(out.iter_mut()) {
+            *o = self.energy_eff_point(x);
+        }
+    }
+
+    #[inline(never)]
+    fn efficiency_slice(
+        &self,
+        intensities: &[f64],
+        perf_out: &mut [f64],
+        eff_out: &mut [f64],
+        p_out: &mut [f64],
+    ) {
+        // Perf and energy-eff share the unit workload and its (T, E); the
+        // power curve only needs the intensity, so it runs as its own
+        // stream. Identical per-element arithmetic to the three point
+        // kernels (perf/energy-eff fused via the shared `time_energy`).
+        for ((&x, f), e) in intensities.iter().zip(perf_out.iter_mut()).zip(eff_out.iter_mut()) {
+            let q = 1.0 / x;
+            let (t, en) = self.time_energy(1.0, q);
+            *f = 1.0 / t;
+            *e = 1.0 / en;
+        }
+        self.avg_power_slice(intensities, p_out);
+    }
+
+    // ------------------------------------------------------------------
+    // SoA batch kernels: adaptive-grain parallel above PAR_THRESHOLD,
+    // lane-structured serial below. `_serial` variants never parallelize;
+    // both paths are bit-identical (elementwise kernels are split-invariant).
     // ------------------------------------------------------------------
 
     /// `out[k] = T(flops[k], bytes[k])` for every `k`.
@@ -186,16 +390,20 @@ impl RooflinePlan {
     /// Panics if the slice lengths differ.
     pub fn time_batch(&self, flops: &[f64], bytes: &[f64], out: &mut [f64]) {
         assert_batch_lens(flops.len(), bytes.len(), out.len());
-        dispatch(out, |k, slot| *slot = self.time(flops[k], bytes[k]));
+        match par_grain(out.len()) {
+            Some(g) => parallel_chunks_mut(out, g, |idx, chunk| {
+                let base = idx * g;
+                self.time_slice(&flops[base..base + chunk.len()], &bytes[base..base + chunk.len()], chunk);
+            }),
+            None => self.time_slice(flops, bytes, out),
+        }
     }
 
     /// Serial variant of [`RooflinePlan::time_batch`] (never parallelizes);
     /// same results bit-for-bit.
     pub fn time_batch_serial(&self, flops: &[f64], bytes: &[f64], out: &mut [f64]) {
         assert_batch_lens(flops.len(), bytes.len(), out.len());
-        for (k, slot) in out.iter_mut().enumerate() {
-            *slot = self.time(flops[k], bytes[k]);
-        }
+        self.time_slice(flops, bytes, out);
     }
 
     /// `out[k] = E(flops[k], bytes[k])` for every `k`.
@@ -204,21 +412,23 @@ impl RooflinePlan {
     /// Panics if the slice lengths differ.
     pub fn energy_batch(&self, flops: &[f64], bytes: &[f64], out: &mut [f64]) {
         assert_batch_lens(flops.len(), bytes.len(), out.len());
-        dispatch(out, |k, slot| *slot = self.energy(flops[k], bytes[k]));
+        match par_grain(out.len()) {
+            Some(g) => parallel_chunks_mut(out, g, |idx, chunk| {
+                let base = idx * g;
+                self.energy_slice(&flops[base..base + chunk.len()], &bytes[base..base + chunk.len()], chunk);
+            }),
+            None => self.energy_slice(flops, bytes, out),
+        }
     }
 
     /// Serial variant of [`RooflinePlan::energy_batch`].
     pub fn energy_batch_serial(&self, flops: &[f64], bytes: &[f64], out: &mut [f64]) {
         assert_batch_lens(flops.len(), bytes.len(), out.len());
-        for (k, slot) in out.iter_mut().enumerate() {
-            *slot = self.energy(flops[k], bytes[k]);
-        }
+        self.energy_slice(flops, bytes, out);
     }
 
     /// Fused `(T, E)` over a measurement set: `t_out[k], e_out[k] =
-    /// time_energy(flops[k], bytes[k])`. Serial — intended for
-    /// measurement-set-sized batches (fit objectives, Pareto scans) where
-    /// the fusion, not parallelism, is the win.
+    /// time_energy(flops[k], bytes[k])`.
     ///
     /// # Panics
     /// Panics if the slice lengths differ.
@@ -231,9 +441,83 @@ impl RooflinePlan {
     ) {
         assert_batch_lens(flops.len(), bytes.len(), t_out.len());
         assert_batch_lens(flops.len(), bytes.len(), e_out.len());
-        for (k, (t, e)) in t_out.iter_mut().zip(e_out.iter_mut()).enumerate() {
-            (*t, *e) = self.time_energy(flops[k], bytes[k]);
+        match par_grain(t_out.len()) {
+            Some(g) => parallel_chunks_mut2(t_out, e_out, g, |idx, tc, ec| {
+                let base = idx * g;
+                self.time_energy_slice(
+                    &flops[base..base + tc.len()],
+                    &bytes[base..base + tc.len()],
+                    tc,
+                    ec,
+                );
+            }),
+            None => self.time_energy_slice(flops, bytes, t_out, e_out),
         }
+    }
+
+    /// Serial variant of [`RooflinePlan::time_energy_batch`].
+    pub fn time_energy_batch_serial(
+        &self,
+        flops: &[f64],
+        bytes: &[f64],
+        t_out: &mut [f64],
+        e_out: &mut [f64],
+    ) {
+        assert_batch_lens(flops.len(), bytes.len(), t_out.len());
+        assert_batch_lens(flops.len(), bytes.len(), e_out.len());
+        self.time_energy_slice(flops, bytes, t_out, e_out);
+    }
+
+    /// The fully fused sweep kernel: one memory pass computing
+    /// `t_out[k], e_out[k], p_out[k], r_out[k] = evaluate(flops[k], bytes[k])`
+    /// — time, energy, average power `E/T`, and the regime at `W/Q` — for
+    /// the fit objective and the figure artifacts, instead of touching the
+    /// input arrays four times with four kernels.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    pub fn evaluate_batch(
+        &self,
+        flops: &[f64],
+        bytes: &[f64],
+        t_out: &mut [f64],
+        e_out: &mut [f64],
+        p_out: &mut [f64],
+        r_out: &mut [Regime],
+    ) {
+        assert_batch_lens(flops.len(), bytes.len(), t_out.len());
+        assert_batch_lens(e_out.len(), p_out.len(), r_out.len());
+        assert_batch_lens(flops.len(), flops.len(), e_out.len());
+        match par_grain(t_out.len()) {
+            Some(g) => parallel_chunks_mut4(t_out, e_out, p_out, r_out, g, |idx, tc, ec, pc, rc| {
+                let base = idx * g;
+                self.evaluate_slice(
+                    &flops[base..base + tc.len()],
+                    &bytes[base..base + tc.len()],
+                    tc,
+                    ec,
+                    pc,
+                    rc,
+                );
+            }),
+            None => self.evaluate_slice(flops, bytes, t_out, e_out, p_out, r_out),
+        }
+    }
+
+    /// Serial variant of [`RooflinePlan::evaluate_batch`].
+    pub fn evaluate_batch_serial(
+        &self,
+        flops: &[f64],
+        bytes: &[f64],
+        t_out: &mut [f64],
+        e_out: &mut [f64],
+        p_out: &mut [f64],
+        r_out: &mut [Regime],
+    ) {
+        assert_batch_lens(flops.len(), bytes.len(), t_out.len());
+        assert_batch_lens(e_out.len(), p_out.len(), r_out.len());
+        assert_batch_lens(flops.len(), flops.len(), e_out.len());
+        self.evaluate_slice(flops, bytes, t_out, e_out, p_out, r_out);
     }
 
     /// `out[k] = P̄(intensities[k])` (closed form, paper eq. 7).
@@ -242,15 +526,19 @@ impl RooflinePlan {
     /// Panics if the slice lengths differ.
     pub fn avg_power_batch(&self, intensities: &[f64], out: &mut [f64]) {
         assert_eq!(intensities.len(), out.len(), "batch slice lengths must match");
-        dispatch(out, |k, slot| *slot = self.avg_power_at(intensities[k]));
+        match par_grain(out.len()) {
+            Some(g) => parallel_chunks_mut(out, g, |idx, chunk| {
+                let base = idx * g;
+                self.avg_power_slice(&intensities[base..base + chunk.len()], chunk);
+            }),
+            None => self.avg_power_slice(intensities, out),
+        }
     }
 
     /// Serial variant of [`RooflinePlan::avg_power_batch`].
     pub fn avg_power_batch_serial(&self, intensities: &[f64], out: &mut [f64]) {
         assert_eq!(intensities.len(), out.len(), "batch slice lengths must match");
-        for (k, slot) in out.iter_mut().enumerate() {
-            *slot = self.avg_power_at(intensities[k]);
-        }
+        self.avg_power_slice(intensities, out);
     }
 
     /// `out[k] = regime(intensities[k])`.
@@ -259,7 +547,47 @@ impl RooflinePlan {
     /// Panics if the slice lengths differ.
     pub fn regime_batch(&self, intensities: &[f64], out: &mut [Regime]) {
         assert_eq!(intensities.len(), out.len(), "batch slice lengths must match");
-        dispatch(out, |k, slot| *slot = self.regime_at(intensities[k]));
+        match par_grain(out.len()) {
+            Some(g) => parallel_chunks_mut(out, g, |idx, chunk| {
+                let base = idx * g;
+                self.regime_slice(&intensities[base..base + chunk.len()], chunk);
+            }),
+            None => self.regime_slice(intensities, out),
+        }
+    }
+
+    /// Serial variant of [`RooflinePlan::regime_batch`].
+    pub fn regime_batch_serial(&self, intensities: &[f64], out: &mut [Regime]) {
+        assert_eq!(intensities.len(), out.len(), "batch slice lengths must match");
+        self.regime_slice(intensities, out);
+    }
+
+    /// Fused power-curve kernel: `p_out[k], r_out[k] = (P̄, regime)` at
+    /// `intensities[k]` in one memory pass (the two quantities share their
+    /// balance compares).
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    pub fn power_regime_batch(&self, intensities: &[f64], p_out: &mut [f64], r_out: &mut [Regime]) {
+        assert_batch_lens(intensities.len(), p_out.len(), r_out.len());
+        match par_grain(p_out.len()) {
+            Some(g) => parallel_chunks_mut2(p_out, r_out, g, |idx, pc, rc| {
+                let base = idx * g;
+                self.power_regime_slice(&intensities[base..base + pc.len()], pc, rc);
+            }),
+            None => self.power_regime_slice(intensities, p_out, r_out),
+        }
+    }
+
+    /// Serial variant of [`RooflinePlan::power_regime_batch`].
+    pub fn power_regime_batch_serial(
+        &self,
+        intensities: &[f64],
+        p_out: &mut [f64],
+        r_out: &mut [Regime],
+    ) {
+        assert_batch_lens(intensities.len(), p_out.len(), r_out.len());
+        self.power_regime_slice(intensities, p_out, r_out);
     }
 
     /// `out[k] = perf(intensities[k])` in flop/s.
@@ -269,7 +597,21 @@ impl RooflinePlan {
     /// positive and finite.
     pub fn perf_batch(&self, intensities: &[f64], out: &mut [f64]) {
         assert_eq!(intensities.len(), out.len(), "batch slice lengths must match");
-        dispatch(out, |k, slot| *slot = self.perf_at(intensities[k]));
+        validate_intensities(intensities);
+        match par_grain(out.len()) {
+            Some(g) => parallel_chunks_mut(out, g, |idx, chunk| {
+                let base = idx * g;
+                self.perf_slice(&intensities[base..base + chunk.len()], chunk);
+            }),
+            None => self.perf_slice(intensities, out),
+        }
+    }
+
+    /// Serial variant of [`RooflinePlan::perf_batch`].
+    pub fn perf_batch_serial(&self, intensities: &[f64], out: &mut [f64]) {
+        assert_eq!(intensities.len(), out.len(), "batch slice lengths must match");
+        validate_intensities(intensities);
+        self.perf_slice(intensities, out);
     }
 
     /// `out[k] = energy_eff(intensities[k])` in flop/J.
@@ -279,35 +621,93 @@ impl RooflinePlan {
     /// positive and finite.
     pub fn energy_eff_batch(&self, intensities: &[f64], out: &mut [f64]) {
         assert_eq!(intensities.len(), out.len(), "batch slice lengths must match");
-        dispatch(out, |k, slot| *slot = self.energy_eff_at(intensities[k]));
+        validate_intensities(intensities);
+        match par_grain(out.len()) {
+            Some(g) => parallel_chunks_mut(out, g, |idx, chunk| {
+                let base = idx * g;
+                self.energy_eff_slice(&intensities[base..base + chunk.len()], chunk);
+            }),
+            None => self.energy_eff_slice(intensities, out),
+        }
+    }
+
+    /// Serial variant of [`RooflinePlan::energy_eff_batch`].
+    pub fn energy_eff_batch_serial(&self, intensities: &[f64], out: &mut [f64]) {
+        assert_eq!(intensities.len(), out.len(), "batch slice lengths must match");
+        validate_intensities(intensities);
+        self.energy_eff_slice(intensities, out);
+    }
+
+    /// Fused efficiency-curve kernel: `perf_out[k], eff_out[k], p_out[k] =
+    /// (perf, energy-eff, P̄)` at `intensities[k]` in one memory pass (the
+    /// unit workload and `(T, E)` are shared between the three quantities).
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ, or any intensity is not strictly
+    /// positive and finite.
+    pub fn efficiency_batch(
+        &self,
+        intensities: &[f64],
+        perf_out: &mut [f64],
+        eff_out: &mut [f64],
+        p_out: &mut [f64],
+    ) {
+        assert_batch_lens(intensities.len(), perf_out.len(), eff_out.len());
+        assert_batch_lens(intensities.len(), intensities.len(), p_out.len());
+        validate_intensities(intensities);
+        match par_grain(perf_out.len()) {
+            Some(g) => parallel_chunks_mut3(perf_out, eff_out, p_out, g, |idx, fc, ec, pc| {
+                let base = idx * g;
+                self.efficiency_slice(&intensities[base..base + fc.len()], fc, ec, pc);
+            }),
+            None => self.efficiency_slice(intensities, perf_out, eff_out, p_out),
+        }
+    }
+
+    /// Serial variant of [`RooflinePlan::efficiency_batch`].
+    pub fn efficiency_batch_serial(
+        &self,
+        intensities: &[f64],
+        perf_out: &mut [f64],
+        eff_out: &mut [f64],
+        p_out: &mut [f64],
+    ) {
+        assert_batch_lens(intensities.len(), perf_out.len(), eff_out.len());
+        assert_batch_lens(intensities.len(), intensities.len(), p_out.len());
+        validate_intensities(intensities);
+        self.efficiency_slice(intensities, perf_out, eff_out, p_out);
+    }
+}
+
+#[inline(always)]
+fn validate_intensity(intensity: f64) {
+    assert!(
+        intensity.is_finite() && intensity > 0.0,
+        "intensity must be positive and finite, got {intensity}"
+    );
+}
+
+/// Upfront validation for the perf/energy-eff kernels: one cheap
+/// vectorizable pass, so the hot loops stay assert-free (a per-point assert
+/// defeats if-conversion). Panics with the same message, and for the first
+/// offending value, as the per-point form did.
+fn validate_intensities(intensities: &[f64]) {
+    // Non-short-circuiting fold: `&` instead of `&&` keeps the pass free of
+    // early exits so it vectorizes (the short-circuit form compiled to a
+    // scalar loop that cost as much as the kernel it was guarding).
+    let ok = intensities.iter().fold(true, |ok, x| ok & (x.is_finite() & (*x > 0.0)));
+    if !ok {
+        let bad = intensities
+            .iter()
+            .copied()
+            .find(|x| !(x.is_finite() && *x > 0.0))
+            .expect("offending intensity");
+        validate_intensity(bad);
     }
 }
 
 fn assert_batch_lens(flops: usize, bytes: usize, out: usize) {
     assert!(flops == bytes && bytes == out, "batch slice lengths must match");
-}
-
-/// Runs `fill(global_index, output_slot)` over every slot of `out`,
-/// chunk-parallel above [`PAR_THRESHOLD`]. Each slot is written exactly once
-/// by exactly one worker, so the parallel path is bit-identical to the
-/// serial one by construction.
-fn dispatch<T, F>(out: &mut [T], fill: F)
-where
-    T: Send,
-    F: Fn(usize, &mut T) + Sync,
-{
-    if out.len() >= PAR_THRESHOLD {
-        parallel_chunks_mut(out, PAR_GRAIN, |chunk_idx, chunk| {
-            let base = chunk_idx * PAR_GRAIN;
-            for (k, slot) in chunk.iter_mut().enumerate() {
-                fill(base + k, slot);
-            }
-        });
-    } else {
-        for (k, slot) in out.iter_mut().enumerate() {
-            fill(k, slot);
-        }
-    }
 }
 
 #[cfg(test)]
@@ -356,9 +756,23 @@ mod tests {
     }
 
     #[test]
+    fn fused_evaluate_matches_separate_calls() {
+        let plan = RooflinePlan::new(titan_params());
+        for k in -8..=24 {
+            let i = 2f64.powi(k);
+            let w = Workload::from_intensity(1e11, i);
+            let (t, e, p, r) = plan.evaluate(w.flops, w.bytes);
+            assert_eq!(t.to_bits(), plan.time(w.flops, w.bytes).to_bits());
+            assert_eq!(e.to_bits(), plan.energy(w.flops, w.bytes).to_bits());
+            assert_eq!(p.to_bits(), plan.avg_power(w.flops, w.bytes).to_bits());
+            assert_eq!(r, plan.regime_at(w.flops / w.bytes));
+        }
+    }
+
+    #[test]
     fn batch_kernels_match_point_kernels() {
         let plan = RooflinePlan::new(titan_params());
-        let n = 257; // deliberately not a power of two
+        let n = 257; // deliberately not a power of two: exercises the lane tail
         let intensities: Vec<f64> = (0..n).map(|k| 2f64.powf(k as f64 / 16.0 - 4.0)).collect();
         let flops: Vec<f64> = intensities.iter().map(|_| 1e11).collect();
         let bytes: Vec<f64> = intensities.iter().map(|&i| 1e11 / i).collect();
@@ -376,6 +790,38 @@ mod tests {
             assert_eq!(e[k].to_bits(), plan.energy(flops[k], bytes[k]).to_bits());
             assert_eq!(p[k].to_bits(), plan.avg_power_at(intensities[k]).to_bits());
             assert_eq!(r[k], plan.regime_at(intensities[k]));
+        }
+    }
+
+    #[test]
+    fn fused_batches_match_their_point_kernels() {
+        let plan = RooflinePlan::new(titan_params());
+        let n = 203;
+        let intensities: Vec<f64> = (0..n).map(|k| 2f64.powf(k as f64 / 12.0 - 4.0)).collect();
+        let flops: Vec<f64> = intensities.iter().map(|_| 1e11).collect();
+        let bytes: Vec<f64> = intensities.iter().map(|&i| 1e11 / i).collect();
+
+        let (mut t, mut e, mut p) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        let mut r = vec![Regime::MemoryBound; n];
+        plan.evaluate_batch(&flops, &bytes, &mut t, &mut e, &mut p, &mut r);
+        for k in 0..n {
+            let (st, se, sp, sr) = plan.evaluate(flops[k], bytes[k]);
+            assert_eq!(t[k].to_bits(), st.to_bits());
+            assert_eq!(e[k].to_bits(), se.to_bits());
+            assert_eq!(p[k].to_bits(), sp.to_bits());
+            assert_eq!(r[k], sr);
+        }
+
+        let (mut pw, mut rg) = (vec![0.0; n], vec![Regime::MemoryBound; n]);
+        plan.power_regime_batch(&intensities, &mut pw, &mut rg);
+        let (mut pf, mut ef, mut p2) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        plan.efficiency_batch(&intensities, &mut pf, &mut ef, &mut p2);
+        for k in 0..n {
+            assert_eq!(pw[k].to_bits(), plan.avg_power_at(intensities[k]).to_bits());
+            assert_eq!(rg[k], plan.regime_at(intensities[k]));
+            assert_eq!(pf[k].to_bits(), plan.perf_at(intensities[k]).to_bits());
+            assert_eq!(ef[k].to_bits(), plan.energy_eff_at(intensities[k]).to_bits());
+            assert_eq!(p2[k].to_bits(), plan.avg_power_at(intensities[k]).to_bits());
         }
     }
 
@@ -413,6 +859,14 @@ mod tests {
         let plan = RooflinePlan::new(titan_params());
         let mut out = vec![0.0; 3];
         plan.time_batch(&[1.0, 2.0], &[1.0, 2.0], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "intensity must be positive and finite")]
+    fn perf_batch_rejects_nonpositive_intensities() {
+        let plan = RooflinePlan::new(titan_params());
+        let mut out = vec![0.0; 3];
+        plan.perf_batch(&[1.0, 0.0, 2.0], &mut out);
     }
 
     #[test]

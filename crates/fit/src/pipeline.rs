@@ -23,7 +23,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use archline_core::{EnergyRoofline, MachineParams, PowerCap, RooflinePlan};
+use archline_core::{EnergyRoofline, MachineParams, PowerCap, Regime, RooflinePlan};
 use archline_obs::{self as obs, field, Counter};
 
 use crate::measurement::{MeasurementSet, Run};
@@ -403,23 +403,39 @@ impl RunColumns {
     }
 }
 
+/// Reusable output buffers for the fused [`RooflinePlan::evaluate_batch`]
+/// kernel — time, energy, average power, regime — allocated once per fit
+/// stage and recycled across the thousands of simplex evaluations.
+struct EvalBufs {
+    t: Vec<f64>,
+    e: Vec<f64>,
+    p: Vec<f64>,
+    r: Vec<Regime>,
+}
+
+impl EvalBufs {
+    fn new(n: usize) -> Self {
+        Self {
+            t: vec![0.0; n],
+            e: vec![0.0; n],
+            p: vec![0.0; n],
+            r: vec![Regime::MemoryBound; n],
+        }
+    }
+}
+
 /// Summed robust loss of one candidate over the columns: per run,
 /// `ρ(relative time error) + ρ(relative power error)`, accumulated in run
 /// order — bit-identical to the historical per-run scalar loop because the
-/// fused batch kernel reproduces the scalar model exactly and the addition
+/// fused batch kernel reproduces the scalar model exactly (its in-kernel
+/// `P̄ = E/T` is the very division the loop used to do) and the addition
 /// order is unchanged.
-fn batch_loss(
-    plan: &RooflinePlan,
-    cols: &RunColumns,
-    loss: Loss,
-    t_buf: &mut [f64],
-    e_buf: &mut [f64],
-) -> f64 {
-    plan.time_energy_batch(&cols.flops, &cols.bytes, t_buf, e_buf);
+fn batch_loss(plan: &RooflinePlan, cols: &RunColumns, loss: Loss, bufs: &mut EvalBufs) -> f64 {
+    plan.evaluate_batch(&cols.flops, &cols.bytes, &mut bufs.t, &mut bufs.e, &mut bufs.p, &mut bufs.r);
     let mut total = 0.0;
     for k in 0..cols.len() {
-        let t_err = (t_buf[k] - cols.meas_time[k]) / cols.meas_time[k];
-        let p_err = (e_buf[k] / t_buf[k] - cols.meas_power[k]) / cols.meas_power[k];
+        let t_err = (bufs.t[k] - cols.meas_time[k]) / cols.meas_time[k];
+        let p_err = (bufs.p[k] - cols.meas_power[k]) / cols.meas_power[k];
         total += loss.rho(t_err) + loss.rho(p_err);
     }
     total
@@ -435,9 +451,8 @@ pub fn refinement_loss(params: &MachineParams, runs: &[Run], loss: Loss) -> f64 
         return f64::INFINITY;
     };
     let cols = RunColumns::new(runs);
-    let mut t_buf = vec![0.0; cols.len()];
-    let mut e_buf = vec![0.0; cols.len()];
-    batch_loss(&plan, &cols, loss, &mut t_buf, &mut e_buf)
+    let mut bufs = EvalBufs::new(cols.len());
+    batch_loss(&plan, &cols, loss, &mut bufs)
 }
 
 /// Nelder–Mead refinement in log-parameter space. Returns the refined
@@ -466,11 +481,10 @@ fn refine(runs: &[Run], seed: &[f64], capped: bool, opts: &FitOptions) -> (Machi
     };
     let loss = opts.loss;
     let cols = RunColumns::new(runs);
-    let mut t_buf = vec![0.0; cols.len()];
-    let mut e_buf = vec![0.0; cols.len()];
+    let mut bufs = EvalBufs::new(cols.len());
     let mut objective = |logs: &[f64]| -> f64 {
         match RooflinePlan::try_new(build(logs)) {
-            Ok(plan) => batch_loss(&plan, &cols, loss, &mut t_buf, &mut e_buf),
+            Ok(plan) => batch_loss(&plan, &cols, loss, &mut bufs),
             Err(_) => f64::INFINITY,
         }
     };
@@ -531,15 +545,21 @@ fn diagnostics(
 ) -> FitDiagnostics {
     let model = EnergyRoofline::new(*params);
     let cols = RunColumns::new(runs);
-    let mut t_buf = vec![0.0; cols.len()];
-    let mut e_buf = vec![0.0; cols.len()];
-    model.plan().time_energy_batch(&cols.flops, &cols.bytes, &mut t_buf, &mut e_buf);
+    let mut bufs = EvalBufs::new(cols.len());
+    model.plan().evaluate_batch(
+        &cols.flops,
+        &cols.bytes,
+        &mut bufs.t,
+        &mut bufs.e,
+        &mut bufs.p,
+        &mut bufs.r,
+    );
     let mut p_sq = 0.0;
     let mut t_sq = 0.0;
     let mut p_max: f64 = 0.0;
     for k in 0..cols.len() {
-        let pe = (e_buf[k] / t_buf[k] - cols.meas_power[k]) / cols.meas_power[k];
-        let te = (t_buf[k] - cols.meas_time[k]) / cols.meas_time[k];
+        let pe = (bufs.p[k] - cols.meas_power[k]) / cols.meas_power[k];
+        let te = (bufs.t[k] - cols.meas_time[k]) / cols.meas_time[k];
         p_sq += pe * pe;
         t_sq += te * te;
         p_max = p_max.max(pe.abs());

@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use archline_core::{MachineParams, RooflinePlan};
+use archline_core::{MachineParams, Regime, RooflinePlan};
 
 use crate::measurement::Run;
 
@@ -29,12 +29,16 @@ pub fn relative_errors(params: &MachineParams, runs: &[Run], kind: ErrorKind) ->
     let bytes: Vec<f64> = kept.iter().map(|r| r.bytes).collect();
     let mut t_buf = vec![0.0; kept.len()];
     let mut e_buf = vec![0.0; kept.len()];
-    plan.time_energy_batch(&flops, &bytes, &mut t_buf, &mut e_buf);
+    let mut p_buf = vec![0.0; kept.len()];
+    let mut r_buf = vec![Regime::MemoryBound; kept.len()];
+    // Fused pass: the in-kernel P̄ = E/T is bit-identical to the division
+    // this function used to do per element.
+    plan.evaluate_batch(&flops, &bytes, &mut t_buf, &mut e_buf, &mut p_buf, &mut r_buf);
     kept.iter()
         .enumerate()
         .map(|(k, r)| {
             let (predicted, measured) = match kind {
-                ErrorKind::Power => (e_buf[k] / t_buf[k], r.avg_power()),
+                ErrorKind::Power => (p_buf[k], r.avg_power()),
                 ErrorKind::Time => (t_buf[k], r.time),
                 ErrorKind::Energy => (e_buf[k], r.energy),
             };

@@ -186,11 +186,133 @@ where
     if data.is_empty() {
         return;
     }
+    // With one worker (or one chunk) the executor is pure overhead: every
+    // boxed job runs on the calling thread anyway, but pays allocation,
+    // queue traffic, and the join barrier. Run the chunks inline — the
+    // results are identical by construction (same chunks, same order).
+    if num_threads() <= 1 || data.len() <= chunk_len {
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(idx, chunk);
+        }
+        return;
+    }
     let f = &f;
     let jobs: Vec<Job<'_>> = data
         .chunks_mut(chunk_len)
         .enumerate()
         .map(|(idx, chunk)| Box::new(move || f(idx, chunk)) as Job<'_>)
+        .collect();
+    Executor::global().run_batch(jobs);
+}
+
+/// Like [`parallel_chunks_mut`] over two equal-length slices split into the
+/// same aligned chunks: `f(chunk_index, a_chunk, b_chunk)`. The fused batch
+/// kernels use this to fill several output columns in one parallel pass.
+///
+/// # Panics
+/// Panics if `chunk_len == 0` or the slice lengths differ.
+pub fn parallel_chunks_mut2<A, B, F>(a: &mut [A], b: &mut [B], chunk_len: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert_eq!(a.len(), b.len(), "chunked slice lengths must match");
+    if a.is_empty() {
+        return;
+    }
+    let serial = num_threads() <= 1 || a.len() <= chunk_len;
+    let groups = a.chunks_mut(chunk_len).zip(b.chunks_mut(chunk_len)).enumerate();
+    if serial {
+        for (idx, (ca, cb)) in groups {
+            f(idx, ca, cb);
+        }
+        return;
+    }
+    let f = &f;
+    let jobs: Vec<Job<'_>> =
+        groups.map(|(idx, (ca, cb))| Box::new(move || f(idx, ca, cb)) as Job<'_>).collect();
+    Executor::global().run_batch(jobs);
+}
+
+/// [`parallel_chunks_mut2`] for three equal-length slices.
+///
+/// # Panics
+/// Panics if `chunk_len == 0` or the slice lengths differ.
+pub fn parallel_chunks_mut3<A, B, C, F>(a: &mut [A], b: &mut [B], c: &mut [C], chunk_len: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    C: Send,
+    F: Fn(usize, &mut [A], &mut [B], &mut [C]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert!(a.len() == b.len() && b.len() == c.len(), "chunked slice lengths must match");
+    if a.is_empty() {
+        return;
+    }
+    let serial = num_threads() <= 1 || a.len() <= chunk_len;
+    let groups = a
+        .chunks_mut(chunk_len)
+        .zip(b.chunks_mut(chunk_len))
+        .zip(c.chunks_mut(chunk_len))
+        .enumerate();
+    if serial {
+        for (idx, ((ca, cb), cc)) in groups {
+            f(idx, ca, cb, cc);
+        }
+        return;
+    }
+    let f = &f;
+    let jobs: Vec<Job<'_>> = groups
+        .map(|(idx, ((ca, cb), cc))| Box::new(move || f(idx, ca, cb, cc)) as Job<'_>)
+        .collect();
+    Executor::global().run_batch(jobs);
+}
+
+/// [`parallel_chunks_mut2`] for four equal-length slices.
+///
+/// # Panics
+/// Panics if `chunk_len == 0` or the slice lengths differ.
+pub fn parallel_chunks_mut4<A, B, C, D, F>(
+    a: &mut [A],
+    b: &mut [B],
+    c: &mut [C],
+    d: &mut [D],
+    chunk_len: usize,
+    f: F,
+) where
+    A: Send,
+    B: Send,
+    C: Send,
+    D: Send,
+    F: Fn(usize, &mut [A], &mut [B], &mut [C], &mut [D]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert!(
+        a.len() == b.len() && b.len() == c.len() && c.len() == d.len(),
+        "chunked slice lengths must match"
+    );
+    if a.is_empty() {
+        return;
+    }
+    let serial = num_threads() <= 1 || a.len() <= chunk_len;
+    let groups = a
+        .chunks_mut(chunk_len)
+        .zip(b.chunks_mut(chunk_len))
+        .zip(c.chunks_mut(chunk_len))
+        .zip(d.chunks_mut(chunk_len))
+        .enumerate();
+    if serial {
+        for (idx, (((ca, cb), cc), cd)) in groups {
+            f(idx, ca, cb, cc, cd);
+        }
+        return;
+    }
+    let f = &f;
+    let jobs: Vec<Job<'_>> = groups
+        .map(|(idx, (((ca, cb), cc), cd))| Box::new(move || f(idx, ca, cb, cc, cd)) as Job<'_>)
         .collect();
     Executor::global().run_batch(jobs);
 }
@@ -287,6 +409,49 @@ mod tests {
     fn zero_chunk_len_panics() {
         let mut data = [1, 2, 3];
         parallel_chunks_mut(&mut data, 0, |_, _| {});
+    }
+
+    #[test]
+    fn chunks_mut2_keeps_slices_aligned() {
+        let n = 1003;
+        let mut a = vec![0u32; n];
+        let mut b = vec![0u64; n];
+        parallel_chunks_mut2(&mut a, &mut b, 100, |idx, ca, cb| {
+            assert_eq!(ca.len(), cb.len());
+            for (x, y) in ca.iter_mut().zip(cb.iter_mut()) {
+                *x = idx as u32;
+                *y = idx as u64 + 1;
+            }
+        });
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(*x, (i / 100) as u32, "index {i}");
+            assert_eq!(*y, (i / 100) as u64 + 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut4_covers_every_slot_once() {
+        let n = 517;
+        let mut a = vec![0u8; n];
+        let mut b = vec![0u8; n];
+        let mut c = vec![0u8; n];
+        let mut d = vec![0u8; n];
+        parallel_chunks_mut4(&mut a, &mut b, &mut c, &mut d, 64, |_, ca, cb, cc, cd| {
+            for v in ca.iter_mut().chain(cb.iter_mut()).chain(cc.iter_mut()).chain(cd.iter_mut())
+            {
+                *v += 1;
+            }
+        });
+        assert!(a.iter().chain(&b).chain(&c).chain(&d).all(|&v| v == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn chunks_mut3_rejects_mismatched_lengths() {
+        let mut a = vec![0.0f64; 4];
+        let mut b = vec![0.0f64; 5];
+        let mut c = vec![0.0f64; 4];
+        parallel_chunks_mut3(&mut a, &mut b, &mut c, 2, |_, _, _, _| {});
     }
 
     #[test]

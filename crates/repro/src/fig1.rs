@@ -69,21 +69,30 @@ pub fn compute(measured_points: usize) -> Fig1Report {
     let eff_norm = titan.peak_energy_eff();
     let pow_norm = titan.params().peak_power();
 
-    // One batch evaluation per (metric, machine) pair over the whole grid.
-    let collect = |metric: Metric, norm: f64| -> Vec<Fig1Point> {
-        let mut t = vec![0.0; grid.len()];
-        let mut a = vec![0.0; grid.len()];
-        let mut arr = vec![0.0; grid.len()];
-        metric.eval_batch(&titan, &grid, &mut t);
-        metric.eval_batch(&arndale, &grid, &mut a);
-        metric.eval_batch(&array, &grid, &mut arr);
+    // One fused sweep per machine over the whole grid — perf, energy-eff,
+    // and power in a single memory pass (bit-identical to per-metric
+    // `Metric::eval_batch` calls) — then the three panels are assembled
+    // from the shared columns.
+    struct Columns {
+        perf: Vec<f64>,
+        eff: Vec<f64>,
+        power: Vec<f64>,
+    }
+    let sweep = |m: &EnergyRoofline| -> Columns {
+        let n = grid.len();
+        let (mut perf, mut eff, mut power) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        m.plan().efficiency_batch(&grid, &mut perf, &mut eff, &mut power);
+        Columns { perf, eff, power }
+    };
+    let (tc, ac, arrc) = (sweep(&titan), sweep(&arndale), sweep(&array));
+    let panel = |col: fn(&Columns) -> &[f64], norm: f64| -> Vec<Fig1Point> {
         grid.iter()
             .enumerate()
             .map(|(k, &i)| Fig1Point {
                 intensity: i,
-                titan: t[k] / norm,
-                arndale: a[k] / norm,
-                array: arr[k] / norm,
+                titan: col(&tc)[k] / norm,
+                arndale: col(&ac)[k] / norm,
+                array: col(&arrc)[k] / norm,
             })
             .collect()
     };
@@ -116,9 +125,9 @@ pub fn compute(measured_points: usize) -> Fig1Report {
 
     Fig1Report {
         array_size: rep.n,
-        performance: collect(Metric::Performance, perf_norm),
-        energy_eff: collect(Metric::EnergyEfficiency, eff_norm),
-        power: collect(Metric::Power, pow_norm),
+        performance: panel(|c| &c.perf, perf_norm),
+        energy_eff: panel(|c| &c.eff, eff_norm),
+        power: panel(|c| &c.power, pow_norm),
         energy_crossover: crossover,
         bandwidth_advantage: array.peak_bandwidth() / titan.peak_bandwidth(),
         peak_ratio: array.peak_perf() / titan.peak_perf(),
