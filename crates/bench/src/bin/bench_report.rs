@@ -1,5 +1,5 @@
 //! `bench_report` — measures the batch-evaluation speedups and writes
-//! `BENCH_model.json` (schema v3, see [`archline_bench::BENCH_SCHEMA_VERSION`])
+//! `BENCH_model.json` (schema v4, see [`archline_bench::BENCH_SCHEMA_VERSION`])
 //! into the current directory (the repo root in CI).
 //!
 //! Per batch kernel (`avg_power`, `time_energy`, the fused `evaluate`,
@@ -25,6 +25,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use archline_bench::{prior_schema_warning, BENCH_SCHEMA_VERSION};
+use archline_serve::{Query, Request, ServeConfig, Server};
 use archline_core::{plan::PAR_THRESHOLD, EnergyRoofline, MachineParams, Regime};
 use archline_fit::{try_fit_platform, FitOptions};
 use archline_machine::{spec_for, Engine};
@@ -121,6 +122,101 @@ impl Sweep {
             self.batch / self.batch_par
         );
         let _ = writeln!(json, "    }}{}", if trailing_comma { "," } else { "" });
+    }
+}
+
+/// What the in-process archline-serve engine measures for the report.
+struct ServeBench {
+    clients: usize,
+    queries: usize,
+    queries_per_sec: f64,
+    latency_p50_us: f64,
+    latency_p99_us: f64,
+    mean_batch_occupancy: f64,
+    overload_submitted: usize,
+    overload_shed: u64,
+}
+
+/// Drives an in-process archline-serve engine two ways: closed-loop
+/// concurrent clients for throughput and latency, then a deliberate
+/// open-loop burst against a small queue for the shed rate (a shed rate
+/// of zero would mean admission control never engaged — the burst makes
+/// the bounded-queue path part of the measured surface).
+fn serve_bench() -> ServeBench {
+    const CLIENTS: usize = 4;
+    const QUERIES_PER_CLIENT: usize = 2_000;
+    const EVAL_POINTS: usize = 64;
+
+    let request = |id: u64, platform: &str| Request {
+        id,
+        platform: platform.to_string(),
+        double_precision: false,
+        cap: None,
+        deadline_ms: None,
+        query: Query::Eval {
+            flops: (1..=EVAL_POINTS).map(|i| 1e9 * i as f64).collect(),
+            bytes: (1..=EVAL_POINTS).map(|i| 2e8 * i as f64).collect(),
+        },
+    };
+
+    // Phase 1: throughput + latency, closed loop. Four platforms spread
+    // the clients across shards the way a mixed query stream would.
+    let server = Server::start(ServeConfig::default()).expect("serve engine");
+    let handle = server.handle();
+    let platforms = ["GTX Titan", "Desktop CPU", "NUC CPU", "GTX 680"];
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|s| {
+        let threads: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let handle = handle.clone();
+                let platform = platforms[c % platforms.len()];
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(QUERIES_PER_CLIENT);
+                    for q in 0..QUERIES_PER_CLIENT {
+                        let t0 = Instant::now();
+                        let resp = handle.query(request((c * QUERIES_PER_CLIENT + q) as u64, platform));
+                        assert!(resp.result.is_ok(), "bench query rejected: {:?}", resp.result);
+                        lat.push(t0.elapsed().as_micros() as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        threads.into_iter().flat_map(|t| t.join().expect("client thread")).collect()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let after = server.shutdown();
+    let occupancy = after.stats().mean_batch_occupancy();
+    latencies.sort_unstable();
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize] as f64;
+
+    // Phase 2: shed rate under deliberate overload (tiny queue, slow
+    // worker batches, open-loop burst).
+    let overload = Server::start(ServeConfig {
+        shards: 1,
+        queue_bound: 32,
+        max_batch: 1,
+        ..ServeConfig::default()
+    })
+    .expect("overload engine");
+    let ohandle = overload.handle();
+    let submitted = 2_000;
+    let tickets: Vec<_> =
+        (0..submitted).map(|i| ohandle.submit(request(i as u64, "Xeon Phi"))).collect();
+    for t in tickets {
+        let _ = t.wait();
+    }
+    let shed = overload.shutdown().stats().shed.load(std::sync::atomic::Ordering::Relaxed);
+
+    ServeBench {
+        clients: CLIENTS,
+        queries: CLIENTS * QUERIES_PER_CLIENT,
+        queries_per_sec: (CLIENTS * QUERIES_PER_CLIENT) as f64 / secs,
+        latency_p50_us: pct(0.50),
+        latency_p99_us: pct(0.99),
+        mean_batch_occupancy: occupancy,
+        overload_submitted: submitted,
+        overload_shed: shed,
     }
 }
 
@@ -364,6 +460,9 @@ fn main() {
     };
     let gflops = |secs: f64| 2.0 * (n_gemm as f64).powi(3) / secs / 1e9;
 
+    obs::info!("bench", "bench_report: archline-serve engine (closed-loop + overload burst)...");
+    let serve = serve_bench();
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema_version\": {BENCH_SCHEMA_VERSION},");
     if let Some(rev) = obs::git_revision() {
@@ -415,6 +514,21 @@ fn main() {
     let _ = writeln!(json, "  \"gemm_n{n_gemm}_block64\": {{");
     let _ = writeln!(json, "    \"branchy_gflops\": {:.3},", gflops(branchy_secs));
     let _ = writeln!(json, "    \"branchless_gflops\": {:.3}", branchless.gflops());
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"serve\": {{");
+    let _ = writeln!(json, "    \"clients\": {},", serve.clients);
+    let _ = writeln!(json, "    \"queries\": {},", serve.queries);
+    let _ = writeln!(json, "    \"queries_per_sec\": {:.1},", serve.queries_per_sec);
+    let _ = writeln!(json, "    \"latency_p50_us\": {:.1},", serve.latency_p50_us);
+    let _ = writeln!(json, "    \"latency_p99_us\": {:.1},", serve.latency_p99_us);
+    let _ = writeln!(json, "    \"mean_batch_occupancy\": {:.3},", serve.mean_batch_occupancy);
+    let _ = writeln!(json, "    \"overload_submitted\": {},", serve.overload_submitted);
+    let _ = writeln!(json, "    \"overload_shed\": {},", serve.overload_shed);
+    let _ = writeln!(
+        json,
+        "    \"shed_rate\": {:.3}",
+        serve.overload_shed as f64 / serve.overload_submitted as f64
+    );
     let _ = writeln!(json, "  }},");
     // Final counter snapshot (obs writes well-formed JSON), so the report
     // records how much measured work stands behind the numbers above.

@@ -15,7 +15,10 @@
 ///   (the underived-baseline ratio is still recorded, but no longer the
 ///   headline); the GEMM section gains explicit branchy/branchless fields
 ///   both measured from the same workspace.
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+/// * v4: adds the `serve` section — throughput (queries/s), shed rate,
+///   mean batch occupancy, and p50/p99 latency of an in-process
+///   archline-serve engine under concurrent closed-loop clients.
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
 
 /// Inspects a prior `BENCH_model.json` about to be replaced and returns a
 /// human-readable warning when it predates `current` (or does not parse) —

@@ -43,7 +43,7 @@ static SITES: Counter = Counter::new("fault.sites");
 /// seed so any corruption is reproducible from the trace alone. Counting
 /// `affected` never draws from the spec's RNG: corrupted streams must stay
 /// bit-identical to their un-audited form.
-fn audit(spec: &FaultSpec, site: &'static str, n_in: usize, n_out: usize, affected: u64) {
+fn audit(spec: &FaultSpec, site: &str, n_in: usize, n_out: usize, affected: u64) {
     INJECTIONS.inc();
     SITES.add(affected);
     if obs::enabled(obs::Level::Debug) {
@@ -55,7 +55,7 @@ fn audit(spec: &FaultSpec, site: &'static str, n_in: usize, n_out: usize, affect
                 field("class", spec.class.name()),
                 field("severity", spec.severity),
                 field("seed", spec.seed),
-                field("site", site),
+                field("site", site.to_string()),
                 field("n_in", n_in),
                 field("n_out", n_out),
                 field("affected", affected),
@@ -237,9 +237,19 @@ impl FaultPlan {
     /// Corrupts a sample stream. The output is *raw*: it may be unordered,
     /// non-finite, or negative — exactly what `PowerTrace::sanitize` (or a
     /// `PowerTrace::try_new` rejection) is for.
-    pub fn apply_to_samples(&self, mut samples: Vec<Sample>) -> Vec<Sample> {
+    ///
+    /// Audits under the default `"samples"` site; callers outside the repro
+    /// pipeline should use [`Self::apply_to_samples_at`] so the trace names
+    /// the real injection point.
+    pub fn apply_to_samples(&self, samples: Vec<Sample>) -> Vec<Sample> {
+        self.apply_to_samples_at(samples, "samples")
+    }
+
+    /// Like [`Self::apply_to_samples`], auditing each injection under the
+    /// caller-supplied `site` label (e.g. `"serve"` for the query server).
+    pub fn apply_to_samples_at(&self, mut samples: Vec<Sample>, site: &str) -> Vec<Sample> {
         for spec in &self.specs {
-            samples = inject_samples(samples, spec);
+            samples = inject_samples(samples, spec, site);
         }
         samples
     }
@@ -247,9 +257,19 @@ impl FaultPlan {
     /// Corrupts a run set. The output may contain invalid runs (negative or
     /// non-finite time/energy); `archline_fit::try_fit_platform` filters
     /// and reports them.
-    pub fn apply_to_runs(&self, mut runs: Vec<Run>) -> Vec<Run> {
+    ///
+    /// Audits under the default `"runs"` site; callers outside the repro
+    /// pipeline should use [`Self::apply_to_runs_at`] so the trace names
+    /// the real injection point.
+    pub fn apply_to_runs(&self, runs: Vec<Run>) -> Vec<Run> {
+        self.apply_to_runs_at(runs, "runs")
+    }
+
+    /// Like [`Self::apply_to_runs`], auditing each injection under the
+    /// caller-supplied `site` label (e.g. `"serve"` for the query server).
+    pub fn apply_to_runs_at(&self, mut runs: Vec<Run>, site: &str) -> Vec<Run> {
         for spec in &self.specs {
-            runs = inject_runs(runs, spec);
+            runs = inject_runs(runs, spec, site);
         }
         runs
     }
@@ -268,11 +288,11 @@ fn spike_factor<R: Rng>(rng: &mut R) -> f64 {
     (2.0 + gauss(rng).abs()).exp()
 }
 
-fn inject_samples(samples: Vec<Sample>, spec: &FaultSpec) -> Vec<Sample> {
+fn inject_samples(samples: Vec<Sample>, spec: &FaultSpec, site: &str) -> Vec<Sample> {
     let n_in = samples.len();
     let mut affected = 0u64;
     let out = inject_samples_impl(samples, spec, &mut affected);
-    audit(spec, "samples", n_in, out.len(), affected);
+    audit(spec, site, n_in, out.len(), affected);
     out
 }
 
@@ -395,11 +415,11 @@ fn inject_samples_impl(samples: Vec<Sample>, spec: &FaultSpec, affected: &mut u6
     }
 }
 
-fn inject_runs(runs: Vec<Run>, spec: &FaultSpec) -> Vec<Run> {
+fn inject_runs(runs: Vec<Run>, spec: &FaultSpec, site: &str) -> Vec<Run> {
     let n_in = runs.len();
     let mut affected = 0u64;
     let out = inject_runs_impl(runs, spec, &mut affected);
-    audit(spec, "runs", n_in, out.len(), affected);
+    audit(spec, site, n_in, out.len(), affected);
     out
 }
 
@@ -692,6 +712,37 @@ mod tests {
         // The affected count is real: spikes at 20% over 100 runs.
         let affected = audits[0].get_u64("affected").unwrap();
         assert!(affected > 0 && affected < 50, "{affected}");
+    }
+
+    #[test]
+    fn audit_carries_caller_supplied_site() {
+        // A non-repro caller (the serve crate routes injections through
+        // `apply_to_runs_at`) must see its own site label in the audit, not
+        // the hardcoded repro one — and the corruption itself must be
+        // bit-identical regardless of which entry point was used.
+        let plan = FaultPlan::single(FaultClass::Spike, 0.3, 77);
+        let (via_default, default_events) =
+            archline_obs::test_support::capture(|| plan.apply_to_runs(runs(100)));
+        let (via_site, site_events) = archline_obs::test_support::capture(|| {
+            (
+                plan.apply_to_runs_at(runs(100), "serve"),
+                plan.apply_to_samples_at(ramp_samples(100), "serve/trace"),
+            )
+        });
+        let audits = |evs: &[archline_obs::OwnedEvent]| -> Vec<String> {
+            evs.iter()
+                .filter(|e| e.target == "fault" && e.name == "injected")
+                .map(|e| e.get_str("site").unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(audits(&default_events), ["runs"]);
+        assert_eq!(audits(&site_events), ["serve", "serve/trace"]);
+        for (a, b) in via_default.iter().zip(&via_site.0) {
+            assert!(
+                same_bits(a.time, b.time) && same_bits(a.energy, b.energy),
+                "site label must not change the corruption"
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use archline_par::parallel_map;
+use archline_par::{parallel_chunks_mut, parallel_map};
 
 /// Best-effort width pin so the batch actually fans out even on a
 /// single-core CI box. Harmless if the executor already started.
@@ -51,6 +51,59 @@ fn panicking_item_propagates_after_the_batch_and_leaves_the_executor_usable() {
     // The executor survives: the next fork-join call works normally.
     let doubled = parallel_map(&items, |&i| i * 2);
     assert_eq!(doubled, items.iter().map(|&i| i * 2).collect::<Vec<_>>());
+}
+
+#[test]
+fn outer_batch_panic_with_inner_chunks_in_flight_leaves_workers_alive() {
+    // The serve workload shape: each outer "batch" task fans a SoA buffer
+    // into `parallel_chunks_mut` (exactly what the plan kernels do above
+    // PAR_THRESHOLD), and one outer task panics *after* launching — and
+    // completing — nested inner work while sibling batches' inner chunks
+    // are still in flight on the same executor. The panic must surface at
+    // the outer join only; no worker thread may die, and subsequent
+    // batches must run at full width.
+    want_parallelism();
+    let batches: Vec<usize> = (0..8).collect();
+    let poisoned_batch = batches.len() - 1;
+    let inner_chunks_done = AtomicUsize::new(0);
+    const POINTS: usize = 1 << 10;
+    const CHUNK: usize = 1 << 7; // 8 inner chunks per batch
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        parallel_map(&batches, |&b| {
+            let mut buf = vec![b as f64; POINTS];
+            parallel_chunks_mut(&mut buf, CHUNK, |_, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = v.mul_add(2.0, 1.0);
+                }
+                inner_chunks_done.fetch_add(1, Ordering::SeqCst);
+            });
+            if b == poisoned_batch {
+                panic!("poisoned batch {b}");
+            }
+            buf.iter().sum::<f64>()
+        })
+    }));
+    assert!(result.is_err(), "the outer batch panic must reach the caller");
+    // Every batch — including the poisoned one — finished its nested
+    // chunk work before the join re-raised: nothing was abandoned.
+    assert_eq!(inner_chunks_done.load(Ordering::SeqCst), batches.len() * (POINTS / CHUNK));
+
+    // No worker died: the executor still reports full width and the next
+    // nested batch round runs cleanly end to end.
+    let width = archline_par::num_threads();
+    assert!(width >= 1);
+    let sums = parallel_map(&batches, |&b| {
+        let mut buf = vec![b as f64; POINTS];
+        parallel_chunks_mut(&mut buf, CHUNK, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1.0;
+            }
+        });
+        buf.iter().sum::<f64>()
+    });
+    let expected: Vec<f64> = batches.iter().map(|&b| ((b + 1) * POINTS) as f64).collect();
+    assert_eq!(sums, expected);
 }
 
 #[test]

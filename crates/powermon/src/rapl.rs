@@ -122,8 +122,16 @@ impl RaplDomain {
 /// step is indistinguishable from a counter reset and is decoded as zero
 /// energy rather than an absurdly large delta.
 ///
-/// Multiple wraps within one window are undetectable from two endpoint
-/// reads; keep windows short relative to the wrap period.
+/// **Bounded-gap assumption:** the decode is only correct when at most one
+/// wrap occurred between the two reads — two endpoint reads carry no wrap
+/// count, so a window spanning `k ≥ 2` wraps aliases onto the `k mod 1`
+/// answer and silently under-reports by `k − 1` (or `k`, if the counter
+/// also advanced past `start`) full counter ranges. A double wrap that
+/// lands the counter *above* `start` even decodes as a small forward step.
+/// Callers must keep the sampling gap strictly below one wrap period at the
+/// platform's worst-case power (minutes for PP0/PP1 at high draw); the
+/// sessions in this crate sample at sub-second cadence, far inside that
+/// bound.
 pub fn counter_delta_uj(start: u64, end: u64, max_range_uj: u64) -> u64 {
     if end >= start {
         end - start
@@ -232,6 +240,33 @@ mod tests {
         let max = 1_000_000u64;
         assert_eq!(counter_delta_uj(max, 0, max), 0);
         assert_eq!(counter_delta_uj(999_999, 1, max), 2);
+    }
+
+    #[test]
+    fn counter_delta_double_wrap_aliases_onto_single_wrap() {
+        // Two consecutive overflows between samples: the counter runs
+        // start -> max (wrap 1) -> max (wrap 2) -> end. True energy is
+        // (max - start) + max + end, but two endpoint reads carry no wrap
+        // count, so the decode aliases onto the single-wrap answer and
+        // under-reports by exactly one full counter range. This pins the
+        // documented bounded-gap assumption: the result is *wrong* but
+        // still bounded (never negative, never more than one range), which
+        // is why callers must sample faster than the wrap period rather
+        // than trust the decode to count wraps.
+        let max = 1u64 << 32;
+        let start = max - 1_000;
+        let end = 5_000; // counter position after the second wrap
+        let true_delta = (max - start) + max + end;
+        let decoded = counter_delta_uj(start, end, max);
+        assert_eq!(decoded, 6_000, "aliases onto the one-wrap decode");
+        assert_eq!(true_delta - decoded, max, "under-reports by one full range");
+
+        // Worst aliasing shape: the second wrap carries the counter back
+        // *above* start, so the window decodes as a tiny forward step with
+        // no wrap signature at all (end >= start branch).
+        let end_above = start + 42;
+        assert_eq!(counter_delta_uj(start, end_above, max), 42);
+        assert!(counter_delta_uj(start, end_above, max) < max);
     }
 
     #[test]

@@ -64,27 +64,8 @@ use archline_faults::{FaultPlan, FaultSpec};
 use archline_microbench::SweepConfig;
 use archline_obs::{self as obs, field};
 use archline_repro::{
-    analysis, ext, failure::panic_message, fig1, fig4, fig5, fig6, fig7, scorecard, section_vc,
-    section_vd, table1, AnalysisContext, ArtifactError,
+    analysis, failure::panic_message, run_artifact, AnalysisContext, ArtifactError, ARTIFACTS,
 };
-
-const ARTIFACTS: &[&str] = &[
-    "table1",
-    "fig1",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7a",
-    "fig7b",
-    "vc-energy",
-    "vc-constpower",
-    "vd-bounding",
-    "ext-arndale",
-    "ext-network",
-    "ext-bounding",
-    "ext-dvfs",
-    "scorecard",
-];
 
 const EXIT_TOTAL_FAILURE: i32 = 1;
 const EXIT_USAGE: i32 = 2;
@@ -327,12 +308,6 @@ fn run_one(
     Ok(())
 }
 
-/// Serializes a report, mapping serializer errors into the failure path.
-fn to_json<T: serde::Serialize>(name: &str, report: &T) -> Result<String, ArtifactError> {
-    serde_json::to_string_pretty(report)
-        .map_err(|e| ArtifactError::new(format!("serialize {name}: {e}")))
-}
-
 /// Warns when the file about to be replaced predates the current schema —
 /// an older binary's output should never be silently confused with ours.
 fn check_prior_schema(path: &str) {
@@ -436,68 +411,3 @@ fn write_bench(
     }
 }
 
-fn run_artifact(
-    name: &str,
-    ctx: &AnalysisContext,
-    fast: bool,
-) -> Result<(String, String), ArtifactError> {
-    match name {
-        "table1" => {
-            let r = table1::compute_with(ctx, !fast);
-            Ok((table1::render(&r), to_json(name, &r)?))
-        }
-        "fig1" => {
-            let r = fig1::compute(if fast { 9 } else { 17 });
-            Ok((fig1::render(&r), to_json(name, &r)?))
-        }
-        "fig4" => {
-            let r = fig4::compute_with(ctx);
-            Ok((fig4::render(&r), to_json(name, &r)?))
-        }
-        "fig5" => {
-            let r = fig5::compute_with(ctx);
-            Ok((fig5::render(&r), to_json(name, &r)?))
-        }
-        "fig6" => {
-            let r = fig6::compute_with(ctx);
-            Ok((fig6::render(&r), to_json(name, &r)?))
-        }
-        "fig7a" => {
-            let r = fig7::compute_with(ctx, fig7::Fig7Kind::Performance);
-            Ok((fig7::render(&r), to_json(name, &r)?))
-        }
-        "fig7b" => {
-            let r = fig7::compute_with(ctx, fig7::Fig7Kind::EnergyEfficiency);
-            Ok((fig7::render(&r), to_json(name, &r)?))
-        }
-        "vc-energy" | "vc-constpower" => {
-            let r = section_vc::compute_with(ctx);
-            Ok((section_vc::render(&r), to_json(name, &r)?))
-        }
-        "vd-bounding" => {
-            let r = section_vd::compute_with(ctx);
-            Ok((section_vd::render(&r), to_json(name, &r)?))
-        }
-        "ext-arndale" => {
-            let r = ext::arndale_ablation_with(ctx)?;
-            Ok((ext::render_arndale(&r), to_json(name, &r)?))
-        }
-        "ext-network" => {
-            let r = ext::network_erosion()?;
-            Ok((ext::render_network(&r), to_json(name, &r)?))
-        }
-        "ext-bounding" => {
-            let r = ext::bounding_matrix()?;
-            Ok((ext::render_bounding(&r), to_json(name, &r)?))
-        }
-        "ext-dvfs" => {
-            let r = ext::dvfs_whatif()?;
-            Ok((ext::render_dvfs(&r), to_json(name, &r)?))
-        }
-        "scorecard" => {
-            let r = scorecard::compute_with(ctx);
-            Ok((scorecard::render(&r), to_json(name, &r)?))
-        }
-        other => Err(ArtifactError::new(format!("artifact `{other}` validated in main"))),
-    }
-}

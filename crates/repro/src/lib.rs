@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod artifacts;
 pub mod context;
 pub mod ext;
 pub mod failure;
@@ -42,6 +43,7 @@ pub mod table1;
 use archline_core::EnergyRoofline;
 use archline_platforms::{all_platforms, Platform, Precision};
 
+pub use artifacts::{is_artifact, run_artifact, ARTIFACTS};
 pub use context::AnalysisContext;
 pub use failure::{panic_message, ArtifactError, PlatformFailure};
 

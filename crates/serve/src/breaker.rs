@@ -1,0 +1,213 @@
+//! Per-shard circuit breaker: trip on consecutive evaluation failures,
+//! reject while open, probe half-open after a cooldown.
+//!
+//! State machine:
+//!
+//! ```text
+//!            N consecutive failures
+//!   Closed ───────────────────────────▶ Open
+//!     ▲                                  │ cooldown elapsed
+//!     │ probe outcome: success           ▼ (first admit transitions)
+//!     └───────────────────────────── HalfOpen
+//!                 probe outcome: failure └──▶ Open (cooldown restarts)
+//! ```
+//!
+//! `HalfOpen` admits requests (the probe trickle); the first recorded
+//! outcome decides. Deadline expiries and shed requests are *not*
+//! outcomes — only evaluation results move the breaker, so a load spike
+//! alone can never trip it.
+//!
+//! Transitions are counted on the `serve.breaker.*` obs counters so an
+//! operator can see flapping in the metrics snapshot without scraping
+//! logs.
+
+use archline_obs::Counter;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Closed→Open transitions (trips) across all shards.
+static TRIPS: Counter = Counter::new("serve.breaker.trips");
+/// Open→HalfOpen transitions (probe admissions) across all shards.
+static PROBES: Counter = Counter::new("serve.breaker.probes");
+/// HalfOpen→Closed transitions (recoveries) across all shards.
+static CLOSES: Counter = Counter::new("serve.breaker.closes");
+/// HalfOpen→Open transitions (failed probes) across all shards.
+static REOPENS: Counter = Counter::new("serve.breaker.reopens");
+
+const CLOSED: u8 = 0;
+const OPEN: u8 = 1;
+const HALF_OPEN: u8 = 2;
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: everything is admitted.
+    Closed,
+    /// Tripped: admission rejects until the cooldown elapses.
+    Open,
+    /// Probing: requests flow; the next outcome decides.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name (metrics/trace vocabulary).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// One shard's breaker. All methods are lock-free on the hot (closed)
+/// path; the `opened_at` mutex is touched only while open.
+pub struct Breaker {
+    state: AtomicU8,
+    consecutive_failures: AtomicU32,
+    opened_at: Mutex<Option<Instant>>,
+    trip_threshold: u32,
+    cooldown: Duration,
+}
+
+impl Breaker {
+    /// A closed breaker that trips after `trip_threshold` consecutive
+    /// failures and probes after `cooldown` spent open. A threshold of 0
+    /// is clamped to 1 (a breaker that can never trip would be
+    /// decorative).
+    pub fn new(trip_threshold: u32, cooldown: Duration) -> Self {
+        Self {
+            state: AtomicU8::new(CLOSED),
+            consecutive_failures: AtomicU32::new(0),
+            opened_at: Mutex::new(None),
+            trip_threshold: trip_threshold.max(1),
+            cooldown,
+        }
+    }
+
+    /// Current state (the lazy Open→HalfOpen transition happens in
+    /// [`Self::admit`], so this can report `Open` with an expired
+    /// cooldown).
+    pub fn state(&self) -> BreakerState {
+        match self.state.load(Ordering::Acquire) {
+            OPEN => BreakerState::Open,
+            HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// Admission check. `false` means reject with
+    /// [`Reject::BreakerOpen`](crate::Reject::BreakerOpen). When the
+    /// cooldown has elapsed, the first caller flips Open→HalfOpen and is
+    /// admitted as the probe.
+    pub fn admit(&self) -> bool {
+        match self.state.load(Ordering::Acquire) {
+            CLOSED | HALF_OPEN => true,
+            _ => {
+                let elapsed = {
+                    let guard = self.opened_at.lock().unwrap_or_else(|e| e.into_inner());
+                    guard.map(|t| t.elapsed() >= self.cooldown).unwrap_or(true)
+                };
+                if !elapsed {
+                    return false;
+                }
+                // One winner flips to half-open and carries the probe;
+                // losers stay rejected until the probe resolves.
+                let won = self
+                    .state
+                    .compare_exchange(OPEN, HALF_OPEN, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok();
+                if won {
+                    PROBES.inc();
+                }
+                won
+            }
+        }
+    }
+
+    /// Records a successful evaluation outcome.
+    pub fn on_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Release);
+        if self
+            .state
+            .compare_exchange(HALF_OPEN, CLOSED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            CLOSES.inc();
+        }
+    }
+
+    /// Records a failed evaluation outcome; trips Closed→Open at the
+    /// threshold and re-opens a failed half-open probe.
+    pub fn on_failure(&self) {
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
+        let state = self.state.load(Ordering::Acquire);
+        let (from, counter) = match state {
+            HALF_OPEN => (HALF_OPEN, &REOPENS),
+            CLOSED if failures >= self.trip_threshold => (CLOSED, &TRIPS),
+            _ => return,
+        };
+        if self.state.compare_exchange(from, OPEN, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+            *self.opened_at.lock().unwrap_or_else(|e| e.into_inner()) = Some(Instant::now());
+            counter.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let b = Breaker::new(3, Duration::from_secs(3600));
+        for _ in 0..2 {
+            b.on_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // A success resets the streak: two more failures still don't trip.
+        b.on_success();
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit(), "open rejects inside the cooldown");
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_and_reopens_on_failure() {
+        let b = Breaker::new(1, Duration::from_millis(0));
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        // Zero cooldown: the next admit is the probe.
+        assert!(b.admit());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open, "failed probe reopens");
+        assert!(b.admit());
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed, "successful probe closes");
+        assert!(b.admit());
+    }
+
+    #[test]
+    fn cooldown_gates_the_probe() {
+        let b = Breaker::new(1, Duration::from_secs(3600));
+        b.on_failure();
+        assert!(!b.admit(), "cooldown not elapsed: no probe");
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn transition_counters_move() {
+        use archline_obs::metrics;
+        let before = metrics::snapshot().counter("serve.breaker.trips").unwrap_or(0);
+        let b = Breaker::new(1, Duration::from_millis(0));
+        b.on_failure();
+        let after = metrics::snapshot().counter("serve.breaker.trips").unwrap_or(0);
+        assert_eq!(after, before + 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! # archline-serve — roofline-as-a-service
+//!
+//! A long-running, concurrent query engine over the energy-roofline model:
+//! clients ask "time/energy/power of `(W, Q)` on platform X" — as point
+//! evaluations, metric sweeps, crossover searches, or what-if cap changes —
+//! and the server answers out of interned [`RooflinePlan`]s, admission-
+//! batching concurrent queries into the SoA batch kernels so many queries
+//! share one kernel pass.
+//!
+//! Two front doors share one engine:
+//!
+//! * [`Server::start`] + [`ServeHandle`] — the in-process API tests and
+//!   benches drive directly (no serialization on the hot path).
+//! * [`tcp::serve_tcp`] — newline-delimited JSON over TCP (one request
+//!   object per line, one response object per line; see `docs/serve.md`).
+//!
+//! ## Robustness model
+//!
+//! The service degrades, it does not fall over:
+//!
+//! * **Bounded admission**: each shard's queue is a bounded channel;
+//!   when it is full the request is *shed* with a typed
+//!   [`Reject::Overloaded`] — queues never grow without bound.
+//! * **Deadlines**: every request carries a deadline (default from
+//!   [`ServeConfig::deadline`]); expiry is checked cooperatively at batch
+//!   boundaries and answered with [`Reject::DeadlineExceeded`].
+//! * **Circuit breaker**: per shard — consecutive evaluation failures trip
+//!   it open, admission then rejects with [`Reject::BreakerOpen`], and
+//!   after a cooldown a half-open probe decides whether to close it.
+//! * **Panic isolation**: every kernel pass runs under `catch_unwind`; a
+//!   poisoned query (e.g. a sweep with a non-positive intensity bound)
+//!   degrades to a typed [`Reject::Internal`] while the worker keeps
+//!   serving.
+//! * **Retry with jittered backoff**: a failed *batch* is retried per
+//!   request with deterministic jittered backoff, so one poisoned query
+//!   cannot take down its batchmates.
+//! * **Drain on shutdown**: [`Server::shutdown`] stops admission, lets the
+//!   workers drain every queued request, and joins them.
+//!
+//! Chaos mode (`--inject`, [`ServeConfig::inject`]) routes a sabotaged
+//! platform's evaluation results through `archline-faults` before
+//! validation, so the whole degradation surface is exercised by a live
+//! server in `tests/serve_chaos.rs`.
+//!
+//! Healthy shards answer **bit-identically** under load, batching, and
+//! co-resident sabotage: the plan kernels are elementwise and
+//! split-invariant (pinned by `core/tests/plan_properties.rs`), so a
+//! query's answer never depends on which batch it landed in.
+//!
+//! [`RooflinePlan`]: archline_core::RooflinePlan
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod protocol;
+pub mod server;
+pub mod tcp;
+
+pub use breaker::{Breaker, BreakerState};
+pub use protocol::{CapOverride, Query, QueryResult, Reject, Request, Response, SweepMetric};
+pub use server::{ServeConfig, ServeHandle, ServeStats, Server, Ticket};

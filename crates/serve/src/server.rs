@@ -1,0 +1,1091 @@
+//! The query engine: sharded workers over interned [`RooflinePlan`]s with
+//! admission control, deadlines, retries, circuit breakers, and
+//! drain-on-shutdown.
+//!
+//! Requests are admitted on the caller's thread (resolve + validate +
+//! breaker check + bounded `try_send`), then a shard worker drains its
+//! queue into batches, concatenates every point-evaluation in the batch
+//! into one SoA buffer, and runs a single fused kernel pass — many queries
+//! per pass. Plans are interned per worker keyed by the
+//! [`MachineParams`]-bits hash that also picks the shard, so a platform's
+//! queries always meet a warm plan.
+//!
+//! [`RooflinePlan`]: archline_core::RooflinePlan
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use archline_core::power::sample_intensities;
+use archline_core::{crossovers, EnergyRoofline, MachineParams, Metric, PowerCap, RooflinePlan};
+use archline_faults::{FaultPlan, FaultSpec};
+use archline_fit::Run;
+use archline_obs::{self as obs, field, Counter, Gauge, Histogram};
+use archline_platforms::{all_platforms, Platform, Precision};
+
+use crate::breaker::{Breaker, BreakerState};
+use crate::protocol::{CapOverride, Query, QueryResult, Reject, Request, Response, SweepMetric};
+
+/// Queries admitted into a shard queue.
+static ACCEPTED: Counter = Counter::new("serve.accepted");
+/// Queries shed because a shard queue was full.
+static SHED: Counter = Counter::new("serve.shed");
+/// Queries rejected at a batch boundary because their deadline passed.
+static DEADLINE_EXPIRED: Counter = Counter::new("serve.deadline_expired");
+/// Queries rejected at admission by an open breaker.
+static BREAKER_REJECTED: Counter = Counter::new("serve.breaker_rejected");
+/// Queries rejected at admission as malformed.
+static BAD_REQUEST: Counter = Counter::new("serve.bad_request");
+/// Queries answered successfully.
+static COMPLETED: Counter = Counter::new("serve.completed");
+/// Queries that exhausted retries and returned a typed internal error.
+static FAILED: Counter = Counter::new("serve.failed");
+/// Individual retry attempts.
+static RETRIES: Counter = Counter::new("serve.retries");
+/// Worker panics caught and converted to typed errors.
+static PANICS_CAUGHT: Counter = Counter::new("serve.panics_caught");
+/// Total requests queued across shards (point-in-time).
+static QUEUE_DEPTH: Gauge = Gauge::new("serve.queue_depth");
+/// Requests per kernel batch.
+static BATCH_OCCUPANCY: Histogram = Histogram::new("serve.batch_occupancy");
+/// Admission-to-response latency, microseconds.
+static LATENCY_US: Histogram = Histogram::new("serve.latency_us");
+
+/// Engine configuration. `Default` is tuned for tests (small queues,
+/// short deadlines are *not* the default — defaults are production-ish);
+/// [`ServeConfig::from_env`] layers `ARCHLINE_SERVE_*` overrides on top.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shards (platforms hash onto these). Minimum 1.
+    pub shards: usize,
+    /// Bounded queue length per shard; a full queue sheds. Minimum 1.
+    pub queue_bound: usize,
+    /// Default per-request deadline (a request's `deadline_ms` overrides).
+    pub deadline: Duration,
+    /// Most requests folded into one kernel batch.
+    pub max_batch: usize,
+    /// Most points/grid entries accepted per request.
+    pub max_points: usize,
+    /// Individual re-evaluations after a failed batch (0 = no retries).
+    pub retry_attempts: u32,
+    /// Base backoff between retry attempts (doubled per attempt, plus
+    /// deterministic jitter).
+    pub retry_backoff: Duration,
+    /// Consecutive failures that trip a shard's breaker.
+    pub breaker_trip: u32,
+    /// Time a tripped breaker stays open before a half-open probe.
+    pub breaker_cooldown: Duration,
+    /// Chaos mode: corrupt these platforms' evaluation results with the
+    /// given fault plans before validation (the `--inject` flag).
+    pub inject: Vec<(String, FaultPlan)>,
+    /// Seed for retry-backoff jitter (and the base of injected-seed
+    /// rotation across applications).
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_bound: 256,
+            deadline: Duration::from_secs(2),
+            max_batch: 64,
+            max_points: crate::protocol::MAX_WIRE_POINTS,
+            retry_attempts: 2,
+            retry_backoff: Duration::from_millis(1),
+            breaker_trip: 5,
+            breaker_cooldown: Duration::from_millis(100),
+            inject: Vec::new(),
+            seed: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults with `ARCHLINE_SERVE_SHARDS`, `ARCHLINE_SERVE_QUEUE`,
+    /// `ARCHLINE_SERVE_DEADLINE_MS`, `ARCHLINE_SERVE_MAX_BATCH`,
+    /// `ARCHLINE_SERVE_BREAKER_TRIP`, and
+    /// `ARCHLINE_SERVE_BREAKER_COOLDOWN_MS` applied where set and
+    /// parseable (unparseable values are ignored, not fatal — a service
+    /// should come up under a typo'd environment).
+    pub fn from_env() -> Self {
+        fn env_u64(key: &str) -> Option<u64> {
+            std::env::var(key).ok()?.trim().parse().ok()
+        }
+        let mut cfg = Self::default();
+        if let Some(v) = env_u64("ARCHLINE_SERVE_SHARDS") {
+            cfg.shards = (v as usize).max(1);
+        }
+        if let Some(v) = env_u64("ARCHLINE_SERVE_QUEUE") {
+            cfg.queue_bound = (v as usize).max(1);
+        }
+        if let Some(v) = env_u64("ARCHLINE_SERVE_DEADLINE_MS") {
+            cfg.deadline = Duration::from_millis(v);
+        }
+        if let Some(v) = env_u64("ARCHLINE_SERVE_MAX_BATCH") {
+            cfg.max_batch = (v as usize).max(1);
+        }
+        if let Some(v) = env_u64("ARCHLINE_SERVE_BREAKER_TRIP") {
+            cfg.breaker_trip = v as u32;
+        }
+        if let Some(v) = env_u64("ARCHLINE_SERVE_BREAKER_COOLDOWN_MS") {
+            cfg.breaker_cooldown = Duration::from_millis(v);
+        }
+        cfg
+    }
+}
+
+/// Per-handle request accounting (process-global obs counters aggregate
+/// across servers; these are scoped to one engine, which is what tests
+/// and the bench harness read).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Admitted into a shard queue.
+    pub accepted: AtomicU64,
+    /// Shed by a full queue.
+    pub shed: AtomicU64,
+    /// Rejected at a batch boundary: deadline passed.
+    pub deadline_expired: AtomicU64,
+    /// Rejected at admission: breaker open.
+    pub breaker_rejected: AtomicU64,
+    /// Rejected at admission: malformed.
+    pub bad_request: AtomicU64,
+    /// Rejected at admission: server draining.
+    pub shutdown_rejected: AtomicU64,
+    /// Answered successfully.
+    pub completed: AtomicU64,
+    /// Exhausted retries; answered with a typed internal error.
+    pub failed: AtomicU64,
+    /// Individual retry attempts.
+    pub retries: AtomicU64,
+    /// Panics caught in evaluation.
+    pub panics_caught: AtomicU64,
+    /// Kernel batches executed.
+    pub batches: AtomicU64,
+    /// Requests across all executed batches (occupancy numerator).
+    pub batched_requests: AtomicU64,
+}
+
+impl ServeStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mean requests per kernel batch so far (0 when no batch ran).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        let b = self.batches.load(Ordering::Relaxed);
+        if b == 0 {
+            0.0
+        } else {
+            self.batched_requests.load(Ordering::Relaxed) as f64 / b as f64
+        }
+    }
+}
+
+/// One queued request, resolved at admission.
+struct Pending {
+    id: u64,
+    plan_key: u64,
+    params: MachineParams,
+    platform: String,
+    other_params: Option<MachineParams>,
+    query: Query,
+    deadline: Instant,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+struct Shard {
+    sender: RwLock<Option<SyncSender<Pending>>>,
+    breaker: Breaker,
+}
+
+struct Inner {
+    config: ServeConfig,
+    shards: Vec<Shard>,
+    catalog: HashMap<String, Platform>,
+    accepting: AtomicBool,
+    depth: AtomicU64,
+    stats: ServeStats,
+    /// Injection applications so far (rotates injected seeds so retries
+    /// can recover at sub-unit severities while staying deterministic).
+    injections_applied: AtomicU64,
+}
+
+/// FNV-1a over the parameter bits: equal params always co-locate (and
+/// re-use one interned plan); the cap arm is folded in so a what-if cap
+/// override never collides with the base platform entry.
+fn params_key(p: &MachineParams) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let (cap_tag, cap_bits) = match p.cap {
+        PowerCap::Uncapped => (0u64, 0u64),
+        PowerCap::Capped(w) => (1u64, w.to_bits()),
+    };
+    [
+        p.time_per_flop.to_bits(),
+        p.time_per_byte.to_bits(),
+        p.energy_per_flop.to_bits(),
+        p.energy_per_byte.to_bits(),
+        p.const_power.to_bits(),
+        cap_tag,
+        cap_bits,
+    ]
+    .iter()
+    .fold(OFFSET, |h, &word| {
+        word.to_le_bytes().iter().fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(PRIME))
+    })
+}
+
+/// An admitted request's pending answer. Dropping it abandons the answer
+/// (the worker's send just fails); waiting blocks until the worker (or
+/// the admission path) responds.
+pub struct Ticket {
+    rx: Receiver<Response>,
+    id: u64,
+}
+
+impl Ticket {
+    /// Blocks for the response. If the engine dropped the reply channel
+    /// without answering (a worker died outside its unwind guard — never
+    /// expected), synthesizes a typed internal error rather than hanging.
+    pub fn wait(self) -> Response {
+        self.rx.recv().unwrap_or_else(|_| {
+            Response::reject(self.id, Reject::Internal("reply channel closed".to_string()))
+        })
+    }
+
+    /// Non-blocking poll; `None` while the answer is still in flight.
+    pub fn try_wait(&self) -> Option<Response> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Cloneable front door to a running [`Server`].
+#[derive(Clone)]
+pub struct ServeHandle {
+    inner: Arc<Inner>,
+}
+
+/// A running engine: owns the worker threads. Admission flows through
+/// [`ServeHandle`]s; [`Server::shutdown`] drains and joins.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawns the shard workers. Fails (with a message suitable for a
+    /// usage error) when an injected platform name is unknown.
+    pub fn start(config: ServeConfig) -> Result<Server, String> {
+        let catalog: HashMap<String, Platform> =
+            all_platforms().into_iter().map(|p| (p.name.clone(), p)).collect();
+        for (name, _) in &config.inject {
+            if !catalog.contains_key(name) {
+                let mut known: Vec<&str> = catalog.keys().map(|s| s.as_str()).collect();
+                known.sort_unstable();
+                return Err(format!(
+                    "inject: unknown platform `{name}` (one of: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+        let config = ServeConfig {
+            shards: config.shards.max(1),
+            queue_bound: config.queue_bound.max(1),
+            max_batch: config.max_batch.max(1),
+            ..config
+        };
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut receivers = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let (tx, rx) = sync_channel::<Pending>(config.queue_bound);
+            shards.push(Shard {
+                sender: RwLock::new(Some(tx)),
+                breaker: Breaker::new(config.breaker_trip, config.breaker_cooldown),
+            });
+            receivers.push(rx);
+        }
+        let inner = Arc::new(Inner {
+            config,
+            shards,
+            catalog,
+            accepting: AtomicBool::new(true),
+            depth: AtomicU64::new(0),
+            stats: ServeStats::default(),
+            injections_applied: AtomicU64::new(0),
+        });
+        let workers = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(shard_idx, rx)| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-shard-{shard_idx}"))
+                    .spawn(move || worker_loop(inner, shard_idx, rx))
+                    .map_err(|e| format!("spawn shard {shard_idx}: {e}"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        obs::info!(
+            "serve",
+            "serve: started {} shards (queue {}, batch {}, deadline {:?})",
+            inner.config.shards,
+            inner.config.queue_bound,
+            inner.config.max_batch,
+            inner.config.deadline
+        );
+        Ok(Server { inner, workers })
+    }
+
+    /// A cloneable admission handle.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Stops admission, drains every queued request (in-flight work
+    /// completes and is answered), joins the workers, and returns a
+    /// handle for post-drain stats inspection.
+    pub fn shutdown(mut self) -> ServeHandle {
+        self.inner.accepting.store(false, Ordering::Release);
+        for shard in &self.inner.shards {
+            // Dropping the original sender disconnects the channel once
+            // transient admission clones are gone; the worker drains what
+            // is queued, then exits.
+            shard.sender.write().unwrap_or_else(|e| e.into_inner()).take();
+        }
+        for (i, w) in self.workers.drain(..).enumerate() {
+            if w.join().is_err() {
+                obs::error!("serve", "serve: shard {i} worker panicked outside its guard");
+            }
+        }
+        obs::info!("serve", "serve: drained and stopped");
+        ServeHandle { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl ServeHandle {
+    /// Shard count.
+    pub fn num_shards(&self) -> usize {
+        self.inner.config.shards
+    }
+
+    /// Per-engine request accounting.
+    pub fn stats(&self) -> &ServeStats {
+        &self.inner.stats
+    }
+
+    /// A shard's breaker state (ops/test surface).
+    pub fn breaker_state(&self, shard: usize) -> BreakerState {
+        self.inner.shards[shard].breaker.state()
+    }
+
+    /// Which shard a request's resolved parameters map to, or the typed
+    /// rejection its resolution would produce. Lets tests pick platforms
+    /// on distinct shards.
+    pub fn shard_of(&self, req: &Request) -> Result<usize, Reject> {
+        let params = self.resolve(req)?;
+        Ok((params_key(&params) % self.inner.config.shards as u64) as usize)
+    }
+
+    /// Still accepting new work?
+    pub fn is_accepting(&self) -> bool {
+        self.inner.accepting.load(Ordering::Acquire)
+    }
+
+    /// Submits a request; every outcome — including immediate typed
+    /// rejection — arrives through the returned [`Ticket`].
+    pub fn submit(&self, req: Request) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket { rx, id: req.id };
+        match self.admit(req, &tx) {
+            Ok(()) => {}
+            Err(resp) => {
+                let _ = tx.send(resp);
+            }
+        }
+        ticket
+    }
+
+    /// Submit and block for the answer.
+    pub fn query(&self, req: Request) -> Response {
+        self.submit(req).wait()
+    }
+
+    /// Resolves platform + precision + cap override into model
+    /// parameters, or the `BadRequest` naming what failed.
+    fn resolve(&self, req: &Request) -> Result<MachineParams, Reject> {
+        let platform = self
+            .inner
+            .catalog
+            .get(&req.platform)
+            .ok_or_else(|| Reject::BadRequest(format!("unknown platform `{}`", req.platform)))?;
+        let precision = if req.double_precision { Precision::Double } else { Precision::Single };
+        let params = platform.machine_params(precision).map_err(|e| {
+            Reject::BadRequest(format!("`{}` has no {precision:?} model: {e}", req.platform))
+        })?;
+        Ok(match req.cap {
+            None => params,
+            Some(CapOverride::Uncapped) => params.uncapped(),
+            Some(CapOverride::Throttle(k)) => {
+                if !(k.is_finite() && k > 0.0) {
+                    return Err(Reject::BadRequest(format!("throttle must be > 0, got {k}")));
+                }
+                params.throttled(k)
+            }
+            Some(CapOverride::Watts(w)) => {
+                if !(w.is_finite() && w > 0.0) {
+                    return Err(Reject::BadRequest(format!("cap watts must be > 0, got {w}")));
+                }
+                MachineParams { cap: PowerCap::Capped(w), ..params }
+            }
+        })
+    }
+
+    /// The admission path: validate, resolve, breaker-check, bounded
+    /// enqueue. Runs on the caller's thread; never blocks on a queue.
+    fn admit(&self, req: Request, reply: &mpsc::Sender<Response>) -> Result<(), Response> {
+        let inner = &self.inner;
+        let id = req.id;
+        if !inner.accepting.load(Ordering::Acquire) {
+            ServeStats::bump(&inner.stats.shutdown_rejected);
+            return Err(Response::reject(id, Reject::ShuttingDown));
+        }
+        if let Err(reject) = validate_query(&req.query, inner.config.max_points) {
+            ServeStats::bump(&inner.stats.bad_request);
+            BAD_REQUEST.inc();
+            return Err(Response::reject(id, reject));
+        }
+        let params = match self.resolve(&req) {
+            Ok(p) => p,
+            Err(reject) => {
+                ServeStats::bump(&inner.stats.bad_request);
+                BAD_REQUEST.inc();
+                return Err(Response::reject(id, reject));
+            }
+        };
+        let other_params = match &req.query {
+            Query::Crossover { other, .. } => {
+                let other_req = Request {
+                    platform: other.clone(),
+                    cap: None,
+                    query: req.query.clone(),
+                    ..req.clone()
+                };
+                match self.resolve(&other_req) {
+                    Ok(p) => Some(p),
+                    Err(reject) => {
+                        ServeStats::bump(&inner.stats.bad_request);
+                        BAD_REQUEST.inc();
+                        return Err(Response::reject(id, reject));
+                    }
+                }
+            }
+            _ => None,
+        };
+        let plan_key = params_key(&params);
+        let shard_idx = (plan_key % inner.config.shards as u64) as usize;
+        let shard = &inner.shards[shard_idx];
+        if !shard.breaker.admit() {
+            ServeStats::bump(&inner.stats.breaker_rejected);
+            BREAKER_REJECTED.inc();
+            if obs::enabled(obs::Level::Debug) {
+                obs::emit(
+                    obs::Level::Debug,
+                    "serve",
+                    "rejected",
+                    &[
+                        field("id", id),
+                        field("kind", "breaker_open"),
+                        field("shard", shard_idx),
+                    ],
+                );
+            }
+            return Err(Response::reject(id, Reject::BreakerOpen { shard: shard_idx }));
+        }
+        let now = Instant::now();
+        let deadline =
+            now + req.deadline_ms.map(Duration::from_millis).unwrap_or(inner.config.deadline);
+        let pending = Pending {
+            id,
+            plan_key,
+            params,
+            platform: req.platform,
+            other_params,
+            query: req.query,
+            deadline,
+            enqueued: now,
+            reply: reply.clone(),
+        };
+        let sender = {
+            let guard = shard.sender.read().unwrap_or_else(|e| e.into_inner());
+            match guard.as_ref() {
+                Some(tx) => tx.clone(),
+                None => {
+                    ServeStats::bump(&inner.stats.shutdown_rejected);
+                    return Err(Response::reject(id, Reject::ShuttingDown));
+                }
+            }
+        };
+        match sender.try_send(pending) {
+            Ok(()) => {
+                ServeStats::bump(&inner.stats.accepted);
+                ACCEPTED.inc();
+                QUEUE_DEPTH.set(inner.depth.fetch_add(1, Ordering::AcqRel) + 1);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                ServeStats::bump(&inner.stats.shed);
+                SHED.inc();
+                if obs::enabled(obs::Level::Debug) {
+                    obs::emit(
+                        obs::Level::Debug,
+                        "serve",
+                        "rejected",
+                        &[field("id", id), field("kind", "overloaded"), field("shard", shard_idx)],
+                    );
+                }
+                Err(Response::reject(id, Reject::Overloaded { shard: shard_idx }))
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                ServeStats::bump(&inner.stats.shutdown_rejected);
+                Err(Response::reject(id, Reject::ShuttingDown))
+            }
+        }
+    }
+}
+
+/// Shape validation at admission. Semantic validity (e.g. a sweep's
+/// `lo > 0`) is deliberately left to the kernels: their panics are the
+/// poisoned-query path the `catch_unwind` isolation converts to typed
+/// errors.
+fn validate_query(query: &Query, max_points: usize) -> Result<(), Reject> {
+    match query {
+        Query::Eval { flops, bytes } => {
+            if flops.is_empty() {
+                return Err(Reject::BadRequest("`flops` must be non-empty".to_string()));
+            }
+            if flops.len() != bytes.len() {
+                return Err(Reject::BadRequest(format!(
+                    "`flops` ({}) and `bytes` ({}) must be the same length",
+                    flops.len(),
+                    bytes.len()
+                )));
+            }
+            if flops.len() > max_points {
+                return Err(Reject::BadRequest(format!("at most {max_points} points")));
+            }
+        }
+        Query::Sweep { points, .. } => {
+            if *points < 2 || *points > max_points {
+                return Err(Reject::BadRequest(format!(
+                    "`points` must be in 2..={max_points}, got {points}"
+                )));
+            }
+        }
+        Query::Crossover { grid, .. } => {
+            if *grid > max_points {
+                return Err(Reject::BadRequest(format!("`grid` must be <= {max_points}")));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// xorshift64* — deterministic backoff jitter without a rand dependency.
+fn jitter(seed: u64) -> u64 {
+    let mut x = seed | 1;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+fn respond(inner: &Inner, p: &Pending, result: Result<QueryResult, Reject>) {
+    let ok = result.is_ok();
+    LATENCY_US.record(p.enqueued.elapsed().as_micros() as u64);
+    let _ = p.reply.send(Response { id: p.id, result });
+    if ok {
+        ServeStats::bump(&inner.stats.completed);
+        COMPLETED.inc();
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>, shard_idx: usize, rx: Receiver<Pending>) {
+    loop {
+        // Block for work; a disconnect means every sender is gone
+        // (shutdown) and the queue is fully drained.
+        let first = match rx.recv() {
+            Ok(p) => p,
+            Err(_) => break,
+        };
+        let mut batch = vec![first];
+        while batch.len() < inner.config.max_batch {
+            match rx.try_recv() {
+                Ok(p) => batch.push(p),
+                Err(_) => break,
+            }
+        }
+        let taken = batch.len() as u64;
+        let depth = inner
+            .depth
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |d| Some(d.saturating_sub(taken)))
+            .unwrap_or(taken);
+        QUEUE_DEPTH.set(depth.saturating_sub(taken));
+        process_batch(&inner, shard_idx, batch);
+    }
+    obs::debug!("serve", "serve: shard {shard_idx} drained");
+}
+
+fn process_batch(inner: &Inner, shard_idx: usize, batch: Vec<Pending>) {
+    let _span = obs::span_with(
+        obs::Level::Debug,
+        "serve",
+        "batch",
+        &[field("shard", shard_idx), field("n", batch.len())],
+    );
+    ServeStats::bump(&inner.stats.batches);
+    inner.stats.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    BATCH_OCCUPANCY.record(batch.len() as u64);
+
+    // Cooperative cancellation at the batch boundary: answer expired
+    // requests without evaluating them. Deadline outcomes never touch the
+    // breaker — a queueing delay is not an evaluation failure.
+    let now = Instant::now();
+    let (live, expired): (Vec<Pending>, Vec<Pending>) =
+        batch.into_iter().partition(|p| p.deadline > now);
+    for p in expired {
+        ServeStats::bump(&inner.stats.deadline_expired);
+        DEADLINE_EXPIRED.inc();
+        respond(inner, &p, Err(Reject::DeadlineExceeded));
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // Group by interned plan so each group is one kernel pass. Order
+    // within a group is submission order; results are split back
+    // per-request, so batching is invisible in the answers (the kernels
+    // are elementwise and split-invariant).
+    let mut groups: Vec<(u64, Vec<Pending>)> = Vec::new();
+    for p in live {
+        match groups.iter_mut().find(|(k, _)| *k == p.plan_key) {
+            Some((_, g)) => g.push(p),
+            None => groups.push((p.plan_key, vec![p])),
+        }
+    }
+    let mut plans: HashMap<u64, RooflinePlan> = HashMap::new();
+    for (key, group) in groups {
+        let plan = *plans.entry(key).or_insert_with(|| RooflinePlan::new(group[0].params));
+        process_group(inner, shard_idx, &plan, group);
+    }
+}
+
+/// Evaluates one plan-group, with panic isolation, per-request retries
+/// with jittered backoff, and breaker accounting.
+fn process_group(inner: &Inner, shard_idx: usize, plan: &RooflinePlan, group: Vec<Pending>) {
+    let breaker = &inner.shards[shard_idx].breaker;
+    let outcomes = catch_unwind(AssertUnwindSafe(|| evaluate_group(inner, plan, &group)));
+    let per_request: Vec<Result<QueryResult, String>> = match outcomes {
+        Ok(Ok(results)) => results,
+        Ok(Err(group_error)) => vec![Err(group_error); group.len()],
+        Err(payload) => {
+            ServeStats::bump(&inner.stats.panics_caught);
+            PANICS_CAUGHT.inc();
+            vec![Err(format!("panic: {}", panic_text(payload))); group.len()]
+        }
+    };
+
+    for (p, first) in group.into_iter().zip(per_request) {
+        match first {
+            Ok(result) => {
+                breaker.on_success();
+                respond(inner, &p, Ok(result));
+            }
+            Err(mut why) => {
+                // Individual retries with deterministic jittered backoff;
+                // injection (if any) re-applies with a rotated seed each
+                // attempt, so transient corruption can clear.
+                let mut recovered = None;
+                for attempt in 0..inner.config.retry_attempts {
+                    if Instant::now() >= p.deadline {
+                        break;
+                    }
+                    ServeStats::bump(&inner.stats.retries);
+                    RETRIES.inc();
+                    let base = inner.config.retry_backoff;
+                    let j = jitter(inner.config.seed ^ p.id ^ u64::from(attempt) << 32);
+                    let backoff = base * 2u32.saturating_pow(attempt)
+                        + Duration::from_nanos(j % base.as_nanos().max(1) as u64);
+                    std::thread::sleep(backoff);
+                    let single = catch_unwind(AssertUnwindSafe(|| {
+                        evaluate_group(inner, plan, std::slice::from_ref(&p))
+                    }));
+                    match single {
+                        Ok(Ok(mut results)) => match results.pop() {
+                            Some(Ok(result)) => {
+                                recovered = Some(result);
+                                break;
+                            }
+                            Some(Err(e)) => why = e,
+                            None => why = "empty retry result".to_string(),
+                        },
+                        Ok(Err(e)) => why = e,
+                        Err(payload) => {
+                            ServeStats::bump(&inner.stats.panics_caught);
+                            PANICS_CAUGHT.inc();
+                            why = format!("panic: {}", panic_text(payload));
+                        }
+                    }
+                }
+                match recovered {
+                    Some(result) => {
+                        breaker.on_success();
+                        respond(inner, &p, Ok(result));
+                    }
+                    None => {
+                        ServeStats::bump(&inner.stats.failed);
+                        FAILED.inc();
+                        breaker.on_failure();
+                        if obs::enabled(obs::Level::Debug) {
+                            obs::emit(
+                                obs::Level::Debug,
+                                "serve",
+                                "rejected",
+                                &[
+                                    field("id", p.id),
+                                    field("kind", "internal"),
+                                    field("shard", shard_idx),
+                                    field("detail", why.clone()),
+                                ],
+                            );
+                        }
+                        respond(inner, &p, Err(Reject::Internal(why)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// One kernel pass over a plan-group. `Err` at the outer level is a
+/// whole-group failure (everything retries); the inner per-request
+/// `Result` carries per-request corruption.
+///
+/// All `Eval` queries in the group are concatenated into one SoA buffer
+/// and evaluated in a single fused `evaluate_batch` pass; sweeps and
+/// crossovers run their own (already batched) kernels over their grids.
+#[allow(clippy::type_complexity)]
+fn evaluate_group(
+    inner: &Inner,
+    plan: &RooflinePlan,
+    group: &[Pending],
+) -> Result<Vec<Result<QueryResult, String>>, String> {
+    // Phase 1: the fused SoA pass for every Eval in the group.
+    let mut spans: Vec<(usize, usize, usize)> = Vec::new(); // (group idx, start, len)
+    let mut flops: Vec<f64> = Vec::new();
+    let mut bytes: Vec<f64> = Vec::new();
+    for (gi, p) in group.iter().enumerate() {
+        if let Query::Eval { flops: f, bytes: b } = &p.query {
+            spans.push((gi, flops.len(), f.len()));
+            flops.extend_from_slice(f);
+            bytes.extend_from_slice(b);
+        }
+    }
+    let n = flops.len();
+    let mut time = vec![0.0; n];
+    let mut energy = vec![0.0; n];
+    let mut power = vec![0.0; n];
+    let mut regime = vec![archline_core::Regime::MemoryBound; n];
+    if n > 0 {
+        plan.evaluate_batch(&flops, &bytes, &mut time, &mut energy, &mut power, &mut regime);
+    }
+
+    // Chaos mode: route the group's eval results through the platform's
+    // fault plan (runs-shaped, audited at site "serve"), then detect
+    // corruption against the pre-injection bits. Detection is honest
+    // redundancy: the injected path simulates a flaky compute backend,
+    // and the server refuses to return answers that fail verification.
+    let mut corrupted = vec![false; group.len()];
+    if n > 0 {
+        if let Some((_, fault_plan)) =
+            inner.config.inject.iter().find(|(name, _)| *name == group[0].platform)
+        {
+            let rotation = inner.injections_applied.fetch_add(1, Ordering::AcqRel);
+            let rotated = FaultPlan::new(
+                fault_plan
+                    .specs
+                    .iter()
+                    .map(|s| FaultSpec::new(s.class, s.severity, s.seed.wrapping_add(rotation)))
+                    .collect(),
+            );
+            let runs: Vec<Run> = (0..n)
+                .map(|i| Run {
+                    flops: flops[i],
+                    bytes: bytes[i],
+                    accesses: 0.0,
+                    time: time[i],
+                    energy: energy[i],
+                })
+                .collect();
+            let injected = rotated.apply_to_runs_at(runs, "serve");
+            if injected.len() != n {
+                return Err(format!(
+                    "injected corruption changed the result count ({} -> {})",
+                    n,
+                    injected.len()
+                ));
+            }
+            for &(gi, start, len) in &spans {
+                let clean = time[start..start + len]
+                    .iter()
+                    .zip(&energy[start..start + len])
+                    .zip(&injected[start..start + len])
+                    .all(|((t, e), r)| {
+                        t.to_bits() == r.time.to_bits() && e.to_bits() == r.energy.to_bits()
+                    });
+                if !clean {
+                    corrupted[gi] = true;
+                }
+            }
+        }
+    }
+
+    // Phase 2: assemble per-request results; sweeps/crossovers evaluate
+    // here (their kernels are the batched curve evaluators).
+    let mut results: Vec<Result<QueryResult, String>> = Vec::with_capacity(group.len());
+    let mut span_iter = spans.iter().peekable();
+    for (gi, p) in group.iter().enumerate() {
+        if corrupted[gi] {
+            // Skip the span bookkeeping for corrupted evals below.
+        }
+        let result = match &p.query {
+            Query::Eval { .. } => {
+                let &(_, start, len) = span_iter.next().expect("span per eval");
+                if corrupted[gi] {
+                    Err("fault-injected corruption detected by result verification".to_string())
+                } else {
+                    Ok(QueryResult::Eval {
+                        time: time[start..start + len].to_vec(),
+                        energy: energy[start..start + len].to_vec(),
+                        power: power[start..start + len].to_vec(),
+                        regime: regime[start..start + len].iter().map(|r| r.letter()).collect(),
+                    })
+                }
+            }
+            Query::Sweep { metric, lo, hi, points } => {
+                let xs = sample_intensities(*lo, *hi, *points);
+                let mut out = vec![0.0; xs.len()];
+                match metric {
+                    SweepMetric::Power => plan.avg_power_batch(&xs, &mut out),
+                    SweepMetric::Perf => plan.perf_batch(&xs, &mut out),
+                    SweepMetric::EnergyEff => plan.energy_eff_batch(&xs, &mut out),
+                }
+                Ok(QueryResult::Sweep { intensity: xs, value: out })
+            }
+            Query::Crossover { metric, lo, hi, grid, .. } => {
+                let other = p.other_params.expect("crossover resolved at admission");
+                let a = EnergyRoofline::new(p.params);
+                let b = EnergyRoofline::new(other);
+                let core_metric = match metric {
+                    SweepMetric::Power => Metric::Power,
+                    SweepMetric::Perf => Metric::Performance,
+                    SweepMetric::EnergyEff => Metric::EnergyEfficiency,
+                };
+                let crossings = crossovers(&a, &b, core_metric, *lo, *hi, *grid)
+                    .into_iter()
+                    .map(|c| (c.intensity, c.a_leads_below))
+                    .collect();
+                Ok(QueryResult::Crossover { crossings })
+            }
+        };
+        results.push(result);
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_req(id: u64, platform: &str, n: usize) -> Request {
+        Request {
+            id,
+            platform: platform.to_string(),
+            double_precision: false,
+            cap: None,
+            deadline_ms: None,
+            query: Query::Eval {
+                flops: (1..=n).map(|i| 1e9 * i as f64).collect(),
+                bytes: (1..=n).map(|i| 2e8 * i as f64).collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn answers_match_the_scalar_plan_bit_for_bit() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let handle = server.handle();
+        let resp = handle.query(eval_req(1, "GTX Titan", 16));
+        let Ok(QueryResult::Eval { time, energy, power, regime }) = resp.result else {
+            panic!("{resp:?}");
+        };
+        let params = all_platforms()
+            .into_iter()
+            .find(|p| p.name == "GTX Titan")
+            .unwrap()
+            .machine_params(Precision::Single)
+            .unwrap();
+        let plan = RooflinePlan::new(params);
+        for i in 0..16 {
+            let (t, e, pw, r) = plan.evaluate(1e9 * (i + 1) as f64, 2e8 * (i + 1) as f64);
+            assert_eq!(t.to_bits(), time[i].to_bits());
+            assert_eq!(e.to_bits(), energy[i].to_bits());
+            assert_eq!(pw.to_bits(), power[i].to_bits());
+            assert_eq!(r.letter(), regime[i]);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn what_if_cap_overrides_change_the_answer() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let handle = server.handle();
+        let base = handle.query(eval_req(1, "Desktop CPU", 4));
+        let mut capped_req = eval_req(2, "Desktop CPU", 4);
+        capped_req.cap = Some(CapOverride::Throttle(8.0));
+        let capped = handle.query(capped_req);
+        let mut uncapped_req = eval_req(3, "Desktop CPU", 4);
+        uncapped_req.cap = Some(CapOverride::Uncapped);
+        let uncapped = handle.query(uncapped_req);
+        let t = |r: &Response| match &r.result {
+            Ok(QueryResult::Eval { time, .. }) => time.clone(),
+            other => panic!("{other:?}"),
+        };
+        assert!(t(&capped).iter().zip(t(&base)).any(|(c, b)| *c > b), "throttle slows");
+        assert!(t(&uncapped).iter().zip(t(&base)).all(|(u, b)| *u <= b), "uncapped never slower");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_platform_is_a_typed_bad_request() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let handle = server.handle();
+        let resp = handle.query(eval_req(9, "Cray-1", 1));
+        assert!(matches!(resp.result, Err(Reject::BadRequest(_))), "{resp:?}");
+        assert_eq!(handle.stats().bad_request.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn poisoned_sweep_degrades_to_typed_internal_and_server_keeps_serving() {
+        let server = Server::start(ServeConfig { retry_attempts: 1, ..Default::default() }).unwrap();
+        let handle = server.handle();
+        // Non-positive lower bound: perf_batch's intensity validation
+        // panics; the worker must catch it and answer typed.
+        let poisoned = Request {
+            id: 1,
+            platform: "NUC CPU".to_string(),
+            double_precision: false,
+            cap: None,
+            deadline_ms: None,
+            query: Query::Sweep { metric: SweepMetric::Perf, lo: -1.0, hi: 10.0, points: 8 },
+        };
+        let resp = handle.query(poisoned);
+        match resp.result {
+            Err(Reject::Internal(msg)) => assert!(msg.contains("panic"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+        assert!(handle.stats().panics_caught.load(Ordering::Relaxed) >= 1);
+        // The worker survived: the next query on the same shard answers.
+        let ok = handle.query(eval_req(2, "NUC CPU", 3));
+        assert!(ok.result.is_ok(), "{ok:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_on_shutdown_answers_everything_admitted() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let handle = server.handle();
+        let tickets: Vec<Ticket> =
+            (0..40).map(|i| handle.submit(eval_req(i, "GTX 680", 8))).collect();
+        let after = server.shutdown();
+        for t in tickets {
+            assert!(t.wait().result.is_ok(), "admitted work must be drained, not dropped");
+        }
+        // Post-drain admission is a typed rejection, not a hang.
+        let late = handle.query(eval_req(99, "GTX 680", 1));
+        assert_eq!(late.result, Err(Reject::ShuttingDown));
+        assert!(after.stats().shutdown_rejected.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_rejection_and_bounded_queues() {
+        // One shard, tiny queue, and a worker kept busy by big requests:
+        // past the bound, admission must shed (typed), never block or grow.
+        let server = Server::start(ServeConfig {
+            shards: 1,
+            queue_bound: 4,
+            max_batch: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let handle = server.handle();
+        let mut tickets = Vec::new();
+        let mut shed = 0;
+        for i in 0..200 {
+            let t = handle.submit(eval_req(i, "Xeon Phi", 4096));
+            match t.try_wait() {
+                // A fast worker may have answered already; only a typed
+                // Overloaded counts as shed.
+                Some(Response { result: Err(reject), .. }) => {
+                    assert_eq!(reject, Reject::Overloaded { shard: 0 });
+                    shed += 1;
+                }
+                Some(Response { result: Ok(_), .. }) => {}
+                None => tickets.push(t),
+            }
+        }
+        assert!(shed > 0, "an unbounded queue would never shed");
+        assert_eq!(handle.stats().shed.load(Ordering::Relaxed), shed);
+        for t in tickets {
+            assert!(t.wait().result.is_ok());
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadlines_reject_at_the_batch_boundary() {
+        let server =
+            Server::start(ServeConfig { shards: 1, max_batch: 64, ..Default::default() }).unwrap();
+        let handle = server.handle();
+        // A zero-millisecond deadline expires before any batch boundary.
+        let mut req = eval_req(5, "Arndale CPU", 4);
+        req.deadline_ms = Some(0);
+        let resp = handle.query(req);
+        assert_eq!(resp.result, Err(Reject::DeadlineExceeded));
+        assert_eq!(handle.stats().deadline_expired.load(Ordering::Relaxed), 1);
+        // Deadline rejections are not breaker outcomes.
+        assert_eq!(handle.breaker_state(0), BreakerState::Closed);
+        server.shutdown();
+    }
+
+    #[test]
+    fn params_key_separates_cap_overrides_and_colocates_equal_params() {
+        let p = all_platforms()[0].machine_params(Precision::Single).unwrap();
+        assert_eq!(params_key(&p), params_key(&p.clone()));
+        assert_ne!(params_key(&p), params_key(&p.uncapped()));
+        assert_ne!(params_key(&p), params_key(&p.throttled(2.0)));
+    }
+}
