@@ -145,12 +145,14 @@ impl RooflinePlan {
     /// Marginal operation energy `W·ε_flop + Q·ε_mem`.
     #[inline(always)]
     pub fn operation_energy(&self, flops: f64, bytes: f64) -> f64 {
+        // lint:allow(float-discipline, reason = "canonical form of paper eq. 1: the batch kernels replay these exact ops, so mul_add here would fork the bit-identity contract")
         flops * self.params.energy_per_flop + bytes * self.params.energy_per_byte
     }
 
     /// Total energy `E(W,Q)` (paper eq. 1).
     #[inline(always)]
     pub fn energy(&self, flops: f64, bytes: f64) -> f64 {
+        // lint:allow(float-discipline, reason = "canonical form of paper eq. 1: the batch kernels replay these exact ops, so mul_add here would fork the bit-identity contract")
         self.operation_energy(flops, bytes) + self.params.const_power * self.time(flops, bytes)
     }
 
@@ -163,6 +165,7 @@ impl RooflinePlan {
         let t_mem = bytes * self.params.time_per_byte;
         let op = self.operation_energy(flops, bytes);
         let t = t_flop.max(t_mem).max(op * self.inv_cap);
+        // lint:allow(float-discipline, reason = "must round exactly like energy() above for the fused-vs-separate bit-identity tests; see the module ULP policy")
         (t, op + self.params.const_power * t)
     }
 

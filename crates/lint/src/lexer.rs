@@ -1,0 +1,554 @@
+//! A small, token-accurate Rust lexer.
+//!
+//! The passes need exactly enough lexical fidelity that `"Instant::now"`
+//! inside a string literal, `unwrap` inside a doc comment, and `'"'` (a
+//! char literal holding a quote) never produce findings — the failure
+//! modes of the grep script this crate replaces. The lexer therefore
+//! handles, correctly and with positions:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`, `/** … */`), captured separately for pragma and
+//!   `SAFETY:`/`ordering:` adjacency checks;
+//! * string literals with escapes, byte strings, and raw strings with any
+//!   hash count (`r"…"`, `r#"…"#`, `br##"…"##`);
+//! * char and byte-char literals vs. lifetimes (`'"'` and `'\''` are
+//!   chars, `'scope` is a lifetime);
+//! * raw identifiers (`r#match`);
+//! * numeric literals, classifying float vs. integer (exponents, `1.`,
+//!   `0x1e5` is an int, `1..n` is an int and a range token);
+//! * multi-character operators (`::`, `==`, `!=`, `..=`, `<<=`, …).
+//!
+//! It does **not** parse: passes work on the token stream plus a
+//! brace-depth tracker ([`crate::SourceFile`] marks `#[cfg(test)]` /
+//! `#[test]` regions).
+
+/// Token classification — just enough for the passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `Ordering`, `unwrap`, …).
+    Ident,
+    /// Integer literal (`3`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `1e-6`, `2.`, `0.5f64`).
+    Float,
+    /// String / byte-string / raw-string literal (content dropped).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Operator or delimiter, longest-match (`::`, `==`, `{`, …).
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One comment (line or block) with the line it starts on. Block-comment
+/// text keeps its embedded newlines; [`crate::SourceFile`] splits it back
+/// into per-line text for adjacency checks.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// The lexed file: code tokens and comments, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xc0 != 0x80 {
+            // Count a multi-byte UTF-8 sequence as one column; continuation
+            // bytes don't advance.
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_while(&mut self, f: impl Fn(u8) -> bool) {
+        while self.peek().is_some_and(&f) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src`. Unterminated constructs (string, block comment) consume to
+/// end of file rather than erroring: the linter must degrade gracefully on
+/// files that don't compile yet.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(b) = c.peek() {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                let start = c.pos;
+                c.eat_while(|b| b != b'\n');
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                    line,
+                });
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                let start = c.pos;
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                    line,
+                });
+            }
+            b'"' => {
+                lex_string(&mut c);
+                out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line, col });
+            }
+            b'r' | b'b' if raw_or_byte_literal(&mut c, &mut out, line, col) => {}
+            b'\'' => lex_quote(&mut c, &mut out, line, col),
+            _ if b.is_ascii_digit() => lex_number(&mut c, &mut out, line, col),
+            _ if is_ident_start(b) => {
+                let start = c.pos;
+                c.eat_while(is_ident_continue);
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            }
+            _ => lex_punct(&mut c, &mut out, line, col),
+        }
+    }
+    out
+}
+
+/// Consumes a `"…"` string body (opening quote at the cursor).
+fn lex_string(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    while let Some(b) = c.peek() {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'"' => {
+                c.bump();
+                return;
+            }
+            _ => {
+                c.bump();
+            }
+        }
+    }
+}
+
+/// Handles the `r` / `b` prefix family. Returns `true` if a literal was
+/// consumed; `false` means the cursor is untouched and the caller should
+/// lex an identifier.
+fn raw_or_byte_literal(c: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) -> bool {
+    let b0 = c.peek();
+    let b1 = c.peek_at(1);
+    let b2 = c.peek_at(2);
+    match (b0, b1) {
+        // b'x' byte char
+        (Some(b'b'), Some(b'\'')) => {
+            c.bump();
+            lex_char_body(c);
+            out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line, col });
+            true
+        }
+        // b"…" byte string
+        (Some(b'b'), Some(b'"')) => {
+            c.bump();
+            lex_string(c);
+            out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line, col });
+            true
+        }
+        // r"…" / r#…, br"…" / br#…, rb is not rust; r#ident is a raw ident
+        (Some(b'r'), Some(b'"')) => {
+            c.bump();
+            lex_string_raw(c, 0);
+            out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line, col });
+            true
+        }
+        (Some(b'r'), Some(b'#')) => {
+            // Count hashes; a quote after them is a raw string, an ident
+            // char is a raw identifier (`r#match`).
+            let mut n = 0usize;
+            while c.peek_at(1 + n) == Some(b'#') {
+                n += 1;
+            }
+            match c.peek_at(1 + n) {
+                Some(b'"') => {
+                    c.bump(); // r
+                    for _ in 0..n {
+                        c.bump();
+                    }
+                    lex_string_raw(c, n);
+                    out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line, col });
+                    true
+                }
+                Some(bb) if n == 1 && is_ident_start(bb) => {
+                    c.bump(); // r
+                    c.bump(); // #
+                    let start = c.pos;
+                    c.eat_while(is_ident_continue);
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                        line,
+                        col,
+                    });
+                    true
+                }
+                _ => false,
+            }
+        }
+        (Some(b'b'), Some(b'r')) if b2 == Some(b'"') || b2 == Some(b'#') => {
+            let mut n = 0usize;
+            while c.peek_at(2 + n) == Some(b'#') {
+                n += 1;
+            }
+            if c.peek_at(2 + n) == Some(b'"') {
+                c.bump(); // b
+                c.bump(); // r
+                for _ in 0..n {
+                    c.bump();
+                }
+                lex_string_raw(c, n);
+                out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line, col });
+                true
+            } else {
+                false
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Consumes a raw-string body: opening quote at the cursor, terminated by
+/// `"` followed by `hashes` `#` characters. No escapes.
+fn lex_string_raw(c: &mut Cursor<'_>, hashes: usize) {
+    c.bump(); // opening quote
+    while let Some(b) = c.peek() {
+        if b == b'"' {
+            let closed = (0..hashes).all(|i| c.peek_at(1 + i) == Some(b'#'));
+            if closed {
+                c.bump();
+                for _ in 0..hashes {
+                    c.bump();
+                }
+                return;
+            }
+        }
+        c.bump();
+    }
+}
+
+/// `'` disambiguation: lifetime vs char literal.
+fn lex_quote(c: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) {
+    // A lifetime is `'` + ident-start where the char after the ident run is
+    // NOT a closing quote ('a' is a char, 'a is a lifetime).
+    let is_lifetime = match (c.peek_at(1), c.peek_at(2)) {
+        (Some(b1), Some(b2)) if is_ident_start(b1) && b1 != b'\\' => {
+            if b2 == b'\'' {
+                false // 'x'
+            } else {
+                true // 'x… — a lifetime even if more ident chars follow
+            }
+        }
+        (Some(b1), None) if is_ident_start(b1) => true,
+        _ => false,
+    };
+    if is_lifetime {
+        c.bump(); // '
+        let start = c.pos;
+        c.eat_while(is_ident_continue);
+        out.toks.push(Tok {
+            kind: TokKind::Lifetime,
+            text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+            line,
+            col,
+        });
+    } else {
+        lex_char_body(c);
+        out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line, col });
+    }
+}
+
+/// Consumes `'…'` with escapes (opening quote at the cursor).
+fn lex_char_body(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    while let Some(b) = c.peek() {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'\'' => {
+                c.bump();
+                return;
+            }
+            _ => {
+                c.bump();
+            }
+        }
+    }
+}
+
+fn lex_number(c: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) {
+    let start = c.pos;
+    let mut float = false;
+    if c.peek() == Some(b'0')
+        && matches!(c.peek_at(1), Some(b'x') | Some(b'o') | Some(b'b') | Some(b'X'))
+    {
+        // Radix literal: everything alphanumeric belongs to it ('e' is a
+        // hex digit, never an exponent).
+        c.bump();
+        c.bump();
+        c.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    } else {
+        c.eat_while(|b| b.is_ascii_digit() || b == b'_');
+        // Fractional part — but `1..n` is a range, and `1.method()` is a
+        // call on an integer literal.
+        if c.peek() == Some(b'.') {
+            let after = c.peek_at(1);
+            let is_fraction = match after {
+                Some(b'.') => false,                     // range
+                Some(bb) if is_ident_start(bb) => false, // method call
+                _ => true,                               // digit, EOF, `)`, … — `1.` is a float
+            };
+            if is_fraction {
+                float = true;
+                c.bump();
+                c.eat_while(|b| b.is_ascii_digit() || b == b'_');
+            }
+        }
+        // Exponent.
+        if matches!(c.peek(), Some(b'e') | Some(b'E')) {
+            let (a1, a2) = (c.peek_at(1), c.peek_at(2));
+            let exp = match a1 {
+                Some(bb) if bb.is_ascii_digit() => true,
+                Some(b'+') | Some(b'-') => a2.is_some_and(|d| d.is_ascii_digit()),
+                _ => false,
+            };
+            if exp {
+                float = true;
+                c.bump(); // e
+                if matches!(c.peek(), Some(b'+') | Some(b'-')) {
+                    c.bump();
+                }
+                c.eat_while(|b| b.is_ascii_digit() || b == b'_');
+            }
+        }
+        // Suffix (`f64`, `u32`, …) — an `f` suffix makes it a float.
+        if c.peek().is_some_and(is_ident_start) {
+            let sstart = c.pos;
+            c.eat_while(is_ident_continue);
+            if c.src[sstart] == b'f' {
+                float = true;
+            }
+        }
+    }
+    out.toks.push(Tok {
+        kind: if float { TokKind::Float } else { TokKind::Int },
+        text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+        line,
+        col,
+    });
+}
+
+/// Multi-character operators, longest match first.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "==", "!=", "<=", ">=", "->", "=>", "..", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+fn lex_punct(c: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) {
+    let rest = &c.src[c.pos..];
+    for p in PUNCTS {
+        if rest.starts_with(p.as_bytes()) {
+            for _ in 0..p.len() {
+                c.bump();
+            }
+            out.toks.push(Tok { kind: TokKind::Punct, text: (*p).to_string(), line, col });
+            return;
+        }
+    }
+    let b = c.bump().unwrap_or(b' ');
+    out.toks.push(Tok {
+        kind: TokKind::Punct,
+        text: (b as char).to_string(),
+        line,
+        col,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let s = "Instant::now and unwrap()";"#);
+        assert_eq!(idents(r#"let s = "Instant::now and unwrap()";"#), vec!["let", "s"]);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_count() {
+        assert_eq!(idents(r###"let s = r#"quote " inside"#; x"###), vec!["let", "s", "x"]);
+        assert_eq!(idents("let s = br\"bytes\"; y"), vec!["let", "s", "y"]);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let l = lex("// unwrap() here\nlet x = 1; /* nested /* block */ done */ let y = 2;");
+        assert_eq!(
+            l.toks.iter().filter(|t| t.kind == TokKind::Ident).count(),
+            4 // let x let y
+        );
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("unwrap"));
+        assert!(l.comments[1].text.contains("done"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("fn f<'a>(c: char) { let q = '\\''; let d = '\"'; let l: &'a str = x; }");
+        let chars = l.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        let lifetimes: Vec<_> =
+            l.toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| &t.text).collect();
+        assert_eq!(chars, 2, "'\\'' and '\"' are char literals");
+        assert_eq!(lifetimes, ["a", "a"]);
+    }
+
+    #[test]
+    fn numbers_classify_float_vs_int() {
+        let l = lex("let a = 1.0; let b = 1e-6; let c = 0x1e5; let d = 1..n; let e = 2.; f(3f64)");
+        let kinds: Vec<(TokKind, String)> = l
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| (t.kind, t.text.clone()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (TokKind::Float, "1.0".to_string()),
+                (TokKind::Float, "1e-6".to_string()),
+                (TokKind::Int, "0x1e5".to_string()),
+                (TokKind::Int, "1".to_string()),
+                (TokKind::Float, "2.".to_string()),
+                (TokKind::Float, "3f64".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn method_call_on_int_is_not_a_float() {
+        let l = lex("let x = 1.max(2);");
+        let nums: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .collect();
+        assert_eq!(nums[0].kind, TokKind::Int);
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let texts: Vec<String> = lex("a == b != c :: d ..= e")
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(texts, ["==", "!=", "::", "..="]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let l = lex("ab\n  cd");
+        assert_eq!((l.toks[0].line, l.toks[0].col), (1, 1));
+        assert_eq!((l.toks[1].line, l.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(idents("let r#match = 1;"), vec!["let", "match"]);
+    }
+}

@@ -1,0 +1,106 @@
+//! archline-lint CLI.
+//!
+//! ```text
+//! archline-lint [--root DIR] [--json [FILE]]
+//! ```
+//!
+//! Walks every workspace `.rs` file, runs the six passes under the
+//! path-derived policy, and prints `file:line:col: [pass] message` with
+//! the policy provenance. `--json` emits the machine-readable report
+//! (to FILE if given, else stdout). Exit codes: 0 clean, 1 findings,
+//! 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut json_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("error: --root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "--json" => {
+                json = true;
+                if args.peek().is_some_and(|a| !a.starts_with('-')) {
+                    json_path = args.next().map(PathBuf::from);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: archline-lint [--root DIR] [--json [FILE]]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (files_checked, findings) = match archline_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        let report = archline_lint::to_json(files_checked, &findings);
+        if let Some(path) = &json_path {
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("error: writing {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("wrote {}", path.display());
+        } else {
+            print!("{report}");
+        }
+    }
+
+    // Human-readable findings go to stderr when a JSON file is the primary
+    // artifact, stdout otherwise — so `--json` to stdout stays parseable.
+    for f in &findings {
+        let line = format!(
+            "{}:{}:{}: [{}] {}\n    policy: {}",
+            f.file,
+            f.line,
+            f.col,
+            f.pass.name(),
+            f.message,
+            f.policy
+        );
+        if json && json_path.is_none() {
+            eprintln!("{line}");
+        } else if !json {
+            println!("{line}");
+        } else {
+            eprintln!("{line}");
+        }
+    }
+
+    let summary = format!(
+        "archline-lint: {} file(s) checked, {} finding(s)",
+        files_checked,
+        findings.len()
+    );
+    if json && json_path.is_none() {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,400 @@
+//! The six lint passes, token-level, over a [`SourceFile`].
+//!
+//! Each pass receives the token stream (strings/comments already
+//! stripped), the per-token test-region flags, and the comment-line map
+//! for adjacency checks. Passes report raw findings; waiving via pragmas
+//! happens in [`crate::lint_source`].
+
+use crate::lexer::{Tok, TokKind};
+use crate::policy::{fma_kernel_file, Pass};
+use crate::{Finding, SourceFile};
+
+/// Comment-adjacency window: a `// SAFETY:` / `// ordering:` justification
+/// counts on the same line, or above it separated by at most this many
+/// non-comment lines (so one comment can cover a short cluster, e.g. the
+/// four stores of a histogram record). Comment lines never count toward
+/// the gap: a justification may open a tall comment block.
+const ADJACENT_LINES: u32 = 4;
+
+pub fn run_pass(pass: Pass, file: &SourceFile, provenance: &str, out: &mut Vec<Finding>) {
+    match pass {
+        Pass::NoRawPrint => no_raw_print(file, provenance, out),
+        Pass::Determinism => determinism(file, provenance, out),
+        Pass::PanicDiscipline => panic_discipline(file, provenance, out),
+        Pass::FloatDiscipline => float_discipline(file, provenance, out),
+        Pass::UnsafeAudit => unsafe_audit(file, provenance, out),
+        Pass::AtomicsAudit => atomics_audit(file, provenance, out),
+        Pass::Pragma => {} // emitted by lint_source itself
+    }
+}
+
+fn finding(pass: Pass, t: &Tok, message: String, provenance: &str) -> Finding {
+    Finding {
+        pass,
+        line: t.line,
+        col: t.col,
+        message,
+        policy: provenance.to_string(),
+        file: String::new(), // filled by lint_source
+    }
+}
+
+/// Is the token at `i` an identifier with this exact text?
+fn ident_is(toks: &[Tok], i: usize, text: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+}
+
+fn punct_is(toks: &[Tok], i: usize, text: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+// ---------------------------------------------------------------------
+// no-raw-print
+// ---------------------------------------------------------------------
+
+const PRINT_MACROS: &[&str] = &["print", "println", "eprint", "eprintln", "dbg"];
+
+fn no_raw_print(file: &SourceFile, prov: &str, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && PRINT_MACROS.contains(&t.text.as_str())
+            && punct_is(toks, i + 1, "!")
+        {
+            out.push(finding(
+                Pass::NoRawPrint,
+                t,
+                format!("raw `{}!` in library code — log via archline-obs", t.text),
+                prov,
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------
+
+/// Idents banned outright in seeded result paths.
+const ENTROPY_IDENTS: &[(&str, &str)] = &[
+    ("SystemTime", "wall-clock time"),
+    ("from_entropy", "OS entropy seeds an RNG stream"),
+    ("thread_rng", "thread-local entropy-seeded RNG"),
+    ("HashMap", "iteration order is randomized per process — use BTreeMap or a sorted Vec"),
+    ("HashSet", "iteration order is randomized per process — use BTreeSet or a sorted Vec"),
+];
+
+fn determinism(file: &SourceFile, prov: &str, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if let Some((_, why)) = ENTROPY_IDENTS.iter().find(|(name, _)| *name == t.text) {
+            out.push(finding(
+                Pass::Determinism,
+                t,
+                format!("`{}` in a seeded result path: {why}", t.text),
+                prov,
+            ));
+        } else if t.text == "Instant"
+            && punct_is(toks, i + 1, "::")
+            && ident_is(toks, i + 2, "now")
+        {
+            out.push(finding(
+                Pass::Determinism,
+                t,
+                "`Instant::now` in a seeded result path: wall-clock reads make results \
+                 run-dependent"
+                    .to_string(),
+                prov,
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// panic-discipline
+// ---------------------------------------------------------------------
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn panic_discipline(file: &SourceFile, prov: &str, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        match t.kind {
+            // `.unwrap()` / `.expect(` — method position only, so
+            // `unwrap_or_else` and locally defined `expect` fns with
+            // other shapes don't trip.
+            TokKind::Ident
+                if (t.text == "unwrap" || t.text == "expect")
+                    && i > 0
+                    && punct_is(toks, i - 1, ".")
+                    && punct_is(toks, i + 1, "(") =>
+            {
+                out.push(finding(
+                    Pass::PanicDiscipline,
+                    t,
+                    format!(
+                        "`.{}()` in a catch_unwind-clean hot path — return the crate's \
+                         typed error instead",
+                        t.text
+                    ),
+                    prov,
+                ));
+            }
+            TokKind::Ident
+                if PANIC_MACROS.contains(&t.text.as_str()) && punct_is(toks, i + 1, "!") =>
+            {
+                out.push(finding(
+                    Pass::PanicDiscipline,
+                    t,
+                    format!("`{}!` in a catch_unwind-clean hot path", t.text),
+                    prov,
+                ));
+            }
+            TokKind::Punct if t.text == "[" => {
+                // Indexing by integer literal: `expr[0]`. The token before
+                // `[` must end an expression (ident, `)`, `]`, `?`); array
+                // literals/types (`[0u8; 4]`, `[usize; 2]`) don't match.
+                let indexing = i > 0
+                    && toks.get(i - 1).is_some_and(|p| {
+                        p.kind == TokKind::Ident
+                            || (p.kind == TokKind::Punct
+                                && (p.text == ")" || p.text == "]" || p.text == "?"))
+                    });
+                if indexing
+                    && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Int)
+                    && punct_is(toks, i + 2, "]")
+                {
+                    out.push(finding(
+                        Pass::PanicDiscipline,
+                        t,
+                        format!(
+                            "indexing by literal `[{}]` in a catch_unwind-clean hot path — \
+                             use `.first()`/`.get({})` and handle None",
+                            toks[i + 1].text,
+                            toks[i + 1].text
+                        ),
+                        prov,
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// float-discipline
+// ---------------------------------------------------------------------
+
+/// Does this float-literal text denote exactly zero? (`0.0`, `0.`, `0e9`,
+/// `0_000.00f64` …) — comparing against literal zero is IEEE-exact and is
+/// the workspace's documented sentinel idiom, so it is policy-exempt.
+fn is_zero_literal(text: &str) -> bool {
+    let cleaned: String = text
+        .chars()
+        .filter(|c| *c != '_')
+        .take_while(|c| !c.is_ascii_alphabetic() || *c == 'e' || *c == 'E')
+        .collect();
+    cleaned.parse::<f64>().is_ok_and(|v| v == 0.0)
+}
+
+/// Token kinds that can end the left operand of a binary `*` / `+`.
+fn ends_operand(t: &Tok) -> bool {
+    matches!(t.kind, TokKind::Ident | TokKind::Int | TokKind::Float)
+        || (t.kind == TokKind::Punct && matches!(t.text.as_str(), ")" | "]" | "?"))
+}
+
+/// Token kinds that can start the right operand of a binary `*` / `+`.
+fn starts_operand(t: &Tok) -> bool {
+    matches!(t.kind, TokKind::Ident | TokKind::Int | TokKind::Float)
+        || (t.kind == TokKind::Punct && matches!(t.text.as_str(), "(" | "-" | "&" | "*"))
+}
+
+fn float_discipline(file: &SourceFile, prov: &str, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    // (a) float-literal equality.
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        // The float literal can sit directly before, directly after, or
+        // after a unary minus.
+        let lit = if toks.get(i.wrapping_sub(1)).is_some_and(|p| p.kind == TokKind::Float) {
+            toks.get(i - 1)
+        } else if toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Float) {
+            toks.get(i + 1)
+        } else if punct_is(toks, i + 1, "-")
+            && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Float)
+        {
+            toks.get(i + 2)
+        } else {
+            None
+        };
+        let Some(lit) = lit else { continue };
+        if is_zero_literal(&lit.text) {
+            continue; // exact-zero sentinel: policy-exempt, see docs/lint.md
+        }
+        out.push(finding(
+            Pass::FloatDiscipline,
+            t,
+            format!(
+                "float `{}` against literal `{}` — exact equality holds only for \
+                 propagated literals; compare with a tolerance or justify propagation",
+                t.text, lit.text
+            ),
+            prov,
+        ));
+    }
+
+    // (b) bare multiply-add shapes in kernel files.
+    if !fma_kernel_file(&file.class) {
+        return;
+    }
+    let mut i = 0;
+    while i < toks.len() {
+        if file.in_test[i] {
+            i += 1;
+            continue;
+        }
+        // Scan one source line at a time.
+        // A binary `*` and a binary `+` on one line is the fma shape in
+        // either order (`a*b + c` and `c + a*b` round twice alike).
+        let line = toks[i].line;
+        let mut j = i;
+        let mut saw_mul = false;
+        let mut saw_add = false;
+        let mut hit: Option<usize> = None;
+        while j < toks.len() && toks[j].line == line {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct && (t.text == "*" || t.text == "+") {
+                let binary = j > 0
+                    && ends_operand(&toks[j - 1])
+                    && toks.get(j + 1).is_some_and(starts_operand);
+                if binary {
+                    if t.text == "*" {
+                        saw_mul = true;
+                    } else {
+                        saw_add = true;
+                    }
+                    if saw_mul && saw_add && hit.is_none() {
+                        hit = Some(j);
+                    }
+                }
+            }
+            j += 1;
+        }
+        if let Some(h) = hit {
+            out.push(finding(
+                Pass::FloatDiscipline,
+                &toks[h],
+                "bare `a*b + c` shape in a mul_add-discipline kernel file — use \
+                 `mul_add` or waive with the canonical-form/bit-identity provenance"
+                    .to_string(),
+                prov,
+            ));
+        }
+        i = j;
+    }
+}
+
+// ---------------------------------------------------------------------
+// unsafe-audit / atomics-audit (comment-adjacency passes)
+// ---------------------------------------------------------------------
+
+/// Does a comment containing `marker` justify `line`? Same line always
+/// counts; scanning upward, comment lines are searched without limit but
+/// at most [`ADJACENT_LINES`] non-comment lines may intervene.
+fn justified(file: &SourceFile, line: u32, marker: &str) -> bool {
+    let has = |l: u32| {
+        file.comment_lines
+            .get(&l)
+            .is_some_and(|texts| texts.iter().any(|t| t.contains(marker)))
+    };
+    if has(line) {
+        return true;
+    }
+    let mut gap = 0u32;
+    let mut l = line;
+    while l > 1 && gap <= ADJACENT_LINES {
+        l -= 1;
+        if file.comment_lines.contains_key(&l) {
+            if has(l) {
+                return true;
+            }
+        } else {
+            gap += 1;
+        }
+    }
+    false
+}
+
+fn unsafe_audit(file: &SourceFile, prov: &str, out: &mut Vec<Finding>) {
+    for t in &file.toks {
+        if t.kind == TokKind::Ident && t.text == "unsafe" && !justified(file, t.line, "SAFETY:") {
+            out.push(finding(
+                Pass::UnsafeAudit,
+                t,
+                "`unsafe` without an adjacent `// SAFETY:` comment stating the \
+                 aliasing/lifetime argument"
+                    .to_string(),
+                prov,
+            ));
+        }
+    }
+}
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn atomics_audit(file: &SourceFile, prov: &str, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    let mut last_line = 0u32;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && t.text == "Ordering"
+            && punct_is(toks, i + 1, "::")
+            && toks.get(i + 2).is_some_and(|n| ORDERINGS.contains(&n.text.as_str()))
+        {
+            // `use std::sync::atomic::Ordering` imports don't match (no
+            // `::Variant` after), and one finding per line is enough even
+            // when a line both loads and stores.
+            if t.line == last_line {
+                continue;
+            }
+            last_line = t.line;
+            if !justified(file, t.line, "ordering:") {
+                out.push(finding(
+                    Pass::AtomicsAudit,
+                    t,
+                    format!(
+                        "`Ordering::{}` without an adjacent `// ordering:` justification",
+                        toks[i + 2].text
+                    ),
+                    prov,
+                ));
+            }
+        }
+    }
+}

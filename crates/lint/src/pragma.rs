@@ -1,0 +1,216 @@
+//! `// lint:allow(<pass>, reason = "...")` pragmas.
+//!
+//! Grammar (inside any line or block comment):
+//!
+//! ```text
+//! lint:allow(<pass-name>, reason = "<non-empty justification>")
+//! ```
+//!
+//! A pragma waives findings of `<pass-name>` on its **own line** (trailing
+//! comment) or, when the pragma's line holds no code, on the **next line
+//! that holds code** (intervening comment-only lines are allowed, so a
+//! pragma can sit above the doc block of the construct it waives).
+//!
+//! Pragma hygiene is itself linted (pass `pragma`, not waivable):
+//! an unknown pass name, a missing/empty `reason`, a malformed pragma
+//! body, and a pragma that waives nothing (unused) are all findings —
+//! pragmas must stay justified and load-bearing.
+
+use crate::policy::Pass;
+
+/// A parsed pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// The pass it waives.
+    pub pass: Pass,
+    /// The line whose findings it waives.
+    pub target_line: u32,
+    /// The line the pragma comment sits on (for unused-pragma reports).
+    pub at_line: u32,
+    /// Justification text (already validated non-trivial).
+    pub reason: String,
+}
+
+/// A pragma-hygiene problem found while parsing.
+#[derive(Debug, Clone)]
+pub struct PragmaProblem {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Extracts pragmas from one comment's text. `code_on_line` reports
+/// whether a line holds any code token; `next_code_line` resolves a
+/// comment-only line to the line it governs.
+pub fn parse_comment(
+    text: &str,
+    comment_line: u32,
+    code_on_line: &impl Fn(u32) -> bool,
+    next_code_line: &impl Fn(u32) -> Option<u32>,
+    pragmas: &mut Vec<Pragma>,
+    problems: &mut Vec<PragmaProblem>,
+) {
+    // Block comments can span lines; attribute each pragma to the line its
+    // text sits on.
+    for (off, line_text) in text.split('\n').enumerate() {
+        let line = comment_line + off as u32;
+        let mut rest = line_text;
+        while let Some(idx) = rest.find("lint:allow") {
+            rest = &rest[idx + "lint:allow".len()..];
+            match parse_body(rest) {
+                Ok((pass_name, reason, consumed)) => {
+                    rest = &rest[consumed..];
+                    let Some(pass) = Pass::from_name(&pass_name) else {
+                        problems.push(PragmaProblem {
+                            line,
+                            message: format!(
+                                "pragma names unknown pass `{pass_name}` (known: {})",
+                                Pass::ALL.map(|p| p.name()).join(", ")
+                            ),
+                        });
+                        continue;
+                    };
+                    if pass == Pass::Pragma {
+                        problems.push(PragmaProblem {
+                            line,
+                            message: "the pragma-hygiene pass cannot be waived".to_string(),
+                        });
+                        continue;
+                    }
+                    if reason.trim().len() < 10 {
+                        problems.push(PragmaProblem {
+                            line,
+                            message: format!(
+                                "pragma for `{}` needs a written justification \
+                                 (reason = \"...\" of at least 10 characters)",
+                                pass.name()
+                            ),
+                        });
+                        continue;
+                    }
+                    let target_line = if code_on_line(line) {
+                        Some(line)
+                    } else {
+                        next_code_line(line)
+                    };
+                    let Some(target_line) = target_line else {
+                        problems.push(PragmaProblem {
+                            line,
+                            message: format!(
+                                "pragma for `{}` governs no code line",
+                                pass.name()
+                            ),
+                        });
+                        continue;
+                    };
+                    pragmas.push(Pragma { pass, target_line, at_line: line, reason });
+                }
+                Err(why) => {
+                    problems.push(PragmaProblem {
+                        line,
+                        message: format!("malformed lint:allow pragma: {why}"),
+                    });
+                    break; // don't rescan the same broken tail
+                }
+            }
+        }
+    }
+}
+
+/// Parses `(<name>, reason = "<text>")` at the head of `rest`. Returns the
+/// pass name, the reason, and the bytes consumed.
+fn parse_body(rest: &str) -> Result<(String, String, usize), String> {
+    let b = rest.trim_start();
+    let lead = rest.len() - b.len();
+    let b = b
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after lint:allow".to_string())?;
+    let (name, b) = match b.find([',', ')']) {
+        Some(i) if b.as_bytes()[i] == b',' => (b[..i].trim().to_string(), &b[i + 1..]),
+        _ => return Err("expected `, reason = \"...\"` after the pass name".to_string()),
+    };
+    if name.is_empty() || !name.bytes().all(|c| c.is_ascii_lowercase() || c == b'-') {
+        return Err(format!("pass name `{name}` must be lowercase-kebab"));
+    }
+    let b2 = b.trim_start();
+    let b2 = b2
+        .strip_prefix("reason")
+        .ok_or_else(|| "expected `reason = \"...\"`".to_string())?;
+    let b2 = b2.trim_start();
+    let b2 = b2.strip_prefix('=').ok_or_else(|| "expected `=` after reason".to_string())?;
+    let b2 = b2.trim_start();
+    let b2 = b2
+        .strip_prefix('"')
+        .ok_or_else(|| "reason must be a double-quoted string".to_string())?;
+    let end = b2.find('"').ok_or_else(|| "unterminated reason string".to_string())?;
+    let reason = b2[..end].to_string();
+    let after = &b2[end + 1..];
+    let after2 = after.trim_start();
+    let after2 = after2
+        .strip_prefix(')')
+        .ok_or_else(|| "expected `)` closing the pragma".to_string())?;
+    let consumed = lead + (rest.len() - lead - after2.len());
+    Ok((name, reason, consumed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(text: &str, line: u32) -> (Vec<Pragma>, Vec<PragmaProblem>) {
+        let mut pragmas = Vec::new();
+        let mut problems = Vec::new();
+        parse_comment(
+            text,
+            line,
+            &|_| true,
+            &|l| Some(l + 1),
+            &mut pragmas,
+            &mut problems,
+        );
+        (pragmas, problems)
+    }
+
+    #[test]
+    fn well_formed_pragma_parses() {
+        let (p, e) = run(
+            r#"// lint:allow(determinism, reason = "bench timer measures wall time by design")"#,
+            7,
+        );
+        assert!(e.is_empty(), "{e:?}");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].pass, Pass::Determinism);
+        assert_eq!(p[0].target_line, 7);
+        assert!(p[0].reason.contains("wall time"));
+    }
+
+    #[test]
+    fn reason_is_mandatory_and_substantive() {
+        let (_, e) = run("// lint:allow(determinism)", 1);
+        assert_eq!(e.len(), 1, "{e:?}");
+        let (_, e) = run(r#"// lint:allow(determinism, reason = "ok")"#, 1);
+        assert_eq!(e.len(), 1, "short reason must be rejected: {e:?}");
+    }
+
+    #[test]
+    fn unknown_pass_is_a_problem() {
+        let (p, e) = run(r#"// lint:allow(no-such-pass, reason = "long enough reason")"#, 1);
+        assert!(p.is_empty());
+        assert_eq!(e.len(), 1);
+        assert!(e[0].message.contains("unknown pass"));
+    }
+
+    #[test]
+    fn comment_only_line_targets_next_code_line() {
+        let mut pragmas = Vec::new();
+        let mut problems = Vec::new();
+        parse_comment(
+            r#"// lint:allow(unsafe-audit, reason = "justified at the call site above")"#,
+            4,
+            &|_| false,
+            &|l| Some(l + 3),
+            &mut pragmas,
+            &mut problems,
+        );
+        assert_eq!(pragmas[0].target_line, 7);
+    }
+}

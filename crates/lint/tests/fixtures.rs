@@ -1,0 +1,167 @@
+//! Fixture suite: every pass must fire on its known-bad fixture and stay
+//! silent on its known-clean twin (which concentrates the lexer traps:
+//! banned names in strings and doc comments, pragmas on their own line and
+//! trailing, sentinel zero comparisons, raw strings). Deleting any single
+//! pass implementation makes at least one of these tests fail.
+//!
+//! Fixtures are linted under *virtual* workspace paths so each lands in
+//! exactly the policy scope under test; the walker itself never descends
+//! into `fixtures/` directories.
+
+use archline_lint::policy::Pass;
+use archline_lint::{lint_source, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn lint_fixture(name: &str, virtual_path: &str) -> Vec<Finding> {
+    lint_source(virtual_path, &fixture(name))
+}
+
+fn count(findings: &[Finding], pass: Pass) -> usize {
+    findings.iter().filter(|f| f.pass == pass).count()
+}
+
+#[test]
+fn no_raw_print_fires_on_bad_and_not_on_clean() {
+    let bad = lint_fixture("bad_no_raw_print.rs", "crates/fit/src/pipeline.rs");
+    assert_eq!(count(&bad, Pass::NoRawPrint), 3, "{bad:#?}");
+
+    let clean = lint_fixture("clean_no_raw_print.rs", "crates/fit/src/pipeline.rs");
+    assert!(clean.is_empty(), "{clean:#?}");
+}
+
+#[test]
+fn no_raw_print_respects_policy_exemptions() {
+    let src = fixture("bad_no_raw_print.rs");
+    // The same prints are legal in a bin frontend and in the obs sink.
+    assert!(lint_source("crates/repro/src/bin/repro.rs", &src).is_empty());
+    assert!(lint_source("crates/obs/src/sink.rs", &src).is_empty());
+}
+
+#[test]
+fn determinism_fires_on_bad_and_not_on_clean() {
+    let bad = lint_fixture("bad_determinism.rs", "crates/fit/src/estimator.rs");
+    // Instant::now, SystemTime (use + call), HashMap (use + annotation ×2 +
+    // ctor), thread_rng (call site; the local `fn thread_rng` definition is
+    // also flagged — the pass is name-based by design).
+    assert!(count(&bad, Pass::Determinism) >= 6, "{bad:#?}");
+    assert!(bad.iter().any(|f| f.message.contains("Instant::now")), "{bad:#?}");
+    assert!(bad.iter().any(|f| f.message.contains("HashMap")), "{bad:#?}");
+
+    let clean = lint_fixture("clean_determinism.rs", "crates/fit/src/estimator.rs");
+    assert!(clean.is_empty(), "{clean:#?}");
+}
+
+#[test]
+fn determinism_is_out_of_scope_for_frontends_and_obs() {
+    let src = fixture("bad_determinism.rs");
+    assert!(lint_source("crates/obs/src/timing.rs", &src)
+        .iter()
+        .all(|f| f.pass != Pass::Determinism));
+    assert!(lint_source("crates/microbench/src/timer.rs", &src)
+        .iter()
+        .all(|f| f.pass != Pass::Determinism));
+    assert!(lint_source("crates/fit/src/bin/fitter.rs", &src)
+        .iter()
+        .all(|f| f.pass != Pass::Determinism));
+}
+
+#[test]
+fn panic_discipline_fires_on_bad_and_not_on_clean() {
+    let bad = lint_fixture("bad_panic.rs", "crates/serve/src/worker.rs");
+    // unwrap, expect, xs[0], panic!, unreachable!.
+    assert_eq!(count(&bad, Pass::PanicDiscipline), 5, "{bad:#?}");
+
+    let clean = lint_fixture("clean_panic.rs", "crates/serve/src/worker.rs");
+    assert!(clean.is_empty(), "{clean:#?}");
+}
+
+#[test]
+fn panic_discipline_only_covers_hot_path_crates() {
+    let src = fixture("bad_panic.rs");
+    assert!(lint_source("crates/fit/src/pipeline.rs", &src)
+        .iter()
+        .all(|f| f.pass != Pass::PanicDiscipline));
+}
+
+#[test]
+fn float_discipline_fires_on_bad_and_not_on_clean() {
+    let bad = lint_fixture("bad_float.rs", "crates/core/src/plan.rs");
+    // ==, !=, and the bare fma shape.
+    assert_eq!(count(&bad, Pass::FloatDiscipline), 3, "{bad:#?}");
+
+    let clean = lint_fixture("clean_float.rs", "crates/core/src/plan.rs");
+    assert!(clean.is_empty(), "{clean:#?}");
+}
+
+#[test]
+fn fma_rule_is_kernel_file_scoped() {
+    let src = fixture("bad_float.rs");
+    let elsewhere = lint_source("crates/core/src/model.rs", &src);
+    // The equality findings remain; the fma-shape finding is plan.rs-only.
+    assert_eq!(count(&elsewhere, Pass::FloatDiscipline), 2, "{elsewhere:#?}");
+}
+
+#[test]
+fn unsafe_and_atomics_audits_fire_on_bad_and_not_on_clean() {
+    let bad = lint_fixture("bad_unsafe_atomics.rs", "crates/par/src/queue.rs");
+    assert_eq!(count(&bad, Pass::UnsafeAudit), 1, "{bad:#?}");
+    assert_eq!(count(&bad, Pass::AtomicsAudit), 2, "{bad:#?}");
+
+    let clean = lint_fixture("clean_unsafe_atomics.rs", "crates/par/src/queue.rs");
+    assert!(clean.is_empty(), "{clean:#?}");
+}
+
+#[test]
+fn atomics_audit_only_covers_concurrency_crates() {
+    let src = fixture("bad_unsafe_atomics.rs");
+    let elsewhere = lint_source("crates/fit/src/pipeline.rs", &src);
+    assert_eq!(count(&elsewhere, Pass::AtomicsAudit), 0, "{elsewhere:#?}");
+    // unsafe-audit is workspace-wide, so that finding persists.
+    assert_eq!(count(&elsewhere, Pass::UnsafeAudit), 1, "{elsewhere:#?}");
+}
+
+#[test]
+fn pragma_hygiene_fires() {
+    let bad = lint_fixture("bad_pragma.rs", "crates/fit/src/pipeline.rs");
+    let pragma_findings: Vec<&Finding> =
+        bad.iter().filter(|f| f.pass == Pass::Pragma).collect();
+    // Unknown pass, missing reason, short reason, unused pragma.
+    assert_eq!(pragma_findings.len(), 4, "{bad:#?}");
+    assert!(pragma_findings.iter().any(|f| f.message.contains("unknown pass")));
+    assert!(pragma_findings.iter().any(|f| f.message.contains("waives nothing")));
+}
+
+#[test]
+fn findings_carry_policy_provenance_and_positions() {
+    let bad = lint_fixture("bad_no_raw_print.rs", "crates/fit/src/pipeline.rs");
+    let f = &bad[0];
+    assert_eq!(f.file, "crates/fit/src/pipeline.rs");
+    assert!(f.line >= 4, "positions are 1-based: {f:#?}");
+    assert!(f.col >= 1);
+    assert!(f.policy.contains("archline-obs"), "{f:#?}");
+}
+
+/// The self-check the CI gate relies on: the workspace itself lints clean,
+/// and every pragma in it is load-bearing (unused pragmas are findings, so
+/// zero findings also proves zero stale waivers).
+#[test]
+fn workspace_lints_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let (files, findings) = archline_lint::lint_workspace(&root).expect("walk workspace");
+    assert!(files > 100, "walker should see the whole workspace, saw {files}");
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean; findings:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("{}:{}:{} [{}] {}", f.file, f.line, f.col, f.pass.name(), f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

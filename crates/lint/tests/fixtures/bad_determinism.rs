@@ -1,0 +1,20 @@
+// Fixture: entropy and unordered maps in a seeded result path. Linted
+// under the virtual path crates/fit/src/estimator.rs.
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+pub fn fit(xs: &[f64]) -> f64 {
+    let t0 = Instant::now();
+    let _stamp = SystemTime::now();
+    let mut acc: HashMap<u64, f64> = HashMap::new();
+    for (i, x) in xs.iter().enumerate() {
+        acc.insert(i as u64, *x);
+    }
+    let rng = thread_rng();
+    let _ = rng;
+    t0.elapsed().as_secs_f64()
+}
+
+fn thread_rng() -> u64 {
+    0
+}

@@ -1,0 +1,8 @@
+// Fixture: float-discipline violations. Linted under the virtual path
+// crates/core/src/plan.rs so the mul_add kernel rule also applies.
+pub fn check(x: f64, y: f64, z: f64) -> bool {
+    let fma_shape = x * y + z;
+    let eq = x == 1.5;
+    let ne = y != 2.5e3;
+    eq || ne || fma_shape > 0.0
+}

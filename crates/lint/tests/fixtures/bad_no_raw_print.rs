@@ -1,0 +1,7 @@
+// Fixture: raw prints in library code. Linted under the virtual path
+// crates/fit/src/pipeline.rs (library scope, not the obs sink, not a bin).
+pub fn report(v: f64) {
+    println!("value = {v}");
+    eprint!("warning");
+    dbg!(v);
+}

@@ -1,0 +1,14 @@
+// Fixture: panic-discipline violations in a hot path. Linted under the
+// virtual path crates/serve/src/worker.rs.
+pub fn answer(v: Option<u32>, xs: &[u32]) -> u32 {
+    let a = v.unwrap();
+    let b = xs.first().copied().expect("nonempty");
+    let c = xs[0];
+    if a == 0 {
+        panic!("zero");
+    }
+    if b == 0 {
+        unreachable!();
+    }
+    a + b + c
+}

@@ -1,0 +1,10 @@
+// Fixture: pragma hygiene violations — unknown pass, missing reason, a
+// reason too short to justify anything, and an unused pragma.
+pub fn f(v: Option<u32>) -> u32 {
+    // lint:allow(no-such-pass, reason = "a perfectly long reason for a pass that does not exist")
+    let a = v.unwrap_or(0);
+    let b = a; // lint:allow(determinism)
+    let c = b; // lint:allow(determinism, reason = "short")
+    // lint:allow(panic-discipline, reason = "this pragma waives nothing and must be reported unused")
+    c + 1
+}

@@ -1,0 +1,12 @@
+// Fixture: an unjustified unsafe block and unjustified orderings. Linted
+// under the virtual path crates/par/src/queue.rs (atomics scope).
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static N: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() -> usize {
+    let p = &N as *const AtomicUsize;
+    let _alias = unsafe { &*p };
+    N.fetch_add(1, Ordering::SeqCst);
+    N.load(Ordering::Acquire)
+}

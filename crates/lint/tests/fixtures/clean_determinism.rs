@@ -1,0 +1,32 @@
+// Fixture: the lexer traps — banned names appear only in strings, doc
+// comments, and test code, plus one justified pragma on the next line.
+
+/// `Instant::now` in a doc comment is prose, and so is HashMap.
+pub fn fit(xs: &[f64]) -> f64 {
+    let banner = "Instant::now is only a string here; SystemTime too";
+    let _ = banner;
+    // The pragma below sits on a comment-only line and governs the next
+    // code line.
+    // lint:allow(determinism, reason = "bench-mode escape hatch: wall time feeds a log line, never a result")
+    let t = Instant::now();
+    xs.iter().sum::<f64>() + t
+}
+
+struct Instant;
+impl Instant {
+    fn now() -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hashmap_is_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.len(), 1);
+    }
+}

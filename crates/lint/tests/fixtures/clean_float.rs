@@ -1,0 +1,13 @@
+// Fixture: the float idioms that must stay legal — literal-zero sentinel
+// comparisons (in every spelling), mul_add, and a pragma'd canonical form.
+// Lints as crates/core/src/plan.rs, so the mul_add kernel rule is active.
+pub fn check(x: f64, y: f64, z: f64) -> f64 {
+    let sentinel = if x == 0.0 { 1.0 } else { 0.5 };
+    let also_zero = y != 0. && z == 0_0.0_0 && x != 0e9;
+    let fused = x.mul_add(y, z);
+    // lint:allow(float-discipline, reason = "canonical paper form kept bit-identical to the scalar reference path")
+    let canonical = x * y + z;
+    let scaled = fused * 2.0;
+    let shifted = canonical + 1.0;
+    sentinel + f64::from(u8::from(also_zero)) + scaled.max(shifted)
+}

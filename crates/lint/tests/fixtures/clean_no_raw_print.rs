@@ -1,0 +1,18 @@
+// Fixture: the tricky lexer cases that must NOT trip no-raw-print — the
+// macro names appear only inside strings, comments, and doc comments.
+// A commented-out println!("x") is not a print.
+
+/// Doc comments may say println!("like this") freely.
+pub fn report(v: f64) -> String {
+    let tmpl = "println!(\"not code\")";
+    let raw = r#"eprintln!("also not code")"#;
+    format!("{tmpl}{raw}{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_are_fine_in_tests() {
+        println!("test output is exempt");
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: panic-free hot path plus the lexer traps — `unwrap` in a doc
+// comment and in a string, unwrap_or_else (not the method), an array
+// type (not indexing), and a trailing-pragma'd expect.
+
+/// Never call `.unwrap()` here — this doc mention must not trip the pass.
+pub fn answer(v: Option<u32>, xs: &[u32]) -> Result<u32, String> {
+    let label = ".unwrap() in a string is not a call";
+    let _ = label;
+    let a = v.unwrap_or_else(|| 7);
+    let b = xs.first().copied().ok_or_else(|| "empty".to_string())?;
+    let _buf: [u32; 2] = [0, 0];
+    let c = v.expect("invariant") // lint:allow(panic-discipline, reason = "admission validates Some before this path is reachable")
+        ;
+    Ok(a + b + c)
+}

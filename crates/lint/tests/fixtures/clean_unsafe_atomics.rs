@@ -1,0 +1,17 @@
+// Fixture: justified unsafe and orderings, including a justification that
+// opens a multi-line comment block and one covering a short cluster.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static N: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() -> usize {
+    let p = &N as *const AtomicUsize;
+    // SAFETY: `p` is derived from a static immediately above and is never
+    // written through; the shared reference cannot dangle.
+    let _alias = unsafe { &*p };
+    // ordering: Relaxed — monotonic statistic, no dependent data; the
+    // load below only observes it.
+    // (A taller comment block between the marker and the site is fine.)
+    N.fetch_add(1, Ordering::Relaxed);
+    N.load(Ordering::Relaxed) // ordering: Relaxed — observational read.
+}

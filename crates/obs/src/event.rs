@@ -274,6 +274,8 @@ static SEQ: AtomicU64 = AtomicU64::new(1);
 
 /// Assigns the next sequence number.
 pub(crate) fn next_seq() -> u64 {
+    // ordering: Relaxed — uniqueness is the only contract; cross-thread
+    // sequence gaps are expected and consumers sort by (seq) per thread.
     SEQ.fetch_add(1, Ordering::Relaxed)
 }
 

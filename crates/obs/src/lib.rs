@@ -133,21 +133,27 @@ static TIMING: AtomicBool = AtomicBool::new(true);
 /// One relaxed load — this is the hot-path gate.
 #[inline]
 pub fn enabled(level: Level) -> bool {
+    // ordering: Relaxed — level gate with no dependent data; a stale read
+    // costs one extra (or one missed) event around a reconfiguration, and
+    // sink installs resync via the SINKS RwLock before events flow.
     level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
 }
 
 pub(crate) fn set_max_level(v: u8) {
+    // ordering: Relaxed — see `enabled`: standalone gate, no payload.
     MAX_LEVEL.store(v, Ordering::Relaxed);
 }
 
 /// Whether JSONL sinks include `dur_us`/`self_us` fields (default yes;
 /// `ARCHLINE_TRACE_TIMING=0` turns them off for byte-diffable traces).
 pub fn timing_fields() -> bool {
+    // ordering: Relaxed — standalone format flag; no dependent data.
     TIMING.load(Ordering::Relaxed)
 }
 
 /// Sets whether JSONL events carry wall-time duration fields.
 pub fn set_timing_fields(on: bool) {
+    // ordering: Relaxed — standalone format flag; no dependent data.
     TIMING.store(on, Ordering::Relaxed);
 }
 

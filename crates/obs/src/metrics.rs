@@ -37,6 +37,9 @@ impl Counter {
     #[inline]
     pub fn add(&'static self, n: u64) {
         self.once.call_once(|| with_registry(|r| r.counters.push(self)));
+        // ordering: Relaxed — monotonic statistic; snapshots tolerate
+        // torn cross-counter views, and no reader derives control flow
+        // from exact values.
         self.v.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -48,6 +51,7 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — observational read of a statistic.
         self.v.load(Ordering::Relaxed)
     }
 
@@ -75,17 +79,21 @@ impl Gauge {
     #[inline]
     pub fn set(&'static self, v: u64) {
         self.once.call_once(|| with_registry(|r| r.gauges.push(self)));
+        // ordering: Relaxed — last-value-wins statistic; `v` and `max` need
+        // no mutual ordering (max is monotone under fetch_max atomicity).
         self.v.store(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — observational read of a statistic.
         self.v.load(Ordering::Relaxed)
     }
 
     /// Highest value ever set.
     pub fn max(&self) -> u64 {
+        // ordering: Relaxed — observational read of a statistic.
         self.max.load(Ordering::Relaxed)
     }
 }
@@ -124,6 +132,9 @@ impl Histogram {
     pub fn record(&'static self, v: u64) {
         self.once.call_once(|| with_registry(|r| r.histograms.push(self)));
         let b = (64 - v.leading_zeros()) as usize; // 0 for v==0, else bit length
+        // ordering: Relaxed — per-cell statistics: a snapshot may observe a
+        // sample in `buckets` before `count`/`sum`, which the reporter
+        // tolerates (it never reconciles the cells against each other).
         self.buckets[b.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -131,10 +142,13 @@ impl Histogram {
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
+        // ordering: Relaxed — observational snapshot; cells are
+        // independent statistics (see `record`).
         let count = self.count.load(Ordering::Relaxed);
         let sum = self.sum.load(Ordering::Relaxed);
         let mut buckets = Vec::new();
         for (i, b) in self.buckets.iter().enumerate() {
+            // ordering: Relaxed — observational snapshot cell.
             let n = b.load(Ordering::Relaxed);
             if n > 0 {
                 // Inclusive upper bound of bucket i (values of bit length
@@ -147,6 +161,7 @@ impl Histogram {
             name: self.name.to_string(),
             count,
             sum,
+            // ordering: Relaxed — observational snapshot cell.
             max: self.max.load(Ordering::Relaxed),
             mean: if count > 0 { sum as f64 / count as f64 } else { 0.0 },
             buckets,

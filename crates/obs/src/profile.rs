@@ -34,11 +34,14 @@ pub struct ProfileEntry {
 /// Whether span timings are being folded into the profile.
 #[inline]
 pub fn profiling() -> bool {
+    // ordering: Relaxed — standalone on/off gate; the profile table itself
+    // is under a Mutex, which orders all recorded data.
     PROFILING.load(Ordering::Relaxed)
 }
 
 /// Turns profiling on or off (spans become live even with no sink).
 pub fn set_profiling(on: bool) {
+    // ordering: Relaxed — standalone gate, see `profiling`.
     PROFILING.store(on, Ordering::Relaxed);
 }
 

@@ -44,6 +44,8 @@ static SINKS: RwLock<Vec<(SinkId, Arc<dyn Sink>)>> = RwLock::new(Vec::new());
 static STDERR_LEVEL: AtomicU8 = AtomicU8::new(0);
 
 fn recompute_max_level() {
+    // ordering: Relaxed — verbosity byte with no dependent data; the sink
+    // list read below is ordered by its own RwLock.
     let mut max = STDERR_LEVEL.load(Ordering::Relaxed);
     if let Ok(sinks) = SINKS.read() {
         for (_, s) in sinks.iter() {
@@ -54,12 +56,15 @@ fn recompute_max_level() {
 }
 
 pub(crate) fn set_stderr_level(level: Option<Level>) {
+    // ordering: Relaxed — verbosity byte; a racing emit sees old-or-new,
+    // both valid snapshots.
     STDERR_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
     recompute_max_level();
 }
 
 /// Installs a sink; events start flowing to it immediately.
 pub fn install_sink(sink: Arc<dyn Sink>) -> SinkId {
+    // ordering: Relaxed — id allocator: uniqueness is the only contract.
     let id = SinkId(NEXT_SINK_ID.fetch_add(1, Ordering::Relaxed));
     SINKS.write().unwrap_or_else(|e| e.into_inner()).push((id, sink));
     recompute_max_level();
@@ -75,6 +80,7 @@ pub fn remove_sink(id: SinkId) {
 /// Fans one event out to stderr (if verbose enough) and every dynamic sink
 /// that wants it.
 pub(crate) fn broadcast(ev: &Event<'_>) {
+    // ordering: Relaxed — verbosity gate; old-or-new are both valid.
     if ev.level as u8 <= STDERR_LEVEL.load(Ordering::Relaxed) {
         emit_stderr(ev);
     }

@@ -64,6 +64,8 @@ pub fn span_with(
     if !emit && !crate::profile::profiling() {
         return Span { inner: None };
     }
+    // ordering: Relaxed — id allocator: uniqueness is the only contract;
+    // parent/child linkage is thread-local.
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     let parent = STACK.with(|s| {
         let mut s = s.borrow_mut();

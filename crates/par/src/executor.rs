@@ -164,6 +164,7 @@ impl Executor {
                 std::thread::Builder::new()
                     .name(format!("archline-exec-{i}"))
                     .spawn(move || worker_loop(shared, i))
+                    // lint:allow(panic-discipline, reason = "one-time construction, not the job path: if the OS cannot spawn worker threads there is no executor to degrade to")
                     .expect("spawn executor worker")
             })
             .collect();
@@ -189,8 +190,9 @@ impl Executor {
         match jobs.len() {
             0 => return,
             1 => {
-                let job = jobs.into_iter().next().expect("one job");
-                job();
+                if let Some(job) = jobs.into_iter().next() {
+                    job();
+                }
                 return;
             }
             _ => {}
@@ -217,19 +219,31 @@ impl Executor {
             Some(idx) => lock(&self.shared.queues[idx]).extend(tasks),
             None => lock(&self.shared.injector).extend(tasks),
         }
-        QUEUE_DEPTH.record(self.shared.queued.fetch_add(n, Ordering::SeqCst) as u64 + n as u64);
+        // ordering: Relaxed — `queued` is a sleep-gate hint, not a publication
+        // channel: tasks themselves are published by the deque/injector
+        // mutexes above, and sleepers re-check under `idle_lock` with a
+        // timeout backstop, so no ordering stronger than the counter's own
+        // atomicity is needed.
+        QUEUE_DEPTH.record(self.shared.queued.fetch_add(n, Ordering::Relaxed) as u64 + n as u64);
         {
             let _guard = lock(&self.shared.idle_lock);
             self.shared.idle_cv.notify_all();
         }
 
         // Join barrier: help drain any available work while waiting.
-        while batch.remaining.load(Ordering::SeqCst) != 0 {
+        // ordering: Acquire — pairs with the Release `fetch_sub` in
+        // `execute`; observing 0 synchronizes with every job's decrement
+        // (RMWs extend the release sequence), so all job effects are
+        // visible before the borrows captured by `erase` expire.
+        while batch.remaining.load(Ordering::Acquire) != 0 {
             if let Some(task) = find_task(&self.shared, me) {
                 execute(task);
             } else {
                 let guard = lock(&batch.done_lock);
-                if batch.remaining.load(Ordering::SeqCst) != 0 {
+                // ordering: Acquire — same pairing as the loop condition;
+                // re-checked under `done_lock` so the completion notify
+                // cannot slip between check and wait.
+                if batch.remaining.load(Ordering::Acquire) != 0 {
                     // Timeout guards against sleeping through work becoming
                     // stealable; completion itself is notified under the lock.
                     let _ = batch.done_cv.wait_timeout(guard, Duration::from_micros(200));
@@ -265,7 +279,10 @@ impl Executor {
             Some(idx) => lock(&self.shared.queues[idx]).push_back(Task { batch: None, job }),
             None => lock(&self.shared.injector).push_back(Task { batch: None, job }),
         }
-        QUEUE_DEPTH.record(self.shared.queued.fetch_add(1, Ordering::SeqCst) as u64 + 1);
+        // ordering: Relaxed — sleep-gate hint; the task is published by the
+        // deque/injector mutex above and sleepers re-check under `idle_lock`
+        // with a timeout backstop.
+        QUEUE_DEPTH.record(self.shared.queued.fetch_add(1, Ordering::Relaxed) as u64 + 1);
         let _guard = lock(&self.shared.idle_lock);
         self.shared.idle_cv.notify_all();
     }
@@ -273,7 +290,11 @@ impl Executor {
 
 impl Drop for Executor {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // ordering: Release — pairs with the workers' Acquire load so a
+        // worker that observes the flag also observes everything sequenced
+        // before the drop began; the `idle_lock` notify below guarantees no
+        // sleeping worker misses the transition.
+        self.shared.shutdown.store(true, Ordering::Release);
         {
             let _guard = lock(&self.shared.idle_lock);
             self.shared.idle_cv.notify_all();
@@ -311,10 +332,16 @@ fn worker_loop(shared: Arc<Shared>, idx: usize) {
             continue;
         }
         let guard = lock(&shared.idle_lock);
-        if shared.shutdown.load(Ordering::SeqCst) {
+        // ordering: Acquire — pairs with the Release store in `Drop` so the
+        // exiting worker sees all pre-shutdown writes.
+        if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        if shared.queued.load(Ordering::SeqCst) == 0 {
+        // ordering: Relaxed — hint only: submitters bump `queued` before
+        // notifying under `idle_lock`, so this check-then-wait cannot miss
+        // a wakeup, and the 10ms timeout backstops stealable work appearing
+        // without a notify.
+        if shared.queued.load(Ordering::Relaxed) == 0 {
             // Submitters notify under `idle_lock` after bumping `queued`,
             // so this check-then-wait cannot miss a wakeup; the timeout is
             // a backstop, not a correctness requirement.
@@ -329,12 +356,15 @@ fn worker_loop(shared: Arc<Shared>, idx: usize) {
 fn find_task(shared: &Shared, me: Option<usize>) -> Option<Task> {
     if let Some(idx) = me {
         if let Some(t) = lock(&shared.queues[idx]).pop_back() {
-            shared.queued.fetch_sub(1, Ordering::SeqCst);
+            // ordering: Relaxed — sleep-gate hint; the task was received
+            // through the deque mutex, which is the publication channel.
+            shared.queued.fetch_sub(1, Ordering::Relaxed);
             return Some(t);
         }
     }
     if let Some(t) = lock(&shared.injector).pop_front() {
-        shared.queued.fetch_sub(1, Ordering::SeqCst);
+        // ordering: Relaxed — sleep-gate hint; publication is the mutex.
+        shared.queued.fetch_sub(1, Ordering::Relaxed);
         INJECTOR_POPS.inc();
         return Some(t);
     }
@@ -346,7 +376,8 @@ fn find_task(shared: &Shared, me: Option<usize>) -> Option<Task> {
             continue;
         }
         if let Some(t) = lock(&shared.queues[victim]).pop_front() {
-            shared.queued.fetch_sub(1, Ordering::SeqCst);
+            // ordering: Relaxed — sleep-gate hint; publication is the mutex.
+            shared.queued.fetch_sub(1, Ordering::Relaxed);
             STEALS.inc();
             return Some(t);
         }
@@ -379,7 +410,12 @@ fn execute(task: Task) {
             *slot = Some(payload);
         }
     }
-    if batch.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+    // ordering: Release — publishes this job's effects to the joiner, whose
+    // Acquire load of 0 synchronizes with the whole decrement chain (each
+    // RMW extends the release sequence); Acquire on the ==1 path is not
+    // needed because the last decrementer only notifies, it does not read
+    // other jobs' data.
+    if batch.remaining.fetch_sub(1, Ordering::Release) == 1 {
         let _guard = lock(&batch.done_lock);
         batch.done_cv.notify_all();
     }

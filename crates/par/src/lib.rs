@@ -50,7 +50,9 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// positive integer, otherwise the machine's available parallelism
 /// (minimum 1).
 pub fn num_threads() -> usize {
-    let pinned = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    // ordering: Relaxed — a standalone configuration word with no dependent
+    // data; set_num_threads rejects changes once the executor exists.
+    let pinned = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if pinned > 0 {
         return pinned;
     }
@@ -79,7 +81,8 @@ pub fn set_num_threads(n: usize) -> Result<(), String> {
                 .into(),
         );
     }
-    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+    // ordering: Relaxed — standalone configuration word, see num_threads.
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
     Ok(())
 }
 

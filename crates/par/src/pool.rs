@@ -65,18 +65,29 @@ impl ThreadPool {
 
     /// Number of submitted-but-unfinished jobs.
     pub fn pending(&self) -> usize {
-        self.shared.pending.load(Ordering::SeqCst)
+        // ordering: Relaxed — observational gauge for callers; waiters use
+        // `drain`, whose Acquire load carries the happens-before edge.
+        self.shared.pending.load(Ordering::Relaxed)
     }
 
     /// Submits a job for execution on the global executor.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
-        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        // ordering: Relaxed — the increment only needs to be atomic and to
+        // precede the enqueue in this thread's program order; publication of
+        // the job is the executor's queue mutex.
+        self.shared.pending.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::clone(&self.shared);
         Executor::global().spawn_detached(Box::new(move || {
             if catch_unwind(AssertUnwindSafe(job)).is_err() {
-                shared.panics.fetch_add(1, Ordering::SeqCst);
+                // ordering: Relaxed — ordered against the waiter by the
+                // Release decrement of `pending` just below, which happens
+                // after this increment in program order.
+                shared.panics.fetch_add(1, Ordering::Relaxed);
             }
-            if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // ordering: Release — publishes the job's effects (including a
+            // panic count bump) to `drain`'s Acquire load of 0; RMWs extend
+            // the release sequence across all finishing jobs.
+            if shared.pending.fetch_sub(1, Ordering::Release) == 1 {
                 let _guard = lock(&shared.idle_lock);
                 shared.idle_cv.notify_all();
             }
@@ -90,17 +101,23 @@ impl ThreadPool {
     /// Panics if any job panicked since the last `wait_idle`.
     pub fn wait_idle(&self) {
         self.drain();
-        let panics = self.shared.panics.swap(0, Ordering::SeqCst);
+        // ordering: Relaxed — reading after `drain` returned, so every
+        // job's Release decrement already happened-before this point.
+        let panics = self.shared.panics.swap(0, Ordering::Relaxed);
         assert!(panics == 0, "{panics} pool job(s) panicked");
     }
 
     fn drain(&self) {
-        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+        // ordering: Acquire — pairs with the Release decrement in the job
+        // wrapper; observing 0 synchronizes with every finished job.
+        while self.shared.pending.load(Ordering::Acquire) != 0 {
             if Executor::global().help_one() {
                 continue;
             }
             let guard = lock(&self.shared.idle_lock);
-            if self.shared.pending.load(Ordering::SeqCst) != 0 {
+            // ordering: Acquire — same pairing, re-checked under `idle_lock`
+            // so the completion notify cannot slip between check and wait.
+            if self.shared.pending.load(Ordering::Acquire) != 0 {
                 let _ = self.shared.idle_cv.wait_timeout(guard, Duration::from_micros(500));
             }
         }

@@ -49,7 +49,11 @@ where
     let ranges = split_ranges(len, num_threads());
     match ranges.len() {
         0 => {}
-        1 => f(ranges.into_iter().next().expect("one range")),
+        1 => {
+            if let Some(r) = ranges.into_iter().next() {
+                f(r);
+            }
+        }
         _ => {
             let f = &f;
             let jobs: Vec<Job<'_>> =
@@ -86,6 +90,7 @@ where
             .collect();
         Executor::global().run_batch(jobs);
     }
+    // lint:allow(panic-discipline, reason = "run_batch is a completion barrier: every chunk slot is filled or the batch re-raised a job panic, so None here is the executor lying")
     pieces.into_iter().flat_map(|p| p.expect("chunk completed")).collect()
 }
 
@@ -125,6 +130,7 @@ where
     }
     partials
         .into_iter()
+        // lint:allow(panic-discipline, reason = "run_batch is a completion barrier: every partial is filled or the batch re-raised a job panic, so None here is the executor lying")
         .map(|p| p.expect("chunk completed"))
         .fold(identity, reduce)
 }
@@ -156,6 +162,9 @@ where
         let jobs: Vec<Job<'_>> = (0..threads)
             .map(|_| {
                 Box::new(move || loop {
+                    // ordering: Relaxed — the RMW's atomicity alone
+                    // partitions the index space; workers touch disjoint
+                    // chunks and run_batch is the join barrier.
                     let start = next.fetch_add(grain, std::sync::atomic::Ordering::Relaxed);
                     if start >= len {
                         break;

@@ -184,6 +184,7 @@ pub fn network_erosion() -> Result<NetworkErosion, ArtifactError> {
     }
     let break_even_watts = points
         .iter()
+        // lint:allow(float-discipline, reason = "selects the 0.9 row of the efficiency grid; the literal is propagated verbatim from the grid constant, never computed")
         .filter(|p| p.bandwidth_efficiency == 0.9 && p.bandwidth_advantage < 1.0)
         .map(|p| p.per_node_watts)
         .fold(None, |acc: Option<f64>, w| Some(acc.map_or(w, |a| a.min(w))));

@@ -111,6 +111,7 @@ pub fn render(report: &Fig6Report) -> String {
     for p in &report.panels {
         out.push_str(&format!("\n{}\n", p.name));
         for c in &p.curves {
+            // lint:allow(float-discipline, reason = "throttle factor is propagated verbatim from the paper_factors literal table, never computed")
             let label = if c.factor == 1.0 { "Full".to_string() } else { format!("1/{}", c.factor as u32) };
             let mut cells = Vec::new();
             for target in [0.25, 2.0, 16.0, 128.0] {

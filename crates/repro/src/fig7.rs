@@ -112,6 +112,7 @@ pub fn render(report: &Fig7Report) -> String {
     ]);
     for p in &report.panels {
         for &(k, _) in &p.curves {
+            // lint:allow(float-discipline, reason = "throttle factor is propagated verbatim from the paper_factors literal table, never computed")
             let label = if k == 1.0 { "Full".to_string() } else { format!("1/{}", k as u32) };
             t.row(vec![
                 p.name.clone(),

@@ -168,13 +168,15 @@ fn main() {
     let result = serve_tcp(listener, server.handle(), allow_shutdown, Arc::clone(&stop));
     let handle = server.shutdown();
     let stats = handle.stats();
+    // ordering: Relaxed — post-shutdown statistics reads: the worker joins
+    // in `shutdown()` already happened-before this point.
+    let accepted = stats.accepted.load(std::sync::atomic::Ordering::Relaxed);
+    let completed = stats.completed.load(std::sync::atomic::Ordering::Relaxed);
+    let shed = stats.shed.load(std::sync::atomic::Ordering::Relaxed);
+    let failed = stats.failed.load(std::sync::atomic::Ordering::Relaxed);
     obs::info!(
         "serve",
-        "serve: done (accepted {}, completed {}, shed {}, failed {})",
-        stats.accepted.load(std::sync::atomic::Ordering::Relaxed),
-        stats.completed.load(std::sync::atomic::Ordering::Relaxed),
-        stats.shed.load(std::sync::atomic::Ordering::Relaxed),
-        stats.failed.load(std::sync::atomic::Ordering::Relaxed)
+        "serve: done (accepted {accepted}, completed {completed}, shed {shed}, failed {failed})",
     );
     obs::flush();
     if let Err(e) = result {

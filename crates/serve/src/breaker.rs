@@ -90,7 +90,9 @@ impl Breaker {
     /// [`Self::admit`], so this can report `Open` with an expired
     /// cooldown).
     pub fn state(&self) -> BreakerState {
-        match self.state.load(Ordering::Acquire) {
+        // ordering: Relaxed — observational read; every datum the state
+        // guards (`opened_at`) is behind its own mutex.
+        match self.state.load(Ordering::Relaxed) {
             OPEN => BreakerState::Open,
             HALF_OPEN => BreakerState::HalfOpen,
             _ => BreakerState::Closed,
@@ -102,7 +104,10 @@ impl Breaker {
     /// cooldown has elapsed, the first caller flips Open→HalfOpen and is
     /// admitted as the probe.
     pub fn admit(&self) -> bool {
-        match self.state.load(Ordering::Acquire) {
+        // ordering: Relaxed — the hot (closed) path reads only the state
+        // byte; `opened_at` is mutex-ordered on the open path, and a racy
+        // not-yet-written None is handled below by `unwrap_or(true)`.
+        match self.state.load(Ordering::Relaxed) {
             CLOSED | HALF_OPEN => true,
             _ => {
                 let elapsed = {
@@ -114,6 +119,9 @@ impl Breaker {
                 }
                 // One winner flips to half-open and carries the probe;
                 // losers stay rejected until the probe resolves.
+                // ordering: AcqRel — cold-path transition: atomicity picks
+                // the single probe winner; the conservative edge keeps all
+                // state transitions totally ordered at zero hot-path cost.
                 let won = self
                     .state
                     .compare_exchange(OPEN, HALF_OPEN, Ordering::AcqRel, Ordering::Acquire)
@@ -128,7 +136,11 @@ impl Breaker {
 
     /// Records a successful evaluation outcome.
     pub fn on_success(&self) {
-        self.consecutive_failures.store(0, Ordering::Release);
+        // ordering: Relaxed — standalone saturation counter; the trip
+        // decision in on_failure reads only this one cell.
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        // ordering: AcqRel — cold-path transition, kept totally ordered
+        // with the other state edges (atomicity alone decides the winner).
         if self
             .state
             .compare_exchange(HALF_OPEN, CLOSED, Ordering::AcqRel, Ordering::Acquire)
@@ -141,13 +153,20 @@ impl Breaker {
     /// Records a failed evaluation outcome; trips Closed→Open at the
     /// threshold and re-opens a failed half-open probe.
     pub fn on_failure(&self) {
-        let failures = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
-        let state = self.state.load(Ordering::Acquire);
+        // ordering: Relaxed — RMW atomicity gives each failure a distinct
+        // count; exactly one caller observes the threshold value.
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        // ordering: Relaxed — advisory read; the CAS below re-validates
+        // the transition it picks.
+        let state = self.state.load(Ordering::Relaxed);
         let (from, counter) = match state {
             HALF_OPEN => (HALF_OPEN, &REOPENS),
             CLOSED if failures >= self.trip_threshold => (CLOSED, &TRIPS),
             _ => return,
         };
+        // ordering: AcqRel — cold-path transition, kept totally ordered
+        // with the other state edges; `opened_at` is published by its
+        // mutex, not by this CAS.
         if self.state.compare_exchange(from, OPEN, Ordering::AcqRel, Ordering::Acquire).is_ok() {
             *self.opened_at.lock().unwrap_or_else(|e| e.into_inner()) = Some(Instant::now());
             counter.inc();

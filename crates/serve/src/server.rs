@@ -172,11 +172,15 @@ pub struct ServeStats {
 
 impl ServeStats {
     fn bump(counter: &AtomicU64) {
+        // ordering: Relaxed — admission statistics; readers take snapshots
+        // and tolerate torn cross-counter views.
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Mean requests per kernel batch so far (0 when no batch ran).
     pub fn mean_batch_occupancy(&self) -> f64 {
+        // ordering: Relaxed — observational statistic reads; the ratio is
+        // approximate by nature while workers are running.
         let b = self.batches.load(Ordering::Relaxed);
         if b == 0 {
             0.0
@@ -350,6 +354,10 @@ impl Server {
     /// completes and is answered), joins the workers, and returns a
     /// handle for post-drain stats inspection.
     pub fn shutdown(mut self) -> ServeHandle {
+        // ordering: Release — pairs with the admission path's Acquire
+        // loads: an admitter that observes the closed flag also observes
+        // every write sequenced before shutdown began. One-time
+        // transition, so the stronger-than-strictly-needed edge is free.
         self.inner.accepting.store(false, Ordering::Release);
         for shard in &self.inner.shards {
             // Dropping the original sender disconnects the channel once
@@ -393,6 +401,7 @@ impl ServeHandle {
 
     /// Still accepting new work?
     pub fn is_accepting(&self) -> bool {
+        // ordering: Acquire — pairs with the Release store in `shutdown`.
         self.inner.accepting.load(Ordering::Acquire)
     }
 
@@ -450,6 +459,8 @@ impl ServeHandle {
     fn admit(&self, req: Request, reply: &mpsc::Sender<Response>) -> Result<(), Response> {
         let inner = &self.inner;
         let id = req.id;
+        // ordering: Acquire — pairs with the Release store in `shutdown`;
+        // admission after the flag flips must see the drained senders.
         if !inner.accepting.load(Ordering::Acquire) {
             ServeStats::bump(&inner.stats.shutdown_rejected);
             return Err(Response::reject(id, Reject::ShuttingDown));
@@ -534,7 +545,10 @@ impl ServeHandle {
             Ok(()) => {
                 ServeStats::bump(&inner.stats.accepted);
                 ACCEPTED.inc();
-                QUEUE_DEPTH.set(inner.depth.fetch_add(1, Ordering::AcqRel) + 1);
+                // ordering: Relaxed — `depth` is gauge accounting for the
+                // QUEUE_DEPTH metric; the request itself is published by
+                // the channel send above, so the RMW needs only atomicity.
+                QUEUE_DEPTH.set(inner.depth.fetch_add(1, Ordering::Relaxed) + 1);
                 Ok(())
             }
             Err(TrySendError::Full(_)) => {
@@ -630,9 +644,12 @@ fn worker_loop(inner: Arc<Inner>, shard_idx: usize, rx: Receiver<Pending>) {
             }
         }
         let taken = batch.len() as u64;
+        // ordering: Relaxed — gauge arithmetic only: the batch contents
+        // came through the channel receive, which is the publication
+        // channel; the saturating decrement needs only RMW atomicity.
         let depth = inner
             .depth
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |d| Some(d.saturating_sub(taken)))
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| Some(d.saturating_sub(taken)))
             .unwrap_or(taken);
         QUEUE_DEPTH.set(depth.saturating_sub(taken));
         process_batch(&inner, shard_idx, batch);
@@ -648,6 +665,7 @@ fn process_batch(inner: &Inner, shard_idx: usize, batch: Vec<Pending>) {
         &[field("shard", shard_idx), field("n", batch.len())],
     );
     ServeStats::bump(&inner.stats.batches);
+    // ordering: Relaxed — occupancy statistic; see ServeStats::bump.
     inner.stats.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
     BATCH_OCCUPANCY.record(batch.len() as u64);
 
@@ -679,7 +697,8 @@ fn process_batch(inner: &Inner, shard_idx: usize, batch: Vec<Pending>) {
     }
     let mut plans: HashMap<u64, RooflinePlan> = HashMap::new();
     for (key, group) in groups {
-        let plan = *plans.entry(key).or_insert_with(|| RooflinePlan::new(group[0].params));
+        let Some(first_params) = group.first().map(|p| p.params) else { continue };
+        let plan = *plans.entry(key).or_insert_with(|| RooflinePlan::new(first_params));
         process_group(inner, shard_idx, &plan, group);
     }
 }
@@ -819,10 +838,13 @@ fn evaluate_group(
     // and the server refuses to return answers that fail verification.
     let mut corrupted = vec![false; group.len()];
     if n > 0 {
-        if let Some((_, fault_plan)) =
-            inner.config.inject.iter().find(|(name, _)| *name == group[0].platform)
-        {
-            let rotation = inner.injections_applied.fetch_add(1, Ordering::AcqRel);
+        if let Some((_, fault_plan)) = group.first().and_then(|first| {
+            inner.config.inject.iter().find(|(name, _)| *name == first.platform)
+        }) {
+            // ordering: Relaxed — the counter only needs to hand each
+            // batch a distinct rotation for seed derivation; no other
+            // shared data rides on it.
+            let rotation = inner.injections_applied.fetch_add(1, Ordering::Relaxed);
             let rotated = FaultPlan::new(
                 fault_plan
                     .specs
@@ -871,19 +893,28 @@ fn evaluate_group(
             // Skip the span bookkeeping for corrupted evals below.
         }
         let result = match &p.query {
-            Query::Eval { .. } => {
-                let &(_, start, len) = span_iter.next().expect("span per eval");
-                if corrupted[gi] {
-                    Err("fault-injected corruption detected by result verification".to_string())
-                } else {
-                    Ok(QueryResult::Eval {
-                        time: time[start..start + len].to_vec(),
-                        energy: energy[start..start + len].to_vec(),
-                        power: power[start..start + len].to_vec(),
-                        regime: regime[start..start + len].iter().map(|r| r.letter()).collect(),
-                    })
+            Query::Eval { .. } => match span_iter.next() {
+                // One span per eval is established in phase 1; running dry
+                // here is a bookkeeping bug and surfaces as a per-request
+                // error, not a worker panic.
+                None => Err("internal: eval span bookkeeping out of sync".to_string()),
+                Some(&(_, start, len)) => {
+                    if corrupted[gi] {
+                        Err("fault-injected corruption detected by result verification"
+                            .to_string())
+                    } else {
+                        Ok(QueryResult::Eval {
+                            time: time[start..start + len].to_vec(),
+                            energy: energy[start..start + len].to_vec(),
+                            power: power[start..start + len].to_vec(),
+                            regime: regime[start..start + len]
+                                .iter()
+                                .map(|r| r.letter())
+                                .collect(),
+                        })
+                    }
                 }
-            }
+            },
             Query::Sweep { metric, lo, hi, points } => {
                 let xs = sample_intensities(*lo, *hi, *points);
                 let mut out = vec![0.0; xs.len()];
@@ -894,21 +925,29 @@ fn evaluate_group(
                 }
                 Ok(QueryResult::Sweep { intensity: xs, value: out })
             }
-            Query::Crossover { metric, lo, hi, grid, .. } => {
-                let other = p.other_params.expect("crossover resolved at admission");
-                let a = EnergyRoofline::new(p.params);
-                let b = EnergyRoofline::new(other);
-                let core_metric = match metric {
-                    SweepMetric::Power => Metric::Power,
-                    SweepMetric::Perf => Metric::Performance,
-                    SweepMetric::EnergyEff => Metric::EnergyEfficiency,
-                };
-                let crossings = crossovers(&a, &b, core_metric, *lo, *hi, *grid)
-                    .into_iter()
-                    .map(|c| (c.intensity, c.a_leads_below))
-                    .collect();
-                Ok(QueryResult::Crossover { crossings })
-            }
+            Query::Crossover { metric, lo, hi, grid, .. } => match p.other_params {
+                // Admission resolves the comparison platform before the
+                // request reaches a shard; a missing resolution is an
+                // admission bug and fails this request only.
+                None => Err(
+                    "internal: crossover admitted without resolved comparison params"
+                        .to_string(),
+                ),
+                Some(other) => {
+                    let a = EnergyRoofline::new(p.params);
+                    let b = EnergyRoofline::new(other);
+                    let core_metric = match metric {
+                        SweepMetric::Power => Metric::Power,
+                        SweepMetric::Perf => Metric::Performance,
+                        SweepMetric::EnergyEff => Metric::EnergyEfficiency,
+                    };
+                    let crossings = crossovers(&a, &b, core_metric, *lo, *hi, *grid)
+                        .into_iter()
+                        .map(|c| (c.intensity, c.a_leads_below))
+                        .collect();
+                    Ok(QueryResult::Crossover { crossings })
+                }
+            },
         };
         results.push(result);
     }

@@ -39,6 +39,9 @@ pub fn serve_tcp(
     let local = listener.local_addr()?;
     obs::info!("serve", "serve: listening on {local}");
     for stream in listener.incoming() {
+        // ordering: Acquire — pairs with the Release store in the shutdown
+        // command handler; the exiting loop must observe everything the
+        // requesting connection wrote before asking to stop.
         if shutdown.load(Ordering::Acquire) {
             break;
         }
@@ -59,6 +62,7 @@ pub fn serve_tcp(
             }
             // Unblock the accept loop so a requested shutdown takes
             // effect without waiting for another client.
+            // ordering: Acquire — same pairing as the accept-loop check.
             if shutdown.load(Ordering::Acquire) {
                 let _ = TcpStream::connect(local);
             }
@@ -104,6 +108,8 @@ fn handle_connection(
             Ok(WireMsg::Stats) => Out::Line(stats_line(handle)),
             Ok(WireMsg::Shutdown) => {
                 if allow_shutdown {
+                    // ordering: Release — pairs with the accept loop's
+                    // Acquire load; one-time transition.
                     shutdown.store(true, Ordering::Release);
                     let _ = tx.send(Out::Line(control_line("shutting_down", &[])));
                     break;
@@ -145,6 +151,7 @@ fn control_line(kind: &str, extra: &[(&str, Value)]) -> String {
 
 fn stats_line(handle: &ServeHandle) -> String {
     let s = handle.stats();
+    // ordering: Relaxed — observational statistics snapshot.
     let load = |c: &std::sync::atomic::AtomicU64| Value::from(c.load(Ordering::Relaxed));
     let breakers: Vec<Value> = (0..handle.num_shards())
         .map(|i| Value::from(handle.breaker_state(i).name()))

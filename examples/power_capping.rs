@@ -39,6 +39,7 @@ fn main() {
     for ((k, model), (_, reduction)) in scenario.models().into_iter().zip(scenario.power_reduction()) {
         println!(
             "{:>5}  {:>10}  {:>9.2}x  {:>14}  {:>14}",
+            // lint:allow(float-discipline, reason = "throttle factor is propagated verbatim from the paper_factors literal table, never computed")
             if k == 1.0 { "full".to_string() } else { format!("1/{}", k as u32) },
             format!("{:.1} W", model.params().const_power + model.params().cap.watts()),
             reduction,
@@ -81,6 +82,7 @@ fn main() {
         let eff = |i: f64| format_si(EnergyRoofline::new(*model.params()).energy_eff_at(i), "flop/J");
         println!(
             "{:>5}  {:>12}  {:>12}  {:>12}",
+            // lint:allow(float-discipline, reason = "throttle factor is propagated verbatim from the paper_factors literal table, never computed")
             if k == 1.0 { "full".to_string() } else { format!("1/{}", k as u32) },
             eff(0.25),
             eff(4.0),
