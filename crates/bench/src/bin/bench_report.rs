@@ -1,5 +1,5 @@
 //! `bench_report` — measures the batch-evaluation speedups and writes
-//! `BENCH_model.json` (schema v4, see [`archline_bench::BENCH_SCHEMA_VERSION`])
+//! `BENCH_model.json` (schema v5, see [`archline_bench::BENCH_SCHEMA_VERSION`])
 //! into the current directory (the repo root in CI).
 //!
 //! Per batch kernel (`avg_power`, `time_energy`, the fused `evaluate`,
@@ -22,7 +22,7 @@
 
 use std::fmt::Write as _;
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use archline_bench::{prior_schema_warning, BENCH_SCHEMA_VERSION};
 use archline_serve::{Query, Request, ServeConfig, Server};
@@ -125,58 +125,91 @@ impl Sweep {
     }
 }
 
-/// What the in-process archline-serve engine measures for the report.
-struct ServeBench {
-    clients: usize,
-    queries: usize,
-    queries_per_sec: f64,
-    latency_p50_us: f64,
-    latency_p99_us: f64,
-    mean_batch_occupancy: f64,
-    overload_submitted: usize,
-    overload_shed: u64,
-}
+/// Platforms the serve benchmarks spread their clients across, the way a
+/// mixed query stream would.
+const SERVE_PLATFORMS: [&str; 4] = ["GTX Titan", "Desktop CPU", "NUC CPU", "GTX 680"];
 
-/// Drives an in-process archline-serve engine two ways: closed-loop
-/// concurrent clients for throughput and latency, then a deliberate
-/// open-loop burst against a small queue for the shed rate (a shed rate
-/// of zero would mean admission control never engaged — the burst makes
-/// the bounded-queue path part of the measured surface).
-fn serve_bench() -> ServeBench {
-    const CLIENTS: usize = 4;
-    const QUERIES_PER_CLIENT: usize = 2_000;
-    const EVAL_POINTS: usize = 64;
+/// Points per serve-bench eval query.
+const SERVE_EVAL_POINTS: usize = 64;
 
-    let request = |id: u64, platform: &str| Request {
+fn serve_request(id: u64, platform: &str) -> Request {
+    Request {
         id,
         platform: platform.to_string(),
         double_precision: false,
         cap: None,
         deadline_ms: None,
         query: Query::Eval {
-            flops: (1..=EVAL_POINTS).map(|i| 1e9 * i as f64).collect(),
-            bytes: (1..=EVAL_POINTS).map(|i| 2e8 * i as f64).collect(),
+            flops: (1..=SERVE_EVAL_POINTS).map(|i| 1e9 * i as f64).collect(),
+            bytes: (1..=SERVE_EVAL_POINTS).map(|i| 2e8 * i as f64).collect(),
         },
-    };
+    }
+}
 
-    // Phase 1: throughput + latency, closed loop. Four platforms spread
-    // the clients across shards the way a mixed query stream would.
+/// One closed-loop run's numbers.
+struct ClosedLoop {
+    clients: usize,
+    depth: usize,
+    queries: usize,
+    queries_per_sec: f64,
+    latency_p50_us: f64,
+    latency_p99_us: f64,
+    mean_batch_occupancy: f64,
+    window_holds: u64,
+    plan_cache_hits: u64,
+    plan_cache_misses: u64,
+    plan_cache_evictions: u64,
+    plan_cache_hit_rate: f64,
+}
+
+/// One arrival rate of the open-loop sweep.
+struct OpenLoopPoint {
+    offered_qps: f64,
+    achieved_qps: f64,
+    mean_batch_occupancy: f64,
+    latency_p99_us: f64,
+    shed_rate: f64,
+}
+
+/// What the in-process archline-serve engine measures for the report.
+struct ServeBench {
+    headline: ClosedLoop,
+    depth1: ClosedLoop,
+    open_loop: Vec<OpenLoopPoint>,
+    overload_submitted: usize,
+    overload_shed: u64,
+}
+
+/// Closed-loop clients, each keeping `depth` requests in flight (pipelined
+/// submit-then-drain bursts). `depth = 1` is the strict one-at-a-time mode
+/// schema v4 reported; deeper pipelines are what give the admission window
+/// something to coalesce.
+fn serve_closed_loop(clients: usize, depth: usize, queries_per_client: usize) -> ClosedLoop {
     let server = Server::start(ServeConfig::default()).expect("serve engine");
     let handle = server.handle();
-    let platforms = ["GTX Titan", "Desktop CPU", "NUC CPU", "GTX 680"];
     let start = Instant::now();
     let mut latencies: Vec<u64> = std::thread::scope(|s| {
-        let threads: Vec<_> = (0..CLIENTS)
+        let threads: Vec<_> = (0..clients)
             .map(|c| {
                 let handle = handle.clone();
-                let platform = platforms[c % platforms.len()];
+                let platform = SERVE_PLATFORMS[c % SERVE_PLATFORMS.len()];
                 s.spawn(move || {
-                    let mut lat = Vec::with_capacity(QUERIES_PER_CLIENT);
-                    for q in 0..QUERIES_PER_CLIENT {
-                        let t0 = Instant::now();
-                        let resp = handle.query(request((c * QUERIES_PER_CLIENT + q) as u64, platform));
-                        assert!(resp.result.is_ok(), "bench query rejected: {:?}", resp.result);
-                        lat.push(t0.elapsed().as_micros() as u64);
+                    let mut lat = Vec::with_capacity(queries_per_client);
+                    let mut q = 0;
+                    while q < queries_per_client {
+                        let burst = depth.min(queries_per_client - q);
+                        let pending: Vec<(Instant, _)> = (0..burst)
+                            .map(|i| {
+                                let id = (c * queries_per_client + q + i) as u64;
+                                (Instant::now(), handle.submit(serve_request(id, platform)))
+                            })
+                            .collect();
+                        for (t0, t) in pending {
+                            let resp = t.wait();
+                            assert!(resp.result.is_ok(), "bench query rejected: {:?}", resp.result);
+                            lat.push(t0.elapsed().as_micros() as u64);
+                        }
+                        q += burst;
                     }
                     lat
                 })
@@ -186,12 +219,107 @@ fn serve_bench() -> ServeBench {
     });
     let secs = start.elapsed().as_secs_f64();
     let after = server.shutdown();
-    let occupancy = after.stats().mean_batch_occupancy();
+    let stats = after.stats();
     latencies.sort_unstable();
     let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize] as f64;
+    let load = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+    ClosedLoop {
+        clients,
+        depth,
+        queries: clients * queries_per_client,
+        queries_per_sec: (clients * queries_per_client) as f64 / secs,
+        latency_p50_us: pct(0.50),
+        latency_p99_us: pct(0.99),
+        mean_batch_occupancy: stats.mean_batch_occupancy(),
+        window_holds: load(&stats.window_holds),
+        plan_cache_hits: load(&stats.plan_cache_hits),
+        plan_cache_misses: load(&stats.plan_cache_misses),
+        plan_cache_evictions: load(&stats.plan_cache_evictions),
+        plan_cache_hit_rate: stats.plan_cache_hit_rate(),
+    }
+}
 
-    // Phase 2: shed rate under deliberate overload (tiny queue, slow
-    // worker batches, open-loop burst).
+/// Open loop at a fixed arrival rate: a submitter paces bursts on a 1 ms
+/// tick regardless of completions (so queueing, shedding, and deadline
+/// pressure are the system's problem, not the client's), while a collector
+/// drains tickets in submission order. Reported latency is client-observed
+/// (submit to collected answer) — an honest upper bound under pipelining.
+fn serve_open_loop(rate: f64) -> OpenLoopPoint {
+    const TICK: Duration = Duration::from_millis(1);
+    const DURATION_SECS: f64 = 0.4;
+    let server = Server::start(ServeConfig::default()).expect("serve engine");
+    let handle = server.handle();
+    let total = (rate * DURATION_SECS) as usize;
+    let per_tick = ((rate * TICK.as_secs_f64()) as usize).max(1);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let start = Instant::now();
+    let (completed, mut latencies): (u64, Vec<u64>) = std::thread::scope(|s| {
+        let submit_handle = handle.clone();
+        s.spawn(move || {
+            let mut sent = 0usize;
+            let mut tick_idx = 0u32;
+            while sent < total {
+                let burst = per_tick.min(total - sent);
+                for i in 0..burst {
+                    let id = (sent + i) as u64;
+                    let platform = SERVE_PLATFORMS[(sent + i) % SERVE_PLATFORMS.len()];
+                    let ticket = submit_handle.submit(serve_request(id, platform));
+                    if tx.send((Instant::now(), ticket)).is_err() {
+                        return;
+                    }
+                }
+                sent += burst;
+                tick_idx += 1;
+                if let Some(d) =
+                    (start + TICK * tick_idx).checked_duration_since(Instant::now())
+                {
+                    std::thread::sleep(d);
+                }
+            }
+        });
+        let mut completed = 0u64;
+        let mut lat = Vec::with_capacity(total);
+        for (t0, ticket) in rx {
+            if ticket.wait().result.is_ok() {
+                completed += 1;
+                lat.push(t0.elapsed().as_micros() as u64);
+            }
+        }
+        (completed, lat)
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let after = server.shutdown();
+    let stats = after.stats();
+    latencies.sort_unstable();
+    let p99 = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies[((latencies.len() - 1) as f64 * 0.99) as usize] as f64
+    };
+    let shed = stats.shed.load(std::sync::atomic::Ordering::Relaxed);
+    OpenLoopPoint {
+        offered_qps: rate,
+        achieved_qps: completed as f64 / secs,
+        mean_batch_occupancy: stats.mean_batch_occupancy(),
+        latency_p99_us: p99,
+        shed_rate: shed as f64 / (total as f64).max(1.0),
+    }
+}
+
+/// Drives an in-process archline-serve engine four ways: a pipelined
+/// closed loop (the headline — concurrent load the admission window can
+/// coalesce into wide kernel passes), the strict depth-1 closed loop
+/// schema v4 reported (continuity), an open-loop arrival-rate sweep
+/// (offered vs achieved qps through saturation), and a deliberate
+/// overload burst against a small queue for the shed rate (a shed rate of
+/// zero would mean admission control never engaged).
+fn serve_bench() -> ServeBench {
+    let headline = serve_closed_loop(4, 16, 16_000);
+    let depth1 = serve_closed_loop(4, 1, 2_000);
+    let open_loop = [50_000.0, 150_000.0, 450_000.0].iter().map(|&r| serve_open_loop(r)).collect();
+
+    // Shed rate under deliberate overload (tiny queue, batch-of-1 worker,
+    // un-paced burst).
     let overload = Server::start(ServeConfig {
         shards: 1,
         queue_bound: 32,
@@ -202,22 +330,13 @@ fn serve_bench() -> ServeBench {
     let ohandle = overload.handle();
     let submitted = 2_000;
     let tickets: Vec<_> =
-        (0..submitted).map(|i| ohandle.submit(request(i as u64, "Xeon Phi"))).collect();
+        (0..submitted).map(|i| ohandle.submit(serve_request(i as u64, "Xeon Phi"))).collect();
     for t in tickets {
         let _ = t.wait();
     }
     let shed = overload.shutdown().stats().shed.load(std::sync::atomic::Ordering::Relaxed);
 
-    ServeBench {
-        clients: CLIENTS,
-        queries: CLIENTS * QUERIES_PER_CLIENT,
-        queries_per_sec: (CLIENTS * QUERIES_PER_CLIENT) as f64 / secs,
-        latency_p50_us: pct(0.50),
-        latency_p99_us: pct(0.99),
-        mean_batch_occupancy: occupancy,
-        overload_submitted: submitted,
-        overload_shed: shed,
-    }
+    ServeBench { headline, depth1, open_loop, overload_submitted: submitted, overload_shed: shed }
 }
 
 fn main() {
@@ -460,7 +579,11 @@ fn main() {
     };
     let gflops = |secs: f64| 2.0 * (n_gemm as f64).powi(3) / secs / 1e9;
 
-    obs::info!("bench", "bench_report: archline-serve engine (closed-loop + overload burst)...");
+    obs::info!(
+        "bench",
+        "bench_report: archline-serve engine (pipelined + depth-1 closed loop, \
+         open-loop rate sweep, overload burst)..."
+    );
     let serve = serve_bench();
 
     let mut json = String::from("{\n");
@@ -516,12 +639,42 @@ fn main() {
     let _ = writeln!(json, "    \"branchless_gflops\": {:.3}", branchless.gflops());
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"serve\": {{");
-    let _ = writeln!(json, "    \"clients\": {},", serve.clients);
-    let _ = writeln!(json, "    \"queries\": {},", serve.queries);
-    let _ = writeln!(json, "    \"queries_per_sec\": {:.1},", serve.queries_per_sec);
-    let _ = writeln!(json, "    \"latency_p50_us\": {:.1},", serve.latency_p50_us);
-    let _ = writeln!(json, "    \"latency_p99_us\": {:.1},", serve.latency_p99_us);
-    let _ = writeln!(json, "    \"mean_batch_occupancy\": {:.3},", serve.mean_batch_occupancy);
+    let h = &serve.headline;
+    let _ = writeln!(json, "    \"clients\": {},", h.clients);
+    let _ = writeln!(json, "    \"depth\": {},", h.depth);
+    let _ = writeln!(json, "    \"queries\": {},", h.queries);
+    let _ = writeln!(json, "    \"queries_per_sec\": {:.1},", h.queries_per_sec);
+    let _ = writeln!(json, "    \"latency_p50_us\": {:.1},", h.latency_p50_us);
+    let _ = writeln!(json, "    \"latency_p99_us\": {:.1},", h.latency_p99_us);
+    let _ = writeln!(json, "    \"mean_batch_occupancy\": {:.3},", h.mean_batch_occupancy);
+    let _ = writeln!(json, "    \"window_holds\": {},", h.window_holds);
+    let _ = writeln!(json, "    \"plan_cache\": {{");
+    let _ = writeln!(json, "      \"hits\": {},", h.plan_cache_hits);
+    let _ = writeln!(json, "      \"misses\": {},", h.plan_cache_misses);
+    let _ = writeln!(json, "      \"evictions\": {},", h.plan_cache_evictions);
+    let _ = writeln!(json, "      \"hit_rate\": {:.6}", h.plan_cache_hit_rate);
+    let _ = writeln!(json, "    }},");
+    let d1 = &serve.depth1;
+    let _ = writeln!(json, "    \"closed_loop_depth1\": {{");
+    let _ = writeln!(json, "      \"clients\": {},", d1.clients);
+    let _ = writeln!(json, "      \"queries\": {},", d1.queries);
+    let _ = writeln!(json, "      \"queries_per_sec\": {:.1},", d1.queries_per_sec);
+    let _ = writeln!(json, "      \"latency_p50_us\": {:.1},", d1.latency_p50_us);
+    let _ = writeln!(json, "      \"latency_p99_us\": {:.1},", d1.latency_p99_us);
+    let _ = writeln!(json, "      \"mean_batch_occupancy\": {:.3}", d1.mean_batch_occupancy);
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"open_loop\": [");
+    let last = serve.open_loop.len().saturating_sub(1);
+    for (i, pt) in serve.open_loop.iter().enumerate() {
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"offered_qps\": {:.1},", pt.offered_qps);
+        let _ = writeln!(json, "        \"achieved_qps\": {:.1},", pt.achieved_qps);
+        let _ = writeln!(json, "        \"mean_batch_occupancy\": {:.3},", pt.mean_batch_occupancy);
+        let _ = writeln!(json, "        \"latency_p99_us\": {:.1},", pt.latency_p99_us);
+        let _ = writeln!(json, "        \"shed_rate\": {:.3}", pt.shed_rate);
+        let _ = writeln!(json, "      }}{}", if i == last { "" } else { "," });
+    }
+    let _ = writeln!(json, "    ],");
     let _ = writeln!(json, "    \"overload_submitted\": {},", serve.overload_submitted);
     let _ = writeln!(json, "    \"overload_shed\": {},", serve.overload_shed);
     let _ = writeln!(

@@ -18,7 +18,14 @@
 /// * v4: adds the `serve` section — throughput (queries/s), shed rate,
 ///   mean batch occupancy, and p50/p99 latency of an in-process
 ///   archline-serve engine under concurrent closed-loop clients.
-pub const BENCH_SCHEMA_VERSION: u64 = 4;
+/// * v5: the serve section reflects adaptive batching — the headline
+///   closed-loop run is pipelined (per-client request depth > 1, which
+///   the admission window coalesces into wide kernel passes), the
+///   depth-1 run is kept as `closed_loop_depth1` for continuity with v4,
+///   an `open_loop` arrival-rate sweep records offered vs achieved qps,
+///   occupancy, and p99 per rate, and `plan_cache` records hit/miss/
+///   eviction counts plus the hit rate.
+pub const BENCH_SCHEMA_VERSION: u64 = 5;
 
 /// Inspects a prior `BENCH_model.json` about to be replaced and returns a
 /// human-readable warning when it predates `current` (or does not parse) —

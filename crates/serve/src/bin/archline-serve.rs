@@ -3,6 +3,7 @@
 //! ```text
 //! archline-serve [--addr HOST:PORT] [--shards N] [--queue-bound N]
 //!                [--deadline-ms N] [--max-batch N]
+//!                [--batch-window-us adaptive|off|N] [--plan-cache N]
 //!                [--inject 'PLATFORM:CLASS:SEVERITY[:SEED]']...
 //!                [--allow-shutdown] [-q] [-v[v]] [--trace-out PATH]
 //! ```
@@ -28,7 +29,7 @@ use archline_faults::{FaultPlan, FaultSpec};
 use archline_obs as obs;
 use archline_platforms::all_platforms;
 use archline_serve::tcp::serve_tcp;
-use archline_serve::{ServeConfig, Server};
+use archline_serve::{BatchWindow, ServeConfig, Server};
 
 const EXIT_FATAL: i32 = 1;
 const EXIT_USAGE: i32 = 2;
@@ -40,6 +41,7 @@ fn usage(error: &str) -> ! {
     eprintln!(
         "usage: archline-serve [--addr HOST:PORT] [--shards N] [--queue-bound N] \
          [--deadline-ms N] [--max-batch N] \
+         [--batch-window-us adaptive|off|N] [--plan-cache N] \
          [--inject 'PLATFORM:CLASS:SEVERITY[:SEED]'] [--allow-shutdown] \
          [-q] [-v[v]] [--trace-out PATH]"
     );
@@ -93,6 +95,15 @@ fn main() {
             "--deadline-ms" => {
                 config.deadline = Duration::from_millis(next_usize(&mut it, "--deadline-ms") as u64)
             }
+            "--batch-window-us" => {
+                // Unlike the counted knobs, 0 is meaningful here (= off),
+                // and the named policies parse too.
+                match it.next().map(|v| BatchWindow::parse(v)) {
+                    Some(Some(w)) => config.batch_window = w,
+                    _ => usage("--batch-window-us needs `adaptive`, `off`, or microseconds"),
+                }
+            }
+            "--plan-cache" => config.plan_cache_cap = next_usize(&mut it, "--plan-cache"),
             "--inject" => match it.next() {
                 Some(value) => match parse_inject(value) {
                     Ok(inj) => injections.push(inj),

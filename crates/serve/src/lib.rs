@@ -7,6 +7,16 @@
 //! batching concurrent queries into the SoA batch kernels so many queries
 //! share one kernel pass.
 //!
+//! Batching is *adaptive*: when recent occupancy is low and the nearest
+//! queued deadline has slack, a shard worker holds a partial batch open
+//! for a bounded micro-window ([`BatchWindow`], `--batch-window-us`,
+//! `ARCHLINE_SERVE_WINDOW`) so concurrent load coalesces into wide fused
+//! passes, while serial traffic decays the window to zero and pays
+//! nothing. Plans persist across batches in a per-worker LRU intern
+//! table (`ARCHLINE_SERVE_PLAN_CACHE`), and point evals *and* small
+//! sweeps that share a plan are packed into shared SoA columns — one
+//! kernel pass each — with answers split back per request bit-identically.
+//!
 //! Two front doors share one engine:
 //!
 //! * [`Server::start`] + [`ServeHandle`] — the in-process API tests and
@@ -59,4 +69,4 @@ pub mod tcp;
 
 pub use breaker::{Breaker, BreakerState};
 pub use protocol::{CapOverride, Query, QueryResult, Reject, Request, Response, SweepMetric};
-pub use server::{ServeConfig, ServeHandle, ServeStats, Server, Ticket};
+pub use server::{BatchWindow, ServeConfig, ServeHandle, ServeStats, Server, Ticket};

@@ -15,7 +15,9 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{
+    sync_channel, Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError,
+};
 use std::sync::{mpsc, Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -54,6 +56,55 @@ static QUEUE_DEPTH: Gauge = Gauge::new("serve.queue_depth");
 static BATCH_OCCUPANCY: Histogram = Histogram::new("serve.batch_occupancy");
 /// Admission-to-response latency, microseconds.
 static LATENCY_US: Histogram = Histogram::new("serve.latency_us");
+/// Batches that held their admission window open waiting for more work.
+static WINDOW_HOLDS: Counter = Counter::new("serve.window.holds");
+/// Effective admission-window width per held batch, microseconds.
+static WINDOW_US: Histogram = Histogram::new("serve.batch_window_us");
+/// Plan-cache lookups answered from the per-worker intern table.
+static PLAN_CACHE_HIT: Counter = Counter::new("serve.plan_cache.hit");
+/// Plan-cache lookups that had to compile a fresh plan.
+static PLAN_CACHE_MISS: Counter = Counter::new("serve.plan_cache.miss");
+/// Plans evicted from a full per-worker intern table.
+static PLAN_CACHE_EVICT: Counter = Counter::new("serve.plan_cache.evict");
+
+/// How long a shard worker may hold a partial batch open waiting for more
+/// requests to coalesce into one kernel pass.
+///
+/// Whatever the policy, a hold is always budgeted against the nearest
+/// queued deadline: the worker never waits past half the remaining slack
+/// of the most urgent request it is holding, so windows can delay an
+/// answer but never expire one that had room to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchWindow {
+    /// Never hold: drain whatever is queued and evaluate immediately
+    /// (the pre-adaptive behavior).
+    Off,
+    /// Occupancy-driven (the default): hold only while recent batch
+    /// occupancy is below target, with the width adapted from what each
+    /// hold actually buys — widening while holds coalesce requests,
+    /// decaying to zero (plus a periodic probe) when traffic is serial.
+    Adaptive,
+    /// Fixed ceiling in microseconds; `FixedUs(0)` behaves like `Off`.
+    FixedUs(u64),
+}
+
+impl BatchWindow {
+    /// Parses the `ARCHLINE_SERVE_WINDOW` / `--batch-window-us` forms:
+    /// `"adaptive"`, `"off"`, or a microsecond count (`0` = off).
+    pub fn parse(s: &str) -> Option<BatchWindow> {
+        match s.trim() {
+            "adaptive" => Some(BatchWindow::Adaptive),
+            "off" => Some(BatchWindow::Off),
+            n => n.parse::<u64>().ok().map(|us| {
+                if us == 0 {
+                    BatchWindow::Off
+                } else {
+                    BatchWindow::FixedUs(us)
+                }
+            }),
+        }
+    }
+}
 
 /// Engine configuration. `Default` is tuned for tests (small queues,
 /// short deadlines are *not* the default — defaults are production-ish);
@@ -79,6 +130,11 @@ pub struct ServeConfig {
     pub breaker_trip: u32,
     /// Time a tripped breaker stays open before a half-open probe.
     pub breaker_cooldown: Duration,
+    /// Admission-window policy: how long a worker may hold a partial
+    /// batch open to coalesce concurrent requests into one kernel pass.
+    pub batch_window: BatchWindow,
+    /// Per-worker plan intern table capacity (LRU past it). Minimum 1.
+    pub plan_cache_cap: usize,
     /// Chaos mode: corrupt these platforms' evaluation results with the
     /// given fault plans before validation (the `--inject` flag).
     pub inject: Vec<(String, FaultPlan)>,
@@ -99,6 +155,8 @@ impl Default for ServeConfig {
             retry_backoff: Duration::from_millis(1),
             breaker_trip: 5,
             breaker_cooldown: Duration::from_millis(100),
+            batch_window: BatchWindow::Adaptive,
+            plan_cache_cap: 32,
             inject: Vec::new(),
             seed: 0,
         }
@@ -108,7 +166,8 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// Defaults with `ARCHLINE_SERVE_SHARDS`, `ARCHLINE_SERVE_QUEUE`,
     /// `ARCHLINE_SERVE_DEADLINE_MS`, `ARCHLINE_SERVE_MAX_BATCH`,
-    /// `ARCHLINE_SERVE_BREAKER_TRIP`, and
+    /// `ARCHLINE_SERVE_WINDOW` (`adaptive` | `off` | microseconds),
+    /// `ARCHLINE_SERVE_PLAN_CACHE`, `ARCHLINE_SERVE_BREAKER_TRIP`, and
     /// `ARCHLINE_SERVE_BREAKER_COOLDOWN_MS` applied where set and
     /// parseable (unparseable values are ignored, not fatal — a service
     /// should come up under a typo'd environment).
@@ -128,6 +187,13 @@ impl ServeConfig {
         }
         if let Some(v) = env_u64("ARCHLINE_SERVE_MAX_BATCH") {
             cfg.max_batch = (v as usize).max(1);
+        }
+        if let Some(w) = std::env::var("ARCHLINE_SERVE_WINDOW").ok().and_then(|s| BatchWindow::parse(&s))
+        {
+            cfg.batch_window = w;
+        }
+        if let Some(v) = env_u64("ARCHLINE_SERVE_PLAN_CACHE") {
+            cfg.plan_cache_cap = (v as usize).max(1);
         }
         if let Some(v) = env_u64("ARCHLINE_SERVE_BREAKER_TRIP") {
             cfg.breaker_trip = v as u32;
@@ -168,6 +234,14 @@ pub struct ServeStats {
     pub batches: AtomicU64,
     /// Requests across all executed batches (occupancy numerator).
     pub batched_requests: AtomicU64,
+    /// Batches that held an admission window open waiting for more work.
+    pub window_holds: AtomicU64,
+    /// Plan lookups answered from a per-worker intern table.
+    pub plan_cache_hits: AtomicU64,
+    /// Plan lookups that had to compile a fresh plan.
+    pub plan_cache_misses: AtomicU64,
+    /// Plans evicted from a full per-worker intern table.
+    pub plan_cache_evictions: AtomicU64,
 }
 
 impl ServeStats {
@@ -188,6 +262,20 @@ impl ServeStats {
             self.batched_requests.load(Ordering::Relaxed) as f64 / b as f64
         }
     }
+
+    /// Fraction of plan lookups served from the per-worker intern tables
+    /// (0 when no lookup ran yet).
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        // ordering: Relaxed — observational statistic reads; the ratio is
+        // approximate by nature while workers are running.
+        let h = self.plan_cache_hits.load(Ordering::Relaxed);
+        let m = self.plan_cache_misses.load(Ordering::Relaxed);
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
 }
 
 /// One queued request, resolved at admission.
@@ -206,6 +294,9 @@ struct Pending {
 struct Shard {
     sender: RwLock<Option<SyncSender<Pending>>>,
     breaker: Breaker,
+    /// Admission-window width this shard's worker most recently chose,
+    /// microseconds (0 = drain-only). Purely observational.
+    window_us: AtomicU64,
 }
 
 struct Inner {
@@ -311,6 +402,7 @@ impl Server {
             shards.push(Shard {
                 sender: RwLock::new(Some(tx)),
                 breaker: Breaker::new(config.breaker_trip, config.breaker_cooldown),
+                window_us: AtomicU64::new(0),
             });
             receivers.push(rx);
         }
@@ -389,6 +481,13 @@ impl ServeHandle {
     /// A shard's breaker state (ops/test surface).
     pub fn breaker_state(&self, shard: usize) -> BreakerState {
         self.inner.shards[shard].breaker.state()
+    }
+
+    /// The admission-window width shard `shard`'s worker most recently
+    /// chose, in microseconds (0 = drain-only).
+    pub fn shard_window_us(&self, shard: usize) -> u64 {
+        // ordering: Relaxed — observational gauge read; no data rides on it.
+        self.inner.shards[shard].window_us.load(Ordering::Relaxed)
     }
 
     /// Which shard a request's resolved parameters map to, or the typed
@@ -628,8 +727,214 @@ fn respond(inner: &Inner, p: &Pending, result: Result<QueryResult, Reject>) {
     }
 }
 
+/// Per-worker interned plans, most-recently-used first. A linear scan
+/// beats a hash map at serving sizes (a shard rarely hosts more than a
+/// few dozen distinct parameter sets), and `RooflinePlan` is `Copy`, so a
+/// hit is a memcpy — no per-batch `RooflinePlan::new` rebuild.
+struct PlanCache {
+    cap: usize,
+    entries: Vec<(u64, RooflinePlan)>,
+}
+
+impl PlanCache {
+    fn new(cap: usize) -> Self {
+        Self { cap: cap.max(1), entries: Vec::new() }
+    }
+
+    /// The interned plan for `key`, compiling (and evicting the
+    /// least-recently-used entry past capacity) on miss.
+    fn plan(&mut self, stats: &ServeStats, key: u64, params: &MachineParams) -> RooflinePlan {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            // Move-to-front keeps the scan short for hot plans and makes
+            // the tail the LRU eviction candidate.
+            self.entries[..=i].rotate_right(1);
+            ServeStats::bump(&stats.plan_cache_hits);
+            PLAN_CACHE_HIT.inc();
+        } else {
+            if self.entries.len() >= self.cap {
+                self.entries.pop();
+                ServeStats::bump(&stats.plan_cache_evictions);
+                PLAN_CACHE_EVICT.inc();
+            }
+            self.entries.insert(0, (key, RooflinePlan::new(*params)));
+            ServeStats::bump(&stats.plan_cache_misses);
+            PLAN_CACHE_MISS.inc();
+        }
+        match self.entries.first() {
+            Some((_, plan)) => *plan,
+            // Unreachable (an entry was just inserted or rotated to the
+            // front), but recompiling beats panicking in a worker.
+            None => RooflinePlan::new(*params),
+        }
+    }
+}
+
+/// Occupancy-driven admission-window controller for one worker.
+///
+/// The policy question is "is a micro-wait before dispatch worth it?".
+/// Under concurrent load the answer is yes: a held batch coalesces many
+/// requests into one fused kernel pass. Under serial (depth-1) load every
+/// hold is pure added latency, so the controller pays attention to what
+/// each hold actually buys: widths widen while held batches come back
+/// with company, halve when they come back solo, and decay to zero —
+/// with a periodic minimum-width probe so renewed concurrency is
+/// re-detected without a standing tax on serial traffic.
+struct WindowCtl {
+    policy: BatchWindow,
+    /// EWMA of recent batch occupancy.
+    occ: f64,
+    /// Occupancy at which holds stop being worth trying.
+    target: f64,
+    /// Current adaptive width, microseconds (0 = don't hold).
+    width_us: u64,
+    /// Zero-width batches since the last probe.
+    since_probe: u32,
+}
+
+impl WindowCtl {
+    const MIN_US: u64 = 16;
+    const MAX_US: u64 = 1024;
+    const START_US: u64 = 64;
+    const PROBE_EVERY: u32 = 64;
+
+    fn new(policy: BatchWindow, max_batch: usize) -> Self {
+        Self {
+            policy,
+            occ: 0.0,
+            target: (max_batch / 4).clamp(2, 16) as f64,
+            width_us: Self::START_US,
+            since_probe: 0,
+        }
+    }
+
+    /// Width to hold the next partial batch open for (0 = dispatch now).
+    fn window_us(&mut self) -> u64 {
+        match self.policy {
+            BatchWindow::Off => 0,
+            BatchWindow::FixedUs(us) => us,
+            BatchWindow::Adaptive => {
+                if self.occ >= self.target {
+                    // Batches already run wide; the queue alone coalesces.
+                    0
+                } else if self.width_us == 0 {
+                    // Serial traffic: stop paying for holds, but probe
+                    // occasionally so renewed concurrency is noticed.
+                    self.since_probe += 1;
+                    if self.since_probe >= Self::PROBE_EVERY {
+                        self.since_probe = 0;
+                        Self::MIN_US
+                    } else {
+                        0
+                    }
+                } else {
+                    self.width_us
+                }
+            }
+        }
+    }
+
+    /// How full a batch must be before holding stops paying. Holds quit
+    /// as soon as the batch reaches this, so a window never stalls a
+    /// worker that already has a healthy batch in hand (the queue drain
+    /// keeps widening batches past it for free). Fixed windows are an
+    /// explicit operator choice and run to `max_batch`.
+    fn hold_target(&self, max_batch: usize) -> usize {
+        match self.policy {
+            BatchWindow::Adaptive => (self.target as usize).max(2).min(max_batch),
+            BatchWindow::Off | BatchWindow::FixedUs(_) => max_batch,
+        }
+    }
+
+    /// Learns from a finished batch. The width is judged by what the hold
+    /// *bought* (`gained` = requests that arrived during the hold), not by
+    /// final batch size — a batch widened by the queue drain alone says
+    /// nothing about whether waiting longer would help, and crediting it
+    /// would widen the window against blocked closed-loop clients until
+    /// every batch stalled for the full width.
+    fn observe(&mut self, occupancy: usize, held: bool, gained: usize) {
+        self.occ = 0.75 * self.occ + 0.25 * occupancy as f64;
+        if !matches!(self.policy, BatchWindow::Adaptive) || !held {
+            return;
+        }
+        if gained > 0 {
+            self.width_us = (self.width_us.max(Self::MIN_US) * 2).min(Self::MAX_US);
+        } else if self.width_us <= Self::MIN_US {
+            self.width_us = 0;
+        } else {
+            self.width_us /= 2;
+        }
+    }
+
+    /// The width the controller would currently use (per-shard gauge).
+    fn width(&self) -> u64 {
+        match self.policy {
+            BatchWindow::Off => 0,
+            BatchWindow::FixedUs(us) => us,
+            BatchWindow::Adaptive => self.width_us,
+        }
+    }
+}
+
+/// Drains whatever is already queued, up to `max_batch`. Returns `false`
+/// when the channel disconnected (all senders dropped: shutdown) — the
+/// caller finishes the batch in hand, then exits.
+fn drain_queued(rx: &Receiver<Pending>, batch: &mut Vec<Pending>, max_batch: usize) -> bool {
+    while batch.len() < max_batch {
+        match rx.try_recv() {
+            Ok(p) => batch.push(p),
+            Err(TryRecvError::Empty) => return true,
+            Err(TryRecvError::Disconnected) => return false,
+        }
+    }
+    true
+}
+
+/// Holds a partial batch open for up to `width_us`, re-draining after
+/// each arrival, until the batch reaches `stop_at`. The hold is budgeted
+/// against the most urgent held deadline — never past half its remaining
+/// slack, re-capped as more urgent requests arrive — so a window can
+/// delay an answer but never expire one that had room to run. Returns
+/// `false` on disconnect.
+fn hold_window(
+    rx: &Receiver<Pending>,
+    batch: &mut Vec<Pending>,
+    stop_at: usize,
+    width_us: u64,
+) -> bool {
+    fn slack_cap(deadline: Instant, now: Instant) -> Duration {
+        deadline.saturating_duration_since(now) / 2
+    }
+    let start = Instant::now();
+    let Some(nearest) = batch.iter().map(|p| p.deadline).min() else {
+        return true;
+    };
+    let mut hold_until = start + Duration::from_micros(width_us).min(slack_cap(nearest, start));
+    while batch.len() < stop_at {
+        let now = Instant::now();
+        let Some(left) = hold_until.checked_duration_since(now) else {
+            return true;
+        };
+        match rx.recv_timeout(left) {
+            Ok(p) => {
+                let now = Instant::now();
+                hold_until = hold_until.min(now + slack_cap(p.deadline, now));
+                batch.push(p);
+                if !drain_queued(rx, batch, stop_at) {
+                    return false;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => return true,
+            Err(RecvTimeoutError::Disconnected) => return false,
+        }
+    }
+    true
+}
+
 fn worker_loop(inner: Arc<Inner>, shard_idx: usize, rx: Receiver<Pending>) {
-    loop {
+    let mut plans = PlanCache::new(inner.config.plan_cache_cap);
+    let mut ctl = WindowCtl::new(inner.config.batch_window, inner.config.max_batch);
+    let mut connected = true;
+    while connected {
         // Block for work; a disconnect means every sender is gone
         // (shutdown) and the queue is fully drained.
         let first = match rx.recv() {
@@ -637,12 +942,23 @@ fn worker_loop(inner: Arc<Inner>, shard_idx: usize, rx: Receiver<Pending>) {
             Err(_) => break,
         };
         let mut batch = vec![first];
-        while batch.len() < inner.config.max_batch {
-            match rx.try_recv() {
-                Ok(p) => batch.push(p),
-                Err(_) => break,
+        connected = drain_queued(&rx, &mut batch, inner.config.max_batch);
+        let drained = batch.len();
+        let stop_at = ctl.hold_target(inner.config.max_batch);
+        let mut held = false;
+        if connected && drained < stop_at {
+            let width_us = ctl.window_us();
+            if width_us > 0 {
+                held = true;
+                ServeStats::bump(&inner.stats.window_holds);
+                WINDOW_HOLDS.inc();
+                WINDOW_US.record(width_us);
+                connected = hold_window(&rx, &mut batch, stop_at, width_us);
             }
         }
+        ctl.observe(batch.len(), held, batch.len() - drained);
+        // ordering: Relaxed — per-shard window gauge; observational only.
+        inner.shards[shard_idx].window_us.store(ctl.width(), Ordering::Relaxed);
         let taken = batch.len() as u64;
         // ordering: Relaxed — gauge arithmetic only: the batch contents
         // came through the channel receive, which is the publication
@@ -652,12 +968,12 @@ fn worker_loop(inner: Arc<Inner>, shard_idx: usize, rx: Receiver<Pending>) {
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| Some(d.saturating_sub(taken)))
             .unwrap_or(taken);
         QUEUE_DEPTH.set(depth.saturating_sub(taken));
-        process_batch(&inner, shard_idx, batch);
+        process_batch(&inner, shard_idx, batch, &mut plans);
     }
     obs::debug!("serve", "serve: shard {shard_idx} drained");
 }
 
-fn process_batch(inner: &Inner, shard_idx: usize, batch: Vec<Pending>) {
+fn process_batch(inner: &Inner, shard_idx: usize, batch: Vec<Pending>, plans: &mut PlanCache) {
     let _span = obs::span_with(
         obs::Level::Debug,
         "serve",
@@ -684,21 +1000,25 @@ fn process_batch(inner: &Inner, shard_idx: usize, batch: Vec<Pending>) {
         return;
     }
 
-    // Group by interned plan so each group is one kernel pass. Order
-    // within a group is submission order; results are split back
-    // per-request, so batching is invisible in the answers (the kernels
-    // are elementwise and split-invariant).
+    // Group by interned plan so each group is one kernel pass. Groups are
+    // hash-indexed but keep first-seen order, and requests keep submission
+    // order within a group; results are split back per-request, so
+    // batching is invisible in the answers (the kernels are elementwise
+    // and split-invariant).
     let mut groups: Vec<(u64, Vec<Pending>)> = Vec::new();
+    let mut index: HashMap<u64, usize> = HashMap::new();
     for p in live {
-        match groups.iter_mut().find(|(k, _)| *k == p.plan_key) {
-            Some((_, g)) => g.push(p),
-            None => groups.push((p.plan_key, vec![p])),
+        let slot = *index.entry(p.plan_key).or_insert_with(|| {
+            groups.push((p.plan_key, Vec::new()));
+            groups.len() - 1
+        });
+        if let Some((_, g)) = groups.get_mut(slot) {
+            g.push(p);
         }
     }
-    let mut plans: HashMap<u64, RooflinePlan> = HashMap::new();
     for (key, group) in groups {
         let Some(first_params) = group.first().map(|p| p.params) else { continue };
-        let plan = *plans.entry(key).or_insert_with(|| RooflinePlan::new(first_params));
+        let plan = plans.plan(&inner.stats, key, &first_params);
         process_group(inner, shard_idx, &plan, group);
     }
 }
@@ -798,13 +1118,29 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
         .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
+/// Sweeps up to this many points are packed into the shared per-metric
+/// column; larger grids evaluate inline rather than bloat the pass.
+const PACKED_SWEEP_MAX_POINTS: usize = 4096;
+
+/// One metric's packed sweep column: the concatenated intensity grids of
+/// every small sweep in the group that asked for this metric.
+#[derive(Default)]
+struct SweepCol {
+    xs: Vec<f64>,
+    out: Vec<f64>,
+}
+
 /// One kernel pass over a plan-group. `Err` at the outer level is a
 /// whole-group failure (everything retries); the inner per-request
 /// `Result` carries per-request corruption.
 ///
 /// All `Eval` queries in the group are concatenated into one SoA buffer
-/// and evaluated in a single fused `evaluate_batch` pass; sweeps and
-/// crossovers run their own (already batched) kernels over their grids.
+/// and evaluated in a single fused `evaluate_batch` pass. Small sweeps
+/// sharing the plan are likewise packed per metric into one concatenated
+/// intensity column and answered by a single batched curve pass each —
+/// the sweep kernels are elementwise over the grid, so the per-request
+/// split-back is bit-identical to evaluating each sweep alone (pinned by
+/// `tests/serve_batching.rs`). Crossovers run their own grid search.
 #[allow(clippy::type_complexity)]
 fn evaluate_group(
     inner: &Inner,
@@ -829,6 +1165,37 @@ fn evaluate_group(
     let mut regime = vec![archline_core::Regime::MemoryBound; n];
     if n > 0 {
         plan.evaluate_batch(&flops, &bytes, &mut time, &mut energy, &mut power, &mut regime);
+    }
+
+    // Phase 1b: pack the group's small sweeps per metric and answer each
+    // metric with one batched curve pass over the concatenated grids.
+    let col_of = |m: &SweepMetric| match m {
+        SweepMetric::Power => 0usize,
+        SweepMetric::Perf => 1,
+        SweepMetric::EnergyEff => 2,
+    };
+    let mut cols = [SweepCol::default(), SweepCol::default(), SweepCol::default()];
+    let mut packed_sweeps: HashMap<usize, (usize, usize, usize)> = HashMap::new(); // gi -> (col, start, len)
+    for (gi, p) in group.iter().enumerate() {
+        if let Query::Sweep { metric, lo, hi, points } = &p.query {
+            if *points <= PACKED_SWEEP_MAX_POINTS {
+                let col = &mut cols[col_of(metric)];
+                let xs = sample_intensities(*lo, *hi, *points);
+                packed_sweeps.insert(gi, (col_of(metric), col.xs.len(), xs.len()));
+                col.xs.extend_from_slice(&xs);
+            }
+        }
+    }
+    for (ci, col) in cols.iter_mut().enumerate() {
+        if col.xs.is_empty() {
+            continue;
+        }
+        col.out.resize(col.xs.len(), 0.0);
+        match ci {
+            0 => plan.avg_power_batch(&col.xs, &mut col.out),
+            1 => plan.perf_batch(&col.xs, &mut col.out),
+            _ => plan.energy_eff_batch(&col.xs, &mut col.out),
+        }
     }
 
     // Chaos mode: route the group's eval results through the platform's
@@ -889,9 +1256,6 @@ fn evaluate_group(
     let mut results: Vec<Result<QueryResult, String>> = Vec::with_capacity(group.len());
     let mut span_iter = spans.iter().peekable();
     for (gi, p) in group.iter().enumerate() {
-        if corrupted[gi] {
-            // Skip the span bookkeeping for corrupted evals below.
-        }
         let result = match &p.query {
             Query::Eval { .. } => match span_iter.next() {
                 // One span per eval is established in phase 1; running dry
@@ -915,16 +1279,28 @@ fn evaluate_group(
                     }
                 }
             },
-            Query::Sweep { metric, lo, hi, points } => {
-                let xs = sample_intensities(*lo, *hi, *points);
-                let mut out = vec![0.0; xs.len()];
-                match metric {
-                    SweepMetric::Power => plan.avg_power_batch(&xs, &mut out),
-                    SweepMetric::Perf => plan.perf_batch(&xs, &mut out),
-                    SweepMetric::EnergyEff => plan.energy_eff_batch(&xs, &mut out),
+            Query::Sweep { metric, lo, hi, points } => match packed_sweeps.get(&gi) {
+                Some(&(ci, start, len)) => match cols.get(ci) {
+                    // The column index came from `col_of` above; a miss is
+                    // a bookkeeping bug and fails this request only.
+                    None => Err("internal: sweep column bookkeeping out of sync".to_string()),
+                    Some(col) => Ok(QueryResult::Sweep {
+                        intensity: col.xs[start..start + len].to_vec(),
+                        value: col.out[start..start + len].to_vec(),
+                    }),
+                },
+                // Oversized sweeps evaluate inline over their own grid.
+                None => {
+                    let xs = sample_intensities(*lo, *hi, *points);
+                    let mut out = vec![0.0; xs.len()];
+                    match metric {
+                        SweepMetric::Power => plan.avg_power_batch(&xs, &mut out),
+                        SweepMetric::Perf => plan.perf_batch(&xs, &mut out),
+                        SweepMetric::EnergyEff => plan.energy_eff_batch(&xs, &mut out),
+                    }
+                    Ok(QueryResult::Sweep { intensity: xs, value: out })
                 }
-                Ok(QueryResult::Sweep { intensity: xs, value: out })
-            }
+            },
             Query::Crossover { metric, lo, hi, grid, .. } => match p.other_params {
                 // Admission resolves the comparison platform before the
                 // request reaches a shard; a missing resolution is an
@@ -1126,5 +1502,86 @@ mod tests {
         assert_eq!(params_key(&p), params_key(&p.clone()));
         assert_ne!(params_key(&p), params_key(&p.uncapped()));
         assert_ne!(params_key(&p), params_key(&p.throttled(2.0)));
+    }
+
+    #[test]
+    fn batch_window_parses_every_knob_form() {
+        assert_eq!(BatchWindow::parse("adaptive"), Some(BatchWindow::Adaptive));
+        assert_eq!(BatchWindow::parse("off"), Some(BatchWindow::Off));
+        assert_eq!(BatchWindow::parse("0"), Some(BatchWindow::Off));
+        assert_eq!(BatchWindow::parse(" 250 "), Some(BatchWindow::FixedUs(250)));
+        assert_eq!(BatchWindow::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn plan_cache_interns_promotes_and_evicts_lru() {
+        let stats = ServeStats::default();
+        let mut cache = PlanCache::new(2);
+        let base = all_platforms()[0].machine_params(Precision::Single).unwrap();
+        let a = base;
+        let b = base.throttled(2.0);
+        let c = base.throttled(4.0);
+        let (ka, kb, kc) = (params_key(&a), params_key(&b), params_key(&c));
+        cache.plan(&stats, ka, &a); // miss            -> [a]
+        cache.plan(&stats, kb, &b); // miss, full      -> [b, a]
+        cache.plan(&stats, ka, &a); // hit, promotes   -> [a, b]
+        cache.plan(&stats, kc, &c); // miss, evicts b  -> [c, a]
+        cache.plan(&stats, ka, &a); // hit             -> [a, c]
+        cache.plan(&stats, kb, &b); // miss, evicts c  -> [b, a]
+        assert_eq!(stats.plan_cache_misses.load(Ordering::Relaxed), 4);
+        assert_eq!(stats.plan_cache_evictions.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.plan_cache_hits.load(Ordering::Relaxed), 2);
+        assert!(cache.entries.len() <= 2);
+        // A lookup answers with the same plan bits a fresh compile does.
+        let cached = cache.plan(&stats, kc, &c);
+        let fresh = RooflinePlan::new(c);
+        let (t0, e0, p0, _) = cached.evaluate(1e9, 2e8);
+        let (t1, e1, p1, _) = fresh.evaluate(1e9, 2e8);
+        assert_eq!(t0.to_bits(), t1.to_bits());
+        assert_eq!(e0.to_bits(), e1.to_bits());
+        assert_eq!(p0.to_bits(), p1.to_bits());
+    }
+
+    #[test]
+    fn adaptive_window_widens_under_coalescing_and_decays_for_serial_load() {
+        let mut ctl = WindowCtl::new(BatchWindow::Adaptive, 64);
+        let w0 = ctl.window_us();
+        assert!(w0 > 0, "adaptive starts willing to hold");
+        ctl.observe(8, true, 7);
+        assert!(ctl.window_us() > w0, "a hold that coalesced work widens the window");
+        // Serial traffic: every held batch comes back solo, so the width
+        // must decay to zero — depth-1 load stops paying for holds.
+        for _ in 0..32 {
+            let w = ctl.window_us();
+            ctl.observe(1, w > 0, 0);
+        }
+        assert_eq!(ctl.width(), 0, "serial load decays the window away");
+        // ...but a periodic probe re-opens it so renewed concurrency is
+        // re-detected rather than locked out forever.
+        let mut probed = false;
+        for _ in 0..(2 * WindowCtl::PROBE_EVERY) {
+            if ctl.window_us() > 0 {
+                probed = true;
+                break;
+            }
+            ctl.observe(1, false, 0);
+        }
+        assert!(probed, "zero width must still probe for renewed concurrency");
+    }
+
+    #[test]
+    fn saturated_occupancy_disables_the_window() {
+        let mut ctl = WindowCtl::new(BatchWindow::Adaptive, 64);
+        for _ in 0..16 {
+            ctl.observe(64, false, 0);
+        }
+        assert_eq!(ctl.window_us(), 0, "above-target occupancy needs no hold");
+        // Fixed windows ignore occupancy entirely.
+        let mut fixed = WindowCtl::new(BatchWindow::FixedUs(200), 64);
+        for _ in 0..16 {
+            fixed.observe(64, false, 0);
+        }
+        assert_eq!(fixed.window_us(), 200);
+        assert_eq!(WindowCtl::new(BatchWindow::Off, 64).window_us(), 0);
     }
 }

@@ -156,6 +156,8 @@ fn stats_line(handle: &ServeHandle) -> String {
     let breakers: Vec<Value> = (0..handle.num_shards())
         .map(|i| Value::from(handle.breaker_state(i).name()))
         .collect();
+    let windows: Vec<Value> =
+        (0..handle.num_shards()).map(|i| Value::from(handle.shard_window_us(i))).collect();
     let extra = [
         ("accepted", load(&s.accepted)),
         ("shed", load(&s.shed)),
@@ -167,6 +169,12 @@ fn stats_line(handle: &ServeHandle) -> String {
         ("retries", load(&s.retries)),
         ("panics_caught", load(&s.panics_caught)),
         ("mean_batch_occupancy", Value::from(s.mean_batch_occupancy())),
+        ("window_holds", load(&s.window_holds)),
+        ("window_us", Value::Array(windows)),
+        ("plan_cache_hits", load(&s.plan_cache_hits)),
+        ("plan_cache_misses", load(&s.plan_cache_misses)),
+        ("plan_cache_evictions", load(&s.plan_cache_evictions)),
+        ("plan_cache_hit_rate", Value::from(s.plan_cache_hit_rate())),
         ("breakers", Value::Array(breakers)),
     ];
     control_line("stats", &extra)

@@ -1,0 +1,382 @@
+//! Batching-invariance property suite: adaptive admission windows,
+//! per-worker plan caching, and cross-request SoA packing must be
+//! *invisible* in the answers.
+//!
+//! The contract under test, per ISSUE 9:
+//!
+//! * **Bit-identity vs `max_batch = 1`** — the same workload served by a
+//!   strict one-request-per-batch engine (windows off) and by a wide
+//!   windowed engine (batches coalesced across requests and packed into
+//!   shared SoA columns) produces byte-for-byte identical answers, for
+//!   every query kind: point evals, all three sweep metrics (both packed
+//!   small grids and oversized inline grids), crossovers, and what-if cap
+//!   overrides that multiply the distinct-plan count.
+//! * **Deadlines survive window boundaries** — a hold is budgeted
+//!   against the nearest queued deadline (never past half its remaining
+//!   slack), so a window wider than a request's deadline delays the
+//!   answer but does not expire it.
+//! * **Many-plans group-by** — a batch where every request carries a
+//!   distinct plan key (the O(n²) group-by regression shape) still
+//!   answers every request correctly and bit-identically to direct plan
+//!   evaluation.
+//! * **Plan-cache persistence** — plans survive across batches (hits
+//!   accumulate), and a deliberately tiny cache evicts without ever
+//!   changing an answer.
+
+use archline_core::power::sample_intensities;
+use archline_core::RooflinePlan;
+use archline_platforms::{all_platforms, Precision};
+use archline_serve::{
+    BatchWindow, CapOverride, Query, QueryResult, Reject, Request, ServeConfig, Server,
+    SweepMetric,
+};
+
+/// Sweeps past this many points bypass the packed column (mirrors the
+/// server's `PACKED_SWEEP_MAX_POINTS`); one workload sweep sits above it
+/// so the inline path is exercised too.
+const OVERSIZED_SWEEP_POINTS: usize = 5_000;
+
+fn req(id: u64, platform: &str, query: Query) -> Request {
+    Request {
+        id,
+        platform: platform.to_string(),
+        double_precision: false,
+        cap: None,
+        deadline_ms: None,
+        query,
+    }
+}
+
+fn eval_query(n: usize, scale: f64) -> Query {
+    Query::Eval {
+        flops: (1..=n).map(|i| scale * 1e9 * i as f64).collect(),
+        bytes: (1..=n).map(|i| 2e8 * i as f64).collect(),
+    }
+}
+
+/// A mixed workload touching every query kind, several platforms, both
+/// packed and oversized sweeps, and throttle overrides (distinct plans).
+fn workload() -> Vec<Request> {
+    let platforms = ["GTX Titan", "Desktop CPU", "NUC CPU", "GTX 680"];
+    let mut reqs = Vec::new();
+    let mut id = 0u64;
+    let mut next_id = || {
+        id += 1;
+        id
+    };
+    for (pi, platform) in platforms.iter().enumerate() {
+        for n in [1usize, 3, 16, 64] {
+            reqs.push(req(next_id(), platform, eval_query(n, 1.0 + pi as f64)));
+        }
+        for metric in [SweepMetric::Power, SweepMetric::Perf, SweepMetric::EnergyEff] {
+            reqs.push(req(next_id(), platform, Query::Sweep {
+                metric,
+                lo: 0.01,
+                hi: 1e4,
+                points: 33,
+            }));
+        }
+        // Oversized sweep: bypasses the packed column, evaluates inline.
+        reqs.push(req(next_id(), platform, Query::Sweep {
+            metric: SweepMetric::Perf,
+            lo: 0.1,
+            hi: 100.0,
+            points: OVERSIZED_SWEEP_POINTS,
+        }));
+        reqs.push(req(next_id(), platform, Query::Crossover {
+            other: platforms[(pi + 1) % platforms.len()].to_string(),
+            metric: SweepMetric::EnergyEff,
+            lo: 0.01,
+            hi: 1e4,
+            grid: 128,
+        }));
+        // What-if throttle: a distinct plan key on the same platform.
+        let mut throttled = req(next_id(), platform, eval_query(8, 1.0));
+        throttled.cap = Some(CapOverride::Throttle(2.0 + pi as f64));
+        reqs.push(throttled);
+    }
+    reqs
+}
+
+/// Serves the whole workload concurrently (submit everything, then wait)
+/// so wide engines actually coalesce, and returns answers sorted by id.
+fn serve_all(config: ServeConfig, reqs: &[Request]) -> Vec<(u64, Result<QueryResult, Reject>)> {
+    let server = Server::start(config).expect("server");
+    let handle = server.handle();
+    let tickets: Vec<_> = reqs.iter().map(|r| (r.id, handle.submit(r.clone()))).collect();
+    let mut out: Vec<_> = tickets.into_iter().map(|(id, t)| (id, t.wait().result)).collect();
+    server.shutdown();
+    out.sort_by_key(|(id, _)| *id);
+    out
+}
+
+/// Bit-level equality: f64s compare by `to_bits`, so `-0.0` vs `0.0` or
+/// NaN payloads would fail where `==` could lie.
+fn assert_bits_equal(id: u64, a: &Result<QueryResult, Reject>, b: &Result<QueryResult, Reject>) {
+    let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    match (a, b) {
+        (
+            Ok(QueryResult::Eval { time: t0, energy: e0, power: p0, regime: r0 }),
+            Ok(QueryResult::Eval { time: t1, energy: e1, power: p1, regime: r1 }),
+        ) => {
+            assert_eq!(bits(t0), bits(t1), "id {id}: eval time bits");
+            assert_eq!(bits(e0), bits(e1), "id {id}: eval energy bits");
+            assert_eq!(bits(p0), bits(p1), "id {id}: eval power bits");
+            assert_eq!(r0, r1, "id {id}: eval regimes");
+        }
+        (
+            Ok(QueryResult::Sweep { intensity: x0, value: v0 }),
+            Ok(QueryResult::Sweep { intensity: x1, value: v1 }),
+        ) => {
+            assert_eq!(bits(x0), bits(x1), "id {id}: sweep grid bits");
+            assert_eq!(bits(v0), bits(v1), "id {id}: sweep value bits");
+        }
+        (
+            Ok(QueryResult::Crossover { crossings: c0 }),
+            Ok(QueryResult::Crossover { crossings: c1 }),
+        ) => {
+            assert_eq!(c0.len(), c1.len(), "id {id}: crossing count");
+            for ((x0, l0), (x1, l1)) in c0.iter().zip(c1) {
+                assert_eq!(x0.to_bits(), x1.to_bits(), "id {id}: crossing intensity bits");
+                assert_eq!(l0, l1, "id {id}: crossing lead side");
+            }
+        }
+        (other_a, other_b) => {
+            panic!("id {id}: result kinds diverge or rejected:\n  a: {other_a:?}\n  b: {other_b:?}")
+        }
+    }
+}
+
+/// One shard + `max_batch = 1` + windows off: the strictest possible
+/// serving mode — every request is its own kernel pass.
+fn unbatched_config() -> ServeConfig {
+    ServeConfig {
+        shards: 1,
+        max_batch: 1,
+        batch_window: BatchWindow::Off,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn windowed_packed_serving_is_bit_identical_to_unbatched() {
+    let reqs = workload();
+    let reference = serve_all(unbatched_config(), &reqs);
+
+    // A wide fixed window forces coalescing; one shard forces every plan
+    // group through the same worker and packed columns.
+    let wide = ServeConfig {
+        shards: 1,
+        max_batch: 64,
+        batch_window: BatchWindow::FixedUs(20_000),
+        ..ServeConfig::default()
+    };
+    let batched = serve_all(wide, &reqs);
+    assert_eq!(reference.len(), batched.len());
+    for ((id_a, a), (id_b, b)) in reference.iter().zip(&batched) {
+        assert_eq!(id_a, id_b);
+        assert_bits_equal(*id_a, a, b);
+    }
+
+    // The adaptive default must be just as invisible.
+    let adaptive = ServeConfig { shards: 1, ..ServeConfig::default() };
+    assert!(matches!(adaptive.batch_window, BatchWindow::Adaptive));
+    let adaptive_answers = serve_all(adaptive, &reqs);
+    for ((id_a, a), (id_b, b)) in reference.iter().zip(&adaptive_answers) {
+        assert_eq!(id_a, id_b);
+        assert_bits_equal(*id_a, a, b);
+    }
+}
+
+#[test]
+fn windowed_serving_actually_coalesces() {
+    // Not just invisible — the window must buy real occupancy under
+    // concurrent submission, or the tentpole is a no-op.
+    let reqs: Vec<Request> =
+        (0..128).map(|i| req(i + 1, "GTX Titan", eval_query(16, 1.0))).collect();
+    let server = Server::start(ServeConfig {
+        shards: 1,
+        max_batch: 64,
+        batch_window: BatchWindow::FixedUs(20_000),
+        ..ServeConfig::default()
+    })
+    .expect("server");
+    let handle = server.handle();
+    let tickets: Vec<_> = reqs.iter().map(|r| handle.submit(r.clone())).collect();
+    for t in tickets {
+        assert!(t.wait().result.is_ok());
+    }
+    let after = server.shutdown();
+    let stats = after.stats();
+    assert!(
+        stats.mean_batch_occupancy() > 1.5,
+        "a 20ms window over 128 concurrent submissions must coalesce \
+         (got occupancy {:.2} over {} batches)",
+        stats.mean_batch_occupancy(),
+        stats.batches.load(std::sync::atomic::Ordering::Relaxed)
+    );
+}
+
+#[test]
+fn deadlines_are_honored_at_window_boundaries() {
+    // A 50ms window against a 40ms deadline: the hold is budgeted to half
+    // the remaining slack, so the answer arrives inside the deadline
+    // instead of expiring behind the window.
+    let server = Server::start(ServeConfig {
+        shards: 1,
+        batch_window: BatchWindow::FixedUs(50_000),
+        ..ServeConfig::default()
+    })
+    .expect("server");
+    let handle = server.handle();
+    let mut tight = req(1, "GTX Titan", eval_query(4, 1.0));
+    tight.deadline_ms = Some(40);
+    let resp = handle.query(tight);
+    assert!(
+        resp.result.is_ok(),
+        "a 50ms window must not expire a 40ms-deadline request: {:?}",
+        resp.result
+    );
+    // An already-expired deadline still rejects typed — the window does
+    // not resurrect it.
+    let mut expired = req(2, "GTX Titan", eval_query(4, 1.0));
+    expired.deadline_ms = Some(0);
+    assert_eq!(handle.query(expired).result, Err(Reject::DeadlineExceeded));
+    server.shutdown();
+}
+
+#[test]
+fn many_distinct_plans_in_one_batch_answer_correctly() {
+    // The O(n²) group-by regression shape: every request in the batch
+    // carries its own plan key (distinct throttle factors), all on one
+    // shard. Answers must match direct plan evaluation bit-for-bit.
+    let n = 100u64;
+    let params = all_platforms()
+        .into_iter()
+        .find(|p| p.name == "GTX Titan")
+        .expect("platform")
+        .machine_params(Precision::Single)
+        .expect("single");
+    let reqs: Vec<Request> = (0..n)
+        .map(|i| {
+            let mut r = req(i + 1, "GTX Titan", eval_query(4, 1.0));
+            r.cap = Some(CapOverride::Throttle(1.0 + i as f64 * 0.25));
+            r
+        })
+        .collect();
+    let server = Server::start(ServeConfig {
+        shards: 1,
+        max_batch: 256,
+        batch_window: BatchWindow::FixedUs(20_000),
+        // Far fewer slots than plans: the intern table must evict its way
+        // through the batch without changing any answer.
+        plan_cache_cap: 8,
+        ..ServeConfig::default()
+    })
+    .expect("server");
+    let handle = server.handle();
+    let tickets: Vec<_> = reqs.iter().map(|r| handle.submit(r.clone())).collect();
+    let answers: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    let after = server.shutdown();
+    for (i, resp) in answers.iter().enumerate() {
+        let plan = RooflinePlan::new(params.throttled(1.0 + i as f64 * 0.25));
+        let Ok(QueryResult::Eval { time, energy, power, .. }) = &resp.result else {
+            panic!("request {i} rejected: {:?}", resp.result);
+        };
+        let Query::Eval { flops, bytes } = &reqs[i].query else { unreachable!() };
+        for (k, (&w, &q)) in flops.iter().zip(bytes).enumerate() {
+            let (t, e, p, _) = plan.evaluate(w, q);
+            assert_eq!(t.to_bits(), time[k].to_bits(), "request {i} point {k}: time");
+            assert_eq!(e.to_bits(), energy[k].to_bits(), "request {i} point {k}: energy");
+            assert_eq!(p.to_bits(), power[k].to_bits(), "request {i} point {k}: power");
+        }
+    }
+    let stats = after.stats();
+    let misses = stats.plan_cache_misses.load(std::sync::atomic::Ordering::Relaxed);
+    let evictions = stats.plan_cache_evictions.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(misses >= n, "each distinct plan compiles at least once (misses {misses})");
+    assert!(evictions > 0, "an 8-slot cache over {n} plans must evict (evictions {evictions})");
+}
+
+#[test]
+fn plan_cache_persists_across_batches() {
+    let server =
+        Server::start(ServeConfig { shards: 1, ..ServeConfig::default() }).expect("server");
+    let handle = server.handle();
+    // Sequential queries: each lands in its own batch, so cache hits can
+    // only come from the *persistent* per-worker table — the per-batch
+    // map the cache replaced would score zero here.
+    for i in 0..10u64 {
+        assert!(handle.query(req(i + 1, "Desktop CPU", eval_query(4, 1.0))).result.is_ok());
+    }
+    let after = server.shutdown();
+    let stats = after.stats();
+    let hits = stats.plan_cache_hits.load(std::sync::atomic::Ordering::Relaxed);
+    let misses = stats.plan_cache_misses.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(misses, 1, "one plan, one compile");
+    assert_eq!(hits, 9, "every later batch reuses the interned plan");
+    assert!(stats.plan_cache_hit_rate() > 0.85);
+    server_window_sanity(&after);
+}
+
+/// Post-run sanity on the observability surface the satellites wire up.
+fn server_window_sanity(after: &archline_serve::ServeHandle) {
+    for shard in 0..after.num_shards() {
+        // The gauge is readable and bounded by the adaptive ceiling.
+        assert!(after.shard_window_us(shard) <= 1024 * 1024);
+    }
+}
+
+#[test]
+fn packed_sweeps_match_direct_kernel_evaluation() {
+    // Beyond server-vs-server identity: packed sweep answers must equal
+    // the *direct* kernel over the request's own grid (the packing is a
+    // concatenation, never a re-gridding).
+    let params = all_platforms()
+        .into_iter()
+        .find(|p| p.name == "NUC CPU")
+        .expect("platform")
+        .machine_params(Precision::Single)
+        .expect("single");
+    let plan = RooflinePlan::new(params);
+    let reqs: Vec<Request> = (0..12u64)
+        .map(|i| {
+            let metric = match i % 3 {
+                0 => SweepMetric::Power,
+                1 => SweepMetric::Perf,
+                _ => SweepMetric::EnergyEff,
+            };
+            req(i + 1, "NUC CPU", Query::Sweep {
+                metric,
+                lo: 0.01 * (1.0 + i as f64),
+                hi: 1e3,
+                points: 17 + i as usize,
+            })
+        })
+        .collect();
+    let answers = serve_all(
+        ServeConfig {
+            shards: 1,
+            batch_window: BatchWindow::FixedUs(20_000),
+            ..ServeConfig::default()
+        },
+        &reqs,
+    );
+    for ((_, result), r) in answers.iter().zip(&reqs) {
+        let Query::Sweep { metric, lo, hi, points } = &r.query else { unreachable!() };
+        let xs = sample_intensities(*lo, *hi, *points);
+        let mut want = vec![0.0; xs.len()];
+        match metric {
+            SweepMetric::Power => plan.avg_power_batch(&xs, &mut want),
+            SweepMetric::Perf => plan.perf_batch(&xs, &mut want),
+            SweepMetric::EnergyEff => plan.energy_eff_batch(&xs, &mut want),
+        }
+        let Ok(QueryResult::Sweep { intensity, value }) = result else {
+            panic!("sweep {} rejected: {result:?}", r.id);
+        };
+        for k in 0..xs.len() {
+            assert_eq!(xs[k].to_bits(), intensity[k].to_bits(), "sweep {} grid[{k}]", r.id);
+            assert_eq!(want[k].to_bits(), value[k].to_bits(), "sweep {} value[{k}]", r.id);
+        }
+    }
+}

@@ -26,6 +26,13 @@
 //! Seeded via `ARCHLINE_CHAOS_SEED` (default 42) so CI can soak a seed
 //! matrix; every assertion is seed-independent (severity 1.0 corrupts
 //! regardless of the RNG draw).
+//!
+//! Every server here runs with `ServeConfig::default()` layered under the
+//! chaos knobs — which since ISSUE 9 means *adaptive admission windows
+//! are on*: the whole fault matrix (injection audits, breaker sequences,
+//! bit-identity on healthy shards, drain-on-shutdown) holds with batching
+//! windows enabled. The queries are sequential, so the exact breaker
+//! sequences below are window-independent by construction.
 
 use archline_core::RooflinePlan;
 use archline_faults::{FaultClass, FaultPlan, FaultSpec};
