@@ -25,7 +25,7 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use archline_bench::{prior_schema_warning, BENCH_SCHEMA_VERSION};
-use archline_serve::{Query, Request, ServeConfig, Server};
+use archline_serve::{Phases, Query, Request, ServeConfig, Server};
 use archline_core::{plan::PAR_THRESHOLD, EnergyRoofline, MachineParams, Regime};
 use archline_fit::{try_fit_platform, FitOptions};
 use archline_machine::{spec_for, Engine};
@@ -139,10 +139,46 @@ fn serve_request(id: u64, platform: &str) -> Request {
         double_precision: false,
         cap: None,
         deadline_ms: None,
+        trace: None,
         query: Query::Eval {
             flops: (1..=SERVE_EVAL_POINTS).map(|i| 1e9 * i as f64).collect(),
             bytes: (1..=SERVE_EVAL_POINTS).map(|i| 2e8 * i as f64).collect(),
         },
+    }
+}
+
+/// p50/p99 of one telemetry phase across a run's responses (µs).
+struct PhasePct {
+    p50: f64,
+    p99: f64,
+}
+
+/// Per-phase latency decomposition from the responses' `phases_us`
+/// envelope (schema v6). The serialize phase is wire-level and absent
+/// from the in-process API, so the breakdown stops at `total`.
+struct PhaseBreakdown {
+    queue: PhasePct,
+    window: PhasePct,
+    kernel: PhasePct,
+    total: PhasePct,
+}
+
+impl PhaseBreakdown {
+    fn from_samples(phases: &[Phases]) -> Option<PhaseBreakdown> {
+        if phases.is_empty() {
+            return None;
+        }
+        let pcts = |mut v: Vec<u64>| {
+            v.sort_unstable();
+            let at = |p: f64| v[((v.len() - 1) as f64 * p) as usize] as f64;
+            PhasePct { p50: at(0.50), p99: at(0.99) }
+        };
+        Some(PhaseBreakdown {
+            queue: pcts(phases.iter().map(|p| p.queue_us).collect()),
+            window: pcts(phases.iter().map(|p| p.window_us).collect()),
+            kernel: pcts(phases.iter().map(|p| p.kernel_us).collect()),
+            total: pcts(phases.iter().map(|p| p.total_us).collect()),
+        })
     }
 }
 
@@ -160,6 +196,7 @@ struct ClosedLoop {
     plan_cache_misses: u64,
     plan_cache_evictions: u64,
     plan_cache_hit_rate: f64,
+    phases: Option<PhaseBreakdown>,
 }
 
 /// One arrival rate of the open-loop sweep.
@@ -188,13 +225,14 @@ fn serve_closed_loop(clients: usize, depth: usize, queries_per_client: usize) ->
     let server = Server::start(ServeConfig::default()).expect("serve engine");
     let handle = server.handle();
     let start = Instant::now();
-    let mut latencies: Vec<u64> = std::thread::scope(|s| {
+    let (mut latencies, phase_samples): (Vec<u64>, Vec<Phases>) = std::thread::scope(|s| {
         let threads: Vec<_> = (0..clients)
             .map(|c| {
                 let handle = handle.clone();
                 let platform = SERVE_PLATFORMS[c % SERVE_PLATFORMS.len()];
                 s.spawn(move || {
                     let mut lat = Vec::with_capacity(queries_per_client);
+                    let mut phases = Vec::with_capacity(queries_per_client);
                     let mut q = 0;
                     while q < queries_per_client {
                         let burst = depth.min(queries_per_client - q);
@@ -208,14 +246,24 @@ fn serve_closed_loop(clients: usize, depth: usize, queries_per_client: usize) ->
                             let resp = t.wait();
                             assert!(resp.result.is_ok(), "bench query rejected: {:?}", resp.result);
                             lat.push(t0.elapsed().as_micros() as u64);
+                            if let Some(ph) = resp.phases {
+                                phases.push(ph);
+                            }
                         }
                         q += burst;
                     }
-                    lat
+                    (lat, phases)
                 })
             })
             .collect();
-        threads.into_iter().flat_map(|t| t.join().expect("client thread")).collect()
+        let mut all_lat = Vec::new();
+        let mut all_phases = Vec::new();
+        for t in threads {
+            let (lat, phases) = t.join().expect("client thread");
+            all_lat.extend(lat);
+            all_phases.extend(phases);
+        }
+        (all_lat, all_phases)
     });
     let secs = start.elapsed().as_secs_f64();
     let after = server.shutdown();
@@ -236,6 +284,7 @@ fn serve_closed_loop(clients: usize, depth: usize, queries_per_client: usize) ->
         plan_cache_misses: load(&stats.plan_cache_misses),
         plan_cache_evictions: load(&stats.plan_cache_evictions),
         plan_cache_hit_rate: stats.plan_cache_hit_rate(),
+        phases: PhaseBreakdown::from_samples(&phase_samples),
     }
 }
 
@@ -648,6 +697,25 @@ fn main() {
     let _ = writeln!(json, "    \"latency_p99_us\": {:.1},", h.latency_p99_us);
     let _ = writeln!(json, "    \"mean_batch_occupancy\": {:.3},", h.mean_batch_occupancy);
     let _ = writeln!(json, "    \"window_holds\": {},", h.window_holds);
+    if let Some(ph) = &h.phases {
+        let _ = writeln!(json, "    \"phases_us\": {{");
+        let phase_rows: [(&str, &PhasePct); 4] = [
+            ("queue", &ph.queue),
+            ("window", &ph.window),
+            ("kernel", &ph.kernel),
+            ("total", &ph.total),
+        ];
+        for (i, (name, p)) in phase_rows.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      \"{name}\": {{\"p50\": {:.1}, \"p99\": {:.1}}}{}",
+                p.p50,
+                p.p99,
+                if i == phase_rows.len() - 1 { "" } else { "," }
+            );
+        }
+        let _ = writeln!(json, "    }},");
+    }
     let _ = writeln!(json, "    \"plan_cache\": {{");
     let _ = writeln!(json, "      \"hits\": {},", h.plan_cache_hits);
     let _ = writeln!(json, "      \"misses\": {},", h.plan_cache_misses);

@@ -25,7 +25,12 @@
 ///   an `open_loop` arrival-rate sweep records offered vs achieved qps,
 ///   occupancy, and p99 per rate, and `plan_cache` records hit/miss/
 ///   eviction counts plus the hit rate.
-pub const BENCH_SCHEMA_VERSION: u64 = 5;
+/// * v6: the headline closed-loop run gains a `phases_us` object — p50/p99
+///   of the telemetry plane's per-phase latency decomposition (queue-wait,
+///   window-hold, kernel, total) as reported on the responses' `phases_us`
+///   envelope, so a regression can be localized to a pipeline stage
+///   instead of showing up only in end-to-end p99.
+pub const BENCH_SCHEMA_VERSION: u64 = 6;
 
 /// Inspects a prior `BENCH_model.json` about to be replaced and returns a
 /// human-readable warning when it predates `current` (or does not parse) —
@@ -68,10 +73,17 @@ mod tests {
 
     #[test]
     fn older_schema_warns_with_both_versions() {
-        let w = prior_schema_warning("{\"schema_version\": 2}", BENCH_SCHEMA_VERSION)
+        // Every prior version must warn on downgrade — including the
+        // immediately preceding one (v5 → v6 is the newest edge).
+        for old in 2..BENCH_SCHEMA_VERSION {
+            let w = prior_schema_warning(
+                &format!("{{\"schema_version\": {old}}}"),
+                BENCH_SCHEMA_VERSION,
+            )
             .expect("older schema must warn");
-        assert!(w.contains("schema_version 2"), "{w}");
-        assert!(w.contains(&format!("current is {BENCH_SCHEMA_VERSION}")), "{w}");
+            assert!(w.contains(&format!("schema_version {old}")), "{w}");
+            assert!(w.contains(&format!("current is {BENCH_SCHEMA_VERSION}")), "{w}");
+        }
     }
 
     #[test]

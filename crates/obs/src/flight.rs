@@ -1,0 +1,240 @@
+//! Post-incident flight recorder: a fixed-capacity ring that always holds
+//! the most recent events, dumped as JSONL only when something goes wrong
+//! (a breaker trip, a caught worker panic, a shed-rate spike). Forensics
+//! without always-on trace cost: nothing is formatted or written at record
+//! time, and when the recorder is not installed the hot path stays the one
+//! relaxed load of [`crate::enabled`].
+//!
+//! # Concurrency model
+//!
+//! Writers claim a slot with one relaxed `fetch_add` on the ring cursor
+//! and store an owned copy of the event under that slot's lock, taken with
+//! `try_lock` — a writer **never blocks**: if the slot is held (another
+//! writer wrapped onto it, or a dump is reading it), the record is dropped
+//! and counted in [`FlightRecorder::dropped`]. Slots therefore only ever
+//! hold complete records — a dump can observe a *missing* event, never a
+//! torn one. Dumps take each slot lock briefly (the only blocking path)
+//! and emit records sorted by their process-wide `seq`, so a dump is
+//! strictly seq-increasing with no duplicates.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::{field, Event, EventKind, OwnedEvent};
+use crate::sink::Sink;
+use crate::Level;
+
+/// A fixed-capacity ring of the most recent events. Install it with
+/// [`crate::install_sink`] to start recording (which raises the global
+/// level gate to this recorder's level — the cost of being on), and call
+/// [`FlightRecorder::dump_jsonl`] when an incident needs forensics.
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<OwnedEvent>>>,
+    cursor: AtomicU64,
+    dropped: AtomicU64,
+    level: Level,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (clamped to ≥ 1),
+    /// listening at [`Level::Debug`] — rejection events, fault audits, and
+    /// batch spans, without the per-task trace firehose.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_level(capacity, Level::Debug)
+    }
+
+    /// A recorder with an explicit level ceiling.
+    pub fn with_level(capacity: usize, level: Level) -> Self {
+        Self {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            level,
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever offered to the ring (including overwritten and
+    /// dropped ones).
+    pub fn recorded(&self) -> u64 {
+        // ordering: Relaxed — observational read of a statistic.
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped because their slot was contended at record time.
+    pub fn dropped(&self) -> u64 {
+        // ordering: Relaxed — observational read of a statistic.
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records one event into the ring. Never blocks: slot contention
+    /// drops the record (see the module docs).
+    pub fn record(&self, ev: &Event<'_>) {
+        // ordering: Relaxed — ring cursor: atomicity alone hands each
+        // writer a distinct slot index; slot contents are ordered by the
+        // slot's own mutex.
+        let at = self.cursor.fetch_add(1, Ordering::Relaxed) as usize;
+        let slot = &self.slots[at % self.slots.len()];
+        match slot.try_lock() {
+            Ok(mut cell) => *cell = Some(ev.to_owned()),
+            Err(_) => {
+                // ordering: Relaxed — monotonic statistic, no reader
+                // derives control flow from exact values.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Owned copies of everything currently in the ring, sorted by `seq`
+    /// (strictly increasing: sequence numbers are process-unique).
+    pub fn snapshot(&self) -> Vec<OwnedEvent> {
+        let mut events: Vec<OwnedEvent> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Appends the ring contents as JSONL (one event per line, strictly
+    /// increasing `seq`), closed by a fresh `obs/flight_dump` summary
+    /// event carrying `reason` and the ring statistics. Returns the
+    /// number of ring events dumped (excluding the summary line).
+    pub fn dump_jsonl(&self, reason: &str, out: &mut String) -> usize {
+        let events = self.snapshot();
+        let timing = crate::timing_fields();
+        for e in &events {
+            e.render_jsonl(timing, out);
+            out.push('\n');
+        }
+        let fields = [
+            field("reason", reason.to_string()),
+            field("events", events.len()),
+            field("recorded", self.recorded()),
+            field("dropped", self.dropped()),
+            field("capacity", self.capacity()),
+        ];
+        Event {
+            seq: crate::event::next_seq(),
+            kind: EventKind::Point,
+            level: Level::Info,
+            target: "obs",
+            name: "flight_dump",
+            span_id: 0,
+            parent: 0,
+            dur_ns: None,
+            self_ns: None,
+            fields: &fields,
+            msg: None,
+        }
+        .render_jsonl(timing, out);
+        out.push('\n');
+        events.len()
+    }
+
+    /// Dumps the ring to `path` (truncating — the latest incident wins).
+    /// Returns the number of ring events dumped.
+    pub fn dump_to_file(&self, path: &str, reason: &str) -> std::io::Result<usize> {
+        let mut out = String::with_capacity(self.capacity() * 128);
+        let n = self.dump_jsonl(reason, &mut out);
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(out.as_bytes())?;
+        f.flush()?;
+        Ok(n)
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn max_level(&self) -> Level {
+        self.level
+    }
+
+    fn emit(&self, ev: &Event<'_>) {
+        self.record(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(seq: u64) -> OwnedEvent {
+        let fields = [field("i", seq)];
+        Event {
+            seq,
+            kind: EventKind::Point,
+            level: Level::Debug,
+            target: "test",
+            name: "tick",
+            span_id: 0,
+            parent: 0,
+            dur_ns: None,
+            self_ns: None,
+            fields: &fields,
+            msg: None,
+        }
+        .to_owned()
+    }
+
+    fn record_owned(r: &FlightRecorder, e: &OwnedEvent) {
+        let ev = Event {
+            seq: e.seq,
+            kind: e.kind,
+            level: e.level,
+            target: "test",
+            name: &e.name,
+            span_id: e.span_id,
+            parent: e.parent,
+            dur_ns: e.dur_ns,
+            self_ns: None,
+            fields: &e.fields,
+            msg: e.msg.as_deref(),
+        };
+        r.record(&ev);
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let r = FlightRecorder::new(4);
+        for seq in 1..=10u64 {
+            record_owned(&r, &point(seq));
+        }
+        let got = r.snapshot();
+        assert_eq!(got.len(), 4);
+        let seqs: Vec<u64> = got.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10]);
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn dump_ends_with_the_summary_line() {
+        let r = FlightRecorder::new(8);
+        for seq in 1..=3u64 {
+            record_owned(&r, &point(seq));
+        }
+        let mut out = String::new();
+        let n = r.dump_jsonl("unit-test", &mut out);
+        assert_eq!(n, 3);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let last = lines[3];
+        assert!(last.contains("\"name\":\"flight_dump\""), "{last}");
+        assert!(last.contains("\"reason\":\"unit-test\""), "{last}");
+        assert!(last.contains("\"events\":3"), "{last}");
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let r = FlightRecorder::new(0);
+        assert_eq!(r.capacity(), 1);
+        record_owned(&r, &point(5));
+        assert_eq!(r.snapshot().len(), 1);
+    }
+}

@@ -85,6 +85,26 @@ impl Gauge {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Adjusts the current value by `delta`, saturating at zero — for
+    /// gauges tracking live occupancy (queue depths) where concurrent
+    /// increments race decrements and `set` would lose updates.
+    #[inline]
+    pub fn adjust(&'static self, delta: i64) {
+        self.once.call_once(|| with_registry(|r| r.gauges.push(self)));
+        // ordering: Relaxed — occupancy statistic; fetch_update's RMW
+        // atomicity alone keeps the running value consistent, and no
+        // reader derives control flow from exact values.
+        let updated = self
+            .v
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add_signed(delta))
+            })
+            .unwrap_or(0)
+            .saturating_add_signed(delta);
+        // ordering: Relaxed — max is monotone under fetch_max atomicity.
+        self.max.fetch_max(updated, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         // ordering: Relaxed — observational read of a statistic.
@@ -141,6 +161,13 @@ impl Histogram {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Estimated `q`-quantile of every sample recorded so far. A
+    /// convenience over snapshotting: see [`HistogramSnapshot::quantile`]
+    /// for the estimator and its documented error bound.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
     fn snapshot(&self) -> HistogramSnapshot {
         // ordering: Relaxed — observational snapshot; cells are
         // independent statistics (see `record`).
@@ -186,11 +213,71 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+/// Inclusive lower bound of the power-of-two bucket whose inclusive upper
+/// bound is `le` (bucket 0 holds exactly the value 0).
+fn bucket_lo(le: u64) -> u64 {
+    if le == 0 {
+        0
+    } else {
+        (le >> 1) + 1
+    }
+}
+
+impl HistogramSnapshot {
+    /// Estimated `q`-quantile (nearest rank) of the recorded samples.
+    /// `q` is clamped to `[0, 1]`; an empty histogram answers 0.
+    ///
+    /// # Error bound
+    ///
+    /// Bucket counts are exact, so the estimate `e` always lands in the
+    /// same power-of-two bucket `[lo, 2·lo − 1]` as the true nearest-rank
+    /// sample `t`. Buckets 0 and 1 each hold a single value (`0` and `1`),
+    /// so for `t ≤ 1` the estimate is **exact**; for `t > 1` both `e` and
+    /// `t` lie in `[lo, 2·lo − 1]`, giving the strict relative bound
+    ///
+    /// ```text
+    /// t/2 < e < 2·t
+    /// ```
+    ///
+    /// Within the shared bucket the estimate interpolates linearly in
+    /// rank (assuming samples spread uniformly across the bucket) and is
+    /// clamped to the recorded maximum, which only tightens the bound.
+    /// `tests/obs_telemetry.rs` pins the bound against exact sorted
+    /// samples by property test.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = if q <= 0.0 {
+            1
+        } else {
+            ((q * self.count as f64).ceil() as u64).clamp(1, self.count)
+        };
+        let mut seen = 0u64;
+        for &(le, n) in &self.buckets {
+            if seen + n >= rank {
+                let lo = bucket_lo(le);
+                let hi = le.min(self.max).max(lo);
+                // Linear rank interpolation inside the bucket: the r-th of
+                // n samples sits a fraction r/n of the way up the range.
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est.round() as u64).clamp(lo, hi);
+            }
+            seen += n;
+        }
+        // A torn concurrent snapshot can leave `count` ahead of the bucket
+        // cells; the recorded maximum is the honest answer for the tail.
+        self.max
+    }
+}
+
 struct Registry {
     counters: Vec<&'static Counter>,
     gauges: Vec<&'static Gauge>,
     histograms: Vec<&'static Histogram>,
     dynamic: BTreeMap<String, &'static Counter>,
+    dynamic_gauges: BTreeMap<String, &'static Gauge>,
 }
 
 static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
@@ -202,6 +289,7 @@ fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
         gauges: Vec::new(),
         histograms: Vec::new(),
         dynamic: BTreeMap::new(),
+        dynamic_gauges: BTreeMap::new(),
     });
     f(reg)
 }
@@ -222,6 +310,26 @@ pub fn counter(name: &str) -> &'static Counter {
         r.dynamic.insert(leaked_name.to_string(), c);
         r.counters.push(c);
         c
+    })
+}
+
+/// A dynamically named gauge, interned like [`counter`]: the first call
+/// for a given name leaks one `Gauge`; subsequent calls return the same
+/// instance. Used for per-shard instruments whose count is only known at
+/// runtime (e.g. `serve.shard3.queue_depth`).
+pub fn gauge(name: &str) -> &'static Gauge {
+    with_registry(|r| {
+        if let Some(g) = r.dynamic_gauges.get(name) {
+            return *g;
+        }
+        let leaked_name: &'static str = Box::leak(name.to_string().into_boxed_str());
+        let g: &'static Gauge = Box::leak(Box::new(Gauge::new(leaked_name)));
+        // Registered here directly; burn the `Once` so the first `set`
+        // doesn't register it a second time.
+        g.once.call_once(|| {});
+        r.dynamic_gauges.insert(leaked_name.to_string(), g);
+        r.gauges.push(g);
+        g
     })
 }
 
@@ -285,6 +393,53 @@ impl MetricsSnapshot {
         }
         out.push_str("}}");
     }
+
+    /// Appends this snapshot in Prometheus text exposition format.
+    ///
+    /// Metric names are sanitized (every character outside
+    /// `[a-zA-Z0-9_:]` becomes `_`, so `serve.latency_us` scrapes as
+    /// `serve_latency_us`). Counters and gauges emit one series each
+    /// (plus a `<name>_max` gauge for the high-water mark); histograms
+    /// emit the conventional `<name>_bucket{le="..."}` cumulative series
+    /// with a closing `le="+Inf"` bucket, `<name>_sum`, and
+    /// `<name>_count`. Bucket cells and the count are updated relaxed, so
+    /// a snapshot taken mid-record can momentarily disagree; the exporter
+    /// reconciles by taking the larger of the two for `+Inf`/`_count`.
+    pub fn write_prometheus(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, v, max) in &self.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+            let _ = writeln!(out, "# TYPE {n}_max gauge");
+            let _ = writeln!(out, "{n}_max {max}");
+        }
+        for h in &self.histograms {
+            let n = prom_name(&h.name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cum = 0u64;
+            for (le, c) in &h.buckets {
+                cum += c;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cum}");
+            }
+            let total = h.count.max(cum);
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {total}");
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {total}");
+        }
+    }
+}
+
+/// Sanitizes a metric name for the Prometheus exposition format.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect()
 }
 
 /// Snapshots every registered instrument, sorted (and same-name counters
@@ -346,6 +501,22 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_gauges_are_interned_and_adjust_saturates() {
+        let a = gauge("test.metrics.dyn_gauge");
+        let b = gauge("test.metrics.dyn_gauge");
+        assert!(std::ptr::eq(a, b));
+        a.set(2);
+        a.adjust(3);
+        assert_eq!(a.get(), 5);
+        assert_eq!(a.max(), 5);
+        a.adjust(-9);
+        assert_eq!(a.get(), 0, "adjust saturates at zero");
+        assert_eq!(a.max(), 5);
+        let snap = snapshot();
+        assert!(snap.gauges.iter().any(|(n, _, m)| n == "test.metrics.dyn_gauge" && *m == 5));
+    }
+
+    #[test]
     fn dynamic_counters_are_interned() {
         let a = counter("test.metrics.dyn");
         let b = counter("test.metrics.dyn");
@@ -355,6 +526,87 @@ mod tests {
         assert_eq!(a.get(), 2);
         let snap = snapshot();
         assert_eq!(snap.counter("test.metrics.dyn"), Some(2));
+    }
+
+    fn hist_of(samples: &[u64]) -> HistogramSnapshot {
+        let mut by_le: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for &v in samples {
+            let b = 64 - v.leading_zeros();
+            let le = if b == 0 { 0 } else { ((1u128 << b) - 1) as u64 };
+            *by_le.entry(le).or_insert(0) += 1;
+            sum += v;
+            max = max.max(v);
+        }
+        let count = samples.len() as u64;
+        HistogramSnapshot {
+            name: "test".into(),
+            count,
+            sum,
+            max,
+            mean: if count > 0 { sum as f64 / count as f64 } else { 0.0 },
+            buckets: by_le.into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn quantile_is_exact_for_single_value_buckets() {
+        let h = hist_of(&[0, 0, 0, 1, 1, 1]);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 1);
+        assert_eq!(hist_of(&[]).quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_stays_within_a_factor_of_two() {
+        let samples: Vec<u64> = (0..1000).map(|i| i * i % 7919 + 1).collect();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let h = hist_of(&samples);
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let t = sorted[rank - 1];
+            let e = h.quantile(q);
+            assert!(
+                (t <= 1 && e == t) || (e as f64) < 2.0 * t as f64 && (e as f64) > t as f64 / 2.0,
+                "q={q}: est {e} vs true {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_clamps_to_recorded_max() {
+        // One sample of 1000 lands in the [512, 1023] bucket; the top
+        // estimate must answer the recorded max, not the bucket edge.
+        let h = hist_of(&[1000]);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!(h.quantile(0.5) >= 512 && h.quantile(0.5) <= 1000);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let h = hist_of(&[0, 1, 2, 3, 100]);
+        let snap = MetricsSnapshot {
+            counters: vec![("serve.accepted".into(), 5)],
+            gauges: vec![("serve.queue_depth".into(), 2, 9)],
+            histograms: vec![HistogramSnapshot { name: "serve.latency_us".into(), ..h }],
+        };
+        let mut out = String::new();
+        snap.write_prometheus(&mut out);
+        assert!(out.contains("# TYPE serve_accepted counter\nserve_accepted 5\n"), "{out}");
+        assert!(out.contains("serve_queue_depth 2\n"), "{out}");
+        assert!(out.contains("serve_queue_depth_max 9\n"), "{out}");
+        assert!(out.contains("# TYPE serve_latency_us histogram"), "{out}");
+        // Cumulative buckets: 0→1, 1→2, {2,3}→4, 100→5, then +Inf.
+        assert!(out.contains("serve_latency_us_bucket{le=\"0\"} 1\n"), "{out}");
+        assert!(out.contains("serve_latency_us_bucket{le=\"1\"} 2\n"), "{out}");
+        assert!(out.contains("serve_latency_us_bucket{le=\"3\"} 4\n"), "{out}");
+        assert!(out.contains("serve_latency_us_bucket{le=\"127\"} 5\n"), "{out}");
+        assert!(out.contains("serve_latency_us_bucket{le=\"+Inf\"} 5\n"), "{out}");
+        assert!(out.contains("serve_latency_us_sum 106\n"), "{out}");
+        assert!(out.contains("serve_latency_us_count 5\n"), "{out}");
     }
 
     #[test]

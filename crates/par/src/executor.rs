@@ -224,7 +224,11 @@ impl Executor {
         // mutexes above, and sleepers re-check under `idle_lock` with a
         // timeout backstop, so no ordering stronger than the counter's own
         // atomicity is needed.
-        QUEUE_DEPTH.record(self.shared.queued.fetch_add(n, Ordering::Relaxed) as u64 + n as u64);
+        // A worker may pop (and decrement) before this increment runs, so
+        // the pre-add value can be transiently wrapped-negative; clamp the
+        // sampled depth at zero instead of overflowing the add.
+        let prev = self.shared.queued.fetch_add(n, Ordering::Relaxed);
+        QUEUE_DEPTH.record((prev as i64).saturating_add(n as i64).max(0) as u64);
         {
             let _guard = lock(&self.shared.idle_lock);
             self.shared.idle_cv.notify_all();
@@ -282,7 +286,9 @@ impl Executor {
         // ordering: Relaxed — sleep-gate hint; the task is published by the
         // deque/injector mutex above and sleepers re-check under `idle_lock`
         // with a timeout backstop.
-        QUEUE_DEPTH.record(self.shared.queued.fetch_add(1, Ordering::Relaxed) as u64 + 1);
+        // Same transiently-wrapped-negative tolerance as `run_batch`.
+        let prev = self.shared.queued.fetch_add(1, Ordering::Relaxed);
+        QUEUE_DEPTH.record((prev as i64).saturating_add(1).max(0) as u64);
         let _guard = lock(&self.shared.idle_lock);
         self.shared.idle_cv.notify_all();
     }

@@ -4,6 +4,7 @@
 //! archline-serve [--addr HOST:PORT] [--shards N] [--queue-bound N]
 //!                [--deadline-ms N] [--max-batch N]
 //!                [--batch-window-us adaptive|off|N] [--plan-cache N]
+//!                [--metrics on|off] [--flight-recorder PATH[:CAP]]
 //!                [--inject 'PLATFORM:CLASS:SEVERITY[:SEED]']...
 //!                [--allow-shutdown] [-q] [-v[v]] [--trace-out PATH]
 //! ```
@@ -29,7 +30,7 @@ use archline_faults::{FaultPlan, FaultSpec};
 use archline_obs as obs;
 use archline_platforms::all_platforms;
 use archline_serve::tcp::serve_tcp;
-use archline_serve::{BatchWindow, ServeConfig, Server};
+use archline_serve::{BatchWindow, FlightConfig, ServeConfig, Server};
 
 const EXIT_FATAL: i32 = 1;
 const EXIT_USAGE: i32 = 2;
@@ -42,6 +43,7 @@ fn usage(error: &str) -> ! {
         "usage: archline-serve [--addr HOST:PORT] [--shards N] [--queue-bound N] \
          [--deadline-ms N] [--max-batch N] \
          [--batch-window-us adaptive|off|N] [--plan-cache N] \
+         [--metrics on|off] [--flight-recorder PATH[:CAP]] \
          [--inject 'PLATFORM:CLASS:SEVERITY[:SEED]'] [--allow-shutdown] \
          [-q] [-v[v]] [--trace-out PATH]"
     );
@@ -104,6 +106,17 @@ fn main() {
                 }
             }
             "--plan-cache" => config.plan_cache_cap = next_usize(&mut it, "--plan-cache"),
+            "--metrics" => match it.next().map(|v| ServeConfig::parse_toggle(v)) {
+                Some(Some(on)) => config.telemetry = on,
+                _ => usage("--metrics needs `on` or `off`"),
+            },
+            "--flight-recorder" => match it.next() {
+                Some(spec) => match FlightConfig::parse(spec) {
+                    Ok(f) => config.flight = Some(f),
+                    Err(e) => usage(&format!("--flight-recorder: {e}")),
+                },
+                None => usage("--flight-recorder needs PATH[:CAPACITY]"),
+            },
             "--inject" => match it.next() {
                 Some(value) => match parse_inject(value) {
                     Ok(inj) => injections.push(inj),

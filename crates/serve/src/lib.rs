@@ -52,6 +52,22 @@
 //! validation, so the whole degradation surface is exercised by a live
 //! server in `tests/serve_chaos.rs`.
 //!
+//! ## Telemetry plane
+//!
+//! With telemetry on (the default; `--metrics off` /
+//! `ARCHLINE_SERVE_METRICS=off` disables), every admitted request runs
+//! under a [`TraceId`] — client-supplied via the request's `trace` field
+//! or minted at admission — echoed on the response next to a
+//! [`Phases`] breakdown (`phases_us`: queue-wait, window-hold, kernel,
+//! serialize, total), and the same breakdown feeds per-query-kind obs
+//! histograms the `{"op":"metrics"}` wire op exposes as JSON *and*
+//! Prometheus text exposition. A [`FlightConfig`]-configured flight
+//! recorder (`--flight-recorder PATH[:CAP]`) keeps a ring of recent obs
+//! events and dumps it as JSONL on incident: a breaker trip, a caught
+//! worker panic, or a shed-rate spike. The answer payloads themselves are
+//! bit-identical with telemetry on or off — the envelope grows, the
+//! results do not (pinned by `tests/serve_batching.rs`).
+//!
 //! Healthy shards answer **bit-identically** under load, batching, and
 //! co-resident sabotage: the plan kernels are elementwise and
 //! split-invariant (pinned by `core/tests/plan_properties.rs`), so a
@@ -66,7 +82,12 @@ pub mod breaker;
 pub mod protocol;
 pub mod server;
 pub mod tcp;
+mod telemetry;
 
 pub use breaker::{Breaker, BreakerState};
-pub use protocol::{CapOverride, Query, QueryResult, Reject, Request, Response, SweepMetric};
-pub use server::{BatchWindow, ServeConfig, ServeHandle, ServeStats, Server, Ticket};
+pub use protocol::{
+    CapOverride, Phases, Query, QueryResult, Reject, Request, Response, SweepMetric, TraceId,
+};
+pub use server::{
+    BatchWindow, FlightConfig, ServeConfig, ServeHandle, ServeStats, Server, Ticket,
+};

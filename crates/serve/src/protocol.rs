@@ -14,6 +14,50 @@ use std::collections::BTreeMap;
 /// from the wire, so one request cannot allocate unboundedly.
 pub const MAX_WIRE_POINTS: usize = 1 << 20;
 
+/// A request-scoped trace identifier: 64 bits, rendered on the wire as 16
+/// lowercase hex digits. Either supplied by the client (`"trace":"beef"`,
+/// 1–16 hex digits, zero-extended) or minted at admission; echoed on the
+/// response either way so a client can correlate its own traces with the
+/// server's flight-recorder events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Parses the wire form: 1–16 ASCII hex digits. Shorter strings are
+    /// zero-extended, so `"beef"` and `"000000000000beef"` name the same
+    /// trace.
+    pub fn parse(s: &str) -> Option<TraceId> {
+        if s.is_empty() || s.len() > 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(TraceId)
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Where a response's latency went, in microseconds per phase. `total` is
+/// the admission→answer wall time and equals `queue + window + kernel` up
+/// to clock-read slop; result serialization happens after the answer is
+/// handed to the wire and is measured separately (the fifth `serialize`
+/// entry of the wire's `phases_us` object).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Phases {
+    /// Admission to batch pickup: time spent waiting in the shard queue.
+    pub queue_us: u64,
+    /// Batch pickup to batch dispatch: the admission-window hold.
+    pub window_us: u64,
+    /// Batch dispatch to answer: plan lookup plus kernel evaluation
+    /// (including any retries and sibling plan-groups in the batch).
+    pub kernel_us: u64,
+    /// Admission to answer.
+    pub total_us: u64,
+}
+
 /// Which scalar metric a sweep or crossover query evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SweepMetric {
@@ -109,6 +153,9 @@ pub struct Request {
     /// Per-request deadline in milliseconds (default:
     /// [`ServeConfig::deadline`](crate::ServeConfig::deadline)).
     pub deadline_ms: Option<u64>,
+    /// Client-supplied trace id (`"trace"`, 1–16 hex digits). `None` lets
+    /// the server mint one at admission.
+    pub trace: Option<TraceId>,
     /// The query body.
     pub query: Query,
 }
@@ -196,20 +243,39 @@ pub enum QueryResult {
     },
 }
 
-/// One response: the echoed id plus answer or typed rejection.
+/// One response: the echoed id plus answer or typed rejection, with the
+/// optional telemetry envelope (trace echo, phase breakdown).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     /// Echo of [`Request::id`] (0 when the line never parsed far enough
     /// to recover one).
     pub id: u64,
+    /// The trace id this request ran under (client-supplied or minted at
+    /// admission). `None` only when the request never reached admission
+    /// without a client trace, or telemetry is off.
+    pub trace: Option<TraceId>,
+    /// Where the latency went (present when the engine runs with
+    /// telemetry on and the request was admitted).
+    pub phases: Option<Phases>,
     /// Answer or typed rejection.
     pub result: Result<QueryResult, Reject>,
 }
 
 impl Response {
+    /// A response with no telemetry envelope.
+    pub fn new(id: u64, result: Result<QueryResult, Reject>) -> Self {
+        Self { id, trace: None, phases: None, result }
+    }
+
     /// A rejection response.
     pub fn reject(id: u64, reject: Reject) -> Self {
-        Self { id, result: Err(reject) }
+        Self::new(id, Err(reject))
+    }
+
+    /// Attaches a trace echo.
+    pub fn with_trace(mut self, trace: Option<TraceId>) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Serializes to one NDJSON line (no trailing newline). Non-finite
@@ -217,62 +283,82 @@ impl Response {
     /// rejected before this point, but a client asking for `inf` work
     /// gets `null` fields rather than invalid JSON.
     pub fn to_json_line(&self) -> String {
-        let mut obj: BTreeMap<String, Value> = BTreeMap::new();
-        obj.insert("id".to_string(), Value::from(self.id));
-        match &self.result {
-            Ok(res) => {
-                obj.insert("ok".to_string(), Value::from(true));
-                let mut r: BTreeMap<String, Value> = BTreeMap::new();
-                match res {
-                    QueryResult::Eval { time, energy, power, regime } => {
-                        r.insert("kind".to_string(), Value::from("eval"));
-                        r.insert("time_s".to_string(), Value::from(time.clone()));
-                        r.insert("energy_j".to_string(), Value::from(energy.clone()));
-                        r.insert("power_w".to_string(), Value::from(power.clone()));
-                        r.insert(
-                            "regime".to_string(),
-                            Value::from(
-                                regime.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
-                            ),
-                        );
-                    }
-                    QueryResult::Sweep { intensity, value } => {
-                        r.insert("kind".to_string(), Value::from("sweep"));
-                        r.insert("intensity".to_string(), Value::from(intensity.clone()));
-                        r.insert("value".to_string(), Value::from(value.clone()));
-                    }
-                    QueryResult::Crossover { crossings } => {
-                        r.insert("kind".to_string(), Value::from("crossover"));
-                        let rows: Vec<Value> = crossings
-                            .iter()
-                            .map(|(x, lead)| {
-                                let mut m: BTreeMap<String, Value> = BTreeMap::new();
-                                m.insert("intensity".to_string(), Value::from(*x));
-                                m.insert("a_leads_below".to_string(), Value::from(*lead));
-                                Value::Object(m)
-                            })
-                            .collect();
-                        r.insert("crossings".to_string(), Value::Array(rows));
-                    }
-                }
-                obj.insert("result".to_string(), Value::Object(r));
-            }
+        self.render_timed().0
+    }
+
+    /// [`Self::to_json_line`] plus the measured result-serialization time
+    /// in microseconds (always 0 when the response carries no phase
+    /// breakdown — the clock is only read when telemetry asked for it).
+    /// The same measurement is embedded in the line's
+    /// `phases_us.serialize` entry, so the wire and the serialize-phase
+    /// histogram agree.
+    pub fn render_timed(&self) -> (String, u64) {
+        use std::fmt::Write as _;
+        let started = self.phases.map(|_| std::time::Instant::now());
+        let (ok, key, body) = match &self.result {
+            Ok(res) => (true, "result", result_value(res)),
             Err(reject) => {
-                obj.insert("ok".to_string(), Value::from(false));
                 let mut e: BTreeMap<String, Value> = BTreeMap::new();
                 e.insert("kind".to_string(), Value::from(reject.kind()));
                 e.insert("detail".to_string(), Value::from(reject.detail()));
-                obj.insert("error".to_string(), Value::Object(e));
+                (false, "error", Value::Object(e))
             }
+        };
+        let body = serde_json::to_string(&body).unwrap_or_else(|_| "null".to_string());
+        let serialize_us =
+            started.map(|t0| t0.elapsed().as_micros() as u64).unwrap_or(0);
+        let mut line = String::with_capacity(body.len() + 128);
+        let _ = write!(line, "{{\"id\":{},\"ok\":{ok}", self.id);
+        if let Some(trace) = self.trace {
+            let _ = write!(line, ",\"trace\":\"{trace}\"");
         }
-        serde_json::to_string(&Value::Object(obj)).unwrap_or_else(|e| {
-            format!(
-                "{{\"id\":{},\"ok\":false,\"error\":{{\"kind\":\"internal\",\
-                 \"detail\":\"serialize: {e}\"}}}}",
-                self.id
-            )
-        })
+        if let Some(ph) = self.phases {
+            let _ = write!(
+                line,
+                ",\"phases_us\":{{\"queue\":{},\"window\":{},\"kernel\":{},\
+                 \"serialize\":{},\"total\":{}}}",
+                ph.queue_us, ph.window_us, ph.kernel_us, serialize_us, ph.total_us
+            );
+        }
+        let _ = write!(line, ",\"{key}\":{body}}}");
+        (line, serialize_us)
     }
+}
+
+/// The `result` payload of a successful response.
+fn result_value(res: &QueryResult) -> Value {
+    let mut r: BTreeMap<String, Value> = BTreeMap::new();
+    match res {
+        QueryResult::Eval { time, energy, power, regime } => {
+            r.insert("kind".to_string(), Value::from("eval"));
+            r.insert("time_s".to_string(), Value::from(time.clone()));
+            r.insert("energy_j".to_string(), Value::from(energy.clone()));
+            r.insert("power_w".to_string(), Value::from(power.clone()));
+            r.insert(
+                "regime".to_string(),
+                Value::from(regime.iter().map(|c| c.to_string()).collect::<Vec<_>>()),
+            );
+        }
+        QueryResult::Sweep { intensity, value } => {
+            r.insert("kind".to_string(), Value::from("sweep"));
+            r.insert("intensity".to_string(), Value::from(intensity.clone()));
+            r.insert("value".to_string(), Value::from(value.clone()));
+        }
+        QueryResult::Crossover { crossings } => {
+            r.insert("kind".to_string(), Value::from("crossover"));
+            let rows: Vec<Value> = crossings
+                .iter()
+                .map(|(x, lead)| {
+                    let mut m: BTreeMap<String, Value> = BTreeMap::new();
+                    m.insert("intensity".to_string(), Value::from(*x));
+                    m.insert("a_leads_below".to_string(), Value::from(*lead));
+                    Value::Object(m)
+                })
+                .collect();
+            r.insert("crossings".to_string(), Value::Array(rows));
+        }
+    }
+    Value::Object(r)
 }
 
 /// A parsed wire line: a query or a control op.
@@ -282,8 +368,11 @@ pub enum WireMsg {
     Request(Request),
     /// Liveness probe; answered `{"id":0,"ok":true,"result":{"kind":"pong"}}`.
     Ping,
-    /// Metrics snapshot request.
+    /// Engine counters snapshot request.
     Stats,
+    /// Full obs registry snapshot: counters, gauges, and histograms, both
+    /// as JSON and as Prometheus text exposition format.
+    Metrics,
     /// Graceful shutdown (honored only when the bin allows it).
     Shutdown,
 }
@@ -340,6 +429,7 @@ pub fn parse_line(line: &str) -> Result<WireMsg, String> {
         return match op.as_str() {
             "ping" => Ok(WireMsg::Ping),
             "stats" => Ok(WireMsg::Stats),
+            "metrics" => Ok(WireMsg::Metrics),
             "shutdown" => Ok(WireMsg::Shutdown),
             other => Err(format!("unknown op `{other}`")),
         };
@@ -354,6 +444,13 @@ pub fn parse_line(line: &str) -> Result<WireMsg, String> {
         Some(p) => return Err(format!("unknown precision `{p}`")),
     };
     let deadline_ms = get_u64(obj, "deadline_ms")?;
+    let trace = match get_str(obj, "trace")? {
+        None => None,
+        Some(s) => Some(
+            TraceId::parse(&s)
+                .ok_or_else(|| format!("`trace` must be 1-16 hex digits, got `{s}`"))?,
+        ),
+    };
 
     let cap = match get(obj, "cap") {
         None | Some(Value::Null) => None,
@@ -414,7 +511,7 @@ pub fn parse_line(line: &str) -> Result<WireMsg, String> {
         other => return Err(format!("unknown query kind `{other}`")),
     };
 
-    Ok(WireMsg::Request(Request { id, platform, double_precision, cap, deadline_ms, query }))
+    Ok(WireMsg::Request(Request { id, platform, double_precision, cap, deadline_ms, trace, query }))
 }
 
 fn parse_metric(obj: &BTreeMap<String, Value>) -> Result<SweepMetric, String> {
@@ -475,7 +572,47 @@ mod tests {
 
         assert_eq!(parse_line(r#"{"op":"ping"}"#).unwrap(), WireMsg::Ping);
         assert_eq!(parse_line(r#"{"op":"stats"}"#).unwrap(), WireMsg::Stats);
+        assert_eq!(parse_line(r#"{"op":"metrics"}"#).unwrap(), WireMsg::Metrics);
         assert_eq!(parse_line(r#"{"op":"shutdown"}"#).unwrap(), WireMsg::Shutdown);
+    }
+
+    #[test]
+    fn trace_ids_parse_normalize_and_reject_junk() {
+        let line = r#"{"id":3,"platform":"GTX Titan","trace":"BEEF","query":
+            {"kind":"eval","flops":[1.0],"bytes":[1.0]}}"#;
+        let WireMsg::Request(r) = parse_line(line).unwrap() else { panic!() };
+        assert_eq!(r.trace, Some(TraceId(0xbeef)));
+        assert_eq!(TraceId(0xbeef).to_string(), "000000000000beef");
+        assert_eq!(TraceId::parse("000000000000beef"), Some(TraceId(0xbeef)));
+        for junk in ["", "xyz", "0123456789abcdef0", "be ef"] {
+            assert_eq!(TraceId::parse(junk), None, "{junk:?}");
+        }
+        let bad = r#"{"id":3,"platform":"GTX Titan","trace":"nope","query":
+            {"kind":"eval","flops":[1.0],"bytes":[1.0]}}"#;
+        assert!(parse_line(bad).unwrap_err().contains("`trace`"));
+    }
+
+    #[test]
+    fn telemetry_envelope_rides_the_line_without_touching_the_result() {
+        let result = Ok(QueryResult::Sweep { intensity: vec![1.0, 2.0], value: vec![3.0, 4.0] });
+        let bare = Response::new(7, result.clone());
+        let traced = Response {
+            phases: Some(Phases { queue_us: 5, window_us: 6, kernel_us: 7, total_us: 18 }),
+            ..Response::new(7, result).with_trace(Some(TraceId(0xabc)))
+        };
+        let bare_line = bare.to_json_line();
+        let (traced_line, _) = traced.render_timed();
+        assert!(!bare_line.contains("trace"), "{bare_line}");
+        assert!(!bare_line.contains("phases_us"), "{bare_line}");
+        assert!(traced_line.contains("\"trace\":\"0000000000000abc\""), "{traced_line}");
+        assert!(traced_line.contains("\"queue\":5"), "{traced_line}");
+        assert!(traced_line.contains("\"total\":18"), "{traced_line}");
+        // The result payload is byte-identical with and without telemetry.
+        let strip = |line: &str| {
+            let v: Value = serde_json::from_str(line).unwrap();
+            serde_json::to_string(v.as_object().unwrap().get("result").unwrap()).unwrap()
+        };
+        assert_eq!(strip(&bare_line), strip(&traced_line));
     }
 
     #[test]
@@ -508,15 +645,15 @@ mod tests {
 
     #[test]
     fn response_lines_round_trip_through_the_parser() {
-        let resp = Response {
-            id: 9,
-            result: Ok(QueryResult::Eval {
+        let resp = Response::new(
+            9,
+            Ok(QueryResult::Eval {
                 time: vec![1.5e-3],
                 energy: vec![0.25],
                 power: vec![166.6],
                 regime: vec!['M'],
             }),
-        };
+        );
         let line = resp.to_json_line();
         let v: Value = serde_json::from_str(&line).unwrap();
         let obj = v.as_object().unwrap();

@@ -30,7 +30,10 @@ use archline_obs::{self as obs, field, Counter, Gauge, Histogram};
 use archline_platforms::{all_platforms, Platform, Precision};
 
 use crate::breaker::{Breaker, BreakerState};
-use crate::protocol::{CapOverride, Query, QueryResult, Reject, Request, Response, SweepMetric};
+use crate::protocol::{
+    CapOverride, Phases, Query, QueryResult, Reject, Request, Response, SweepMetric, TraceId,
+};
+use crate::telemetry;
 
 /// Queries admitted into a shard queue.
 static ACCEPTED: Counter = Counter::new("serve.accepted");
@@ -106,6 +109,57 @@ impl BatchWindow {
     }
 }
 
+/// Flight-recorder wiring: a ring of recent obs events that
+/// [`Server::start`] installs as a sink and the engine dumps to `path`
+/// as JSONL on incident — a breaker trip, a caught worker panic, or a
+/// shed-rate spike. Dumps truncate: the latest incident wins.
+#[derive(Clone)]
+pub struct FlightConfig {
+    /// The shared ring. Installing it raises the global obs level gate
+    /// to `Debug` (the cost of being on); the disabled path is untouched.
+    pub recorder: Arc<obs::FlightRecorder>,
+    /// JSONL dump destination.
+    pub path: String,
+    /// Sheds within one second that count as a spike (clamped to ≥ 1).
+    pub shed_spike: u64,
+}
+
+impl FlightConfig {
+    /// Ring capacity when the spec names none.
+    pub const DEFAULT_CAPACITY: usize = 256;
+    /// Default one-second shed count that triggers a dump.
+    pub const DEFAULT_SHED_SPIKE: u64 = 64;
+
+    /// Parses the `--flight-recorder PATH[:CAPACITY]` /
+    /// `ARCHLINE_SERVE_FLIGHT` form.
+    pub fn parse(spec: &str) -> Result<FlightConfig, String> {
+        let (path, capacity) = match spec.rsplit_once(':') {
+            Some((p, c)) if !p.is_empty() && !c.is_empty() && c.bytes().all(|b| b.is_ascii_digit()) => {
+                (p, c.parse::<usize>().map_err(|e| format!("flight capacity `{c}`: {e}"))?)
+            }
+            _ => (spec, Self::DEFAULT_CAPACITY),
+        };
+        if path.is_empty() {
+            return Err("flight recorder path must be non-empty".to_string());
+        }
+        Ok(FlightConfig {
+            recorder: Arc::new(obs::FlightRecorder::new(capacity)),
+            path: path.to_string(),
+            shed_spike: Self::DEFAULT_SHED_SPIKE,
+        })
+    }
+}
+
+impl std::fmt::Debug for FlightConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightConfig")
+            .field("path", &self.path)
+            .field("capacity", &self.recorder.capacity())
+            .field("shed_spike", &self.shed_spike)
+            .finish()
+    }
+}
+
 /// Engine configuration. `Default` is tuned for tests (small queues,
 /// short deadlines are *not* the default — defaults are production-ish);
 /// [`ServeConfig::from_env`] layers `ARCHLINE_SERVE_*` overrides on top.
@@ -141,6 +195,13 @@ pub struct ServeConfig {
     /// Seed for retry-backoff jitter (and the base of injected-seed
     /// rotation across applications).
     pub seed: u64,
+    /// Request telemetry: mint trace ids, stamp per-phase timestamps,
+    /// record the phase histograms, and attach `trace`/`phases_us` to
+    /// responses. Off leaves answers bit-identical minus those envelope
+    /// fields (`--metrics off` / `ARCHLINE_SERVE_METRICS=off`).
+    pub telemetry: bool,
+    /// Flight recorder (off by default; `--flight-recorder PATH[:CAP]`).
+    pub flight: Option<FlightConfig>,
 }
 
 impl Default for ServeConfig {
@@ -159,6 +220,8 @@ impl Default for ServeConfig {
             plan_cache_cap: 32,
             inject: Vec::new(),
             seed: 0,
+            telemetry: true,
+            flight: None,
         }
     }
 }
@@ -201,7 +264,28 @@ impl ServeConfig {
         if let Some(v) = env_u64("ARCHLINE_SERVE_BREAKER_COOLDOWN_MS") {
             cfg.breaker_cooldown = Duration::from_millis(v);
         }
+        if let Some(on) =
+            std::env::var("ARCHLINE_SERVE_METRICS").ok().and_then(|s| Self::parse_toggle(&s))
+        {
+            cfg.telemetry = on;
+        }
+        if let Some(f) = std::env::var("ARCHLINE_SERVE_FLIGHT")
+            .ok()
+            .and_then(|s| FlightConfig::parse(s.trim()).ok())
+        {
+            cfg.flight = Some(f);
+        }
         cfg
+    }
+
+    /// Parses the `--metrics` / `ARCHLINE_SERVE_METRICS` on-off forms:
+    /// `on`/`1`/`true` and `off`/`0`/`false` (case-insensitive).
+    pub fn parse_toggle(s: &str) -> Option<bool> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "on" | "1" | "true" => Some(true),
+            "off" | "0" | "false" => Some(false),
+            _ => None,
+        }
     }
 }
 
@@ -288,6 +372,16 @@ struct Pending {
     query: Query,
     deadline: Instant,
     enqueued: Instant,
+    /// The trace this request runs under: the client's, or minted at
+    /// admission when telemetry is on (`None` = telemetry off and the
+    /// client sent none — nothing to echo).
+    trace: Option<TraceId>,
+    /// When a worker moved it from the shard queue into a batch (end of
+    /// the queue-wait phase).
+    picked: Option<Instant>,
+    /// When its batch dispatched to evaluation (end of the window-hold
+    /// phase).
+    dispatched: Option<Instant>,
     reply: mpsc::Sender<Response>,
 }
 
@@ -297,6 +391,62 @@ struct Shard {
     /// Admission-window width this shard's worker most recently chose,
     /// microseconds (0 = drain-only). Purely observational.
     window_us: AtomicU64,
+    /// Live queue depth (`serve.shard<i>.queue_depth`). Like every obs
+    /// instrument this is process-global: engines sharing a process (and
+    /// a shard index) share the gauge.
+    depth: &'static Gauge,
+}
+
+/// Flight-recorder runtime state: the configured ring plus the spike /
+/// rate-limit bookkeeping, all clocked off the engine's start `Instant`
+/// (monotonic, no wall-clock).
+struct FlightState {
+    cfg: FlightConfig,
+    /// Microseconds-since-start of the last dump (0 = never), for rate
+    /// limiting to one dump per 250ms.
+    last_dump_us: AtomicU64,
+    /// Start (µs since engine start) of the current shed-counting window.
+    shed_window_start_us: AtomicU64,
+    /// Sheds observed in the current window.
+    shed_in_window: AtomicU64,
+}
+
+impl FlightState {
+    fn new(cfg: FlightConfig) -> Self {
+        Self {
+            cfg,
+            last_dump_us: AtomicU64::new(0),
+            shed_window_start_us: AtomicU64::new(0),
+            shed_in_window: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts one shed; `true` when this shed crossed the spike threshold
+    /// for the current one-second window (at most once per window).
+    fn note_shed(&self, started: Instant) -> bool {
+        let now_us = started.elapsed().as_micros() as u64;
+        let spike = self.cfg.shed_spike.max(1);
+        // ordering: Relaxed — spike detection is approximate by design: a
+        // racing window reset can miscount a shed near the boundary, which
+        // costs at most one spurious (or one missed) dump.
+        let window = self.shed_window_start_us.load(Ordering::Relaxed);
+        if now_us.saturating_sub(window) > 1_000_000 {
+            // ordering: Relaxed — one winner rolls the window forward.
+            if self
+                .shed_window_start_us
+                .compare_exchange(window, now_us, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                // ordering: Relaxed — the window winner restarts the count;
+                // a racing add lost near the boundary is tolerated.
+                self.shed_in_window.store(1, Ordering::Relaxed);
+                return spike <= 1;
+            }
+        }
+        // ordering: Relaxed — RMW atomicity makes exactly one shed the
+        // threshold-crossing one per window.
+        self.shed_in_window.fetch_add(1, Ordering::Relaxed) + 1 == spike
+    }
 }
 
 struct Inner {
@@ -309,6 +459,53 @@ struct Inner {
     /// Injection applications so far (rotates injected seeds so retries
     /// can recover at sub-unit severities while staying deterministic).
     injections_applied: AtomicU64,
+    /// Engine start (uptime basis and the flight recorder's clock).
+    started: Instant,
+    flight: Option<FlightState>,
+}
+
+/// Rolls back the optimistic depth accounting of an admission whose send
+/// never published the request (queue full, shard shut down). Safe to run
+/// any time: no worker decrement exists for an unpublished request.
+fn undo_depth(inner: &Inner, shard: &Shard) {
+    shard.depth.adjust(-1);
+    // ordering: Relaxed — gauge accounting only; see `admit`.
+    let depth = inner
+        .depth
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| Some(d.saturating_sub(1)))
+        .unwrap_or(1);
+    QUEUE_DEPTH.set(depth.saturating_sub(1));
+}
+
+/// Dumps the flight recorder (if configured) for an incident, rate
+/// limited to one dump per 250ms so a failure storm produces one
+/// forensics file, not filesystem churn.
+fn flight_incident(inner: &Inner, reason: &str) {
+    let Some(f) = &inner.flight else { return };
+    let now_us = inner.started.elapsed().as_micros() as u64;
+    // ordering: Relaxed — the CAS elects one dumper per interval; the
+    // dump itself reads the ring through its own slot locks.
+    let last = f.last_dump_us.load(Ordering::Relaxed);
+    if last != 0 && now_us.saturating_sub(last) < 250_000 {
+        return;
+    }
+    // ordering: Relaxed — losing the election just skips a redundant dump.
+    if f.last_dump_us
+        .compare_exchange(last, now_us.max(1), Ordering::Relaxed, Ordering::Relaxed)
+        .is_err()
+    {
+        return;
+    }
+    match f.cfg.recorder.dump_to_file(&f.cfg.path, reason) {
+        Ok(n) => obs::warn!(
+            "serve",
+            "serve: flight recorder dumped {n} events to {} ({reason})",
+            f.cfg.path
+        ),
+        Err(e) => {
+            obs::error!("serve", "serve: flight recorder dump to {} failed: {e}", f.cfg.path)
+        }
+    }
 }
 
 /// FNV-1a over the parameter bits: equal params always co-locate (and
@@ -371,6 +568,8 @@ pub struct ServeHandle {
 pub struct Server {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
+    /// Sink registration of the flight recorder, removed at shutdown.
+    flight_sink: Option<obs::SinkId>,
 }
 
 impl Server {
@@ -397,15 +596,21 @@ impl Server {
         };
         let mut shards = Vec::with_capacity(config.shards);
         let mut receivers = Vec::with_capacity(config.shards);
-        for _ in 0..config.shards {
+        for i in 0..config.shards {
             let (tx, rx) = sync_channel::<Pending>(config.queue_bound);
             shards.push(Shard {
                 sender: RwLock::new(Some(tx)),
                 breaker: Breaker::new(config.breaker_trip, config.breaker_cooldown),
                 window_us: AtomicU64::new(0),
+                depth: obs::gauge(&format!("serve.shard{i}.queue_depth")),
             });
             receivers.push(rx);
         }
+        let flight_sink = config
+            .flight
+            .as_ref()
+            .map(|f| obs::install_sink(Arc::clone(&f.recorder) as Arc<dyn obs::Sink>));
+        let flight = config.flight.clone().map(FlightState::new);
         let inner = Arc::new(Inner {
             config,
             shards,
@@ -414,6 +619,8 @@ impl Server {
             depth: AtomicU64::new(0),
             stats: ServeStats::default(),
             injections_applied: AtomicU64::new(0),
+            started: Instant::now(),
+            flight,
         });
         let workers = receivers
             .into_iter()
@@ -434,7 +641,7 @@ impl Server {
             inner.config.max_batch,
             inner.config.deadline
         );
-        Ok(Server { inner, workers })
+        Ok(Server { inner, workers, flight_sink })
     }
 
     /// A cloneable admission handle.
@@ -462,6 +669,9 @@ impl Server {
                 obs::error!("serve", "serve: shard {i} worker panicked outside its guard");
             }
         }
+        if let Some(id) = self.flight_sink.take() {
+            obs::remove_sink(id);
+        }
         obs::info!("serve", "serve: drained and stopped");
         ServeHandle { inner: Arc::clone(&self.inner) }
     }
@@ -488,6 +698,18 @@ impl ServeHandle {
     pub fn shard_window_us(&self, shard: usize) -> u64 {
         // ordering: Relaxed — observational gauge read; no data rides on it.
         self.inner.shards[shard].window_us.load(Ordering::Relaxed)
+    }
+
+    /// Time since this engine started.
+    pub fn uptime(&self) -> Duration {
+        self.inner.started.elapsed()
+    }
+
+    /// Shard `shard`'s live queue depth (the `serve.shard<i>.queue_depth`
+    /// gauge; shared across engines in one process, like every obs
+    /// instrument).
+    pub fn shard_depth(&self, shard: usize) -> u64 {
+        self.inner.shards[shard].depth.get()
     }
 
     /// Which shard a request's resolved parameters map to, or the typed
@@ -555,26 +777,40 @@ impl ServeHandle {
 
     /// The admission path: validate, resolve, breaker-check, bounded
     /// enqueue. Runs on the caller's thread; never blocks on a queue.
+    ///
+    /// The `Err` payload is the full rejection `Response` (envelope fields
+    /// included), handed straight to the reply channel by the one caller —
+    /// boxing it would only add an allocation to the shed path.
+    #[allow(clippy::result_large_err)]
     fn admit(&self, req: Request, reply: &mpsc::Sender<Response>) -> Result<(), Response> {
         let inner = &self.inner;
         let id = req.id;
+        // With telemetry on every admitted request runs under a trace
+        // (client-supplied or minted); rejections echo the client's trace
+        // only — minting an id for a request that never entered would make
+        // the trace vocabulary lie about admission.
+        let trace = if inner.config.telemetry {
+            Some(req.trace.unwrap_or_else(|| telemetry::mint_trace(inner.config.seed)))
+        } else {
+            req.trace
+        };
         // ordering: Acquire — pairs with the Release store in `shutdown`;
         // admission after the flag flips must see the drained senders.
         if !inner.accepting.load(Ordering::Acquire) {
             ServeStats::bump(&inner.stats.shutdown_rejected);
-            return Err(Response::reject(id, Reject::ShuttingDown));
+            return Err(Response::reject(id, Reject::ShuttingDown).with_trace(req.trace));
         }
         if let Err(reject) = validate_query(&req.query, inner.config.max_points) {
             ServeStats::bump(&inner.stats.bad_request);
             BAD_REQUEST.inc();
-            return Err(Response::reject(id, reject));
+            return Err(Response::reject(id, reject).with_trace(req.trace));
         }
         let params = match self.resolve(&req) {
             Ok(p) => p,
             Err(reject) => {
                 ServeStats::bump(&inner.stats.bad_request);
                 BAD_REQUEST.inc();
-                return Err(Response::reject(id, reject));
+                return Err(Response::reject(id, reject).with_trace(req.trace));
             }
         };
         let other_params = match &req.query {
@@ -590,7 +826,7 @@ impl ServeHandle {
                     Err(reject) => {
                         ServeStats::bump(&inner.stats.bad_request);
                         BAD_REQUEST.inc();
-                        return Err(Response::reject(id, reject));
+                        return Err(Response::reject(id, reject).with_trace(req.trace));
                     }
                 }
             }
@@ -614,7 +850,10 @@ impl ServeHandle {
                     ],
                 );
             }
-            return Err(Response::reject(id, Reject::BreakerOpen { shard: shard_idx }));
+            return Err(
+                Response::reject(id, Reject::BreakerOpen { shard: shard_idx })
+                    .with_trace(req.trace),
+            );
         }
         let now = Instant::now();
         let deadline =
@@ -628,6 +867,9 @@ impl ServeHandle {
             query: req.query,
             deadline,
             enqueued: now,
+            trace,
+            picked: None,
+            dispatched: None,
             reply: reply.clone(),
         };
         let sender = {
@@ -636,23 +878,35 @@ impl ServeHandle {
                 Some(tx) => tx.clone(),
                 None => {
                     ServeStats::bump(&inner.stats.shutdown_rejected);
-                    return Err(Response::reject(id, Reject::ShuttingDown));
+                    return Err(Response::reject(id, Reject::ShuttingDown).with_trace(req.trace));
                 }
             }
         };
+        // Gauge up *before* the send publishes the request: the worker's
+        // matching decrement can only run after the send, so it always
+        // observes this increment — adjusting after the send races a fast
+        // worker into a zero-saturated decrement that strands the gauge
+        // one high. Undone on the rejection arms below.
+        shard.depth.adjust(1);
+        // ordering: Relaxed — `depth` is gauge accounting for the
+        // QUEUE_DEPTH metric; the request itself is published by the
+        // channel send below, so the RMW needs only atomicity.
+        QUEUE_DEPTH.set(inner.depth.fetch_add(1, Ordering::Relaxed) + 1);
         match sender.try_send(pending) {
             Ok(()) => {
                 ServeStats::bump(&inner.stats.accepted);
                 ACCEPTED.inc();
-                // ordering: Relaxed — `depth` is gauge accounting for the
-                // QUEUE_DEPTH metric; the request itself is published by
-                // the channel send above, so the RMW needs only atomicity.
-                QUEUE_DEPTH.set(inner.depth.fetch_add(1, Ordering::Relaxed) + 1);
                 Ok(())
             }
             Err(TrySendError::Full(_)) => {
+                undo_depth(inner, shard);
                 ServeStats::bump(&inner.stats.shed);
                 SHED.inc();
+                if let Some(f) = &inner.flight {
+                    if f.note_shed(inner.started) {
+                        flight_incident(inner, "shed_spike");
+                    }
+                }
                 if obs::enabled(obs::Level::Debug) {
                     obs::emit(
                         obs::Level::Debug,
@@ -661,11 +915,13 @@ impl ServeHandle {
                         &[field("id", id), field("kind", "overloaded"), field("shard", shard_idx)],
                     );
                 }
-                Err(Response::reject(id, Reject::Overloaded { shard: shard_idx }))
+                Err(Response::reject(id, Reject::Overloaded { shard: shard_idx })
+                    .with_trace(req.trace))
             }
             Err(TrySendError::Disconnected(_)) => {
+                undo_depth(inner, shard);
                 ServeStats::bump(&inner.stats.shutdown_rejected);
-                Err(Response::reject(id, Reject::ShuttingDown))
+                Err(Response::reject(id, Reject::ShuttingDown).with_trace(req.trace))
             }
         }
     }
@@ -719,8 +975,37 @@ fn jitter(seed: u64) -> u64 {
 
 fn respond(inner: &Inner, p: &Pending, result: Result<QueryResult, Reject>) {
     let ok = result.is_ok();
-    LATENCY_US.record(p.enqueued.elapsed().as_micros() as u64);
-    let _ = p.reply.send(Response { id: p.id, result });
+    let now = Instant::now();
+    let total_us = now.saturating_duration_since(p.enqueued).as_micros() as u64;
+    LATENCY_US.record(total_us);
+    // Phase decomposition: queue (enqueued→picked), window (picked→batch
+    // dispatch), kernel (dispatch→here). The phase total is defined as the
+    // sum of the three parts so it holds exactly despite each duration
+    // flooring its own microsecond conversion (the raw enqueued→now
+    // measurement, off by at most 2us, still feeds LATENCY_US above); the
+    // serialize phase is measured later, at the wire layer. Answers that
+    // skipped a stage (deadline expiry before pick, drain-only batches)
+    // collapse the missing phases to zero rather than invent timestamps.
+    let phases = if inner.config.telemetry {
+        let picked = p.picked.unwrap_or(now);
+        let dispatched = p.dispatched.unwrap_or(picked).max(picked);
+        let queue_us = picked.saturating_duration_since(p.enqueued).as_micros() as u64;
+        let window_us = dispatched.saturating_duration_since(picked).as_micros() as u64;
+        let kernel_us = now.saturating_duration_since(dispatched).as_micros() as u64;
+        let ph = Phases {
+            queue_us,
+            window_us,
+            kernel_us,
+            total_us: queue_us + window_us + kernel_us,
+        };
+        if ok {
+            telemetry::record_phases(telemetry::kind_index(&p.query), &ph);
+        }
+        Some(ph)
+    } else {
+        None
+    };
+    let _ = p.reply.send(Response { id: p.id, trace: p.trace, phases, result });
     if ok {
         ServeStats::bump(&inner.stats.completed);
         COMPLETED.inc();
@@ -881,7 +1166,11 @@ impl WindowCtl {
 fn drain_queued(rx: &Receiver<Pending>, batch: &mut Vec<Pending>, max_batch: usize) -> bool {
     while batch.len() < max_batch {
         match rx.try_recv() {
-            Ok(p) => batch.push(p),
+            Ok(mut p) => {
+                // End of the queue-wait phase: a worker now holds it.
+                p.picked = Some(Instant::now());
+                batch.push(p);
+            }
             Err(TryRecvError::Empty) => return true,
             Err(TryRecvError::Disconnected) => return false,
         }
@@ -915,8 +1204,9 @@ fn hold_window(
             return true;
         };
         match rx.recv_timeout(left) {
-            Ok(p) => {
+            Ok(mut p) => {
                 let now = Instant::now();
+                p.picked = Some(now);
                 hold_until = hold_until.min(now + slack_cap(p.deadline, now));
                 batch.push(p);
                 if !drain_queued(rx, batch, stop_at) {
@@ -937,10 +1227,11 @@ fn worker_loop(inner: Arc<Inner>, shard_idx: usize, rx: Receiver<Pending>) {
     while connected {
         // Block for work; a disconnect means every sender is gone
         // (shutdown) and the queue is fully drained.
-        let first = match rx.recv() {
+        let mut first = match rx.recv() {
             Ok(p) => p,
             Err(_) => break,
         };
+        first.picked = Some(Instant::now());
         let mut batch = vec![first];
         connected = drain_queued(&rx, &mut batch, inner.config.max_batch);
         let drained = batch.len();
@@ -968,6 +1259,7 @@ fn worker_loop(inner: Arc<Inner>, shard_idx: usize, rx: Receiver<Pending>) {
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| Some(d.saturating_sub(taken)))
             .unwrap_or(taken);
         QUEUE_DEPTH.set(depth.saturating_sub(taken));
+        inner.shards[shard_idx].depth.adjust(-(taken as i64));
         process_batch(&inner, shard_idx, batch, &mut plans);
     }
     obs::debug!("serve", "serve: shard {shard_idx} drained");
@@ -989,7 +1281,7 @@ fn process_batch(inner: &Inner, shard_idx: usize, batch: Vec<Pending>, plans: &m
     // requests without evaluating them. Deadline outcomes never touch the
     // breaker — a queueing delay is not an evaluation failure.
     let now = Instant::now();
-    let (live, expired): (Vec<Pending>, Vec<Pending>) =
+    let (mut live, expired): (Vec<Pending>, Vec<Pending>) =
         batch.into_iter().partition(|p| p.deadline > now);
     for p in expired {
         ServeStats::bump(&inner.stats.deadline_expired);
@@ -998,6 +1290,11 @@ fn process_batch(inner: &Inner, shard_idx: usize, batch: Vec<Pending>, plans: &m
     }
     if live.is_empty() {
         return;
+    }
+    // End of the window-hold phase: the batch dispatches to evaluation.
+    // One stamp for the whole batch — the partition instant above.
+    for p in &mut live {
+        p.dispatched = Some(now);
     }
 
     // Group by interned plan so each group is one kernel pass. Groups are
@@ -1034,6 +1331,7 @@ fn process_group(inner: &Inner, shard_idx: usize, plan: &RooflinePlan, group: Ve
         Err(payload) => {
             ServeStats::bump(&inner.stats.panics_caught);
             PANICS_CAUGHT.inc();
+            flight_incident(inner, "worker_panic");
             vec![Err(format!("panic: {}", panic_text(payload))); group.len()]
         }
     };
@@ -1076,6 +1374,7 @@ fn process_group(inner: &Inner, shard_idx: usize, plan: &RooflinePlan, group: Ve
                         Err(payload) => {
                             ServeStats::bump(&inner.stats.panics_caught);
                             PANICS_CAUGHT.inc();
+                            flight_incident(inner, "worker_panic");
                             why = format!("panic: {}", panic_text(payload));
                         }
                     }
@@ -1088,7 +1387,9 @@ fn process_group(inner: &Inner, shard_idx: usize, plan: &RooflinePlan, group: Ve
                     None => {
                         ServeStats::bump(&inner.stats.failed);
                         FAILED.inc();
-                        breaker.on_failure();
+                        if breaker.on_failure() {
+                            flight_incident(inner, "breaker_trip");
+                        }
                         if obs::enabled(obs::Level::Debug) {
                             obs::emit(
                                 obs::Level::Debug,
@@ -1341,6 +1642,7 @@ mod tests {
             double_precision: false,
             cap: None,
             deadline_ms: None,
+            trace: None,
             query: Query::Eval {
                 flops: (1..=n).map(|i| 1e9 * i as f64).collect(),
                 bytes: (1..=n).map(|i| 2e8 * i as f64).collect(),
@@ -1415,6 +1717,7 @@ mod tests {
             double_precision: false,
             cap: None,
             deadline_ms: None,
+            trace: None,
             query: Query::Sweep { metric: SweepMetric::Perf, lo: -1.0, hi: 10.0, points: 8 },
         };
         let resp = handle.query(poisoned);

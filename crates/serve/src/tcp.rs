@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 
 use crate::protocol::{parse_line, salvage_id, Reject, Response, WireMsg};
 use crate::server::{ServeHandle, Ticket};
+use crate::telemetry;
 
 /// What the reader hands the writer: an admitted ticket to wait on, or a
 /// pre-rendered line (control ops, parse rejections).
@@ -86,7 +87,16 @@ fn handle_connection(
         move || -> std::io::Result<()> {
             for out in rx {
                 let line = match out {
-                    Out::Ticket(t) => t.wait().to_json_line(),
+                    Out::Ticket(t) => {
+                        // The serialize phase happens here, on the wire:
+                        // render_timed measures it, embeds it in the
+                        // line's `phases_us`, and we feed the same number
+                        // to the phase histogram.
+                        let resp = t.wait();
+                        let (line, serialize_us) = resp.render_timed();
+                        telemetry::record_serialize(&resp, serialize_us);
+                        line
+                    }
                     Out::Line(l) => l,
                 };
                 writer.write_all(line.as_bytes())?;
@@ -106,6 +116,7 @@ fn handle_connection(
             Ok(WireMsg::Request(req)) => Out::Ticket(handle.submit(req)),
             Ok(WireMsg::Ping) => Out::Line(control_line("pong", &[])),
             Ok(WireMsg::Stats) => Out::Line(stats_line(handle)),
+            Ok(WireMsg::Metrics) => Out::Line(metrics_line(handle)),
             Ok(WireMsg::Shutdown) => {
                 if allow_shutdown {
                     // ordering: Release — pairs with the accept loop's
@@ -158,7 +169,10 @@ fn stats_line(handle: &ServeHandle) -> String {
         .collect();
     let windows: Vec<Value> =
         (0..handle.num_shards()).map(|i| Value::from(handle.shard_window_us(i))).collect();
+    let depths: Vec<Value> =
+        (0..handle.num_shards()).map(|i| Value::from(handle.shard_depth(i))).collect();
     let extra = [
+        ("uptime_s", Value::from(handle.uptime().as_secs_f64())),
         ("accepted", load(&s.accepted)),
         ("shed", load(&s.shed)),
         ("deadline_expired", load(&s.deadline_expired)),
@@ -171,6 +185,7 @@ fn stats_line(handle: &ServeHandle) -> String {
         ("mean_batch_occupancy", Value::from(s.mean_batch_occupancy())),
         ("window_holds", load(&s.window_holds)),
         ("window_us", Value::Array(windows)),
+        ("queue_depths", Value::Array(depths)),
         ("plan_cache_hits", load(&s.plan_cache_hits)),
         ("plan_cache_misses", load(&s.plan_cache_misses)),
         ("plan_cache_evictions", load(&s.plan_cache_evictions)),
@@ -178,6 +193,29 @@ fn stats_line(handle: &ServeHandle) -> String {
         ("breakers", Value::Array(breakers)),
     ];
     control_line("stats", &extra)
+}
+
+/// The `{"op":"metrics"}` answer: one NDJSON line carrying the full obs
+/// registry snapshot twice — as a structured `json` object (spliced in
+/// verbatim from [`obs::metrics::MetricsSnapshot::write_json`]) and as a
+/// Prometheus text exposition `prometheus` string — plus the engine's
+/// `uptime_s`. One line keeps the wire framing; scrapers unwrap the
+/// field they want.
+fn metrics_line(handle: &ServeHandle) -> String {
+    use std::fmt::Write as _;
+    let snap = obs::metrics::snapshot();
+    let mut json = String::new();
+    snap.write_json(&mut json);
+    let mut prom = String::new();
+    snap.write_prometheus(&mut prom);
+    let prom = serde_json::to_string(&Value::from(prom.as_str())).unwrap_or_default();
+    let mut line = String::with_capacity(json.len() + prom.len() + 96);
+    let _ = write!(
+        line,
+        "{{\"id\":0,\"ok\":true,\"result\":{{\"kind\":\"metrics\",\"uptime_s\":{},\"json\":{json},\"prometheus\":{prom}}}}}",
+        handle.uptime().as_secs_f64(),
+    );
+    line
 }
 
 #[cfg(test)]

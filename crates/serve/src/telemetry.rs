@@ -1,0 +1,172 @@
+//! Trace-id minting and phase-decomposed latency instruments.
+//!
+//! Every admitted request runs under a [`TraceId`] (client-supplied or
+//! minted here — deterministically, from a process-wide counter mixed
+//! with the engine seed, never from wall-clock time) and carries
+//! monotonic per-phase timestamps. When a request is answered, the phase
+//! breakdown is recorded into per-query-kind obs [`Histogram`]s named
+//! `serve.phase.<phase>_us.<kind>`, which the `{"op":"metrics"}` wire op
+//! exposes as JSON and Prometheus text (`serve_phase_queue_us_eval`, …).
+//!
+//! The serialize phase is special: it happens after the worker hands the
+//! answer to the wire, so the TCP layer measures it around response
+//! rendering and records it here via [`record_serialize`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use archline_obs::Histogram;
+
+use crate::protocol::{Phases, Query, QueryResult, TraceId};
+
+/// Instrument index for a query body. The kind vocabulary (and histogram
+/// name suffix) is `eval` (0), `sweep` (1), `crossover` (2).
+pub(crate) fn kind_index(q: &Query) -> usize {
+    match q {
+        Query::Eval { .. } => 0,
+        Query::Sweep { .. } => 1,
+        Query::Crossover { .. } => 2,
+    }
+}
+
+/// Instrument index for an answered result.
+pub(crate) fn result_kind_index(r: &QueryResult) -> usize {
+    match r {
+        QueryResult::Eval { .. } => 0,
+        QueryResult::Sweep { .. } => 1,
+        QueryResult::Crossover { .. } => 2,
+    }
+}
+
+static EVAL_QUEUE: Histogram = Histogram::new("serve.phase.queue_us.eval");
+static EVAL_WINDOW: Histogram = Histogram::new("serve.phase.window_us.eval");
+static EVAL_KERNEL: Histogram = Histogram::new("serve.phase.kernel_us.eval");
+static EVAL_SERIALIZE: Histogram = Histogram::new("serve.phase.serialize_us.eval");
+static EVAL_TOTAL: Histogram = Histogram::new("serve.phase.total_us.eval");
+static SWEEP_QUEUE: Histogram = Histogram::new("serve.phase.queue_us.sweep");
+static SWEEP_WINDOW: Histogram = Histogram::new("serve.phase.window_us.sweep");
+static SWEEP_KERNEL: Histogram = Histogram::new("serve.phase.kernel_us.sweep");
+static SWEEP_SERIALIZE: Histogram = Histogram::new("serve.phase.serialize_us.sweep");
+static SWEEP_TOTAL: Histogram = Histogram::new("serve.phase.total_us.sweep");
+static CROSS_QUEUE: Histogram = Histogram::new("serve.phase.queue_us.crossover");
+static CROSS_WINDOW: Histogram = Histogram::new("serve.phase.window_us.crossover");
+static CROSS_KERNEL: Histogram = Histogram::new("serve.phase.kernel_us.crossover");
+static CROSS_SERIALIZE: Histogram = Histogram::new("serve.phase.serialize_us.crossover");
+static CROSS_TOTAL: Histogram = Histogram::new("serve.phase.total_us.crossover");
+
+/// One query kind's phase instruments.
+struct PhaseSet {
+    queue: &'static Histogram,
+    window: &'static Histogram,
+    kernel: &'static Histogram,
+    serialize: &'static Histogram,
+    total: &'static Histogram,
+}
+
+fn phase_set(kind: usize) -> PhaseSet {
+    match kind {
+        0 => PhaseSet {
+            queue: &EVAL_QUEUE,
+            window: &EVAL_WINDOW,
+            kernel: &EVAL_KERNEL,
+            serialize: &EVAL_SERIALIZE,
+            total: &EVAL_TOTAL,
+        },
+        1 => PhaseSet {
+            queue: &SWEEP_QUEUE,
+            window: &SWEEP_WINDOW,
+            kernel: &SWEEP_KERNEL,
+            serialize: &SWEEP_SERIALIZE,
+            total: &SWEEP_TOTAL,
+        },
+        _ => PhaseSet {
+            queue: &CROSS_QUEUE,
+            window: &CROSS_WINDOW,
+            kernel: &CROSS_KERNEL,
+            serialize: &CROSS_SERIALIZE,
+            total: &CROSS_TOTAL,
+        },
+    }
+}
+
+/// Records a successfully answered request's phase breakdown for its
+/// query kind (the serialize phase arrives later, from the wire layer).
+pub(crate) fn record_phases(kind: usize, ph: &Phases) {
+    let set = phase_set(kind);
+    set.queue.record(ph.queue_us);
+    set.window.record(ph.window_us);
+    set.kernel.record(ph.kernel_us);
+    set.total.record(ph.total_us);
+}
+
+/// Records the wire-measured serialization time for an answered response
+/// (phase-carrying successes only — rejections serialize a fixed-shape
+/// error object whose cost says nothing about result size).
+pub(crate) fn record_serialize(resp: &crate::protocol::Response, us: u64) {
+    if resp.phases.is_none() {
+        return;
+    }
+    if let Ok(res) = &resp.result {
+        phase_set(result_kind_index(res)).serialize.record(us);
+    }
+}
+
+/// Process-wide mint counter; see [`mint_trace`].
+static TRACE_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// splitmix64 — a cheap bijective mixer, so sequential mint counts come
+/// out looking like ids rather than 1, 2, 3, …
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Mints a trace id for a request that arrived without one: splitmix64
+/// over a process-wide counter mixed with the engine seed. Deterministic
+/// for a given (seed, admission order) — no wall-clock input — and
+/// process-unique because the counter never repeats.
+pub(crate) fn mint_trace(seed: u64) -> TraceId {
+    // ordering: Relaxed — RMW atomicity alone hands each mint a distinct
+    // counter value; nothing else rides on this counter.
+    let n = TRACE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    TraceId(splitmix64(n ^ seed.rotate_left(32)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_traces_are_distinct() {
+        let a = mint_trace(7);
+        let b = mint_trace(7);
+        let c = mint_trace(8);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn kind_indices_agree_between_query_and_result() {
+        let q = Query::Eval { flops: vec![1.0], bytes: vec![1.0] };
+        let r = QueryResult::Eval {
+            time: vec![],
+            energy: vec![],
+            power: vec![],
+            regime: vec![],
+        };
+        assert_eq!(kind_index(&q), result_kind_index(&r));
+        assert_eq!(kind_index(&q), 0, "eval is kind 0");
+    }
+
+    #[test]
+    fn phase_records_land_in_the_registry() {
+        record_phases(0, &Phases { queue_us: 1, window_us: 2, kernel_us: 3, total_us: 6 });
+        let snap = archline_obs::metrics::snapshot();
+        let count = |name: &str| {
+            snap.histograms.iter().find(|h| h.name == name).map(|h| h.count).unwrap_or(0)
+        };
+        assert!(count("serve.phase.queue_us.eval") >= 1);
+        assert!(count("serve.phase.total_us.eval") >= 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Telemetry-plane contracts in archline-obs (ISSUE 10):
+//!
+//! * [`HistogramSnapshot::quantile`] documents an error bound — exact for
+//!   true quantiles `t ≤ 1`, strict `t/2 < e < 2·t` otherwise. The
+//!   property tests here pin that bound against the *exact* nearest-rank
+//!   quantile of sorted samples (the doc on `quantile` points at this
+//!   file).
+//! * [`FlightRecorder`] promises torn-write-free dumps under concurrent
+//!   writers: a dump is strictly `seq`-increasing JSONL even while writer
+//!   threads race the ring and one of them dies mid-flight.
+//!
+//! [`HistogramSnapshot::quantile`]: archline_obs::HistogramSnapshot::quantile
+//! [`FlightRecorder`]: archline_obs::FlightRecorder
+
+use std::sync::Arc;
+
+use archline_obs::{self as obs, FlightRecorder, Histogram};
+use proptest::prelude::*;
+
+/// Samples spread over many magnitudes (bit lengths 0..=40), so every
+/// power-of-two bucket shape gets exercised — including the exact
+/// single-value buckets for 0 and 1.
+fn arb_samples() -> BoxedStrategy<Vec<u64>> {
+    proptest::collection::vec(
+        (0u32..=40).prop_flat_map(|bits| 0u64..=(1u64 << bits)),
+        1..120,
+    )
+}
+
+/// Exact nearest-rank `q`-quantile of `samples` (the reference the
+/// histogram estimate is judged against).
+fn exact_quantile(samples: &[u64], q: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as u64;
+    let rank = if q <= 0.0 { 1 } else { ((q * n as f64).ceil() as u64).clamp(1, n) };
+    sorted[(rank - 1) as usize]
+}
+
+/// A fresh histogram per case: `record` wants `&'static self` (it
+/// self-registers), so each case leaks one — a few hundred bytes per case
+/// in a test process.
+fn fresh_histogram(samples: &[u64]) -> &'static Histogram {
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new("obs.telemetry.prop")));
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The documented error bound holds for every (samples, q) pair:
+    /// exact when the true nearest-rank sample is 0 or 1, strictly within
+    /// (t/2, 2t) otherwise.
+    #[test]
+    fn quantile_respects_documented_error_bound(
+        samples in arb_samples(),
+        q in 0f64..=1.0,
+    ) {
+        let h = fresh_histogram(&samples);
+        let t = exact_quantile(&samples, q);
+        let e = h.quantile(q);
+        if t <= 1 {
+            prop_assert_eq!(e, t, "t <= 1 must be exact (q={q}, samples={samples:?})");
+        } else {
+            prop_assert!(
+                (e as f64) > t as f64 / 2.0 && (e as f64) < 2.0 * t as f64,
+                "bound violated: t={t}, e={e}, q={q}, samples={samples:?}"
+            );
+        }
+    }
+
+    /// The estimator never leaves the sample envelope and is monotone in
+    /// `q` — a p99 can never undercut a p50 from the same snapshot.
+    #[test]
+    fn quantile_is_monotone_and_bounded(
+        samples in arb_samples(),
+        q1 in 0f64..=1.0,
+        q2 in 0f64..=1.0,
+    ) {
+        let h = fresh_histogram(&samples);
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let (e_lo, e_hi) = (h.quantile(lo), h.quantile(hi));
+        prop_assert!(e_lo <= e_hi, "quantile not monotone: q{lo}->{e_lo} > q{hi}->{e_hi}");
+        let max = samples.iter().copied().max().unwrap_or(0);
+        prop_assert!(e_hi <= max, "estimate {e_hi} above recorded max {max}");
+    }
+}
+
+/// Extracts `"seq":N` from one rendered JSONL line without a full parser —
+/// seq is always the first key the encoder writes.
+fn seq_of(line: &str) -> u64 {
+    let rest = line.strip_prefix("{\"seq\":").unwrap_or_else(|| {
+        panic!("line does not start with a seq field (torn write?): {line}")
+    });
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().unwrap_or_else(|_| panic!("bad seq in line: {line}"))
+}
+
+#[test]
+fn flight_dump_is_torn_free_under_concurrent_writers_and_a_panic() {
+    const WRITERS: usize = 8;
+    const EVENTS_PER_WRITER: u64 = 400;
+
+    let recorder = Arc::new(FlightRecorder::new(64));
+    let sink = obs::install_sink(Arc::clone(&recorder) as Arc<dyn obs::Sink>);
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            std::thread::spawn(move || {
+                for i in 0..EVENTS_PER_WRITER {
+                    obs::debug!("flight_test", "writer {w} tick {i}");
+                }
+            })
+        })
+        .collect();
+    // One task dies mid-flight: the ring must stay consistent when a
+    // writer's thread unwinds right after recording.
+    let panicker = std::thread::spawn(|| {
+        obs::warn!("flight_test", "incident imminent");
+        panic!("deliberate test panic");
+    });
+
+    for w in writers {
+        w.join().expect("writer thread");
+    }
+    assert!(panicker.join().is_err(), "panicker must actually panic");
+    obs::remove_sink(sink);
+
+    // Every offered event either landed in a slot or was counted dropped;
+    // nothing vanishes silently. (>= because unrelated obs activity in
+    // this process may also have reached the installed sink.)
+    let offered = WRITERS as u64 * EVENTS_PER_WRITER + 1;
+    assert!(
+        recorder.recorded() >= offered,
+        "cursor saw {} events, expected at least {offered}",
+        recorder.recorded()
+    );
+
+    let mut out = String::new();
+    let dumped = recorder.dump_jsonl("concurrency_test", &mut out);
+    assert!(dumped > 0, "ring cannot be empty after {offered} events");
+    assert!(dumped <= recorder.capacity(), "ring cannot exceed capacity");
+
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), dumped + 1, "ring events + one summary line");
+
+    let mut prev_seq = None;
+    for line in &lines {
+        // A torn record would fail to parse as a complete JSON object.
+        let v: serde_json::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("torn/unparseable dump line: {e}: {line}"));
+        let obj = v.as_object().expect("dump line is an object");
+        for key in ["seq", "ev", "level", "target"] {
+            assert!(obj.contains_key(key), "dump line missing `{key}`: {line}");
+        }
+        let seq = seq_of(line);
+        if let Some(p) = prev_seq {
+            assert!(seq > p, "seq not strictly increasing: {p} then {seq}");
+        }
+        prev_seq = Some(seq);
+    }
+
+    let summary = lines.last().expect("summary line");
+    assert!(summary.contains("\"name\":\"flight_dump\""), "{summary}");
+    assert!(summary.contains("\"reason\":\"concurrency_test\""), "{summary}");
+}

@@ -22,6 +22,9 @@
 //! * **Plan-cache persistence** — plans survive across batches (hits
 //!   accumulate), and a deliberately tiny cache evicts without ever
 //!   changing an answer.
+//! * **Telemetry invariance** (ISSUE 10) — serving with the telemetry
+//!   plane on vs off changes only the response envelope (trace ids,
+//!   `phases_us`), never a result bit.
 
 use archline_core::power::sample_intensities;
 use archline_core::RooflinePlan;
@@ -43,6 +46,7 @@ fn req(id: u64, platform: &str, query: Query) -> Request {
         double_precision: false,
         cap: None,
         deadline_ms: None,
+        trace: None,
         query,
     }
 }
@@ -186,6 +190,56 @@ fn windowed_packed_serving_is_bit_identical_to_unbatched() {
         assert_eq!(id_a, id_b);
         assert_bits_equal(*id_a, a, b);
     }
+}
+
+#[test]
+fn telemetry_on_and_off_answer_bit_identically() {
+    // The telemetry plane rides the response *envelope* (trace ids,
+    // phases_us); the result payloads must be byte-for-byte identical
+    // with it on (the default) and off — observation must not perturb
+    // the observable.
+    let reqs = workload();
+    let on = serve_all(
+        ServeConfig { shards: 1, telemetry: true, ..ServeConfig::default() },
+        &reqs,
+    );
+    let off = serve_all(
+        ServeConfig { shards: 1, telemetry: false, ..ServeConfig::default() },
+        &reqs,
+    );
+    assert_eq!(on.len(), off.len());
+    for ((id_a, a), (id_b, b)) in on.iter().zip(&off) {
+        assert_eq!(id_a, id_b);
+        assert_bits_equal(*id_a, a, b);
+    }
+
+    // And the envelope itself honors the toggle: telemetry-on responses
+    // carry a minted trace + phase breakdown, telemetry-off responses
+    // carry neither (no client trace was supplied).
+    let probe = |telemetry: bool| {
+        let server = Server::start(ServeConfig {
+            shards: 1,
+            telemetry,
+            ..ServeConfig::default()
+        })
+        .expect("server");
+        let resp = server.handle().query(req(1, "GTX Titan", eval_query(4, 1.0)));
+        server.shutdown();
+        resp
+    };
+    let with = probe(true);
+    assert!(with.result.is_ok(), "{:?}", with.result);
+    assert!(with.trace.is_some(), "telemetry on mints a trace");
+    let phases = with.phases.expect("telemetry on attaches phases");
+    assert_eq!(
+        phases.total_us,
+        phases.queue_us + phases.window_us + phases.kernel_us,
+        "phase decomposition must sum exactly to the total"
+    );
+    let without = probe(false);
+    assert!(without.result.is_ok(), "{:?}", without.result);
+    assert!(without.trace.is_none(), "telemetry off mints nothing");
+    assert!(without.phases.is_none(), "telemetry off stamps nothing");
 }
 
 #[test]

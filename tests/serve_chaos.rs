@@ -54,6 +54,7 @@ fn eval_req(id: u64, platform: &str) -> Request {
         double_precision: false,
         cap: None,
         deadline_ms: None,
+        trace: None,
         query: Query::Eval {
             flops: (1..=8).map(|i| 3e9 * i as f64).collect(),
             bytes: (1..=8).map(|i| 5e8 / i as f64).collect(),
@@ -214,6 +215,7 @@ fn soak_one_class(class: FaultClass, seed: u64) {
         double_precision: false,
         cap: None,
         deadline_ms: None,
+        trace: None,
         query: Query::Sweep { metric: SweepMetric::Perf, lo: -1.0, hi: 10.0, points: 8 },
     };
     match handle.query(poisoned).result {

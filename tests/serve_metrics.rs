@@ -1,0 +1,272 @@
+//! Telemetry-plane wire contract (ISSUE 10): a live NDJSON/TCP server
+//! must round-trip client trace ids, expose `uptime_s` and per-shard
+//! queue depths on the stats op, and answer `{"op":"metrics"}` with a
+//! Prometheus text exposition whose per-phase histogram `_count` equals
+//! the queries actually served.
+//!
+//! One sequential `#[test]` drives all three assertions against one
+//! server: the phase histograms are process-global obs instruments, so
+//! splitting into parallel tests would race the `_count` bookkeeping.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use archline_serve::tcp::serve_tcp;
+use archline_serve::{ServeConfig, Server};
+use serde_json::Value;
+
+/// Minimal Prometheus text-exposition parser: `name{labels} value` and
+/// `name value` lines into a flat map keyed by the full series name
+/// (label block included, verbatim). `# TYPE`/`# HELP` comments are
+/// validated for shape and skipped.
+fn parse_prometheus(text: &str) -> BTreeMap<String, f64> {
+    let mut series = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            let kind = words.next().unwrap_or("");
+            assert!(
+                kind == "TYPE" || kind == "HELP",
+                "unknown exposition comment: {line}"
+            );
+            if kind == "TYPE" {
+                let ty = words.nth(1).unwrap_or("");
+                assert!(
+                    ["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty),
+                    "bad TYPE line: {line}"
+                );
+            }
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad series: {line}"));
+        let value: f64 = value.parse().unwrap_or_else(|_| panic!("bad value: {line}"));
+        assert!(
+            name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_'),
+            "bad series name: {line}"
+        );
+        series.insert(name.trim().to_string(), value);
+    }
+    series
+}
+
+/// Cumulative-bucket sanity for one histogram: buckets never decrease and
+/// the `+Inf` bucket equals `_count`.
+fn assert_histogram_shape(series: &BTreeMap<String, f64>, name: &str) {
+    let mut buckets: Vec<(&str, f64)> = series
+        .iter()
+        .filter(|(k, _)| k.starts_with(&format!("{name}_bucket{{")))
+        .map(|(k, v)| (k.as_str(), *v))
+        .collect();
+    // Buckets sort by numeric le (the exposition emits them in order, but
+    // the map resorted lexicographically); re-derive the numeric order.
+    buckets.sort_by(|a, b| {
+        let le = |s: &str| -> f64 {
+            let inner = s.rsplit_once("le=\"").map(|(_, t)| t).unwrap_or("");
+            let inner = inner.trim_end_matches("\"}");
+            if inner == "+Inf" { f64::INFINITY } else { inner.parse().unwrap_or(f64::NAN) }
+        };
+        le(a.0).partial_cmp(&le(b.0)).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    assert!(!buckets.is_empty(), "{name}: no _bucket series");
+    let mut prev = 0.0;
+    for (k, v) in &buckets {
+        assert!(*v >= prev, "{k}: cumulative bucket decreased ({v} < {prev})");
+        prev = *v;
+    }
+    let inf = buckets.last().map(|(_, v)| *v).unwrap_or(0.0);
+    let count = series.get(&format!("{name}_count")).copied().unwrap_or(-1.0);
+    assert_eq!(inf, count, "{name}: +Inf bucket must equal _count");
+    assert!(series.contains_key(&format!("{name}_sum")), "{name}: missing _sum");
+}
+
+struct Client {
+    w: BufWriter<TcpStream>,
+    r: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            w: BufWriter::new(stream.try_clone().expect("clone")),
+            r: BufReader::new(stream),
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> BTreeMap<String, Value> {
+        writeln!(self.w, "{line}").expect("send");
+        self.w.flush().expect("flush");
+        let mut resp = String::new();
+        self.r.read_line(&mut resp).expect("recv");
+        let v: Value = serde_json::from_str(resp.trim()).expect("response parses");
+        v.as_object().expect("response is an object").clone()
+    }
+}
+
+fn get_u64(obj: &BTreeMap<String, Value>, key: &str) -> Option<u64> {
+    match obj.get(key) {
+        Some(Value::Number(serde_json::Number::PosInt(n))) => Some(*n),
+        _ => None,
+    }
+}
+
+#[test]
+fn live_server_traces_stats_and_prometheus_metrics() {
+    let server = Server::start(ServeConfig { shards: 2, ..ServeConfig::default() })
+        .expect("server");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let handle = server.handle();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    std::thread::spawn(move || serve_tcp(listener, handle, false, stop2));
+    let mut client = Client::connect(addr);
+
+    // --- Trace round-trip: a client-supplied trace id echoes verbatim
+    // (normalized to 16 hex digits), a traceless request gets a mint.
+    let resp = client.roundtrip(
+        r#"{"id":1,"trace":"deadbeef","platform":"GTX Titan","query":{"kind":"eval","flops":[1e9],"bytes":[1e8]}}"#,
+    );
+    assert_eq!(resp.get("ok"), Some(&Value::Bool(true)), "{resp:?}");
+    assert_eq!(
+        resp.get("trace"),
+        Some(&Value::String("00000000deadbeef".to_string())),
+        "client trace must echo, zero-extended"
+    );
+    let phases = resp.get("phases_us").and_then(Value::as_object).expect("phases_us attached");
+    for key in ["queue", "window", "kernel", "serialize", "total"] {
+        assert!(phases.contains_key(key), "phases_us missing `{key}`: {phases:?}");
+    }
+
+    let resp = client.roundtrip(
+        r#"{"id":2,"platform":"GTX Titan","query":{"kind":"eval","flops":[1e9],"bytes":[1e8]}}"#,
+    );
+    match resp.get("trace") {
+        Some(Value::String(t)) => {
+            assert_eq!(t.len(), 16, "minted trace is 16 hex digits: {t}");
+            assert!(t.bytes().all(|b| b.is_ascii_hexdigit()), "minted trace is hex: {t}");
+        }
+        other => panic!("telemetry-on server must mint a trace, got {other:?}"),
+    }
+
+    // A bad trace is a parse-level rejection naming the field.
+    let resp = client.roundtrip(
+        r#"{"id":3,"trace":"not-hex","platform":"GTX Titan","query":{"kind":"eval","flops":[1.0],"bytes":[1.0]}}"#,
+    );
+    assert_eq!(resp.get("ok"), Some(&Value::Bool(false)), "{resp:?}");
+
+    // Serve a known batch of queries so the histograms have real mass.
+    const EXTRA: u64 = 30;
+    for i in 0..EXTRA {
+        let resp = client.roundtrip(&format!(
+            r#"{{"id":{},"platform":"Desktop CPU","query":{{"kind":"eval","flops":[2e9],"bytes":[1e8]}}}}"#,
+            10 + i
+        ));
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(true)), "{resp:?}");
+    }
+
+    // --- Stats op: uptime and per-shard live queue depths. `completed`
+    // bumps *after* the reply is sent, so poll until the counter settles
+    // at the expected total (2 traced evals + EXTRA; id=3 was rejected
+    // at parse and never reached the engine).
+    let expected = 2 + EXTRA;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let result = loop {
+        let stats = client.roundtrip(r#"{"op":"stats"}"#);
+        let result =
+            stats.get("result").and_then(Value::as_object).expect("stats result").clone();
+        let completed = get_u64(&result, "completed").expect("stats completed");
+        assert!(completed <= expected, "completed overshot: {completed} > {expected}");
+        if completed == expected {
+            break result;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "completed stuck at {completed}, want {expected}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let result = &result;
+    match result.get("uptime_s") {
+        Some(Value::Number(n)) => assert!(n.as_f64() >= 0.0, "uptime_s must be >= 0"),
+        other => panic!("stats must report uptime_s, got {other:?}"),
+    }
+    match result.get("queue_depths") {
+        Some(Value::Array(depths)) => {
+            assert_eq!(depths.len(), 2, "one depth per shard: {depths:?}");
+            // This client runs serially: queues must be fully drained.
+            for d in depths {
+                match d {
+                    Value::Number(serde_json::Number::PosInt(n)) => assert_eq!(*n, 0),
+                    other => panic!("queue depth must be a non-negative integer: {other:?}"),
+                }
+            }
+        }
+        other => panic!("stats must report queue_depths, got {other:?}"),
+    }
+
+    // --- Metrics op: JSON + Prometheus exposition, with per-phase
+    // histogram `_count` equal to the queries this engine completed.
+    // Phase records land *before* the reply is sent, and the serialize
+    // record lands before each response line hits the wire, so every
+    // count has settled by now — but poll anyway to stay robust.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let (json, prom) = loop {
+        let metrics = client.roundtrip(r#"{"op":"metrics"}"#);
+        let result = metrics.get("result").and_then(Value::as_object).expect("metrics result");
+        assert_eq!(result.get("kind"), Some(&Value::String("metrics".to_string())));
+        assert!(
+            matches!(result.get("uptime_s"), Some(Value::Number(_))),
+            "metrics op reports uptime_s"
+        );
+        let json = result.get("json").and_then(Value::as_object).expect("json snapshot").clone();
+        let prom = match result.get("prometheus") {
+            Some(Value::String(s)) => s.clone(),
+            other => panic!("metrics must carry a prometheus string, got {other:?}"),
+        };
+        let series = parse_prometheus(&prom);
+        let count = series.get("serve_phase_total_us_eval_count").copied().unwrap_or(0.0);
+        // Histograms are process-global: other suites in this binary would
+        // pollute the count, which is why this file holds a single test.
+        if count >= expected as f64 {
+            break (json, series);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "phase histogram count stuck at {count}, want {expected}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    // Every phase histogram carries the same count as queries served.
+    for phase in ["queue", "window", "kernel", "serialize", "total"] {
+        let name = format!("serve_phase_{phase}_us_eval");
+        let count = prom.get(&format!("{name}_count")).copied().unwrap_or(-1.0);
+        assert_eq!(
+            count, expected as f64,
+            "{name}_count must equal queries served ({expected})"
+        );
+        assert_histogram_shape(&prom, &name);
+    }
+    // The JSON flavor agrees with the text flavor.
+    let h = json
+        .get("histograms")
+        .and_then(Value::as_object)
+        .and_then(|hs| hs.get("serve.phase.total_us.eval"))
+        .and_then(Value::as_object)
+        .expect("JSON histogram present");
+    match h.get("count") {
+        Some(Value::Number(serde_json::Number::PosInt(n))) => assert_eq!(*n, expected),
+        other => panic!("JSON count must be an integer, got {other:?}"),
+    }
+
+    server.shutdown();
+}
